@@ -1,0 +1,88 @@
+// Figure 5 reproduction: relative objective error vs iteration for
+// PSRA-HGADMM, ADMMLib and AD-ADMM on the three dataset profiles, with 8
+// nodes and 32/64/128 workers (4/8/16 per node), 100 iterations, GQ
+// threshold = nodes/2, SSP Min_barrier = workers/2 and Max_delay = 5 —
+// exactly the paper's Section 5.3 setup (at container scale).
+//
+// Output: one series per (dataset, workers, algorithm) with the relative
+// error (eq. 18) at checkpoint iterations.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psra;
+
+  std::int64_t nodes = 8, iterations = 100;
+  std::string datasets_csv = "news20,webspam,url";
+  std::string wpn_csv = "4,8,16";
+  double scale = 0.0;
+  CliParser cli("bench_fig5_convergence",
+                "paper Fig. 5: relative error vs iteration");
+  cli.AddInt("nodes", &nodes, "physical nodes (paper: 8)");
+  cli.AddString("workers-per-node", &wpn_csv,
+                "comma-separated workers/node (paper: 4,8,16)");
+  cli.AddInt("iterations", &iterations, "ADMM iterations (paper: 100)");
+  cli.AddString("datasets", &datasets_csv, "datasets to run");
+  cli.AddDouble("scale", &scale, "profile scale (0 = per-dataset default)");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  const std::vector<std::uint64_t> checkpoints{1,  5,  10, 20, 30, 40,
+                                               50, 60, 80, 100};
+  bench::ReferenceCache refs;
+
+  for (const auto& dataset : bench::ParseList(datasets_csv)) {
+    for (const auto& wpn_tok : bench::ParseList(wpn_csv)) {
+      const auto wpn = static_cast<std::uint32_t>(ParseInt(wpn_tok));
+      admm::ClusterConfig cluster;
+      cluster.num_nodes = static_cast<std::uint32_t>(nodes);
+      cluster.workers_per_node = wpn;
+
+      const auto problem =
+          bench::MakeProblem(dataset, scale, cluster.world_size());
+      const double f_min =
+          refs.Get(dataset, problem.train, problem.lambda);
+
+      std::cout << "\n== Fig.5 | " << dataset << " | " << nodes << " nodes x "
+                << wpn << " workers = " << cluster.world_size()
+                << " workers ==\n";
+
+      admm::RunOptions opt;
+      opt.max_iterations = static_cast<std::uint64_t>(iterations);
+      opt.tron = bench::BenchTron();
+
+      std::vector<std::string> headers{"algorithm"};
+      for (auto cp : checkpoints) {
+        if (cp <= static_cast<std::uint64_t>(iterations)) {
+          headers.push_back("it" + std::to_string(cp));
+        }
+      }
+      Table table(headers);
+
+      for (const std::string name : {"psra-hgadmm", "admmlib", "ad-admm"}) {
+        auto res = admm::RunAlgorithm(name, cluster, problem, opt);
+        res.ApplyReference(f_min);
+        std::vector<std::string> row{res.algorithm};
+        for (auto cp : checkpoints) {
+          if (cp > static_cast<std::uint64_t>(iterations)) continue;
+          double value = res.trace.back().relative_error;
+          for (const auto& rec : res.trace) {
+            if (rec.iteration >= cp) {
+              value = rec.relative_error;
+              break;
+            }
+          }
+          row.push_back(Table::Cell(value, 4));
+        }
+        table.AddRow(std::move(row));
+      }
+      table.Print(std::cout);
+    }
+  }
+  std::cout << "\nShape to check against the paper: PSRA-HGADMM reaches lower"
+               "\nrelative error than ADMMLib and AD-ADMM at equal iteration"
+               "\ncounts, and the gap widens as workers increase.\n";
+  return 0;
+}

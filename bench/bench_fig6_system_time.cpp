@@ -1,0 +1,99 @@
+// Figure 6 reproduction: system time (Cal_time + Comm_time) and accuracy vs
+// cluster size for the three algorithms on the three dataset profiles.
+// Paper setup: 4/8/16/32 nodes with 4 workers each (16-128 workers),
+// 100 iterations. Also prints the paper's headline aggregate: overall
+// communication-cost reduction of PSRA-HGADMM vs ADMMLib.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psra;
+
+  std::string nodes_csv = "4,8,16,32";
+  std::int64_t wpn = 4, iterations = 100;
+  std::string datasets_csv = "news20,webspam,url";
+  double scale = 0.0;
+  CliParser cli("bench_fig6_system_time",
+                "paper Fig. 6: system time split and accuracy vs nodes");
+  cli.AddString("nodes", &nodes_csv, "comma-separated node counts");
+  cli.AddInt("workers-per-node", &wpn, "workers per node (paper: 4)");
+  cli.AddInt("iterations", &iterations, "ADMM iterations (paper: 100)");
+  cli.AddString("datasets", &datasets_csv, "datasets to run");
+  cli.AddDouble("scale", &scale, "profile scale (0 = per-dataset default)");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  double total_comm_psra = 0.0, total_comm_admmlib = 0.0;
+  double total_sys_psra = 0.0, total_sys_admmlib = 0.0;
+
+  for (const auto& dataset : bench::ParseList(datasets_csv)) {
+    std::cout << "\n== Fig.6 | " << dataset << " ==\n";
+    Table table({"algorithm", "nodes", "workers", "cal_time", "comm_time",
+                 "system_time", "accuracy"});
+    // Accuracy drop from the smallest to the largest cluster (the paper's
+    // scalability criterion in Section 5.4).
+    std::map<std::string, std::pair<double, double>> acc_first_last;
+
+    for (const std::string name : {"psra-hgadmm", "admmlib", "ad-admm"}) {
+      for (const auto& node_tok : bench::ParseList(nodes_csv)) {
+        const auto nodes = static_cast<std::uint32_t>(ParseInt(node_tok));
+        admm::ClusterConfig cluster;
+        cluster.num_nodes = nodes;
+        cluster.workers_per_node = static_cast<std::uint32_t>(wpn);
+
+        const auto problem =
+            bench::MakeProblem(dataset, scale, cluster.world_size());
+        admm::RunOptions opt;
+        opt.max_iterations = static_cast<std::uint64_t>(iterations);
+        opt.tron = bench::BenchTron();
+        opt.eval_every = opt.max_iterations;  // only final metrics needed
+
+        const auto res = admm::RunAlgorithm(name, cluster, problem, opt);
+        table.AddRow({res.algorithm, std::to_string(nodes),
+                      std::to_string(cluster.world_size()),
+                      FormatDuration(res.total_cal_time),
+                      FormatDuration(res.total_comm_time),
+                      FormatDuration(res.SystemTime()),
+                      Table::Cell(res.final_accuracy, 4)});
+
+        if (acc_first_last.find(name) == acc_first_last.end()) {
+          acc_first_last[name] = {res.final_accuracy, res.final_accuracy};
+        } else {
+          acc_first_last[name].second = res.final_accuracy;
+        }
+        if (name == "psra-hgadmm") {
+          total_comm_psra += res.total_comm_time;
+          total_sys_psra += res.SystemTime();
+        } else if (name == "admmlib") {
+          total_comm_admmlib += res.total_comm_time;
+          total_sys_admmlib += res.SystemTime();
+        }
+      }
+    }
+    table.Print(std::cout);
+    for (const auto& [name, fl] : acc_first_last) {
+      std::cout << "accuracy drop (" << name << ", smallest -> largest): "
+                << FormatDouble(100.0 * (fl.first - fl.second), 3) << "%\n";
+    }
+  }
+
+  std::cout << "\n== Headline aggregates across all runs above ==\n";
+  if (total_comm_admmlib > 0) {
+    std::cout << "PSRA-HGADMM comm time vs ADMMLib: "
+              << FormatDouble(
+                     100.0 * (1.0 - total_comm_psra / total_comm_admmlib), 4)
+              << "% reduction (paper reports 32%)\n";
+    std::cout << "PSRA-HGADMM system time vs ADMMLib: "
+              << FormatDouble(
+                     100.0 * (1.0 - total_sys_psra / total_sys_admmlib), 4)
+              << "% reduction (paper: 28.3% news20 / 63.18% webspam / 60.4%"
+                 " url at 32 nodes)\n";
+  }
+  std::cout << "\nShapes to check: PSRA-HGADMM comm time decreases with node"
+               "\ncount; ADMMLib's stays roughly flat; AD-ADMM's grows."
+               "\nAccuracy decreases with cluster size, least for"
+               " PSRA-HGADMM.\n";
+  return 0;
+}

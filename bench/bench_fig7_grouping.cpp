@@ -1,0 +1,95 @@
+// Figure 7 reproduction: the dynamic grouping strategy under injected
+// stragglers. Paper Section 5.5: random nodes are slowed down; PSRA-HGADMM
+// with the Group Generator (dynamic grouping) is compared against the same
+// algorithm with a full leader barrier (no grouping), over 4-32 nodes.
+#include <iostream>
+
+#include "admm/psra_hgadmm.hpp"
+#include "bench_util.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psra;
+
+  std::string nodes_csv = "4,8,16,32";
+  std::int64_t wpn = 4, iterations = 100;
+  std::string datasets_csv = "news20,webspam,url";
+  double scale = 0.0, straggler_prob = 0.25, slow_min = 3.0, slow_max = 6.0;
+  CliParser cli("bench_fig7_grouping",
+                "paper Fig. 7: dynamic grouping vs no grouping w/ stragglers");
+  cli.AddString("nodes", &nodes_csv, "comma-separated node counts");
+  cli.AddInt("workers-per-node", &wpn, "workers per node (paper: 4)");
+  cli.AddInt("iterations", &iterations, "ADMM iterations (paper: 100)");
+  cli.AddString("datasets", &datasets_csv, "datasets to run");
+  cli.AddDouble("scale", &scale, "profile scale (0 = per-dataset default)");
+  cli.AddDouble("straggler-prob", &straggler_prob,
+                "per-node straggle probability per iteration");
+  cli.AddDouble("slow-min", &slow_min, "min straggler slowdown factor");
+  cli.AddDouble("slow-max", &slow_max, "max straggler slowdown factor");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  for (const auto& dataset : bench::ParseList(datasets_csv)) {
+    std::cout << "\n== Fig.7 | " << dataset << " (straggler prob "
+              << straggler_prob << ", slowdown " << slow_min << "-"
+              << slow_max << "x) ==\n";
+    Table table({"strategy", "nodes", "workers", "cal_time", "comm_time",
+                 "system_time", "accuracy"});
+
+    // comm time at the smallest/largest cluster per strategy, for the
+    // paper's -62% / +36% style trend statement.
+    std::map<bool, std::pair<double, double>> comm_first_last;
+
+    for (const bool dynamic : {true, false}) {
+      for (const auto& node_tok : bench::ParseList(nodes_csv)) {
+        const auto nodes = static_cast<std::uint32_t>(ParseInt(node_tok));
+        admm::ClusterConfig cluster;
+        cluster.num_nodes = nodes;
+        cluster.workers_per_node = static_cast<std::uint32_t>(wpn);
+        cluster.straggler.node_probability = straggler_prob;
+        cluster.straggler.slow_factor_min = slow_min;
+        cluster.straggler.slow_factor_max = slow_max;
+
+        const auto problem =
+            bench::MakeProblem(dataset, scale, cluster.world_size());
+        admm::RunOptions opt;
+        opt.max_iterations = static_cast<std::uint64_t>(iterations);
+        opt.tron = bench::BenchTron();
+        opt.eval_every = opt.max_iterations;
+
+        admm::PsraConfig cfg;
+        cfg.cluster = cluster;
+        cfg.grouping = dynamic ? admm::GroupingMode::kDynamicGroups
+                               : admm::GroupingMode::kHierarchical;
+        const auto res = admm::PsraHgAdmm(cfg).Run(problem, opt);
+
+        table.AddRow({dynamic ? "dynamic-grouping" : "no-grouping",
+                      std::to_string(nodes),
+                      std::to_string(cluster.world_size()),
+                      FormatDuration(res.total_cal_time),
+                      FormatDuration(res.total_comm_time),
+                      FormatDuration(res.SystemTime()),
+                      Table::Cell(res.final_accuracy, 4)});
+
+        if (comm_first_last.find(dynamic) == comm_first_last.end()) {
+          comm_first_last[dynamic] = {res.total_comm_time,
+                                      res.total_comm_time};
+        } else {
+          comm_first_last[dynamic].second = res.total_comm_time;
+        }
+      }
+    }
+    table.Print(std::cout);
+    for (const auto& [dynamic, fl] : comm_first_last) {
+      const double change = 100.0 * (fl.second - fl.first) / fl.first;
+      std::cout << (dynamic ? "dynamic-grouping" : "no-grouping      ")
+                << " comm time, smallest -> largest cluster: "
+                << (change >= 0 ? "+" : "") << FormatDouble(change, 4)
+                << "% (paper on webspam: -62% grouped / +36% ungrouped)\n";
+    }
+  }
+  std::cout << "\nShape to check: at 4 nodes the two strategies are close"
+               "\n(grouping overhead can even lose); from 8 nodes up the"
+               "\ndynamic grouping wins and the gap widens with scale.\n";
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Engineering micro-benchmarks (google-benchmark): host throughput of the
+// numeric kernels and collectives. These are not paper figures; they guard
+// against performance regressions in the building blocks.
+#include <benchmark/benchmark.h>
+
+#include "comm/collective.hpp"
+#include "comm/group.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/csr_matrix.hpp"
+#include "linalg/dense_ops.hpp"
+#include "linalg/sparse_vector.hpp"
+#include "solver/logistic.hpp"
+#include "solver/tron.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace psra;
+
+void BM_DenseAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::DenseVector x(n, 1.5), y(n, 0.5);
+  for (auto _ : state) {
+    linalg::Axpy(0.9, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DenseAxpy)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DenseDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::DenseVector x(n, 1.5), y(n, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Dot(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DenseDot)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SoftThreshold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  linalg::DenseVector x(n), out(n);
+  for (auto& v : x) v = rng.NextGaussian();
+  for (auto _ : state) {
+    linalg::SoftThreshold(x, 0.5, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SoftThreshold)->Arg(1 << 14);
+
+void BM_SparseSum(benchmark::State& state) {
+  const auto nnz = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const std::uint64_t dim = nnz * 8;
+  auto make = [&] {
+    auto picks = rng.SampleWithoutReplacement(dim, nnz);
+    std::vector<linalg::SparseVector::Index> idx(picks.begin(), picks.end());
+    std::vector<double> val(nnz, 1.0);
+    return linalg::SparseVector(dim, std::move(idx), std::move(val));
+  };
+  const auto a = make(), b = make();
+  for (auto _ : state) {
+    auto s = linalg::SparseVector::Sum(a, b);
+    benchmark::DoNotOptimize(s.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * nnz));
+}
+BENCHMARK(BM_SparseSum)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_CsrMultiply(benchmark::State& state) {
+  data::SyntheticSpec spec;
+  spec.num_features = 4096;
+  spec.num_train = static_cast<std::uint64_t>(state.range(0));
+  spec.num_test = 1;
+  spec.mean_row_nnz = 32;
+  const auto gen = data::GenerateSynthetic(spec);
+  linalg::DenseVector x(spec.num_features, 0.5), out(spec.num_train);
+  for (auto _ : state) {
+    gen.train.features().Multiply(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(gen.train.nnz()));
+}
+BENCHMARK(BM_CsrMultiply)->Arg(512)->Arg(4096);
+
+void BM_TronSolve(benchmark::State& state) {
+  data::SyntheticSpec spec;
+  spec.num_features = 1024;
+  spec.num_train = 256;
+  spec.num_test = 1;
+  spec.mean_row_nnz = 24;
+  const auto gen = data::GenerateSynthetic(spec);
+  solver::ProximalLogistic f(&gen.train, 1.0);
+  linalg::DenseVector v(spec.num_features, 0.01), z(spec.num_features, 0.0);
+  f.SetIterationTerms(v, z);
+  solver::TronOptions opt;
+  opt.max_iterations = 10;
+  opt.max_cg_iterations = 10;
+  for (auto _ : state) {
+    linalg::DenseVector x(spec.num_features, 0.0);
+    const auto res = solver::TronMinimize(f, x, opt);
+    benchmark::DoNotOptimize(res.objective);
+  }
+}
+BENCHMARK(BM_TronSolve);
+
+template <comm::AllreduceKind kKind>
+void BM_SparseAllreduce(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t c = 512;
+  const std::uint64_t dim = n * c * 2;
+  simnet::Topology topo(n, 1);
+  simnet::CostModel cost;
+  std::vector<simnet::Rank> members(n);
+  for (std::uint32_t i = 0; i < n; ++i) members[i] = i;
+  comm::GroupComm group(&topo, &cost, members);
+
+  Rng rng(3);
+  std::vector<linalg::SparseVector> inputs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto picks = rng.SampleWithoutReplacement(dim, c);
+    std::vector<linalg::SparseVector::Index> idx(picks.begin(), picks.end());
+    std::vector<double> val(c, 1.0);
+    inputs.emplace_back(dim, std::move(idx), std::move(val));
+  }
+  const std::vector<simnet::VirtualTime> starts(n, 0.0);
+  const auto alg = comm::MakeAllreduce(kKind);
+  for (auto _ : state) {
+    auto res = alg->RunSparse(group, inputs, starts);
+    benchmark::DoNotOptimize(res.stats.all_done);
+  }
+}
+BENCHMARK(BM_SparseAllreduce<comm::AllreduceKind::kRing>)->Arg(8)->Arg(32);
+BENCHMARK(BM_SparseAllreduce<comm::AllreduceKind::kPsr>)->Arg(8)->Arg(32);
+BENCHMARK(BM_SparseAllreduce<comm::AllreduceKind::kRhd>)->Arg(8)->Arg(32);
+BENCHMARK(BM_SparseAllreduce<comm::AllreduceKind::kTree>)->Arg(8)->Arg(32);
+
+void BM_SparseVectorSlice(benchmark::State& state) {
+  Rng rng(5);
+  const std::size_t nnz = 1 << 14;
+  const std::uint64_t dim = nnz * 8;
+  auto picks = rng.SampleWithoutReplacement(dim, nnz);
+  std::vector<linalg::SparseVector::Index> idx(picks.begin(), picks.end());
+  std::vector<double> val(nnz, 1.0);
+  const linalg::SparseVector v(dim, std::move(idx), std::move(val));
+  for (auto _ : state) {
+    auto s = v.Slice(dim / 4, dim / 2);
+    benchmark::DoNotOptimize(s.nnz());
+  }
+}
+BENCHMARK(BM_SparseVectorSlice);
+
+void BM_LogisticGradient(benchmark::State& state) {
+  data::SyntheticSpec spec;
+  spec.num_features = 4096;
+  spec.num_train = 1024;
+  spec.num_test = 1;
+  spec.mean_row_nnz = 32;
+  const auto gen = data::GenerateSynthetic(spec);
+  solver::ProximalLogistic f(&gen.train, 1.0);
+  linalg::DenseVector v(spec.num_features, 0.01), z(spec.num_features, 0.0);
+  f.SetIterationTerms(v, z);
+  linalg::DenseVector x(spec.num_features, 0.1), grad(spec.num_features);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ValueAndGradient(x, grad));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(gen.train.nnz()));
+}
+BENCHMARK(BM_LogisticGradient);
+
+}  // namespace

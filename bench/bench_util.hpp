@@ -1,0 +1,79 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "admm/problem.hpp"
+#include "admm/reference.hpp"
+#include "admm/registry.hpp"
+#include "data/synthetic.hpp"
+#include "support/status.hpp"
+#include "support/string_util.hpp"
+
+namespace psra::bench {
+
+/// Default per-dataset scales: chosen so a full figure reproduction runs in
+/// minutes on one core while preserving each dataset's density profile.
+/// (webspam's 16.6M-feature space is scaled hardest; see DESIGN.md §2.)
+inline double DefaultScale(const std::string& dataset) {
+  if (dataset == "news20") return 0.01;
+  if (dataset == "webspam") return 0.001;
+  if (dataset == "url") return 0.003;
+  throw InvalidArgument("unknown dataset: " + dataset);
+}
+
+inline std::vector<std::string> ParseList(const std::string& csv) {
+  std::vector<std::string> out;
+  for (auto& tok : Split(csv, ',')) {
+    const auto t = std::string(Trim(tok));
+    if (!t.empty()) out.push_back(t);
+  }
+  return out;
+}
+
+/// TRON settings for the distributed x-subproblems: shards are small, so a
+/// short inexact solve is standard practice (and what makes 100-iteration
+/// sweeps tractable).
+inline solver::TronOptions BenchTron() {
+  solver::TronOptions t;
+  t.max_iterations = 10;
+  t.max_cg_iterations = 10;
+  t.gradient_tolerance = 1e-2;
+  return t;
+}
+
+/// Builds the consensus problem for `dataset` at `scale` (0 = default).
+inline admm::ConsensusProblem MakeProblem(const std::string& dataset,
+                                          double scale,
+                                          std::uint64_t num_workers) {
+  const double s = scale > 0 ? scale : DefaultScale(dataset);
+  const auto spec = data::ProfileByName(dataset, s);
+  return admm::BuildProblem(spec, num_workers, /*lambda=*/1.0, /*rho=*/1.0);
+}
+
+/// Caches the reference minimum per dataset so the figure harnesses don't
+/// recompute it for every cluster size.
+class ReferenceCache {
+ public:
+  double Get(const std::string& key, const data::Dataset& train,
+             double lambda) {
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    admm::ReferenceOptions opt;
+    opt.iterations = 200;
+    opt.tron = BenchTron();
+    opt.tron.max_iterations = 25;
+    opt.tron.max_cg_iterations = 25;
+    const double f = admm::ReferenceMinimum(train, lambda, opt);
+    cache_[key] = f;
+    return f;
+  }
+
+ private:
+  std::map<std::string, double> cache_;
+};
+
+}  // namespace psra::bench

@@ -1,0 +1,94 @@
+// Extension-feature tour: residual-based early stopping, adaptive penalty,
+// mixed-precision communication, trace CSV export and model checkpointing —
+// a realistic "train, monitor, save" workflow on top of PSRA-HGADMM.
+//
+//   ./adaptive_training [--out-prefix /tmp/psra] [--mixed-precision]
+#include <fstream>
+#include <iostream>
+
+#include "admm/checkpoint.hpp"
+#include "admm/problem.hpp"
+#include "admm/psra_hgadmm.hpp"
+#include "solver/metrics.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psra;
+
+  std::string out_prefix = "/tmp/psra_adaptive";
+  std::int64_t nodes = 4, wpn = 4, max_iterations = 200;
+  bool mixed_precision = false, adaptive_rho = true;
+  double eps_abs = 5e-3, eps_rel = 5e-2;
+  CliParser cli("adaptive_training",
+                "early stopping + adaptive rho + checkpointing workflow");
+  cli.AddString("out-prefix", &out_prefix, "prefix for .csv/.model outputs");
+  cli.AddInt("nodes", &nodes, "simulated nodes");
+  cli.AddInt("workers-per-node", &wpn, "workers per node");
+  cli.AddInt("max-iterations", &max_iterations, "iteration budget");
+  cli.AddBool("mixed-precision", &mixed_precision,
+              "fp32 inter-node aggregates");
+  cli.AddBool("adaptive-rho", &adaptive_rho, "residual-balancing penalty");
+  cli.AddDouble("eps-abs", &eps_abs, "absolute stopping tolerance");
+  cli.AddDouble("eps-rel", &eps_rel, "relative stopping tolerance");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  data::SyntheticSpec spec;
+  spec.name = "adaptive-demo";
+  spec.num_features = 3000;
+  spec.num_train = 3000;
+  spec.num_test = 600;
+  spec.mean_row_nnz = 20.0;
+  const auto problem = admm::BuildProblem(
+      spec, static_cast<std::uint64_t>(nodes * wpn));
+
+  admm::PsraConfig cfg;
+  cfg.cluster.num_nodes = static_cast<std::uint32_t>(nodes);
+  cfg.cluster.workers_per_node = static_cast<std::uint32_t>(wpn);
+  cfg.mixed_precision = mixed_precision;
+
+  admm::RunOptions opt;
+  opt.max_iterations = static_cast<std::uint64_t>(max_iterations);
+  opt.adaptive_rho.enabled = adaptive_rho;
+  opt.stopping.enabled = true;
+  opt.stopping.eps_abs = eps_abs;
+  opt.stopping.eps_rel = eps_rel;
+
+  const auto res = admm::PsraHgAdmm(cfg).Run(problem, opt);
+
+  std::cout << res.algorithm << (mixed_precision ? " [fp32 wire]" : "")
+            << ": " << (res.stopped_early ? "converged after " : "hit budget at ")
+            << res.iterations_run << " iterations\n";
+
+  Table table({"iter", "objective", "primal_res", "dual_res", "rho",
+               "accuracy"});
+  for (const auto& rec : res.trace) {
+    if (rec.iteration % 10 != 0 && rec.iteration != 1 &&
+        rec.iteration != res.iterations_run) {
+      continue;
+    }
+    table.AddRow({std::to_string(rec.iteration), Table::Cell(rec.objective, 6),
+                  Table::Cell(rec.primal_residual, 4),
+                  Table::Cell(rec.dual_residual, 4), Table::Cell(rec.rho, 4),
+                  Table::Cell(rec.accuracy, 4)});
+  }
+  table.Print(std::cout);
+
+  // Persist the trace for plotting and the model for serving.
+  const std::string csv_path = out_prefix + ".csv";
+  std::ofstream csv(csv_path);
+  res.WriteTraceCsv(csv);
+  const std::string model_path = out_prefix + ".model";
+  admm::WriteModelFile(
+      admm::FromRunResult(res, problem.lambda, problem.rho), model_path);
+
+  // Round-trip check: the reloaded model must score identically.
+  const auto loaded = admm::ReadModelFile(model_path);
+  const double acc = solver::Accuracy(problem.test, loaded.z);
+  std::cout << "\nwrote " << csv_path << " and " << model_path
+            << "\nreloaded model accuracy: " << FormatDouble(acc, 4)
+            << " (training run: " << FormatDouble(res.final_accuracy, 4)
+            << ")\n";
+  return acc == res.final_accuracy ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Train on a real LIBSVM file (e.g. the actual news20/webspam/url from the
+// LIBSVM site) with any of the registered algorithms. If no file is given,
+// a synthetic stand-in is written to /tmp and used, so the example is
+// runnable offline end to end.
+//
+//   ./libsvm_train --file path/to/data.svm --algorithm psra-hgadmm
+#include <iostream>
+
+#include "admm/problem.hpp"
+#include "admm/registry.hpp"
+#include "data/libsvm_io.hpp"
+#include "data/synthetic.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psra;
+
+  std::string file, algorithm = "psra-hgadmm";
+  std::int64_t nodes = 4, wpn = 4, iterations = 30, max_samples = 20000;
+  double train_fraction = 0.8, lambda = 1.0;
+  CliParser cli("libsvm_train", "train on a LIBSVM-format file");
+  cli.AddString("file", &file, "LIBSVM file (empty: generate a demo file)");
+  cli.AddString("algorithm", &algorithm,
+                "psra-hgadmm | psra-admm | hgadmm-nogroup | admmlib | ad-admm");
+  cli.AddInt("nodes", &nodes, "simulated nodes");
+  cli.AddInt("workers-per-node", &wpn, "workers per node");
+  cli.AddInt("iterations", &iterations, "ADMM iterations");
+  cli.AddInt("max-samples", &max_samples, "cap on samples read (0 = all)");
+  cli.AddDouble("train-fraction", &train_fraction, "train/test split");
+  cli.AddDouble("lambda", &lambda, "L1 regularization strength");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  if (file.empty()) {
+    file = "/tmp/psra_demo.svm";
+    std::cout << "no --file given; writing a synthetic demo to " << file
+              << "\n";
+    data::SyntheticSpec spec;
+    spec.num_features = 5000;
+    spec.num_train = 4000;
+    spec.num_test = 0;
+    spec.mean_row_nnz = 30.0;
+    const auto gen = data::GenerateSynthetic(spec);
+    data::WriteLibsvmFile(gen.train, file);
+  }
+
+  data::LibsvmReadOptions ropt;
+  ropt.max_samples = static_cast<std::uint64_t>(max_samples);
+  const auto all = data::ReadLibsvmFile(file, ropt);
+  std::cout << "loaded " << all.num_samples() << " samples, "
+            << all.num_features() << " features, "
+            << FormatDouble(100.0 * all.features().Density(), 3)
+            << "% dense\n";
+
+  const auto cut = static_cast<std::uint64_t>(
+      train_fraction * static_cast<double>(all.num_samples()));
+  auto [train, test] = all.Split(cut);
+
+  admm::ClusterConfig cluster;
+  cluster.num_nodes = static_cast<std::uint32_t>(nodes);
+  cluster.workers_per_node = static_cast<std::uint32_t>(wpn);
+  const auto problem = admm::BuildProblemFromData(
+      file, std::move(train), std::move(test), cluster.world_size(), lambda);
+
+  admm::RunOptions opt;
+  opt.max_iterations = static_cast<std::uint64_t>(iterations);
+  opt.eval_every = 5;
+
+  const auto res = admm::RunAlgorithm(algorithm, cluster, problem, opt);
+
+  Table table({"iter", "objective", "accuracy"});
+  for (const auto& rec : res.trace) {
+    table.AddRow({std::to_string(rec.iteration), Table::Cell(rec.objective, 6),
+                  Table::Cell(rec.accuracy, 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n" << res.algorithm << ": final accuracy "
+            << FormatDouble(res.final_accuracy, 4) << ", virtual system time "
+            << FormatDuration(res.SystemTime()) << "\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Straggler resilience scenario (paper Section 5.5 in miniature): inject
+// slow nodes and compare PSRA-HGADMM with and without the dynamic grouping
+// strategy of the WLG framework.
+//
+//   ./straggler_resilience [--nodes 8] [--straggler-prob 0.3] [--slow 4]
+#include <iostream>
+
+#include "admm/problem.hpp"
+#include "admm/psra_hgadmm.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psra;
+
+  std::int64_t nodes = 8, wpn = 2, iterations = 30;
+  double straggler_prob = 0.3, slow = 4.0;
+  CliParser cli("straggler_resilience",
+                "dynamic grouping vs full barrier under injected stragglers");
+  cli.AddInt("nodes", &nodes, "simulated nodes");
+  cli.AddInt("workers-per-node", &wpn, "workers per node");
+  cli.AddInt("iterations", &iterations, "ADMM iterations");
+  cli.AddDouble("straggler-prob", &straggler_prob,
+                "per-node, per-iteration probability of straggling");
+  cli.AddDouble("slow", &slow, "compute slowdown factor of a straggler");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  admm::ClusterConfig cluster;
+  cluster.num_nodes = static_cast<std::uint32_t>(nodes);
+  cluster.workers_per_node = static_cast<std::uint32_t>(wpn);
+  cluster.straggler.node_probability = straggler_prob;
+  cluster.straggler.slow_factor_min = slow;
+  cluster.straggler.slow_factor_max = slow * 1.5;
+
+  data::SyntheticSpec spec;
+  spec.name = "straggler-demo";
+  spec.num_features = 3000;
+  spec.num_train = 3200;
+  spec.num_test = 600;
+  spec.mean_row_nnz = 20.0;
+  const auto problem = admm::BuildProblem(spec, cluster.world_size());
+
+  admm::RunOptions opt;
+  opt.max_iterations = static_cast<std::uint64_t>(iterations);
+
+  Table table({"strategy", "groups", "comm_time", "cal_time", "system_time",
+               "accuracy"});
+  for (const bool dynamic : {true, false}) {
+    admm::PsraConfig cfg;
+    cfg.cluster = cluster;
+    cfg.grouping = dynamic ? admm::GroupingMode::kDynamicGroups
+                           : admm::GroupingMode::kHierarchical;
+    const auto res = admm::PsraHgAdmm(cfg).Run(problem, opt);
+    table.AddRow({dynamic ? "dynamic grouping (WLG)" : "full barrier",
+                  dynamic ? "threshold nodes/2" : "all leaders",
+                  FormatDuration(res.total_comm_time),
+                  FormatDuration(res.total_cal_time),
+                  FormatDuration(res.SystemTime()),
+                  Table::Cell(res.final_accuracy, 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nWith stragglers, the full barrier forces every leader to"
+               " wait for the slowest node each iteration; the Group"
+               " Generator lets fast nodes synchronize among themselves.\n";
+  return 0;
+}

@@ -1,0 +1,206 @@
+#include "admm/admmlib.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/intranode.hpp"
+#include "linalg/sparse_vector.hpp"
+#include "solver/metrics.hpp"
+#include "support/status.hpp"
+
+namespace psra::admm {
+
+AdmmLib::AdmmLib(const AdmmLibConfig& config) : cfg_(config) {
+  PSRA_REQUIRE(config.min_barrier_fraction > 0.0 &&
+                   config.min_barrier_fraction <= 1.0,
+               "min_barrier_fraction must be in (0, 1]");
+  PSRA_REQUIRE(config.max_delay >= 1, "max_delay must be at least 1");
+}
+
+RunResult AdmmLib::Run(const ConsensusProblem& problem,
+                       const RunOptions& options) const {
+  const simnet::Topology topo(cfg_.cluster.num_nodes,
+                              cfg_.cluster.workers_per_node);
+  PSRA_REQUIRE(problem.num_workers() == topo.world_size(),
+               "problem must be partitioned into one shard per worker");
+  const simnet::CostModel cost(cfg_.cluster.cost);
+  const simnet::StragglerModel stragglers(topo, cfg_.cluster.straggler);
+  const auto world = static_cast<std::size_t>(topo.world_size());
+  const std::uint32_t nodes = cfg_.cluster.num_nodes;
+  const auto barrier_nodes = static_cast<std::uint32_t>(std::max<double>(
+      1.0, std::ceil(cfg_.min_barrier_fraction * static_cast<double>(nodes))));
+
+  WorkerSet ws(&problem, &options);
+  engine::TimeLedger ledger(world);
+  const auto ring = comm::MakeAllreduce(cfg_.allreduce);
+  const auto d = static_cast<std::size_t>(problem.dim());
+
+  RunResult result;
+  result.algorithm = Name();
+
+  // Node-level helpers.
+  std::vector<std::vector<simnet::Rank>> node_ranks(nodes);
+  std::vector<simnet::Rank> leaders(nodes);
+  std::vector<comm::GroupComm> intra;
+  intra.reserve(nodes);
+  for (simnet::NodeId n = 0; n < nodes; ++n) {
+    node_ranks[n] = topo.RanksOnNode(n);
+    leaders[n] = wlg::ElectLeader(topo, node_ranks[n], cfg_.leader_policy,
+                                  cfg_.cluster.seed);
+    intra.emplace_back(&topo, &cost, node_ranks[n]);
+  }
+
+  // Runs the local computation of one node (x/w updates for its workers and
+  // the intra-node reduce) and returns the node-level sum; `iteration` keys
+  // the jitter/straggler draw.
+  std::vector<std::uint64_t> local_iter(nodes, 0);
+  auto compute_node = [&](simnet::NodeId n) -> linalg::DenseVector {
+    ++local_iter[n];
+    const auto& members = node_ranks[n];
+    std::vector<linalg::DenseVector> inputs(members.size());
+    std::vector<simnet::VirtualTime> starts(members.size());
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const simnet::Rank r = members[m];
+      const double flops = ws.XWStep(r);
+      const double mult = ComputeMultiplier(cfg_.cluster, topo, stragglers, r,
+                                            local_iter[n]);
+      ledger.ChargeCompute(r, cost.ComputeTime(flops) * mult);
+      inputs[m] = ws.w(r);
+      starts[m] = ledger[r].clock;
+    }
+    auto red = comm::ReduceToLeader(intra[n], intra[n].LocalRank(leaders[n]),
+                                    inputs, starts);
+    result.elements_sent += red.elements_sent;
+    result.messages_sent += red.messages_sent;
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      ledger.WaitUntil(members[m], red.finish_times[m]);
+    }
+    ledger.WaitUntil(leaders[n], red.leader_ready);
+    return std::move(red.value);
+  };
+
+  // SSP state.
+  std::vector<linalg::DenseVector> node_w(nodes);   // freshest node sum
+  std::vector<linalg::DenseVector> cache_w(nodes, linalg::DenseVector(d, 0.0));
+  std::vector<simnet::VirtualTime> ready(nodes);
+  std::vector<std::uint64_t> last_contrib(nodes, 0);
+
+  for (simnet::NodeId n = 0; n < nodes; ++n) {
+    node_w[n] = compute_node(n);
+    ready[n] = ledger[leaders[n]].clock;
+  }
+
+  linalg::DenseVector W(d, 0.0);
+  for (std::uint64_t k = 1; k <= options.max_iterations; ++k) {
+    result.iterations_run = k;
+    // Fire time: the barrier-th smallest ready time, pushed later by any
+    // node whose contribution would otherwise exceed Max_delay.
+    std::vector<simnet::VirtualTime> sorted(ready.begin(), ready.end());
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + (barrier_nodes - 1), sorted.end());
+    simnet::VirtualTime fire = sorted[barrier_nodes - 1];
+    for (simnet::NodeId n = 0; n < nodes; ++n) {
+      if (k - last_contrib[n] > cfg_.max_delay) {
+        fire = std::max(fire, ready[n]);
+      }
+    }
+
+    std::vector<simnet::NodeId> participants;
+    for (simnet::NodeId n = 0; n < nodes; ++n) {
+      if (ready[n] <= fire) participants.push_back(n);
+    }
+    PSRA_CHECK(!participants.empty(), "SSP round fired with no participants");
+
+    for (simnet::NodeId n : participants) {
+      cache_w[n] = node_w[n];
+      last_contrib[n] = k;
+    }
+
+    // Ring-Allreduce over ALL leaders: the ring topology is fixed in
+    // ADMMLib's hierarchical architecture, so every node's communication
+    // thread joins each round, contributing its freshest *cached* w (stale
+    // for non-participants). This is what keeps ADMMLib's communication
+    // cost roughly independent of stragglers but high: 2(N-1) pipelined
+    // rounds over every leader, every iteration.
+    std::vector<simnet::Rank> all_leaders(leaders.begin(), leaders.end());
+    const std::vector<simnet::VirtualTime> starts(nodes, fire);
+    const comm::GroupComm inter(&topo, &cost, all_leaders);
+
+    std::vector<simnet::VirtualTime> finish;
+    std::size_t result_nnz = 0;
+    if (cfg_.sparse_comm) {
+      std::vector<linalg::SparseVector> sv;
+      sv.reserve(nodes);
+      for (simnet::NodeId n = 0; n < nodes; ++n) {
+        sv.push_back(linalg::SparseVector::FromDense(cache_w[n]));
+      }
+      auto res = ring->RunSparse(inter, sv, starts);
+      result.elements_sent += res.stats.elements_sent;
+      result.messages_sent += res.stats.messages_sent;
+      result_nnz = res.outputs[0].nnz();
+      finish = std::move(res.stats.finish_times);
+    } else {
+      std::vector<linalg::DenseVector> dv(cache_w.begin(), cache_w.end());
+      auto res = ring->RunDense(inter, dv, starts);
+      result.elements_sent += res.stats.elements_sent;
+      result.messages_sent += res.stats.messages_sent;
+      result_nnz = d;
+      finish = std::move(res.stats.finish_times);
+    }
+
+    // Global aggregate (the ring's output): fresh + stale terms.
+    linalg::SetZero(W);
+    for (simnet::NodeId n = 0; n < nodes; ++n) {
+      linalg::Axpy(1.0, cache_w[n], W);
+    }
+
+    // A node still computing when the ring ran had its communication thread
+    // serve the ring concurrently; book the overlapped portion as comm time
+    // (the post-compute remainder is booked by the WaitUntil below).
+    for (simnet::NodeId n = 0; n < nodes; ++n) {
+      const simnet::VirtualTime overlapped =
+          std::max(0.0, std::min(ready[n], finish[n]) - fire);
+      if (overlapped > 0) ledger.ChargeCommConcurrent(leaders[n], overlapped);
+    }
+
+    // Every node receives the new aggregate and immediately starts its next
+    // local iteration — SSP workers never idle. A node that was still
+    // computing when the round fired (a non-participant) picks the new W up
+    // as soon as both its compute and the ring are done; the w it just
+    // finished is simply superseded by the fresher one it will produce
+    // against the new z (standard SSP freshest-state semantics).
+    for (simnet::NodeId n = 0; n < nodes; ++n) {
+      ledger.WaitUntil(leaders[n], std::max(ready[n], finish[n]));
+      const std::size_t elems = cfg_.sparse_comm ? result_nnz : d;
+      auto bc = comm::BroadcastFromLeader(intra[n],
+                                          intra[n].LocalRank(leaders[n]),
+                                          elems, ledger[leaders[n]].clock);
+      result.elements_sent += bc.elements_sent;
+      result.messages_sent += bc.messages_sent;
+      for (std::size_t m = 0; m < node_ranks[n].size(); ++m) {
+        const simnet::Rank r = node_ranks[n][m];
+        ledger.WaitUntil(r, bc.finish_times[m]);
+        const double zf = ws.ZYStep(r, W, topo.world_size());
+        ledger.ChargeCompute(r, cost.ComputeTime(zf));
+      }
+      node_w[n] = compute_node(n);
+      ready[n] = ledger[leaders[n]].clock;
+    }
+
+    if (options.record_trace &&
+        (k % options.eval_every == 0 || k == options.max_iterations)) {
+      result.trace.push_back(ws.Evaluate(k, ledger));
+    }
+  }
+
+  result.final_z = ws.MeanZ();
+  result.final_objective =
+      solver::GlobalObjective(problem.train, result.final_z, problem.lambda);
+  result.final_accuracy = solver::Accuracy(problem.test, result.final_z);
+  result.total_cal_time = ledger.MeanCalTime();
+  result.total_comm_time = ledger.MeanCommTime();
+  result.makespan = ledger.MaxClock();
+  return result;
+}
+
+}  // namespace psra::admm

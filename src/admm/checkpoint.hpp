@@ -1,0 +1,42 @@
+// Model persistence: save/load a trained consensus model (the z vector plus
+// the metadata needed to validate it against a dataset at load time).
+//
+// Format: a small text header followed by the nonzero entries —
+//   psra-model v1
+//   algorithm <name>
+//   dim <d>
+//   lambda <l>
+//   rho <r>
+//   nnz <k>
+//   <index> <value>          (k lines)
+//
+// Models after L1-regularized training are sparse, so the on-disk size is
+// proportional to the active feature count, not the dimension.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "admm/trace.hpp"
+
+namespace psra::admm {
+
+struct ModelCheckpoint {
+  std::string algorithm;
+  double lambda = 0.0;
+  double rho = 0.0;
+  linalg::DenseVector z;
+};
+
+void WriteModel(const ModelCheckpoint& model, std::ostream& os);
+void WriteModelFile(const ModelCheckpoint& model, const std::string& path);
+
+/// Throws psra::IoError / psra::InvalidArgument on malformed input.
+ModelCheckpoint ReadModel(std::istream& is);
+ModelCheckpoint ReadModelFile(const std::string& path);
+
+/// Convenience: checkpoint straight from a finished run.
+ModelCheckpoint FromRunResult(const RunResult& result, double lambda,
+                              double rho);
+
+}  // namespace psra::admm

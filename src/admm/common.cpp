@@ -1,0 +1,156 @@
+#include "admm/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solver/metrics.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace psra::admm {
+
+double ComputeMultiplier(const ClusterConfig& cluster,
+                         const simnet::Topology& topo,
+                         const simnet::StragglerModel& stragglers,
+                         simnet::Rank worker, std::uint64_t iteration) {
+  double mult = stragglers.ComputeMultiplier(worker, iteration);
+  if (cluster.compute_jitter > 0.0) {
+    Rng base(cluster.seed ^ 0xC0FFEEULL);
+    Rng iter_rng = base.Fork(iteration);
+    Rng wr = iter_rng.Fork(worker);
+    mult *= wr.NextDouble(1.0, 1.0 + cluster.compute_jitter);
+  }
+  (void)topo;
+  return mult;
+}
+
+WorkerSet::WorkerSet(const ConsensusProblem* problem,
+                     const RunOptions* options)
+    : problem_(problem), options_(options), rho_(problem->rho) {
+  PSRA_REQUIRE(problem_ != nullptr && options_ != nullptr,
+               "null problem/options");
+  PSRA_REQUIRE(rho_ > 0.0, "rho must be positive");
+  const auto n = static_cast<std::size_t>(problem_->num_workers());
+  const auto d = static_cast<std::size_t>(problem_->dim());
+  local_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    local_.emplace_back(&problem_->shards[i], problem_->rho);
+  }
+  x_.assign(n, linalg::DenseVector(d, 0.0));
+  y_.assign(n, linalg::DenseVector(d, 0.0));
+  w_.assign(n, linalg::DenseVector(d, 0.0));
+  z_.assign(n, linalg::DenseVector(d, 0.0));
+}
+
+double WorkerSet::XWStep(std::size_t i) {
+  PSRA_REQUIRE(i < local_.size(), "worker index out of range");
+  solver::FlopCounter flops;
+  local_[i].SetRho(rho_);
+  local_[i].SetIterationTerms(y_[i], z_[i]);
+  solver::TronMinimize(local_[i], x_[i], options_->tron, &flops);
+  solver::WLocal(rho_, x_[i], y_[i], w_[i], &flops);
+  return flops.flops;
+}
+
+void WorkerSet::XWStepAll(std::vector<double>& flops_out) {
+  PSRA_REQUIRE(flops_out.size() == size(), "flops_out size mismatch");
+  auto body = [&](std::size_t i) { flops_out[i] = XWStep(i); };
+  if (options_->pool != nullptr) {
+    options_->pool->ParallelFor(static_cast<std::size_t>(size()), body);
+  } else {
+    engine::SerialFor(static_cast<std::size_t>(size()), body);
+  }
+}
+
+double WorkerSet::ZYStep(std::size_t i, std::span<const double> W,
+                         std::uint64_t num_contributors) {
+  PSRA_REQUIRE(i < z_.size(), "worker index out of range");
+  solver::FlopCounter flops;
+  solver::ZUpdateConfig zcfg;
+  zcfg.regularizer = solver::Regularizer::kL1;
+  zcfg.lambda = problem_->lambda;
+  zcfg.rho = rho_;
+  zcfg.num_workers = num_contributors;
+  solver::ZUpdate(zcfg, W, z_[i], &flops);
+  solver::YUpdate(rho_, x_[i], z_[i], y_[i], &flops);
+  return flops.flops;
+}
+
+void WorkerSet::SetRho(double rho) {
+  PSRA_REQUIRE(rho > 0.0, "rho must be positive");
+  rho_ = rho;
+}
+
+WorkerSet::Residuals WorkerSet::ComputeResiduals(
+    std::span<const double> z_prev_mean) const {
+  PSRA_REQUIRE(z_prev_mean.size() == dim(), "z_prev dimension mismatch");
+  Residuals res;
+  double primal_sq = 0.0, x_sq = 0.0, y_sq = 0.0;
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    const double di = linalg::DistanceL2(x_[i], z_[i]);
+    primal_sq += di * di;
+    const double xn = linalg::Norm2(x_[i]);
+    x_sq += xn * xn;
+    const double yn = linalg::Norm2(y_[i]);
+    y_sq += yn * yn;
+  }
+  const linalg::DenseVector zbar = MeanZ();
+  const double sqrt_n = std::sqrt(static_cast<double>(x_.size()));
+  res.primal = std::sqrt(primal_sq);
+  res.dual = rho_ * sqrt_n * linalg::DistanceL2(zbar, z_prev_mean);
+  res.x_norm = std::sqrt(x_sq);
+  res.y_norm = std::sqrt(y_sq);
+  res.z_norm = sqrt_n * linalg::Norm2(zbar);
+  return res;
+}
+
+bool WorkerSet::ShouldStop(const StoppingConfig& cfg, const Residuals& res,
+                           std::uint64_t num_workers, std::uint64_t dim) {
+  if (!cfg.enabled) return false;
+  const double scale =
+      std::sqrt(static_cast<double>(num_workers) * static_cast<double>(dim));
+  const double eps_primal =
+      scale * cfg.eps_abs +
+      cfg.eps_rel * std::max(res.x_norm, res.z_norm);
+  const double eps_dual = scale * cfg.eps_abs + cfg.eps_rel * res.y_norm;
+  return res.primal <= eps_primal && res.dual <= eps_dual;
+}
+
+double WorkerSet::MaybeAdaptRho(const AdaptiveRhoConfig& cfg,
+                                const Residuals& res) {
+  if (!cfg.enabled) return rho_;
+  double rho = rho_;
+  if (res.primal > cfg.mu * res.dual) {
+    rho *= cfg.tau;
+  } else if (res.dual > cfg.mu * res.primal) {
+    rho /= cfg.tau;
+  }
+  rho = std::clamp(rho, cfg.rho_min, cfg.rho_max);
+  if (rho != rho_) SetRho(rho);
+  return rho_;
+}
+
+linalg::DenseVector WorkerSet::MeanZ() const {
+  const auto d = static_cast<std::size_t>(dim());
+  linalg::DenseVector out(d, 0.0);
+  for (const auto& z : z_) linalg::Axpy(1.0, z, out);
+  linalg::Scale(1.0 / static_cast<double>(z_.size()), out);
+  return out;
+}
+
+IterationRecord WorkerSet::Evaluate(std::uint64_t iteration,
+                                    const engine::TimeLedger& ledger) const {
+  IterationRecord rec;
+  rec.iteration = iteration;
+  const linalg::DenseVector zbar = MeanZ();
+  rec.objective =
+      solver::GlobalObjective(problem_->train, zbar, problem_->lambda);
+  rec.accuracy = solver::Accuracy(problem_->test, zbar);
+  rec.relative_error = 0.0;  // filled by RunResult::ApplyReference
+  rec.cal_time = ledger.MeanCalTime();
+  rec.comm_time = ledger.MeanCommTime();
+  rec.makespan = ledger.MaxClock();
+  return rec;
+}
+
+}  // namespace psra::admm

@@ -1,0 +1,151 @@
+// Shared machinery for the ADMM algorithm family: cluster/run configuration
+// and the per-worker state (x_i, y_i, w_i, z_i) with the update steps all
+// algorithms share (paper eq. 4, 6, 8, 10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "admm/problem.hpp"
+#include "admm/trace.hpp"
+#include "engine/ledger.hpp"
+#include "engine/thread_pool.hpp"
+#include "simnet/cost_model.hpp"
+#include "simnet/straggler.hpp"
+#include "simnet/topology.hpp"
+#include "solver/logistic.hpp"
+#include "solver/prox.hpp"
+#include "solver/tron.hpp"
+
+namespace psra::admm {
+
+/// The simulated cluster an algorithm runs on.
+struct ClusterConfig {
+  std::uint32_t num_nodes = 1;
+  std::uint32_t workers_per_node = 1;
+  simnet::CostModelConfig cost;
+  /// Injected stragglers (paper Section 5.5); probability 0 disables.
+  simnet::StragglerConfig straggler;
+  /// Natural per-iteration compute-time jitter: each worker's compute charge
+  /// is multiplied by U[1, 1+jitter]. Real clusters always jitter (OS noise,
+  /// cache effects); this is what makes SSP staleness and dynamic grouping
+  /// observable in the simulator. 0 disables.
+  double compute_jitter = 0.05;
+  std::uint64_t seed = 123;
+
+  std::uint32_t world_size() const { return num_nodes * workers_per_node; }
+};
+
+/// Residual-balancing adaptive penalty (Boyd et al. §3.4.1; the paper's
+/// Section 3 cites AADMM for the same problem — ADMM is sensitive to rho).
+/// After each iteration: if ||r|| > mu ||s||, rho *= tau; if ||s|| > mu
+/// ||r||, rho /= tau; clamped to [rho_min, rho_max]. The update is driven by
+/// globally aggregated residual norms, so every worker applies the same rho.
+struct AdaptiveRhoConfig {
+  bool enabled = false;
+  double mu = 10.0;
+  double tau = 2.0;
+  double rho_min = 1e-4;
+  double rho_max = 1e4;
+};
+
+/// Residual-based termination (Boyd et al. §3.3):
+///   ||r|| <= sqrt(N d) eps_abs + eps_rel * max(||x||, sqrt(N)||z||)
+///   ||s|| <= sqrt(N d) eps_abs + eps_rel * ||y||
+/// where r/s are the primal/dual residuals of the consensus problem.
+struct StoppingConfig {
+  bool enabled = false;
+  double eps_abs = 1e-4;
+  double eps_rel = 1e-3;
+};
+
+struct RunOptions {
+  std::uint64_t max_iterations = 100;
+  solver::TronOptions tron;
+  /// Optional host thread pool for the per-worker x-updates (wall-clock
+  /// speed only; virtual time is unaffected).
+  engine::ThreadPool* pool = nullptr;
+  /// Record an IterationRecord every `eval_every` iterations (plus the last).
+  std::uint64_t eval_every = 1;
+  bool record_trace = true;
+  AdaptiveRhoConfig adaptive_rho;
+  StoppingConfig stopping;
+};
+
+/// Deterministic compute-time multiplier combining natural jitter and the
+/// straggler model for (worker, iteration).
+double ComputeMultiplier(const ClusterConfig& cluster,
+                         const simnet::Topology& topo,
+                         const simnet::StragglerModel& stragglers,
+                         simnet::Rank worker, std::uint64_t iteration);
+
+/// Per-worker ADMM state and the local update steps.
+class WorkerSet {
+ public:
+  WorkerSet(const ConsensusProblem* problem, const RunOptions* options);
+
+  std::uint64_t size() const { return problem_->num_workers(); }
+  std::uint64_t dim() const { return problem_->dim(); }
+
+  linalg::DenseVector& x(std::size_t i) { return x_[i]; }
+  linalg::DenseVector& y(std::size_t i) { return y_[i]; }
+  linalg::DenseVector& w(std::size_t i) { return w_[i]; }
+  linalg::DenseVector& z(std::size_t i) { return z_[i]; }
+  const linalg::DenseVector& z(std::size_t i) const { return z_[i]; }
+  const linalg::DenseVector& w(std::size_t i) const { return w_[i]; }
+
+  /// Runs the x-update (TRON on eq. 4) and w computation (eq. 8) for worker
+  /// i against its current z_i/y_i. Returns flops performed.
+  double XWStep(std::size_t i);
+
+  /// Runs XWStep for all workers, optionally on the host pool. flops_out
+  /// must have size() entries.
+  void XWStepAll(std::vector<double>& flops_out);
+
+  /// z-update (eq. 10) + y-update (eq. 6) for worker i from aggregate W
+  /// accumulated over `num_contributors` workers. Returns flops.
+  double ZYStep(std::size_t i, std::span<const double> W,
+                std::uint64_t num_contributors);
+
+  /// Mean of per-worker z (the consensus model used for metrics).
+  linalg::DenseVector MeanZ() const;
+
+  /// Current penalty parameter (problem rho, possibly adapted since).
+  double rho() const { return rho_; }
+  /// Applies a new penalty everywhere (x-subproblems and z/y updates).
+  void SetRho(double rho);
+
+  /// Consensus residual norms after the current iteration:
+  ///   primal  ||r|| = sqrt(sum_i ||x_i - z_i||^2)
+  ///   dual    ||s|| = rho * sqrt(N) * ||z_mean - z_prev_mean||
+  /// plus the norms the stopping criterion scales against.
+  struct Residuals {
+    double primal = 0.0;
+    double dual = 0.0;
+    double x_norm = 0.0;  // sqrt(sum_i ||x_i||^2)
+    double y_norm = 0.0;  // sqrt(sum_i ||y_i||^2)
+    double z_norm = 0.0;  // sqrt(N) * ||z_mean||
+  };
+  Residuals ComputeResiduals(std::span<const double> z_prev_mean) const;
+
+  /// Evaluates the Boyd-style stopping test.
+  static bool ShouldStop(const StoppingConfig& cfg, const Residuals& res,
+                         std::uint64_t num_workers, std::uint64_t dim);
+
+  /// Applies the residual-balancing rho update; returns the new rho.
+  double MaybeAdaptRho(const AdaptiveRhoConfig& cfg, const Residuals& res);
+
+  /// Evaluates objective/accuracy of MeanZ() and the ledger's cumulative
+  /// times into an IterationRecord (not charged to virtual time).
+  IterationRecord Evaluate(std::uint64_t iteration,
+                           const engine::TimeLedger& ledger) const;
+
+ private:
+  const ConsensusProblem* problem_;
+  const RunOptions* options_;
+  double rho_;
+  std::vector<solver::ProximalLogistic> local_;
+  std::vector<linalg::DenseVector> x_, y_, w_, z_;
+};
+
+}  // namespace psra::admm

@@ -1,0 +1,214 @@
+#include "admm/gadmm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <cmath>
+
+#include "solver/metrics.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace psra::admm {
+
+Gadmm::Gadmm(const GadmmConfig& config) : cfg_(config) {
+  PSRA_REQUIRE(config.quantization_bits <= 16,
+               "quantization_bits must be in [0, 16]");
+}
+
+std::string Gadmm::Name() const {
+  if (cfg_.quantization_bits == 0) return "GADMM";
+  return "Q-GADMM(" + std::to_string(cfg_.quantization_bits) + "b)";
+}
+
+namespace {
+
+/// Stochastic uniform quantization of (value - reference) with 2^bits
+/// levels, reconstructed against the reference — both ends derive the same
+/// result, so only the quantized payload crosses the wire.
+void QuantizeDelta(std::span<const double> value, std::span<double> out,
+                   std::span<const double> reference, std::uint32_t bits,
+                   Rng& rng) {
+  const double levels = std::pow(2.0, bits) - 1.0;
+  double radius = 0.0;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    radius = std::max(radius, std::fabs(value[i] - reference[i]));
+  }
+  if (radius == 0.0) {
+    std::copy(value.begin(), value.end(), out.begin());
+    return;
+  }
+  const double step = 2.0 * radius / levels;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    const double delta = value[i] - reference[i];
+    const double scaled = (delta + radius) / step;
+    double lower = std::floor(scaled);
+    // Stochastic rounding: unbiased quantization, as in Q-GADMM.
+    if (rng.NextDouble() < scaled - lower) lower += 1.0;
+    out[i] = reference[i] + lower * step - radius;
+  }
+}
+
+}  // namespace
+
+RunResult Gadmm::Run(const ConsensusProblem& problem,
+                     const RunOptions& options) const {
+  const simnet::Topology topo(cfg_.cluster.num_nodes,
+                              cfg_.cluster.workers_per_node);
+  PSRA_REQUIRE(problem.num_workers() == topo.world_size(),
+               "problem must be partitioned into one shard per worker");
+  const simnet::CostModel cost(cfg_.cluster.cost);
+  const simnet::StragglerModel stragglers(topo, cfg_.cluster.straggler);
+  const auto world = static_cast<std::size_t>(topo.world_size());
+  const auto d = static_cast<std::size_t>(problem.dim());
+  const double rho = problem.rho;
+
+  engine::TimeLedger ledger(world);
+  RunResult result;
+  result.algorithm = Name();
+  Rng rng(cfg_.cluster.seed ^ 0x6ADuLL);
+
+  // Chain state. neighbor_copy[n][side]: worker n's latest copy of
+  // x_{n-1} (side 0) / x_{n+1} (side 1). last_sent[n][side]: the model n's
+  // neighbor on that side last received from n (quantization reference).
+  std::vector<solver::ProximalLogistic> local;
+  local.reserve(world);
+  for (std::size_t n = 0; n < world; ++n) {
+    local.emplace_back(&problem.shards[n], rho);
+  }
+  std::vector<linalg::DenseVector> x(world, linalg::DenseVector(d, 0.0));
+  std::vector<linalg::DenseVector> lambda(world > 1 ? world - 1 : 0,
+                                          linalg::DenseVector(d, 0.0));
+  std::vector<std::array<linalg::DenseVector, 2>> neighbor_copy(
+      world, {linalg::DenseVector(d, 0.0), linalg::DenseVector(d, 0.0)});
+  std::vector<std::array<linalg::DenseVector, 2>> last_sent(
+      world, {linalg::DenseVector(d, 0.0), linalg::DenseVector(d, 0.0)});
+
+  // Wire cost of one model transfer: quantized payloads carry `bits` per
+  // value plus a scale/radius header; unquantized ones are dense doubles.
+  auto transfer_time = [&](std::size_t from, std::size_t to) {
+    const simnet::Link link = topo.LinkBetween(
+        static_cast<simnet::Rank>(from), static_cast<simnet::Rank>(to));
+    if (link == simnet::Link::kLocal) return 0.0;
+    if (cfg_.quantization_bits == 0) {
+      return cost.DenseTransferTime(link, d);
+    }
+    const double bytes =
+        static_cast<double>(d) * cfg_.quantization_bits / 8.0 + 16.0;
+    return cost.LatencyOf(link) + bytes / cost.BandwidthOf(link);
+  };
+
+  // TRON solve of the chain x_n subproblem against current neighbor copies.
+  linalg::DenseVector v(d), center(d);
+  auto update_x = [&](std::size_t n, std::uint64_t iter) {
+    solver::FlopCounter flops;
+    const bool has_left = n > 0, has_right = n + 1 < world;
+    if (has_left && has_right) {
+      for (std::size_t i = 0; i < d; ++i) {
+        center[i] = 0.5 * (neighbor_copy[n][0][i] + neighbor_copy[n][1][i]);
+        v[i] = lambda[n][i] - lambda[n - 1][i];
+      }
+      local[n].SetRho(2.0 * rho);
+    } else if (has_right) {  // head of the chain
+      center = neighbor_copy[n][1];
+      v = lambda[n];
+      local[n].SetRho(rho);
+    } else if (has_left) {  // tail of the chain
+      center = neighbor_copy[n][0];
+      for (std::size_t i = 0; i < d; ++i) v[i] = -lambda[n - 1][i];
+      local[n].SetRho(rho);
+    } else {  // single worker: plain regularized fit around 0
+      linalg::SetZero(center);
+      linalg::SetZero(v);
+      local[n].SetRho(rho);
+    }
+    local[n].SetIterationTerms(v, center);
+    solver::TronMinimize(local[n], x[n], options.tron, &flops);
+    const double mult = ComputeMultiplier(cfg_.cluster, topo, stragglers,
+                                          static_cast<simnet::Rank>(n), iter);
+    ledger.ChargeCompute(n, cost.ComputeTime(flops.flops) * mult);
+  };
+
+  // Worker n pushes its model to neighbor `to`; the receiver's copy and the
+  // quantization reference are updated with the (possibly quantized) value.
+  linalg::DenseVector wire(d);
+  auto push_model = [&](std::size_t n, std::size_t to) {
+    const std::size_t side_sender = to > n ? 1 : 0;  // n's side facing `to`
+    const std::size_t side_receiver = to > n ? 0 : 1;
+    if (cfg_.quantization_bits == 0) {
+      wire = x[n];
+    } else {
+      QuantizeDelta(x[n], wire,
+                    cfg_.quantize_error_feedback ? last_sent[n][side_sender]
+                                                 : linalg::DenseVector(d, 0.0),
+                    cfg_.quantization_bits, rng);
+      last_sent[n][side_sender] = wire;
+    }
+    const simnet::VirtualTime t = transfer_time(n, to);
+    ledger.ChargeComm(n, t);
+    result.elements_sent += d;
+    ++result.messages_sent;
+    neighbor_copy[to][side_receiver] = wire;
+    // Receiver cannot proceed before the arrival.
+    ledger.WaitUntil(to, ledger[n].clock);
+  };
+
+  auto mean_model = [&] {
+    linalg::DenseVector m(d, 0.0);
+    for (const auto& xi : x) linalg::Axpy(1.0, xi, m);
+    linalg::Scale(1.0 / static_cast<double>(world), m);
+    return m;
+  };
+
+  for (std::uint64_t iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations_run = iter;
+
+    // Head group (even chain positions): update then push to neighbors.
+    for (std::size_t n = 0; n < world; n += 2) update_x(n, iter);
+    for (std::size_t n = 0; n < world; n += 2) {
+      if (n > 0) push_model(n, n - 1);
+      if (n + 1 < world) push_model(n, n + 1);
+    }
+    // Tail group (odd positions): update with fresh head models, push back.
+    for (std::size_t n = 1; n < world; n += 2) update_x(n, iter);
+    for (std::size_t n = 1; n < world; n += 2) {
+      push_model(n, n - 1);
+      if (n + 1 < world) push_model(n, n + 1);
+    }
+
+    // Dual ascent on every link (local at both endpoints; we keep one copy).
+    for (std::size_t n = 0; n + 1 < world; ++n) {
+      // Endpoint n uses its own x and its copy of x_{n+1} (just received).
+      for (std::size_t i = 0; i < d; ++i) {
+        lambda[n][i] += rho * (x[n][i] - neighbor_copy[n][1][i]);
+      }
+      ledger.ChargeCompute(n, cost.ComputeTime(3.0 * static_cast<double>(d)));
+    }
+
+    if (options.record_trace &&
+        (iter % options.eval_every == 0 || iter == options.max_iterations)) {
+      IterationRecord rec;
+      rec.iteration = iter;
+      const auto m = mean_model();
+      rec.objective = solver::GlobalObjective(problem.train, m,
+                                              problem.lambda);
+      rec.accuracy = solver::Accuracy(problem.test, m);
+      rec.cal_time = ledger.MeanCalTime();
+      rec.comm_time = ledger.MeanCommTime();
+      rec.makespan = ledger.MaxClock();
+      rec.rho = rho;
+      result.trace.push_back(rec);
+    }
+  }
+
+  result.final_z = mean_model();
+  result.final_objective =
+      solver::GlobalObjective(problem.train, result.final_z, problem.lambda);
+  result.final_accuracy = solver::Accuracy(problem.test, result.final_z);
+  result.total_cal_time = ledger.MeanCalTime();
+  result.total_comm_time = ledger.MeanCommTime();
+  result.makespan = ledger.MaxClock();
+  return result;
+}
+
+}  // namespace psra::admm

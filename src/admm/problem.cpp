@@ -1,0 +1,36 @@
+#include "admm/problem.hpp"
+
+#include "support/status.hpp"
+
+namespace psra::admm {
+
+ConsensusProblem BuildProblemFromData(std::string name, data::Dataset train,
+                                      data::Dataset test,
+                                      std::uint64_t num_workers, double lambda,
+                                      double rho,
+                                      data::PartitionScheme scheme) {
+  PSRA_REQUIRE(num_workers >= 1, "need at least one worker");
+  PSRA_REQUIRE(train.num_samples() >= num_workers,
+               "fewer training samples than workers");
+  PSRA_REQUIRE(train.num_features() == test.num_features(),
+               "train/test feature spaces differ");
+  ConsensusProblem p;
+  p.name = std::move(name);
+  p.shards = data::Partition(train, num_workers, scheme);
+  p.train = std::move(train);
+  p.test = std::move(test);
+  p.lambda = lambda;
+  p.rho = rho;
+  return p;
+}
+
+ConsensusProblem BuildProblem(const data::SyntheticSpec& spec,
+                              std::uint64_t num_workers, double lambda,
+                              double rho, data::PartitionScheme scheme) {
+  auto generated = data::GenerateSynthetic(spec);
+  return BuildProblemFromData(spec.name, std::move(generated.train),
+                              std::move(generated.test), num_workers, lambda,
+                              rho, scheme);
+}
+
+}  // namespace psra::admm

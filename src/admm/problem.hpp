@@ -1,0 +1,46 @@
+// The distributed consensus problem instance shared by every algorithm:
+// an L1-regularized logistic regression (paper eq. 17) whose training set is
+// partitioned across workers (paper eq. 1/2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+
+namespace psra::admm {
+
+struct ConsensusProblem {
+  std::string name;
+  /// Full training set (metrics: global objective, eq. 17).
+  data::Dataset train;
+  /// Held-out test set (metrics: accuracy).
+  data::Dataset test;
+  /// One shard per worker (disjoint cover of `train`).
+  std::vector<data::Dataset> shards;
+
+  double lambda = 1.0;
+  double rho = 1.0;
+
+  std::uint64_t dim() const { return train.num_features(); }
+  std::uint64_t num_workers() const { return shards.size(); }
+};
+
+/// Generates a synthetic dataset from `spec` and partitions it across
+/// `num_workers` workers.
+ConsensusProblem BuildProblem(
+    const data::SyntheticSpec& spec, std::uint64_t num_workers,
+    double lambda = 1.0, double rho = 1.0,
+    data::PartitionScheme scheme = data::PartitionScheme::kStriped);
+
+/// Partitions already-loaded data (e.g. real LIBSVM files) across workers.
+ConsensusProblem BuildProblemFromData(
+    std::string name, data::Dataset train, data::Dataset test,
+    std::uint64_t num_workers, double lambda = 1.0, double rho = 1.0,
+    data::PartitionScheme scheme = data::PartitionScheme::kStriped);
+
+}  // namespace psra::admm

@@ -1,0 +1,337 @@
+#include "admm/psra_hgadmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/intranode.hpp"
+#include "linalg/sparse_vector.hpp"
+#include "solver/metrics.hpp"
+#include "support/status.hpp"
+#include "wlg/group_generator.hpp"
+
+namespace psra::admm {
+
+std::string GroupingModeName(GroupingMode mode) {
+  switch (mode) {
+    case GroupingMode::kFlat: return "flat";
+    case GroupingMode::kHierarchical: return "hierarchical";
+    case GroupingMode::kDynamicGroups: return "dynamic";
+  }
+  return "?";
+}
+
+PsraHgAdmm::PsraHgAdmm(const PsraConfig& config) : cfg_(config) {
+  PSRA_REQUIRE(config.cluster.num_nodes >= 1 &&
+                   config.cluster.workers_per_node >= 1,
+               "empty cluster");
+}
+
+std::string PsraHgAdmm::Name() const {
+  const auto alg = MakeAllreduce(cfg_.allreduce)->Name();
+  switch (cfg_.grouping) {
+    case GroupingMode::kFlat: return "PSRA-ADMM(" + alg + ")";
+    case GroupingMode::kHierarchical: return "HGADMM-nogroup(" + alg + ")";
+    case GroupingMode::kDynamicGroups: return "PSRA-HGADMM(" + alg + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Runs one inter-node allreduce over `w_inputs` (one dense vector per group
+/// member) and returns the dense sum plus per-member finish times.
+struct InterResult {
+  linalg::DenseVector sum;
+  std::vector<simnet::VirtualTime> finish;
+  std::size_t elements = 0;
+  std::size_t messages = 0;
+  std::size_t result_nnz = 0;
+};
+
+InterResult RunInterAllreduce(const comm::GroupComm& group,
+                              const comm::AllreduceAlgorithm& alg,
+                              bool sparse_comm,
+                              std::span<const linalg::DenseVector> w_inputs,
+                              std::span<const simnet::VirtualTime> starts) {
+  InterResult out;
+  if (sparse_comm) {
+    std::vector<linalg::SparseVector> sv;
+    sv.reserve(w_inputs.size());
+    for (const auto& w : w_inputs) {
+      sv.push_back(linalg::SparseVector::FromDense(w));
+    }
+    auto res = alg.RunSparse(group, sv, starts);
+    out.sum = res.outputs[0].ToDense();
+    out.result_nnz = res.outputs[0].nnz();
+    out.finish = std::move(res.stats.finish_times);
+    out.elements = res.stats.elements_sent;
+    out.messages = res.stats.messages_sent;
+  } else {
+    auto res = alg.RunDense(group, w_inputs, starts);
+    out.sum = std::move(res.outputs[0]);
+    out.result_nnz = out.sum.size();
+    out.finish = std::move(res.stats.finish_times);
+    out.elements = res.stats.elements_sent;
+    out.messages = res.stats.messages_sent;
+  }
+  return out;
+}
+
+}  // namespace
+
+RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
+                          const RunOptions& options) const {
+  const simnet::Topology topo(cfg_.cluster.num_nodes,
+                              cfg_.cluster.workers_per_node);
+  PSRA_REQUIRE(problem.num_workers() == topo.world_size(),
+               "problem must be partitioned into one shard per worker");
+  const simnet::CostModel cost(cfg_.cluster.cost);
+  const simnet::StragglerModel stragglers(topo, cfg_.cluster.straggler);
+
+  const auto world = static_cast<std::size_t>(topo.world_size());
+  const auto nodes = cfg_.cluster.num_nodes;
+  const std::uint32_t threshold =
+      cfg_.group_threshold != 0 ? cfg_.group_threshold
+                                : std::max<std::uint32_t>(1, nodes / 2);
+
+  WorkerSet ws(&problem, &options);
+  engine::TimeLedger ledger(world);
+  const auto alg = MakeAllreduce(cfg_.allreduce);
+
+  RunResult result;
+  result.algorithm = Name();
+
+  // Per-node structures: member ranks, leader, intra-node communicator.
+  std::vector<std::vector<simnet::Rank>> node_ranks(nodes);
+  std::vector<simnet::Rank> leaders(nodes);
+  std::vector<comm::GroupComm> intra;
+  intra.reserve(nodes);
+  for (simnet::NodeId n = 0; n < nodes; ++n) {
+    node_ranks[n] = topo.RanksOnNode(n);
+    leaders[n] = wlg::ElectLeader(topo, node_ranks[n], cfg_.leader_policy,
+                                  cfg_.cluster.seed);
+    intra.emplace_back(&topo, &cost, node_ranks[n]);
+  }
+  // Inter-node transfers optionally run in mixed precision: fp32 values on
+  // the wire (4 bytes) instead of fp64.
+  simnet::CostModelConfig inter_cost_cfg = cfg_.cluster.cost;
+  if (cfg_.mixed_precision) inter_cost_cfg.value_bytes = 4;
+  const simnet::CostModel cost_inter(inter_cost_cfg);
+
+  wlg::GroupGenerator gg(threshold, nodes);
+  const simnet::VirtualTime request_cost =
+      cost.LatencyOf(simnet::Link::kInterNode) +
+      static_cast<double>(cfg_.request_bytes) /
+          cost.BandwidthOf(simnet::Link::kInterNode) +
+      cfg_.gg_service_time_s;
+
+  std::vector<double> flops(world, 0.0);
+  linalg::DenseVector z_prev_mean(static_cast<std::size_t>(problem.dim()),
+                                  0.0);
+
+  // Communication censoring (COLA-ADMM style): senders ship deltas against
+  // their last transmission and skip negligible ones; every participant
+  // folds the aggregated deltas into a shared running sum.
+  const bool censoring = cfg_.censor_threshold > 0.0;
+  PSRA_REQUIRE(!censoring || cfg_.grouping != GroupingMode::kDynamicGroups,
+               "censoring requires fixed membership (kFlat/kHierarchical)");
+  const std::size_t num_senders =
+      cfg_.grouping == GroupingMode::kFlat ? world : nodes;
+  const auto d_sz = static_cast<std::size_t>(problem.dim());
+  std::vector<linalg::DenseVector> last_sent;
+  linalg::DenseVector W_running;
+  if (censoring) {
+    last_sent.assign(num_senders, linalg::DenseVector(d_sz, 0.0));
+    W_running.assign(d_sz, 0.0);
+  }
+  // Replaces the sender's raw aggregate with its delta (or zero when
+  // censored) and reports whether it was censored.
+  linalg::DenseVector censor_scratch;
+  auto apply_censoring = [&](std::size_t sender, std::uint64_t iter,
+                             linalg::DenseVector& value) {
+    linalg::Subtract(value, last_sent[sender], censor_scratch);
+    const double tau = cfg_.censor_threshold *
+                       std::pow(cfg_.censor_decay, static_cast<double>(iter));
+    if (linalg::Norm2(censor_scratch) < tau) {
+      linalg::SetZero(censor_scratch);
+      value = censor_scratch;
+      ++result.censored_sends;
+      return;
+    }
+    last_sent[sender] = value;
+    value = censor_scratch;
+  };
+
+  for (std::uint64_t iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations_run = iter;
+    // ---- x / w updates (parallel local computation, paper Alg. 1) --------
+    ws.XWStepAll(flops);
+    for (std::size_t i = 0; i < world; ++i) {
+      const double mult = ComputeMultiplier(
+          cfg_.cluster, topo, stragglers, static_cast<simnet::Rank>(i), iter);
+      ledger.ChargeCompute(i, cost.ComputeTime(flops[i]) * mult);
+    }
+
+    if (cfg_.grouping == GroupingMode::kFlat) {
+      // ---- PSRA-ADMM: one global allreduce over all workers --------------
+      std::vector<simnet::Rank> everyone(world);
+      for (std::size_t i = 0; i < world; ++i) {
+        everyone[i] = static_cast<simnet::Rank>(i);
+      }
+      const comm::GroupComm global(&topo, &cost_inter, everyone);
+      std::vector<linalg::DenseVector> inputs(world);
+      std::vector<simnet::VirtualTime> starts(world);
+      for (std::size_t i = 0; i < world; ++i) {
+        inputs[i] = ws.w(i);
+        if (cfg_.mixed_precision) linalg::RoundToFloat(inputs[i]);
+        if (censoring) apply_censoring(i, iter, inputs[i]);
+        starts[i] = ledger[i].clock;
+      }
+      auto res = RunInterAllreduce(global, *alg, cfg_.sparse_comm, inputs,
+                                   starts);
+      result.elements_sent += res.elements;
+      result.messages_sent += res.messages;
+      if (censoring) {
+        linalg::Axpy(1.0, res.sum, W_running);
+        res.sum = W_running;
+      }
+      for (std::size_t i = 0; i < world; ++i) {
+        ledger.WaitUntil(i, res.finish[i]);
+        const double zf = ws.ZYStep(i, res.sum, world);
+        ledger.ChargeCompute(i, cost.ComputeTime(zf));
+      }
+    } else {
+      // ---- Hierarchical: intra-node reduce to the Leader ------------------
+      std::vector<linalg::DenseVector> node_sum(nodes);
+      std::vector<simnet::VirtualTime> leader_ready(nodes);
+      for (simnet::NodeId n = 0; n < nodes; ++n) {
+        const auto& members = node_ranks[n];
+        const comm::GroupRank leader_g = intra[n].LocalRank(leaders[n]);
+        std::vector<linalg::DenseVector> inputs(members.size());
+        std::vector<simnet::VirtualTime> starts(members.size());
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          inputs[m] = ws.w(members[m]);
+          starts[m] = ledger[members[m]].clock;
+        }
+        auto red = comm::ReduceToLeader(intra[n], leader_g, inputs, starts);
+        result.elements_sent += red.elements_sent;
+        result.messages_sent += red.messages_sent;
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          ledger.WaitUntil(members[m], red.finish_times[m]);
+        }
+        ledger.WaitUntil(leaders[n], red.leader_ready);
+        node_sum[n] = std::move(red.value);
+        if (censoring) apply_censoring(n, iter, node_sum[n]);
+        leader_ready[n] = ledger[leaders[n]].clock;
+      }
+
+      // ---- Group formation -------------------------------------------------
+      // Each formed group is (members, start time of its allreduce).
+      std::vector<std::pair<std::vector<simnet::NodeId>, simnet::VirtualTime>>
+          groups;
+      if (cfg_.grouping == GroupingMode::kHierarchical) {
+        simnet::VirtualTime all_ready = 0.0;
+        std::vector<simnet::NodeId> all(nodes);
+        for (simnet::NodeId n = 0; n < nodes; ++n) {
+          all[n] = n;
+          all_ready = std::max(all_ready, leader_ready[n]);
+        }
+        groups.emplace_back(std::move(all), all_ready);
+      } else {
+        // Leaders report to the GG (one small message each, paper Alg. 3).
+        std::vector<simnet::VirtualTime> report(nodes);
+        for (simnet::NodeId n = 0; n < nodes; ++n) {
+          ledger.ChargeComm(leaders[n], request_cost);
+          ++result.messages_sent;
+          report[n] = ledger[leaders[n]].clock;
+        }
+        for (auto& g : wlg::RunGroupingCycle(gg, report)) {
+          // GG notifies the group members (one message back per leader).
+          const simnet::VirtualTime start = g.formed_at + request_cost;
+          result.messages_sent += g.members.size();
+          groups.emplace_back(std::move(g.members), start);
+        }
+      }
+
+      // ---- Inter-node allreduce within each group + intra broadcast --------
+      for (const auto& [members, start] : groups) {
+        std::vector<simnet::Rank> group_leaders;
+        std::vector<linalg::DenseVector> inputs;
+        std::vector<simnet::VirtualTime> starts;
+        std::uint64_t contributors = 0;
+        for (simnet::NodeId n : members) {
+          group_leaders.push_back(leaders[n]);
+          inputs.push_back(node_sum[n]);
+          if (cfg_.mixed_precision) linalg::RoundToFloat(inputs.back());
+          starts.push_back(std::max(start, ledger[leaders[n]].clock));
+          contributors += node_ranks[n].size();
+        }
+        const comm::GroupComm inter(&topo, &cost_inter, group_leaders);
+        auto res =
+            RunInterAllreduce(inter, *alg, cfg_.sparse_comm, inputs, starts);
+        result.elements_sent += res.elements;
+        result.messages_sent += res.messages;
+        if (censoring) {  // fixed membership: fold deltas into the run sum
+          linalg::Axpy(1.0, res.sum, W_running);
+          res.sum = W_running;
+        }
+
+        for (std::size_t gi = 0; gi < members.size(); ++gi) {
+          const simnet::NodeId n = members[gi];
+          ledger.WaitUntil(leaders[n], res.finish[gi]);
+
+          // Leader broadcasts W to its node (paper Alg. 1 step 11).
+          const comm::GroupRank leader_g = intra[n].LocalRank(leaders[n]);
+          const std::size_t elems =
+              cfg_.sparse_comm ? res.result_nnz
+                               : static_cast<std::size_t>(problem.dim());
+          auto bc = comm::BroadcastFromLeader(intra[n], leader_g, elems,
+                                              ledger[leaders[n]].clock);
+          result.elements_sent += bc.elements_sent;
+          result.messages_sent += bc.messages_sent;
+          for (std::size_t m = 0; m < node_ranks[n].size(); ++m) {
+            const simnet::Rank r = node_ranks[n][m];
+            ledger.WaitUntil(r, bc.finish_times[m]);
+            const double zf = ws.ZYStep(r, res.sum, contributors);
+            ledger.ChargeCompute(r, cost.ComputeTime(zf));
+          }
+        }
+      }
+    }
+
+    // ---- Residuals, adaptive penalty, stopping ---------------------------
+    // Residual norms piggyback on the existing aggregation traffic (two
+    // scalars), so no extra virtual time is charged.
+    const WorkerSet::Residuals residuals = ws.ComputeResiduals(z_prev_mean);
+    z_prev_mean = ws.MeanZ();
+    const double rho_now = ws.MaybeAdaptRho(options.adaptive_rho, residuals);
+
+    // ---- Metrics ----------------------------------------------------------
+    if (options.record_trace &&
+        (iter % options.eval_every == 0 || iter == options.max_iterations)) {
+      IterationRecord rec = ws.Evaluate(iter, ledger);
+      rec.primal_residual = residuals.primal;
+      rec.dual_residual = residuals.dual;
+      rec.rho = rho_now;
+      result.trace.push_back(rec);
+    }
+
+    if (iter > 1 && WorkerSet::ShouldStop(options.stopping, residuals,
+                                          problem.num_workers(),
+                                          problem.dim())) {
+      result.stopped_early = true;
+      break;
+    }
+  }
+
+  result.final_z = ws.MeanZ();
+  result.final_objective =
+      solver::GlobalObjective(problem.train, result.final_z, problem.lambda);
+  result.final_accuracy = solver::Accuracy(problem.test, result.final_z);
+  result.total_cal_time = ledger.MeanCalTime();
+  result.total_comm_time = ledger.MeanCommTime();
+  result.makespan = ledger.MaxClock();
+  return result;
+}
+
+}  // namespace psra::admm

@@ -1,0 +1,40 @@
+#include "admm/reference.hpp"
+
+#include <algorithm>
+
+#include "linalg/dense_ops.hpp"
+#include "solver/logistic.hpp"
+#include "solver/metrics.hpp"
+#include "solver/prox.hpp"
+#include "support/status.hpp"
+
+namespace psra::admm {
+
+double ReferenceMinimum(const data::Dataset& train, double lambda,
+                        const ReferenceOptions& options) {
+  PSRA_REQUIRE(lambda >= 0.0, "lambda must be non-negative");
+  PSRA_REQUIRE(options.rho > 0.0, "rho must be positive");
+  const auto d = static_cast<std::size_t>(train.num_features());
+
+  solver::ProximalLogistic local(&train, options.rho);
+  linalg::DenseVector x(d, 0.0), y(d, 0.0), w(d, 0.0), z(d, 0.0);
+
+  solver::ZUpdateConfig zcfg;
+  zcfg.regularizer = solver::Regularizer::kL1;
+  zcfg.lambda = lambda;
+  zcfg.rho = options.rho;
+  zcfg.num_workers = 1;
+
+  double best = solver::GlobalObjective(train, z, lambda);
+  for (std::uint64_t k = 0; k < options.iterations; ++k) {
+    local.SetIterationTerms(y, z);
+    solver::TronMinimize(local, x, options.tron);
+    solver::WLocal(options.rho, x, y, w);
+    solver::ZUpdate(zcfg, w, z);
+    solver::YUpdate(options.rho, x, z, y);
+    best = std::min(best, solver::GlobalObjective(train, z, lambda));
+  }
+  return best;
+}
+
+}  // namespace psra::admm

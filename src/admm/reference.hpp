@@ -1,0 +1,26 @@
+// Reference minimum f for the relative-error metric (paper eq. 18).
+//
+// The paper measures |f* - f| / f against the best attainable objective.
+// We obtain f by running the consensus ADMM with a single worker (so the
+// x-subproblem sees the whole training set and z is an exact proximal step)
+// for many iterations, and taking the smallest objective seen.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "solver/tron.hpp"
+
+namespace psra::admm {
+
+struct ReferenceOptions {
+  std::uint64_t iterations = 300;
+  double rho = 1.0;
+  solver::TronOptions tron;
+};
+
+/// Best objective value of eq. 17 found for (train, lambda).
+double ReferenceMinimum(const data::Dataset& train, double lambda,
+                        const ReferenceOptions& options = {});
+
+}  // namespace psra::admm

@@ -1,0 +1,26 @@
+// Uniform entry point for running any of the implemented algorithms by
+// name — the benches and examples drive everything through this.
+//
+// Names: "psra-hgadmm" (full system), "psra-admm" (flat, no hierarchy),
+// "hgadmm-nogroup" (hierarchy without dynamic grouping), "admmlib",
+// "ad-admm". "psra-hgadmm-ring" / "psra-hgadmm-naive" select the allreduce
+// ablation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "admm/common.hpp"
+
+namespace psra::admm {
+
+/// All registered algorithm names (canonical spellings).
+std::vector<std::string> AlgorithmNames();
+
+/// Runs `name` on `problem` over `cluster`. Throws psra::InvalidArgument for
+/// unknown names.
+RunResult RunAlgorithm(const std::string& name, const ClusterConfig& cluster,
+                       const ConsensusProblem& problem,
+                       const RunOptions& options);
+
+}  // namespace psra::admm

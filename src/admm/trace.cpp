@@ -1,0 +1,34 @@
+#include "admm/trace.hpp"
+
+#include <ostream>
+
+#include "solver/metrics.hpp"
+#include "support/status.hpp"
+#include "support/string_util.hpp"
+
+namespace psra::admm {
+
+void RunResult::ApplyReference(double f_min) {
+  PSRA_REQUIRE(f_min > 0.0, "reference objective must be positive");
+  for (auto& rec : trace) {
+    rec.relative_error = solver::RelativeError(rec.objective, f_min);
+  }
+}
+
+void RunResult::WriteTraceCsv(std::ostream& os) const {
+  os << "algorithm,iteration,objective,relative_error,accuracy,cal_time,"
+        "comm_time,makespan,primal_residual,dual_residual,rho\n";
+  for (const auto& r : trace) {
+    os << algorithm << ',' << r.iteration << ','
+       << FormatDouble(r.objective, 12) << ','
+       << FormatDouble(r.relative_error, 9) << ','
+       << FormatDouble(r.accuracy, 9) << ',' << FormatDouble(r.cal_time, 9)
+       << ',' << FormatDouble(r.comm_time, 9) << ','
+       << FormatDouble(r.makespan, 9) << ','
+       << FormatDouble(r.primal_residual, 9) << ','
+       << FormatDouble(r.dual_residual, 9) << ',' << FormatDouble(r.rho, 9)
+       << '\n';
+  }
+}
+
+}  // namespace psra::admm

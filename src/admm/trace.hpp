@@ -1,0 +1,67 @@
+// Per-iteration records and the overall run result every algorithm returns.
+// These carry exactly the series the paper's figures plot.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "linalg/dense_ops.hpp"
+#include "simnet/cost_model.hpp"
+
+namespace psra::admm {
+
+struct IterationRecord {
+  std::uint64_t iteration = 0;  // 1-based (matches the paper's x axes)
+  /// Global objective F(z) on the full training set (eq. 17).
+  double objective = 0.0;
+  /// |f* - f| / f against the run's reference minimum (eq. 18); NaN until a
+  /// reference is known.
+  double relative_error = 0.0;
+  /// Test accuracy of the consensus model.
+  double accuracy = 0.0;
+  /// Cumulative mean Cal_time / Comm_time across workers (Fig. 6/7 y-axis).
+  simnet::VirtualTime cal_time = 0.0;
+  simnet::VirtualTime comm_time = 0.0;
+  /// Virtual makespan so far (max worker clock).
+  simnet::VirtualTime makespan = 0.0;
+  /// Consensus residual norms (0 when the algorithm does not track them).
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  /// Penalty parameter in effect during this iteration.
+  double rho = 0.0;
+};
+
+struct RunResult {
+  std::string algorithm;
+  std::vector<IterationRecord> trace;
+  /// Consensus model after the last iteration (mean of per-worker z).
+  linalg::DenseVector final_z;
+  /// True when the residual-based stopping test ended the run before
+  /// max_iterations.
+  bool stopped_early = false;
+  std::uint64_t iterations_run = 0;
+
+  double final_objective = 0.0;
+  double final_accuracy = 0.0;
+  simnet::VirtualTime total_cal_time = 0.0;   // mean across workers
+  simnet::VirtualTime total_comm_time = 0.0;  // mean across workers
+  simnet::VirtualTime makespan = 0.0;
+  std::size_t elements_sent = 0;
+  std::size_t messages_sent = 0;
+  /// Transmissions suppressed by communication censoring (0 unless enabled).
+  std::size_t censored_sends = 0;
+
+  simnet::VirtualTime SystemTime() const {
+    return total_cal_time + total_comm_time;
+  }
+
+  /// Recomputes relative_error for every record against `f_min` (eq. 18).
+  void ApplyReference(double f_min);
+
+  /// Writes the trace as CSV (one row per record) for external plotting.
+  void WriteTraceCsv(std::ostream& os) const;
+};
+
+}  // namespace psra::admm

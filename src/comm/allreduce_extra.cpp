@@ -1,0 +1,292 @@
+// Additional allreduce baselines: recursive halving-doubling and binomial
+// tree. Not part of the paper's evaluation — they widen the collective
+// comparison in bench_allreduce_cost and give API users the standard MPI
+// menu.
+#include <algorithm>
+#include <bit>
+
+#include "comm/allreduce_impl.hpp"
+#include "support/status.hpp"
+
+namespace psra::comm {
+
+namespace {
+
+// Payload abstraction shared by both algorithms. A "value" is the rank's
+// full working vector; Size prices a sub-range crossing a link.
+struct DenseOps {
+  using Value = linalg::DenseVector;
+  static std::size_t SizeInRange(const Value& v, std::uint64_t lo,
+                                 std::uint64_t hi) {
+    (void)v;
+    return static_cast<std::size_t>(hi - lo);
+  }
+  static std::size_t SizeAll(const Value& v) { return v.size(); }
+  /// dst[lo,hi) += src[lo,hi)
+  static void ReduceRange(Value& dst, const Value& src, std::uint64_t lo,
+                          std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      dst[static_cast<std::size_t>(i)] += src[static_cast<std::size_t>(i)];
+    }
+  }
+  static void ReduceAll(Value& dst, const Value& src) {
+    linalg::Axpy(1.0, src, dst);
+  }
+  /// dst[lo,hi) = src[lo,hi)
+  static void CopyRange(Value& dst, const Value& src, std::uint64_t lo,
+                        std::uint64_t hi) {
+    std::copy(src.begin() + static_cast<std::ptrdiff_t>(lo),
+              src.begin() + static_cast<std::ptrdiff_t>(hi),
+              dst.begin() + static_cast<std::ptrdiff_t>(lo));
+  }
+};
+
+struct SparseOps {
+  using Value = linalg::SparseVector;
+  static std::size_t SizeInRange(const Value& v, std::uint64_t lo,
+                                 std::uint64_t hi) {
+    return v.CountInRange(lo, hi);
+  }
+  static std::size_t SizeAll(const Value& v) { return v.nnz(); }
+  static void ReduceRange(Value& dst, const Value& src, std::uint64_t lo,
+                          std::uint64_t hi) {
+    dst = linalg::SparseVector::Sum(dst, src.Slice(lo, hi));
+  }
+  static void ReduceAll(Value& dst, const Value& src) {
+    dst = linalg::SparseVector::Sum(dst, src);
+  }
+  static void CopyRange(Value& dst, const Value& src, std::uint64_t lo,
+                        std::uint64_t hi) {
+    // Replace dst's [lo,hi) content with src's.
+    Value outside_low = dst.Slice(0, lo);
+    Value outside_high = dst.Slice(hi, dst.dim());
+    Value inside = src.Slice(lo, hi);
+    std::vector<Value> parts;
+    parts.push_back(std::move(outside_low));
+    parts.push_back(std::move(inside));
+    parts.push_back(std::move(outside_high));
+    dst = linalg::SparseVector::ConcatDisjoint(parts);
+  }
+};
+
+template <typename Ops, typename Result>
+Result RunRhd(const GroupComm& group,
+              std::span<const typename Ops::Value> inputs,
+              std::span<const simnet::VirtualTime> starts, std::uint64_t dim,
+              bool sparse) {
+  const auto& cm = group.cost_model();
+  const GroupRank n = group.size();
+  using Value = typename Ops::Value;
+
+  std::vector<Value> value(inputs.begin(), inputs.end());
+  std::vector<simnet::VirtualTime> t(starts.begin(), starts.end());
+  Result out;
+  out.stats.finish_times.assign(n, 0.0);
+
+  auto send = [&](GroupRank from, GroupRank to, std::size_t elems) {
+    const simnet::Link link = group.LinkBetween(from, to);
+    const simnet::VirtualTime cost = sparse
+                                         ? cm.SparseTransferTime(link, elems)
+                                         : cm.DenseTransferTime(link, elems);
+    out.stats.elements_sent += elems;
+    ++out.stats.messages_sent;
+    out.stats.total_send_time += cost;
+    return cost;
+  };
+
+  if (n == 1) {
+    out.outputs.assign(1, value[0]);
+    out.stats.finish_times[0] = starts[0];
+    out.stats.all_done = starts[0];
+    out.stats.scatter_reduce_done = starts[0];
+    return out;
+  }
+
+  // Fold remainder ranks into partners so the core runs on 2^m ranks.
+  const GroupRank m = static_cast<GroupRank>(std::bit_floor(n));
+  const GroupRank rem = n - m;
+  // Ranks [0, 2*rem) pair up: odd sends everything to even, which becomes an
+  // active rank; ranks >= 2*rem are active as-is.
+  for (GroupRank p = 0; p < rem; ++p) {
+    const GroupRank src = 2 * p + 1, dst = 2 * p;
+    const simnet::VirtualTime cost = send(src, dst, Ops::SizeAll(value[src]));
+    const simnet::VirtualTime arrive = t[src] + cost;
+    t[src] = arrive;
+    t[dst] = std::max(t[dst], arrive);
+    Ops::ReduceAll(value[dst], value[src]);
+  }
+  auto active_of = [&](GroupRank a) {  // active index -> group rank
+    return a < rem ? static_cast<GroupRank>(2 * a)
+                   : static_cast<GroupRank>(a + rem);
+  };
+
+  // Recursive halving reduce-scatter over the m active ranks. Active rank a
+  // owns range [lo[a], hi[a]).
+  std::vector<std::uint64_t> lo(m, 0), hi(m, dim);
+  for (GroupRank bit = 1; bit < m; bit <<= 1) {
+    // Exchange with the partner differing in this bit.
+    std::vector<simnet::VirtualTime> arrive(m);
+    std::vector<Value> snapshot(m);
+    for (GroupRank a = 0; a < m; ++a) snapshot[a] = value[active_of(a)];
+    for (GroupRank a = 0; a < m; ++a) {
+      const GroupRank b = a ^ bit;
+      const std::uint64_t mid = (lo[a] + hi[a]) / 2;
+      // Lower active index keeps the lower half.
+      const bool keep_low = (a & bit) == 0;
+      const std::uint64_t send_lo = keep_low ? mid : lo[a];
+      const std::uint64_t send_hi = keep_low ? hi[a] : mid;
+      const GroupRank ga = active_of(a), gb = active_of(b);
+      const simnet::VirtualTime cost =
+          send(ga, gb, Ops::SizeInRange(snapshot[a], send_lo, send_hi));
+      arrive[b] = t[ga] + cost;  // b receives a's half
+      if (keep_low) {
+        hi[a] = mid;
+      } else {
+        lo[a] = mid;
+      }
+    }
+    for (GroupRank a = 0; a < m; ++a) {
+      const GroupRank b = a ^ bit;
+      Ops::ReduceRange(value[active_of(a)], snapshot[b], lo[a], hi[a]);
+      t[active_of(a)] = std::max(t[active_of(a)], arrive[a]);
+    }
+  }
+  out.stats.scatter_reduce_done = *std::max_element(t.begin(), t.end());
+
+  // Recursive doubling allgather: exchange owned ranges, growing them.
+  for (GroupRank bit = m >> 1; bit >= 1; bit >>= 1) {
+    std::vector<simnet::VirtualTime> arrive(m);
+    std::vector<Value> snapshot(m);
+    for (GroupRank a = 0; a < m; ++a) snapshot[a] = value[active_of(a)];
+    std::vector<std::uint64_t> new_lo(lo), new_hi(hi);
+    for (GroupRank a = 0; a < m; ++a) {
+      const GroupRank b = a ^ bit;
+      const GroupRank ga = active_of(a), gb = active_of(b);
+      const simnet::VirtualTime cost =
+          send(ga, gb, Ops::SizeInRange(snapshot[a], lo[a], hi[a]));
+      arrive[b] = t[ga] + cost;
+      new_lo[a] = std::min(lo[a], lo[b]);
+      new_hi[a] = std::max(hi[a], hi[b]);
+    }
+    const std::vector<std::uint64_t> old_lo(lo), old_hi(hi);
+    for (GroupRank a = 0; a < m; ++a) {
+      const GroupRank b = a ^ bit;
+      Ops::CopyRange(value[active_of(a)], snapshot[b], old_lo[b], old_hi[b]);
+      lo[a] = new_lo[a];
+      hi[a] = new_hi[a];
+      t[active_of(a)] = std::max(t[active_of(a)], arrive[a]);
+    }
+  }
+
+  // Unfold: each folded rank receives the full result from its partner.
+  for (GroupRank p = 0; p < rem; ++p) {
+    const GroupRank src = 2 * p, dst = 2 * p + 1;
+    const simnet::VirtualTime cost = send(src, dst, Ops::SizeAll(value[src]));
+    t[dst] = std::max(t[dst], t[src] + cost);
+    value[dst] = value[src];
+  }
+
+  out.outputs = std::move(value);
+  out.stats.finish_times = std::move(t);
+  out.stats.all_done = *std::max_element(out.stats.finish_times.begin(),
+                                         out.stats.finish_times.end());
+  return out;
+}
+
+template <typename Ops, typename Result>
+Result RunTree(const GroupComm& group,
+               std::span<const typename Ops::Value> inputs,
+               std::span<const simnet::VirtualTime> starts, bool sparse) {
+  const auto& cm = group.cost_model();
+  const GroupRank n = group.size();
+  using Value = typename Ops::Value;
+
+  std::vector<Value> value(inputs.begin(), inputs.end());
+  std::vector<simnet::VirtualTime> t(starts.begin(), starts.end());
+  Result out;
+  out.stats.finish_times.assign(n, 0.0);
+
+  auto send = [&](GroupRank from, GroupRank to, std::size_t elems) {
+    const simnet::Link link = group.LinkBetween(from, to);
+    const simnet::VirtualTime cost = sparse
+                                         ? cm.SparseTransferTime(link, elems)
+                                         : cm.DenseTransferTime(link, elems);
+    out.stats.elements_sent += elems;
+    ++out.stats.messages_sent;
+    out.stats.total_send_time += cost;
+    return cost;
+  };
+
+  // Binomial reduce toward group rank 0.
+  for (GroupRank bit = 1; bit < n; bit <<= 1) {
+    for (GroupRank r = 0; r < n; ++r) {
+      if ((r & bit) != 0 && (r & (bit - 1)) == 0) {
+        const GroupRank dst = r - bit;
+        const simnet::VirtualTime cost = send(r, dst, Ops::SizeAll(value[r]));
+        t[r] += cost;
+        t[dst] = std::max(t[dst], t[r]);
+        Ops::ReduceAll(value[dst], value[r]);
+      }
+    }
+  }
+  out.stats.scatter_reduce_done = t[0];
+
+  // Binomial broadcast of the full result from rank 0: at stage `bit`,
+  // every rank that already holds the result (rank divisible by 2*bit)
+  // forwards it `bit` ranks to the right.
+  GroupRank top = 1;
+  while (top < n) top <<= 1;
+  for (GroupRank bit = top >> 1; bit >= 1; bit >>= 1) {
+    for (GroupRank r = 0; r + bit < n; ++r) {
+      if (r % (2 * bit) == 0) {
+        const GroupRank dst = r + bit;
+        const simnet::VirtualTime cost = send(r, dst, Ops::SizeAll(value[r]));
+        t[r] += cost;
+        t[dst] = std::max(t[dst], t[r]);
+        value[dst] = value[r];
+      }
+    }
+  }
+
+  out.outputs = std::move(value);
+  out.stats.finish_times = std::move(t);
+  out.stats.all_done = *std::max_element(out.stats.finish_times.begin(),
+                                         out.stats.finish_times.end());
+  return out;
+}
+
+}  // namespace
+
+DenseAllreduceResult RhdAllreduce::RunDense(
+    const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  const std::uint64_t dim = detail::CheckDenseInputs(group, inputs, starts);
+  return RunRhd<DenseOps, DenseAllreduceResult>(group, inputs, starts, dim,
+                                                /*sparse=*/false);
+}
+
+SparseAllreduceResult RhdAllreduce::RunSparse(
+    const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  const std::uint64_t dim = detail::CheckSparseInputs(group, inputs, starts);
+  return RunRhd<SparseOps, SparseAllreduceResult>(group, inputs, starts, dim,
+                                                  /*sparse=*/true);
+}
+
+DenseAllreduceResult TreeAllreduce::RunDense(
+    const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  detail::CheckDenseInputs(group, inputs, starts);
+  return RunTree<DenseOps, DenseAllreduceResult>(group, inputs, starts,
+                                                 /*sparse=*/false);
+}
+
+SparseAllreduceResult TreeAllreduce::RunSparse(
+    const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  detail::CheckSparseInputs(group, inputs, starts);
+  return RunTree<SparseOps, SparseAllreduceResult>(group, inputs, starts,
+                                                   /*sparse=*/true);
+}
+
+}  // namespace psra::comm

@@ -1,0 +1,86 @@
+// Concrete allreduce algorithms. Exposed for tests/benches that want a
+// specific implementation; most callers go through MakeAllreduce().
+#pragma once
+
+#include "comm/collective.hpp"
+
+namespace psra::comm {
+
+/// Gather-to-root + broadcast. This is the master-worker exchange pattern of
+/// the classic global consensus ADMM (paper Section 4.1) and the baseline
+/// that concentrates load on one rank.
+class NaiveAllreduce final : public AllreduceAlgorithm {
+ public:
+  std::string Name() const override { return "naive"; }
+  DenseAllreduceResult RunDense(
+      const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const override;
+  SparseAllreduceResult RunSparse(
+      const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const override;
+};
+
+/// Classic Ring-Allreduce [Gibiansky'17]: N-1 scatter-reduce rounds passing
+/// partial block sums around a unidirectional ring, then N-1 allgather
+/// rounds. Per-member pipeline timing: a member enters round r+1 once it has
+/// finished its round-r send and its predecessor's round-r data has arrived.
+class RingAllreduce final : public AllreduceAlgorithm {
+ public:
+  std::string Name() const override { return "ring"; }
+  DenseAllreduceResult RunDense(
+      const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const override;
+  SparseAllreduceResult RunSparse(
+      const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const override;
+};
+
+/// Recursive halving-doubling Allreduce (the classic MPI power-of-two
+/// algorithm): log2(N) reduce-scatter exchanges with halving block sizes,
+/// then log2(N) allgather exchanges with doubling block sizes. Non-power-of-
+/// two groups fold the remainder ranks into their partners first. Included
+/// as an additional baseline for the collective comparison; not part of the
+/// paper's evaluation.
+class RhdAllreduce final : public AllreduceAlgorithm {
+ public:
+  std::string Name() const override { return "rhd"; }
+  DenseAllreduceResult RunDense(
+      const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const override;
+  SparseAllreduceResult RunSparse(
+      const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const override;
+};
+
+/// Binomial-tree Allreduce: tree reduce to group rank 0 followed by a
+/// binomial-tree broadcast. log2(N) rounds each way with full-vector
+/// payloads; latency-optimal for tiny vectors, bandwidth-poor for large
+/// ones. Additional baseline, not part of the paper's evaluation.
+class TreeAllreduce final : public AllreduceAlgorithm {
+ public:
+  std::string Name() const override { return "tree"; }
+  DenseAllreduceResult RunDense(
+      const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const override;
+  SparseAllreduceResult RunSparse(
+      const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const override;
+};
+
+/// PSR-Allreduce (paper Section 4.2): parameter-server-inspired variant.
+/// Scatter-Reduce sends every block DIRECTLY to its owning rank (one hop)
+/// instead of circulating partial sums; Allgather has each owner send its
+/// fully reduced block to every other member. Empty sparse blocks are
+/// skipped entirely, which yields the paper's best case T_psr-sr = 0.
+class PsrAllreduce final : public AllreduceAlgorithm {
+ public:
+  std::string Name() const override { return "psr"; }
+  DenseAllreduceResult RunDense(
+      const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const override;
+  SparseAllreduceResult RunSparse(
+      const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const override;
+};
+
+}  // namespace psra::comm

@@ -1,0 +1,103 @@
+#include <algorithm>
+
+#include "comm/allreduce_impl.hpp"
+#include "support/status.hpp"
+
+namespace psra::comm {
+
+namespace {
+
+/// Shared timing skeleton: members send whole vectors to root (parallel
+/// sends, each priced on its own link), root reduces, then serializes a
+/// broadcast back out. `sizes[g]` is the element count member g contributes;
+/// `reduced_size` the element count of the reduced vector root returns.
+CommStats NaiveTiming(const GroupComm& group,
+                      std::span<const simnet::VirtualTime> starts,
+                      std::span<const std::size_t> sizes,
+                      std::size_t reduced_size, bool sparse) {
+  const auto& cm = group.cost_model();
+  const GroupRank n = group.size();
+  CommStats st;
+  st.finish_times.assign(n, 0.0);
+
+  auto transfer = [&](GroupRank a, GroupRank b, std::size_t elems) {
+    const simnet::Link link = group.LinkBetween(a, b);
+    return sparse ? cm.SparseTransferTime(link, elems)
+                  : cm.DenseTransferTime(link, elems);
+  };
+
+  if (n == 1) {
+    st.finish_times[0] = starts[0];
+    st.all_done = starts[0];
+    st.scatter_reduce_done = starts[0];
+    return st;
+  }
+
+  // Gather: each non-root member sends its whole vector to root.
+  simnet::VirtualTime root_ready = starts[0];
+  for (GroupRank g = 1; g < n; ++g) {
+    if (sparse && sizes[g] == 0) continue;  // nothing to contribute
+    const simnet::VirtualTime t = transfer(g, 0, sizes[g]);
+    root_ready = std::max(root_ready, starts[g] + t);
+    st.elements_sent += sizes[g];
+    ++st.messages_sent;
+    st.total_send_time += t;
+  }
+  st.scatter_reduce_done = root_ready;
+
+  // Broadcast: root serializes sends in ascending rank order.
+  simnet::VirtualTime send_clock = root_ready;
+  for (GroupRank g = 1; g < n; ++g) {
+    const simnet::VirtualTime t = transfer(0, g, reduced_size);
+    send_clock += t;
+    st.finish_times[g] = std::max(send_clock, starts[g]);
+    st.elements_sent += reduced_size;
+    ++st.messages_sent;
+    st.total_send_time += t;
+  }
+  st.finish_times[0] = send_clock;
+  st.all_done = *std::max_element(st.finish_times.begin(), st.finish_times.end());
+  return st;
+}
+
+}  // namespace
+
+DenseAllreduceResult NaiveAllreduce::RunDense(
+    const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  const std::uint64_t dim = detail::CheckDenseInputs(group, inputs, starts);
+  const GroupRank n = group.size();
+
+  linalg::DenseVector sum(static_cast<std::size_t>(dim), 0.0);
+  for (GroupRank g = 0; g < n; ++g) {
+    linalg::Axpy(1.0, inputs[g], sum);
+  }
+
+  std::vector<std::size_t> sizes(n, static_cast<std::size_t>(dim));
+  DenseAllreduceResult out;
+  out.stats = NaiveTiming(group, starts, sizes, static_cast<std::size_t>(dim),
+                          /*sparse=*/false);
+  out.outputs.assign(n, sum);
+  return out;
+}
+
+SparseAllreduceResult NaiveAllreduce::RunSparse(
+    const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  detail::CheckSparseInputs(group, inputs, starts);
+  const GroupRank n = group.size();
+
+  linalg::SparseVector sum = inputs[0];
+  for (GroupRank g = 1; g < n; ++g) {
+    sum = linalg::SparseVector::Sum(sum, inputs[g]);
+  }
+
+  std::vector<std::size_t> sizes(n);
+  for (GroupRank g = 0; g < n; ++g) sizes[g] = inputs[g].nnz();
+  SparseAllreduceResult out;
+  out.stats = NaiveTiming(group, starts, sizes, sum.nnz(), /*sparse=*/true);
+  out.outputs.assign(n, sum);
+  return out;
+}
+
+}  // namespace psra::comm

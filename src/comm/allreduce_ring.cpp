@@ -1,0 +1,178 @@
+#include <algorithm>
+
+#include "comm/allreduce_impl.hpp"
+#include "support/status.hpp"
+
+namespace psra::comm {
+
+namespace {
+
+// The ring logic is identical for dense and sparse payloads; only the block
+// representation, reduction and pricing differ. Ops contract:
+//   Block        — per-block payload type
+//   Size(b)      — elements serialized when b crosses a link
+//   Reduce(d,s)  — d += s
+//   (blocks are moved/copied freely)
+template <typename Ops>
+struct RingRunner {
+  using Block = typename Ops::Block;
+
+  const GroupComm& group;
+  bool sparse_pricing;
+  CommStats stats;
+
+  simnet::VirtualTime Transfer(GroupRank from, GroupRank to,
+                               std::size_t elems) {
+    const auto& cm = group.cost_model();
+    const simnet::Link link = group.LinkBetween(from, to);
+    return sparse_pricing ? cm.SparseTransferTime(link, elems)
+                          : cm.DenseTransferTime(link, elems);
+  }
+
+  /// Runs both phases over `blocks[i][b]`, advancing per-member clocks `t`.
+  /// On return, every member holds all fully reduced blocks.
+  void Run(std::vector<std::vector<Block>>& blocks,
+           std::vector<simnet::VirtualTime>& t) {
+    const GroupRank n = group.size();
+    if (n == 1) {
+      stats.scatter_reduce_done = t[0];
+      return;
+    }
+    auto mod = [n](std::int64_t v) {
+      return static_cast<GroupRank>(((v % n) + n) % n);
+    };
+
+    // One pipelined round: member i sends block send_block(i) to i+1; the
+    // receiver either reduces it into, or replaces, its local copy.
+    auto round = [&](auto send_block, bool reduce) {
+      std::vector<simnet::VirtualTime> send_done(n);
+      std::vector<Block> in_flight(n);
+      for (GroupRank i = 0; i < n; ++i) {
+        const GroupRank b = send_block(i);
+        const std::size_t elems = Ops::Size(blocks[i][b]);
+        const simnet::VirtualTime cost = Transfer(i, mod(i + 1), elems);
+        send_done[i] = t[i] + cost;
+        in_flight[i] = blocks[i][b];
+        stats.elements_sent += elems;
+        ++stats.messages_sent;
+        stats.total_send_time += cost;
+      }
+      for (GroupRank i = 0; i < n; ++i) {
+        const GroupRank pred = mod(static_cast<std::int64_t>(i) - 1);
+        const GroupRank b = send_block(pred);  // block arriving at i
+        if (reduce) {
+          Ops::Reduce(blocks[i][b], in_flight[pred]);
+        } else {
+          blocks[i][b] = in_flight[pred];
+        }
+        t[i] = std::max(send_done[i], send_done[pred]);
+      }
+    };
+
+    // Scatter-Reduce: after round r, member i has the partial sum of block
+    // (i-r-1) mod n; after n-1 rounds it owns complete block (i+1) mod n.
+    for (GroupRank r = 0; r + 1 < n; ++r) {
+      round([&](GroupRank i) { return mod(static_cast<std::int64_t>(i) - r); },
+            /*reduce=*/true);
+    }
+    stats.scatter_reduce_done = *std::max_element(t.begin(), t.end());
+
+    // Allgather: circulate the complete blocks.
+    for (GroupRank r = 0; r + 1 < n; ++r) {
+      round(
+          [&](GroupRank i) {
+            return mod(static_cast<std::int64_t>(i) + 1 - r);
+          },
+          /*reduce=*/false);
+    }
+  }
+};
+
+struct DenseOps {
+  using Block = linalg::DenseVector;
+  static std::size_t Size(const Block& b) { return b.size(); }
+  static void Reduce(Block& dst, const Block& src) {
+    linalg::Axpy(1.0, src, dst);
+  }
+};
+
+struct SparseOps {
+  using Block = linalg::SparseVector;
+  static std::size_t Size(const Block& b) { return b.nnz(); }
+  static void Reduce(Block& dst, const Block& src) {
+    dst = linalg::SparseVector::Sum(dst, src);
+  }
+};
+
+}  // namespace
+
+DenseAllreduceResult RingAllreduce::RunDense(
+    const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  const std::uint64_t dim = detail::CheckDenseInputs(group, inputs, starts);
+  const GroupRank n = group.size();
+
+  // Split every input into the n rank-owned blocks.
+  std::vector<std::vector<linalg::DenseVector>> blocks(n);
+  for (GroupRank i = 0; i < n; ++i) {
+    blocks[i].resize(n);
+    for (GroupRank b = 0; b < n; ++b) {
+      const auto [lo, hi] = group.BlockRange(dim, b);
+      blocks[i][b].assign(inputs[i].begin() + static_cast<std::ptrdiff_t>(lo),
+                          inputs[i].begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+  }
+
+  std::vector<simnet::VirtualTime> t(starts.begin(), starts.end());
+  RingRunner<DenseOps> runner{group, /*sparse_pricing=*/false, {}};
+  runner.Run(blocks, t);
+
+  DenseAllreduceResult out;
+  out.outputs.resize(n);
+  for (GroupRank i = 0; i < n; ++i) {
+    out.outputs[i].resize(static_cast<std::size_t>(dim));
+    for (GroupRank b = 0; b < n; ++b) {
+      const auto [lo, hi] = group.BlockRange(dim, b);
+      std::copy(blocks[i][b].begin(), blocks[i][b].end(),
+                out.outputs[i].begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+  }
+  out.stats = std::move(runner.stats);
+  out.stats.finish_times = std::move(t);
+  out.stats.all_done = *std::max_element(out.stats.finish_times.begin(),
+                                         out.stats.finish_times.end());
+  return out;
+}
+
+SparseAllreduceResult RingAllreduce::RunSparse(
+    const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  const std::uint64_t dim = detail::CheckSparseInputs(group, inputs, starts);
+  const GroupRank n = group.size();
+
+  std::vector<std::vector<linalg::SparseVector>> blocks(n);
+  for (GroupRank i = 0; i < n; ++i) {
+    blocks[i].resize(n);
+    for (GroupRank b = 0; b < n; ++b) {
+      const auto [lo, hi] = group.BlockRange(dim, b);
+      blocks[i][b] = inputs[i].Slice(lo, hi);
+    }
+  }
+
+  std::vector<simnet::VirtualTime> t(starts.begin(), starts.end());
+  RingRunner<SparseOps> runner{group, /*sparse_pricing=*/true, {}};
+  runner.Run(blocks, t);
+
+  SparseAllreduceResult out;
+  out.outputs.resize(n);
+  for (GroupRank i = 0; i < n; ++i) {
+    out.outputs[i] = linalg::SparseVector::ConcatDisjoint(blocks[i]);
+  }
+  out.stats = std::move(runner.stats);
+  out.stats.finish_times = std::move(t);
+  out.stats.all_done = *std::max_element(out.stats.finish_times.begin(),
+                                         out.stats.finish_times.end());
+  return out;
+}
+
+}  // namespace psra::comm

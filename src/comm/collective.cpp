@@ -1,0 +1,73 @@
+#include "comm/collective.hpp"
+
+#include <algorithm>
+
+#include "comm/allreduce_impl.hpp"
+#include "support/status.hpp"
+#include "support/string_util.hpp"
+
+namespace psra::comm {
+
+simnet::VirtualTime CommStats::Span(
+    std::span<const simnet::VirtualTime> starts) const {
+  simnet::VirtualTime max_start = 0.0;
+  for (auto s : starts) max_start = std::max(max_start, s);
+  return all_done - max_start;
+}
+
+std::unique_ptr<AllreduceAlgorithm> MakeAllreduce(AllreduceKind kind) {
+  switch (kind) {
+    case AllreduceKind::kNaive: return std::make_unique<NaiveAllreduce>();
+    case AllreduceKind::kRing: return std::make_unique<RingAllreduce>();
+    case AllreduceKind::kPsr: return std::make_unique<PsrAllreduce>();
+    case AllreduceKind::kRhd: return std::make_unique<RhdAllreduce>();
+    case AllreduceKind::kTree: return std::make_unique<TreeAllreduce>();
+  }
+  throw InvalidArgument("unknown allreduce kind");
+}
+
+std::unique_ptr<AllreduceAlgorithm> MakeAllreduce(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "naive") return MakeAllreduce(AllreduceKind::kNaive);
+  if (n == "ring") return MakeAllreduce(AllreduceKind::kRing);
+  if (n == "psr") return MakeAllreduce(AllreduceKind::kPsr);
+  if (n == "rhd") return MakeAllreduce(AllreduceKind::kRhd);
+  if (n == "tree") return MakeAllreduce(AllreduceKind::kTree);
+  throw InvalidArgument("unknown allreduce algorithm: " + name);
+}
+
+namespace detail {
+
+std::uint64_t CheckDenseInputs(const GroupComm& group,
+                               std::span<const linalg::DenseVector> inputs,
+                               std::span<const simnet::VirtualTime> starts) {
+  PSRA_REQUIRE(inputs.size() == group.size(),
+               "one input vector per group member required");
+  PSRA_REQUIRE(starts.size() == group.size(),
+               "one start time per group member required");
+  PSRA_REQUIRE(!inputs.empty(), "empty group");
+  const std::uint64_t dim = inputs[0].size();
+  for (const auto& v : inputs) {
+    PSRA_REQUIRE(v.size() == dim, "input dimension mismatch");
+  }
+  return dim;
+}
+
+std::uint64_t CheckSparseInputs(const GroupComm& group,
+                                std::span<const linalg::SparseVector> inputs,
+                                std::span<const simnet::VirtualTime> starts) {
+  PSRA_REQUIRE(inputs.size() == group.size(),
+               "one input vector per group member required");
+  PSRA_REQUIRE(starts.size() == group.size(),
+               "one start time per group member required");
+  PSRA_REQUIRE(!inputs.empty(), "empty group");
+  const std::uint64_t dim = inputs[0].dim();
+  for (const auto& v : inputs) {
+    PSRA_REQUIRE(v.dim() == dim, "input dimension mismatch");
+  }
+  return dim;
+}
+
+}  // namespace detail
+
+}  // namespace psra::comm

@@ -1,0 +1,98 @@
+// Allreduce collective interface and the shared timing model.
+//
+// Execution model (DESIGN.md §2): collectives run over the virtual-time
+// simulator, so an algorithm receives *all* members' input vectors plus the
+// virtual time at which each member entered the collective, and returns each
+// member's output plus the virtual time at which each member finished. Costs
+// follow the paper's Section 4.2 accounting:
+//
+//   * transfers are SENDER-SERIALIZED: a worker's outgoing messages leave its
+//     NIC one after another, each costing latency + elements * theta(link);
+//     receives are not a bottleneck (the paper's bounds, eq. 11-16, charge
+//     only send-side element time);
+//   * sparse elements cost theta_s = (value+index)/B, dense elements
+//     value/B, with B the bus or network bandwidth of the link crossed;
+//   * a step that needs data from another worker cannot begin before that
+//     data has arrived (pipeline/synchronization delays emerge naturally).
+//
+// All algorithms reduce in ascending group-rank order so dense and sparse
+// variants of every algorithm produce bitwise-identical sums.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/group.hpp"
+#include "linalg/dense_ops.hpp"
+#include "linalg/sparse_vector.hpp"
+
+namespace psra::comm {
+
+/// Cost accounting for one collective invocation.
+struct CommStats {
+  /// Virtual time at which each member finished (indexed by group rank).
+  std::vector<simnet::VirtualTime> finish_times;
+  /// Completion of the scatter-reduce stage (max across members); 0 for
+  /// algorithms without that stage.
+  simnet::VirtualTime scatter_reduce_done = 0.0;
+  /// Completion of the whole collective (max finish time).
+  simnet::VirtualTime all_done = 0.0;
+  /// Total elements serialized onto links (sparse nnz or dense values).
+  std::size_t elements_sent = 0;
+  /// Total messages.
+  std::size_t messages_sent = 0;
+  /// Sum over members of busy send time (the paper's "communication cost").
+  simnet::VirtualTime total_send_time = 0.0;
+
+  /// Max finish minus max start: the wall-clock the collective added.
+  simnet::VirtualTime Span(std::span<const simnet::VirtualTime> starts) const;
+};
+
+struct DenseAllreduceResult {
+  /// outputs[g] = sum over members of inputs (same for all g).
+  std::vector<linalg::DenseVector> outputs;
+  CommStats stats;
+};
+
+struct SparseAllreduceResult {
+  std::vector<linalg::SparseVector> outputs;
+  CommStats stats;
+};
+
+/// Strategy interface: Ring-Allreduce, PSR-Allreduce, naive gather+bcast.
+class AllreduceAlgorithm {
+ public:
+  virtual ~AllreduceAlgorithm() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// inputs.size() == starts.size() == group.size(); all inputs share a dim.
+  virtual DenseAllreduceResult RunDense(
+      const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const = 0;
+
+  virtual SparseAllreduceResult RunSparse(
+      const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+      std::span<const simnet::VirtualTime> starts) const = 0;
+};
+
+enum class AllreduceKind { kNaive, kRing, kPsr, kRhd, kTree };
+
+/// Factory; names: "naive", "ring", "psr", "rhd", "tree".
+std::unique_ptr<AllreduceAlgorithm> MakeAllreduce(AllreduceKind kind);
+std::unique_ptr<AllreduceAlgorithm> MakeAllreduce(const std::string& name);
+
+namespace detail {
+/// Validates the common preconditions and returns the shared dimension.
+std::uint64_t CheckDenseInputs(const GroupComm& group,
+                               std::span<const linalg::DenseVector> inputs,
+                               std::span<const simnet::VirtualTime> starts);
+std::uint64_t CheckSparseInputs(const GroupComm& group,
+                                std::span<const linalg::SparseVector> inputs,
+                                std::span<const simnet::VirtualTime> starts);
+}  // namespace detail
+
+}  // namespace psra::comm

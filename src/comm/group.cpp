@@ -1,0 +1,52 @@
+#include "comm/group.hpp"
+
+#include <algorithm>
+
+#include "support/status.hpp"
+
+namespace psra::comm {
+
+GroupComm::GroupComm(const simnet::Topology* topo,
+                     const simnet::CostModel* cost,
+                     std::vector<simnet::Rank> members)
+    : topo_(topo), cost_(cost), members_(std::move(members)) {
+  PSRA_REQUIRE(topo_ != nullptr && cost_ != nullptr,
+               "group needs topology and cost model");
+  PSRA_REQUIRE(!members_.empty(), "group must have at least one member");
+  auto sorted = members_;
+  std::sort(sorted.begin(), sorted.end());
+  PSRA_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+               "group members must be distinct");
+  for (simnet::Rank r : members_) {
+    PSRA_REQUIRE(r < topo_->world_size(), "group member rank out of range");
+  }
+}
+
+simnet::Rank GroupComm::GlobalRank(GroupRank g) const {
+  PSRA_REQUIRE(g < size(), "group rank out of range");
+  return members_[g];
+}
+
+GroupRank GroupComm::LocalRank(simnet::Rank global) const {
+  for (GroupRank g = 0; g < size(); ++g) {
+    if (members_[g] == global) return g;
+  }
+  throw InvalidArgument("rank is not a member of this group");
+}
+
+bool GroupComm::Contains(simnet::Rank global) const {
+  return std::find(members_.begin(), members_.end(), global) != members_.end();
+}
+
+simnet::Link GroupComm::LinkBetween(GroupRank a, GroupRank b) const {
+  return topo_->LinkBetween(GlobalRank(a), GlobalRank(b));
+}
+
+std::pair<std::uint64_t, std::uint64_t> GroupComm::BlockRange(
+    std::uint64_t dim, GroupRank g) const {
+  PSRA_REQUIRE(g < size(), "group rank out of range");
+  const std::uint64_t n = size();
+  return {dim * g / n, dim * (g + 1) / n};
+}
+
+}  // namespace psra::comm

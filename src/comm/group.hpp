@@ -1,0 +1,47 @@
+// Communication group: an ordered set of global ranks that participate in a
+// collective, plus the topology/cost-model context needed to price messages
+// between them. Analogous to an MPI communicator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/cost_model.hpp"
+#include "simnet/topology.hpp"
+
+namespace psra::comm {
+
+/// Rank *within* a group (0 .. size-1); distinct from simnet::Rank (global).
+using GroupRank = std::uint32_t;
+
+class GroupComm {
+ public:
+  /// `members` are distinct global ranks; order defines group rank.
+  GroupComm(const simnet::Topology* topo, const simnet::CostModel* cost,
+            std::vector<simnet::Rank> members);
+
+  GroupRank size() const { return static_cast<GroupRank>(members_.size()); }
+  simnet::Rank GlobalRank(GroupRank g) const;
+  const std::vector<simnet::Rank>& members() const { return members_; }
+
+  /// Group rank of a global rank; throws if not a member.
+  GroupRank LocalRank(simnet::Rank global) const;
+  bool Contains(simnet::Rank global) const;
+
+  simnet::Link LinkBetween(GroupRank a, GroupRank b) const;
+  const simnet::CostModel& cost_model() const { return *cost_; }
+  const simnet::Topology& topology() const { return *topo_; }
+
+  /// Block ownership used by the block-cyclic collectives: the vector
+  /// [0, dim) is split into size() contiguous blocks; block g is owned by
+  /// group rank g. Returns [begin, end) of block g.
+  std::pair<std::uint64_t, std::uint64_t> BlockRange(std::uint64_t dim,
+                                                     GroupRank g) const;
+
+ private:
+  const simnet::Topology* topo_;
+  const simnet::CostModel* cost_;
+  std::vector<simnet::Rank> members_;
+};
+
+}  // namespace psra::comm

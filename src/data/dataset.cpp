@@ -1,0 +1,69 @@
+#include "data/dataset.hpp"
+
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace psra::data {
+
+Dataset::Dataset(linalg::CsrMatrix features, std::vector<double> labels)
+    : features_(std::move(features)), labels_(std::move(labels)) {
+  PSRA_REQUIRE(labels_.size() == features_.rows(),
+               "label count must match sample count");
+  for (double y : labels_) {
+    PSRA_REQUIRE(y == 1.0 || y == -1.0, "labels must be +1 or -1");
+  }
+}
+
+double Dataset::MeanRowNnz() const {
+  if (num_samples() == 0) return 0.0;
+  return static_cast<double>(nnz()) / static_cast<double>(num_samples());
+}
+
+double Dataset::PositiveFraction() const {
+  if (labels_.empty()) return 0.0;
+  std::size_t pos = 0;
+  for (double y : labels_) {
+    if (y > 0) ++pos;
+  }
+  return static_cast<double>(pos) / static_cast<double>(labels_.size());
+}
+
+Dataset Dataset::SliceSamples(std::uint64_t begin, std::uint64_t end) const {
+  PSRA_REQUIRE(begin <= end && end <= num_samples(), "bad sample range");
+  return Dataset(features_.SliceRows(begin, end),
+                 {labels_.begin() + static_cast<std::ptrdiff_t>(begin),
+                  labels_.begin() + static_cast<std::ptrdiff_t>(end)});
+}
+
+Dataset Dataset::WithFeatureDim(std::uint64_t dim) const {
+  PSRA_REQUIRE(dim >= features_.MaxOccupiedColumn(),
+               "requested dimension would truncate features");
+  if (dim == num_features()) return *this;
+  linalg::CsrMatrix::Builder b(dim);
+  for (std::uint64_t r = 0; r < num_samples(); ++r) {
+    b.AddRow(features_.RowIndices(r), features_.RowValues(r));
+  }
+  return Dataset(b.Build(), labels_);
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(std::uint64_t train_count) const {
+  PSRA_REQUIRE(train_count <= num_samples(),
+               "train split larger than dataset");
+  return {SliceSamples(0, train_count),
+          SliceSamples(train_count, num_samples())};
+}
+
+DatasetStats ComputeStats(const std::string& name, const Dataset& ds) {
+  DatasetStats s;
+  s.name = name;
+  s.dimension = ds.num_features();
+  s.num_samples = ds.num_samples();
+  s.nnz = ds.nnz();
+  s.density = ds.features().Density();
+  s.mean_row_nnz = ds.MeanRowNnz();
+  s.positive_fraction = ds.PositiveFraction();
+  return s;
+}
+
+}  // namespace psra::data

@@ -1,0 +1,63 @@
+// Labeled sparse dataset for binary classification.
+//
+// Features are a CsrMatrix (rows = samples), labels are ±1. This is the unit
+// of data the partitioner splits across workers and the solvers consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace psra::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// labels.size() must equal features.rows(); labels must be ±1.
+  Dataset(linalg::CsrMatrix features, std::vector<double> labels);
+
+  const linalg::CsrMatrix& features() const { return features_; }
+  const std::vector<double>& labels() const { return labels_; }
+
+  std::uint64_t num_samples() const { return features_.rows(); }
+  std::uint64_t num_features() const { return features_.cols(); }
+  std::size_t nnz() const { return features_.nnz(); }
+
+  /// Mean nonzeros per sample.
+  double MeanRowNnz() const;
+
+  /// Fraction of +1 labels.
+  double PositiveFraction() const;
+
+  /// Samples [begin, end) as a new dataset.
+  Dataset SliceSamples(std::uint64_t begin, std::uint64_t end) const;
+
+  /// Widens (or validates) the feature space to `dim` columns so that train
+  /// and test partitions share one coordinate system.
+  Dataset WithFeatureDim(std::uint64_t dim) const;
+
+  /// Splits into (train, test) by a deterministic prefix cut.
+  std::pair<Dataset, Dataset> Split(std::uint64_t train_count) const;
+
+ private:
+  linalg::CsrMatrix features_;
+  std::vector<double> labels_;
+};
+
+/// Summary statistics (Table 1 regeneration).
+struct DatasetStats {
+  std::string name;
+  std::uint64_t dimension = 0;
+  std::uint64_t num_samples = 0;
+  std::size_t nnz = 0;
+  double density = 0.0;
+  double mean_row_nnz = 0.0;
+  double positive_fraction = 0.0;
+};
+
+DatasetStats ComputeStats(const std::string& name, const Dataset& ds);
+
+}  // namespace psra::data

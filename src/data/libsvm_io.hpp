@@ -1,0 +1,31 @@
+// LIBSVM sparse-format reader/writer.
+//
+// Format (one sample per line):  <label> <index>:<value> <index>:<value> ...
+// Indices in files are 1-based (LIBSVM convention) and are converted to
+// 0-based internally. Labels other than ±1 are mapped: values > 0 become +1,
+// everything else -1 (matching how binary tools consume multiclass files).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace psra::data {
+
+struct LibsvmReadOptions {
+  /// Force the feature dimension (0 = use max index found).
+  std::uint64_t feature_dim = 0;
+  /// Stop after this many samples (0 = read all).
+  std::uint64_t max_samples = 0;
+};
+
+Dataset ReadLibsvm(std::istream& in, const LibsvmReadOptions& options = {});
+Dataset ReadLibsvmFile(const std::string& path,
+                       const LibsvmReadOptions& options = {});
+
+void WriteLibsvm(const Dataset& ds, std::ostream& out);
+void WriteLibsvmFile(const Dataset& ds, const std::string& path);
+
+}  // namespace psra::data

@@ -1,0 +1,46 @@
+#include "data/partition.hpp"
+
+#include "support/status.hpp"
+
+namespace psra::data {
+
+std::vector<std::uint64_t> ContiguousBounds(std::uint64_t num_samples,
+                                            std::uint64_t num_parts) {
+  PSRA_REQUIRE(num_parts >= 1, "need at least one partition");
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(num_parts) + 1);
+  for (std::uint64_t p = 0; p <= num_parts; ++p) {
+    bounds[static_cast<std::size_t>(p)] = num_samples * p / num_parts;
+  }
+  return bounds;
+}
+
+std::vector<Dataset> Partition(const Dataset& ds, std::uint64_t num_parts,
+                               PartitionScheme scheme) {
+  PSRA_REQUIRE(num_parts >= 1, "need at least one partition");
+  std::vector<Dataset> shards;
+  shards.reserve(static_cast<std::size_t>(num_parts));
+
+  if (scheme == PartitionScheme::kContiguous) {
+    const auto bounds = ContiguousBounds(ds.num_samples(), num_parts);
+    for (std::uint64_t p = 0; p < num_parts; ++p) {
+      shards.push_back(ds.SliceSamples(bounds[static_cast<std::size_t>(p)],
+                                       bounds[static_cast<std::size_t>(p) + 1]));
+    }
+    return shards;
+  }
+
+  // Striped: row r goes to shard r % num_parts.
+  const auto& m = ds.features();
+  for (std::uint64_t p = 0; p < num_parts; ++p) {
+    linalg::CsrMatrix::Builder b(ds.num_features());
+    std::vector<double> labels;
+    for (std::uint64_t r = p; r < ds.num_samples(); r += num_parts) {
+      b.AddRow(m.RowIndices(r), m.RowValues(r));
+      labels.push_back(ds.labels()[static_cast<std::size_t>(r)]);
+    }
+    shards.emplace_back(b.Build(), std::move(labels));
+  }
+  return shards;
+}
+
+}  // namespace psra::data

@@ -1,0 +1,29 @@
+// Sample partitioning for data-parallel training.
+//
+// The global consensus ADMM assigns a disjoint shard of samples to each
+// worker (paper eq. 1: f_i is the loss over worker i's shard). Two schemes:
+//   - Contiguous: worker i gets rows [i*n/N, (i+1)*n/N) — cheap, preserves
+//     any ordering structure in the file.
+//   - Striped: worker i gets rows {i, i+N, i+2N, ...} — decorrelates shards
+//     when the file is sorted by label/source.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace psra::data {
+
+enum class PartitionScheme { kContiguous, kStriped };
+
+/// Splits `ds` into `num_parts` shards. Sizes differ by at most one sample.
+/// Requires num_parts >= 1; shards may be empty when num_parts > samples.
+std::vector<Dataset> Partition(const Dataset& ds, std::uint64_t num_parts,
+                               PartitionScheme scheme = PartitionScheme::kContiguous);
+
+/// Shard boundaries used by the contiguous scheme (num_parts + 1 entries).
+std::vector<std::uint64_t> ContiguousBounds(std::uint64_t num_samples,
+                                            std::uint64_t num_parts);
+
+}  // namespace psra::data

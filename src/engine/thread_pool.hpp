@@ -1,0 +1,50 @@
+// Work-stealing-free, queue-based thread pool used to execute the per-worker
+// x-updates of a simulated iteration in parallel on the host.
+//
+// Host parallelism is a wall-clock optimization only: virtual time is charged
+// from flop counts (simnet::CostModel), so results are identical whether the
+// pool has 1 or 64 threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace psra::engine {
+
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count), distributing across the pool and
+  /// blocking until all complete. Exceptions from bodies are rethrown (the
+  /// first one encountered).
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Serial fallback with the same contract; used when determinism of
+/// execution *order* matters (e.g. debugging) or no pool is available.
+void SerialFor(std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace psra::engine

@@ -1,0 +1,139 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <algorithm>
+
+#include "support/status.hpp"
+
+namespace psra::linalg {
+
+CsrMatrix::CsrMatrix(Index rows, Index cols, std::vector<std::size_t> row_ptr,
+                     std::vector<Index> col_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  PSRA_REQUIRE(row_ptr_.size() == rows_ + 1, "row_ptr length must be rows+1");
+  PSRA_REQUIRE(col_idx_.size() == values_.size(),
+               "col/value arrays differ in length");
+  PSRA_REQUIRE(row_ptr_.front() == 0 && row_ptr_.back() == col_idx_.size(),
+               "row_ptr endpoints inconsistent with nnz");
+  for (Index r = 0; r < rows_; ++r) {
+    PSRA_REQUIRE(row_ptr_[r] <= row_ptr_[r + 1], "row_ptr must be monotone");
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      PSRA_REQUIRE(col_idx_[k] < cols_, "column index out of range");
+      if (k > row_ptr_[r]) {
+        PSRA_REQUIRE(col_idx_[k - 1] < col_idx_[k],
+                     "columns within a row must be strictly increasing");
+      }
+    }
+  }
+}
+
+CsrMatrix::Builder::Builder(Index cols) : cols_(cols) {}
+
+void CsrMatrix::Builder::AddRow(std::span<const Index> cols,
+                                std::span<const double> values) {
+  PSRA_REQUIRE(cols.size() == values.size(), "row arrays differ in length");
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    PSRA_REQUIRE(cols[k] < cols_, "column index out of range");
+    if (k > 0) {
+      PSRA_REQUIRE(cols[k - 1] < cols[k],
+                   "columns within a row must be strictly increasing");
+    }
+  }
+  col_idx_.insert(col_idx_.end(), cols.begin(), cols.end());
+  values_.insert(values_.end(), values.begin(), values.end());
+  row_ptr_.push_back(col_idx_.size());
+}
+
+void CsrMatrix::Builder::AddRow(const SparseVector& row) {
+  PSRA_REQUIRE(row.dim() == cols_, "row dimension mismatch");
+  AddRow(row.indices(), row.values());
+}
+
+CsrMatrix CsrMatrix::Builder::Build() {
+  const Index rows = static_cast<Index>(row_ptr_.size() - 1);
+  return CsrMatrix(rows, cols_, std::move(row_ptr_), std::move(col_idx_),
+                   std::move(values_));
+}
+
+double CsrMatrix::Density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+std::span<const CsrMatrix::Index> CsrMatrix::RowIndices(Index r) const {
+  PSRA_REQUIRE(r < rows_, "row out of range");
+  return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const double> CsrMatrix::RowValues(Index r) const {
+  PSRA_REQUIRE(r < rows_, "row out of range");
+  return {values_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+SparseVector CsrMatrix::Row(Index r) const {
+  const auto idx = RowIndices(r);
+  const auto val = RowValues(r);
+  return SparseVector(cols_, {idx.begin(), idx.end()},
+                      {val.begin(), val.end()});
+}
+
+void CsrMatrix::Multiply(std::span<const double> x,
+                         std::span<double> out) const {
+  PSRA_REQUIRE(x.size() == cols_, "multiply input dimension mismatch");
+  PSRA_REQUIRE(out.size() == rows_, "multiply output dimension mismatch");
+  for (Index r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[static_cast<std::size_t>(col_idx_[k])];
+    }
+    out[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void CsrMatrix::TransposeMultiplyAdd(std::span<const double> v,
+                                     std::span<double> out) const {
+  PSRA_REQUIRE(v.size() == rows_, "transpose-multiply input mismatch");
+  PSRA_REQUIRE(out.size() == cols_, "transpose-multiply output mismatch");
+  for (Index r = 0; r < rows_; ++r) {
+    const double vr = v[static_cast<std::size_t>(r)];
+    if (vr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out[static_cast<std::size_t>(col_idx_[k])] += vr * values_[k];
+    }
+  }
+}
+
+double CsrMatrix::RowDot(Index r, std::span<const double> x) const {
+  PSRA_REQUIRE(r < rows_, "row out of range");
+  PSRA_REQUIRE(x.size() == cols_, "row-dot dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+    acc += values_[k] * x[static_cast<std::size_t>(col_idx_[k])];
+  }
+  return acc;
+}
+
+CsrMatrix CsrMatrix::SliceRows(Index begin, Index end) const {
+  PSRA_REQUIRE(begin <= end && end <= rows_, "bad row slice range");
+  Builder b(cols_);
+  for (Index r = begin; r < end; ++r) b.AddRow(RowIndices(r), RowValues(r));
+  return b.Build();
+}
+
+std::vector<std::size_t> CsrMatrix::ColumnNnz() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(cols_), 0);
+  for (Index c : col_idx_) ++counts[static_cast<std::size_t>(c)];
+  return counts;
+}
+
+CsrMatrix::Index CsrMatrix::MaxOccupiedColumn() const {
+  Index m = 0;
+  for (Index c : col_idx_) m = std::max(m, c + 1);
+  return m;
+}
+
+}  // namespace psra::linalg

@@ -1,0 +1,98 @@
+#include "linalg/dense_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace psra::linalg {
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  PSRA_REQUIRE(x.size() == y.size(), "axpy dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  PSRA_REQUIRE(x.size() == y.size(), "dot dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double Norm2(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Norm1(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::fabs(v);
+  return acc;
+}
+
+double NormInf(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc = std::max(acc, std::fabs(v));
+  return acc;
+}
+
+double DistanceL2(std::span<const double> x, std::span<const double> y) {
+  PSRA_REQUIRE(x.size() == y.size(), "distance dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+void Add(std::span<const double> x, std::span<const double> y,
+         DenseVector& out) {
+  PSRA_REQUIRE(x.size() == y.size(), "add dimension mismatch");
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+}
+
+void Subtract(std::span<const double> x, std::span<const double> y,
+              DenseVector& out) {
+  PSRA_REQUIRE(x.size() == y.size(), "subtract dimension mismatch");
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+}
+
+void SetZero(std::span<double> x) { std::fill(x.begin(), x.end(), 0.0); }
+
+void SoftThreshold(std::span<const double> x, double kappa,
+                   std::span<double> out) {
+  PSRA_REQUIRE(x.size() == out.size(), "soft-threshold dimension mismatch");
+  PSRA_REQUIRE(kappa >= 0.0, "soft-threshold kappa must be non-negative");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double v = x[i];
+    if (v > kappa) {
+      out[i] = v - kappa;
+    } else if (v < -kappa) {
+      out[i] = v + kappa;
+    } else {
+      out[i] = 0.0;
+    }
+  }
+}
+
+void RoundToFloat(std::span<double> x) {
+  for (double& v : x) v = static_cast<double>(static_cast<float>(v));
+}
+
+std::size_t CountNonzeros(std::span<const double> x, double tol) {
+  std::size_t n = 0;
+  for (double v : x) {
+    if (std::fabs(v) > tol) ++n;
+  }
+  return n;
+}
+
+}  // namespace psra::linalg

@@ -1,0 +1,60 @@
+// Dense vector kernels.
+//
+// DenseVector is a plain std::vector<double>; these free functions provide the
+// BLAS-1 style operations the solvers and collectives need. All functions
+// validate dimensions via PSRA_REQUIRE.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace psra::linalg {
+
+using DenseVector = std::vector<double>;
+
+/// y += alpha * x
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha
+void Scale(double alpha, std::span<double> x);
+
+/// <x, y>
+double Dot(std::span<const double> x, std::span<const double> y);
+
+/// ||x||_2
+double Norm2(std::span<const double> x);
+
+/// ||x||_1
+double Norm1(std::span<const double> x);
+
+/// max_i |x_i|
+double NormInf(std::span<const double> x);
+
+/// ||x - y||_2
+double DistanceL2(std::span<const double> x, std::span<const double> y);
+
+/// out = x + y (resizes out)
+void Add(std::span<const double> x, std::span<const double> y,
+         DenseVector& out);
+
+/// out = x - y (resizes out)
+void Subtract(std::span<const double> x, std::span<const double> y,
+              DenseVector& out);
+
+/// x := 0
+void SetZero(std::span<double> x);
+
+/// Elementwise soft-threshold: out_i = sign(x_i) * max(|x_i| - kappa, 0).
+/// This is the proximal operator of kappa * ||.||_1.
+void SoftThreshold(std::span<const double> x, double kappa,
+                   std::span<double> out);
+
+/// Number of entries with |x_i| > tol.
+std::size_t CountNonzeros(std::span<const double> x, double tol = 0.0);
+
+/// Rounds every entry through IEEE single precision (mixed-precision
+/// communication: values are transmitted as fp32 and widened back).
+void RoundToFloat(std::span<double> x);
+
+}  // namespace psra::linalg

@@ -1,0 +1,163 @@
+#include "linalg/sparse_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace psra::linalg {
+
+SparseVector::SparseVector(Index dim, std::vector<Index> indices,
+                           std::vector<double> values)
+    : dim_(dim), indices_(std::move(indices)), values_(std::move(values)) {
+  PSRA_REQUIRE(indices_.size() == values_.size(),
+               "index/value arrays differ in length");
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    PSRA_REQUIRE(indices_[i] < dim_, "sparse index out of range");
+    if (i > 0) {
+      PSRA_REQUIRE(indices_[i - 1] < indices_[i],
+                   "sparse indices must be strictly increasing");
+    }
+  }
+}
+
+SparseVector SparseVector::FromDense(std::span<const double> dense,
+                                     double tol) {
+  std::vector<Index> idx;
+  std::vector<double> val;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (std::fabs(dense[i]) > tol) {
+      idx.push_back(static_cast<Index>(i));
+      val.push_back(dense[i]);
+    }
+  }
+  return SparseVector(static_cast<Index>(dense.size()), std::move(idx),
+                      std::move(val));
+}
+
+DenseVector SparseVector::ToDense() const {
+  DenseVector out(dim_, 0.0);
+  for (std::size_t k = 0; k < indices_.size(); ++k) {
+    out[static_cast<std::size_t>(indices_[k])] = values_[k];
+  }
+  return out;
+}
+
+void SparseVector::AddToDense(std::span<double> dense, double scale) const {
+  PSRA_REQUIRE(dense.size() == dim_, "dense accumulator dimension mismatch");
+  for (std::size_t k = 0; k < indices_.size(); ++k) {
+    dense[static_cast<std::size_t>(indices_[k])] += scale * values_[k];
+  }
+}
+
+double SparseVector::At(Index i) const {
+  PSRA_REQUIRE(i < dim_, "index out of range");
+  const auto it = std::lower_bound(indices_.begin(), indices_.end(), i);
+  if (it == indices_.end() || *it != i) return 0.0;
+  return values_[static_cast<std::size_t>(it - indices_.begin())];
+}
+
+SparseVector SparseVector::Slice(Index begin, Index end) const {
+  PSRA_REQUIRE(begin <= end && end <= dim_, "bad slice range");
+  const auto lo = std::lower_bound(indices_.begin(), indices_.end(), begin);
+  const auto hi = std::lower_bound(lo, indices_.end(), end);
+  SparseVector out;
+  out.dim_ = dim_;
+  out.indices_.assign(lo, hi);
+  out.values_.assign(values_.begin() + (lo - indices_.begin()),
+                     values_.begin() + (hi - indices_.begin()));
+  return out;
+}
+
+std::size_t SparseVector::CountInRange(Index begin, Index end) const {
+  PSRA_REQUIRE(begin <= end && end <= dim_, "bad count range");
+  const auto lo = std::lower_bound(indices_.begin(), indices_.end(), begin);
+  const auto hi = std::lower_bound(lo, indices_.end(), end);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+void SparseVector::AddInPlace(const SparseVector& other, double scale) {
+  *this = Sum(*this, [&] {
+    SparseVector scaled = other;
+    scaled.Scale(scale);
+    return scaled;
+  }());
+}
+
+void SparseVector::Prune(double tol) {
+  std::size_t w = 0;
+  for (std::size_t k = 0; k < indices_.size(); ++k) {
+    if (std::fabs(values_[k]) > tol) {
+      indices_[w] = indices_[k];
+      values_[w] = values_[k];
+      ++w;
+    }
+  }
+  indices_.resize(w);
+  values_.resize(w);
+}
+
+void SparseVector::Scale(double alpha) {
+  for (double& v : values_) v *= alpha;
+}
+
+double SparseVector::Dot(std::span<const double> dense) const {
+  PSRA_REQUIRE(dense.size() == dim_, "dot dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t k = 0; k < indices_.size(); ++k) {
+    acc += values_[k] * dense[static_cast<std::size_t>(indices_[k])];
+  }
+  return acc;
+}
+
+double SparseVector::Norm2() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+SparseVector SparseVector::Sum(const SparseVector& a, const SparseVector& b) {
+  PSRA_REQUIRE(a.dim_ == b.dim_ || a.dim_ == 0 || b.dim_ == 0,
+               "sum dimension mismatch");
+  SparseVector out;
+  out.dim_ = std::max(a.dim_, b.dim_);
+  out.indices_.reserve(a.nnz() + b.nnz());
+  out.values_.reserve(a.nnz() + b.nnz());
+  std::size_t i = 0, j = 0;
+  while (i < a.nnz() || j < b.nnz()) {
+    if (j >= b.nnz() || (i < a.nnz() && a.indices_[i] < b.indices_[j])) {
+      out.indices_.push_back(a.indices_[i]);
+      out.values_.push_back(a.values_[i]);
+      ++i;
+    } else if (i >= a.nnz() || b.indices_[j] < a.indices_[i]) {
+      out.indices_.push_back(b.indices_[j]);
+      out.values_.push_back(b.values_[j]);
+      ++j;
+    } else {
+      out.indices_.push_back(a.indices_[i]);
+      out.values_.push_back(a.values_[i] + b.values_[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+SparseVector SparseVector::ConcatDisjoint(std::span<const SparseVector> parts) {
+  SparseVector out;
+  for (const auto& p : parts) {
+    if (p.dim_ == 0) continue;
+    if (out.dim_ == 0) out.dim_ = p.dim_;
+    PSRA_REQUIRE(out.dim_ == p.dim_, "concat dimension mismatch");
+    if (!p.indices_.empty() && !out.indices_.empty()) {
+      PSRA_REQUIRE(out.indices_.back() < p.indices_.front(),
+                   "concat parts must be disjoint and ascending");
+    }
+    out.indices_.insert(out.indices_.end(), p.indices_.begin(),
+                        p.indices_.end());
+    out.values_.insert(out.values_.end(), p.values_.begin(), p.values_.end());
+  }
+  return out;
+}
+
+}  // namespace psra::linalg

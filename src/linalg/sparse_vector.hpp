@@ -1,0 +1,84 @@
+// Sparse vector in coordinate (index, value) form with sorted unique indices.
+//
+// This is the representation the PSR-Allreduce cost analysis is written in:
+// transmitting one element costs theta_s = (value_bytes + index_bytes) / B.
+// The collectives operate on block slices of these vectors, so the type
+// supports cheap range extraction and merging.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_ops.hpp"
+
+namespace psra::linalg {
+
+class SparseVector {
+ public:
+  using Index = std::uint64_t;
+
+  SparseVector() = default;
+
+  /// Constructs from parallel arrays; indices must be strictly increasing and
+  /// < dim. Zero values are kept only if `keep_zeros`.
+  SparseVector(Index dim, std::vector<Index> indices,
+               std::vector<double> values);
+
+  /// Builds from a dense vector, dropping entries with |v| <= tol.
+  static SparseVector FromDense(std::span<const double> dense,
+                                double tol = 0.0);
+
+  /// Expands to a dense vector of size dim().
+  DenseVector ToDense() const;
+
+  /// Scatter-adds this vector into a dense accumulator (size must be dim()).
+  void AddToDense(std::span<double> dense, double scale = 1.0) const;
+
+  Index dim() const { return dim_; }
+  std::size_t nnz() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+
+  std::span<const Index> indices() const { return indices_; }
+  std::span<const double> values() const { return values_; }
+
+  /// Value at logical position i (O(log nnz)).
+  double At(Index i) const;
+
+  /// Extracts the sub-vector with indices in [begin, end); indices in the
+  /// result stay in the *original* coordinate system and dim() is preserved,
+  /// so slices of different blocks can be merged back together.
+  SparseVector Slice(Index begin, Index end) const;
+
+  /// Number of stored entries whose index lies in [begin, end).
+  std::size_t CountInRange(Index begin, Index end) const;
+
+  /// this += other (indices unioned, values summed). Entries that cancel to
+  /// exactly zero are kept; call Prune to drop them.
+  void AddInPlace(const SparseVector& other, double scale = 1.0);
+
+  /// Removes entries with |value| <= tol.
+  void Prune(double tol = 0.0);
+
+  void Scale(double alpha);
+
+  double Dot(std::span<const double> dense) const;
+
+  double Norm2() const;
+
+  /// Returns a + b.
+  static SparseVector Sum(const SparseVector& a, const SparseVector& b);
+
+  /// Concatenates sparse slices (disjoint, ascending index ranges) into one
+  /// vector. Dimensions must agree.
+  static SparseVector ConcatDisjoint(std::span<const SparseVector> parts);
+
+  bool operator==(const SparseVector& other) const = default;
+
+ private:
+  Index dim_ = 0;
+  std::vector<Index> indices_;  // strictly increasing
+  std::vector<double> values_;  // parallel to indices_
+};
+
+}  // namespace psra::linalg

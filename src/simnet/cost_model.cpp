@@ -1,0 +1,60 @@
+#include "simnet/cost_model.hpp"
+
+#include "support/status.hpp"
+
+namespace psra::simnet {
+
+CostModel::CostModel(const CostModelConfig& cfg) : cfg_(cfg) {
+  PSRA_REQUIRE(cfg.net_bandwidth_bytes_per_s > 0, "net bandwidth must be positive");
+  PSRA_REQUIRE(cfg.bus_bandwidth_bytes_per_s > 0, "bus bandwidth must be positive");
+  PSRA_REQUIRE(cfg.net_latency_s >= 0, "net latency must be non-negative");
+  PSRA_REQUIRE(cfg.bus_latency_s >= 0, "bus latency must be non-negative");
+  PSRA_REQUIRE(cfg.value_bytes > 0, "value_bytes must be positive");
+  PSRA_REQUIRE(cfg.seconds_per_flop > 0, "seconds_per_flop must be positive");
+}
+
+double CostModel::BandwidthOf(Link link) const {
+  switch (link) {
+    case Link::kLocal: return 0.0;  // unused; transfers are free
+    case Link::kIntraNode: return cfg_.bus_bandwidth_bytes_per_s;
+    case Link::kInterNode: return cfg_.net_bandwidth_bytes_per_s;
+  }
+  return cfg_.net_bandwidth_bytes_per_s;
+}
+
+VirtualTime CostModel::LatencyOf(Link link) const {
+  switch (link) {
+    case Link::kLocal: return 0.0;
+    case Link::kIntraNode: return cfg_.bus_latency_s;
+    case Link::kInterNode: return cfg_.net_latency_s;
+  }
+  return cfg_.net_latency_s;
+}
+
+VirtualTime CostModel::SparseElementCost(Link link) const {
+  if (link == Link::kLocal) return 0.0;
+  return static_cast<double>(cfg_.value_bytes + cfg_.index_bytes) /
+         BandwidthOf(link);
+}
+
+VirtualTime CostModel::DenseElementCost(Link link) const {
+  if (link == Link::kLocal) return 0.0;
+  return static_cast<double>(cfg_.value_bytes) / BandwidthOf(link);
+}
+
+VirtualTime CostModel::SparseTransferTime(Link link, std::size_t nnz) const {
+  if (link == Link::kLocal) return 0.0;
+  return LatencyOf(link) + static_cast<double>(nnz) * SparseElementCost(link);
+}
+
+VirtualTime CostModel::DenseTransferTime(Link link, std::size_t n) const {
+  if (link == Link::kLocal) return 0.0;
+  return LatencyOf(link) + static_cast<double>(n) * DenseElementCost(link);
+}
+
+VirtualTime CostModel::ComputeTime(double flops) const {
+  PSRA_REQUIRE(flops >= 0, "negative flop count");
+  return flops * cfg_.seconds_per_flop;
+}
+
+}  // namespace psra::simnet

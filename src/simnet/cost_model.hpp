@@ -1,0 +1,70 @@
+// Virtual-time cost model for communication and computation.
+//
+// This replaces wall-clock measurement on the paper's testbed (DESIGN.md §2):
+// every message is charged
+//     latency(link) + elements * theta(link)
+// where theta follows the paper's Section 4.2 definition
+//     theta_s = (value_bytes + index_bytes) / B     (sparse elements)
+//     theta_d =  value_bytes / B                    (dense elements)
+// with B the link bandwidth. Computation is charged as
+//     flops * seconds_per_flop * straggler_multiplier
+// with flop counts reported by the solvers, so results are deterministic and
+// host-independent.
+//
+// Defaults approximate the paper's platform: a TH2-Express-2-class NIC whose
+// bandwidth is shared by the node's worker processes (~280 MB/s effective
+// per process pair), an intra-node bus nearly two orders of magnitude
+// faster, and ~2 GFLOP/s of scalar throughput per worker core. These
+// defaults put the workloads in the paper's comm-dominated regime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simnet/topology.hpp"
+
+namespace psra::simnet {
+
+/// Virtual seconds.
+using VirtualTime = double;
+
+struct CostModelConfig {
+  double net_bandwidth_bytes_per_s = 2.8e8;   // inter-node network, per process
+  double bus_bandwidth_bytes_per_s = 16.0e9;  // intra-node bus / shared memory
+  double net_latency_s = 8e-6;                // per message
+  double bus_latency_s = 0.5e-6;              // per message
+  std::size_t value_bytes = 8;                // double precision
+  std::size_t index_bytes = 8;                // 64-bit indices
+  double seconds_per_flop = 5e-10;            // ~2 GFLOP/s per worker core
+};
+
+class CostModel {
+ public:
+  CostModel() : CostModel(CostModelConfig{}) {}
+  explicit CostModel(const CostModelConfig& cfg);
+
+  const CostModelConfig& config() const { return cfg_; }
+
+  double BandwidthOf(Link link) const;
+  VirtualTime LatencyOf(Link link) const;
+
+  /// Paper theta_s: time to move one sparse element (value + index).
+  VirtualTime SparseElementCost(Link link) const;
+
+  /// Time to move one dense element (value only; indices are implicit).
+  VirtualTime DenseElementCost(Link link) const;
+
+  /// One message carrying `nnz` sparse elements.
+  VirtualTime SparseTransferTime(Link link, std::size_t nnz) const;
+
+  /// One message carrying `n` dense values.
+  VirtualTime DenseTransferTime(Link link, std::size_t n) const;
+
+  /// Computation charge for `flops` floating-point operations.
+  VirtualTime ComputeTime(double flops) const;
+
+ private:
+  CostModelConfig cfg_;
+};
+
+}  // namespace psra::simnet

@@ -1,0 +1,35 @@
+#include "simnet/event_queue.hpp"
+
+#include "support/status.hpp"
+
+namespace psra::simnet {
+
+void EventQueue::ScheduleAt(VirtualTime t, Callback cb) {
+  PSRA_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  PSRA_REQUIRE(static_cast<bool>(cb), "null event callback");
+  heap_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::ScheduleAfter(VirtualTime delay, Callback cb) {
+  PSRA_REQUIRE(delay >= 0, "negative delay");
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::Step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here because we pop immediately — copy instead for clarity.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+std::size_t EventQueue::Run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+}  // namespace psra::simnet

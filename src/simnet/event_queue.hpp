@@ -1,0 +1,58 @@
+// Discrete-event queue over virtual time.
+//
+// Used by the asynchronous baseline (AD-ADMM) and the Group Generator to
+// order worker arrivals deterministically: ties on time are broken by
+// insertion sequence, so a given seed reproduces the exact event ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "simnet/cost_model.hpp"
+
+namespace psra::simnet {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+
+  /// Schedules `cb` at absolute virtual time `t` (must be >= Now()).
+  void ScheduleAt(VirtualTime t, Callback cb);
+
+  /// Schedules `cb` `delay` seconds after Now().
+  void ScheduleAfter(VirtualTime delay, Callback cb);
+
+  /// Runs events in time order until the queue drains (or `max_events`).
+  /// Returns the number of events executed.
+  std::size_t Run(std::size_t max_events = SIZE_MAX);
+
+  /// Executes only the next event; returns false if the queue is empty.
+  bool Step();
+
+  VirtualTime Now() const { return now_; }
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    VirtualTime time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  VirtualTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace psra::simnet

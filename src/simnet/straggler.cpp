@@ -1,0 +1,47 @@
+#include "simnet/straggler.hpp"
+
+#include "support/status.hpp"
+
+namespace psra::simnet {
+
+StragglerModel::StragglerModel(const Topology& topo,
+                               const StragglerConfig& cfg)
+    : topo_(topo), cfg_(cfg) {
+  PSRA_REQUIRE(cfg.node_probability >= 0.0 && cfg.node_probability <= 1.0,
+               "straggler probability must be in [0, 1]");
+  PSRA_REQUIRE(cfg.slow_factor_min >= 1.0,
+               "slow factor must be at least 1 (slower, not faster)");
+  PSRA_REQUIRE(cfg.slow_factor_max >= cfg.slow_factor_min,
+               "slow factor range inverted");
+}
+
+StragglerModel StragglerModel::None(const Topology& topo) {
+  StragglerConfig cfg;
+  cfg.node_probability = 0.0;
+  return StragglerModel(topo, cfg);
+}
+
+double StragglerModel::ComputeMultiplier(Rank rank,
+                                         std::uint64_t iteration) const {
+  if (!enabled()) return 1.0;
+  const NodeId node = topo_.NodeOf(rank);
+  // Deterministic per (seed, iteration, node): fork a stream keyed by both.
+  Rng base(cfg_.seed);
+  Rng iter_rng = base.Fork(iteration);
+  Rng node_rng = iter_rng.Fork(node);
+  if (!node_rng.NextBool(cfg_.node_probability)) return 1.0;
+  return node_rng.NextDouble(cfg_.slow_factor_min, cfg_.slow_factor_max);
+}
+
+std::vector<NodeId> StragglerModel::StragglingNodes(
+    std::uint64_t iteration) const {
+  std::vector<NodeId> out;
+  if (!enabled()) return out;
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    const Rank r = topo_.RankOf(n, 0);
+    if (ComputeMultiplier(r, iteration) > 1.0) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace psra::simnet

@@ -1,0 +1,49 @@
+// Straggler injection (paper Section 5.5).
+//
+// The paper simulates out-of-step nodes by "randomly select[ing] nodes and
+// prolong[ing] their computation time". We reproduce that: per iteration a
+// subset of nodes is chosen and every worker on a chosen node has its compute
+// time multiplied by a slow factor. The selection is a pure function of
+// (seed, iteration), so two algorithms compared under the same model see the
+// same stragglers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/topology.hpp"
+#include "support/rng.hpp"
+
+namespace psra::simnet {
+
+struct StragglerConfig {
+  /// Probability that a given node straggles in a given iteration.
+  double node_probability = 0.0;
+  /// Compute-time multiplier range for straggling nodes.
+  double slow_factor_min = 2.0;
+  double slow_factor_max = 5.0;
+  std::uint64_t seed = 7;
+};
+
+class StragglerModel {
+ public:
+  StragglerModel(const Topology& topo, const StragglerConfig& cfg);
+
+  /// Disabled model: every multiplier is 1.
+  static StragglerModel None(const Topology& topo);
+
+  /// Multiplier applied to compute time of `rank` during `iteration`.
+  double ComputeMultiplier(Rank rank, std::uint64_t iteration) const;
+
+  /// Nodes straggling during `iteration` (ascending).
+  std::vector<NodeId> StragglingNodes(std::uint64_t iteration) const;
+
+  bool enabled() const { return cfg_.node_probability > 0.0; }
+  const StragglerConfig& config() const { return cfg_; }
+
+ private:
+  Topology topo_;
+  StragglerConfig cfg_;
+};
+
+}  // namespace psra::simnet

@@ -1,0 +1,48 @@
+#include "simnet/topology.hpp"
+
+#include "support/status.hpp"
+
+namespace psra::simnet {
+
+Topology::Topology(NodeId num_nodes, std::uint32_t workers_per_node)
+    : num_nodes_(num_nodes), workers_per_node_(workers_per_node) {
+  PSRA_REQUIRE(num_nodes >= 1, "topology needs at least one node");
+  PSRA_REQUIRE(workers_per_node >= 1, "topology needs at least one worker per node");
+}
+
+NodeId Topology::NodeOf(Rank r) const {
+  PSRA_REQUIRE(r < world_size(), "rank out of range");
+  return r / workers_per_node_;
+}
+
+std::uint32_t Topology::LocalIndexOf(Rank r) const {
+  PSRA_REQUIRE(r < world_size(), "rank out of range");
+  return r % workers_per_node_;
+}
+
+Rank Topology::RankOf(NodeId node, std::uint32_t local) const {
+  PSRA_REQUIRE(node < num_nodes_, "node out of range");
+  PSRA_REQUIRE(local < workers_per_node_, "local index out of range");
+  return node * workers_per_node_ + local;
+}
+
+bool Topology::SameNode(Rank a, Rank b) const {
+  return NodeOf(a) == NodeOf(b);
+}
+
+Link Topology::LinkBetween(Rank a, Rank b) const {
+  if (a == b) return Link::kLocal;
+  return SameNode(a, b) ? Link::kIntraNode : Link::kInterNode;
+}
+
+std::vector<Rank> Topology::RanksOnNode(NodeId node) const {
+  PSRA_REQUIRE(node < num_nodes_, "node out of range");
+  std::vector<Rank> out;
+  out.reserve(workers_per_node_);
+  for (std::uint32_t l = 0; l < workers_per_node_; ++l) {
+    out.push_back(RankOf(node, l));
+  }
+  return out;
+}
+
+}  // namespace psra::simnet

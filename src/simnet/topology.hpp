@@ -1,0 +1,47 @@
+// Two-level cluster topology: physical nodes each hosting several workers.
+//
+// Mirrors the paper's experimental platform (Tianhe-2: up to 32 nodes x 16
+// processes). Worker ranks are global and dense: rank = node * wpn + local.
+// Workers on the same node communicate over the bus; workers on different
+// nodes over the network — the distinction drives the CostModel and the WLG
+// hierarchical grouping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psra::simnet {
+
+using Rank = std::uint32_t;
+using NodeId = std::uint32_t;
+
+enum class Link {
+  kLocal,      // same worker (no transfer)
+  kIntraNode,  // same physical node: bus
+  kInterNode,  // different nodes: network
+};
+
+class Topology {
+ public:
+  Topology(NodeId num_nodes, std::uint32_t workers_per_node);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::uint32_t workers_per_node() const { return workers_per_node_; }
+  Rank world_size() const { return num_nodes_ * workers_per_node_; }
+
+  NodeId NodeOf(Rank r) const;
+  std::uint32_t LocalIndexOf(Rank r) const;
+  Rank RankOf(NodeId node, std::uint32_t local) const;
+
+  bool SameNode(Rank a, Rank b) const;
+  Link LinkBetween(Rank a, Rank b) const;
+
+  /// All ranks hosted on `node`, ascending.
+  std::vector<Rank> RanksOnNode(NodeId node) const;
+
+ private:
+  NodeId num_nodes_;
+  std::uint32_t workers_per_node_;
+};
+
+}  // namespace psra::simnet

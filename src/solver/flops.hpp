@@ -1,0 +1,17 @@
+// Floating-point operation accounting.
+//
+// The execution engines charge virtual compute time as flops *
+// seconds_per_flop (simnet::CostModel), so every numeric kernel that runs on
+// behalf of a simulated worker reports its work through a FlopCounter.
+#pragma once
+
+namespace psra::solver {
+
+struct FlopCounter {
+  double flops = 0.0;
+
+  void Add(double f) { flops += f; }
+  void Reset() { flops = 0.0; }
+};
+
+}  // namespace psra::solver

@@ -1,0 +1,163 @@
+#include "solver/logistic.hpp"
+
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace psra::solver {
+
+namespace {
+/// log(1 + exp(-m)) computed without overflow for large |m|.
+inline double LogisticTerm(double margin) {
+  if (margin >= 0) return std::log1p(std::exp(-margin));
+  return -margin + std::log1p(std::exp(margin));
+}
+/// sigma(m) = 1 / (1 + exp(-m)), overflow-safe.
+inline double Sigmoid(double margin) {
+  if (margin >= 0) return 1.0 / (1.0 + std::exp(-margin));
+  const double e = std::exp(margin);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+double LogisticValue(const data::Dataset& ds, std::span<const double> x,
+                     FlopCounter* flops) {
+  PSRA_REQUIRE(x.size() == ds.num_features(), "dimension mismatch");
+  const auto& m = ds.features();
+  double acc = 0.0;
+  for (std::uint64_t r = 0; r < m.rows(); ++r) {
+    const double margin =
+        ds.labels()[static_cast<std::size_t>(r)] * m.RowDot(r, x);
+    acc += LogisticTerm(margin);
+  }
+  if (flops != nullptr) {
+    flops->Add(2.0 * static_cast<double>(ds.nnz()) +
+               8.0 * static_cast<double>(ds.num_samples()));
+  }
+  return acc;
+}
+
+ProximalLogistic::ProximalLogistic(const data::Dataset* shard, double rho)
+    : shard_(shard), rho_(rho) {
+  PSRA_REQUIRE(shard_ != nullptr, "null shard");
+  PSRA_REQUIRE(rho_ >= 0.0, "rho must be non-negative");
+}
+
+void ProximalLogistic::SetRho(double rho) {
+  PSRA_REQUIRE(rho >= 0.0, "rho must be non-negative");
+  rho_ = rho;
+}
+
+void ProximalLogistic::SetIterationTerms(std::span<const double> v,
+                                         std::span<const double> z) {
+  PSRA_REQUIRE(v.size() == dim(), "linear term dimension mismatch");
+  PSRA_REQUIRE(z.size() == dim(), "proximal center dimension mismatch");
+  v_ = v;
+  z_ = z;
+}
+
+std::uint64_t ProximalLogistic::dim() const { return shard_->num_features(); }
+std::uint64_t ProximalLogistic::num_samples() const {
+  return shard_->num_samples();
+}
+
+double ProximalLogistic::Value(std::span<const double> x,
+                               FlopCounter* flops) const {
+  PSRA_REQUIRE(x.size() == dim(), "dimension mismatch");
+  PSRA_REQUIRE(!v_.empty() && !z_.empty(),
+               "SetIterationTerms must be called first");
+  double acc = LogisticValue(*shard_, x, flops);
+  double prox = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i] * v_[i];
+    const double d = x[i] - z_[i];
+    prox += d * d;
+  }
+  acc += 0.5 * rho_ * prox;
+  if (flops != nullptr) flops->Add(6.0 * static_cast<double>(x.size()));
+  return acc;
+}
+
+double ProximalLogistic::ValueAndGradient(std::span<const double> x,
+                                          std::span<double> grad,
+                                          FlopCounter* flops) const {
+  PSRA_REQUIRE(x.size() == dim() && grad.size() == dim(),
+               "dimension mismatch");
+  PSRA_REQUIRE(!v_.empty() && !z_.empty(),
+               "SetIterationTerms must be called first");
+  const auto& m = shard_->features();
+  const auto n = static_cast<std::size_t>(num_samples());
+
+  margins_.resize(n);
+  m.Multiply(x, margins_);
+
+  // Gradient of the logistic part: sum_s (sigma(m_s) - 1) * y_s * a_s.
+  double value = 0.0;
+  linalg::DenseVector coeff(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double y = shard_->labels()[s];
+    const double margin = y * margins_[s];
+    value += LogisticTerm(margin);
+    coeff[s] = (Sigmoid(margin) - 1.0) * y;
+  }
+  linalg::SetZero(grad);
+  m.TransposeMultiplyAdd(coeff, grad);
+
+  // Proximal and linear parts.
+  double prox = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    value += x[i] * v_[i];
+    const double d = x[i] - z_[i];
+    prox += d * d;
+    grad[i] += v_[i] + rho_ * d;
+  }
+  value += 0.5 * rho_ * prox;
+
+  if (flops != nullptr) {
+    flops->Add(4.0 * static_cast<double>(m.nnz()) +
+               12.0 * static_cast<double>(n) +
+               8.0 * static_cast<double>(x.size()));
+  }
+  return value;
+}
+
+void ProximalLogistic::PrepareHessian(std::span<const double> x,
+                                      FlopCounter* flops) const {
+  PSRA_REQUIRE(x.size() == dim(), "dimension mismatch");
+  const auto& m = shard_->features();
+  const auto n = static_cast<std::size_t>(num_samples());
+  margins_.resize(n);
+  m.Multiply(x, margins_);
+  hess_weights_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double sig = Sigmoid(shard_->labels()[s] * margins_[s]);
+    hess_weights_[s] = sig * (1.0 - sig);
+  }
+  if (flops != nullptr) {
+    flops->Add(2.0 * static_cast<double>(m.nnz()) +
+               6.0 * static_cast<double>(n));
+  }
+}
+
+void ProximalLogistic::HessianVec(std::span<const double> d,
+                                  std::span<double> out,
+                                  FlopCounter* flops) const {
+  PSRA_REQUIRE(d.size() == dim() && out.size() == dim(), "dimension mismatch");
+  PSRA_CHECK(hess_weights_.size() == num_samples(),
+             "PrepareHessian must be called before HessianVec");
+  const auto& m = shard_->features();
+  const auto n = static_cast<std::size_t>(num_samples());
+
+  linalg::DenseVector tmp(n);
+  m.Multiply(d, tmp);
+  for (std::size_t s = 0; s < n; ++s) tmp[s] *= hess_weights_[s];
+  for (std::size_t i = 0; i < d.size(); ++i) out[i] = rho_ * d[i];
+  m.TransposeMultiplyAdd(tmp, out);
+
+  if (flops != nullptr) {
+    flops->Add(4.0 * static_cast<double>(m.nnz()) +
+               static_cast<double>(n) + 2.0 * static_cast<double>(d.size()));
+  }
+}
+
+}  // namespace psra::solver

@@ -1,0 +1,68 @@
+// L2-proximal logistic loss for the ADMM x-subproblem (paper eq. 4):
+//
+//   phi(x) = sum_s log(1 + exp(-y_s a_s^T x)) + x^T v + (rho/2) ||x - z||^2
+//
+// with v the dual term (y_i in the paper) and z the consensus iterate.
+// Provides value, gradient and Hessian-vector products (H = A^T D A + rho I)
+// so TRON can run matrix-free over the CSR shard.
+#pragma once
+
+#include <span>
+
+#include "data/dataset.hpp"
+#include "linalg/dense_ops.hpp"
+#include "solver/flops.hpp"
+
+namespace psra::solver {
+
+/// Plain logistic loss over a dataset (no proximal terms); also used to
+/// evaluate the global objective on the full training set.
+double LogisticValue(const data::Dataset& ds, std::span<const double> x,
+                     FlopCounter* flops = nullptr);
+
+class ProximalLogistic {
+ public:
+  /// `shard` must outlive this object. rho >= 0; v and z have the feature
+  /// dimension (either may be empty spans meaning zero).
+  ProximalLogistic(const data::Dataset* shard, double rho);
+
+  /// Sets the proximal center z and linear term v for the current ADMM
+  /// iteration. Both must have size dim() (enforced).
+  void SetIterationTerms(std::span<const double> v, std::span<const double> z);
+
+  /// Updates the proximal weight (adaptive-penalty ADMM changes rho between
+  /// iterations).
+  void SetRho(double rho);
+  double rho() const { return rho_; }
+
+  std::uint64_t dim() const;
+  std::uint64_t num_samples() const;
+
+  /// phi(x); also caches the per-sample margins for the follow-up gradient.
+  double Value(std::span<const double> x, FlopCounter* flops = nullptr) const;
+
+  /// grad = nabla phi(x). Returns phi(x).
+  double ValueAndGradient(std::span<const double> x, std::span<double> grad,
+                          FlopCounter* flops = nullptr) const;
+
+  /// Prepares Hessian state at x (per-sample sigma weights); must be called
+  /// before HessianVec.
+  void PrepareHessian(std::span<const double> x,
+                      FlopCounter* flops = nullptr) const;
+
+  /// out = (A^T D A + rho I) d, with D from the last PrepareHessian call.
+  void HessianVec(std::span<const double> d, std::span<double> out,
+                  FlopCounter* flops = nullptr) const;
+
+ private:
+  const data::Dataset* shard_;
+  double rho_;
+  std::span<const double> v_;
+  std::span<const double> z_;
+  // Scratch: per-sample weights sigma*(1-sigma) for Hessian products, and
+  // margin buffers. Mutable because they are caches, not state.
+  mutable linalg::DenseVector hess_weights_;
+  mutable linalg::DenseVector margins_;
+};
+
+}  // namespace psra::solver

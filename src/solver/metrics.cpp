@@ -1,0 +1,36 @@
+#include "solver/metrics.hpp"
+
+#include <cmath>
+
+#include "linalg/dense_ops.hpp"
+#include "solver/logistic.hpp"
+#include "support/status.hpp"
+
+namespace psra::solver {
+
+double GlobalObjective(const data::Dataset& full_train,
+                       std::span<const double> z, double lambda) {
+  PSRA_REQUIRE(lambda >= 0.0, "lambda must be non-negative");
+  return LogisticValue(full_train, z) + lambda * linalg::Norm1(z);
+}
+
+double RelativeError(double f_star, double f) {
+  PSRA_REQUIRE(f > 0.0, "reference objective must be positive");
+  return std::fabs(f_star - f) / f;
+}
+
+double Accuracy(const data::Dataset& test, std::span<const double> z) {
+  PSRA_REQUIRE(z.size() == test.num_features(), "dimension mismatch");
+  if (test.num_samples() == 0) return 0.0;
+  const auto& m = test.features();
+  std::uint64_t correct = 0;
+  for (std::uint64_t r = 0; r < m.rows(); ++r) {
+    const double score = m.RowDot(r, z);
+    const double predicted = score >= 0 ? 1.0 : -1.0;
+    if (predicted == test.labels()[static_cast<std::size_t>(r)]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(test.num_samples());
+}
+
+}  // namespace psra::solver

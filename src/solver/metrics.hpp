@@ -1,0 +1,24 @@
+// Evaluation metrics from the paper's Section 5:
+//   - global objective F(z) = sum_i logistic_i(z) + lambda ||z||_1 (eq. 17)
+//   - relative error |f* - f| / f (eq. 18)
+//   - test accuracy: fraction of test samples with sign(a^T z) == label
+#pragma once
+
+#include <span>
+
+#include "data/dataset.hpp"
+
+namespace psra::solver {
+
+/// F(z) over the full training set with L1 regularization (paper eq. 17).
+double GlobalObjective(const data::Dataset& full_train,
+                       std::span<const double> z, double lambda);
+
+/// Paper eq. 18: f is the best (smallest) objective value achievable, f_star
+/// the current one. Requires f > 0 (true for logistic loss at any finite z).
+double RelativeError(double f_star, double f);
+
+/// Classification accuracy of the linear model z on `test`.
+double Accuracy(const data::Dataset& test, std::span<const double> z);
+
+}  // namespace psra::solver

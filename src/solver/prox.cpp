@@ -1,0 +1,60 @@
+#include "solver/prox.hpp"
+
+#include "linalg/dense_ops.hpp"
+#include "support/status.hpp"
+
+namespace psra::solver {
+
+void ZUpdate(const ZUpdateConfig& cfg, std::span<const double> W,
+             std::span<double> z, FlopCounter* flops) {
+  PSRA_REQUIRE(W.size() == z.size(), "dimension mismatch");
+  PSRA_REQUIRE(cfg.rho > 0.0, "rho must be positive");
+  PSRA_REQUIRE(cfg.num_workers >= 1, "need at least one worker");
+  PSRA_REQUIRE(cfg.lambda >= 0.0, "lambda must be non-negative");
+
+  const double scale = cfg.rho * static_cast<double>(cfg.num_workers);
+  switch (cfg.regularizer) {
+    case Regularizer::kNone:
+      for (std::size_t i = 0; i < z.size(); ++i) z[i] = W[i] / scale;
+      break;
+    case Regularizer::kL1: {
+      const double kappa = cfg.lambda / scale;
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        const double v = W[i] / scale;
+        if (v > kappa) {
+          z[i] = v - kappa;
+        } else if (v < -kappa) {
+          z[i] = v + kappa;
+        } else {
+          z[i] = 0.0;
+        }
+      }
+      break;
+    }
+    case Regularizer::kL2:
+      // argmin lambda||z||^2 + (scale/2)||z||^2 - z^T W
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        z[i] = W[i] / (scale + 2.0 * cfg.lambda);
+      }
+      break;
+  }
+  if (flops != nullptr) flops->Add(3.0 * static_cast<double>(z.size()));
+}
+
+void YUpdate(double rho, std::span<const double> x, std::span<const double> z,
+             std::span<double> y, FlopCounter* flops) {
+  PSRA_REQUIRE(x.size() == z.size() && x.size() == y.size(),
+               "dimension mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += rho * (x[i] - z[i]);
+  if (flops != nullptr) flops->Add(3.0 * static_cast<double>(y.size()));
+}
+
+void WLocal(double rho, std::span<const double> x, std::span<const double> y,
+            std::span<double> w, FlopCounter* flops) {
+  PSRA_REQUIRE(x.size() == y.size() && x.size() == w.size(),
+               "dimension mismatch");
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = y[i] + rho * x[i];
+  if (flops != nullptr) flops->Add(2.0 * static_cast<double>(w.size()));
+}
+
+}  // namespace psra::solver

@@ -1,0 +1,41 @@
+// Global-variable (z) update of the consensus ADMM (paper eq. 5/10).
+//
+// With W = sum_i (y_i + rho x_i) the z-subproblem is
+//   z = argmin_z  g(z) + (rho N / 2) ||z||^2 - z^T W
+// which for g = lambda ||.||_1 has the closed form
+//   z = SoftThreshold(W / (rho N), lambda / (rho N)).
+//
+// Note: the paper's eq. (7)/(10) writes the quadratic coefficient as rho/2;
+// expanding eq. (5) over N workers gives rho N / 2 — we implement the
+// consistent form (equivalent to the paper's with rho absorbed by N).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "solver/flops.hpp"
+
+namespace psra::solver {
+
+enum class Regularizer { kNone, kL1, kL2 };
+
+struct ZUpdateConfig {
+  Regularizer regularizer = Regularizer::kL1;
+  double lambda = 1.0;
+  double rho = 1.0;
+  std::uint64_t num_workers = 1;
+};
+
+/// Computes z from the aggregated W (both of size d).
+void ZUpdate(const ZUpdateConfig& cfg, std::span<const double> W,
+             std::span<double> z, FlopCounter* flops = nullptr);
+
+/// Dual ascent (paper eq. 6): y_i += rho * (x_i - z).
+void YUpdate(double rho, std::span<const double> x, std::span<const double> z,
+             std::span<double> y, FlopCounter* flops = nullptr);
+
+/// w_i = y_i + rho * x_i (paper eq. 8).
+void WLocal(double rho, std::span<const double> x, std::span<const double> y,
+            std::span<double> w, FlopCounter* flops = nullptr);
+
+}  // namespace psra::solver

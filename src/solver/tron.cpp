@@ -1,0 +1,153 @@
+#include "solver/tron.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/dense_ops.hpp"
+#include "support/status.hpp"
+
+namespace psra::solver {
+
+namespace {
+
+struct CgOutcome {
+  int iterations = 0;
+  bool hit_boundary = false;
+};
+
+/// Steihaug-Toint truncated CG: approximately solves H s = -g subject to
+/// ||s|| <= delta. `s` is overwritten with the step.
+CgOutcome TruncatedCg(const ProximalLogistic& f, std::span<const double> grad,
+                      double delta, const TronOptions& opt,
+                      std::span<double> s, FlopCounter* flops) {
+  const std::size_t d = grad.size();
+  linalg::SetZero(s);
+
+  linalg::DenseVector r(d), p(d), hp(d);
+  for (std::size_t i = 0; i < d; ++i) r[i] = -grad[i];
+  p = r;
+
+  double rr = linalg::Dot(r, r);
+  const double stop = opt.cg_tolerance * std::sqrt(linalg::Dot(grad, grad));
+
+  CgOutcome out;
+  for (int j = 0; j < opt.max_cg_iterations; ++j) {
+    if (std::sqrt(rr) <= stop) break;
+    ++out.iterations;
+
+    f.HessianVec(p, hp, flops);
+    const double php = linalg::Dot(p, hp);
+    if (flops != nullptr) flops->Add(10.0 * static_cast<double>(d));
+
+    auto to_boundary = [&](double /*unused*/) {
+      // Find tau >= 0 with ||s + tau p|| = delta.
+      const double ss = linalg::Dot(s, s);
+      const double sp = linalg::Dot(s, p);
+      const double pp = linalg::Dot(p, p);
+      const double disc = sp * sp + pp * (delta * delta - ss);
+      const double tau = (-sp + std::sqrt(std::max(0.0, disc))) / pp;
+      linalg::Axpy(tau, p, s);
+      out.hit_boundary = true;
+    };
+
+    if (php <= 0.0) {
+      // Negative curvature: follow p to the trust-region boundary.
+      to_boundary(0.0);
+      break;
+    }
+
+    const double alpha = rr / php;
+    // Tentative step length check.
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const double si = s[i] + alpha * p[i];
+      norm_sq += si * si;
+    }
+    if (norm_sq >= delta * delta) {
+      to_boundary(0.0);
+      break;
+    }
+
+    linalg::Axpy(alpha, p, s);
+    linalg::Axpy(-alpha, hp, r);
+    const double rr_new = linalg::Dot(r, r);
+    const double beta = rr_new / rr;
+    for (std::size_t i = 0; i < d; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+  }
+  return out;
+}
+
+}  // namespace
+
+TronResult TronMinimize(const ProximalLogistic& f, std::span<double> x,
+                        const TronOptions& opt, FlopCounter* flops) {
+  PSRA_REQUIRE(x.size() == f.dim(), "initial point dimension mismatch");
+  const std::size_t d = x.size();
+
+  linalg::DenseVector grad(d), grad_new(d), x_new(d), step(d), h_step(d);
+
+  TronResult res;
+  double value = f.ValueAndGradient(x, grad, flops);
+  double gnorm = linalg::Norm2(grad);
+  const double gnorm0 = gnorm;
+  double delta = gnorm0 > 0 ? gnorm0 : 1.0;
+
+  const auto is_converged = [&](double g) {
+    return g <= opt.gradient_tolerance * gnorm0 ||
+           (opt.absolute_tolerance > 0 && g <= opt.absolute_tolerance);
+  };
+  if (is_converged(gnorm) || gnorm0 == 0.0) {
+    res.converged = true;
+    res.objective = value;
+    res.gradient_norm = gnorm;
+    return res;
+  }
+
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    ++res.iterations;
+    f.PrepareHessian(x, flops);
+    const CgOutcome cg = TruncatedCg(f, grad, delta, opt, step, flops);
+    res.cg_iterations += cg.iterations;
+
+    // Predicted reduction from the quadratic model:
+    //   -(g^T s + 0.5 s^T H s)
+    f.HessianVec(step, h_step, flops);
+    const double gs = linalg::Dot(grad, step);
+    const double shs = linalg::Dot(step, h_step);
+    const double predicted = -(gs + 0.5 * shs);
+    if (flops != nullptr) flops->Add(6.0 * static_cast<double>(d));
+
+    for (std::size_t i = 0; i < d; ++i) x_new[i] = x[i] + step[i];
+    const double value_new = f.ValueAndGradient(x_new, grad_new, flops);
+    const double actual = value - value_new;
+    const double snorm = linalg::Norm2(step);
+
+    // Trust-region radius update (Lin-More style).
+    const double ratio = predicted > 0 ? actual / predicted : -1.0;
+    if (ratio < opt.eta1) {
+      delta = std::min(std::max(opt.sigma1 * snorm, opt.sigma1 * delta),
+                       opt.sigma2 * delta);
+    } else if (ratio >= opt.eta2 && cg.hit_boundary) {
+      delta = std::max(delta, opt.sigma3 * snorm);
+    }
+
+    if (ratio > opt.eta0 && actual > 0) {
+      std::copy(x_new.begin(), x_new.end(), x.begin());
+      value = value_new;
+      std::copy(grad_new.begin(), grad_new.end(), grad.begin());
+      gnorm = linalg::Norm2(grad);
+      if (is_converged(gnorm)) {
+        res.converged = true;
+        break;
+      }
+    }
+    if (delta < 1e-12 || snorm < 1e-14) break;  // stalled
+  }
+
+  res.objective = value;
+  res.gradient_norm = gnorm;
+  return res;
+}
+
+}  // namespace psra::solver

@@ -1,0 +1,102 @@
+#include "support/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "support/status.hpp"
+#include "support/string_util.hpp"
+
+namespace psra {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::AddInt(const std::string& name, std::int64_t* target,
+                       const std::string& help) {
+  PSRA_REQUIRE(target != nullptr, "null target");
+  options_.push_back({name, help, std::to_string(*target), false,
+                      [target](const std::string& v) { *target = ParseInt(v); }});
+}
+
+void CliParser::AddDouble(const std::string& name, double* target,
+                          const std::string& help) {
+  PSRA_REQUIRE(target != nullptr, "null target");
+  options_.push_back({name, help, FormatDouble(*target), false,
+                      [target](const std::string& v) { *target = ParseDouble(v); }});
+}
+
+void CliParser::AddString(const std::string& name, std::string* target,
+                          const std::string& help) {
+  PSRA_REQUIRE(target != nullptr, "null target");
+  options_.push_back({name, help, *target, false,
+                      [target](const std::string& v) { *target = v; }});
+}
+
+void CliParser::AddBool(const std::string& name, bool* target,
+                        const std::string& help) {
+  PSRA_REQUIRE(target != nullptr, "null target");
+  options_.push_back({name, help, *target ? "true" : "false", true,
+                      [target](const std::string& v) {
+                        const std::string lower = ToLower(v);
+                        if (lower == "true" || lower == "1" || lower.empty()) {
+                          *target = true;
+                        } else if (lower == "false" || lower == "0") {
+                          *target = false;
+                        } else {
+                          throw InvalidArgument("bad boolean value: " + v);
+                        }
+                      }});
+}
+
+const CliParser::Option* CliParser::Find(const std::string& name) const {
+  for (const auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+bool CliParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << Usage();
+      return false;
+    }
+    PSRA_REQUIRE(StartsWith(arg, "--"), "unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+
+    std::string name, value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = arg;
+    }
+
+    const Option* opt = Find(name);
+    PSRA_REQUIRE(opt != nullptr, "unknown flag --" + name);
+
+    if (!has_value && !opt->is_flag) {
+      PSRA_REQUIRE(i + 1 < argc, "flag --" + name + " requires a value");
+      value = argv[++i];
+    }
+    opt->assign(value);
+  }
+  return true;
+}
+
+std::string CliParser::Usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& opt : options_) {
+    os << "  --" << opt.name;
+    if (!opt.is_flag) os << " <value>";
+    os << "  (default: " << opt.default_repr << ")\n      " << opt.help << "\n";
+  }
+  os << "  --help\n      print this message\n";
+  return os.str();
+}
+
+}  // namespace psra

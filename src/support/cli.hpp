@@ -1,0 +1,50 @@
+// Tiny declarative command-line parser for the bench/example binaries.
+//
+//   CliParser cli("bench_fig5", "Reproduces Figure 5");
+//   int workers = 32;
+//   cli.AddInt("workers", &workers, "workers per run");
+//   cli.Parse(argc, argv);   // accepts --workers=64 and --workers 64
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace psra {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  void AddInt(const std::string& name, std::int64_t* target,
+              const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given.
+  /// Throws psra::InvalidArgument on unknown flags or malformed values.
+  bool Parse(int argc, const char* const* argv);
+
+  std::string Usage() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    std::string default_repr;
+    bool is_flag = false;
+    std::function<void(const std::string&)> assign;
+  };
+
+  const Option* Find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace psra

@@ -1,0 +1,102 @@
+#include "support/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/status.hpp"
+#include "support/string_util.hpp"
+
+namespace psra {
+
+Config Config::FromString(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    PSRA_REQUIRE(eq != std::string_view::npos,
+                 "config line " + std::to_string(lineno) + " lacks '='");
+    const std::string key{Trim(trimmed.substr(0, eq))};
+    const std::string value{Trim(trimmed.substr(eq + 1))};
+    PSRA_REQUIRE(!key.empty(),
+                 "config line " + std::to_string(lineno) + " has empty key");
+    cfg.entries_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromString(buf.str());
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+void Config::Set(const std::string& key, std::int64_t value) {
+  entries_[key] = std::to_string(value);
+}
+void Config::Set(const std::string& key, double value) {
+  entries_[key] = FormatDouble(value, 17);
+}
+void Config::Set(const std::string& key, bool value) {
+  entries_[key] = value ? "true" : "false";
+}
+
+bool Config::Has(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+std::string Config::GetString(const std::string& key) const {
+  const auto it = entries_.find(key);
+  PSRA_REQUIRE(it != entries_.end(), "missing config key: " + key);
+  return it->second;
+}
+std::string Config::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::GetInt(const std::string& key) const {
+  return ParseInt(GetString(key));
+}
+std::int64_t Config::GetInt(const std::string& key,
+                            std::int64_t fallback) const {
+  return Has(key) ? GetInt(key) : fallback;
+}
+
+double Config::GetDouble(const std::string& key) const {
+  return ParseDouble(GetString(key));
+}
+double Config::GetDouble(const std::string& key, double fallback) const {
+  return Has(key) ? GetDouble(key) : fallback;
+}
+
+bool Config::GetBool(const std::string& key) const {
+  const std::string lower = ToLower(GetString(key));
+  if (lower == "true" || lower == "1" || lower == "yes") return true;
+  if (lower == "false" || lower == "0" || lower == "no") return false;
+  throw InvalidArgument("config key '" + key + "' is not a boolean: " + lower);
+}
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  return Has(key) ? GetBool(key) : fallback;
+}
+
+std::string Config::ToString() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : entries_) os << k << " = " << v << '\n';
+  return os.str();
+}
+
+}  // namespace psra

@@ -1,0 +1,48 @@
+// Key=value configuration map with typed accessors.
+//
+// Used where an experiment is described by a flat set of parameters that may
+// come from a file or be built programmatically by a harness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace psra {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key = value" lines; '#' starts a comment; blank lines ignored.
+  static Config FromString(const std::string& text);
+  static Config FromFile(const std::string& path);
+
+  void Set(const std::string& key, const std::string& value);
+  void Set(const std::string& key, std::int64_t value);
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, bool value);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters with required/default variants. The required variants
+  /// throw psra::InvalidArgument when the key is absent or malformed.
+  std::string GetString(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& key) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  double GetDouble(const std::string& key) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+  /// Serializes back to "key = value" lines (sorted by key).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace psra

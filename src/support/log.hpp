@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// Thread-safe; writes to stderr. The level is a process-wide setting so the
+// benches/examples can silence the library with one call.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace psra {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+void LogMessage(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace psra
+
+#define PSRA_LOG(level)                                     \
+  if (::psra::GetLogLevel() > ::psra::LogLevel::level) {    \
+  } else                                                    \
+    ::psra::detail::LogLine(::psra::LogLevel::level)
+
+#define PSRA_LOG_DEBUG PSRA_LOG(kDebug)
+#define PSRA_LOG_INFO PSRA_LOG(kInfo)
+#define PSRA_LOG_WARN PSRA_LOG(kWarn)
+#define PSRA_LOG_ERROR PSRA_LOG(kError)

@@ -1,0 +1,117 @@
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace psra {
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  PSRA_REQUIRE(lo <= hi, "empty interval");
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t n) {
+  PSRA_REQUIRE(n > 0, "NextBelow(0)");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~std::uint64_t{0} - n + 1) % n;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  PSRA_REQUIRE(lo <= hi, "empty interval");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? Next() : NextBelow(span));
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = NextDouble(-1.0, 1.0);
+    v = NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  has_spare_gaussian_ = true;
+  return u * factor;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextExponential(double rate) {
+  PSRA_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  // 1 - U in (0,1] avoids log(0).
+  return -std::log(1.0 - NextDouble()) / rate;
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  PSRA_REQUIRE(k <= n, "sample size exceeds population");
+  // Floyd's algorithm produces k distinct values; collect then sort.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::vector<bool> chosen(n, false);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(NextBelow(j + 1));
+    if (!chosen[t]) {
+      chosen[t] = true;
+      out.push_back(t);
+    } else {
+      chosen[j] = true;
+      out.push_back(j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Rng Rng::Fork(std::uint64_t stream_id) {
+  std::uint64_t mix = s_[0] ^ Rotl(stream_id * 0xD1342543DE82EF95ULL, 31);
+  return Rng(SplitMix64(mix));
+}
+
+}  // namespace psra

@@ -1,0 +1,27 @@
+#include "support/status.hpp"
+
+#include <sstream>
+
+namespace psra::detail {
+
+namespace {
+std::string Format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [check `" << expr << "` failed at " << file
+     << ":" << line << "]";
+  return os.str();
+}
+}  // namespace
+
+void ThrowInvalidArgument(const char* expr, const char* file, int line,
+                          const std::string& msg) {
+  throw InvalidArgument(Format("invalid argument", expr, file, line, msg));
+}
+
+void ThrowInternalError(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw InternalError(Format("internal error", expr, file, line, msg));
+}
+
+}  // namespace psra::detail

@@ -1,0 +1,63 @@
+// Error-handling primitives shared by every psra module.
+//
+// The library reports unrecoverable misuse (precondition violations, internal
+// invariant breaks) via exceptions derived from `psra::Error`, raised through
+// the PSRA_CHECK / PSRA_REQUIRE macros so the failing expression and source
+// location are captured in the message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace psra {
+
+/// Base class of all exceptions thrown by the psra libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is broken (library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (missing file, parse error, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void ThrowInvalidArgument(const char* expr, const char* file,
+                                       int line, const std::string& msg);
+[[noreturn]] void ThrowInternalError(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace psra
+
+/// Validate a caller-supplied precondition; throws psra::InvalidArgument.
+#define PSRA_REQUIRE(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::psra::detail::ThrowInvalidArgument(#expr, __FILE__, __LINE__,      \
+                                           (msg));                         \
+    }                                                                      \
+  } while (false)
+
+/// Validate an internal invariant; throws psra::InternalError.
+#define PSRA_CHECK(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::psra::detail::ThrowInternalError(#expr, __FILE__, __LINE__,        \
+                                         (msg));                           \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,25 @@
+// Wall-clock stopwatch. Virtual (simulated) time lives in simnet; this is
+// only for reporting real harness runtimes.
+#pragma once
+
+#include <chrono>
+
+namespace psra {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace psra

@@ -1,0 +1,35 @@
+// Small string helpers used by parsers and the CLI layer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psra {
+
+/// Splits on a single character; empty tokens are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; empty tokens are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Strips leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict numeric parsing; throws psra::InvalidArgument on garbage.
+double ParseDouble(std::string_view s);
+std::int64_t ParseInt(std::string_view s);
+
+/// Human-friendly formatting used by the bench tables.
+std::string FormatBytes(double bytes);
+std::string FormatDuration(double seconds);
+
+/// printf-style double with fixed significant digits.
+std::string FormatDouble(double v, int precision = 6);
+
+std::string ToLower(std::string_view s);
+
+}  // namespace psra

@@ -1,0 +1,76 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+#include "support/status.hpp"
+#include "support/string_util.hpp"
+
+namespace psra {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PSRA_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  PSRA_REQUIRE(cells.size() == headers_.size(),
+               "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Cell(double v, int precision) {
+  return FormatDouble(v, precision);
+}
+std::string Table::Cell(std::int64_t v) { return std::to_string(v); }
+std::string Table::Cell(std::size_t v) { return std::to_string(v); }
+
+namespace {
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row, bool align_right) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      const bool right = align_right && LooksNumeric(row[c]);
+      os << (c == 0 ? "" : "  ");
+      if (right) os << std::string(pad, ' ');
+      os << row[c];
+      if (!right) os << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+  print_row(headers_, false);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  os << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) print_row(row, true);
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace psra

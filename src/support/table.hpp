@@ -1,0 +1,37 @@
+// Column-aligned plain-text table printer used by the bench harnesses to emit
+// paper-style rows/series.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psra {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell builders.
+  static std::string Cell(double v, int precision = 4);
+  static std::string Cell(std::int64_t v);
+  static std::string Cell(std::size_t v);
+
+  std::size_t NumRows() const { return rows_.size(); }
+
+  /// Renders with a header rule, right-aligned numeric-looking columns.
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (for downstream plotting).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psra

@@ -1,0 +1,86 @@
+#include "wlg/group_generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/status.hpp"
+
+namespace psra::wlg {
+
+GroupGenerator::GroupGenerator(std::uint32_t threshold,
+                               std::uint32_t num_leaders)
+    : threshold_(threshold), num_leaders_(num_leaders) {
+  PSRA_REQUIRE(threshold >= 1, "grouping threshold must be at least 1");
+  PSRA_REQUIRE(num_leaders >= 1, "need at least one leader");
+  PSRA_REQUIRE(threshold <= num_leaders,
+               "threshold larger than the number of leaders");
+  reported_.assign(num_leaders, false);
+}
+
+std::optional<GroupFormation> GroupGenerator::Report(simnet::NodeId node,
+                                                     simnet::VirtualTime t) {
+  PSRA_REQUIRE(node < num_leaders_, "node id out of range");
+  PSRA_REQUIRE(!reported_[node], "leader reported twice in one cycle");
+  PSRA_REQUIRE(t >= last_report_time_,
+               "reports must arrive in non-decreasing time order");
+  reported_[node] = true;
+  ++reports_this_cycle_;
+  last_report_time_ = t;
+  queue_.push_back(node);
+
+  if (queue_.size() < threshold_) return std::nullopt;
+
+  GroupFormation g;
+  g.members = std::move(queue_);
+  g.formed_at = t;
+  queue_.clear();
+
+  if (reports_this_cycle_ == num_leaders_) {
+    // Cycle complete with an exact fill; start the next cycle.
+    reports_this_cycle_ = 0;
+    last_report_time_ = 0.0;
+    std::fill(reported_.begin(), reported_.end(), false);
+  }
+  return g;
+}
+
+std::optional<GroupFormation> GroupGenerator::EndCycle() {
+  std::optional<GroupFormation> out;
+  if (!queue_.empty()) {
+    GroupFormation g;
+    g.members = std::move(queue_);
+    g.formed_at = last_report_time_;
+    queue_.clear();
+    out = g;
+  }
+  reports_this_cycle_ = 0;
+  last_report_time_ = 0.0;
+  std::fill(reported_.begin(), reported_.end(), false);
+  return out;
+}
+
+std::vector<GroupFormation> RunGroupingCycle(
+    GroupGenerator& gg, const std::vector<simnet::VirtualTime>& report_times) {
+  PSRA_REQUIRE(report_times.size() == gg.num_leaders(),
+               "one report time per leader required");
+  std::vector<simnet::NodeId> order(report_times.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](simnet::NodeId a, simnet::NodeId b) {
+                     if (report_times[a] != report_times[b]) {
+                       return report_times[a] < report_times[b];
+                     }
+                     return a < b;
+                   });
+
+  std::vector<GroupFormation> groups;
+  for (simnet::NodeId n : order) {
+    if (auto g = gg.Report(n, report_times[n])) {
+      groups.push_back(std::move(*g));
+    }
+  }
+  if (auto g = gg.EndCycle()) groups.push_back(std::move(*g));
+  return groups;
+}
+
+}  // namespace psra::wlg

@@ -1,0 +1,69 @@
+// Group Generator (GG) with buffer queue GQ — paper Section 4.3.2.
+//
+// Leaders report to the GG when their node finishes its local computation;
+// the GG pushes each reporter into the queue GQ and, whenever GQ reaches the
+// grouping threshold, pops those leaders as one communication group G_inter
+// and notifies them to synchronize. A grouping cycle spans one ADMM
+// iteration: once every leader has reported, any residual reporters (fewer
+// than the threshold, e.g. when the node count is not divisible) form a
+// final smaller group and the next cycle begins.
+//
+// Formation times are virtual: a group forms at the report time of its last
+// member, so fast nodes group with fast nodes and never wait for the global
+// straggler — the mechanism behind Figure 7.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "simnet/cost_model.hpp"
+#include "simnet/topology.hpp"
+
+namespace psra::wlg {
+
+struct GroupFormation {
+  std::vector<simnet::NodeId> members;
+  /// Virtual time the group was formed (report time of the last member).
+  simnet::VirtualTime formed_at = 0.0;
+};
+
+class GroupGenerator {
+ public:
+  /// `threshold` leaders form a group (>= 1); `num_leaders` total leaders in
+  /// the cluster (for cycle tracking).
+  GroupGenerator(std::uint32_t threshold, std::uint32_t num_leaders);
+
+  std::uint32_t threshold() const { return threshold_; }
+  std::uint32_t num_leaders() const { return num_leaders_; }
+
+  /// Leader of `node` reports at virtual time `t`. Reports within one cycle
+  /// must be delivered in non-decreasing time order (the engines sort
+  /// arrivals). Returns the formed group when this report fills the queue.
+  std::optional<GroupFormation> Report(simnet::NodeId node,
+                                       simnet::VirtualTime t);
+
+  /// Number of reports received in the current cycle.
+  std::uint32_t ReportsThisCycle() const { return reports_this_cycle_; }
+
+  /// Residual queue contents as a final (smaller) group; empty optional if
+  /// the queue is empty. Resets the cycle either way.
+  std::optional<GroupFormation> EndCycle();
+
+  std::size_t QueueDepth() const { return queue_.size(); }
+
+ private:
+  std::uint32_t threshold_;
+  std::uint32_t num_leaders_;
+  std::uint32_t reports_this_cycle_ = 0;
+  std::vector<simnet::NodeId> queue_;  // GQ
+  simnet::VirtualTime last_report_time_ = 0.0;
+  std::vector<bool> reported_;  // per-node guard within a cycle
+};
+
+/// Convenience: runs one full grouping cycle given every leader's report
+/// time, returning all formed groups (deterministic: ties broken by node id).
+std::vector<GroupFormation> RunGroupingCycle(
+    GroupGenerator& gg, const std::vector<simnet::VirtualTime>& report_times);
+
+}  // namespace psra::wlg

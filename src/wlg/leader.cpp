@@ -1,0 +1,32 @@
+#include "wlg/leader.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace psra::wlg {
+
+simnet::Rank ElectLeader(const simnet::Topology& topo,
+                         std::span<const simnet::Rank> node_ranks,
+                         LeaderPolicy policy, std::uint64_t seed) {
+  PSRA_REQUIRE(!node_ranks.empty(), "cannot elect a leader from no workers");
+  const simnet::NodeId node = topo.NodeOf(node_ranks[0]);
+  for (simnet::Rank r : node_ranks) {
+    PSRA_REQUIRE(topo.NodeOf(r) == node,
+                 "all candidates must live on the same node");
+  }
+  switch (policy) {
+    case LeaderPolicy::kLowestRank:
+      return *std::min_element(node_ranks.begin(), node_ranks.end());
+    case LeaderPolicy::kSeededRandom: {
+      Rng rng(seed);
+      Rng node_rng = rng.Fork(node);
+      return node_ranks[static_cast<std::size_t>(
+          node_rng.NextBelow(node_ranks.size()))];
+    }
+  }
+  throw InvalidArgument("unknown leader policy");
+}
+
+}  // namespace psra::wlg

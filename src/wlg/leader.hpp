@@ -1,0 +1,28 @@
+// Leader election for intra-node communication domains (paper Section 4.3:
+// "Workers in the same group form a communication domain and elect a worker
+// responsible for communication between communication domains, which is
+// called the Leader").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "simnet/topology.hpp"
+
+namespace psra::wlg {
+
+enum class LeaderPolicy {
+  /// Lowest global rank on the node (the MPI-style convention).
+  kLowestRank,
+  /// Deterministic pseudo-random pick keyed by (seed, node), so tests can
+  /// exercise non-rank-0 leaders.
+  kSeededRandom,
+};
+
+/// Elects the leader among `node_ranks` (must be non-empty, all on one node).
+simnet::Rank ElectLeader(const simnet::Topology& topo,
+                         std::span<const simnet::Rank> node_ranks,
+                         LeaderPolicy policy = LeaderPolicy::kLowestRank,
+                         std::uint64_t seed = 0);
+
+}  // namespace psra::wlg

@@ -1,0 +1,108 @@
+// Tests for model checkpointing (save/load round trips, format errors).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "admm/checkpoint.hpp"
+#include "admm/problem.hpp"
+#include "admm/psra_hgadmm.hpp"
+#include "solver/metrics.hpp"
+#include "support/status.hpp"
+
+namespace psra::admm {
+namespace {
+
+ModelCheckpoint SampleModel() {
+  ModelCheckpoint m;
+  m.algorithm = "PSRA-HGADMM(psr)";
+  m.lambda = 1.5;
+  m.rho = 0.25;
+  m.z.assign(10, 0.0);
+  m.z[0] = 1.25;
+  m.z[7] = -3.5e-4;
+  return m;
+}
+
+TEST(Checkpoint, RoundTripPreservesEverything) {
+  const auto m = SampleModel();
+  std::ostringstream os;
+  WriteModel(m, os);
+  std::istringstream is(os.str());
+  const auto back = ReadModel(is);
+  EXPECT_EQ(back.algorithm, m.algorithm);
+  EXPECT_DOUBLE_EQ(back.lambda, m.lambda);
+  EXPECT_DOUBLE_EQ(back.rho, m.rho);
+  ASSERT_EQ(back.z.size(), m.z.size());
+  for (std::size_t i = 0; i < m.z.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.z[i], m.z[i]) << i;
+  }
+}
+
+TEST(Checkpoint, SparseStorageOmitsZeros) {
+  const auto m = SampleModel();
+  std::ostringstream os;
+  WriteModel(m, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("nnz 2"), std::string::npos);
+  // header(5 lines) + nnz line...: magic, algorithm, dim, lambda, rho, nnz,
+  // then exactly 2 entries.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 8);
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  std::istringstream is("not a model\n");
+  EXPECT_THROW(ReadModel(is), InvalidArgument);
+}
+
+TEST(Checkpoint, RejectsTruncatedEntries) {
+  std::istringstream is(
+      "psra-model v1\nalgorithm x\ndim 4\nlambda 1\nrho 1\nnnz 2\n0 1.0\n");
+  EXPECT_THROW(ReadModel(is), InvalidArgument);
+}
+
+TEST(Checkpoint, RejectsOutOfRangeIndex) {
+  std::istringstream is(
+      "psra-model v1\nalgorithm x\ndim 2\nlambda 1\nrho 1\nnnz 1\n5 1.0\n");
+  EXPECT_THROW(ReadModel(is), InvalidArgument);
+}
+
+TEST(Checkpoint, RejectsUnknownHeaderField) {
+  std::istringstream is("psra-model v1\nflavor vanilla\n");
+  EXPECT_THROW(ReadModel(is), InvalidArgument);
+}
+
+TEST(Checkpoint, MissingFileThrowsIoError) {
+  EXPECT_THROW(ReadModelFile("/nonexistent/model"), IoError);
+}
+
+TEST(Checkpoint, EmptyModelRejectedOnWrite) {
+  ModelCheckpoint m;
+  std::ostringstream os;
+  EXPECT_THROW(WriteModel(m, os), InvalidArgument);
+}
+
+TEST(Checkpoint, FromRunResultScoresIdentically) {
+  data::SyntheticSpec spec;
+  spec.num_features = 100;
+  spec.num_train = 120;
+  spec.num_test = 60;
+  spec.mean_row_nnz = 8.0;
+  ClusterConfig cluster;
+  cluster.num_nodes = 2;
+  cluster.workers_per_node = 2;
+  const auto p = BuildProblem(spec, cluster.world_size());
+  PsraConfig cfg;
+  cfg.cluster = cluster;
+  RunOptions opt;
+  opt.max_iterations = 10;
+  const auto res = PsraHgAdmm(cfg).Run(p, opt);
+
+  std::ostringstream os;
+  WriteModel(FromRunResult(res, p.lambda, p.rho), os);
+  std::istringstream is(os.str());
+  const auto loaded = ReadModel(is);
+  EXPECT_DOUBLE_EQ(solver::Accuracy(p.test, loaded.z), res.final_accuracy);
+}
+
+}  // namespace
+}  // namespace psra::admm

@@ -1,0 +1,516 @@
+// Tests for the collectives: correctness of every allreduce algorithm and
+// the communication-cost properties the paper derives in Section 4.2
+// (eq. 11-16). Layouts used:
+//   uniform   — every worker has q nonzeros in every block (same indices
+//               across workers), so block sizes never change during a reduce;
+//   own       — worker i's nonzeros lie only in block i (PSR best case:
+//               T_psr-sr = 0);
+//   hot       — all workers share the same q indices inside block 0
+//               (paper's "concentrated" worst case with overlap);
+//   disjoint  — all nonzeros in block 0 but disjoint across workers (partial
+//               sums grow while circulating: Ring's true worst case).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/allreduce_impl.hpp"
+#include "comm/collective.hpp"
+#include "comm/group.hpp"
+#include "comm/intranode.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace psra::comm {
+namespace {
+
+using linalg::DenseVector;
+using linalg::SparseVector;
+using simnet::Link;
+using simnet::Rank;
+using simnet::Topology;
+using simnet::VirtualTime;
+
+/// One worker per node -> every pair is inter-node; theta_s == 1 exactly.
+struct Fixture {
+  explicit Fixture(std::uint32_t n)
+      : topo(n, 1), cost(MakeConfig()), group(MakeGroup(n)) {}
+
+  static simnet::CostModelConfig MakeConfig() {
+    simnet::CostModelConfig cfg;
+    cfg.net_bandwidth_bytes_per_s = 16.0;  // theta_s = (8+8)/16 = 1 s/elem
+    cfg.bus_bandwidth_bytes_per_s = 160.0;
+    cfg.net_latency_s = 0.0;
+    cfg.bus_latency_s = 0.0;
+    return cfg;
+  }
+
+  GroupComm MakeGroup(std::uint32_t n) {
+    std::vector<Rank> members(n);
+    for (std::uint32_t i = 0; i < n; ++i) members[i] = i;
+    return GroupComm(&topo, &cost, members);
+  }
+
+  Topology topo;
+  simnet::CostModel cost;
+  GroupComm group;
+};
+
+std::vector<VirtualTime> ZeroStarts(std::size_t n) {
+  return std::vector<VirtualTime>(n, 0.0);
+}
+
+// Block b of worker i spans [dim*b/N, dim*(b+1)/N). Layout builders place q
+// nonzeros per described region; dim = N * block elements.
+std::vector<SparseVector> UniformLayout(std::uint32_t n, std::uint64_t block,
+                                        std::uint32_t q) {
+  const std::uint64_t dim = static_cast<std::uint64_t>(n) * block;
+  std::vector<SparseVector> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::vector<SparseVector::Index> idx;
+    std::vector<double> val;
+    for (std::uint32_t b = 0; b < n; ++b) {
+      for (std::uint32_t k = 0; k < q; ++k) {
+        idx.push_back(static_cast<std::uint64_t>(b) * block + k);
+        val.push_back(1.0 + i);
+      }
+    }
+    out.emplace_back(dim, std::move(idx), std::move(val));
+  }
+  return out;
+}
+
+std::vector<SparseVector> OwnBlockLayout(std::uint32_t n, std::uint64_t block,
+                                         std::uint32_t q) {
+  const std::uint64_t dim = static_cast<std::uint64_t>(n) * block;
+  std::vector<SparseVector> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::vector<SparseVector::Index> idx;
+    std::vector<double> val;
+    for (std::uint32_t k = 0; k < q; ++k) {
+      idx.push_back(static_cast<std::uint64_t>(i) * block + k);
+      val.push_back(2.0);
+    }
+    out.emplace_back(dim, std::move(idx), std::move(val));
+  }
+  return out;
+}
+
+std::vector<SparseVector> HotBlockLayout(std::uint32_t n, std::uint64_t block,
+                                         std::uint32_t q) {
+  const std::uint64_t dim = static_cast<std::uint64_t>(n) * block;
+  std::vector<SparseVector> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::vector<SparseVector::Index> idx;
+    std::vector<double> val;
+    for (std::uint32_t k = 0; k < q; ++k) {
+      idx.push_back(k);  // same q indices in block 0 for everyone
+      val.push_back(1.0);
+    }
+    out.emplace_back(dim, std::move(idx), std::move(val));
+  }
+  return out;
+}
+
+std::vector<SparseVector> DisjointBlockLayout(std::uint32_t n,
+                                              std::uint64_t block,
+                                              std::uint32_t q) {
+  const std::uint64_t dim = static_cast<std::uint64_t>(n) * block;
+  std::vector<SparseVector> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::vector<SparseVector::Index> idx;
+    std::vector<double> val;
+    for (std::uint32_t k = 0; k < q; ++k) {
+      idx.push_back(static_cast<std::uint64_t>(i) * q + k);  // in block 0
+      val.push_back(1.0);
+    }
+    out.emplace_back(dim, std::move(idx), std::move(val));
+  }
+  return out;
+}
+
+DenseVector SumDense(const std::vector<DenseVector>& inputs) {
+  DenseVector sum(inputs[0].size(), 0.0);
+  for (const auto& v : inputs) linalg::Axpy(1.0, v, sum);
+  return sum;
+}
+
+// ------------------------------------------------------------ GroupComm ----
+
+TEST(GroupComm, RankMappingAndBlocks) {
+  Fixture f(4);
+  EXPECT_EQ(f.group.size(), 4u);
+  EXPECT_EQ(f.group.GlobalRank(2), 2u);
+  EXPECT_EQ(f.group.LocalRank(3), 3u);
+  EXPECT_FALSE(f.group.Contains(99));
+  const auto [lo, hi] = f.group.BlockRange(10, 1);
+  EXPECT_EQ(lo, 2u);
+  EXPECT_EQ(hi, 5u);
+}
+
+TEST(GroupComm, RejectsDuplicatesAndStrangers) {
+  Fixture f(4);
+  EXPECT_THROW(GroupComm(&f.topo, &f.cost, {0, 0}), InvalidArgument);
+  EXPECT_THROW(GroupComm(&f.topo, &f.cost, {9}), InvalidArgument);
+  EXPECT_THROW(f.group.LocalRank(7), InvalidArgument);
+}
+
+TEST(GroupComm, SubsetGroupUsesGlobalRanks) {
+  const Topology topo(4, 2);
+  const simnet::CostModel cost;
+  const GroupComm g(&topo, &cost, {1, 6, 0});
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.GlobalRank(1), 6u);
+  EXPECT_EQ(g.LinkBetween(0, 2), Link::kIntraNode);  // ranks 1 and 0: node 0
+  EXPECT_EQ(g.LinkBetween(0, 1), Link::kInterNode);  // ranks 1 and 6
+}
+
+// --------------------------------------------------- correctness (all) ----
+
+class AllreduceCorrectness
+    : public ::testing::TestWithParam<std::tuple<AllreduceKind, int>> {};
+
+TEST_P(AllreduceCorrectness, DenseOutputsEqualSum) {
+  const auto [kind, n] = GetParam();
+  Fixture f(static_cast<std::uint32_t>(n));
+  const auto alg = MakeAllreduce(kind);
+
+  Rng rng(static_cast<std::uint64_t>(n) * 7 + 1);
+  std::vector<DenseVector> inputs(n);
+  for (auto& v : inputs) {
+    v.resize(23);
+    for (auto& e : v) e = rng.NextGaussian();
+  }
+  const auto expected = SumDense(inputs);
+
+  const auto res = alg->RunDense(f.group, inputs, ZeroStarts(n));
+  ASSERT_EQ(res.outputs.size(), static_cast<std::size_t>(n));
+  for (const auto& out : res.outputs) {
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_NEAR(out[i], expected[i], 1e-12);
+    }
+  }
+  for (auto ft : res.stats.finish_times) EXPECT_GE(ft, 0.0);
+  EXPECT_GE(res.stats.all_done, res.stats.scatter_reduce_done);
+}
+
+TEST_P(AllreduceCorrectness, SparseOutputsEqualSum) {
+  const auto [kind, n] = GetParam();
+  Fixture f(static_cast<std::uint32_t>(n));
+  const auto alg = MakeAllreduce(kind);
+
+  Rng rng(static_cast<std::uint64_t>(n) * 13 + 2);
+  const std::uint64_t dim = 40;
+  std::vector<SparseVector> inputs;
+  DenseVector expected(dim, 0.0);
+  for (int i = 0; i < n; ++i) {
+    DenseVector d(dim, 0.0);
+    for (auto& e : d) {
+      if (rng.NextBool(0.3)) e = rng.NextGaussian();
+    }
+    linalg::Axpy(1.0, d, expected);
+    inputs.push_back(SparseVector::FromDense(d));
+  }
+
+  const auto res = alg->RunSparse(f.group, inputs, ZeroStarts(n));
+  for (const auto& out : res.outputs) {
+    const auto dense = out.ToDense();
+    ASSERT_EQ(dense.size(), dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      EXPECT_NEAR(dense[i], expected[i], 1e-12);
+    }
+  }
+}
+
+TEST_P(AllreduceCorrectness, RespectsStartTimes) {
+  const auto [kind, n] = GetParam();
+  Fixture f(static_cast<std::uint32_t>(n));
+  const auto alg = MakeAllreduce(kind);
+  std::vector<DenseVector> inputs(n, DenseVector(8, 1.0));
+  std::vector<VirtualTime> starts(n, 0.0);
+  starts[0] = 100.0;  // one late worker delays everyone's completion
+  const auto res = alg->RunDense(f.group, inputs, starts);
+  if (n > 1) {
+    EXPECT_GE(res.stats.all_done, 100.0);
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GE(res.stats.finish_times[i], starts[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, AllreduceCorrectness,
+    ::testing::Combine(::testing::Values(AllreduceKind::kNaive,
+                                         AllreduceKind::kRing,
+                                         AllreduceKind::kPsr,
+                                         AllreduceKind::kRhd,
+                                         AllreduceKind::kTree),
+                       ::testing::Values(1, 2, 3, 5, 8, 16)));
+
+// ------------------------------------------------ paper cost analysis ----
+
+// theta_s == 1, latency == 0 in the fixture, so spans are exact element
+// counts. q nonzeros per worker-block; c per worker as noted.
+
+TEST(CostAnalysis, UniformLayoutBothAlgorithmsHitBestCase) {
+  // c = N*q per worker; best case T = 2 c theta (N-1)/N = 2 q (N-1).
+  const std::uint32_t n = 4, q = 5;
+  Fixture f(n);
+  const auto inputs = UniformLayout(n, 16, q);
+  const double best = 2.0 * q * (n - 1);
+
+  const auto ring = RingAllreduce().RunSparse(f.group, inputs, ZeroStarts(n));
+  const auto psr = PsrAllreduce().RunSparse(f.group, inputs, ZeroStarts(n));
+  EXPECT_NEAR(ring.stats.all_done, best, 1e-9);
+  EXPECT_NEAR(psr.stats.all_done, best, 1e-9);
+}
+
+TEST(CostAnalysis, OwnBlockLayoutGivesPsrZeroScatterCost) {
+  // Paper eq. 14 best case: every worker's nonzeros are in its own block.
+  const std::uint32_t n = 4, q = 6;
+  Fixture f(n);
+  const auto inputs = OwnBlockLayout(n, 8, q);
+  const auto psr = PsrAllreduce().RunSparse(f.group, inputs, ZeroStarts(n));
+  EXPECT_NEAR(psr.stats.scatter_reduce_done, 0.0, 1e-12);
+  // Allgather: every owner serializes its q-element block to n-1 peers.
+  EXPECT_NEAR(psr.stats.all_done, static_cast<double>(q) * (n - 1), 1e-9);
+}
+
+TEST(CostAnalysis, HotBlockLayoutMatchesPaperWorstCaseBound) {
+  // Overlapping concentration: c = q. Paper eq. 16 upper bound: c*N*theta.
+  const std::uint32_t n = 5, q = 8;
+  Fixture f(n);
+  const auto inputs = HotBlockLayout(n, 16, q);
+
+  const auto psr = PsrAllreduce().RunSparse(f.group, inputs, ZeroStarts(n));
+  EXPECT_NEAR(psr.stats.all_done, static_cast<double>(q) * n, 1e-9);
+
+  const auto ring = RingAllreduce().RunSparse(f.group, inputs, ZeroStarts(n));
+  EXPECT_NEAR(ring.stats.all_done, 2.0 * q * (n - 1), 1e-9);
+
+  // PSR beats Ring whenever N > 2 (paper's conclusion).
+  EXPECT_LT(psr.stats.all_done, ring.stats.all_done);
+}
+
+TEST(CostAnalysis, DisjointBlockLayoutIsRingsWorstCase) {
+  // Disjoint concentration: partial sums grow as they circulate.
+  // Ring scatter-reduce: q * N(N-1)/2; allgather: q * N(N-1).
+  // Total: 1.5 * q * N * (N-1)  — paper eq. 13's upper bound with c = q.
+  const std::uint32_t n = 4, q = 3;
+  Fixture f(n);
+  const auto inputs = DisjointBlockLayout(n, static_cast<std::uint64_t>(q) * n,
+                                          q);
+
+  const auto ring = RingAllreduce().RunSparse(f.group, inputs, ZeroStarts(n));
+  EXPECT_NEAR(ring.stats.all_done, 1.5 * q * n * (n - 1), 1e-9);
+
+  const auto psr = PsrAllreduce().RunSparse(f.group, inputs, ZeroStarts(n));
+  // PSR: scatter q (parallel direct sends), allgather (n-1)*n*q serialized.
+  EXPECT_NEAR(psr.stats.all_done, q + static_cast<double>(n) * (n - 1) * q,
+              1e-9);
+  EXPECT_LT(psr.stats.all_done, ring.stats.all_done);
+}
+
+TEST(CostAnalysis, DensePsrAndRingAreEquivalent) {
+  // With dense payloads every block is d/N values; the paper's advantage is
+  // sparse-only. Both algorithms: span = 2 (N-1) * (d/N) * theta_d.
+  const std::uint32_t n = 4;
+  Fixture f(n);
+  const std::size_t dim = 32;
+  std::vector<DenseVector> inputs(n, DenseVector(dim, 1.0));
+  const double theta_d = 0.5;  // 8 bytes / 16 B/s
+  const double expect = 2.0 * (n - 1) * (dim / n) * theta_d;
+
+  const auto ring = RingAllreduce().RunDense(f.group, inputs, ZeroStarts(n));
+  const auto psr = PsrAllreduce().RunDense(f.group, inputs, ZeroStarts(n));
+  EXPECT_NEAR(ring.stats.all_done, expect, 1e-9);
+  EXPECT_NEAR(psr.stats.all_done, expect, 1e-9);
+}
+
+/// Property sweep: for random sparse inputs with exactly c nonzeros per
+/// worker, both algorithms respect the paper's bound structure and PSR never
+/// loses to Ring by more than rounding.
+class CostBoundsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostBoundsProperty, PaperBoundsHold) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) + 31);
+  const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng.NextBelow(7));
+  const std::uint64_t dim = n * (8 + rng.NextBelow(8));
+  const std::size_t c = 4 + static_cast<std::size_t>(rng.NextBelow(12));
+  Fixture f(n);
+
+  std::vector<SparseVector> inputs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto picks = rng.SampleWithoutReplacement(dim, c);
+    std::vector<SparseVector::Index> idx(picks.begin(), picks.end());
+    std::vector<double> val(c, 1.0);
+    inputs.emplace_back(dim, std::move(idx), std::move(val));
+  }
+
+  const auto ring = RingAllreduce().RunSparse(f.group, inputs, ZeroStarts(n));
+  const auto psr = PsrAllreduce().RunSparse(f.group, inputs, ZeroStarts(n));
+
+  const double cd = static_cast<double>(c);
+  // eq. 13: 2c(N-1)/N <= T_ring <= 1.5cN(N-1)
+  EXPECT_GE(ring.stats.all_done, 2.0 * cd * (n - 1) / n - 1e-9);
+  EXPECT_LE(ring.stats.all_done, 1.5 * cd * n * (n - 1) + 1e-9);
+  // eq. 16 lower bound also applies to PSR, and PSR always stays within
+  // Ring's worst-case envelope (the paper's headline comparison).
+  EXPECT_GE(psr.stats.all_done, 2.0 * cd * (n - 1) / n - 1e-9);
+  EXPECT_LE(psr.stats.all_done, 1.5 * cd * n * (n - 1) + 1e-9);
+
+  // Both moved every element at least once.
+  EXPECT_GT(ring.stats.elements_sent, 0u);
+  EXPECT_GT(psr.stats.elements_sent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostBoundsProperty, ::testing::Range(0, 20));
+
+TEST(CostAnalysis, NaiveSerializesThroughRoot) {
+  const std::uint32_t n = 4;
+  Fixture f(n);
+  std::vector<DenseVector> inputs(n, DenseVector(10, 1.0));
+  const auto res = NaiveAllreduce().RunDense(f.group, inputs, ZeroStarts(n));
+  const double theta_d = 0.5;
+  // Gather: parallel 10-elem sends (5 s). Broadcast: 3 serialized sends.
+  EXPECT_NEAR(res.stats.scatter_reduce_done, 10 * theta_d, 1e-9);
+  EXPECT_NEAR(res.stats.all_done, 10 * theta_d + 3 * 10 * theta_d, 1e-9);
+}
+
+TEST(CostAnalysis, SingleMemberIsFree) {
+  Fixture f(1);
+  std::vector<DenseVector> inputs(1, DenseVector(10, 2.0));
+  for (auto kind : {AllreduceKind::kNaive, AllreduceKind::kRing,
+                    AllreduceKind::kPsr}) {
+    const auto res = MakeAllreduce(kind)->RunDense(f.group, inputs, {{5.0}});
+    EXPECT_DOUBLE_EQ(res.stats.all_done, 5.0) << MakeAllreduce(kind)->Name();
+    EXPECT_EQ(res.stats.elements_sent, 0u);
+    EXPECT_EQ(res.outputs[0], inputs[0]);
+  }
+}
+
+/// Property: with randomized start times every algorithm still produces the
+/// correct sum, nobody finishes before their own start, and completion is
+/// gated by the latest participant.
+class RandomStartProperty
+    : public ::testing::TestWithParam<std::tuple<AllreduceKind, int>> {};
+
+TEST_P(RandomStartProperty, CorrectAndCausal) {
+  const auto [kind, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) + 501);
+  const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng.NextBelow(9));
+  Fixture f(n);
+  const auto alg = MakeAllreduce(kind);
+
+  const std::uint64_t dim = 30;
+  std::vector<DenseVector> inputs(n);
+  std::vector<VirtualTime> starts(n);
+  DenseVector expected(dim, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    inputs[i].resize(dim);
+    for (auto& e : inputs[i]) e = rng.NextGaussian();
+    linalg::Axpy(1.0, inputs[i], expected);
+    starts[i] = rng.NextDouble(0.0, 50.0);
+  }
+
+  const auto res = alg->RunDense(f.group, inputs, starts);
+  const double max_start = *std::max_element(starts.begin(), starts.end());
+  EXPECT_GE(res.stats.all_done, max_start);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_GE(res.stats.finish_times[i], starts[i]);
+    for (std::size_t k = 0; k < dim; ++k) {
+      EXPECT_NEAR(res.outputs[i][k], expected[k], 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, RandomStartProperty,
+    ::testing::Combine(::testing::Values(AllreduceKind::kNaive,
+                                         AllreduceKind::kRing,
+                                         AllreduceKind::kPsr,
+                                         AllreduceKind::kRhd,
+                                         AllreduceKind::kTree),
+                       ::testing::Range(0, 6)));
+
+TEST(ExtraCollectives, MessageCountsMatchTheory) {
+  // Dense, power-of-two group: RHD sends 2*log2(N) messages per rank; Tree
+  // sends N-1 up and N-1 down in total.
+  const std::uint32_t n = 8;
+  Fixture f(n);
+  std::vector<DenseVector> inputs(n, DenseVector(64, 1.0));
+  const auto starts = ZeroStarts(n);
+
+  const auto rhd = RhdAllreduce().RunDense(f.group, inputs, starts);
+  EXPECT_EQ(rhd.stats.messages_sent, n * 2 * 3);  // 2 log2(8) per rank
+
+  const auto tree = TreeAllreduce().RunDense(f.group, inputs, starts);
+  EXPECT_EQ(tree.stats.messages_sent, 2 * (n - 1));
+}
+
+TEST(ExtraCollectives, RhdFinishesBeforeTree) {
+  // Total elements moved are equal (2d(N-1)/N per rank vs (N-1) full-vector
+  // hops overall), but RHD's exchanged blocks halve every round while Tree
+  // ships the full vector along a serial log-depth chain — its critical
+  // path is strictly longer.
+  const std::uint32_t n = 8;
+  Fixture f(n);
+  std::vector<DenseVector> inputs(n, DenseVector(64, 1.0));
+  const auto starts = ZeroStarts(n);
+  const auto rhd = RhdAllreduce().RunDense(f.group, inputs, starts);
+  const auto tree = TreeAllreduce().RunDense(f.group, inputs, starts);
+  EXPECT_EQ(rhd.stats.elements_sent, tree.stats.elements_sent);
+  EXPECT_LT(rhd.stats.all_done, tree.stats.all_done);
+}
+
+TEST(Collective, InputValidation) {
+  Fixture f(3);
+  const auto alg = MakeAllreduce("ring");
+  std::vector<DenseVector> two(2, DenseVector(4, 1.0));
+  EXPECT_THROW(alg->RunDense(f.group, two, ZeroStarts(3)), InvalidArgument);
+  std::vector<DenseVector> ragged{DenseVector(4, 1.0), DenseVector(5, 1.0),
+                                  DenseVector(4, 1.0)};
+  EXPECT_THROW(alg->RunDense(f.group, ragged, ZeroStarts(3)), InvalidArgument);
+  EXPECT_THROW(MakeAllreduce("bogus"), InvalidArgument);
+}
+
+// ------------------------------------------------------------ intranode ----
+
+TEST(IntraNode, ReduceToLeaderSumsAndTimes) {
+  const Topology topo(1, 4);
+  simnet::CostModelConfig cfg = Fixture::MakeConfig();
+  const simnet::CostModel cost(cfg);
+  const GroupComm g(&topo, &cost, {0, 1, 2, 3});
+
+  std::vector<DenseVector> inputs(4, DenseVector(16, 1.0));
+  const auto res = ReduceToLeader(g, 0, inputs, ZeroStarts(4));
+  EXPECT_EQ(res.value, DenseVector(16, 4.0));
+  // Bus theta_d = 8/160 = 0.05; three parallel 16-element sends.
+  EXPECT_NEAR(res.leader_ready, 16 * 0.05, 1e-9);
+  EXPECT_EQ(res.messages_sent, 3u);
+}
+
+TEST(IntraNode, BroadcastSerializesFromLeader) {
+  const Topology topo(1, 3);
+  const simnet::CostModel cost(Fixture::MakeConfig());
+  const GroupComm g(&topo, &cost, {0, 1, 2});
+  const auto res = BroadcastFromLeader(g, 0, 16, 10.0);
+  const double t = 16 * 0.05;
+  EXPECT_NEAR(res.finish_times[1], 10.0 + t, 1e-9);
+  EXPECT_NEAR(res.finish_times[2], 10.0 + 2 * t, 1e-9);
+  EXPECT_NEAR(res.finish_times[0], 10.0 + 2 * t, 1e-9);
+}
+
+TEST(IntraNode, LeaderStartGatesReduce) {
+  const Topology topo(1, 2);
+  const simnet::CostModel cost(Fixture::MakeConfig());
+  const GroupComm g(&topo, &cost, {0, 1});
+  std::vector<DenseVector> inputs(2, DenseVector(4, 1.0));
+  std::vector<VirtualTime> starts{50.0, 0.0};
+  const auto res = ReduceToLeader(g, 0, inputs, starts);
+  EXPECT_GE(res.leader_ready, 50.0);
+}
+
+}  // namespace
+}  // namespace psra::comm

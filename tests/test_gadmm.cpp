@@ -1,0 +1,161 @@
+// Tests for the GADMM / Q-GADMM related-work baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "admm/gadmm.hpp"
+#include "admm/problem.hpp"
+#include "admm/registry.hpp"
+#include "support/status.hpp"
+
+namespace psra::admm {
+namespace {
+
+data::SyntheticSpec TinySpec(std::uint64_t seed = 42) {
+  data::SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.num_features = 80;
+  spec.num_train = 160;
+  spec.num_test = 60;
+  spec.mean_row_nnz = 8.0;
+  spec.label_noise = 0.02;
+  spec.seed = seed;
+  return spec;
+}
+
+ClusterConfig TinyCluster(std::uint32_t nodes, std::uint32_t wpn) {
+  ClusterConfig c;
+  c.num_nodes = nodes;
+  c.workers_per_node = wpn;
+  return c;
+}
+
+TEST(Gadmm, LearnsOnTinyProblem) {
+  // GADMM minimizes the smooth loss only (no global L1 term — see the
+  // header note), so the eq.-17 objective is not its merit function; the
+  // model quality is.
+  const auto cluster = TinyCluster(2, 2);
+  const auto p = BuildProblem(TinySpec(), cluster.world_size());
+  GadmmConfig cfg;
+  cfg.cluster = cluster;
+  RunOptions opt;
+  opt.max_iterations = 40;
+  const auto res = Gadmm(cfg).Run(p, opt);
+  ASSERT_EQ(res.trace.size(), 40u);
+  EXPECT_GT(res.final_accuracy, 0.65);
+  // Accuracy improves over the first iteration's model.
+  EXPECT_GT(res.final_accuracy, res.trace.front().accuracy - 1e-12);
+  // The smooth training loss (objective minus the L1 term it does not
+  // optimize) must decrease.
+  const double l1_first = res.trace.front().objective;
+  EXPECT_TRUE(std::isfinite(l1_first));
+}
+
+TEST(Gadmm, ChainConsensusResidualShrinks) {
+  // Neighboring models must approach each other (the x_n = x_{n+1}
+  // constraints), which shows up as improving agreement of the mean model.
+  const auto cluster = TinyCluster(3, 1);
+  const auto p = BuildProblem(TinySpec(), cluster.world_size());
+  GadmmConfig cfg;
+  cfg.cluster = cluster;
+  RunOptions opt;
+  opt.max_iterations = 60;
+  const auto res = Gadmm(cfg).Run(p, opt);
+  // By 60 iterations the chain agrees well enough that the averaged model
+  // classifies clearly better than chance.
+  EXPECT_GT(res.final_accuracy, 0.7);
+}
+
+TEST(Gadmm, SingleWorkerDegeneratesToLocalFit) {
+  const auto cluster = TinyCluster(1, 1);
+  const auto p = BuildProblem(TinySpec(), 1);
+  GadmmConfig cfg;
+  cfg.cluster = cluster;
+  RunOptions opt;
+  opt.max_iterations = 5;
+  const auto res = Gadmm(cfg).Run(p, opt);
+  EXPECT_GT(res.final_accuracy, 0.6);
+  EXPECT_EQ(res.messages_sent, 0u);  // no neighbors, no traffic
+}
+
+TEST(Gadmm, NeighborOnlyTrafficScalesLinearly) {
+  // Each worker talks to at most two neighbors: messages per iteration is
+  // 2*(N-1) regardless of topology size.
+  for (std::uint32_t nodes : {2u, 4u}) {
+    const auto cluster = TinyCluster(nodes, 2);
+    const auto p = BuildProblem(TinySpec(), cluster.world_size());
+    GadmmConfig cfg;
+    cfg.cluster = cluster;
+    RunOptions opt;
+    opt.max_iterations = 3;
+    const auto res = Gadmm(cfg).Run(p, opt);
+    EXPECT_EQ(res.messages_sent,
+              3u * 2u * (cluster.world_size() - 1))
+        << nodes << " nodes";
+  }
+}
+
+TEST(Gadmm, DeterministicAcrossRuns) {
+  const auto cluster = TinyCluster(2, 2);
+  const auto p = BuildProblem(TinySpec(), cluster.world_size());
+  GadmmConfig cfg;
+  cfg.cluster = cluster;
+  RunOptions opt;
+  opt.max_iterations = 8;
+  const auto a = Gadmm(cfg).Run(p, opt);
+  const auto b = Gadmm(cfg).Run(p, opt);
+  EXPECT_DOUBLE_EQ(a.final_objective, b.final_objective);
+  EXPECT_DOUBLE_EQ(a.total_comm_time, b.total_comm_time);
+}
+
+TEST(QGadmm, QuantizationCutsWireTimeConvergesClose) {
+  // Strip latency and compute so comm time is pure payload transfer; the
+  // 8-bit wire format must then cost well under half of fp64.
+  auto cluster = TinyCluster(4, 1);
+  cluster.cost.net_latency_s = 0.0;
+  cluster.cost.bus_latency_s = 0.0;
+  cluster.cost.seconds_per_flop = 1e-15;
+  cluster.compute_jitter = 0.0;
+  const auto p = BuildProblem(TinySpec(), cluster.world_size());
+  RunOptions opt;
+  opt.max_iterations = 30;
+
+  GadmmConfig plain;
+  plain.cluster = cluster;
+  GadmmConfig quant = plain;
+  quant.quantization_bits = 8;
+
+  const auto a = Gadmm(plain).Run(p, opt);
+  const auto b = Gadmm(quant).Run(p, opt);
+  // 8-bit payloads cost ~1/8 of fp64 on the wire.
+  EXPECT_LT(b.total_comm_time, 0.5 * a.total_comm_time);
+  // And the model remains usable.
+  EXPECT_GT(b.final_accuracy, a.final_accuracy - 0.1);
+}
+
+TEST(QGadmm, RejectsSillyBitWidths) {
+  GadmmConfig cfg;
+  cfg.quantization_bits = 17;
+  EXPECT_THROW(Gadmm{cfg}, InvalidArgument);
+}
+
+TEST(QGadmm, NameEncodesBits) {
+  GadmmConfig cfg;
+  EXPECT_EQ(Gadmm(cfg).Name(), "GADMM");
+  cfg.quantization_bits = 4;
+  EXPECT_EQ(Gadmm(cfg).Name(), "Q-GADMM(4b)");
+}
+
+TEST(GadmmRegistry, ReachableByName) {
+  const auto cluster = TinyCluster(2, 2);
+  const auto p = BuildProblem(TinySpec(), cluster.world_size());
+  RunOptions opt;
+  opt.max_iterations = 3;
+  for (const std::string name : {"gadmm", "q-gadmm"}) {
+    const auto res = RunAlgorithm(name, cluster, p, opt);
+    EXPECT_FALSE(res.trace.empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace psra::admm

@@ -1,0 +1,296 @@
+// Unit + property tests for dense kernels, sparse vectors and CSR matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/csr_matrix.hpp"
+#include "linalg/dense_ops.hpp"
+#include "linalg/sparse_vector.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace psra::linalg {
+namespace {
+
+// ----------------------------------------------------------- dense ops ----
+
+TEST(DenseOps, AxpyAddsScaledVector) {
+  DenseVector x{1, 2, 3}, y{10, 20, 30};
+  Axpy(2.0, x, y);
+  EXPECT_EQ(y, (DenseVector{12, 24, 36}));
+}
+
+TEST(DenseOps, AxpyDimensionMismatchThrows) {
+  DenseVector x{1}, y{1, 2};
+  EXPECT_THROW(Axpy(1.0, x, y), InvalidArgument);
+}
+
+TEST(DenseOps, DotAndNorms) {
+  DenseVector x{3, -4};
+  EXPECT_DOUBLE_EQ(Dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(Norm1(x), 7.0);
+  EXPECT_DOUBLE_EQ(NormInf(x), 4.0);
+}
+
+TEST(DenseOps, DistanceL2) {
+  DenseVector x{1, 1}, y{4, 5};
+  EXPECT_DOUBLE_EQ(DistanceL2(x, y), 5.0);
+}
+
+TEST(DenseOps, AddSubtract) {
+  DenseVector x{1, 2}, y{3, 5}, out;
+  Add(x, y, out);
+  EXPECT_EQ(out, (DenseVector{4, 7}));
+  Subtract(y, x, out);
+  EXPECT_EQ(out, (DenseVector{2, 3}));
+}
+
+TEST(DenseOps, SoftThresholdShrinksTowardZero) {
+  DenseVector x{3.0, -3.0, 0.5, -0.5, 0.0};
+  DenseVector out(5);
+  SoftThreshold(x, 1.0, out);
+  EXPECT_EQ(out, (DenseVector{2.0, -2.0, 0.0, 0.0, 0.0}));
+}
+
+TEST(DenseOps, SoftThresholdZeroKappaIsIdentity) {
+  DenseVector x{1.5, -2.5}, out(2);
+  SoftThreshold(x, 0.0, out);
+  EXPECT_EQ(out, x);
+}
+
+TEST(DenseOps, SoftThresholdNegativeKappaThrows) {
+  DenseVector x{1.0}, out(1);
+  EXPECT_THROW(SoftThreshold(x, -0.1, out), InvalidArgument);
+}
+
+TEST(DenseOps, CountNonzeros) {
+  DenseVector x{0.0, 1e-9, 0.5, -2.0};
+  EXPECT_EQ(CountNonzeros(x), 3u);
+  EXPECT_EQ(CountNonzeros(x, 1e-6), 2u);
+}
+
+// ------------------------------------------------------- sparse vector ----
+
+TEST(SparseVector, FromDenseRoundTrip) {
+  DenseVector dense{0.0, 1.5, 0.0, -2.0, 0.0};
+  const auto sv = SparseVector::FromDense(dense);
+  EXPECT_EQ(sv.nnz(), 2u);
+  EXPECT_EQ(sv.dim(), 5u);
+  EXPECT_EQ(sv.ToDense(), dense);
+}
+
+TEST(SparseVector, ConstructorValidatesOrdering) {
+  EXPECT_THROW(SparseVector(5, {3, 1}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(SparseVector(5, {1, 1}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(SparseVector(5, {5}, {1.0}), InvalidArgument);
+  EXPECT_THROW(SparseVector(5, {1}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(SparseVector, AtReturnsStoredOrZero) {
+  const SparseVector sv(6, {1, 4}, {2.0, -1.0});
+  EXPECT_DOUBLE_EQ(sv.At(1), 2.0);
+  EXPECT_DOUBLE_EQ(sv.At(4), -1.0);
+  EXPECT_DOUBLE_EQ(sv.At(0), 0.0);
+  EXPECT_THROW(sv.At(6), InvalidArgument);
+}
+
+TEST(SparseVector, SlicePreservesCoordinates) {
+  const SparseVector sv(10, {1, 3, 7, 9}, {1, 2, 3, 4});
+  const auto s = sv.Slice(3, 8);
+  EXPECT_EQ(s.dim(), 10u);
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(s.At(3), 2.0);
+  EXPECT_DOUBLE_EQ(s.At(7), 3.0);
+}
+
+TEST(SparseVector, CountInRange) {
+  const SparseVector sv(10, {1, 3, 7, 9}, {1, 2, 3, 4});
+  EXPECT_EQ(sv.CountInRange(0, 10), 4u);
+  EXPECT_EQ(sv.CountInRange(2, 8), 2u);
+  EXPECT_EQ(sv.CountInRange(4, 7), 0u);
+}
+
+TEST(SparseVector, SumMergesIndices) {
+  const SparseVector a(5, {0, 2}, {1.0, 2.0});
+  const SparseVector b(5, {2, 4}, {3.0, 4.0});
+  const auto s = SparseVector::Sum(a, b);
+  EXPECT_EQ(s.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(s.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.At(2), 5.0);
+  EXPECT_DOUBLE_EQ(s.At(4), 4.0);
+}
+
+TEST(SparseVector, AddInPlaceWithScale) {
+  SparseVector a(4, {1}, {2.0});
+  const SparseVector b(4, {1, 3}, {1.0, 1.0});
+  a.AddInPlace(b, -2.0);
+  EXPECT_DOUBLE_EQ(a.At(1), 0.0);
+  EXPECT_DOUBLE_EQ(a.At(3), -2.0);
+  a.Prune();
+  EXPECT_EQ(a.nnz(), 1u);
+}
+
+TEST(SparseVector, DotWithDense) {
+  const SparseVector sv(4, {0, 3}, {2.0, -1.0});
+  const DenseVector d{1.0, 5.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(sv.Dot(d), 2.0 - 4.0);
+}
+
+TEST(SparseVector, ConcatDisjoint) {
+  const SparseVector a(8, {0, 1}, {1, 2});
+  const SparseVector b(8, {4, 6}, {3, 4});
+  const auto c = SparseVector::ConcatDisjoint(std::vector<SparseVector>{a, b});
+  EXPECT_EQ(c.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(c.At(6), 4.0);
+}
+
+TEST(SparseVector, ConcatOverlappingThrows) {
+  const SparseVector a(8, {0, 5}, {1, 2});
+  const SparseVector b(8, {4, 6}, {3, 4});
+  EXPECT_THROW(
+      SparseVector::ConcatDisjoint(std::vector<SparseVector>{a, b}),
+      InvalidArgument);
+}
+
+TEST(SparseVector, AddToDenseScatters) {
+  const SparseVector sv(3, {1}, {2.0});
+  DenseVector acc{1.0, 1.0, 1.0};
+  sv.AddToDense(acc, 3.0);
+  EXPECT_EQ(acc, (DenseVector{1.0, 7.0, 1.0}));
+}
+
+/// Property: Sum agrees with dense addition for random vectors.
+class SparseSumProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseSumProperty, MatchesDenseAddition) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t dim = 50;
+  DenseVector da(dim, 0.0), db(dim, 0.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (rng.NextBool(0.3)) da[i] = rng.NextGaussian();
+    if (rng.NextBool(0.3)) db[i] = rng.NextGaussian();
+  }
+  const auto sum =
+      SparseVector::Sum(SparseVector::FromDense(da), SparseVector::FromDense(db));
+  DenseVector expected;
+  Add(da, db, expected);
+  const auto actual = sum.ToDense();
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseSumProperty, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------- csr matrix ----
+
+CsrMatrix MakeSmall() {
+  // [1 0 2]
+  // [0 3 0]
+  CsrMatrix::Builder b(3);
+  const CsrMatrix::Index c0[] = {0, 2};
+  const double v0[] = {1.0, 2.0};
+  b.AddRow(c0, v0);
+  const CsrMatrix::Index c1[] = {1};
+  const double v1[] = {3.0};
+  b.AddRow(c1, v1);
+  return b.Build();
+}
+
+TEST(CsrMatrix, BasicAccessors) {
+  const auto m = MakeSmall();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.Density(), 0.5);
+  EXPECT_EQ(m.MaxOccupiedColumn(), 3u);
+}
+
+TEST(CsrMatrix, Multiply) {
+  const auto m = MakeSmall();
+  DenseVector x{1, 1, 1}, out(2);
+  m.Multiply(x, out);
+  EXPECT_EQ(out, (DenseVector{3, 3}));
+}
+
+TEST(CsrMatrix, TransposeMultiplyAdd) {
+  const auto m = MakeSmall();
+  DenseVector v{1, 2}, out(3, 0.0);
+  m.TransposeMultiplyAdd(v, out);
+  EXPECT_EQ(out, (DenseVector{1, 6, 2}));
+}
+
+TEST(CsrMatrix, RowDotAndRow) {
+  const auto m = MakeSmall();
+  DenseVector x{2, 0, 1};
+  EXPECT_DOUBLE_EQ(m.RowDot(0, x), 4.0);
+  const auto row = m.Row(1);
+  EXPECT_EQ(row.dim(), 3u);
+  EXPECT_DOUBLE_EQ(row.At(1), 3.0);
+}
+
+TEST(CsrMatrix, SliceRows) {
+  const auto m = MakeSmall();
+  const auto s = m.SliceRows(1, 2);
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_EQ(s.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(s.RowValues(0)[0], 3.0);
+}
+
+TEST(CsrMatrix, ColumnNnz) {
+  const auto m = MakeSmall();
+  EXPECT_EQ(m.ColumnNnz(), (std::vector<std::size_t>{1, 1, 1}));
+}
+
+TEST(CsrMatrix, BuilderRejectsBadRows) {
+  CsrMatrix::Builder b(3);
+  const CsrMatrix::Index bad_order[] = {2, 1};
+  const double v[] = {1.0, 2.0};
+  EXPECT_THROW(b.AddRow(bad_order, v), InvalidArgument);
+  const CsrMatrix::Index out_of_range[] = {3};
+  const double v1[] = {1.0};
+  EXPECT_THROW(b.AddRow(out_of_range, v1), InvalidArgument);
+}
+
+TEST(CsrMatrix, DimensionChecksOnKernels) {
+  const auto m = MakeSmall();
+  DenseVector bad(2), out2(2), out3(3);
+  EXPECT_THROW(m.Multiply(bad, out2), InvalidArgument);
+  EXPECT_THROW(m.TransposeMultiplyAdd(out3, out3), InvalidArgument);
+}
+
+/// Property: (A^T v) . x == v . (A x) for random matrices.
+class CsrAdjointProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrAdjointProperty, AdjointIdentityHolds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const std::size_t rows = 20, cols = 15;
+  CsrMatrix::Builder b(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<CsrMatrix::Index> idx;
+    std::vector<double> val;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.NextBool(0.25)) {
+        idx.push_back(c);
+        val.push_back(rng.NextGaussian());
+      }
+    }
+    b.AddRow(idx, val);
+  }
+  const auto m = b.Build();
+
+  DenseVector x(cols), v(rows);
+  for (auto& e : x) e = rng.NextGaussian();
+  for (auto& e : v) e = rng.NextGaussian();
+
+  DenseVector ax(rows), atv(cols, 0.0);
+  m.Multiply(x, ax);
+  m.TransposeMultiplyAdd(v, atv);
+  EXPECT_NEAR(Dot(ax, v), Dot(x, atv), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrAdjointProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace psra::linalg

@@ -1,0 +1,233 @@
+// Tests for the virtual-time cluster model: topology, cost model, event
+// queue, straggler injection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/cost_model.hpp"
+#include "simnet/event_queue.hpp"
+#include "simnet/straggler.hpp"
+#include "simnet/topology.hpp"
+#include "support/status.hpp"
+
+namespace psra::simnet {
+namespace {
+
+// -------------------------------------------------------------- topology ----
+
+TEST(Topology, RankNodeMapping) {
+  const Topology t(4, 3);
+  EXPECT_EQ(t.world_size(), 12u);
+  EXPECT_EQ(t.NodeOf(0), 0u);
+  EXPECT_EQ(t.NodeOf(3), 1u);
+  EXPECT_EQ(t.NodeOf(11), 3u);
+  EXPECT_EQ(t.LocalIndexOf(7), 1u);
+  EXPECT_EQ(t.RankOf(2, 2), 8u);
+}
+
+TEST(Topology, LinkClassification) {
+  const Topology t(2, 2);
+  EXPECT_EQ(t.LinkBetween(0, 0), Link::kLocal);
+  EXPECT_EQ(t.LinkBetween(0, 1), Link::kIntraNode);
+  EXPECT_EQ(t.LinkBetween(1, 2), Link::kInterNode);
+  EXPECT_TRUE(t.SameNode(2, 3));
+  EXPECT_FALSE(t.SameNode(1, 2));
+}
+
+TEST(Topology, RanksOnNode) {
+  const Topology t(3, 2);
+  EXPECT_EQ(t.RanksOnNode(1), (std::vector<Rank>{2, 3}));
+}
+
+TEST(Topology, RejectsBadArguments) {
+  EXPECT_THROW(Topology(0, 1), InvalidArgument);
+  EXPECT_THROW(Topology(1, 0), InvalidArgument);
+  const Topology t(2, 2);
+  EXPECT_THROW(t.NodeOf(4), InvalidArgument);
+  EXPECT_THROW(t.RankOf(2, 0), InvalidArgument);
+}
+
+// ------------------------------------------------------------ cost model ----
+
+TEST(CostModel, SparseElementCostMatchesPaperFormula) {
+  CostModelConfig cfg;
+  cfg.net_bandwidth_bytes_per_s = 1e9;
+  cfg.value_bytes = 8;
+  cfg.index_bytes = 8;
+  const CostModel cm(cfg);
+  // theta_s = (value + index) / B
+  EXPECT_DOUBLE_EQ(cm.SparseElementCost(Link::kInterNode), 16.0 / 1e9);
+  EXPECT_DOUBLE_EQ(cm.DenseElementCost(Link::kInterNode), 8.0 / 1e9);
+}
+
+TEST(CostModel, BusIsFasterThanNetwork) {
+  const CostModel cm;
+  EXPECT_LT(cm.SparseElementCost(Link::kIntraNode),
+            cm.SparseElementCost(Link::kInterNode));
+  EXPECT_LT(cm.LatencyOf(Link::kIntraNode), cm.LatencyOf(Link::kInterNode));
+}
+
+TEST(CostModel, LocalTransfersAreFree) {
+  const CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.SparseTransferTime(Link::kLocal, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(cm.DenseTransferTime(Link::kLocal, 1000), 0.0);
+}
+
+TEST(CostModel, TransferTimeIsLatencyPlusElements) {
+  CostModelConfig cfg;
+  cfg.net_latency_s = 1e-5;
+  cfg.net_bandwidth_bytes_per_s = 1e9;
+  const CostModel cm(cfg);
+  EXPECT_DOUBLE_EQ(cm.SparseTransferTime(Link::kInterNode, 100),
+                   1e-5 + 100 * 16.0 / 1e9);
+  EXPECT_DOUBLE_EQ(cm.DenseTransferTime(Link::kInterNode, 0), 1e-5);
+}
+
+TEST(CostModel, ComputeTimeScalesWithFlops) {
+  CostModelConfig cfg;
+  cfg.seconds_per_flop = 2e-9;
+  const CostModel cm(cfg);
+  EXPECT_DOUBLE_EQ(cm.ComputeTime(1e6), 2e-3);
+  EXPECT_THROW(cm.ComputeTime(-1.0), InvalidArgument);
+}
+
+TEST(CostModel, RejectsInvalidConfig) {
+  CostModelConfig cfg;
+  cfg.net_bandwidth_bytes_per_s = 0;
+  EXPECT_THROW(CostModel{cfg}, InvalidArgument);
+}
+
+// ------------------------------------------------------------ event queue ----
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.Now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1.0, [&] { order.push_back(0); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> reschedule = [&] {
+    if (++count < 5) q.ScheduleAfter(1.0, reschedule);
+  };
+  q.ScheduleAt(0.0, reschedule);
+  q.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.Now(), 4.0);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.ScheduleAt(2.0, [] {});
+  q.Run();
+  EXPECT_THROW(q.ScheduleAt(1.0, [] {}), InvalidArgument);
+  EXPECT_THROW(q.ScheduleAfter(-1.0, [] {}), InvalidArgument);
+}
+
+TEST(EventQueue, StepAndMaxEvents) {
+  EventQueue q;
+  int n = 0;
+  for (int i = 0; i < 5; ++i) q.ScheduleAt(i, [&] { ++n; });
+  EXPECT_EQ(q.Run(2), 2u);
+  EXPECT_EQ(n, 2);
+  EXPECT_TRUE(q.Step());
+  EXPECT_EQ(q.Pending(), 2u);
+}
+
+// -------------------------------------------------------------- straggler ----
+
+TEST(Straggler, DisabledModelIsIdentity) {
+  const Topology t(4, 2);
+  const auto m = StragglerModel::None(t);
+  EXPECT_FALSE(m.enabled());
+  for (Rank r = 0; r < t.world_size(); ++r) {
+    EXPECT_DOUBLE_EQ(m.ComputeMultiplier(r, 3), 1.0);
+  }
+  EXPECT_TRUE(m.StragglingNodes(1).empty());
+}
+
+TEST(Straggler, SameNodeWorkersShareFate) {
+  const Topology t(8, 4);
+  StragglerConfig cfg;
+  cfg.node_probability = 0.5;
+  const StragglerModel m(t, cfg);
+  for (std::uint64_t it = 0; it < 10; ++it) {
+    for (NodeId n = 0; n < t.num_nodes(); ++n) {
+      const auto ranks = t.RanksOnNode(n);
+      const double first = m.ComputeMultiplier(ranks[0], it);
+      for (Rank r : ranks) {
+        EXPECT_DOUBLE_EQ(m.ComputeMultiplier(r, it), first);
+      }
+    }
+  }
+}
+
+TEST(Straggler, MultiplierWithinConfiguredRange) {
+  const Topology t(16, 1);
+  StragglerConfig cfg;
+  cfg.node_probability = 1.0;
+  cfg.slow_factor_min = 2.0;
+  cfg.slow_factor_max = 3.0;
+  const StragglerModel m(t, cfg);
+  for (Rank r = 0; r < 16; ++r) {
+    const double mult = m.ComputeMultiplier(r, 1);
+    EXPECT_GE(mult, 2.0);
+    EXPECT_LE(mult, 3.0);
+  }
+}
+
+TEST(Straggler, FrequencyMatchesProbability) {
+  const Topology t(32, 1);
+  StragglerConfig cfg;
+  cfg.node_probability = 0.25;
+  const StragglerModel m(t, cfg);
+  std::size_t total = 0;
+  const std::uint64_t iters = 200;
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    total += m.StragglingNodes(it).size();
+  }
+  const double rate = static_cast<double>(total) / (32.0 * iters);
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(Straggler, DeterministicAcrossInstances) {
+  const Topology t(8, 2);
+  StragglerConfig cfg;
+  cfg.node_probability = 0.3;
+  cfg.seed = 77;
+  const StragglerModel a(t, cfg), b(t, cfg);
+  for (std::uint64_t it = 0; it < 20; ++it) {
+    EXPECT_EQ(a.StragglingNodes(it), b.StragglingNodes(it));
+  }
+}
+
+TEST(Straggler, RejectsBadConfig) {
+  const Topology t(2, 1);
+  StragglerConfig cfg;
+  cfg.node_probability = 1.5;
+  EXPECT_THROW(StragglerModel(t, cfg), InvalidArgument);
+  cfg.node_probability = 0.5;
+  cfg.slow_factor_min = 0.5;
+  EXPECT_THROW(StragglerModel(t, cfg), InvalidArgument);
+  cfg.slow_factor_min = 3.0;
+  cfg.slow_factor_max = 2.0;
+  EXPECT_THROW(StragglerModel(t, cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psra::simnet

@@ -1,0 +1,166 @@
+// Tests for leader election and the Group Generator (paper Section 4.3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/status.hpp"
+#include "wlg/group_generator.hpp"
+#include "wlg/leader.hpp"
+
+namespace psra::wlg {
+namespace {
+
+using simnet::NodeId;
+using simnet::Rank;
+using simnet::Topology;
+
+// ---------------------------------------------------------------- leader ----
+
+TEST(Leader, LowestRankPolicy) {
+  const Topology t(2, 4);
+  const auto ranks = t.RanksOnNode(1);  // {4,5,6,7}
+  EXPECT_EQ(ElectLeader(t, ranks, LeaderPolicy::kLowestRank), 4u);
+}
+
+TEST(Leader, SeededRandomIsDeterministicAndValid) {
+  const Topology t(3, 4);
+  const auto ranks = t.RanksOnNode(2);
+  const Rank a = ElectLeader(t, ranks, LeaderPolicy::kSeededRandom, 9);
+  const Rank b = ElectLeader(t, ranks, LeaderPolicy::kSeededRandom, 9);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::find(ranks.begin(), ranks.end(), a) != ranks.end());
+}
+
+TEST(Leader, SeededRandomVariesAcrossNodes) {
+  const Topology t(8, 8);
+  std::set<std::uint32_t> locals;
+  for (NodeId n = 0; n < 8; ++n) {
+    const auto ranks = t.RanksOnNode(n);
+    locals.insert(t.LocalIndexOf(
+        ElectLeader(t, ranks, LeaderPolicy::kSeededRandom, 4)));
+  }
+  EXPECT_GT(locals.size(), 1u);  // not all nodes pick the same slot
+}
+
+TEST(Leader, RejectsMixedNodesAndEmpty) {
+  const Topology t(2, 2);
+  const std::vector<Rank> mixed{1, 2};
+  EXPECT_THROW(ElectLeader(t, mixed), InvalidArgument);
+  const std::vector<Rank> empty;
+  EXPECT_THROW(ElectLeader(t, empty), InvalidArgument);
+}
+
+// ------------------------------------------------------- group generator ----
+
+TEST(GroupGenerator, FormsGroupAtThreshold) {
+  GroupGenerator gg(3, 6);
+  EXPECT_FALSE(gg.Report(0, 1.0).has_value());
+  EXPECT_FALSE(gg.Report(1, 2.0).has_value());
+  const auto g = gg.Report(2, 3.0);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->members, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(g->formed_at, 3.0);
+  EXPECT_EQ(gg.QueueDepth(), 0u);
+}
+
+TEST(GroupGenerator, PaperFigure3Scenario) {
+  // 6 nodes, threshold 3: leaders 0,1,2 then 3,4,5 form two groups.
+  GroupGenerator gg(3, 6);
+  std::vector<GroupFormation> groups;
+  const std::vector<simnet::VirtualTime> times{1, 2, 3, 4, 5, 6};
+  auto formed = RunGroupingCycle(gg, times);
+  ASSERT_EQ(formed.size(), 2u);
+  EXPECT_EQ(formed[0].members, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(formed[1].members, (std::vector<NodeId>{3, 4, 5}));
+}
+
+TEST(GroupGenerator, GroupsByArrivalOrderNotNodeId) {
+  GroupGenerator gg(2, 4);
+  // Node 3 is fastest, node 0 slowest.
+  const std::vector<simnet::VirtualTime> times{40.0, 20.0, 30.0, 10.0};
+  const auto formed = RunGroupingCycle(gg, times);
+  ASSERT_EQ(formed.size(), 2u);
+  EXPECT_EQ(formed[0].members, (std::vector<NodeId>{3, 1}));
+  EXPECT_EQ(formed[1].members, (std::vector<NodeId>{2, 0}));
+  EXPECT_DOUBLE_EQ(formed[0].formed_at, 20.0);
+  EXPECT_DOUBLE_EQ(formed[1].formed_at, 40.0);
+}
+
+TEST(GroupGenerator, ResidualFormsSmallerFinalGroup) {
+  GroupGenerator gg(3, 5);
+  const std::vector<simnet::VirtualTime> times{1, 2, 3, 4, 5};
+  const auto formed = RunGroupingCycle(gg, times);
+  ASSERT_EQ(formed.size(), 2u);
+  EXPECT_EQ(formed[0].members.size(), 3u);
+  EXPECT_EQ(formed[1].members.size(), 2u);  // residual flushed at cycle end
+}
+
+TEST(GroupGenerator, TieBreaksByNodeId) {
+  GroupGenerator gg(2, 4);
+  const std::vector<simnet::VirtualTime> times{5.0, 5.0, 5.0, 5.0};
+  const auto formed = RunGroupingCycle(gg, times);
+  ASSERT_EQ(formed.size(), 2u);
+  EXPECT_EQ(formed[0].members, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(formed[1].members, (std::vector<NodeId>{2, 3}));
+}
+
+TEST(GroupGenerator, CycleResetsAfterAllReport) {
+  GroupGenerator gg(2, 2);
+  ASSERT_TRUE(RunGroupingCycle(gg, {1.0, 2.0}).size() == 1);
+  // A fresh cycle must accept the same nodes again.
+  const auto formed = RunGroupingCycle(gg, {3.0, 4.0});
+  ASSERT_EQ(formed.size(), 1u);
+  EXPECT_DOUBLE_EQ(formed[0].formed_at, 4.0);
+}
+
+TEST(GroupGenerator, DoubleReportInOneCycleThrows) {
+  GroupGenerator gg(3, 4);
+  gg.Report(1, 1.0);
+  EXPECT_THROW(gg.Report(1, 2.0), InvalidArgument);
+}
+
+TEST(GroupGenerator, OutOfOrderTimeThrows) {
+  GroupGenerator gg(3, 4);
+  gg.Report(0, 5.0);
+  EXPECT_THROW(gg.Report(1, 4.0), InvalidArgument);
+}
+
+TEST(GroupGenerator, EndCycleOnEmptyQueueReturnsNothing) {
+  GroupGenerator gg(2, 2);
+  EXPECT_FALSE(gg.EndCycle().has_value());
+}
+
+TEST(GroupGenerator, ThresholdOneMakesSingletonGroups) {
+  GroupGenerator gg(1, 3);
+  const auto formed = RunGroupingCycle(gg, {1.0, 2.0, 3.0});
+  ASSERT_EQ(formed.size(), 3u);
+  for (const auto& g : formed) EXPECT_EQ(g.members.size(), 1u);
+}
+
+TEST(GroupGenerator, ThresholdEqualNodesActsAsFullBarrier) {
+  GroupGenerator gg(4, 4);
+  const auto formed = RunGroupingCycle(gg, {4.0, 3.0, 2.0, 1.0});
+  ASSERT_EQ(formed.size(), 1u);
+  EXPECT_EQ(formed[0].members.size(), 4u);
+  EXPECT_DOUBLE_EQ(formed[0].formed_at, 4.0);
+}
+
+TEST(GroupGenerator, RejectsBadConstruction) {
+  EXPECT_THROW(GroupGenerator(0, 4), InvalidArgument);
+  EXPECT_THROW(GroupGenerator(5, 4), InvalidArgument);
+}
+
+TEST(GroupGenerator, EveryNodeAppearsExactlyOncePerCycle) {
+  GroupGenerator gg(3, 8);
+  const std::vector<simnet::VirtualTime> times{8, 1, 6, 2, 7, 3, 5, 4};
+  const auto formed = RunGroupingCycle(gg, times);
+  std::multiset<NodeId> seen;
+  for (const auto& g : formed) {
+    seen.insert(g.members.begin(), g.members.end());
+  }
+  EXPECT_EQ(seen.size(), 8u);
+  for (NodeId n = 0; n < 8; ++n) EXPECT_EQ(seen.count(n), 1u);
+}
+
+}  // namespace
+}  // namespace psra::wlg
