@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allreduce_cost.dir/bench_allreduce_cost.cpp.o"
+  "CMakeFiles/bench_allreduce_cost.dir/bench_allreduce_cost.cpp.o.d"
+  "bench_allreduce_cost"
+  "bench_allreduce_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allreduce_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

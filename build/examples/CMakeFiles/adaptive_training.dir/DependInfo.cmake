@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adaptive_training.cpp" "examples/CMakeFiles/adaptive_training.dir/adaptive_training.cpp.o" "gcc" "examples/CMakeFiles/adaptive_training.dir/adaptive_training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/admm/CMakeFiles/psra_admm.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/psra_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/wlg/CMakeFiles/psra_wlg.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/psra_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/psra_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/psra_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/psra_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/psra_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

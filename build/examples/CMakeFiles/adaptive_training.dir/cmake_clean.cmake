@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_training.dir/adaptive_training.cpp.o"
+  "CMakeFiles/adaptive_training.dir/adaptive_training.cpp.o.d"
+  "adaptive_training"
+  "adaptive_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

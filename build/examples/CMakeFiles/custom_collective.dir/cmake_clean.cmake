@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_collective.dir/custom_collective.cpp.o"
+  "CMakeFiles/custom_collective.dir/custom_collective.cpp.o.d"
+  "custom_collective"
+  "custom_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libsvm_train.dir/libsvm_train.cpp.o"
+  "CMakeFiles/libsvm_train.dir/libsvm_train.cpp.o.d"
+  "libsvm_train"
+  "libsvm_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libsvm_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_classification.dir/text_classification.cpp.o"
+  "CMakeFiles/text_classification.dir/text_classification.cpp.o.d"
+  "text_classification"
+  "text_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/admm/ad_admm.cpp" "src/admm/CMakeFiles/psra_admm.dir/ad_admm.cpp.o" "gcc" "src/admm/CMakeFiles/psra_admm.dir/ad_admm.cpp.o.d"
+  "/root/repo/src/admm/admmlib.cpp" "src/admm/CMakeFiles/psra_admm.dir/admmlib.cpp.o" "gcc" "src/admm/CMakeFiles/psra_admm.dir/admmlib.cpp.o.d"
+  "/root/repo/src/admm/checkpoint.cpp" "src/admm/CMakeFiles/psra_admm.dir/checkpoint.cpp.o" "gcc" "src/admm/CMakeFiles/psra_admm.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/admm/common.cpp" "src/admm/CMakeFiles/psra_admm.dir/common.cpp.o" "gcc" "src/admm/CMakeFiles/psra_admm.dir/common.cpp.o.d"
+  "/root/repo/src/admm/gadmm.cpp" "src/admm/CMakeFiles/psra_admm.dir/gadmm.cpp.o" "gcc" "src/admm/CMakeFiles/psra_admm.dir/gadmm.cpp.o.d"
+  "/root/repo/src/admm/problem.cpp" "src/admm/CMakeFiles/psra_admm.dir/problem.cpp.o" "gcc" "src/admm/CMakeFiles/psra_admm.dir/problem.cpp.o.d"
+  "/root/repo/src/admm/psra_hgadmm.cpp" "src/admm/CMakeFiles/psra_admm.dir/psra_hgadmm.cpp.o" "gcc" "src/admm/CMakeFiles/psra_admm.dir/psra_hgadmm.cpp.o.d"
+  "/root/repo/src/admm/reference.cpp" "src/admm/CMakeFiles/psra_admm.dir/reference.cpp.o" "gcc" "src/admm/CMakeFiles/psra_admm.dir/reference.cpp.o.d"
+  "/root/repo/src/admm/registry.cpp" "src/admm/CMakeFiles/psra_admm.dir/registry.cpp.o" "gcc" "src/admm/CMakeFiles/psra_admm.dir/registry.cpp.o.d"
+  "/root/repo/src/admm/trace.cpp" "src/admm/CMakeFiles/psra_admm.dir/trace.cpp.o" "gcc" "src/admm/CMakeFiles/psra_admm.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/psra_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/wlg/CMakeFiles/psra_wlg.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/psra_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/psra_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/psra_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/psra_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psra_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/psra_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

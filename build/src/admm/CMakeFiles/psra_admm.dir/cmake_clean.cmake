@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psra_admm.dir/ad_admm.cpp.o"
+  "CMakeFiles/psra_admm.dir/ad_admm.cpp.o.d"
+  "CMakeFiles/psra_admm.dir/admmlib.cpp.o"
+  "CMakeFiles/psra_admm.dir/admmlib.cpp.o.d"
+  "CMakeFiles/psra_admm.dir/checkpoint.cpp.o"
+  "CMakeFiles/psra_admm.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/psra_admm.dir/common.cpp.o"
+  "CMakeFiles/psra_admm.dir/common.cpp.o.d"
+  "CMakeFiles/psra_admm.dir/gadmm.cpp.o"
+  "CMakeFiles/psra_admm.dir/gadmm.cpp.o.d"
+  "CMakeFiles/psra_admm.dir/problem.cpp.o"
+  "CMakeFiles/psra_admm.dir/problem.cpp.o.d"
+  "CMakeFiles/psra_admm.dir/psra_hgadmm.cpp.o"
+  "CMakeFiles/psra_admm.dir/psra_hgadmm.cpp.o.d"
+  "CMakeFiles/psra_admm.dir/reference.cpp.o"
+  "CMakeFiles/psra_admm.dir/reference.cpp.o.d"
+  "CMakeFiles/psra_admm.dir/registry.cpp.o"
+  "CMakeFiles/psra_admm.dir/registry.cpp.o.d"
+  "CMakeFiles/psra_admm.dir/trace.cpp.o"
+  "CMakeFiles/psra_admm.dir/trace.cpp.o.d"
+  "libpsra_admm.a"
+  "libpsra_admm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psra_admm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsra_admm.a"
+)

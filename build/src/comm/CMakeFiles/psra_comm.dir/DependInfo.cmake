@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/allreduce_extra.cpp" "src/comm/CMakeFiles/psra_comm.dir/allreduce_extra.cpp.o" "gcc" "src/comm/CMakeFiles/psra_comm.dir/allreduce_extra.cpp.o.d"
+  "/root/repo/src/comm/allreduce_naive.cpp" "src/comm/CMakeFiles/psra_comm.dir/allreduce_naive.cpp.o" "gcc" "src/comm/CMakeFiles/psra_comm.dir/allreduce_naive.cpp.o.d"
+  "/root/repo/src/comm/allreduce_psr.cpp" "src/comm/CMakeFiles/psra_comm.dir/allreduce_psr.cpp.o" "gcc" "src/comm/CMakeFiles/psra_comm.dir/allreduce_psr.cpp.o.d"
+  "/root/repo/src/comm/allreduce_ring.cpp" "src/comm/CMakeFiles/psra_comm.dir/allreduce_ring.cpp.o" "gcc" "src/comm/CMakeFiles/psra_comm.dir/allreduce_ring.cpp.o.d"
+  "/root/repo/src/comm/collective.cpp" "src/comm/CMakeFiles/psra_comm.dir/collective.cpp.o" "gcc" "src/comm/CMakeFiles/psra_comm.dir/collective.cpp.o.d"
+  "/root/repo/src/comm/group.cpp" "src/comm/CMakeFiles/psra_comm.dir/group.cpp.o" "gcc" "src/comm/CMakeFiles/psra_comm.dir/group.cpp.o.d"
+  "/root/repo/src/comm/intranode.cpp" "src/comm/CMakeFiles/psra_comm.dir/intranode.cpp.o" "gcc" "src/comm/CMakeFiles/psra_comm.dir/intranode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/psra_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/psra_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

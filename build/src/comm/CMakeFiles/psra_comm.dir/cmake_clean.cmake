@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psra_comm.dir/allreduce_extra.cpp.o"
+  "CMakeFiles/psra_comm.dir/allreduce_extra.cpp.o.d"
+  "CMakeFiles/psra_comm.dir/allreduce_naive.cpp.o"
+  "CMakeFiles/psra_comm.dir/allreduce_naive.cpp.o.d"
+  "CMakeFiles/psra_comm.dir/allreduce_psr.cpp.o"
+  "CMakeFiles/psra_comm.dir/allreduce_psr.cpp.o.d"
+  "CMakeFiles/psra_comm.dir/allreduce_ring.cpp.o"
+  "CMakeFiles/psra_comm.dir/allreduce_ring.cpp.o.d"
+  "CMakeFiles/psra_comm.dir/collective.cpp.o"
+  "CMakeFiles/psra_comm.dir/collective.cpp.o.d"
+  "CMakeFiles/psra_comm.dir/group.cpp.o"
+  "CMakeFiles/psra_comm.dir/group.cpp.o.d"
+  "CMakeFiles/psra_comm.dir/intranode.cpp.o"
+  "CMakeFiles/psra_comm.dir/intranode.cpp.o.d"
+  "libpsra_comm.a"
+  "libpsra_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psra_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psra_data.dir/dataset.cpp.o"
+  "CMakeFiles/psra_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/psra_data.dir/libsvm_io.cpp.o"
+  "CMakeFiles/psra_data.dir/libsvm_io.cpp.o.d"
+  "CMakeFiles/psra_data.dir/partition.cpp.o"
+  "CMakeFiles/psra_data.dir/partition.cpp.o.d"
+  "CMakeFiles/psra_data.dir/synthetic.cpp.o"
+  "CMakeFiles/psra_data.dir/synthetic.cpp.o.d"
+  "libpsra_data.a"
+  "libpsra_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psra_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

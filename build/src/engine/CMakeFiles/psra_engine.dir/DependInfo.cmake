@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/ledger.cpp" "src/engine/CMakeFiles/psra_engine.dir/ledger.cpp.o" "gcc" "src/engine/CMakeFiles/psra_engine.dir/ledger.cpp.o.d"
+  "/root/repo/src/engine/thread_pool.cpp" "src/engine/CMakeFiles/psra_engine.dir/thread_pool.cpp.o" "gcc" "src/engine/CMakeFiles/psra_engine.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/psra_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psra_engine.dir/ledger.cpp.o"
+  "CMakeFiles/psra_engine.dir/ledger.cpp.o.d"
+  "CMakeFiles/psra_engine.dir/thread_pool.cpp.o"
+  "CMakeFiles/psra_engine.dir/thread_pool.cpp.o.d"
+  "libpsra_engine.a"
+  "libpsra_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psra_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

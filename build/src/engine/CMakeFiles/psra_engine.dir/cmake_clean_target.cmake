@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsra_engine.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psra_linalg.dir/csr_matrix.cpp.o"
+  "CMakeFiles/psra_linalg.dir/csr_matrix.cpp.o.d"
+  "CMakeFiles/psra_linalg.dir/dense_ops.cpp.o"
+  "CMakeFiles/psra_linalg.dir/dense_ops.cpp.o.d"
+  "CMakeFiles/psra_linalg.dir/sparse_vector.cpp.o"
+  "CMakeFiles/psra_linalg.dir/sparse_vector.cpp.o.d"
+  "libpsra_linalg.a"
+  "libpsra_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psra_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/cost_model.cpp" "src/simnet/CMakeFiles/psra_simnet.dir/cost_model.cpp.o" "gcc" "src/simnet/CMakeFiles/psra_simnet.dir/cost_model.cpp.o.d"
+  "/root/repo/src/simnet/event_queue.cpp" "src/simnet/CMakeFiles/psra_simnet.dir/event_queue.cpp.o" "gcc" "src/simnet/CMakeFiles/psra_simnet.dir/event_queue.cpp.o.d"
+  "/root/repo/src/simnet/straggler.cpp" "src/simnet/CMakeFiles/psra_simnet.dir/straggler.cpp.o" "gcc" "src/simnet/CMakeFiles/psra_simnet.dir/straggler.cpp.o.d"
+  "/root/repo/src/simnet/topology.cpp" "src/simnet/CMakeFiles/psra_simnet.dir/topology.cpp.o" "gcc" "src/simnet/CMakeFiles/psra_simnet.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/psra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psra_simnet.dir/cost_model.cpp.o"
+  "CMakeFiles/psra_simnet.dir/cost_model.cpp.o.d"
+  "CMakeFiles/psra_simnet.dir/event_queue.cpp.o"
+  "CMakeFiles/psra_simnet.dir/event_queue.cpp.o.d"
+  "CMakeFiles/psra_simnet.dir/straggler.cpp.o"
+  "CMakeFiles/psra_simnet.dir/straggler.cpp.o.d"
+  "CMakeFiles/psra_simnet.dir/topology.cpp.o"
+  "CMakeFiles/psra_simnet.dir/topology.cpp.o.d"
+  "libpsra_simnet.a"
+  "libpsra_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psra_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/logistic.cpp" "src/solver/CMakeFiles/psra_solver.dir/logistic.cpp.o" "gcc" "src/solver/CMakeFiles/psra_solver.dir/logistic.cpp.o.d"
+  "/root/repo/src/solver/metrics.cpp" "src/solver/CMakeFiles/psra_solver.dir/metrics.cpp.o" "gcc" "src/solver/CMakeFiles/psra_solver.dir/metrics.cpp.o.d"
+  "/root/repo/src/solver/prox.cpp" "src/solver/CMakeFiles/psra_solver.dir/prox.cpp.o" "gcc" "src/solver/CMakeFiles/psra_solver.dir/prox.cpp.o.d"
+  "/root/repo/src/solver/tron.cpp" "src/solver/CMakeFiles/psra_solver.dir/tron.cpp.o" "gcc" "src/solver/CMakeFiles/psra_solver.dir/tron.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/psra_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/psra_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psra_solver.dir/logistic.cpp.o"
+  "CMakeFiles/psra_solver.dir/logistic.cpp.o.d"
+  "CMakeFiles/psra_solver.dir/metrics.cpp.o"
+  "CMakeFiles/psra_solver.dir/metrics.cpp.o.d"
+  "CMakeFiles/psra_solver.dir/prox.cpp.o"
+  "CMakeFiles/psra_solver.dir/prox.cpp.o.d"
+  "CMakeFiles/psra_solver.dir/tron.cpp.o"
+  "CMakeFiles/psra_solver.dir/tron.cpp.o.d"
+  "libpsra_solver.a"
+  "libpsra_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psra_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

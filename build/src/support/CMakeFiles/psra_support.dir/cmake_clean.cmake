@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psra_support.dir/cli.cpp.o"
+  "CMakeFiles/psra_support.dir/cli.cpp.o.d"
+  "CMakeFiles/psra_support.dir/config.cpp.o"
+  "CMakeFiles/psra_support.dir/config.cpp.o.d"
+  "CMakeFiles/psra_support.dir/log.cpp.o"
+  "CMakeFiles/psra_support.dir/log.cpp.o.d"
+  "CMakeFiles/psra_support.dir/rng.cpp.o"
+  "CMakeFiles/psra_support.dir/rng.cpp.o.d"
+  "CMakeFiles/psra_support.dir/status.cpp.o"
+  "CMakeFiles/psra_support.dir/status.cpp.o.d"
+  "CMakeFiles/psra_support.dir/string_util.cpp.o"
+  "CMakeFiles/psra_support.dir/string_util.cpp.o.d"
+  "CMakeFiles/psra_support.dir/table.cpp.o"
+  "CMakeFiles/psra_support.dir/table.cpp.o.d"
+  "libpsra_support.a"
+  "libpsra_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psra_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

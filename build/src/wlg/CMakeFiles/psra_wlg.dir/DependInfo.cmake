@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wlg/group_generator.cpp" "src/wlg/CMakeFiles/psra_wlg.dir/group_generator.cpp.o" "gcc" "src/wlg/CMakeFiles/psra_wlg.dir/group_generator.cpp.o.d"
+  "/root/repo/src/wlg/leader.cpp" "src/wlg/CMakeFiles/psra_wlg.dir/leader.cpp.o" "gcc" "src/wlg/CMakeFiles/psra_wlg.dir/leader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/psra_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psra_wlg.dir/group_generator.cpp.o"
+  "CMakeFiles/psra_wlg.dir/group_generator.cpp.o.d"
+  "CMakeFiles/psra_wlg.dir/leader.cpp.o"
+  "CMakeFiles/psra_wlg.dir/leader.cpp.o.d"
+  "libpsra_wlg.a"
+  "libpsra_wlg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psra_wlg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

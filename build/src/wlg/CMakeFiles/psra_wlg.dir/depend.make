@@ -1,0 +1,2 @@
+# Empty dependencies file for psra_wlg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_admm.dir/test_admm.cpp.o"
+  "CMakeFiles/test_admm.dir/test_admm.cpp.o.d"
+  "test_admm"
+  "test_admm.pdb"
+  "test_admm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_admm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

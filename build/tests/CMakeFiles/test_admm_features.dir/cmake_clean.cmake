@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_admm_features.dir/test_admm_features.cpp.o"
+  "CMakeFiles/test_admm_features.dir/test_admm_features.cpp.o.d"
+  "test_admm_features"
+  "test_admm_features.pdb"
+  "test_admm_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_admm_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

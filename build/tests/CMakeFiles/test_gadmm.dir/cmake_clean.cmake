@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gadmm.dir/test_gadmm.cpp.o"
+  "CMakeFiles/test_gadmm.dir/test_gadmm.cpp.o.d"
+  "test_gadmm"
+  "test_gadmm.pdb"
+  "test_gadmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gadmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

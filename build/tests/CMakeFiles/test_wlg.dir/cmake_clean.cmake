@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wlg.dir/test_wlg.cpp.o"
+  "CMakeFiles/test_wlg.dir/test_wlg.cpp.o.d"
+  "test_wlg"
+  "test_wlg.pdb"
+  "test_wlg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wlg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
