@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-command verification gate: configure, build, run the tier-1 test suite
+# and a quick hot-path regression check (iterations/sec + allocs/iteration).
+#
+# Usage: scripts/check.sh [build-dir]
+#   PSRA_CHECK_SANITIZE=address scripts/check.sh build-asan   # sanitized gate
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake_args=(-B "$build" -S "$repo")
+if [[ -n "${PSRA_CHECK_SANITIZE:-}" ]]; then
+  cmake_args+=(-DPSRA_SANITIZE="$PSRA_CHECK_SANITIZE")
+fi
+
+echo "== configure =="
+cmake "${cmake_args[@]}"
+
+echo "== build =="
+cmake --build "$build" -j
+
+echo "== tests =="
+ctest --test-dir "$build" --output-on-failure -j
+
+echo "== hot path (quick) =="
+# Run from the build dir so BENCH_hotpath.json lands next to the binaries
+# instead of overwriting a checked-in result.
+(cd "$build" && ./bench/bench_hotpath --quick)
+
+echo "== OK =="

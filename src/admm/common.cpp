@@ -9,6 +9,52 @@
 
 namespace psra::admm {
 
+namespace {
+
+/// ||x - z||, ||x||, ||y|| in one pass over the feature dimension. Each
+/// accumulator uses the same four-lane order as linalg::DistanceL2/Norm2,
+/// so the three results are bitwise-identical to the separate calls while
+/// reading x/z/y once instead of loading x twice and touching memory five
+/// times.
+void WorkerNorms(std::span<const double> x, std::span<const double> z,
+                 std::span<const double> y, double& dist_xz, double& norm_x,
+                 double& norm_y) {
+  const std::size_t n = x.size();
+  double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = x[i] - z[i];
+    const double d1 = x[i + 1] - z[i + 1];
+    const double d2 = x[i + 2] - z[i + 2];
+    const double d3 = x[i + 3] - z[i + 3];
+    p0 += d0 * d0;
+    p1 += d1 * d1;
+    p2 += d2 * d2;
+    p3 += d3 * d3;
+    a0 += x[i] * x[i];
+    a1 += x[i + 1] * x[i + 1];
+    a2 += x[i + 2] * x[i + 2];
+    a3 += x[i + 3] * x[i + 3];
+    b0 += y[i] * y[i];
+    b1 += y[i + 1] * y[i + 1];
+    b2 += y[i + 2] * y[i + 2];
+    b3 += y[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) {
+    const double d = x[i] - z[i];
+    p0 += d * d;
+    a0 += x[i] * x[i];
+    b0 += y[i] * y[i];
+  }
+  dist_xz = std::sqrt((p0 + p1) + (p2 + p3));
+  norm_x = std::sqrt((a0 + a1) + (a2 + a3));
+  norm_y = std::sqrt((b0 + b1) + (b2 + b3));
+}
+
+}  // namespace
+
 double ComputeMultiplier(const ClusterConfig& cluster,
                          const simnet::Topology& topo,
                          const simnet::StragglerModel& stragglers,
@@ -40,6 +86,7 @@ WorkerSet::WorkerSet(const ConsensusProblem* problem,
   y_.assign(n, linalg::DenseVector(d, 0.0));
   w_.assign(n, linalg::DenseVector(d, 0.0));
   z_.assign(n, linalg::DenseVector(d, 0.0));
+  tron_ws_.resize(n);
 }
 
 double WorkerSet::XWStep(std::size_t i) {
@@ -47,7 +94,7 @@ double WorkerSet::XWStep(std::size_t i) {
   solver::FlopCounter flops;
   local_[i].SetRho(rho_);
   local_[i].SetIterationTerms(y_[i], z_[i]);
-  solver::TronMinimize(local_[i], x_[i], options_->tron, &flops);
+  solver::TronMinimize(local_[i], x_[i], options_->tron, &flops, tron_ws_[i]);
   solver::WLocal(rho_, x_[i], y_[i], w_[i], &flops);
   return flops.flops;
 }
@@ -71,9 +118,38 @@ double WorkerSet::ZYStep(std::size_t i, std::span<const double> W,
   zcfg.lambda = problem_->lambda;
   zcfg.rho = rho_;
   zcfg.num_workers = num_contributors;
-  solver::ZUpdate(zcfg, W, z_[i], &flops);
-  solver::YUpdate(rho_, x_[i], z_[i], y_[i], &flops);
+  solver::ZYUpdate(zcfg, W, x_[i], z_[i], y_[i], &flops);
   return flops.flops;
+}
+
+void WorkerSet::ZYStepAll(std::span<const simnet::Rank> ranks,
+                          std::span<const double> W,
+                          std::uint64_t num_contributors,
+                          std::vector<double>& flops_out) {
+  PSRA_REQUIRE(flops_out.size() == size(), "flops_out size mismatch");
+  if (ranks.empty()) return;
+  // Every rank in this call receives the same aggregated W, so they all
+  // compute the same z. Host-side shortcut: compute it once, copy it to the
+  // other workers (bitwise-identical by construction), and charge the copies
+  // the virtual flops of the computation they replace — the simulated
+  // cluster still does the work on every worker.
+  const auto first = static_cast<std::size_t>(ranks.front());
+  flops_out[first] = ZYStep(first, W, num_contributors);
+  const auto& z0 = z_[first];
+  const double z_flops = 3.0 * static_cast<double>(z0.size());
+  auto body = [&](std::size_t k) {
+    const auto i = static_cast<std::size_t>(ranks[k + 1]);
+    solver::FlopCounter flops;
+    flops.Add(z_flops);  // what ZUpdate would have charged
+    z_[i] = z0;
+    solver::YUpdate(rho_, x_[i], z_[i], y_[i], &flops);
+    flops_out[i] = flops.flops;
+  };
+  if (options_->pool != nullptr) {
+    options_->pool->ParallelFor(ranks.size() - 1, body);
+  } else {
+    engine::SerialFor(ranks.size() - 1, body);
+  }
 }
 
 void WorkerSet::SetRho(double rho) {
@@ -84,23 +160,37 @@ void WorkerSet::SetRho(double rho) {
 WorkerSet::Residuals WorkerSet::ComputeResiduals(
     std::span<const double> z_prev_mean) const {
   PSRA_REQUIRE(z_prev_mean.size() == dim(), "z_prev dimension mismatch");
+  const std::size_t n = x_.size();
+
+  // Per-worker norms are independent, so they can run on the pool; the
+  // squares are then folded serially in ascending worker order, which keeps
+  // the sums bitwise-identical to a fully serial pass.
+  norm_primal_.resize(n);
+  norm_x_.resize(n);
+  norm_y_.resize(n);
+  auto body = [&](std::size_t i) {
+    WorkerNorms(x_[i], z_[i], y_[i], norm_primal_[i], norm_x_[i], norm_y_[i]);
+  };
+  if (options_->pool != nullptr) {
+    options_->pool->ParallelFor(n, body);
+  } else {
+    engine::SerialFor(n, body);
+  }
+
   Residuals res;
   double primal_sq = 0.0, x_sq = 0.0, y_sq = 0.0;
-  for (std::size_t i = 0; i < x_.size(); ++i) {
-    const double di = linalg::DistanceL2(x_[i], z_[i]);
-    primal_sq += di * di;
-    const double xn = linalg::Norm2(x_[i]);
-    x_sq += xn * xn;
-    const double yn = linalg::Norm2(y_[i]);
-    y_sq += yn * yn;
+  for (std::size_t i = 0; i < n; ++i) {
+    primal_sq += norm_primal_[i] * norm_primal_[i];
+    x_sq += norm_x_[i] * norm_x_[i];
+    y_sq += norm_y_[i] * norm_y_[i];
   }
-  const linalg::DenseVector zbar = MeanZ();
-  const double sqrt_n = std::sqrt(static_cast<double>(x_.size()));
+  MeanZInto(mean_scratch_);
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
   res.primal = std::sqrt(primal_sq);
-  res.dual = rho_ * sqrt_n * linalg::DistanceL2(zbar, z_prev_mean);
+  res.dual = rho_ * sqrt_n * linalg::DistanceL2(mean_scratch_, z_prev_mean);
   res.x_norm = std::sqrt(x_sq);
   res.y_norm = std::sqrt(y_sq);
-  res.z_norm = sqrt_n * linalg::Norm2(zbar);
+  res.z_norm = sqrt_n * linalg::Norm2(mean_scratch_);
   return res;
 }
 
@@ -131,11 +221,35 @@ double WorkerSet::MaybeAdaptRho(const AdaptiveRhoConfig& cfg,
 }
 
 linalg::DenseVector WorkerSet::MeanZ() const {
-  const auto d = static_cast<std::size_t>(dim());
-  linalg::DenseVector out(d, 0.0);
-  for (const auto& z : z_) linalg::Axpy(1.0, z, out);
-  linalg::Scale(1.0 / static_cast<double>(z_.size()), out);
+  linalg::DenseVector out;
+  MeanZInto(out);
   return out;
+}
+
+void WorkerSet::MeanZInto(linalg::DenseVector& out) const {
+  const auto d = static_cast<std::size_t>(dim());
+  const double inv_n = 1.0 / static_cast<double>(z_.size());
+  out.resize(d);
+  // Chunk over coordinates, never over workers: coordinate j always
+  // accumulates z_0[j], z_1[j], ... in that order, so any chunking (and thus
+  // any pool size) yields the bitwise-identical mean. Within a chunk the
+  // workers form the outer loop — each z is streamed sequentially and the
+  // inner loop vectorizes — while the per-coordinate summation order stays
+  // exactly z_0 + z_1 + ... as before.
+  auto chunk = [&](std::size_t begin, std::size_t end) {
+    const auto& z0 = z_.front();
+    for (std::size_t j = begin; j < end; ++j) out[j] = z0[j];
+    for (std::size_t k = 1; k < z_.size(); ++k) {
+      const auto& zk = z_[k];
+      for (std::size_t j = begin; j < end; ++j) out[j] += zk[j];
+    }
+    for (std::size_t j = begin; j < end; ++j) out[j] *= inv_n;
+  };
+  if (options_->pool != nullptr) {
+    options_->pool->ParallelFor(d, /*grain=*/2048, chunk);
+  } else {
+    chunk(0, d);
+  }
 }
 
 IterationRecord WorkerSet::Evaluate(std::uint64_t iteration,

@@ -93,6 +93,9 @@ class WorkerSet {
   linalg::DenseVector& z(std::size_t i) { return z_[i]; }
   const linalg::DenseVector& z(std::size_t i) const { return z_[i]; }
   const linalg::DenseVector& w(std::size_t i) const { return w_[i]; }
+  /// All per-worker w vectors, for passing straight into a collective when
+  /// the caller does not need to mutate its input snapshots.
+  std::span<const linalg::DenseVector> w_all() const { return w_; }
 
   /// Runs the x-update (TRON on eq. 4) and w computation (eq. 8) for worker
   /// i against its current z_i/y_i. Returns flops performed.
@@ -107,8 +110,21 @@ class WorkerSet {
   double ZYStep(std::size_t i, std::span<const double> W,
                 std::uint64_t num_contributors);
 
+  /// Runs ZYStep for every worker in `ranks`, optionally on the host pool
+  /// (workers touch disjoint state, so the result is order-independent).
+  /// Per-worker flops land in flops_out[rank]; flops_out must have size()
+  /// entries.
+  void ZYStepAll(std::span<const simnet::Rank> ranks, std::span<const double> W,
+                 std::uint64_t num_contributors,
+                 std::vector<double>& flops_out);
+
   /// Mean of per-worker z (the consensus model used for metrics).
   linalg::DenseVector MeanZ() const;
+
+  /// In-place MeanZ: fills `out` reusing its storage. Coordinate chunks run
+  /// on the host pool, but each coordinate accumulates over workers in
+  /// ascending order, so the result is bitwise-identical for any pool size.
+  void MeanZInto(linalg::DenseVector& out) const;
 
   /// Current penalty parameter (problem rho, possibly adapted since).
   double rho() const { return rho_; }
@@ -146,6 +162,12 @@ class WorkerSet {
   double rho_;
   std::vector<solver::ProximalLogistic> local_;
   std::vector<linalg::DenseVector> x_, y_, w_, z_;
+  // Preallocated per-worker TRON workspaces and reduction scratch. Mutable
+  // because they are caches: const methods (ComputeResiduals, MeanZInto)
+  // recycle them instead of allocating per call.
+  mutable std::vector<solver::TronWorkspace> tron_ws_;
+  mutable linalg::DenseVector mean_scratch_;
+  mutable std::vector<double> norm_primal_, norm_x_, norm_y_;
 };
 
 }  // namespace psra::admm

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <span>
+#include <utility>
 
 #include "comm/intranode.hpp"
 #include "linalg/sparse_vector.hpp"
@@ -38,43 +41,44 @@ std::string PsraHgAdmm::Name() const {
 
 namespace {
 
-/// Runs one inter-node allreduce over `w_inputs` (one dense vector per group
-/// member) and returns the dense sum plus per-member finish times.
-struct InterResult {
+/// Per-run workspace for the inter-node allreduce: sparse conversion
+/// buffers, the collective's scratch, and the result fields. One instance
+/// lives across all iterations of Run, so the steady-state exchange is
+/// allocation-free.
+struct InterWorkspace {
+  comm::AllreduceScratch scratch;
+  comm::CommStats stats;
+  std::vector<linalg::SparseVector> sparse_inputs;
+  linalg::SparseVector sparse_sum;
+  /// Dense group sum (the aggregate W); finish times live in stats.
   linalg::DenseVector sum;
-  std::vector<simnet::VirtualTime> finish;
   std::size_t elements = 0;
   std::size_t messages = 0;
   std::size_t result_nnz = 0;
 };
 
-InterResult RunInterAllreduce(const comm::GroupComm& group,
-                              const comm::AllreduceAlgorithm& alg,
-                              bool sparse_comm,
-                              std::span<const linalg::DenseVector> w_inputs,
-                              std::span<const simnet::VirtualTime> starts) {
-  InterResult out;
+/// Runs one inter-node allreduce over `w_inputs` (one dense vector per group
+/// member), leaving the dense sum and per-member finish times in `ws`.
+void RunInterAllreduce(const comm::GroupComm& group,
+                       const comm::AllreduceAlgorithm& alg, bool sparse_comm,
+                       std::span<const linalg::DenseVector> w_inputs,
+                       std::span<const simnet::VirtualTime> starts,
+                       InterWorkspace& ws) {
   if (sparse_comm) {
-    std::vector<linalg::SparseVector> sv;
-    sv.reserve(w_inputs.size());
-    for (const auto& w : w_inputs) {
-      sv.push_back(linalg::SparseVector::FromDense(w));
+    ws.sparse_inputs.resize(w_inputs.size());
+    for (std::size_t i = 0; i < w_inputs.size(); ++i) {
+      ws.sparse_inputs[i].AssignFromDense(w_inputs[i]);
     }
-    auto res = alg.RunSparse(group, sv, starts);
-    out.sum = res.outputs[0].ToDense();
-    out.result_nnz = res.outputs[0].nnz();
-    out.finish = std::move(res.stats.finish_times);
-    out.elements = res.stats.elements_sent;
-    out.messages = res.stats.messages_sent;
+    alg.ReduceSparse(group, ws.sparse_inputs, starts, ws.scratch,
+                     ws.sparse_sum, ws.stats);
+    ws.sparse_sum.ToDense(ws.sum);
+    ws.result_nnz = ws.sparse_sum.nnz();
   } else {
-    auto res = alg.RunDense(group, w_inputs, starts);
-    out.sum = std::move(res.outputs[0]);
-    out.result_nnz = out.sum.size();
-    out.finish = std::move(res.stats.finish_times);
-    out.elements = res.stats.elements_sent;
-    out.messages = res.stats.messages_sent;
+    alg.ReduceDense(group, w_inputs, starts, ws.scratch, ws.sum, ws.stats);
+    ws.result_nnz = ws.sum.size();
   }
-  return out;
+  ws.elements = ws.stats.elements_sent;
+  ws.messages = ws.stats.messages_sent;
 }
 
 }  // namespace
@@ -129,6 +133,32 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
   linalg::DenseVector z_prev_mean(static_cast<std::size_t>(problem.dim()),
                                   0.0);
 
+  // ---- Hoisted per-run workspaces --------------------------------------
+  // Everything a steady-state iteration needs is sized here (or on first
+  // use) and recycled, so the flat dense hot path performs no heap
+  // allocations after warm-up.
+  InterWorkspace iw;
+  std::vector<simnet::Rank> everyone(world);
+  for (std::size_t i = 0; i < world; ++i) {
+    everyone[i] = static_cast<simnet::Rank>(i);
+  }
+  std::optional<comm::GroupComm> flat_global;
+  if (cfg_.grouping == GroupingMode::kFlat) {
+    flat_global.emplace(&topo, &cost_inter, everyone);
+  }
+  std::vector<linalg::DenseVector> inputs;  // member w snapshots
+  std::vector<simnet::VirtualTime> starts;
+  // Hierarchical-path scratch.
+  std::vector<comm::ReduceResult> red(nodes);
+  comm::BroadcastResult bc;
+  std::vector<simnet::VirtualTime> leader_ready(nodes);
+  std::vector<simnet::VirtualTime> report(nodes);
+  std::vector<std::pair<std::vector<simnet::NodeId>, simnet::VirtualTime>>
+      groups;
+  std::vector<simnet::Rank> group_leaders(nodes);
+  std::vector<linalg::DenseVector> ginputs(nodes);
+  std::vector<simnet::VirtualTime> gstarts(nodes);
+
   // Communication censoring (COLA-ADMM style): senders ship deltas against
   // their last transmission and skip negligible ones; every participant
   // folds the aggregated deltas into a shared running sum.
@@ -174,72 +204,77 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
 
     if (cfg_.grouping == GroupingMode::kFlat) {
       // ---- PSRA-ADMM: one global allreduce over all workers --------------
-      std::vector<simnet::Rank> everyone(world);
-      for (std::size_t i = 0; i < world; ++i) {
-        everyone[i] = static_cast<simnet::Rank>(i);
+      // The collective only reads its inputs, so the workers' w vectors go
+      // in directly; a private snapshot is taken only when mixed precision
+      // or censoring must rewrite the payload first.
+      const bool mutate_inputs = cfg_.mixed_precision || censoring;
+      starts.resize(world);
+      if (mutate_inputs) {
+        inputs.resize(world);
+        for (std::size_t i = 0; i < world; ++i) {
+          inputs[i] = ws.w(i);
+          if (cfg_.mixed_precision) linalg::RoundToFloat(inputs[i]);
+          if (censoring) apply_censoring(i, iter, inputs[i]);
+        }
       }
-      const comm::GroupComm global(&topo, &cost_inter, everyone);
-      std::vector<linalg::DenseVector> inputs(world);
-      std::vector<simnet::VirtualTime> starts(world);
-      for (std::size_t i = 0; i < world; ++i) {
-        inputs[i] = ws.w(i);
-        if (cfg_.mixed_precision) linalg::RoundToFloat(inputs[i]);
-        if (censoring) apply_censoring(i, iter, inputs[i]);
-        starts[i] = ledger[i].clock;
-      }
-      auto res = RunInterAllreduce(global, *alg, cfg_.sparse_comm, inputs,
-                                   starts);
-      result.elements_sent += res.elements;
-      result.messages_sent += res.messages;
+      for (std::size_t i = 0; i < world; ++i) starts[i] = ledger[i].clock;
+      RunInterAllreduce(*flat_global, *alg, cfg_.sparse_comm,
+                        mutate_inputs ? std::span<const linalg::DenseVector>(
+                                            inputs)
+                                      : ws.w_all(),
+                        starts, iw);
+      result.elements_sent += iw.elements;
+      result.messages_sent += iw.messages;
       if (censoring) {
-        linalg::Axpy(1.0, res.sum, W_running);
-        res.sum = W_running;
+        linalg::Axpy(1.0, iw.sum, W_running);
+        iw.sum = W_running;
       }
       for (std::size_t i = 0; i < world; ++i) {
-        ledger.WaitUntil(i, res.finish[i]);
-        const double zf = ws.ZYStep(i, res.sum, world);
-        ledger.ChargeCompute(i, cost.ComputeTime(zf));
+        ledger.WaitUntil(i, iw.stats.finish_times[i]);
+      }
+      ws.ZYStepAll(everyone, iw.sum, world, flops);
+      for (std::size_t i = 0; i < world; ++i) {
+        ledger.ChargeCompute(i, cost.ComputeTime(flops[i]));
       }
     } else {
       // ---- Hierarchical: intra-node reduce to the Leader ------------------
-      std::vector<linalg::DenseVector> node_sum(nodes);
-      std::vector<simnet::VirtualTime> leader_ready(nodes);
       for (simnet::NodeId n = 0; n < nodes; ++n) {
         const auto& members = node_ranks[n];
         const comm::GroupRank leader_g = intra[n].LocalRank(leaders[n]);
-        std::vector<linalg::DenseVector> inputs(members.size());
-        std::vector<simnet::VirtualTime> starts(members.size());
+        inputs.resize(members.size());
+        starts.resize(members.size());
         for (std::size_t m = 0; m < members.size(); ++m) {
           inputs[m] = ws.w(members[m]);
           starts[m] = ledger[members[m]].clock;
         }
-        auto red = comm::ReduceToLeader(intra[n], leader_g, inputs, starts);
-        result.elements_sent += red.elements_sent;
-        result.messages_sent += red.messages_sent;
+        comm::ReduceToLeader(intra[n], leader_g, inputs, starts, red[n]);
+        result.elements_sent += red[n].elements_sent;
+        result.messages_sent += red[n].messages_sent;
         for (std::size_t m = 0; m < members.size(); ++m) {
-          ledger.WaitUntil(members[m], red.finish_times[m]);
+          ledger.WaitUntil(members[m], red[n].finish_times[m]);
         }
-        ledger.WaitUntil(leaders[n], red.leader_ready);
-        node_sum[n] = std::move(red.value);
-        if (censoring) apply_censoring(n, iter, node_sum[n]);
+        ledger.WaitUntil(leaders[n], red[n].leader_ready);
+        if (censoring) apply_censoring(n, iter, red[n].value);
         leader_ready[n] = ledger[leaders[n]].clock;
       }
 
       // ---- Group formation -------------------------------------------------
       // Each formed group is (members, start time of its allreduce).
-      std::vector<std::pair<std::vector<simnet::NodeId>, simnet::VirtualTime>>
-          groups;
       if (cfg_.grouping == GroupingMode::kHierarchical) {
         simnet::VirtualTime all_ready = 0.0;
-        std::vector<simnet::NodeId> all(nodes);
         for (simnet::NodeId n = 0; n < nodes; ++n) {
-          all[n] = n;
           all_ready = std::max(all_ready, leader_ready[n]);
         }
-        groups.emplace_back(std::move(all), all_ready);
+        if (groups.empty()) {  // fixed membership: build the group once
+          std::vector<simnet::NodeId> all(nodes);
+          for (simnet::NodeId n = 0; n < nodes; ++n) all[n] = n;
+          groups.emplace_back(std::move(all), all_ready);
+        } else {
+          groups.front().second = all_ready;
+        }
       } else {
         // Leaders report to the GG (one small message each, paper Alg. 3).
-        std::vector<simnet::VirtualTime> report(nodes);
+        groups.clear();
         for (simnet::NodeId n = 0; n < nodes; ++n) {
           ledger.ChargeComm(leaders[n], request_cost);
           ++result.messages_sent;
@@ -255,45 +290,49 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
 
       // ---- Inter-node allreduce within each group + intra broadcast --------
       for (const auto& [members, start] : groups) {
-        std::vector<simnet::Rank> group_leaders;
-        std::vector<linalg::DenseVector> inputs;
-        std::vector<simnet::VirtualTime> starts;
+        const std::size_t gsize = members.size();
         std::uint64_t contributors = 0;
-        for (simnet::NodeId n : members) {
-          group_leaders.push_back(leaders[n]);
-          inputs.push_back(node_sum[n]);
-          if (cfg_.mixed_precision) linalg::RoundToFloat(inputs.back());
-          starts.push_back(std::max(start, ledger[leaders[n]].clock));
+        for (std::size_t j = 0; j < gsize; ++j) {
+          const simnet::NodeId n = members[j];
+          group_leaders[j] = leaders[n];
+          ginputs[j] = red[n].value;
+          if (cfg_.mixed_precision) linalg::RoundToFloat(ginputs[j]);
+          gstarts[j] = std::max(start, ledger[leaders[n]].clock);
           contributors += node_ranks[n].size();
         }
-        const comm::GroupComm inter(&topo, &cost_inter, group_leaders);
-        auto res =
-            RunInterAllreduce(inter, *alg, cfg_.sparse_comm, inputs, starts);
-        result.elements_sent += res.elements;
-        result.messages_sent += res.messages;
+        const comm::GroupComm inter(
+            &topo, &cost_inter,
+            {group_leaders.begin(), group_leaders.begin() + gsize});
+        RunInterAllreduce(inter, *alg, cfg_.sparse_comm,
+                          std::span(ginputs.data(), gsize),
+                          std::span(gstarts.data(), gsize), iw);
+        result.elements_sent += iw.elements;
+        result.messages_sent += iw.messages;
         if (censoring) {  // fixed membership: fold deltas into the run sum
-          linalg::Axpy(1.0, res.sum, W_running);
-          res.sum = W_running;
+          linalg::Axpy(1.0, iw.sum, W_running);
+          iw.sum = W_running;
         }
 
-        for (std::size_t gi = 0; gi < members.size(); ++gi) {
+        for (std::size_t gi = 0; gi < gsize; ++gi) {
           const simnet::NodeId n = members[gi];
-          ledger.WaitUntil(leaders[n], res.finish[gi]);
+          ledger.WaitUntil(leaders[n], iw.stats.finish_times[gi]);
 
           // Leader broadcasts W to its node (paper Alg. 1 step 11).
           const comm::GroupRank leader_g = intra[n].LocalRank(leaders[n]);
           const std::size_t elems =
-              cfg_.sparse_comm ? res.result_nnz
+              cfg_.sparse_comm ? iw.result_nnz
                                : static_cast<std::size_t>(problem.dim());
-          auto bc = comm::BroadcastFromLeader(intra[n], leader_g, elems,
-                                              ledger[leaders[n]].clock);
+          comm::BroadcastFromLeader(intra[n], leader_g, elems,
+                                    ledger[leaders[n]].clock, bc);
           result.elements_sent += bc.elements_sent;
           result.messages_sent += bc.messages_sent;
           for (std::size_t m = 0; m < node_ranks[n].size(); ++m) {
+            ledger.WaitUntil(node_ranks[n][m], bc.finish_times[m]);
+          }
+          ws.ZYStepAll(node_ranks[n], iw.sum, contributors, flops);
+          for (std::size_t m = 0; m < node_ranks[n].size(); ++m) {
             const simnet::Rank r = node_ranks[n][m];
-            ledger.WaitUntil(r, bc.finish_times[m]);
-            const double zf = ws.ZYStep(r, res.sum, contributors);
-            ledger.ChargeCompute(r, cost.ComputeTime(zf));
+            ledger.ChargeCompute(r, cost.ComputeTime(flops[r]));
           }
         }
       }
@@ -303,7 +342,7 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
     // Residual norms piggyback on the existing aggregation traffic (two
     // scalars), so no extra virtual time is charged.
     const WorkerSet::Residuals residuals = ws.ComputeResiduals(z_prev_mean);
-    z_prev_mean = ws.MeanZ();
+    ws.MeanZInto(z_prev_mean);
     const double rho_now = ws.MaybeAdaptRho(options.adaptive_rho, residuals);
 
     // ---- Metrics ----------------------------------------------------------

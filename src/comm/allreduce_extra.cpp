@@ -69,37 +69,39 @@ struct SparseOps {
   }
 };
 
-template <typename Ops, typename Result>
-Result RunRhd(const GroupComm& group,
-              std::span<const typename Ops::Value> inputs,
-              std::span<const simnet::VirtualTime> starts, std::uint64_t dim,
-              bool sparse) {
+// Core of the recursive halving-doubling algorithm. `value` and `t` are
+// caller-provided working vectors (recycled across invocations); on return,
+// value[g] holds member g's full reduced vector and `st` the accounting.
+template <typename Ops>
+void RunRhdCore(const GroupComm& group,
+                std::span<const typename Ops::Value> inputs,
+                std::span<const simnet::VirtualTime> starts, std::uint64_t dim,
+                bool sparse, std::vector<typename Ops::Value>& value,
+                std::vector<simnet::VirtualTime>& t, CommStats& st) {
   const auto& cm = group.cost_model();
   const GroupRank n = group.size();
   using Value = typename Ops::Value;
 
-  std::vector<Value> value(inputs.begin(), inputs.end());
-  std::vector<simnet::VirtualTime> t(starts.begin(), starts.end());
-  Result out;
-  out.stats.finish_times.assign(n, 0.0);
+  value.assign(inputs.begin(), inputs.end());
+  t.assign(starts.begin(), starts.end());
+  st.Reset(n);
 
   auto send = [&](GroupRank from, GroupRank to, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(from, to);
     const simnet::VirtualTime cost = sparse
                                          ? cm.SparseTransferTime(link, elems)
                                          : cm.DenseTransferTime(link, elems);
-    out.stats.elements_sent += elems;
-    ++out.stats.messages_sent;
-    out.stats.total_send_time += cost;
+    st.elements_sent += elems;
+    ++st.messages_sent;
+    st.total_send_time += cost;
     return cost;
   };
 
   if (n == 1) {
-    out.outputs.assign(1, value[0]);
-    out.stats.finish_times[0] = starts[0];
-    out.stats.all_done = starts[0];
-    out.stats.scatter_reduce_done = starts[0];
-    return out;
+    st.finish_times[0] = starts[0];
+    st.all_done = starts[0];
+    st.scatter_reduce_done = starts[0];
+    return;
   }
 
   // Fold remainder ranks into partners so the core runs on 2^m ranks.
@@ -151,7 +153,7 @@ Result RunRhd(const GroupComm& group,
       t[active_of(a)] = std::max(t[active_of(a)], arrive[a]);
     }
   }
-  out.stats.scatter_reduce_done = *std::max_element(t.begin(), t.end());
+  st.scatter_reduce_done = *std::max_element(t.begin(), t.end());
 
   // Recursive doubling allgather: exchange owned ranges, growing them.
   for (GroupRank bit = m >> 1; bit >= 1; bit >>= 1) {
@@ -186,34 +188,33 @@ Result RunRhd(const GroupComm& group,
     value[dst] = value[src];
   }
 
-  out.outputs = std::move(value);
-  out.stats.finish_times = std::move(t);
-  out.stats.all_done = *std::max_element(out.stats.finish_times.begin(),
-                                         out.stats.finish_times.end());
-  return out;
+  st.finish_times.assign(t.begin(), t.end());
+  st.all_done = *std::max_element(st.finish_times.begin(),
+                                  st.finish_times.end());
 }
 
-template <typename Ops, typename Result>
-Result RunTree(const GroupComm& group,
-               std::span<const typename Ops::Value> inputs,
-               std::span<const simnet::VirtualTime> starts, bool sparse) {
+// Core of the binomial-tree algorithm; same contract as RunRhdCore.
+template <typename Ops>
+void RunTreeCore(const GroupComm& group,
+                 std::span<const typename Ops::Value> inputs,
+                 std::span<const simnet::VirtualTime> starts, bool sparse,
+                 std::vector<typename Ops::Value>& value,
+                 std::vector<simnet::VirtualTime>& t, CommStats& st) {
   const auto& cm = group.cost_model();
   const GroupRank n = group.size();
-  using Value = typename Ops::Value;
 
-  std::vector<Value> value(inputs.begin(), inputs.end());
-  std::vector<simnet::VirtualTime> t(starts.begin(), starts.end());
-  Result out;
-  out.stats.finish_times.assign(n, 0.0);
+  value.assign(inputs.begin(), inputs.end());
+  t.assign(starts.begin(), starts.end());
+  st.Reset(n);
 
   auto send = [&](GroupRank from, GroupRank to, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(from, to);
     const simnet::VirtualTime cost = sparse
                                          ? cm.SparseTransferTime(link, elems)
                                          : cm.DenseTransferTime(link, elems);
-    out.stats.elements_sent += elems;
-    ++out.stats.messages_sent;
-    out.stats.total_send_time += cost;
+    st.elements_sent += elems;
+    ++st.messages_sent;
+    st.total_send_time += cost;
     return cost;
   };
 
@@ -229,7 +230,7 @@ Result RunTree(const GroupComm& group,
       }
     }
   }
-  out.stats.scatter_reduce_done = t[0];
+  st.scatter_reduce_done = t[0];
 
   // Binomial broadcast of the full result from rank 0: at stage `bit`,
   // every rank that already holds the result (rank divisible by 2*bit)
@@ -248,11 +249,9 @@ Result RunTree(const GroupComm& group,
     }
   }
 
-  out.outputs = std::move(value);
-  out.stats.finish_times = std::move(t);
-  out.stats.all_done = *std::max_element(out.stats.finish_times.begin(),
-                                         out.stats.finish_times.end());
-  return out;
+  st.finish_times.assign(t.begin(), t.end());
+  st.all_done = *std::max_element(st.finish_times.begin(),
+                                  st.finish_times.end());
 }
 
 }  // namespace
@@ -261,32 +260,92 @@ DenseAllreduceResult RhdAllreduce::RunDense(
     const GroupComm& group, std::span<const linalg::DenseVector> inputs,
     std::span<const simnet::VirtualTime> starts) const {
   const std::uint64_t dim = detail::CheckDenseInputs(group, inputs, starts);
-  return RunRhd<DenseOps, DenseAllreduceResult>(group, inputs, starts, dim,
-                                                /*sparse=*/false);
+  DenseAllreduceResult out;
+  std::vector<simnet::VirtualTime> t;
+  RunRhdCore<DenseOps>(group, inputs, starts, dim, /*sparse=*/false,
+                       out.outputs, t, out.stats);
+  return out;
 }
 
 SparseAllreduceResult RhdAllreduce::RunSparse(
     const GroupComm& group, std::span<const linalg::SparseVector> inputs,
     std::span<const simnet::VirtualTime> starts) const {
   const std::uint64_t dim = detail::CheckSparseInputs(group, inputs, starts);
-  return RunRhd<SparseOps, SparseAllreduceResult>(group, inputs, starts, dim,
-                                                  /*sparse=*/true);
+  SparseAllreduceResult out;
+  std::vector<simnet::VirtualTime> t;
+  RunRhdCore<SparseOps>(group, inputs, starts, dim, /*sparse=*/true,
+                        out.outputs, t, out.stats);
+  return out;
+}
+
+void RhdAllreduce::ReduceDense(const GroupComm& group,
+                               std::span<const linalg::DenseVector> inputs,
+                               std::span<const simnet::VirtualTime> starts,
+                               AllreduceScratch& scratch,
+                               linalg::DenseVector& sum,
+                               CommStats& stats) const {
+  const std::uint64_t dim = detail::CheckDenseInputs(group, inputs, starts);
+  RunRhdCore<DenseOps>(group, inputs, starts, dim, /*sparse=*/false,
+                       scratch.dense_values, scratch.times_a, stats);
+  sum = scratch.dense_values[0];
+}
+
+void RhdAllreduce::ReduceSparse(const GroupComm& group,
+                                std::span<const linalg::SparseVector> inputs,
+                                std::span<const simnet::VirtualTime> starts,
+                                AllreduceScratch& scratch,
+                                linalg::SparseVector& sum,
+                                CommStats& stats) const {
+  const std::uint64_t dim = detail::CheckSparseInputs(group, inputs, starts);
+  RunRhdCore<SparseOps>(group, inputs, starts, dim, /*sparse=*/true,
+                        scratch.sparse_values, scratch.times_a, stats);
+  sum = scratch.sparse_values[0];
 }
 
 DenseAllreduceResult TreeAllreduce::RunDense(
     const GroupComm& group, std::span<const linalg::DenseVector> inputs,
     std::span<const simnet::VirtualTime> starts) const {
   detail::CheckDenseInputs(group, inputs, starts);
-  return RunTree<DenseOps, DenseAllreduceResult>(group, inputs, starts,
-                                                 /*sparse=*/false);
+  DenseAllreduceResult out;
+  std::vector<simnet::VirtualTime> t;
+  RunTreeCore<DenseOps>(group, inputs, starts, /*sparse=*/false, out.outputs,
+                        t, out.stats);
+  return out;
 }
 
 SparseAllreduceResult TreeAllreduce::RunSparse(
     const GroupComm& group, std::span<const linalg::SparseVector> inputs,
     std::span<const simnet::VirtualTime> starts) const {
   detail::CheckSparseInputs(group, inputs, starts);
-  return RunTree<SparseOps, SparseAllreduceResult>(group, inputs, starts,
-                                                   /*sparse=*/true);
+  SparseAllreduceResult out;
+  std::vector<simnet::VirtualTime> t;
+  RunTreeCore<SparseOps>(group, inputs, starts, /*sparse=*/true, out.outputs,
+                         t, out.stats);
+  return out;
+}
+
+void TreeAllreduce::ReduceDense(const GroupComm& group,
+                                std::span<const linalg::DenseVector> inputs,
+                                std::span<const simnet::VirtualTime> starts,
+                                AllreduceScratch& scratch,
+                                linalg::DenseVector& sum,
+                                CommStats& stats) const {
+  detail::CheckDenseInputs(group, inputs, starts);
+  RunTreeCore<DenseOps>(group, inputs, starts, /*sparse=*/false,
+                        scratch.dense_values, scratch.times_a, stats);
+  sum = scratch.dense_values[0];
+}
+
+void TreeAllreduce::ReduceSparse(const GroupComm& group,
+                                 std::span<const linalg::SparseVector> inputs,
+                                 std::span<const simnet::VirtualTime> starts,
+                                 AllreduceScratch& scratch,
+                                 linalg::SparseVector& sum,
+                                 CommStats& stats) const {
+  detail::CheckSparseInputs(group, inputs, starts);
+  RunTreeCore<SparseOps>(group, inputs, starts, /*sparse=*/true,
+                         scratch.sparse_values, scratch.times_a, stats);
+  sum = scratch.sparse_values[0];
 }
 
 }  // namespace psra::comm

@@ -18,6 +18,16 @@ class NaiveAllreduce final : public AllreduceAlgorithm {
   SparseAllreduceResult RunSparse(
       const GroupComm& group, std::span<const linalg::SparseVector> inputs,
       std::span<const simnet::VirtualTime> starts) const override;
+  void ReduceDense(const GroupComm& group,
+                   std::span<const linalg::DenseVector> inputs,
+                   std::span<const simnet::VirtualTime> starts,
+                   AllreduceScratch& scratch, linalg::DenseVector& sum,
+                   CommStats& stats) const override;
+  void ReduceSparse(const GroupComm& group,
+                    std::span<const linalg::SparseVector> inputs,
+                    std::span<const simnet::VirtualTime> starts,
+                    AllreduceScratch& scratch, linalg::SparseVector& sum,
+                    CommStats& stats) const override;
 };
 
 /// Classic Ring-Allreduce [Gibiansky'17]: N-1 scatter-reduce rounds passing
@@ -33,6 +43,16 @@ class RingAllreduce final : public AllreduceAlgorithm {
   SparseAllreduceResult RunSparse(
       const GroupComm& group, std::span<const linalg::SparseVector> inputs,
       std::span<const simnet::VirtualTime> starts) const override;
+  void ReduceDense(const GroupComm& group,
+                   std::span<const linalg::DenseVector> inputs,
+                   std::span<const simnet::VirtualTime> starts,
+                   AllreduceScratch& scratch, linalg::DenseVector& sum,
+                   CommStats& stats) const override;
+  void ReduceSparse(const GroupComm& group,
+                    std::span<const linalg::SparseVector> inputs,
+                    std::span<const simnet::VirtualTime> starts,
+                    AllreduceScratch& scratch, linalg::SparseVector& sum,
+                    CommStats& stats) const override;
 };
 
 /// Recursive halving-doubling Allreduce (the classic MPI power-of-two
@@ -50,6 +70,16 @@ class RhdAllreduce final : public AllreduceAlgorithm {
   SparseAllreduceResult RunSparse(
       const GroupComm& group, std::span<const linalg::SparseVector> inputs,
       std::span<const simnet::VirtualTime> starts) const override;
+  void ReduceDense(const GroupComm& group,
+                   std::span<const linalg::DenseVector> inputs,
+                   std::span<const simnet::VirtualTime> starts,
+                   AllreduceScratch& scratch, linalg::DenseVector& sum,
+                   CommStats& stats) const override;
+  void ReduceSparse(const GroupComm& group,
+                    std::span<const linalg::SparseVector> inputs,
+                    std::span<const simnet::VirtualTime> starts,
+                    AllreduceScratch& scratch, linalg::SparseVector& sum,
+                    CommStats& stats) const override;
 };
 
 /// Binomial-tree Allreduce: tree reduce to group rank 0 followed by a
@@ -65,6 +95,16 @@ class TreeAllreduce final : public AllreduceAlgorithm {
   SparseAllreduceResult RunSparse(
       const GroupComm& group, std::span<const linalg::SparseVector> inputs,
       std::span<const simnet::VirtualTime> starts) const override;
+  void ReduceDense(const GroupComm& group,
+                   std::span<const linalg::DenseVector> inputs,
+                   std::span<const simnet::VirtualTime> starts,
+                   AllreduceScratch& scratch, linalg::DenseVector& sum,
+                   CommStats& stats) const override;
+  void ReduceSparse(const GroupComm& group,
+                    std::span<const linalg::SparseVector> inputs,
+                    std::span<const simnet::VirtualTime> starts,
+                    AllreduceScratch& scratch, linalg::SparseVector& sum,
+                    CommStats& stats) const override;
 };
 
 /// PSR-Allreduce (paper Section 4.2): parameter-server-inspired variant.
@@ -81,6 +121,16 @@ class PsrAllreduce final : public AllreduceAlgorithm {
   SparseAllreduceResult RunSparse(
       const GroupComm& group, std::span<const linalg::SparseVector> inputs,
       std::span<const simnet::VirtualTime> starts) const override;
+  void ReduceDense(const GroupComm& group,
+                   std::span<const linalg::DenseVector> inputs,
+                   std::span<const simnet::VirtualTime> starts,
+                   AllreduceScratch& scratch, linalg::DenseVector& sum,
+                   CommStats& stats) const override;
+  void ReduceSparse(const GroupComm& group,
+                    std::span<const linalg::SparseVector> inputs,
+                    std::span<const simnet::VirtualTime> starts,
+                    AllreduceScratch& scratch, linalg::SparseVector& sum,
+                    CommStats& stats) const override;
 };
 
 }  // namespace psra::comm

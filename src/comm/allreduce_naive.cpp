@@ -11,14 +11,13 @@ namespace {
 /// sends, each priced on its own link), root reduces, then serializes a
 /// broadcast back out. `sizes[g]` is the element count member g contributes;
 /// `reduced_size` the element count of the reduced vector root returns.
-CommStats NaiveTiming(const GroupComm& group,
-                      std::span<const simnet::VirtualTime> starts,
-                      std::span<const std::size_t> sizes,
-                      std::size_t reduced_size, bool sparse) {
+void NaiveTiming(const GroupComm& group,
+                 std::span<const simnet::VirtualTime> starts,
+                 std::span<const std::size_t> sizes, std::size_t reduced_size,
+                 bool sparse, CommStats& st) {
   const auto& cm = group.cost_model();
   const GroupRank n = group.size();
-  CommStats st;
-  st.finish_times.assign(n, 0.0);
+  st.Reset(n);
 
   auto transfer = [&](GroupRank a, GroupRank b, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(a, b);
@@ -30,7 +29,7 @@ CommStats NaiveTiming(const GroupComm& group,
     st.finish_times[0] = starts[0];
     st.all_done = starts[0];
     st.scatter_reduce_done = starts[0];
-    return st;
+    return;
   }
 
   // Gather: each non-root member sends its whole vector to root.
@@ -57,46 +56,70 @@ CommStats NaiveTiming(const GroupComm& group,
   }
   st.finish_times[0] = send_clock;
   st.all_done = *std::max_element(st.finish_times.begin(), st.finish_times.end());
-  return st;
 }
 
 }  // namespace
 
-DenseAllreduceResult NaiveAllreduce::RunDense(
-    const GroupComm& group, std::span<const linalg::DenseVector> inputs,
-    std::span<const simnet::VirtualTime> starts) const {
+void NaiveAllreduce::ReduceDense(const GroupComm& group,
+                                 std::span<const linalg::DenseVector> inputs,
+                                 std::span<const simnet::VirtualTime> starts,
+                                 AllreduceScratch& scratch,
+                                 linalg::DenseVector& sum,
+                                 CommStats& stats) const {
   const std::uint64_t dim = detail::CheckDenseInputs(group, inputs, starts);
   const GroupRank n = group.size();
 
-  linalg::DenseVector sum(static_cast<std::size_t>(dim), 0.0);
+  sum.assign(static_cast<std::size_t>(dim), 0.0);
   for (GroupRank g = 0; g < n; ++g) {
     linalg::Axpy(1.0, inputs[g], sum);
   }
 
-  std::vector<std::size_t> sizes(n, static_cast<std::size_t>(dim));
+  scratch.sizes.assign(n, static_cast<std::size_t>(dim));
+  NaiveTiming(group, starts, scratch.sizes, static_cast<std::size_t>(dim),
+              /*sparse=*/false, stats);
+}
+
+void NaiveAllreduce::ReduceSparse(const GroupComm& group,
+                                  std::span<const linalg::SparseVector> inputs,
+                                  std::span<const simnet::VirtualTime> starts,
+                                  AllreduceScratch& scratch,
+                                  linalg::SparseVector& sum,
+                                  CommStats& stats) const {
+  detail::CheckSparseInputs(group, inputs, starts);
+  const GroupRank n = group.size();
+
+  // Reduce in ascending rank order via ping-pong accumulators so each merge
+  // reuses previously grown storage.
+  sum = inputs[0];
+  for (GroupRank g = 1; g < n; ++g) {
+    linalg::SparseVector::SumInto(sum, inputs[g], scratch.sparse_tmp);
+    std::swap(sum, scratch.sparse_tmp);
+  }
+
+  scratch.sizes.resize(n);
+  for (GroupRank g = 0; g < n; ++g) scratch.sizes[g] = inputs[g].nnz();
+  NaiveTiming(group, starts, scratch.sizes, sum.nnz(), /*sparse=*/true, stats);
+}
+
+DenseAllreduceResult NaiveAllreduce::RunDense(
+    const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  AllreduceScratch scratch;
   DenseAllreduceResult out;
-  out.stats = NaiveTiming(group, starts, sizes, static_cast<std::size_t>(dim),
-                          /*sparse=*/false);
-  out.outputs.assign(n, sum);
+  linalg::DenseVector sum;
+  ReduceDense(group, inputs, starts, scratch, sum, out.stats);
+  out.outputs.assign(group.size(), sum);
   return out;
 }
 
 SparseAllreduceResult NaiveAllreduce::RunSparse(
     const GroupComm& group, std::span<const linalg::SparseVector> inputs,
     std::span<const simnet::VirtualTime> starts) const {
-  detail::CheckSparseInputs(group, inputs, starts);
-  const GroupRank n = group.size();
-
-  linalg::SparseVector sum = inputs[0];
-  for (GroupRank g = 1; g < n; ++g) {
-    sum = linalg::SparseVector::Sum(sum, inputs[g]);
-  }
-
-  std::vector<std::size_t> sizes(n);
-  for (GroupRank g = 0; g < n; ++g) sizes[g] = inputs[g].nnz();
+  AllreduceScratch scratch;
   SparseAllreduceResult out;
-  out.stats = NaiveTiming(group, starts, sizes, sum.nnz(), /*sparse=*/true);
-  out.outputs.assign(n, sum);
+  linalg::SparseVector sum;
+  ReduceSparse(group, inputs, starts, scratch, sum, out.stats);
+  out.outputs.assign(group.size(), sum);
   return out;
 }
 

@@ -19,16 +19,16 @@ namespace {
 // `reduced_size(j)`    = elements of the fully reduced block j;
 // both queried lazily so dense/sparse share the control flow. When
 // `skip_empty` (sparse), zero-element messages are not sent at all — this
-// realizes the paper's best case T_psr-sr = 0.
+// realizes the paper's best case T_psr-sr = 0. All bookkeeping vectors live
+// in `scratch` so steady-state calls allocate nothing.
 template <typename ContribSize, typename ReducedSize>
-CommStats PsrTiming(const GroupComm& group,
-                    std::span<const simnet::VirtualTime> starts,
-                    ContribSize contrib_size, ReducedSize reduced_size,
-                    bool sparse, bool skip_empty) {
+void PsrTiming(const GroupComm& group,
+               std::span<const simnet::VirtualTime> starts,
+               ContribSize contrib_size, ReducedSize reduced_size, bool sparse,
+               bool skip_empty, AllreduceScratch& scratch, CommStats& st) {
   const auto& cm = group.cost_model();
   const GroupRank n = group.size();
-  CommStats st;
-  st.finish_times.assign(n, 0.0);
+  st.Reset(n);
 
   auto transfer = [&](GroupRank a, GroupRank b, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(a, b);
@@ -40,13 +40,15 @@ CommStats PsrTiming(const GroupComm& group,
     st.finish_times[0] = starts[0];
     st.all_done = starts[0];
     st.scatter_reduce_done = starts[0];
-    return st;
+    return;
   }
 
   // --- Scatter-Reduce ---------------------------------------------------
   // ready[j]: when owner j's block is fully reduced.
-  std::vector<simnet::VirtualTime> ready(n);
-  std::vector<simnet::VirtualTime> sr_send_done(n);  // sender-side busy-until
+  auto& ready = scratch.times_a;
+  auto& sr_send_done = scratch.times_b;  // sender-side busy-until
+  ready.resize(n);
+  sr_send_done.assign(n, 0.0);
   for (GroupRank j = 0; j < n; ++j) ready[j] = starts[j];
 
   for (GroupRank i = 0; i < n; ++i) {
@@ -68,11 +70,13 @@ CommStats PsrTiming(const GroupComm& group,
 
   // --- Allgather ----------------------------------------------------------
   // arrival[m]: latest block arrival at member m.
-  std::vector<simnet::VirtualTime> arrival(n);
+  auto& arrival = scratch.times_c;
+  arrival.resize(n);
   for (GroupRank m = 0; m < n; ++m) {
     arrival[m] = std::max(ready[m], sr_send_done[m]);
   }
-  std::vector<simnet::VirtualTime> ag_send_done(n);
+  auto& ag_send_done = scratch.times_d;
+  ag_send_done.assign(n, 0.0);
   for (GroupRank j = 0; j < n; ++j) {
     const std::size_t elems = reduced_size(j);
     simnet::VirtualTime clock = std::max(ready[j], sr_send_done[j]);
@@ -94,18 +98,20 @@ CommStats PsrTiming(const GroupComm& group,
   }
   st.all_done = *std::max_element(st.finish_times.begin(),
                                   st.finish_times.end());
-  return st;
 }
 
 }  // namespace
 
-DenseAllreduceResult PsrAllreduce::RunDense(
-    const GroupComm& group, std::span<const linalg::DenseVector> inputs,
-    std::span<const simnet::VirtualTime> starts) const {
+void PsrAllreduce::ReduceDense(const GroupComm& group,
+                               std::span<const linalg::DenseVector> inputs,
+                               std::span<const simnet::VirtualTime> starts,
+                               AllreduceScratch& scratch,
+                               linalg::DenseVector& sum,
+                               CommStats& stats) const {
   const std::uint64_t dim = detail::CheckDenseInputs(group, inputs, starts);
   const GroupRank n = group.size();
 
-  linalg::DenseVector sum(static_cast<std::size_t>(dim), 0.0);
+  sum.assign(static_cast<std::size_t>(dim), 0.0);
   for (GroupRank g = 0; g < n; ++g) linalg::Axpy(1.0, inputs[g], sum);
 
   auto block_len = [&](GroupRank j) {
@@ -113,45 +119,67 @@ DenseAllreduceResult PsrAllreduce::RunDense(
     return static_cast<std::size_t>(hi - lo);
   };
 
-  DenseAllreduceResult out;
-  out.stats = PsrTiming(
+  PsrTiming(
       group, starts,
       [&](GroupRank /*i*/, GroupRank j) { return block_len(j); },
       [&](GroupRank j) { return block_len(j); },
-      /*sparse=*/false, /*skip_empty=*/false);
-  out.outputs.assign(n, sum);
-  return out;
+      /*sparse=*/false, /*skip_empty=*/false, scratch, stats);
 }
 
-SparseAllreduceResult PsrAllreduce::RunSparse(
-    const GroupComm& group, std::span<const linalg::SparseVector> inputs,
-    std::span<const simnet::VirtualTime> starts) const {
+void PsrAllreduce::ReduceSparse(const GroupComm& group,
+                                std::span<const linalg::SparseVector> inputs,
+                                std::span<const simnet::VirtualTime> starts,
+                                AllreduceScratch& scratch,
+                                linalg::SparseVector& sum,
+                                CommStats& stats) const {
   const std::uint64_t dim = detail::CheckSparseInputs(group, inputs, starts);
   const GroupRank n = group.size();
 
-  // Reduce each block in ascending contributor order.
-  std::vector<linalg::SparseVector> reduced(n);
+  // Reduce each block in ascending contributor order. The ping-pong through
+  // sparse_tmp/sparse_tmp2 keeps every merge in recycled storage.
+  auto& reduced = scratch.sparse_blocks;
+  reduced.resize(n);
   for (GroupRank j = 0; j < n; ++j) {
     const auto [lo, hi] = group.BlockRange(dim, j);
-    linalg::SparseVector acc = inputs[0].Slice(lo, hi);
+    inputs[0].SliceInto(lo, hi, reduced[j]);
     for (GroupRank i = 1; i < n; ++i) {
-      acc = linalg::SparseVector::Sum(acc, inputs[i].Slice(lo, hi));
+      inputs[i].SliceInto(lo, hi, scratch.sparse_tmp);
+      linalg::SparseVector::SumInto(reduced[j], scratch.sparse_tmp,
+                                    scratch.sparse_tmp2);
+      std::swap(reduced[j], scratch.sparse_tmp2);
     }
-    reduced[j] = std::move(acc);
   }
-  const linalg::SparseVector full =
-      linalg::SparseVector::ConcatDisjoint(reduced);
+  linalg::SparseVector::ConcatDisjointInto(reduced, sum);
 
-  SparseAllreduceResult out;
-  out.stats = PsrTiming(
+  PsrTiming(
       group, starts,
       [&](GroupRank i, GroupRank j) {
         const auto [lo, hi] = group.BlockRange(dim, j);
         return inputs[i].CountInRange(lo, hi);
       },
       [&](GroupRank j) { return reduced[j].nnz(); },
-      /*sparse=*/true, /*skip_empty=*/true);
-  out.outputs.assign(n, full);
+      /*sparse=*/true, /*skip_empty=*/true, scratch, stats);
+}
+
+DenseAllreduceResult PsrAllreduce::RunDense(
+    const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  AllreduceScratch scratch;
+  DenseAllreduceResult out;
+  linalg::DenseVector sum;
+  ReduceDense(group, inputs, starts, scratch, sum, out.stats);
+  out.outputs.assign(group.size(), sum);
+  return out;
+}
+
+SparseAllreduceResult PsrAllreduce::RunSparse(
+    const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  AllreduceScratch scratch;
+  SparseAllreduceResult out;
+  linalg::SparseVector sum;
+  ReduceSparse(group, inputs, starts, scratch, sum, out.stats);
+  out.outputs.assign(group.size(), sum);
   return out;
 }
 

@@ -13,13 +13,16 @@ namespace {
 //   Size(b)      — elements serialized when b crosses a link
 //   Reduce(d,s)  — d += s
 //   (blocks are moved/copied freely)
+// All working storage (the block matrix, per-round in-flight copies and
+// send-completion times) is borrowed from the caller so repeated invocations
+// recycle it.
 template <typename Ops>
 struct RingRunner {
   using Block = typename Ops::Block;
 
   const GroupComm& group;
   bool sparse_pricing;
-  CommStats stats;
+  CommStats& stats;
 
   simnet::VirtualTime Transfer(GroupRank from, GroupRank to,
                                std::size_t elems) {
@@ -32,12 +35,16 @@ struct RingRunner {
   /// Runs both phases over `blocks[i][b]`, advancing per-member clocks `t`.
   /// On return, every member holds all fully reduced blocks.
   void Run(std::vector<std::vector<Block>>& blocks,
-           std::vector<simnet::VirtualTime>& t) {
+           std::vector<simnet::VirtualTime>& t,
+           std::vector<simnet::VirtualTime>& send_done,
+           std::vector<Block>& in_flight) {
     const GroupRank n = group.size();
     if (n == 1) {
       stats.scatter_reduce_done = t[0];
       return;
     }
+    send_done.resize(n);
+    in_flight.resize(n);
     auto mod = [n](std::int64_t v) {
       return static_cast<GroupRank>(((v % n) + n) % n);
     };
@@ -45,8 +52,6 @@ struct RingRunner {
     // One pipelined round: member i sends block send_block(i) to i+1; the
     // receiver either reduces it into, or replaces, its local copy.
     auto round = [&](auto send_block, bool reduce) {
-      std::vector<simnet::VirtualTime> send_done(n);
-      std::vector<Block> in_flight(n);
       for (GroupRank i = 0; i < n; ++i) {
         const GroupRank b = send_block(i);
         const std::size_t elems = Ops::Size(blocks[i][b]);
@@ -106,14 +111,19 @@ struct SparseOps {
 
 }  // namespace
 
-DenseAllreduceResult RingAllreduce::RunDense(
-    const GroupComm& group, std::span<const linalg::DenseVector> inputs,
-    std::span<const simnet::VirtualTime> starts) const {
+void RingAllreduce::ReduceDense(const GroupComm& group,
+                                std::span<const linalg::DenseVector> inputs,
+                                std::span<const simnet::VirtualTime> starts,
+                                AllreduceScratch& scratch,
+                                linalg::DenseVector& sum,
+                                CommStats& stats) const {
   const std::uint64_t dim = detail::CheckDenseInputs(group, inputs, starts);
   const GroupRank n = group.size();
+  stats.Reset(n);
 
   // Split every input into the n rank-owned blocks.
-  std::vector<std::vector<linalg::DenseVector>> blocks(n);
+  auto& blocks = scratch.dense_ring;
+  blocks.resize(n);
   for (GroupRank i = 0; i < n; ++i) {
     blocks[i].resize(n);
     for (GroupRank b = 0; b < n; ++b) {
@@ -123,55 +133,74 @@ DenseAllreduceResult RingAllreduce::RunDense(
     }
   }
 
-  std::vector<simnet::VirtualTime> t(starts.begin(), starts.end());
-  RingRunner<DenseOps> runner{group, /*sparse_pricing=*/false, {}};
-  runner.Run(blocks, t);
+  auto& t = scratch.times_a;
+  t.assign(starts.begin(), starts.end());
+  RingRunner<DenseOps> runner{group, /*sparse_pricing=*/false, stats};
+  runner.Run(blocks, t, scratch.times_b, scratch.dense_in_flight);
 
-  DenseAllreduceResult out;
-  out.outputs.resize(n);
+  // Member 0's reduced blocks are the group sum (every member holds the same
+  // values after allgather).
+  sum.resize(static_cast<std::size_t>(dim));
+  for (GroupRank b = 0; b < n; ++b) {
+    const auto [lo, hi] = group.BlockRange(dim, b);
+    std::copy(blocks[0][b].begin(), blocks[0][b].end(),
+              sum.begin() + static_cast<std::ptrdiff_t>(lo));
+  }
+  stats.finish_times.assign(t.begin(), t.end());
+  stats.all_done = *std::max_element(stats.finish_times.begin(),
+                                     stats.finish_times.end());
+}
+
+void RingAllreduce::ReduceSparse(const GroupComm& group,
+                                 std::span<const linalg::SparseVector> inputs,
+                                 std::span<const simnet::VirtualTime> starts,
+                                 AllreduceScratch& scratch,
+                                 linalg::SparseVector& sum,
+                                 CommStats& stats) const {
+  const std::uint64_t dim = detail::CheckSparseInputs(group, inputs, starts);
+  const GroupRank n = group.size();
+  stats.Reset(n);
+
+  auto& blocks = scratch.sparse_ring;
+  blocks.resize(n);
   for (GroupRank i = 0; i < n; ++i) {
-    out.outputs[i].resize(static_cast<std::size_t>(dim));
+    blocks[i].resize(n);
     for (GroupRank b = 0; b < n; ++b) {
       const auto [lo, hi] = group.BlockRange(dim, b);
-      std::copy(blocks[i][b].begin(), blocks[i][b].end(),
-                out.outputs[i].begin() + static_cast<std::ptrdiff_t>(lo));
+      inputs[i].SliceInto(lo, hi, blocks[i][b]);
     }
   }
-  out.stats = std::move(runner.stats);
-  out.stats.finish_times = std::move(t);
-  out.stats.all_done = *std::max_element(out.stats.finish_times.begin(),
-                                         out.stats.finish_times.end());
+
+  auto& t = scratch.times_a;
+  t.assign(starts.begin(), starts.end());
+  RingRunner<SparseOps> runner{group, /*sparse_pricing=*/true, stats};
+  runner.Run(blocks, t, scratch.times_b, scratch.sparse_in_flight);
+
+  linalg::SparseVector::ConcatDisjointInto(blocks[0], sum);
+  stats.finish_times.assign(t.begin(), t.end());
+  stats.all_done = *std::max_element(stats.finish_times.begin(),
+                                     stats.finish_times.end());
+}
+
+DenseAllreduceResult RingAllreduce::RunDense(
+    const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+    std::span<const simnet::VirtualTime> starts) const {
+  AllreduceScratch scratch;
+  DenseAllreduceResult out;
+  linalg::DenseVector sum;
+  ReduceDense(group, inputs, starts, scratch, sum, out.stats);
+  out.outputs.assign(group.size(), sum);
   return out;
 }
 
 SparseAllreduceResult RingAllreduce::RunSparse(
     const GroupComm& group, std::span<const linalg::SparseVector> inputs,
     std::span<const simnet::VirtualTime> starts) const {
-  const std::uint64_t dim = detail::CheckSparseInputs(group, inputs, starts);
-  const GroupRank n = group.size();
-
-  std::vector<std::vector<linalg::SparseVector>> blocks(n);
-  for (GroupRank i = 0; i < n; ++i) {
-    blocks[i].resize(n);
-    for (GroupRank b = 0; b < n; ++b) {
-      const auto [lo, hi] = group.BlockRange(dim, b);
-      blocks[i][b] = inputs[i].Slice(lo, hi);
-    }
-  }
-
-  std::vector<simnet::VirtualTime> t(starts.begin(), starts.end());
-  RingRunner<SparseOps> runner{group, /*sparse_pricing=*/true, {}};
-  runner.Run(blocks, t);
-
+  AllreduceScratch scratch;
   SparseAllreduceResult out;
-  out.outputs.resize(n);
-  for (GroupRank i = 0; i < n; ++i) {
-    out.outputs[i] = linalg::SparseVector::ConcatDisjoint(blocks[i]);
-  }
-  out.stats = std::move(runner.stats);
-  out.stats.finish_times = std::move(t);
-  out.stats.all_done = *std::max_element(out.stats.finish_times.begin(),
-                                         out.stats.finish_times.end());
+  linalg::SparseVector sum;
+  ReduceSparse(group, inputs, starts, scratch, sum, out.stats);
+  out.outputs.assign(group.size(), sum);
   return out;
 }
 

@@ -15,6 +15,33 @@ simnet::VirtualTime CommStats::Span(
   return all_done - max_start;
 }
 
+void CommStats::Reset(std::size_t n) {
+  finish_times.assign(n, 0.0);
+  scatter_reduce_done = 0.0;
+  all_done = 0.0;
+  elements_sent = 0;
+  messages_sent = 0;
+  total_send_time = 0.0;
+}
+
+void AllreduceAlgorithm::ReduceDense(
+    const GroupComm& group, std::span<const linalg::DenseVector> inputs,
+    std::span<const simnet::VirtualTime> starts, AllreduceScratch& /*scratch*/,
+    linalg::DenseVector& sum, CommStats& stats) const {
+  auto res = RunDense(group, inputs, starts);
+  sum = std::move(res.outputs[0]);
+  stats = std::move(res.stats);
+}
+
+void AllreduceAlgorithm::ReduceSparse(
+    const GroupComm& group, std::span<const linalg::SparseVector> inputs,
+    std::span<const simnet::VirtualTime> starts, AllreduceScratch& /*scratch*/,
+    linalg::SparseVector& sum, CommStats& stats) const {
+  auto res = RunSparse(group, inputs, starts);
+  sum = std::move(res.outputs[0]);
+  stats = std::move(res.stats);
+}
+
 std::unique_ptr<AllreduceAlgorithm> MakeAllreduce(AllreduceKind kind) {
   switch (kind) {
     case AllreduceKind::kNaive: return std::make_unique<NaiveAllreduce>();

@@ -49,6 +49,38 @@ struct CommStats {
 
   /// Max finish minus max start: the wall-clock the collective added.
   simnet::VirtualTime Span(std::span<const simnet::VirtualTime> starts) const;
+
+  /// Zeroes every field and sizes finish_times to `n` members, reusing its
+  /// storage. Called by the in-place Reduce* entry points.
+  void Reset(std::size_t n);
+
+  bool operator==(const CommStats& other) const = default;
+};
+
+/// Reusable buffers for the in-place Reduce* entry points. Callers keep one
+/// instance per call site and pass it to every invocation; each buffer grows
+/// to its working size on first use and is recycled afterwards, so
+/// steady-state collectives perform no heap allocation. The fields are
+/// algorithm-private scratch — callers must not read them.
+struct AllreduceScratch {
+  // Virtual-time and size bookkeeping.
+  std::vector<simnet::VirtualTime> times_a;
+  std::vector<simnet::VirtualTime> times_b;
+  std::vector<simnet::VirtualTime> times_c;
+  std::vector<simnet::VirtualTime> times_d;
+  std::vector<std::size_t> sizes;
+  // Sparse payloads: per-block partials plus ping-pong accumulators.
+  std::vector<linalg::SparseVector> sparse_blocks;
+  linalg::SparseVector sparse_tmp;
+  linalg::SparseVector sparse_tmp2;
+  // Ring block state: blocks[member][block] plus per-round in-flight copies.
+  std::vector<std::vector<linalg::DenseVector>> dense_ring;
+  std::vector<linalg::DenseVector> dense_in_flight;
+  std::vector<std::vector<linalg::SparseVector>> sparse_ring;
+  std::vector<linalg::SparseVector> sparse_in_flight;
+  // Per-member working vectors (rhd/tree).
+  std::vector<linalg::DenseVector> dense_values;
+  std::vector<linalg::SparseVector> sparse_values;
 };
 
 struct DenseAllreduceResult {
@@ -77,6 +109,23 @@ class AllreduceAlgorithm {
   virtual SparseAllreduceResult RunSparse(
       const GroupComm& group, std::span<const linalg::SparseVector> inputs,
       std::span<const simnet::VirtualTime> starts) const = 0;
+
+  /// In-place reduction: writes the group sum (== RunDense().outputs[0],
+  /// bitwise) into `sum` and the cost accounting into `stats`, drawing all
+  /// temporaries from `scratch`. The base implementation delegates to
+  /// RunDense; algorithms override it to run allocation-free in steady state.
+  virtual void ReduceDense(const GroupComm& group,
+                           std::span<const linalg::DenseVector> inputs,
+                           std::span<const simnet::VirtualTime> starts,
+                           AllreduceScratch& scratch, linalg::DenseVector& sum,
+                           CommStats& stats) const;
+
+  /// Sparse counterpart; `sum` matches RunSparse().outputs[0] bitwise.
+  virtual void ReduceSparse(const GroupComm& group,
+                            std::span<const linalg::SparseVector> inputs,
+                            std::span<const simnet::VirtualTime> starts,
+                            AllreduceScratch& scratch,
+                            linalg::SparseVector& sum, CommStats& stats) const;
 };
 
 enum class AllreduceKind { kNaive, kRing, kPsr, kRhd, kTree };

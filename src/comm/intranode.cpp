@@ -6,9 +6,10 @@
 
 namespace psra::comm {
 
-ReduceResult ReduceToLeader(const GroupComm& group, GroupRank leader,
-                            std::span<const linalg::DenseVector> inputs,
-                            std::span<const simnet::VirtualTime> starts) {
+void ReduceToLeader(const GroupComm& group, GroupRank leader,
+                    std::span<const linalg::DenseVector> inputs,
+                    std::span<const simnet::VirtualTime> starts,
+                    ReduceResult& out) {
   PSRA_REQUIRE(leader < group.size(), "leader rank out of range");
   PSRA_REQUIRE(inputs.size() == group.size(), "one input per member required");
   PSRA_REQUIRE(starts.size() == group.size(), "one start per member required");
@@ -18,8 +19,11 @@ ReduceResult ReduceToLeader(const GroupComm& group, GroupRank leader,
   }
 
   const auto& cm = group.cost_model();
-  ReduceResult out;
   out.finish_times.assign(group.size(), 0.0);
+  out.leader_ready = 0.0;
+  out.elements_sent = 0;
+  out.messages_sent = 0;
+  out.total_send_time = 0.0;
 
   out.value.assign(dim, 0.0);
   for (GroupRank g = 0; g < group.size(); ++g) {
@@ -39,16 +43,26 @@ ReduceResult ReduceToLeader(const GroupComm& group, GroupRank leader,
     ++out.messages_sent;
     out.total_send_time += cost;
   }
+}
+
+ReduceResult ReduceToLeader(const GroupComm& group, GroupRank leader,
+                            std::span<const linalg::DenseVector> inputs,
+                            std::span<const simnet::VirtualTime> starts) {
+  ReduceResult out;
+  ReduceToLeader(group, leader, inputs, starts, out);
   return out;
 }
 
-BroadcastResult BroadcastFromLeader(const GroupComm& group, GroupRank leader,
-                                    std::size_t num_elements,
-                                    simnet::VirtualTime leader_start) {
+void BroadcastFromLeader(const GroupComm& group, GroupRank leader,
+                         std::size_t num_elements,
+                         simnet::VirtualTime leader_start,
+                         BroadcastResult& out) {
   PSRA_REQUIRE(leader < group.size(), "leader rank out of range");
   const auto& cm = group.cost_model();
-  BroadcastResult out;
   out.finish_times.assign(group.size(), leader_start);
+  out.elements_sent = 0;
+  out.messages_sent = 0;
+  out.total_send_time = 0.0;
 
   simnet::VirtualTime clock = leader_start;
   for (GroupRank g = 0; g < group.size(); ++g) {
@@ -62,6 +76,13 @@ BroadcastResult BroadcastFromLeader(const GroupComm& group, GroupRank leader,
     out.total_send_time += cost;
   }
   out.finish_times[leader] = clock;
+}
+
+BroadcastResult BroadcastFromLeader(const GroupComm& group, GroupRank leader,
+                                    std::size_t num_elements,
+                                    simnet::VirtualTime leader_start) {
+  BroadcastResult out;
+  BroadcastFromLeader(group, leader, num_elements, leader_start, out);
   return out;
 }
 

@@ -30,6 +30,12 @@ ReduceResult ReduceToLeader(const GroupComm& group, GroupRank leader,
                             std::span<const linalg::DenseVector> inputs,
                             std::span<const simnet::VirtualTime> starts);
 
+/// In-place overload: fills `out`, reusing its buffers across calls.
+void ReduceToLeader(const GroupComm& group, GroupRank leader,
+                    std::span<const linalg::DenseVector> inputs,
+                    std::span<const simnet::VirtualTime> starts,
+                    ReduceResult& out);
+
 struct BroadcastResult {
   /// When each member has the value (leader: when it finished sending).
   std::vector<simnet::VirtualTime> finish_times;
@@ -42,5 +48,11 @@ struct BroadcastResult {
 BroadcastResult BroadcastFromLeader(const GroupComm& group, GroupRank leader,
                                     std::size_t num_elements,
                                     simnet::VirtualTime leader_start);
+
+/// In-place overload: fills `out`, reusing its buffers across calls.
+void BroadcastFromLeader(const GroupComm& group, GroupRank leader,
+                         std::size_t num_elements,
+                         simnet::VirtualTime leader_start,
+                         BroadcastResult& out);
 
 }  // namespace psra::comm

@@ -16,17 +16,38 @@ void Scale(double alpha, std::span<double> x) {
   for (double& v : x) v *= alpha;
 }
 
+// Dot/Norm2/DistanceL2 accumulate in four independent lanes: a single
+// accumulator serializes on floating-point add latency, which makes these
+// reductions ~4x slower than the loads themselves. The lane assignment is a
+// fixed function of the element index, so the result is deterministic (it is
+// just a different — equally valid — summation order).
 double Dot(std::span<const double> x, std::span<const double> y) {
   PSRA_REQUIRE(x.size() == y.size(), "dot dimension mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
-  return acc;
+  const std::size_t n = x.size();
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += x[i] * y[i];
+    a1 += x[i + 1] * y[i + 1];
+    a2 += x[i + 2] * y[i + 2];
+    a3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) a0 += x[i] * y[i];
+  return (a0 + a1) + (a2 + a3);
 }
 
 double Norm2(std::span<const double> x) {
-  double acc = 0.0;
-  for (double v : x) acc += v * v;
-  return std::sqrt(acc);
+  const std::size_t n = x.size();
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += x[i] * x[i];
+    a1 += x[i + 1] * x[i + 1];
+    a2 += x[i + 2] * x[i + 2];
+    a3 += x[i + 3] * x[i + 3];
+  }
+  for (; i < n; ++i) a0 += x[i] * x[i];
+  return std::sqrt((a0 + a1) + (a2 + a3));
 }
 
 double Norm1(std::span<const double> x) {
@@ -43,12 +64,24 @@ double NormInf(std::span<const double> x) {
 
 double DistanceL2(std::span<const double> x, std::span<const double> y) {
   PSRA_REQUIRE(x.size() == y.size(), "distance dimension mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    acc += d * d;
+  const std::size_t n = x.size();
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = x[i] - y[i];
+    const double d1 = x[i + 1] - y[i + 1];
+    const double d2 = x[i + 2] - y[i + 2];
+    const double d3 = x[i + 3] - y[i + 3];
+    a0 += d0 * d0;
+    a1 += d1 * d1;
+    a2 += d2 * d2;
+    a3 += d3 * d3;
   }
-  return std::sqrt(acc);
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    a0 += d * d;
+  }
+  return std::sqrt((a0 + a1) + (a2 + a3));
 }
 
 void Add(std::span<const double> x, std::span<const double> y,

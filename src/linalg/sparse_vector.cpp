@@ -23,24 +23,34 @@ SparseVector::SparseVector(Index dim, std::vector<Index> indices,
 
 SparseVector SparseVector::FromDense(std::span<const double> dense,
                                      double tol) {
-  std::vector<Index> idx;
-  std::vector<double> val;
+  SparseVector out;
+  out.AssignFromDense(dense, tol);
+  return out;
+}
+
+void SparseVector::AssignFromDense(std::span<const double> dense, double tol) {
+  dim_ = static_cast<Index>(dense.size());
+  indices_.clear();
+  values_.clear();
   for (std::size_t i = 0; i < dense.size(); ++i) {
     if (std::fabs(dense[i]) > tol) {
-      idx.push_back(static_cast<Index>(i));
-      val.push_back(dense[i]);
+      indices_.push_back(static_cast<Index>(i));
+      values_.push_back(dense[i]);
     }
   }
-  return SparseVector(static_cast<Index>(dense.size()), std::move(idx),
-                      std::move(val));
 }
 
 DenseVector SparseVector::ToDense() const {
-  DenseVector out(dim_, 0.0);
+  DenseVector out;
+  ToDense(out);
+  return out;
+}
+
+void SparseVector::ToDense(DenseVector& out) const {
+  out.assign(static_cast<std::size_t>(dim_), 0.0);
   for (std::size_t k = 0; k < indices_.size(); ++k) {
     out[static_cast<std::size_t>(indices_[k])] = values_[k];
   }
-  return out;
 }
 
 void SparseVector::AddToDense(std::span<double> dense, double scale) const {
@@ -58,15 +68,20 @@ double SparseVector::At(Index i) const {
 }
 
 SparseVector SparseVector::Slice(Index begin, Index end) const {
+  SparseVector out;
+  SliceInto(begin, end, out);
+  return out;
+}
+
+void SparseVector::SliceInto(Index begin, Index end, SparseVector& out) const {
   PSRA_REQUIRE(begin <= end && end <= dim_, "bad slice range");
+  PSRA_REQUIRE(&out != this, "SliceInto must not alias its source");
   const auto lo = std::lower_bound(indices_.begin(), indices_.end(), begin);
   const auto hi = std::lower_bound(lo, indices_.end(), end);
-  SparseVector out;
   out.dim_ = dim_;
   out.indices_.assign(lo, hi);
   out.values_.assign(values_.begin() + (lo - indices_.begin()),
                      values_.begin() + (hi - indices_.begin()));
-  return out;
 }
 
 std::size_t SparseVector::CountInRange(Index begin, Index end) const {
@@ -117,10 +132,19 @@ double SparseVector::Norm2() const {
 }
 
 SparseVector SparseVector::Sum(const SparseVector& a, const SparseVector& b) {
+  SparseVector out;
+  SumInto(a, b, out);
+  return out;
+}
+
+void SparseVector::SumInto(const SparseVector& a, const SparseVector& b,
+                           SparseVector& out) {
   PSRA_REQUIRE(a.dim_ == b.dim_ || a.dim_ == 0 || b.dim_ == 0,
                "sum dimension mismatch");
-  SparseVector out;
+  PSRA_REQUIRE(&out != &a && &out != &b, "SumInto must not alias its inputs");
   out.dim_ = std::max(a.dim_, b.dim_);
+  out.indices_.clear();
+  out.values_.clear();
   out.indices_.reserve(a.nnz() + b.nnz());
   out.values_.reserve(a.nnz() + b.nnz());
   std::size_t i = 0, j = 0;
@@ -140,12 +164,21 @@ SparseVector SparseVector::Sum(const SparseVector& a, const SparseVector& b) {
       ++j;
     }
   }
-  return out;
 }
 
 SparseVector SparseVector::ConcatDisjoint(std::span<const SparseVector> parts) {
   SparseVector out;
+  ConcatDisjointInto(parts, out);
+  return out;
+}
+
+void SparseVector::ConcatDisjointInto(std::span<const SparseVector> parts,
+                                      SparseVector& out) {
+  out.dim_ = 0;
+  out.indices_.clear();
+  out.values_.clear();
   for (const auto& p : parts) {
+    PSRA_REQUIRE(&p != &out, "ConcatDisjointInto must not alias a part");
     if (p.dim_ == 0) continue;
     if (out.dim_ == 0) out.dim_ = p.dim_;
     PSRA_REQUIRE(out.dim_ == p.dim_, "concat dimension mismatch");
@@ -157,7 +190,6 @@ SparseVector SparseVector::ConcatDisjoint(std::span<const SparseVector> parts) {
                         p.indices_.end());
     out.values_.insert(out.values_.end(), p.values_.begin(), p.values_.end());
   }
-  return out;
 }
 
 }  // namespace psra::linalg

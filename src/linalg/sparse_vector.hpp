@@ -29,8 +29,17 @@ class SparseVector {
   static SparseVector FromDense(std::span<const double> dense,
                                 double tol = 0.0);
 
+  /// In-place FromDense: overwrites this vector with the sparse form of
+  /// `dense`, reusing the existing index/value storage. Steady-state
+  /// allocation-free once capacity has grown to the working nnz.
+  void AssignFromDense(std::span<const double> dense, double tol = 0.0);
+
   /// Expands to a dense vector of size dim().
   DenseVector ToDense() const;
+
+  /// In-place ToDense: resizes `out` to dim(), zero-fills it and scatters
+  /// the stored entries. Allocation-free when out.capacity() >= dim().
+  void ToDense(DenseVector& out) const;
 
   /// Scatter-adds this vector into a dense accumulator (size must be dim()).
   void AddToDense(std::span<double> dense, double scale = 1.0) const;
@@ -49,6 +58,10 @@ class SparseVector {
   /// result stay in the *original* coordinate system and dim() is preserved,
   /// so slices of different blocks can be merged back together.
   SparseVector Slice(Index begin, Index end) const;
+
+  /// In-place Slice: writes the sub-vector into `out`, reusing its storage.
+  /// `out` must not alias this vector.
+  void SliceInto(Index begin, Index end, SparseVector& out) const;
 
   /// Number of stored entries whose index lies in [begin, end).
   std::size_t CountInRange(Index begin, Index end) const;
@@ -69,9 +82,19 @@ class SparseVector {
   /// Returns a + b.
   static SparseVector Sum(const SparseVector& a, const SparseVector& b);
 
+  /// In-place Sum: out = a + b, reusing out's storage. `out` must not alias
+  /// `a` or `b`. Produces exactly the same entries as Sum().
+  static void SumInto(const SparseVector& a, const SparseVector& b,
+                      SparseVector& out);
+
   /// Concatenates sparse slices (disjoint, ascending index ranges) into one
   /// vector. Dimensions must agree.
   static SparseVector ConcatDisjoint(std::span<const SparseVector> parts);
+
+  /// In-place ConcatDisjoint, reusing out's storage. `out` must not alias
+  /// any part.
+  static void ConcatDisjointInto(std::span<const SparseVector> parts,
+                                 SparseVector& out);
 
   bool operator==(const SparseVector& other) const = default;
 

@@ -13,8 +13,9 @@
 #include "support/config.hpp"     // IWYU pragma: export
 #include "support/log.hpp"        // IWYU pragma: export
 #include "support/rng.hpp"        // IWYU pragma: export
-#include "support/status.hpp"     // IWYU pragma: export
-#include "support/table.hpp"      // IWYU pragma: export
+#include "support/status.hpp"       // IWYU pragma: export
+#include "support/string_util.hpp"  // IWYU pragma: export
+#include "support/table.hpp"        // IWYU pragma: export
 
 // Numerics.
 #include "linalg/csr_matrix.hpp"     // IWYU pragma: export

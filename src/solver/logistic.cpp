@@ -92,26 +92,39 @@ double ProximalLogistic::ValueAndGradient(std::span<const double> x,
   m.Multiply(x, margins_);
 
   // Gradient of the logistic part: sum_s (sigma(m_s) - 1) * y_s * a_s.
+  // LogisticTerm and Sigmoid share the same exp(+-margin); inlining both
+  // here computes it once per sample (identical branches and expressions,
+  // so the results match the helper functions bit for bit).
   double value = 0.0;
-  linalg::DenseVector coeff(n);
+  coeff_.resize(n);
+  sigmas_.resize(n);
   for (std::size_t s = 0; s < n; ++s) {
     const double y = shard_->labels()[s];
     const double margin = y * margins_[s];
-    value += LogisticTerm(margin);
-    coeff[s] = (Sigmoid(margin) - 1.0) * y;
+    double sig;
+    if (margin >= 0) {
+      const double e = std::exp(-margin);
+      value += std::log1p(e);
+      sig = 1.0 / (1.0 + e);
+    } else {
+      const double e = std::exp(margin);
+      value += -margin + std::log1p(e);
+      sig = e / (1.0 + e);
+    }
+    coeff_[s] = (sig - 1.0) * y;
+    sigmas_[s] = sig;
   }
-  linalg::SetZero(grad);
-  m.TransposeMultiplyAdd(coeff, grad);
-
-  // Proximal and linear parts.
+  // Proximal and linear parts, written directly into grad; the sparse
+  // logistic part is accumulated on top, saving a zero-fill pass.
   double prox = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     value += x[i] * v_[i];
     const double d = x[i] - z_[i];
     prox += d * d;
-    grad[i] += v_[i] + rho_ * d;
+    grad[i] = v_[i] + rho_ * d;
   }
   value += 0.5 * rho_ * prox;
+  m.TransposeMultiplyAdd(coeff_, grad);
 
   if (flops != nullptr) {
     flops->Add(4.0 * static_cast<double>(m.nnz()) +
@@ -139,6 +152,50 @@ void ProximalLogistic::PrepareHessian(std::span<const double> x,
   }
 }
 
+void ProximalLogistic::PrepareHessianFromLastGradient(
+    FlopCounter* flops) const {
+  const auto n = static_cast<std::size_t>(num_samples());
+  PSRA_CHECK(sigmas_.size() == n,
+             "ValueAndGradient must be called before "
+             "PrepareHessianFromLastGradient");
+  hess_weights_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double sig = sigmas_[s];
+    hess_weights_[s] = sig * (1.0 - sig);
+  }
+  if (flops != nullptr) flops->Add(2.0 * static_cast<double>(n));
+}
+
+double ProximalLogistic::HessianVecQuad(std::span<const double> d, double dd,
+                                        std::span<double> out,
+                                        FlopCounter* flops) const {
+  PSRA_REQUIRE(d.size() == dim() && out.size() == dim(), "dimension mismatch");
+  PSRA_CHECK(hess_weights_.size() == num_samples(),
+             "PrepareHessian must be called before HessianVecQuad");
+  const auto& m = shard_->features();
+  const auto n = static_cast<std::size_t>(num_samples());
+
+  hessvec_tmp_.resize(n);
+  m.Multiply(d, hessvec_tmp_);
+  // d^T (X^T D X) d = sum_s w_s (Xd)_s^2 falls out of the sample loop, so
+  // the full quadratic needs no extra pass over the feature dimension.
+  double quad = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const double md = hessvec_tmp_[s];
+    const double wmd = hess_weights_[s] * md;
+    quad += wmd * md;
+    hessvec_tmp_[s] = wmd;
+  }
+  for (std::size_t i = 0; i < d.size(); ++i) out[i] = rho_ * d[i];
+  m.TransposeMultiplyAdd(hessvec_tmp_, out);
+
+  if (flops != nullptr) {
+    flops->Add(4.0 * static_cast<double>(m.nnz()) +
+               3.0 * static_cast<double>(n) + 2.0 * static_cast<double>(d.size()));
+  }
+  return rho_ * dd + quad;
+}
+
 void ProximalLogistic::HessianVec(std::span<const double> d,
                                   std::span<double> out,
                                   FlopCounter* flops) const {
@@ -148,11 +205,11 @@ void ProximalLogistic::HessianVec(std::span<const double> d,
   const auto& m = shard_->features();
   const auto n = static_cast<std::size_t>(num_samples());
 
-  linalg::DenseVector tmp(n);
-  m.Multiply(d, tmp);
-  for (std::size_t s = 0; s < n; ++s) tmp[s] *= hess_weights_[s];
+  hessvec_tmp_.resize(n);
+  m.Multiply(d, hessvec_tmp_);
+  for (std::size_t s = 0; s < n; ++s) hessvec_tmp_[s] *= hess_weights_[s];
   for (std::size_t i = 0; i < d.size(); ++i) out[i] = rho_ * d[i];
-  m.TransposeMultiplyAdd(tmp, out);
+  m.TransposeMultiplyAdd(hessvec_tmp_, out);
 
   if (flops != nullptr) {
     flops->Add(4.0 * static_cast<double>(m.nnz()) +

@@ -50,19 +50,39 @@ class ProximalLogistic {
   void PrepareHessian(std::span<const double> x,
                       FlopCounter* flops = nullptr) const;
 
+  /// PrepareHessian at the point of the most recent ValueAndGradient call,
+  /// reusing its cached per-sample sigmas: no matrix product and no
+  /// transcendentals, with weights bit-identical to PrepareHessian at that
+  /// point. The caller is responsible for knowing the last gradient
+  /// evaluation happened at the intended x (TRON tracks this across
+  /// accepted/rejected trial steps).
+  void PrepareHessianFromLastGradient(FlopCounter* flops = nullptr) const;
+
   /// out = (A^T D A + rho I) d, with D from the last PrepareHessian call.
   void HessianVec(std::span<const double> d, std::span<double> out,
                   FlopCounter* flops = nullptr) const;
+
+  /// HessianVec plus the quadratic form: returns d^T H d, with <d, d> = `dd`
+  /// supplied by the caller (CG maintains it via a recurrence, so the
+  /// quadratic costs no extra pass over the feature dimension).
+  double HessianVecQuad(std::span<const double> d, double dd,
+                        std::span<double> out,
+                        FlopCounter* flops = nullptr) const;
 
  private:
   const data::Dataset* shard_;
   double rho_;
   std::span<const double> v_;
   std::span<const double> z_;
-  // Scratch: per-sample weights sigma*(1-sigma) for Hessian products, and
-  // margin buffers. Mutable because they are caches, not state.
+  // Scratch: per-sample weights sigma*(1-sigma) for Hessian products, margin
+  // buffers and per-sample coefficient vectors. Mutable because they are
+  // caches, not state; they grow once to num_samples() and are recycled, so
+  // repeated evaluations do not allocate.
   mutable linalg::DenseVector hess_weights_;
   mutable linalg::DenseVector margins_;
+  mutable linalg::DenseVector coeff_;
+  mutable linalg::DenseVector sigmas_;
+  mutable linalg::DenseVector hessvec_tmp_;
 };
 
 }  // namespace psra::solver

@@ -49,6 +49,56 @@ void YUpdate(double rho, std::span<const double> x, std::span<const double> z,
   if (flops != nullptr) flops->Add(3.0 * static_cast<double>(y.size()));
 }
 
+void ZYUpdate(const ZUpdateConfig& cfg, std::span<const double> W,
+              std::span<const double> x, std::span<double> z,
+              std::span<double> y, FlopCounter* flops) {
+  PSRA_REQUIRE(W.size() == z.size(), "dimension mismatch");
+  PSRA_REQUIRE(x.size() == z.size() && x.size() == y.size(),
+               "dimension mismatch");
+  PSRA_REQUIRE(cfg.rho > 0.0, "rho must be positive");
+  PSRA_REQUIRE(cfg.num_workers >= 1, "need at least one worker");
+  PSRA_REQUIRE(cfg.lambda >= 0.0, "lambda must be non-negative");
+
+  const double rho = cfg.rho;
+  const double scale = rho * static_cast<double>(cfg.num_workers);
+  switch (cfg.regularizer) {
+    case Regularizer::kNone:
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        const double zi = W[i] / scale;
+        z[i] = zi;
+        y[i] += rho * (x[i] - zi);
+      }
+      break;
+    case Regularizer::kL1: {
+      const double kappa = cfg.lambda / scale;
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        const double v = W[i] / scale;
+        double zi;
+        if (v > kappa) {
+          zi = v - kappa;
+        } else if (v < -kappa) {
+          zi = v + kappa;
+        } else {
+          zi = 0.0;
+        }
+        z[i] = zi;
+        y[i] += rho * (x[i] - zi);
+      }
+      break;
+    }
+    case Regularizer::kL2: {
+      const double denom = scale + 2.0 * cfg.lambda;
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        const double zi = W[i] / denom;
+        z[i] = zi;
+        y[i] += rho * (x[i] - zi);
+      }
+      break;
+    }
+  }
+  if (flops != nullptr) flops->Add(6.0 * static_cast<double>(z.size()));
+}
+
 void WLocal(double rho, std::span<const double> x, std::span<const double> y,
             std::span<double> w, FlopCounter* flops) {
   PSRA_REQUIRE(x.size() == y.size() && x.size() == w.size(),

@@ -34,6 +34,14 @@ void ZUpdate(const ZUpdateConfig& cfg, std::span<const double> W,
 void YUpdate(double rho, std::span<const double> x, std::span<const double> z,
              std::span<double> y, FlopCounter* flops = nullptr);
 
+/// ZUpdate followed by YUpdate in a single pass over the feature dimension
+/// (the per-element arithmetic is identical, so results match the two-call
+/// sequence bit for bit). This is the ADMM hot path: every worker runs it
+/// every iteration.
+void ZYUpdate(const ZUpdateConfig& cfg, std::span<const double> W,
+              std::span<const double> x, std::span<double> z,
+              std::span<double> y, FlopCounter* flops = nullptr);
+
 /// w_i = y_i + rho * x_i (paper eq. 8).
 void WLocal(double rho, std::span<const double> x, std::span<const double> y,
             std::span<double> w, FlopCounter* flops = nullptr);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "linalg/dense_ops.hpp"
 #include "support/status.hpp"
@@ -16,63 +17,133 @@ struct CgOutcome {
 };
 
 /// Steihaug-Toint truncated CG: approximately solves H s = -g subject to
-/// ||s|| <= delta. `s` is overwritten with the step.
+/// ||s|| <= delta. `s` is overwritten with the step; r/p/hp are caller-owned
+/// working vectors of the same dimension. `gg` is the caller's <grad, grad>
+/// (r starts as -grad elementwise, so it doubles as the initial <r, r>).
+/// On return r holds the final CG residual -g - H s, which the caller uses
+/// to price the quadratic model without another Hessian product.
 CgOutcome TruncatedCg(const ProximalLogistic& f, std::span<const double> grad,
-                      double delta, const TronOptions& opt,
-                      std::span<double> s, FlopCounter* flops) {
+                      double gg, double delta, const TronOptions& opt,
+                      std::span<double> s, FlopCounter* flops,
+                      linalg::DenseVector& r, linalg::DenseVector& p,
+                      linalg::DenseVector& hp) {
   const std::size_t d = grad.size();
-  linalg::SetZero(s);
+  // s = 0, r = -grad, p = r in a single sweep.
+  for (std::size_t i = 0; i < d; ++i) {
+    s[i] = 0.0;
+    const double ri = -grad[i];
+    r[i] = ri;
+    p[i] = ri;
+  }
 
-  linalg::DenseVector r(d), p(d), hp(d);
-  for (std::size_t i = 0; i < d; ++i) r[i] = -grad[i];
-  p = r;
-
-  double rr = linalg::Dot(r, r);
-  const double stop = opt.cg_tolerance * std::sqrt(linalg::Dot(grad, grad));
+  double rr = gg;
+  // <p, p>, maintained by the recurrences below so the Hessian quadratic and
+  // the boundary solve never need a dedicated pass over p.
+  double pp = gg;
+  const double stop = opt.cg_tolerance * std::sqrt(gg);
 
   CgOutcome out;
   for (int j = 0; j < opt.max_cg_iterations; ++j) {
     if (std::sqrt(rr) <= stop) break;
     ++out.iterations;
 
-    f.HessianVec(p, hp, flops);
-    const double php = linalg::Dot(p, hp);
+    const double php = f.HessianVecQuad(p, pp, hp, flops);
     if (flops != nullptr) flops->Add(10.0 * static_cast<double>(d));
 
-    auto to_boundary = [&](double /*unused*/) {
+    auto to_boundary = [&] {
       // Find tau >= 0 with ||s + tau p|| = delta.
       const double ss = linalg::Dot(s, s);
       const double sp = linalg::Dot(s, p);
-      const double pp = linalg::Dot(p, p);
       const double disc = sp * sp + pp * (delta * delta - ss);
       const double tau = (-sp + std::sqrt(std::max(0.0, disc))) / pp;
       linalg::Axpy(tau, p, s);
+      // Keep r = -g - H s exact so the caller's model pricing stays valid.
+      linalg::Axpy(-tau, hp, r);
       out.hit_boundary = true;
     };
 
     if (php <= 0.0) {
       // Negative curvature: follow p to the trust-region boundary.
-      to_boundary(0.0);
+      to_boundary();
       break;
     }
 
     const double alpha = rr / php;
-    // Tentative step length check.
-    double norm_sq = 0.0;
-    for (std::size_t i = 0; i < d; ++i) {
-      const double si = s[i] + alpha * p[i];
-      norm_sq += si * si;
+    // Optimistic s += alpha p fused with ||s||^2; stepped back below in the
+    // (rare) boundary case instead of paying a read-only probe pass on the
+    // common interior path (LIBLINEAR does the same).
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t i = 0;
+    for (; i + 4 <= d; i += 4) {
+      const double t0 = s[i] + alpha * p[i];
+      const double t1 = s[i + 1] + alpha * p[i + 1];
+      const double t2 = s[i + 2] + alpha * p[i + 2];
+      const double t3 = s[i + 3] + alpha * p[i + 3];
+      s[i] = t0;
+      s[i + 1] = t1;
+      s[i + 2] = t2;
+      s[i + 3] = t3;
+      s0 += t0 * t0;
+      s1 += t1 * t1;
+      s2 += t2 * t2;
+      s3 += t3 * t3;
     }
-    if (norm_sq >= delta * delta) {
-      to_boundary(0.0);
+    for (; i < d; ++i) {
+      const double ti = s[i] + alpha * p[i];
+      s[i] = ti;
+      s0 += ti * ti;
+    }
+    if ((s0 + s1) + (s2 + s3) >= delta * delta) {
+      linalg::Axpy(-alpha, p, s);
+      to_boundary();
       break;
     }
 
-    linalg::Axpy(alpha, p, s);
-    linalg::Axpy(-alpha, hp, r);
-    const double rr_new = linalg::Dot(r, r);
+    // Fused residual update + <r, r>: same four-lane order as linalg::Dot.
+    double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
+    for (i = 0; i + 4 <= d; i += 4) {
+      const double r0 = r[i] - alpha * hp[i];
+      const double r1 = r[i + 1] - alpha * hp[i + 1];
+      const double r2 = r[i + 2] - alpha * hp[i + 2];
+      const double r3 = r[i + 3] - alpha * hp[i + 3];
+      r[i] = r0;
+      r[i + 1] = r1;
+      r[i + 2] = r2;
+      r[i + 3] = r3;
+      b0 += r0 * r0;
+      b1 += r1 * r1;
+      b2 += r2 * r2;
+      b3 += r3 * r3;
+    }
+    for (; i < d; ++i) {
+      const double ri = r[i] - alpha * hp[i];
+      r[i] = ri;
+      b0 += ri * ri;
+    }
+    const double rr_new = (b0 + b1) + (b2 + b3);
     const double beta = rr_new / rr;
-    for (std::size_t i = 0; i < d; ++i) p[i] = r[i] + beta * p[i];
+    // p = r + beta p fused with <p, p> for the next quadratic/boundary use.
+    double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+    for (i = 0; i + 4 <= d; i += 4) {
+      const double p0 = r[i] + beta * p[i];
+      const double p1 = r[i + 1] + beta * p[i + 1];
+      const double p2 = r[i + 2] + beta * p[i + 2];
+      const double p3 = r[i + 3] + beta * p[i + 3];
+      p[i] = p0;
+      p[i + 1] = p1;
+      p[i + 2] = p2;
+      p[i + 3] = p3;
+      c0 += p0 * p0;
+      c1 += p1 * p1;
+      c2 += p2 * p2;
+      c3 += p3 * p3;
+    }
+    for (; i < d; ++i) {
+      const double pi = r[i] + beta * p[i];
+      p[i] = pi;
+      c0 += pi * pi;
+    }
+    pp = (c0 + c1) + (c2 + c3);
     rr = rr_new;
   }
   return out;
@@ -80,16 +151,34 @@ CgOutcome TruncatedCg(const ProximalLogistic& f, std::span<const double> grad,
 
 }  // namespace
 
+void TronWorkspace::Resize(std::size_t dim) {
+  grad.resize(dim);
+  grad_new.resize(dim);
+  x_new.resize(dim);
+  step.resize(dim);
+  cg_r.resize(dim);
+  cg_p.resize(dim);
+  cg_hp.resize(dim);
+}
+
 TronResult TronMinimize(const ProximalLogistic& f, std::span<double> x,
                         const TronOptions& opt, FlopCounter* flops) {
+  TronWorkspace ws;
+  return TronMinimize(f, x, opt, flops, ws);
+}
+
+TronResult TronMinimize(const ProximalLogistic& f, std::span<double> x,
+                        const TronOptions& opt, FlopCounter* flops,
+                        TronWorkspace& ws) {
   PSRA_REQUIRE(x.size() == f.dim(), "initial point dimension mismatch");
   const std::size_t d = x.size();
 
-  linalg::DenseVector grad(d), grad_new(d), x_new(d), step(d), h_step(d);
+  ws.Resize(d);
 
   TronResult res;
-  double value = f.ValueAndGradient(x, grad, flops);
-  double gnorm = linalg::Norm2(grad);
+  double value = f.ValueAndGradient(x, ws.grad, flops);
+  double gg = linalg::Dot(ws.grad, ws.grad);
+  double gnorm = std::sqrt(gg);
   const double gnorm0 = gnorm;
   double delta = gnorm0 > 0 ? gnorm0 : 1.0;
 
@@ -104,24 +193,53 @@ TronResult TronMinimize(const ProximalLogistic& f, std::span<double> x,
     return res;
   }
 
+  // The most recent ValueAndGradient call already cached the per-sample
+  // sigmas at its evaluation point; while that point is the current x
+  // (always, except right after a rejected trial step), the Hessian weights
+  // come from the cache instead of a fresh matrix product.
+  bool grad_eval_at_x = true;
   for (int it = 0; it < opt.max_iterations; ++it) {
     ++res.iterations;
-    f.PrepareHessian(x, flops);
-    const CgOutcome cg = TruncatedCg(f, grad, delta, opt, step, flops);
+    if (grad_eval_at_x) {
+      f.PrepareHessianFromLastGradient(flops);
+    } else {
+      f.PrepareHessian(x, flops);
+    }
+    const CgOutcome cg = TruncatedCg(f, ws.grad, gg, delta, opt, ws.step,
+                                     flops, ws.cg_r, ws.cg_p, ws.cg_hp);
     res.cg_iterations += cg.iterations;
 
-    // Predicted reduction from the quadratic model:
-    //   -(g^T s + 0.5 s^T H s)
-    f.HessianVec(step, h_step, flops);
-    const double gs = linalg::Dot(grad, step);
-    const double shs = linalg::Dot(step, h_step);
-    const double predicted = -(gs + 0.5 * shs);
-    if (flops != nullptr) flops->Add(6.0 * static_cast<double>(d));
+    // Predicted reduction from the quadratic model. The CG residual
+    // r = -g - H s gives s^T H s = -(g^T s + r^T s), so
+    //   -(g^T s + 0.5 s^T H s) = -0.5 (g^T s - r^T s)
+    // without another Hessian product (LIBLINEAR's trcg pricing). The dots
+    // ride along with the trial-point pass: one sweep over the step instead
+    // of four.
+    double gs = 0.0, sr = 0.0, sq = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const double si = ws.step[i];
+      ws.x_new[i] = x[i] + si;
+      gs += ws.grad[i] * si;
+      sr += ws.cg_r[i] * si;
+      sq += si * si;
+    }
+    const double predicted = -0.5 * (gs - sr);
+    const double snorm = std::sqrt(sq);
+    if (flops != nullptr) flops->Add(7.0 * static_cast<double>(d));
 
-    for (std::size_t i = 0; i < d; ++i) x_new[i] = x[i] + step[i];
-    const double value_new = f.ValueAndGradient(x_new, grad_new, flops);
+    const double value_new = f.ValueAndGradient(ws.x_new, ws.grad_new, flops);
     const double actual = value - value_new;
-    const double snorm = linalg::Norm2(step);
+    grad_eval_at_x = false;  // sigmas now cached at x_new; set true on accept
+
+    // The model's best achievable decrease is below the floating-point
+    // resolution of the objective: no acceptance test can measure progress
+    // anymore, so the iterate is converged to numerical precision.
+    const double value_floor =
+        8.0 * std::numeric_limits<double>::epsilon() * std::fabs(value);
+    if (predicted > 0 && predicted < value_floor && actual <= 0) {
+      res.converged = true;
+      break;
+    }
 
     // Trust-region radius update (Lin-More style).
     const double ratio = predicted > 0 ? actual / predicted : -1.0;
@@ -133,10 +251,28 @@ TronResult TronMinimize(const ProximalLogistic& f, std::span<double> x,
     }
 
     if (ratio > opt.eta0 && actual > 0) {
-      std::copy(x_new.begin(), x_new.end(), x.begin());
       value = value_new;
-      std::copy(grad_new.begin(), grad_new.end(), grad.begin());
-      gnorm = linalg::Norm2(grad);
+      grad_eval_at_x = true;  // x becomes x_new below
+      std::swap(ws.grad, ws.grad_new);
+      // Accept-copy fused with <g, g>; four-lane order matches linalg::Dot.
+      double g0 = 0.0, g1 = 0.0, g2 = 0.0, g3 = 0.0;
+      std::size_t i = 0;
+      for (; i + 4 <= d; i += 4) {
+        x[i] = ws.x_new[i];
+        x[i + 1] = ws.x_new[i + 1];
+        x[i + 2] = ws.x_new[i + 2];
+        x[i + 3] = ws.x_new[i + 3];
+        g0 += ws.grad[i] * ws.grad[i];
+        g1 += ws.grad[i + 1] * ws.grad[i + 1];
+        g2 += ws.grad[i + 2] * ws.grad[i + 2];
+        g3 += ws.grad[i + 3] * ws.grad[i + 3];
+      }
+      for (; i < d; ++i) {
+        x[i] = ws.x_new[i];
+        g0 += ws.grad[i] * ws.grad[i];
+      }
+      gg = (g0 + g1) + (g2 + g3);
+      gnorm = std::sqrt(gg);
       if (is_converged(gnorm)) {
         res.converged = true;
         break;

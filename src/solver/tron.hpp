@@ -41,9 +41,32 @@ struct TronResult {
   bool converged = false;
 };
 
+/// Preallocated working vectors for TronMinimize. Callers that solve the
+/// same-dimension subproblem every iteration (the ADMM x-update) keep one
+/// workspace per worker and pass it to every call, making the solve
+/// allocation-free in steady state.
+struct TronWorkspace {
+  linalg::DenseVector grad;
+  linalg::DenseVector grad_new;
+  linalg::DenseVector x_new;
+  linalg::DenseVector step;
+  // Truncated-CG state.
+  linalg::DenseVector cg_r;
+  linalg::DenseVector cg_p;
+  linalg::DenseVector cg_hp;
+
+  /// Sizes every vector to `dim` (no-op once warm).
+  void Resize(std::size_t dim);
+};
+
 /// Minimizes f starting from (and writing back to) x.
 TronResult TronMinimize(const ProximalLogistic& f, std::span<double> x,
                         const TronOptions& options = {},
                         FlopCounter* flops = nullptr);
+
+/// Workspace overload: identical results, all temporaries drawn from `ws`.
+TronResult TronMinimize(const ProximalLogistic& f, std::span<double> x,
+                        const TronOptions& options, FlopCounter* flops,
+                        TronWorkspace& ws);
 
 }  // namespace psra::solver

@@ -238,6 +238,61 @@ TEST_P(AllreduceCorrectness, RespectsStartTimes) {
   }
 }
 
+// The in-place Reduce* entry points must reproduce Run*'s sum and stats
+// bitwise, including when the scratch and output buffers are reused across
+// calls (the engine's steady-state pattern).
+TEST_P(AllreduceCorrectness, ReduceDenseMatchesRunDense) {
+  const auto [kind, n] = GetParam();
+  Fixture f(static_cast<std::uint32_t>(n));
+  const auto alg = MakeAllreduce(kind);
+
+  Rng rng(static_cast<std::uint64_t>(n) * 19 + 3);
+  std::vector<DenseVector> inputs(n);
+  for (auto& v : inputs) {
+    v.resize(23);
+    for (auto& e : v) e = rng.NextGaussian();
+  }
+  const auto starts = ZeroStarts(n);
+  const auto res = alg->RunDense(f.group, inputs, starts);
+
+  AllreduceScratch scratch;
+  DenseVector sum;
+  CommStats stats;
+  for (int pass = 0; pass < 2; ++pass) {  // second pass reuses warm buffers
+    alg->ReduceDense(f.group, inputs, starts, scratch, sum, stats);
+    EXPECT_EQ(sum, res.outputs[0]);
+    EXPECT_EQ(stats, res.stats);
+  }
+}
+
+TEST_P(AllreduceCorrectness, ReduceSparseMatchesRunSparse) {
+  const auto [kind, n] = GetParam();
+  Fixture f(static_cast<std::uint32_t>(n));
+  const auto alg = MakeAllreduce(kind);
+
+  Rng rng(static_cast<std::uint64_t>(n) * 23 + 5);
+  const std::uint64_t dim = 40;
+  std::vector<SparseVector> inputs;
+  for (int i = 0; i < n; ++i) {
+    DenseVector d(dim, 0.0);
+    for (auto& e : d) {
+      if (rng.NextBool(0.3)) e = rng.NextGaussian();
+    }
+    inputs.push_back(SparseVector::FromDense(d));
+  }
+  const auto starts = ZeroStarts(n);
+  const auto res = alg->RunSparse(f.group, inputs, starts);
+
+  AllreduceScratch scratch;
+  SparseVector sum;
+  CommStats stats;
+  for (int pass = 0; pass < 2; ++pass) {
+    alg->ReduceSparse(f.group, inputs, starts, scratch, sum, stats);
+    EXPECT_EQ(sum, res.outputs[0]);
+    EXPECT_EQ(stats, res.stats);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     KindsAndSizes, AllreduceCorrectness,
     ::testing::Combine(::testing::Values(AllreduceKind::kNaive,

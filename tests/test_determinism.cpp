@@ -1,0 +1,122 @@
+// Host-parallelism determinism regression: the thread pool is a wall-clock
+// optimization only, so a PSRA-HGADMM run must produce BITWISE-identical
+// results for any pool size, including no pool at all. Every parallel loop
+// in the hot path (XWStepAll, ZYStepAll, ComputeResiduals, MeanZInto) either
+// touches disjoint per-worker state or reduces through a fixed block
+// structure, and this test pins that contract.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "admm/problem.hpp"
+#include "admm/psra_hgadmm.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace psra::admm {
+namespace {
+
+data::SyntheticSpec SmallSpec() {
+  data::SyntheticSpec spec;
+  spec.name = "determinism";
+  spec.num_features = 120;
+  spec.num_train = 240;
+  spec.num_test = 80;
+  spec.mean_row_nnz = 10.0;
+  spec.label_noise = 0.02;
+  spec.seed = 7;
+  return spec;
+}
+
+PsraConfig SmallCluster(GroupingMode grouping) {
+  PsraConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.workers_per_node = 2;
+  cfg.grouping = grouping;
+  return cfg;
+}
+
+RunResult RunWithPool(const ConsensusProblem& problem, const PsraConfig& cfg,
+                      engine::ThreadPool* pool) {
+  RunOptions opt;
+  opt.max_iterations = 8;
+  opt.eval_every = 2;
+  opt.adaptive_rho.enabled = true;  // exercise the residual-driven rho path
+  opt.pool = pool;
+  return PsraHgAdmm(cfg).Run(problem, opt);
+}
+
+/// Bitwise equality for doubles: EXPECT_EQ would accept -0.0 == 0.0 and
+/// reject NaN == NaN; the contract here is "same bits", nothing weaker.
+void ExpectBitsEq(double a, double b, const char* what) {
+  EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+      << what << ": " << a << " vs " << b;
+}
+
+void ExpectIdenticalRuns(const RunResult& a, const RunResult& b) {
+  // Final consensus model, bit for bit.
+  ASSERT_EQ(a.final_z.size(), b.final_z.size());
+  for (std::size_t i = 0; i < a.final_z.size(); ++i) {
+    ExpectBitsEq(a.final_z[i], b.final_z[i], "final_z");
+  }
+  ExpectBitsEq(a.final_objective, b.final_objective, "final_objective");
+  ExpectBitsEq(a.final_accuracy, b.final_accuracy, "final_accuracy");
+
+  // Virtual-time accounting and comm stats: host threading must not change
+  // a single simulated byte or second.
+  ExpectBitsEq(a.total_cal_time, b.total_cal_time, "total_cal_time");
+  ExpectBitsEq(a.total_comm_time, b.total_comm_time, "total_comm_time");
+  ExpectBitsEq(a.makespan, b.makespan, "makespan");
+  EXPECT_EQ(a.elements_sent, b.elements_sent);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+  EXPECT_EQ(a.stopped_early, b.stopped_early);
+
+  // Full trace.
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t t = 0; t < a.trace.size(); ++t) {
+    const auto& ra = a.trace[t];
+    const auto& rb = b.trace[t];
+    EXPECT_EQ(ra.iteration, rb.iteration);
+    ExpectBitsEq(ra.objective, rb.objective, "trace.objective");
+    ExpectBitsEq(ra.accuracy, rb.accuracy, "trace.accuracy");
+    ExpectBitsEq(ra.cal_time, rb.cal_time, "trace.cal_time");
+    ExpectBitsEq(ra.comm_time, rb.comm_time, "trace.comm_time");
+    ExpectBitsEq(ra.makespan, rb.makespan, "trace.makespan");
+    ExpectBitsEq(ra.primal_residual, rb.primal_residual,
+                 "trace.primal_residual");
+    ExpectBitsEq(ra.dual_residual, rb.dual_residual, "trace.dual_residual");
+    ExpectBitsEq(ra.rho, rb.rho, "trace.rho");
+  }
+}
+
+class PoolDeterminism : public ::testing::TestWithParam<GroupingMode> {};
+
+TEST_P(PoolDeterminism, SerialAndPooledRunsAreBitwiseIdentical) {
+  const auto problem = BuildProblem(SmallSpec(), 8);
+  const auto cfg = SmallCluster(GetParam());
+
+  const RunResult serial = RunWithPool(problem, cfg, nullptr);
+
+  engine::ThreadPool pool1(1);
+  ExpectIdenticalRuns(serial, RunWithPool(problem, cfg, &pool1));
+
+  engine::ThreadPool pool8(8);
+  pool8.ForceParallelDispatchForTesting();  // even on a 1-CPU host
+  ExpectIdenticalRuns(serial, RunWithPool(problem, cfg, &pool8));
+
+  // A second run on the same pool must also match: the workspaces the run
+  // recycles internally may not leak state between runs.
+  ExpectIdenticalRuns(serial, RunWithPool(problem, cfg, &pool8));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroupings, PoolDeterminism,
+                         ::testing::Values(GroupingMode::kFlat,
+                                           GroupingMode::kHierarchical,
+                                           GroupingMode::kDynamicGroups),
+                         [](const auto& info) {
+                           return GroupingModeName(info.param);
+                         });
+
+}  // namespace
+}  // namespace psra::admm

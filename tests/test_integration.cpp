@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "psra/psra.hpp"
+#include "support/string_util.hpp"
 
 namespace psra {
 namespace {

@@ -153,6 +153,42 @@ TEST(SparseVector, ConcatOverlappingThrows) {
       InvalidArgument);
 }
 
+TEST(SparseVector, InPlaceVariantsMatchValueReturningOnes) {
+  const DenseVector dense{0.0, 1.5, 0.0, -2.0, 0.0};
+  SparseVector sv(3, {0}, {9.0});  // stale contents must be overwritten
+  sv.AssignFromDense(dense);
+  EXPECT_EQ(sv, SparseVector::FromDense(dense));
+
+  DenseVector back{7.0, 7.0};  // wrong size; ToDense must resize
+  sv.ToDense(back);
+  EXPECT_EQ(back, dense);
+
+  const SparseVector src(10, {1, 3, 7, 9}, {1, 2, 3, 4});
+  SparseVector slice(2, {1}, {5.0});
+  src.SliceInto(3, 8, slice);
+  EXPECT_EQ(slice, src.Slice(3, 8));
+
+  const SparseVector a(5, {0, 2}, {1.0, 2.0});
+  const SparseVector b(5, {2, 4}, {3.0, 4.0});
+  SparseVector sum(1, {0}, {1.0});
+  SparseVector::SumInto(a, b, sum);
+  EXPECT_EQ(sum, SparseVector::Sum(a, b));
+
+  const SparseVector p0(8, {0, 1}, {1, 2});
+  const SparseVector p1(8, {4, 6}, {3, 4});
+  const std::vector<SparseVector> parts{p0, p1};
+  SparseVector cat(3, {2}, {8.0});
+  SparseVector::ConcatDisjointInto(parts, cat);
+  EXPECT_EQ(cat, SparseVector::ConcatDisjoint(parts));
+}
+
+TEST(SparseVector, InPlaceVariantsRejectAliasing) {
+  SparseVector a(5, {0, 2}, {1.0, 2.0});
+  const SparseVector b(5, {2, 4}, {3.0, 4.0});
+  EXPECT_THROW(SparseVector::SumInto(a, b, a), InvalidArgument);
+  EXPECT_THROW(a.SliceInto(0, 5, a), InvalidArgument);
+}
+
 TEST(SparseVector, AddToDenseScatters) {
   const SparseVector sv(3, {1}, {2.0});
   DenseVector acc{1.0, 1.0, 1.0};

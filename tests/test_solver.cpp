@@ -157,6 +157,32 @@ TEST(Tron, SolvesSubproblemToStationarity) {
   EXPECT_LT(linalg::Norm2(grad), 1e-3);
 }
 
+TEST(Tron, WorkspaceOverloadIsBitwiseIdentical) {
+  const auto ds = SmallDataset(7);
+  ProximalLogistic f(&ds, 1.0);
+  const auto d = static_cast<std::size_t>(ds.num_features());
+  linalg::DenseVector v(d, 0.05), z(d, 0.0);
+  f.SetIterationTerms(v, z);
+  TronOptions opt;
+  opt.gradient_tolerance = 1e-6;
+
+  linalg::DenseVector x_plain(d, 0.0);
+  const auto res_plain = TronMinimize(f, x_plain, opt);
+
+  // A reused (dirty) workspace must not change anything.
+  TronWorkspace ws;
+  for (int pass = 0; pass < 2; ++pass) {
+    linalg::DenseVector x(d, 0.0);
+    const auto res = TronMinimize(f, x, opt, nullptr, ws);
+    EXPECT_EQ(x, x_plain);
+    EXPECT_EQ(res.iterations, res_plain.iterations);
+    EXPECT_EQ(res.cg_iterations, res_plain.cg_iterations);
+    EXPECT_EQ(res.objective, res_plain.objective);
+    EXPECT_EQ(res.gradient_norm, res_plain.gradient_norm);
+    EXPECT_EQ(res.converged, res_plain.converged);
+  }
+}
+
 TEST(Tron, ObjectiveNeverIncreases) {
   const auto ds = SmallDataset(9);
   ProximalLogistic f(&ds, 0.5);
