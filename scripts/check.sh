@@ -3,7 +3,11 @@
 # and a quick hot-path regression check (iterations/sec + allocs/iteration).
 #
 # Usage: scripts/check.sh [build-dir]
-#   PSRA_CHECK_SANITIZE=address scripts/check.sh build-asan   # sanitized gate
+#
+# Env knobs (all optional; CC/CXX are honored by CMake as usual):
+#   PSRA_CHECK_SANITIZE=address,undefined   sanitized gate (e.g. build-asan)
+#   PSRA_CHECK_BUILD_TYPE=Debug             CMAKE_BUILD_TYPE (default Release)
+#   PSRA_CHECK_NATIVE_ARCH=OFF              portable codegen for CI runners
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -12,6 +16,12 @@ build="${1:-$repo/build}"
 cmake_args=(-B "$build" -S "$repo")
 if [[ -n "${PSRA_CHECK_SANITIZE:-}" ]]; then
   cmake_args+=(-DPSRA_SANITIZE="$PSRA_CHECK_SANITIZE")
+fi
+if [[ -n "${PSRA_CHECK_BUILD_TYPE:-}" ]]; then
+  cmake_args+=(-DCMAKE_BUILD_TYPE="$PSRA_CHECK_BUILD_TYPE")
+fi
+if [[ -n "${PSRA_CHECK_NATIVE_ARCH:-}" ]]; then
+  cmake_args+=(-DPSRA_NATIVE_ARCH="$PSRA_CHECK_NATIVE_ARCH")
 fi
 
 echo "== configure =="
@@ -27,5 +37,21 @@ echo "== hot path (quick) =="
 # Run from the build dir so BENCH_hotpath.json lands next to the binaries
 # instead of overwriting a checked-in result.
 (cd "$build" && ./bench/bench_hotpath --quick)
+
+if [[ -z "${PSRA_CHECK_SANITIZE:-}" ]]; then
+  echo "== alloc gate =="
+  # The flat dense hot path is allocation-free in steady state and must stay
+  # that way: fail if any flat row reports allocs_per_iter > 0. Skipped under
+  # sanitizers, whose runtimes allocate on their own schedule.
+  awk -F'"allocs_per_iter": ' '
+    /"grouping": "flat"/ {
+      v = $2 + 0
+      printf "  flat row: %g allocs/iter\n", v
+      if (v > 0) bad = 1
+    }
+    END {
+      if (bad) { print "FAIL: flat hot path allocates in steady state"; exit 1 }
+    }' "$build/BENCH_hotpath.json"
+fi
 
 echo "== OK =="

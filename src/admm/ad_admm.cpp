@@ -26,6 +26,11 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
                "problem must be partitioned into one shard per worker");
   const simnet::CostModel cost(cfg_.cluster.cost);
   const simnet::StragglerModel stragglers(topo, cfg_.cluster.straggler);
+  // The asynchronous exchange exercises the message-level fault knobs: a
+  // dropped report is retransmitted after an ack timeout; a delayed one
+  // arrives late at the master and lands in a later barrier batch.
+  const simnet::FaultPlan faults(cfg_.cluster.fault);
+  const bool faulty = !faults.Empty();
   const auto world = static_cast<std::size_t>(topo.world_size());
   const auto min_barrier = static_cast<std::size_t>(std::max<double>(
       1.0,
@@ -149,11 +154,37 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
     const std::size_t elems = report_elems(j);
     const simnet::VirtualTime send_cost =
         transfer(static_cast<simnet::Rank>(j), elems);
+    if (faulty) {
+      // Lost reports: the worker retransmits after an ack timeout, at most
+      // max_retries times; the attempt after the last retry always goes
+      // through (the master polls workers stalled past that point).
+      std::uint32_t attempt = 0;
+      while (attempt < cfg_.cluster.fault.max_retries &&
+             faults.DropsMessage(worker_iter[j], /*channel=*/0,
+                                 static_cast<simnet::Rank>(j), attempt)) {
+        ledger.ChargeComm(j, send_cost);  // the transfer that was lost
+        ledger.ChargeComm(j, cfg_.cluster.fault.retry_timeout_s);
+        result.elements_sent += elems;
+        ++result.messages_sent;
+        ++result.faults.dropped_messages;
+        ++result.faults.retries;
+        ++attempt;
+      }
+    }
     ledger.ChargeComm(j, send_cost);
     result.elements_sent += elems;
     ++result.messages_sent;
 
-    const simnet::VirtualTime arrival = ledger[j].clock;
+    simnet::VirtualTime arrival = ledger[j].clock;
+    if (faulty) {
+      const simnet::VirtualTime delay =
+          faults.MessageDelay(worker_iter[j], /*channel=*/0,
+                              static_cast<simnet::Rank>(j), master_home);
+      if (delay > 0.0) {
+        arrival += delay;  // in flight: the sender's clock is unaffected
+        ++result.faults.delayed_messages;
+      }
+    }
     queue.ScheduleAt(arrival, [&, j, elems] {
       // Master receive is serialized (the bottleneck).
       const simnet::VirtualTime recv_cost =

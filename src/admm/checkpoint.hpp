@@ -16,7 +16,9 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "admm/common.hpp"
 #include "admm/trace.hpp"
 
 namespace psra::admm {
@@ -38,5 +40,48 @@ ModelCheckpoint ReadModelFile(const std::string& path);
 /// Convenience: checkpoint straight from a finished run.
 ModelCheckpoint FromRunResult(const RunResult& result, double lambda,
                               double rho);
+
+// ---------------------------------------------------------------------------
+// Run checkpoints (crash-restart recovery).
+//
+// A RunCheckpoint snapshots every worker's ADMM state (x_i, y_i, z_i; w_i is
+// recomputed on restore) at an iteration boundary. Engines capture one every
+// FaultConfig::checkpoint_every iterations when a fault plan is active, and
+// a recovering worker restores its slot from the last capture — paying the
+// restart delay plus the virtual transfer time of the restored vectors.
+//
+// On-disk format (text, like the model format):
+//   psra-run-ckpt v1
+//   iteration <k>
+//   rho <r>
+//   workers <n>
+//   dim <d>
+//   x <d values> / y <d values> / z <d values>   (three lines per worker)
+// ---------------------------------------------------------------------------
+
+struct WorkerCheckpoint {
+  linalg::DenseVector x, y, z;
+};
+
+struct RunCheckpoint {
+  std::uint64_t iteration = 0;
+  double rho = 0.0;
+  std::vector<WorkerCheckpoint> workers;
+};
+
+/// Snapshots the workers in `ranks` into their slots of `ckpt`, reusing the
+/// slot storage; other slots are left untouched (a crashed worker's slot
+/// keeps its last pre-crash capture). Sizes `ckpt.workers` on first use.
+void CaptureRunCheckpoint(const WorkerSet& ws, std::uint64_t iteration,
+                          std::span<const simnet::Rank> ranks,
+                          RunCheckpoint& ckpt);
+
+void WriteRunCheckpoint(const RunCheckpoint& ckpt, std::ostream& os);
+void WriteRunCheckpointFile(const RunCheckpoint& ckpt,
+                            const std::string& path);
+
+/// Throws psra::IoError / psra::InvalidArgument on malformed input.
+RunCheckpoint ReadRunCheckpoint(std::istream& is);
+RunCheckpoint ReadRunCheckpointFile(const std::string& path);
 
 }  // namespace psra::admm

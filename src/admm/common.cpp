@@ -109,6 +109,33 @@ void WorkerSet::XWStepAll(std::vector<double>& flops_out) {
   }
 }
 
+void WorkerSet::XWStepAll(std::span<const simnet::Rank> ranks,
+                          std::vector<double>& flops_out) {
+  PSRA_REQUIRE(flops_out.size() == size(), "flops_out size mismatch");
+  auto body = [&](std::size_t k) {
+    const auto i = static_cast<std::size_t>(ranks[k]);
+    flops_out[i] = XWStep(i);
+  };
+  if (options_->pool != nullptr) {
+    options_->pool->ParallelFor(ranks.size(), body);
+  } else {
+    engine::SerialFor(ranks.size(), body);
+  }
+}
+
+void WorkerSet::RestoreWorker(std::size_t i, const linalg::DenseVector& x,
+                              const linalg::DenseVector& y,
+                              const linalg::DenseVector& z) {
+  PSRA_REQUIRE(i < x_.size(), "worker index out of range");
+  const auto d = static_cast<std::size_t>(dim());
+  PSRA_REQUIRE(x.size() == d && y.size() == d && z.size() == d,
+               "checkpoint dimension mismatch");
+  x_[i] = x;
+  y_[i] = y;
+  z_[i] = z;
+  solver::WLocal(rho_, x_[i], y_[i], w_[i], /*flops=*/nullptr);
+}
+
 double WorkerSet::ZYStep(std::size_t i, std::span<const double> W,
                          std::uint64_t num_contributors) {
   PSRA_REQUIRE(i < z_.size(), "worker index out of range");

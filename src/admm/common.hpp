@@ -11,6 +11,7 @@
 #include "engine/ledger.hpp"
 #include "engine/thread_pool.hpp"
 #include "simnet/cost_model.hpp"
+#include "simnet/fault.hpp"
 #include "simnet/straggler.hpp"
 #include "simnet/topology.hpp"
 #include "solver/logistic.hpp"
@@ -26,6 +27,11 @@ struct ClusterConfig {
   simnet::CostModelConfig cost;
   /// Injected stragglers (paper Section 5.5); probability 0 disables.
   simnet::StragglerConfig straggler;
+  /// Injected faults: worker crashes, leader deaths, message drops/delays.
+  /// The default is an EMPTY plan, under which every algorithm is
+  /// bitwise-identical to a build without the fault subsystem (pinned by
+  /// test_determinism).
+  simnet::FaultConfig fault;
   /// Natural per-iteration compute-time jitter: each worker's compute charge
   /// is multiplied by U[1, 1+jitter]. Real clusters always jitter (OS noise,
   /// cache effects); this is what makes SSP staleness and dynamic grouping
@@ -91,6 +97,8 @@ class WorkerSet {
   linalg::DenseVector& y(std::size_t i) { return y_[i]; }
   linalg::DenseVector& w(std::size_t i) { return w_[i]; }
   linalg::DenseVector& z(std::size_t i) { return z_[i]; }
+  const linalg::DenseVector& x(std::size_t i) const { return x_[i]; }
+  const linalg::DenseVector& y(std::size_t i) const { return y_[i]; }
   const linalg::DenseVector& z(std::size_t i) const { return z_[i]; }
   const linalg::DenseVector& w(std::size_t i) const { return w_[i]; }
   /// All per-worker w vectors, for passing straight into a collective when
@@ -104,6 +112,19 @@ class WorkerSet {
   /// Runs XWStep for all workers, optionally on the host pool. flops_out
   /// must have size() entries.
   void XWStepAll(std::vector<double>& flops_out);
+
+  /// Runs XWStep for the workers in `ranks` only (the fault path: crashed
+  /// workers compute nothing). flops_out must have size() entries; entries
+  /// of workers not in `ranks` are left untouched.
+  void XWStepAll(std::span<const simnet::Rank> ranks,
+                 std::vector<double>& flops_out);
+
+  /// Crash-restart recovery: replaces worker i's state with a checkpointed
+  /// snapshot and recomputes its w from the restored x/y (w is derived
+  /// state, not part of a checkpoint).
+  void RestoreWorker(std::size_t i, const linalg::DenseVector& x,
+                     const linalg::DenseVector& y,
+                     const linalg::DenseVector& z);
 
   /// z-update (eq. 10) + y-update (eq. 6) for worker i from aggregate W
   /// accumulated over `num_contributors` workers. Returns flops.

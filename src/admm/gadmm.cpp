@@ -59,6 +59,10 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
                "problem must be partitioned into one shard per worker");
   const simnet::CostModel cost(cfg_.cluster.cost);
   const simnet::StragglerModel stragglers(topo, cfg_.cluster.straggler);
+  const simnet::FaultPlan faults(cfg_.cluster.fault);
+  // The chain has no leaders or collectives, so only the crash schedule
+  // applies here; drop/delay/leader-death knobs concern the WLG algorithms.
+  const bool faulty = !faults.Empty() && !faults.crashes().empty();
   const auto world = static_cast<std::size_t>(topo.world_size());
   const auto d = static_cast<std::size_t>(problem.dim());
   const double rho = problem.rho;
@@ -83,6 +87,27 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
       world, {linalg::DenseVector(d, 0.0), linalg::DenseVector(d, 0.0)});
   std::vector<std::array<linalg::DenseVector, 2>> last_sent(
       world, {linalg::DenseVector(d, 0.0), linalg::DenseVector(d, 0.0)});
+
+  // ---- Fault-injection state (crash-restart over the chain) --------------
+  // With an empty crash schedule none of this is touched and the iteration
+  // body is byte-for-byte the fault-free path.
+  constexpr std::uint64_t kNever = ~std::uint64_t{0};
+  std::vector<char> down_now;
+  std::vector<std::uint64_t> up_at;
+  // A worker's recoverable chain state: x, its dual (owned link), neighbor
+  // copies. Captured every checkpoint_every iterations for live workers.
+  std::vector<linalg::DenseVector> ckpt_x;
+  std::vector<linalg::DenseVector> ckpt_lambda;
+  std::vector<std::array<linalg::DenseVector, 2>> ckpt_copy;
+  if (faulty) {
+    down_now.assign(world, 0);
+    up_at.assign(world, kNever);
+    ckpt_x = x;
+    ckpt_lambda = lambda;
+    ckpt_copy = neighbor_copy;
+  }
+  const simnet::VirtualTime recovery_transfer =
+      cost.DenseTransferTime(simnet::Link::kInterNode, 4 * d);
 
   // Wire cost of one model transfer: quantized payloads carry `bits` per
   // value plus a scale/radius header; unquantized ones are dense doubles.
@@ -133,8 +158,17 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
   // quantization reference are updated with the (possibly quantized) value.
   linalg::DenseVector wire(d);
   auto push_model = [&](std::size_t n, std::size_t to) {
+    if (faulty && down_now[n] != 0) return;  // dead senders send nothing
     const std::size_t side_sender = to > n ? 1 : 0;  // n's side facing `to`
     const std::size_t side_receiver = to > n ? 0 : 1;
+    if (faulty && down_now[to] != 0) {
+      // The sender does not know its neighbor is dead: the transfer is paid
+      // for and counted, but never delivered.
+      ledger.ChargeComm(n, transfer_time(n, to));
+      result.elements_sent += d;
+      ++result.messages_sent;
+      return;
+    }
     if (cfg_.quantization_bits == 0) {
       wire = x[n];
     } else {
@@ -163,14 +197,48 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
   for (std::uint64_t iter = 1; iter <= options.max_iterations; ++iter) {
     result.iterations_run = iter;
 
+    // ---- Fault bookkeeping: recoveries first, then fresh crashes ---------
+    if (faulty) {
+      for (std::size_t n = 0; n < world; ++n) {
+        if (down_now[n] != 0 && up_at[n] == iter) {
+          x[n] = ckpt_x[n];
+          if (n + 1 < world) lambda[n] = ckpt_lambda[n];
+          neighbor_copy[n] = ckpt_copy[n];
+          ledger.SkipUntil(n, ledger.MaxClock());
+          ledger.ChargeCompute(n, cfg_.cluster.fault.restart_delay_s);
+          ledger.ChargeComm(n, recovery_transfer);
+          down_now[n] = 0;
+          up_at[n] = kNever;
+          ++result.faults.recoveries;
+        }
+        if (const auto crash = faults.CrashAt(static_cast<simnet::Rank>(n),
+                                              iter);
+            crash && down_now[n] == 0) {
+          down_now[n] = 1;
+          up_at[n] = crash->down_iterations == 0
+                         ? kNever
+                         : iter + crash->down_iterations;
+          ++result.faults.worker_crashes;
+        }
+        if (down_now[n] != 0) ++result.faults.down_worker_iterations;
+      }
+    }
+    const auto is_down = [&](std::size_t n) {
+      return faulty && down_now[n] != 0;
+    };
+
     // Head group (even chain positions): update then push to neighbors.
-    for (std::size_t n = 0; n < world; n += 2) update_x(n, iter);
+    for (std::size_t n = 0; n < world; n += 2) {
+      if (!is_down(n)) update_x(n, iter);
+    }
     for (std::size_t n = 0; n < world; n += 2) {
       if (n > 0) push_model(n, n - 1);
       if (n + 1 < world) push_model(n, n + 1);
     }
     // Tail group (odd positions): update with fresh head models, push back.
-    for (std::size_t n = 1; n < world; n += 2) update_x(n, iter);
+    for (std::size_t n = 1; n < world; n += 2) {
+      if (!is_down(n)) update_x(n, iter);
+    }
     for (std::size_t n = 1; n < world; n += 2) {
       push_model(n, n - 1);
       if (n + 1 < world) push_model(n, n + 1);
@@ -178,11 +246,22 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
 
     // Dual ascent on every link (local at both endpoints; we keep one copy).
     for (std::size_t n = 0; n + 1 < world; ++n) {
+      if (is_down(n)) continue;  // the link owner is dead: dual frozen
       // Endpoint n uses its own x and its copy of x_{n+1} (just received).
       for (std::size_t i = 0; i < d; ++i) {
         lambda[n][i] += rho * (x[n][i] - neighbor_copy[n][1][i]);
       }
       ledger.ChargeCompute(n, cost.ComputeTime(3.0 * static_cast<double>(d)));
+    }
+
+    // ---- Periodic checkpoint of the live workers' chain state ------------
+    if (faulty && iter % cfg_.cluster.fault.checkpoint_every == 0) {
+      for (std::size_t n = 0; n < world; ++n) {
+        if (down_now[n] != 0) continue;
+        ckpt_x[n] = x[n];
+        if (n + 1 < world) ckpt_lambda[n] = lambda[n];
+        ckpt_copy[n] = neighbor_copy[n];
+      }
     }
 
     if (options.record_trace &&

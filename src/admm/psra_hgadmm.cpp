@@ -6,11 +6,14 @@
 #include <span>
 #include <utility>
 
+#include "admm/checkpoint.hpp"
 #include "comm/intranode.hpp"
 #include "linalg/sparse_vector.hpp"
+#include "simnet/fault.hpp"
 #include "solver/metrics.hpp"
 #include "support/status.hpp"
 #include "wlg/group_generator.hpp"
+#include "wlg/leader.hpp"
 
 namespace psra::admm {
 
@@ -58,23 +61,35 @@ struct InterWorkspace {
 };
 
 /// Runs one inter-node allreduce over `w_inputs` (one dense vector per group
-/// member), leaving the dense sum and per-member finish times in `ws`.
+/// member), leaving the dense sum and per-member finish times in `ws`. With
+/// a FaultContext the fault-tolerant entry points run instead (exactly the
+/// plain ones when the plan is empty).
 void RunInterAllreduce(const comm::GroupComm& group,
                        const comm::AllreduceAlgorithm& alg, bool sparse_comm,
                        std::span<const linalg::DenseVector> w_inputs,
                        std::span<const simnet::VirtualTime> starts,
-                       InterWorkspace& ws) {
+                       InterWorkspace& ws, comm::FaultContext* fc = nullptr) {
   if (sparse_comm) {
     ws.sparse_inputs.resize(w_inputs.size());
     for (std::size_t i = 0; i < w_inputs.size(); ++i) {
       ws.sparse_inputs[i].AssignFromDense(w_inputs[i]);
     }
-    alg.ReduceSparse(group, ws.sparse_inputs, starts, ws.scratch,
-                     ws.sparse_sum, ws.stats);
+    if (fc != nullptr) {
+      alg.ReduceSparseFaulty(group, ws.sparse_inputs, starts, *fc, ws.scratch,
+                             ws.sparse_sum, ws.stats);
+    } else {
+      alg.ReduceSparse(group, ws.sparse_inputs, starts, ws.scratch,
+                       ws.sparse_sum, ws.stats);
+    }
     ws.sparse_sum.ToDense(ws.sum);
     ws.result_nnz = ws.sparse_sum.nnz();
   } else {
-    alg.ReduceDense(group, w_inputs, starts, ws.scratch, ws.sum, ws.stats);
+    if (fc != nullptr) {
+      alg.ReduceDenseFaulty(group, w_inputs, starts, *fc, ws.scratch, ws.sum,
+                            ws.stats);
+    } else {
+      alg.ReduceDense(group, w_inputs, starts, ws.scratch, ws.sum, ws.stats);
+    }
     ws.result_nnz = ws.sum.size();
   }
   ws.elements = ws.stats.elements_sent;
@@ -91,6 +106,8 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
                "problem must be partitioned into one shard per worker");
   const simnet::CostModel cost(cfg_.cluster.cost);
   const simnet::StragglerModel stragglers(topo, cfg_.cluster.straggler);
+  const simnet::FaultPlan faults(cfg_.cluster.fault);
+  const bool faulty = !faults.Empty();
 
   const auto world = static_cast<std::size_t>(topo.world_size());
   const auto nodes = cfg_.cluster.num_nodes;
@@ -192,87 +209,284 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
     value = censor_scratch;
   };
 
+  PSRA_REQUIRE(!(censoring && faulty),
+               "communication censoring is incompatible with fault injection "
+               "(its running sum needs every sender in every round)");
+
+  // ---- Fault-injection state -------------------------------------------
+  // Only touched on faulty runs: with an empty plan the iteration body below
+  // takes byte-for-byte the fault-free path (pinned by test_determinism).
+  constexpr std::uint64_t kNever = ~std::uint64_t{0};
+  comm::FaultContext fctx;
+  fctx.plan = faulty ? &faults : nullptr;
+  RunCheckpoint ckpt;
+  std::vector<char> down_now;        // 1 = worker currently down
+  std::vector<std::uint64_t> up_at;  // recovery iteration (kNever = none)
+  std::vector<simnet::Rank> alive;
+  std::vector<std::vector<simnet::Rank>> node_alive;
+  std::vector<std::optional<comm::GroupComm>> intra_alive;
+  std::vector<simnet::Rank> cur_leaders;
+  std::vector<char> node_active;  // node has >= 1 alive worker
+  std::vector<char> node_out;     // node dropped from the current round
+  std::vector<wlg::LeaderReport> leader_reports;
+  std::vector<simnet::NodeId> active_nodes;
+  std::optional<comm::GroupComm> flat_sub;  // survivor group, flat mode
+  std::vector<simnet::Rank> zy_ranks;
+  std::vector<simnet::NodeId> live_members;
+  if (faulty) {
+    down_now.assign(world, 0);
+    up_at.assign(world, kNever);
+    node_alive.assign(nodes, {});
+    intra_alive.assign(nodes, std::nullopt);
+    cur_leaders = leaders;
+    node_active.assign(nodes, 1);
+    node_out.assign(nodes, 0);
+    alive.reserve(world);
+    // Iteration-0 checkpoint: a worker crashing before the first periodic
+    // capture restarts from the common initial state.
+    CaptureRunCheckpoint(ws, 0, everyone, ckpt);
+  }
+  // A recovering worker refetches its checkpointed vectors (x, y, z) over
+  // the network on top of the fixed respawn delay.
+  const simnet::VirtualTime recovery_transfer =
+      cost.DenseTransferTime(simnet::Link::kInterNode, 3 * d_sz);
+  // The elected leader of node `n` dies mid-round: it drops out of the rest
+  // of this iteration and stays down like a crashed worker afterwards.
+  auto kill_leader_mid_round = [&](simnet::NodeId n,
+                                   const simnet::LeaderDeathSpec& death,
+                                   std::uint64_t it) {
+    const auto li = static_cast<std::size_t>(cur_leaders[n]);
+    down_now[li] = 1;
+    up_at[li] =
+        death.down_iterations == 0 ? kNever : it + 1 + death.down_iterations;
+    node_out[n] = 1;
+    ++result.faults.leader_deaths;
+  };
+
   for (std::uint64_t iter = 1; iter <= options.max_iterations; ++iter) {
     result.iterations_run = iter;
+
+    // ---- Fault bookkeeping: recoveries, fresh crashes, per-node views ----
+    bool any_down = false;
+    if (faulty) {
+      fctx.iteration = iter;
+      fctx.channel = 0;
+      for (std::size_t i = 0; i < world; ++i) {
+        const auto r = static_cast<simnet::Rank>(i);
+        if (down_now[i] != 0 && up_at[i] == iter) {
+          // Crash-restart: restore the last checkpoint, pay the respawn
+          // delay plus the virtual transfer of the checkpointed vectors.
+          // Dead time itself is skipped, not booked — it is neither
+          // computation nor communication.
+          const WorkerCheckpoint& wc = ckpt.workers[i];
+          ws.RestoreWorker(i, wc.x, wc.y, wc.z);
+          ledger.SkipUntil(i, ledger.MaxClock());
+          ledger.ChargeCompute(i, cfg_.cluster.fault.restart_delay_s);
+          ledger.ChargeComm(i, recovery_transfer);
+          down_now[i] = 0;
+          up_at[i] = kNever;
+          ++result.faults.recoveries;
+        }
+        if (const auto crash = faults.CrashAt(r, iter);
+            crash && down_now[i] == 0) {
+          down_now[i] = 1;
+          up_at[i] = crash->down_iterations == 0
+                         ? kNever
+                         : iter + crash->down_iterations;
+          ++result.faults.worker_crashes;
+        }
+        if (down_now[i] != 0) {
+          any_down = true;
+          ++result.faults.down_worker_iterations;
+        }
+      }
+      alive.clear();
+      for (std::size_t i = 0; i < world; ++i) {
+        if (down_now[i] == 0) alive.push_back(static_cast<simnet::Rank>(i));
+      }
+      PSRA_REQUIRE(!alive.empty(), "fault plan left no live worker");
+      for (simnet::NodeId n = 0; n < nodes; ++n) {
+        node_alive[n].clear();
+        for (const simnet::Rank r : node_ranks[n]) {
+          if (down_now[static_cast<std::size_t>(r)] == 0) {
+            node_alive[n].push_back(r);
+          }
+        }
+        node_active[n] = node_alive[n].empty() ? 0 : 1;
+        node_out[n] = 0;
+        if (node_active[n] == 0) continue;
+        simnet::Rank lead = leaders[n];
+        if (down_now[static_cast<std::size_t>(lead)] != 0) {
+          lead = wlg::ReElectLeader(topo, node_alive[n], cfg_.leader_policy,
+                                    cfg_.cluster.seed, iter);
+        }
+        if (lead != cur_leaders[n]) {
+          ++result.faults.leader_reelections;
+          cur_leaders[n] = lead;
+        }
+        if (!intra_alive[n].has_value() ||
+            intra_alive[n]->members() != node_alive[n]) {
+          intra_alive[n].emplace(&topo, &cost, node_alive[n]);
+        }
+      }
+    }
+
     // ---- x / w updates (parallel local computation, paper Alg. 1) --------
-    ws.XWStepAll(flops);
-    for (std::size_t i = 0; i < world; ++i) {
-      const double mult = ComputeMultiplier(
-          cfg_.cluster, topo, stragglers, static_cast<simnet::Rank>(i), iter);
-      ledger.ChargeCompute(i, cost.ComputeTime(flops[i]) * mult);
+    if (faulty && any_down) {
+      ws.XWStepAll(alive, flops);
+      for (const simnet::Rank r : alive) {
+        const auto i = static_cast<std::size_t>(r);
+        const double mult =
+            ComputeMultiplier(cfg_.cluster, topo, stragglers, r, iter);
+        ledger.ChargeCompute(i, cost.ComputeTime(flops[i]) * mult);
+      }
+    } else {
+      ws.XWStepAll(flops);
+      for (std::size_t i = 0; i < world; ++i) {
+        const double mult = ComputeMultiplier(
+            cfg_.cluster, topo, stragglers, static_cast<simnet::Rank>(i), iter);
+        ledger.ChargeCompute(i, cost.ComputeTime(flops[i]) * mult);
+      }
     }
 
     if (cfg_.grouping == GroupingMode::kFlat) {
       // ---- PSRA-ADMM: one global allreduce over all workers --------------
       // The collective only reads its inputs, so the workers' w vectors go
       // in directly; a private snapshot is taken only when mixed precision
-      // or censoring must rewrite the payload first.
+      // or censoring must rewrite the payload first. On faulty runs with a
+      // worker down, the collective degrades to the survivor set.
+      comm::FaultContext* const fc = faulty ? &fctx : nullptr;
+      const bool degraded = faulty && any_down;
       const bool mutate_inputs = cfg_.mixed_precision || censoring;
-      starts.resize(world);
-      if (mutate_inputs) {
-        inputs.resize(world);
-        for (std::size_t i = 0; i < world; ++i) {
-          inputs[i] = ws.w(i);
-          if (cfg_.mixed_precision) linalg::RoundToFloat(inputs[i]);
-          if (censoring) apply_censoring(i, iter, inputs[i]);
+      if (degraded) {
+        if (!flat_sub.has_value() || flat_sub->members() != alive) {
+          flat_sub.emplace(&topo, &cost_inter, alive);
         }
+        inputs.resize(alive.size());
+        starts.resize(alive.size());
+        for (std::size_t m = 0; m < alive.size(); ++m) {
+          const auto i = static_cast<std::size_t>(alive[m]);
+          inputs[m] = ws.w(i);
+          if (cfg_.mixed_precision) linalg::RoundToFloat(inputs[m]);
+          starts[m] = ledger[i].clock;
+        }
+        RunInterAllreduce(*flat_sub, *alg, cfg_.sparse_comm, inputs, starts,
+                          iw, fc);
+      } else {
+        starts.resize(world);
+        if (mutate_inputs) {
+          inputs.resize(world);
+          for (std::size_t i = 0; i < world; ++i) {
+            inputs[i] = ws.w(i);
+            if (cfg_.mixed_precision) linalg::RoundToFloat(inputs[i]);
+            if (censoring) apply_censoring(i, iter, inputs[i]);
+          }
+        }
+        for (std::size_t i = 0; i < world; ++i) starts[i] = ledger[i].clock;
+        RunInterAllreduce(*flat_global, *alg, cfg_.sparse_comm,
+                          mutate_inputs ? std::span<const linalg::DenseVector>(
+                                              inputs)
+                                        : ws.w_all(),
+                          starts, iw, fc);
       }
-      for (std::size_t i = 0; i < world; ++i) starts[i] = ledger[i].clock;
-      RunInterAllreduce(*flat_global, *alg, cfg_.sparse_comm,
-                        mutate_inputs ? std::span<const linalg::DenseVector>(
-                                            inputs)
-                                      : ws.w_all(),
-                        starts, iw);
       result.elements_sent += iw.elements;
       result.messages_sent += iw.messages;
       if (censoring) {
         linalg::Axpy(1.0, iw.sum, W_running);
         iw.sum = W_running;
       }
-      for (std::size_t i = 0; i < world; ++i) {
-        ledger.WaitUntil(i, iw.stats.finish_times[i]);
+      if (degraded) {
+        for (std::size_t m = 0; m < alive.size(); ++m) {
+          ledger.WaitUntil(static_cast<std::size_t>(alive[m]),
+                           iw.stats.finish_times[m]);
+        }
+      } else {
+        for (std::size_t i = 0; i < world; ++i) {
+          ledger.WaitUntil(i, iw.stats.finish_times[i]);
+        }
       }
-      ws.ZYStepAll(everyone, iw.sum, world, flops);
-      for (std::size_t i = 0; i < world; ++i) {
-        ledger.ChargeCompute(i, cost.ComputeTime(flops[i]));
+      // Consensus update over this round's participants. Members the
+      // collective excluded after exhausting retries keep their state
+      // frozen for the round, like a worker that timed out.
+      std::span<const simnet::Rank> participants(everyone);
+      if (degraded) participants = alive;
+      if (fc != nullptr && !fc->excluded.empty()) {
+        zy_ranks.clear();
+        std::size_t e = 0;
+        for (std::size_t m = 0; m < participants.size(); ++m) {
+          if (e < fc->excluded.size() &&
+              fc->excluded[e] == static_cast<comm::GroupRank>(m)) {
+            ++e;
+            continue;
+          }
+          zy_ranks.push_back(participants[m]);
+        }
+        participants = zy_ranks;
+      }
+      ws.ZYStepAll(participants, iw.sum,
+                   static_cast<std::uint64_t>(participants.size()), flops);
+      for (const simnet::Rank r : participants) {
+        ledger.ChargeCompute(static_cast<std::size_t>(r),
+                             cost.ComputeTime(flops[r]));
       }
     } else {
       // ---- Hierarchical: intra-node reduce to the Leader ------------------
       for (simnet::NodeId n = 0; n < nodes; ++n) {
-        const auto& members = node_ranks[n];
-        const comm::GroupRank leader_g = intra[n].LocalRank(leaders[n]);
+        if (faulty && node_active[n] == 0) continue;
+        const auto& members = faulty ? node_alive[n] : node_ranks[n];
+        const comm::GroupComm& ic = faulty ? *intra_alive[n] : intra[n];
+        const simnet::Rank lead = faulty ? cur_leaders[n] : leaders[n];
+        const comm::GroupRank leader_g = ic.LocalRank(lead);
         inputs.resize(members.size());
         starts.resize(members.size());
         for (std::size_t m = 0; m < members.size(); ++m) {
           inputs[m] = ws.w(members[m]);
           starts[m] = ledger[members[m]].clock;
         }
-        comm::ReduceToLeader(intra[n], leader_g, inputs, starts, red[n]);
+        comm::ReduceToLeader(ic, leader_g, inputs, starts, red[n]);
         result.elements_sent += red[n].elements_sent;
         result.messages_sent += red[n].messages_sent;
         for (std::size_t m = 0; m < members.size(); ++m) {
           ledger.WaitUntil(members[m], red[n].finish_times[m]);
         }
-        ledger.WaitUntil(leaders[n], red[n].leader_ready);
+        ledger.WaitUntil(lead, red[n].leader_ready);
         if (censoring) apply_censoring(n, iter, red[n].value);
-        leader_ready[n] = ledger[leaders[n]].clock;
+        leader_ready[n] = ledger[lead].clock;
       }
 
       // ---- Group formation -------------------------------------------------
       // Each formed group is (members, start time of its allreduce).
       if (cfg_.grouping == GroupingMode::kHierarchical) {
-        simnet::VirtualTime all_ready = 0.0;
-        for (simnet::NodeId n = 0; n < nodes; ++n) {
-          all_ready = std::max(all_ready, leader_ready[n]);
-        }
-        if (groups.empty()) {  // fixed membership: build the group once
-          std::vector<simnet::NodeId> all(nodes);
-          for (simnet::NodeId n = 0; n < nodes; ++n) all[n] = n;
-          groups.emplace_back(std::move(all), all_ready);
+        if (!faulty) {
+          simnet::VirtualTime all_ready = 0.0;
+          for (simnet::NodeId n = 0; n < nodes; ++n) {
+            all_ready = std::max(all_ready, leader_ready[n]);
+          }
+          if (groups.empty()) {  // fixed membership: build the group once
+            std::vector<simnet::NodeId> all(nodes);
+            for (simnet::NodeId n = 0; n < nodes; ++n) all[n] = n;
+            groups.emplace_back(std::move(all), all_ready);
+          } else {
+            groups.front().second = all_ready;
+          }
         } else {
-          groups.front().second = all_ready;
+          // Rebuild the single group from the nodes still standing; a leader
+          // dying mid-round drops its node from this round.
+          simnet::VirtualTime all_ready = 0.0;
+          groups.clear();
+          active_nodes.clear();
+          for (simnet::NodeId n = 0; n < nodes; ++n) {
+            if (node_active[n] == 0) continue;
+            if (const auto death = faults.LeaderDeathAt(n, iter)) {
+              kill_leader_mid_round(n, *death, iter);
+              continue;
+            }
+            active_nodes.push_back(n);
+            all_ready = std::max(all_ready, leader_ready[n]);
+          }
+          groups.emplace_back(active_nodes, all_ready);
         }
-      } else {
+      } else if (!faulty) {
         // Leaders report to the GG (one small message each, paper Alg. 3).
         groups.clear();
         for (simnet::NodeId n = 0; n < nodes; ++n) {
@@ -286,52 +500,107 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           result.messages_sent += g.members.size();
           groups.emplace_back(std::move(g.members), start);
         }
+      } else {
+        // Faulty dynamic grouping: only live nodes report; a leader dying
+        // right after its report is withdrawn from the GG queue (the
+        // survivors regroup) or, if its group already formed, excluded from
+        // that group below.
+        groups.clear();
+        leader_reports.clear();
+        for (simnet::NodeId n = 0; n < nodes; ++n) {
+          if (node_active[n] == 0) continue;
+          const simnet::Rank lead = cur_leaders[n];
+          ledger.ChargeComm(lead, request_cost);
+          ++result.messages_sent;
+          report[n] = ledger[lead].clock;
+          wlg::LeaderReport lr;
+          lr.node = n;
+          lr.time = report[n];
+          if (const auto death = faults.LeaderDeathAt(n, iter)) {
+            lr.dies_at = report[n];  // dies right after reporting
+            kill_leader_mid_round(n, *death, iter);
+          }
+          leader_reports.push_back(lr);
+        }
+        for (auto& g : wlg::RunGroupingCycle(gg, leader_reports)) {
+          const simnet::VirtualTime start = g.formed_at + request_cost;
+          result.messages_sent += g.members.size();
+          groups.emplace_back(std::move(g.members), start);
+        }
       }
 
       // ---- Inter-node allreduce within each group + intra broadcast --------
+      comm::FaultContext* const fc = faulty ? &fctx : nullptr;
       for (const auto& [members, start] : groups) {
-        const std::size_t gsize = members.size();
+        std::span<const simnet::NodeId> gmembers(members);
+        if (faulty) {
+          // Leaders that died after their group formed are excluded here
+          // (the ones that died while queued never made it into a group).
+          live_members.clear();
+          for (const simnet::NodeId n : gmembers) {
+            if (node_out[n] == 0) live_members.push_back(n);
+          }
+          gmembers = live_members;
+        }
+        const std::size_t gsize = gmembers.size();
+        if (gsize == 0) continue;
         std::uint64_t contributors = 0;
         for (std::size_t j = 0; j < gsize; ++j) {
-          const simnet::NodeId n = members[j];
-          group_leaders[j] = leaders[n];
+          const simnet::NodeId n = gmembers[j];
+          group_leaders[j] = faulty ? cur_leaders[n] : leaders[n];
           ginputs[j] = red[n].value;
           if (cfg_.mixed_precision) linalg::RoundToFloat(ginputs[j]);
-          gstarts[j] = std::max(start, ledger[leaders[n]].clock);
-          contributors += node_ranks[n].size();
+          gstarts[j] = std::max(start, ledger[group_leaders[j]].clock);
+          contributors += faulty ? node_alive[n].size() : node_ranks[n].size();
         }
         const comm::GroupComm inter(
             &topo, &cost_inter,
             {group_leaders.begin(), group_leaders.begin() + gsize});
         RunInterAllreduce(inter, *alg, cfg_.sparse_comm,
                           std::span(ginputs.data(), gsize),
-                          std::span(gstarts.data(), gsize), iw);
+                          std::span(gstarts.data(), gsize), iw, fc);
         result.elements_sent += iw.elements;
         result.messages_sent += iw.messages;
         if (censoring) {  // fixed membership: fold deltas into the run sum
           linalg::Axpy(1.0, iw.sum, W_running);
           iw.sum = W_running;
         }
+        if (fc != nullptr && !fc->excluded.empty()) {
+          // Nodes the collective timed out of this round contributed
+          // nothing to the sum; their workers skip the consensus update.
+          for (const comm::GroupRank g : fc->excluded) {
+            contributors -= node_alive[gmembers[g]].size();
+          }
+        }
 
+        std::size_t excl = 0;  // cursor into fc->excluded (sorted ascending)
         for (std::size_t gi = 0; gi < gsize; ++gi) {
-          const simnet::NodeId n = members[gi];
-          ledger.WaitUntil(leaders[n], iw.stats.finish_times[gi]);
+          const simnet::NodeId n = gmembers[gi];
+          const simnet::Rank lead = faulty ? cur_leaders[n] : leaders[n];
+          ledger.WaitUntil(lead, iw.stats.finish_times[gi]);
+          if (fc != nullptr && excl < fc->excluded.size() &&
+              fc->excluded[excl] == static_cast<comm::GroupRank>(gi)) {
+            ++excl;  // timed out: no broadcast, node state frozen this round
+            continue;
+          }
 
           // Leader broadcasts W to its node (paper Alg. 1 step 11).
-          const comm::GroupRank leader_g = intra[n].LocalRank(leaders[n]);
+          const auto& nmembers = faulty ? node_alive[n] : node_ranks[n];
+          const comm::GroupComm& ic = faulty ? *intra_alive[n] : intra[n];
+          const comm::GroupRank leader_g = ic.LocalRank(lead);
           const std::size_t elems =
               cfg_.sparse_comm ? iw.result_nnz
                                : static_cast<std::size_t>(problem.dim());
-          comm::BroadcastFromLeader(intra[n], leader_g, elems,
-                                    ledger[leaders[n]].clock, bc);
+          comm::BroadcastFromLeader(ic, leader_g, elems, ledger[lead].clock,
+                                    bc);
           result.elements_sent += bc.elements_sent;
           result.messages_sent += bc.messages_sent;
-          for (std::size_t m = 0; m < node_ranks[n].size(); ++m) {
-            ledger.WaitUntil(node_ranks[n][m], bc.finish_times[m]);
+          for (std::size_t m = 0; m < nmembers.size(); ++m) {
+            ledger.WaitUntil(nmembers[m], bc.finish_times[m]);
           }
-          ws.ZYStepAll(node_ranks[n], iw.sum, contributors, flops);
-          for (std::size_t m = 0; m < node_ranks[n].size(); ++m) {
-            const simnet::Rank r = node_ranks[n][m];
+          ws.ZYStepAll(nmembers, iw.sum, contributors, flops);
+          for (std::size_t m = 0; m < nmembers.size(); ++m) {
+            const simnet::Rank r = nmembers[m];
             ledger.ChargeCompute(r, cost.ComputeTime(flops[r]));
           }
         }
@@ -355,12 +624,25 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
       result.trace.push_back(rec);
     }
 
+    // ---- Periodic checkpoint (fault runs only) ---------------------------
+    // Captures the live workers' state; a down worker's slot keeps its last
+    // pre-crash snapshot, which is what its recovery restores.
+    if (faulty && iter % cfg_.cluster.fault.checkpoint_every == 0) {
+      CaptureRunCheckpoint(ws, iter, alive, ckpt);
+    }
+
     if (iter > 1 && WorkerSet::ShouldStop(options.stopping, residuals,
                                           problem.num_workers(),
                                           problem.dim())) {
       result.stopped_early = true;
       break;
     }
+  }
+
+  if (faulty) {
+    result.faults.dropped_messages = fctx.dropped_messages;
+    result.faults.retries = fctx.retries;
+    result.faults.delayed_messages = fctx.delayed_messages;
   }
 
   result.final_z = ws.MeanZ();

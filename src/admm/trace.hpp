@@ -33,6 +33,22 @@ struct IterationRecord {
   double rho = 0.0;
 };
 
+/// What the fault-injection subsystem actually did during a run. All zeros
+/// for an empty FaultPlan.
+struct FaultStats {
+  std::size_t worker_crashes = 0;
+  std::size_t recoveries = 0;
+  std::size_t leader_deaths = 0;
+  std::size_t leader_reelections = 0;
+  std::size_t dropped_messages = 0;
+  std::size_t retries = 0;
+  std::size_t delayed_messages = 0;
+  /// Worker-iterations skipped because the worker was down.
+  std::size_t down_worker_iterations = 0;
+
+  bool operator==(const FaultStats& other) const = default;
+};
+
 struct RunResult {
   std::string algorithm;
   std::vector<IterationRecord> trace;
@@ -52,6 +68,8 @@ struct RunResult {
   std::size_t messages_sent = 0;
   /// Transmissions suppressed by communication censoring (0 unless enabled).
   std::size_t censored_sends = 0;
+  /// Fault-injection accounting (all zeros with an empty FaultPlan).
+  FaultStats faults;
 
   simnet::VirtualTime SystemTime() const {
     return total_cal_time + total_comm_time;

@@ -29,6 +29,10 @@
 #include "linalg/dense_ops.hpp"
 #include "linalg/sparse_vector.hpp"
 
+namespace psra::simnet {
+class FaultPlan;
+}
+
 namespace psra::comm {
 
 /// Cost accounting for one collective invocation.
@@ -83,6 +87,39 @@ struct AllreduceScratch {
   std::vector<linalg::SparseVector> sparse_values;
 };
 
+/// Fault-injection context for the fault-tolerant Reduce* entry points.
+/// Callers keep one instance per run (like AllreduceScratch) and bump
+/// `iteration` each round; `channel` auto-increments per invocation so two
+/// collectives in the same iteration draw independent fault coins.
+///
+/// Timeout/retry semantics (DESIGN.md "Fault model"): when the plan drops a
+/// member's transfer, the whole collective stalls for retry_timeout_s and
+/// retries; after max_retries the still-failing members are EXCLUDED and the
+/// collective completes over the surviving member set — the sum then covers
+/// survivors only, and `excluded` reports who was left out so the engine can
+/// skip their consensus update for the round.
+struct FaultContext {
+  const simnet::FaultPlan* plan = nullptr;  // null or empty plan: no faults
+  std::uint64_t iteration = 0;              // 1-based engine iteration
+  std::uint64_t channel = 0;                // next collective id (auto-bumped)
+
+  // Cumulative accounting across invocations.
+  std::size_t dropped_messages = 0;
+  std::size_t retries = 0;
+  std::size_t delayed_messages = 0;
+
+  /// Group ranks excluded by the LAST invocation (cleared on each call).
+  std::vector<GroupRank> excluded;
+
+  // Scratch recycled across invocations (private to the implementation).
+  std::vector<simnet::VirtualTime> adj_starts;
+  std::vector<simnet::Rank> survivor_ranks;
+  std::vector<simnet::VirtualTime> survivor_starts;
+  std::vector<linalg::DenseVector> survivor_dense;
+  std::vector<linalg::SparseVector> survivor_sparse;
+  CommStats sub_stats;
+};
+
 struct DenseAllreduceResult {
   /// outputs[g] = sum over members of inputs (same for all g).
   std::vector<linalg::DenseVector> outputs;
@@ -126,6 +163,23 @@ class AllreduceAlgorithm {
                             std::span<const simnet::VirtualTime> starts,
                             AllreduceScratch& scratch,
                             linalg::SparseVector& sum, CommStats& stats) const;
+
+  /// Fault-tolerant in-place reduction: applies `fc.plan`'s message delays,
+  /// then runs the timeout + bounded-retry protocol described on
+  /// FaultContext. With a null/empty plan this is EXACTLY ReduceDense —
+  /// bitwise-identical results and no extra allocation.
+  void ReduceDenseFaulty(const GroupComm& group,
+                         std::span<const linalg::DenseVector> inputs,
+                         std::span<const simnet::VirtualTime> starts,
+                         FaultContext& fc, AllreduceScratch& scratch,
+                         linalg::DenseVector& sum, CommStats& stats) const;
+
+  /// Sparse counterpart of ReduceDenseFaulty.
+  void ReduceSparseFaulty(const GroupComm& group,
+                          std::span<const linalg::SparseVector> inputs,
+                          std::span<const simnet::VirtualTime> starts,
+                          FaultContext& fc, AllreduceScratch& scratch,
+                          linalg::SparseVector& sum, CommStats& stats) const;
 };
 
 enum class AllreduceKind { kNaive, kRing, kPsr, kRhd, kTree };

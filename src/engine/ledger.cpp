@@ -46,6 +46,11 @@ void TimeLedger::WaitUntil(std::size_t i, simnet::VirtualTime t) {
   }
 }
 
+void TimeLedger::SkipUntil(std::size_t i, simnet::VirtualTime t) {
+  auto& w = (*this)[i];
+  w.clock = std::max(w.clock, t);
+}
+
 simnet::VirtualTime TimeLedger::MaxClock() const {
   simnet::VirtualTime m = 0.0;
   for (const auto& w : workers_) m = std::max(m, w.clock);

@@ -42,6 +42,10 @@ class TimeLedger {
   /// communication time (synchronization waits are communication cost in the
   /// paper's accounting).
   void WaitUntil(std::size_t i, simnet::VirtualTime t);
+  /// Moves worker i's clock forward to `t` (if later) WITHOUT booking any
+  /// time: used for the dead time of a crashed worker, which is neither
+  /// computation nor communication in the paper's system-time accounting.
+  void SkipUntil(std::size_t i, simnet::VirtualTime t);
 
   /// Max clock across workers (current virtual makespan).
   simnet::VirtualTime MaxClock() const;

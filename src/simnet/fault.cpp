@@ -1,0 +1,99 @@
+#include "simnet/fault.hpp"
+
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace psra::simnet {
+
+FaultPlan::FaultPlan(const FaultConfig& cfg) : cfg_(cfg) {
+  PSRA_REQUIRE(cfg.message_drop_probability >= 0.0 &&
+                   cfg.message_drop_probability < 1.0,
+               "message drop probability must be in [0, 1)");
+  PSRA_REQUIRE(cfg.message_delay_probability >= 0.0 &&
+                   cfg.message_delay_probability <= 1.0,
+               "message delay probability must be in [0, 1]");
+  PSRA_REQUIRE(cfg.message_delay_s >= 0.0, "message delay must be >= 0");
+  PSRA_REQUIRE(cfg.retry_timeout_s > 0.0 || cfg.message_drop_probability == 0.0,
+               "retry timeout must be positive when drops are enabled");
+  PSRA_REQUIRE(cfg.checkpoint_every >= 1, "checkpoint_every must be >= 1");
+  PSRA_REQUIRE(cfg.restart_delay_s >= 0.0, "restart delay must be >= 0");
+  for (const auto& c : cfg.crashes) {
+    PSRA_REQUIRE(c.at_iteration >= 1, "crashes are scheduled per iteration "
+                                      "(1-based); at_iteration must be >= 1");
+  }
+  for (const auto& l : cfg.leader_deaths) {
+    PSRA_REQUIRE(l.at_iteration >= 1, "leader deaths are scheduled per "
+                                      "iteration (1-based)");
+  }
+}
+
+bool FaultPlan::Empty() const {
+  return cfg_.crashes.empty() && cfg_.leader_deaths.empty() &&
+         cfg_.message_drop_probability == 0.0 &&
+         (cfg_.message_delay_probability == 0.0 || cfg_.message_delay_s == 0.0);
+}
+
+bool FaultPlan::IsDown(Rank rank, std::uint64_t iteration) const {
+  for (const auto& c : cfg_.crashes) {
+    if (c.rank != rank) continue;
+    if (iteration < c.at_iteration) continue;
+    if (c.down_iterations == 0) return true;  // never recovers
+    if (iteration < c.at_iteration + c.down_iterations) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::CrashesAt(Rank rank, std::uint64_t iteration) const {
+  for (const auto& c : cfg_.crashes) {
+    if (c.rank == rank && c.at_iteration == iteration) return true;
+  }
+  return false;
+}
+
+std::optional<CrashSpec> FaultPlan::CrashAt(Rank rank,
+                                            std::uint64_t iteration) const {
+  for (const auto& c : cfg_.crashes) {
+    if (c.rank == rank && c.at_iteration == iteration) return c;
+  }
+  return std::nullopt;
+}
+
+bool FaultPlan::RecoversAt(Rank rank, std::uint64_t iteration) const {
+  for (const auto& c : cfg_.crashes) {
+    if (c.rank != rank || c.down_iterations == 0) continue;
+    if (iteration == c.at_iteration + c.down_iterations) return true;
+  }
+  return false;
+}
+
+std::optional<LeaderDeathSpec> FaultPlan::LeaderDeathAt(
+    NodeId node, std::uint64_t iteration) const {
+  for (const auto& l : cfg_.leader_deaths) {
+    if (l.node == node && l.at_iteration == iteration) return l;
+  }
+  return std::nullopt;
+}
+
+bool FaultPlan::DropsMessage(std::uint64_t iteration, std::uint64_t channel,
+                             Rank sender, std::uint32_t attempt) const {
+  if (cfg_.message_drop_probability == 0.0) return false;
+  // Same fork discipline as StragglerModel: a pure function of
+  // (seed, iteration, channel, sender, attempt) in that order.
+  Rng base(cfg_.seed ^ 0xFA17D207ULL);
+  Rng r = base.Fork(iteration).Fork(channel).Fork(sender).Fork(attempt);
+  return r.NextBool(cfg_.message_drop_probability);
+}
+
+VirtualTime FaultPlan::MessageDelay(std::uint64_t iteration,
+                                    std::uint64_t channel, Rank sender,
+                                    Rank receiver) const {
+  if (cfg_.message_delay_probability == 0.0 || cfg_.message_delay_s == 0.0) {
+    return 0.0;
+  }
+  Rng base(cfg_.seed ^ 0xDE1A7ULL);
+  Rng r = base.Fork(iteration).Fork(channel).Fork(sender).Fork(receiver);
+  return r.NextBool(cfg_.message_delay_probability) ? cfg_.message_delay_s
+                                                    : 0.0;
+}
+
+}  // namespace psra::simnet

@@ -1,0 +1,120 @@
+// Fault injection (deterministic, seeded).
+//
+// A FaultPlan is a schedule of failures layered on top of the virtual-time
+// simulation: worker crashes (with optional recovery after a fixed number of
+// iterations), leader deaths in the middle of a grouping round, and
+// transient message drops / delays on the wire. Every query is a pure
+// function of (seed, iteration, channel, rank, attempt) — the same plan
+// replayed against the same algorithm yields the same failures, so faulty
+// runs are as reproducible as fault-free ones (the property the async /
+// fault-tolerant ADMM literature calls out as hardest to debug without).
+//
+// A default-constructed plan is EMPTY: engines and collectives must take
+// exactly their fault-free code path when Empty() is true, which is what the
+// extended determinism test pins (DESIGN.md, "Fault model").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "simnet/cost_model.hpp"
+#include "simnet/topology.hpp"
+
+namespace psra::simnet {
+
+/// Worker `rank` dies at the start of iteration `at_iteration` (it performs
+/// no computation and joins no collective from then on) and comes back
+/// `down_iterations` later by restoring the last checkpoint. 0 means it
+/// never recovers.
+struct CrashSpec {
+  Rank rank = 0;
+  std::uint64_t at_iteration = 0;
+  std::uint64_t down_iterations = 0;
+};
+
+/// The elected leader of `node` dies in the MIDDLE of iteration
+/// `at_iteration`: after it reported to the Group Generator but before its
+/// group's allreduce ran. The GG withdraws the report (the remaining leaders
+/// regroup); the dead worker then stays down for `down_iterations` full
+/// iterations, during which its node re-elects a leader among survivors.
+struct LeaderDeathSpec {
+  NodeId node = 0;
+  std::uint64_t at_iteration = 0;
+  std::uint64_t down_iterations = 1;
+};
+
+struct FaultConfig {
+  std::vector<CrashSpec> crashes;
+  std::vector<LeaderDeathSpec> leader_deaths;
+
+  /// Probability that a given sender's transfer inside a collective is lost
+  /// (per member, per attempt). Lost transfers stall the whole collective
+  /// for `retry_timeout_s`, then everyone retries, at most `max_retries`
+  /// times; senders still failing on the final attempt are excluded and the
+  /// collective completes over the surviving member set.
+  double message_drop_probability = 0.0;
+  std::uint32_t max_retries = 3;
+  double retry_timeout_s = 1e-3;
+
+  /// Probability that a message is delayed (not lost) by `message_delay_s`
+  /// of extra virtual latency.
+  double message_delay_probability = 0.0;
+  double message_delay_s = 0.0;
+
+  /// Crash-restart recovery policy: engines snapshot worker state every
+  /// `checkpoint_every` iterations; a recovering worker pays
+  /// `restart_delay_s` (process respawn) plus the virtual transfer time of
+  /// its checkpointed vectors before rejoining.
+  std::uint64_t checkpoint_every = 10;
+  double restart_delay_s = 0.1;
+
+  std::uint64_t seed = 41;
+};
+
+class FaultPlan {
+ public:
+  /// Empty plan: no faults, engines take the fault-free path.
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultConfig& cfg);
+
+  const FaultConfig& config() const { return cfg_; }
+
+  /// True when the plan can never inject anything (no scheduled events and
+  /// zero probabilities). Engines key their fast path off this.
+  bool Empty() const;
+
+  // --- Crash schedule -----------------------------------------------------
+  /// Worker is down during `iteration` due to a CrashSpec (leader deaths are
+  /// tracked by the engine, which knows who was elected).
+  bool IsDown(Rank rank, std::uint64_t iteration) const;
+  /// Worker dies at the start of this iteration.
+  bool CrashesAt(Rank rank, std::uint64_t iteration) const;
+  /// The CrashSpec firing for this worker at the start of this iteration
+  /// (nullopt when none does). Engines use the spec's down_iterations to
+  /// schedule the recovery.
+  std::optional<CrashSpec> CrashAt(Rank rank, std::uint64_t iteration) const;
+  /// First iteration the worker is back up (recovery happens at its start).
+  bool RecoversAt(Rank rank, std::uint64_t iteration) const;
+  const std::vector<CrashSpec>& crashes() const { return cfg_.crashes; }
+
+  // --- Leader deaths ------------------------------------------------------
+  std::optional<LeaderDeathSpec> LeaderDeathAt(NodeId node,
+                                               std::uint64_t iteration) const;
+
+  // --- Message-level faults -----------------------------------------------
+  /// Transfer from group member with global rank `sender` is lost during
+  /// collective invocation `channel` of `iteration`, attempt `attempt`.
+  bool DropsMessage(std::uint64_t iteration, std::uint64_t channel,
+                    Rank sender, std::uint32_t attempt) const;
+
+  /// Extra virtual latency on the (sender -> receiver) message of collective
+  /// invocation `channel`; 0 when the message is not delayed.
+  VirtualTime MessageDelay(std::uint64_t iteration, std::uint64_t channel,
+                           Rank sender, Rank receiver) const;
+
+ private:
+  FaultConfig cfg_;
+};
+
+}  // namespace psra::simnet

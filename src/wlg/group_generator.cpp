@@ -59,6 +59,55 @@ std::optional<GroupFormation> GroupGenerator::EndCycle() {
   return out;
 }
 
+bool GroupGenerator::Withdraw(simnet::NodeId node) {
+  PSRA_REQUIRE(node < num_leaders_, "node id out of range");
+  const auto it = std::find(queue_.begin(), queue_.end(), node);
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+std::vector<GroupFormation> RunGroupingCycle(
+    GroupGenerator& gg, std::span<const LeaderReport> reports) {
+  // Replay reports and mid-round deaths in virtual-time order. Each event is
+  // (time, kind, node); reports sort before deaths at equal times so a
+  // leader that dies exactly when it reports still gets queued (and then
+  // withdrawn), matching the "report, then die" narrative of the model.
+  struct Event {
+    simnet::VirtualTime time;
+    int kind;  // 0 = report, 1 = death
+    simnet::NodeId node;
+    simnet::VirtualTime report_time;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * reports.size());
+  for (const auto& r : reports) {
+    events.push_back({r.time, 0, r.node, r.time});
+    if (r.dies_at) {
+      events.push_back({std::max(*r.dies_at, r.time), 1, r.node, r.time});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.node < b.node;
+                   });
+
+  std::vector<GroupFormation> groups;
+  for (const Event& e : events) {
+    if (e.kind == 0) {
+      if (auto g = gg.Report(e.node, e.report_time)) {
+        groups.push_back(std::move(*g));
+      }
+    } else {
+      (void)gg.Withdraw(e.node);
+    }
+  }
+  if (auto g = gg.EndCycle()) groups.push_back(std::move(*g));
+  return groups;
+}
+
 std::vector<GroupFormation> RunGroupingCycle(
     GroupGenerator& gg, const std::vector<simnet::VirtualTime>& report_times) {
   PSRA_REQUIRE(report_times.size() == gg.num_leaders(),

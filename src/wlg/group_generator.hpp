@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "simnet/cost_model.hpp"
@@ -50,6 +51,13 @@ class GroupGenerator {
   /// the queue is empty. Resets the cycle either way.
   std::optional<GroupFormation> EndCycle();
 
+  /// Leader of `node` died after reporting but before its group formed: the
+  /// GG drops it from the buffer queue, so later reporters take its place
+  /// (the regrouping path of the fault model). Returns false when the node
+  /// is not queued — its group already formed, and the death must be handled
+  /// downstream by the collective layer.
+  bool Withdraw(simnet::NodeId node);
+
   std::size_t QueueDepth() const { return queue_.size(); }
 
  private:
@@ -65,5 +73,22 @@ class GroupGenerator {
 /// time, returning all formed groups (deterministic: ties broken by node id).
 std::vector<GroupFormation> RunGroupingCycle(
     GroupGenerator& gg, const std::vector<simnet::VirtualTime>& report_times);
+
+/// One leader's report in a faulty cycle. `dies_at`, when set, is the
+/// virtual time the leader dies mid-round: if it dies while still queued the
+/// GG withdraws it (regrouping); if its group already formed the formation
+/// is returned as-is and the caller excludes the dead member downstream.
+struct LeaderReport {
+  simnet::NodeId node = 0;
+  simnet::VirtualTime time = 0.0;
+  std::optional<simnet::VirtualTime> dies_at;
+};
+
+/// Fault-aware grouping cycle over a SUBSET of leaders (dead nodes simply do
+/// not report). Report and death events are replayed in virtual-time order
+/// (ties: reports first, then by node id), so the regrouped memberships are
+/// deterministic.
+std::vector<GroupFormation> RunGroupingCycle(
+    GroupGenerator& gg, std::span<const LeaderReport> reports);
 
 }  // namespace psra::wlg

@@ -29,4 +29,14 @@ simnet::Rank ElectLeader(const simnet::Topology& topo,
   throw InvalidArgument("unknown leader policy");
 }
 
+simnet::Rank ReElectLeader(const simnet::Topology& topo,
+                           std::span<const simnet::Rank> alive_ranks,
+                           LeaderPolicy policy, std::uint64_t seed,
+                           std::uint64_t epoch) {
+  // Salting the seed (instead of adding a parameter to ElectLeader) keeps
+  // the original election — and therefore every existing trace — unchanged.
+  return ElectLeader(topo, alive_ranks, policy,
+                     seed ^ (0x5EADE1EC7ULL + epoch));
+}
+
 }  // namespace psra::wlg

@@ -25,4 +25,13 @@ simnet::Rank ElectLeader(const simnet::Topology& topo,
                          LeaderPolicy policy = LeaderPolicy::kLowestRank,
                          std::uint64_t seed = 0);
 
+/// Re-election after a leader death: elects among the SURVIVING workers of
+/// the node. `epoch` (e.g. the iteration of the death) salts the seeded
+/// policy so successive re-elections on one node can rotate through
+/// candidates instead of repeating the original pick.
+simnet::Rank ReElectLeader(const simnet::Topology& topo,
+                           std::span<const simnet::Rank> alive_ranks,
+                           LeaderPolicy policy, std::uint64_t seed,
+                           std::uint64_t epoch);
+
 }  // namespace psra::wlg

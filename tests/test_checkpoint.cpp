@@ -104,5 +104,113 @@ TEST(Checkpoint, FromRunResultScoresIdentically) {
   EXPECT_DOUBLE_EQ(solver::Accuracy(p.test, loaded.z), res.final_accuracy);
 }
 
+// ------------------------------------------------------- run checkpoints --
+
+struct RunCkptFixture {
+  RunCkptFixture()
+      : problem(BuildProblem(
+            [] {
+              data::SyntheticSpec spec;
+              spec.num_features = 40;
+              spec.num_train = 60;
+              spec.num_test = 20;
+              spec.mean_row_nnz = 6.0;
+              spec.seed = 5;
+              return spec;
+            }(),
+            3)),
+        ws(&problem, &options) {}
+
+  RunOptions options;
+  ConsensusProblem problem;
+  WorkerSet ws;
+};
+
+TEST(RunCheckpointTest, RoundTripPreservesEveryWorker) {
+  RunCkptFixture f;
+  f.ws.x(1)[0] = -2.5;
+  f.ws.y(2)[3] = 1e-12;
+  const std::vector<simnet::Rank> everyone{0, 1, 2};
+
+  RunCheckpoint ckpt;
+  CaptureRunCheckpoint(f.ws, 7, everyone, ckpt);
+  EXPECT_EQ(ckpt.iteration, 7u);
+  ASSERT_EQ(ckpt.workers.size(), 3u);
+
+  std::ostringstream os;
+  WriteRunCheckpoint(ckpt, os);
+  std::istringstream is(os.str());
+  const auto back = ReadRunCheckpoint(is);
+  EXPECT_EQ(back.iteration, ckpt.iteration);
+  EXPECT_DOUBLE_EQ(back.rho, ckpt.rho);
+  ASSERT_EQ(back.workers.size(), ckpt.workers.size());
+  for (std::size_t i = 0; i < ckpt.workers.size(); ++i) {
+    EXPECT_EQ(back.workers[i].x, ckpt.workers[i].x) << "worker " << i;
+    EXPECT_EQ(back.workers[i].y, ckpt.workers[i].y) << "worker " << i;
+    EXPECT_EQ(back.workers[i].z, ckpt.workers[i].z) << "worker " << i;
+  }
+}
+
+TEST(RunCheckpointTest, SubsetCaptureLeavesOtherSlotsUntouched) {
+  RunCkptFixture f;
+  const std::vector<simnet::Rank> everyone{0, 1, 2};
+  RunCheckpoint ckpt;
+  f.ws.x(0)[0] = 11.0;
+  CaptureRunCheckpoint(f.ws, 1, everyone, ckpt);
+  const auto worker0_at_1 = ckpt.workers[0].x;
+
+  // Worker 0 "crashes": its live state moves on, but the next capture only
+  // covers the survivors, so its slot must keep the iteration-1 snapshot.
+  f.ws.x(0)[0] = 99.0;
+  f.ws.x(1)[0] = 42.0;
+  const std::vector<simnet::Rank> survivors{1, 2};
+  CaptureRunCheckpoint(f.ws, 2, survivors, ckpt);
+  EXPECT_EQ(ckpt.iteration, 2u);
+  EXPECT_EQ(ckpt.workers[0].x, worker0_at_1);
+  EXPECT_DOUBLE_EQ(ckpt.workers[1].x[0], 42.0);
+}
+
+TEST(RunCheckpointTest, RestoreWorkerRecomputesDerivedState) {
+  RunCkptFixture f;
+  const std::vector<simnet::Rank> everyone{0, 1, 2};
+  RunCheckpoint ckpt;
+  CaptureRunCheckpoint(f.ws, 1, everyone, ckpt);
+
+  std::vector<double> flops(3, 0.0);
+  f.ws.XWStepAll(flops);  // moves x and w away from the snapshot
+  ASSERT_NE(f.ws.x(1), ckpt.workers[1].x);
+
+  const auto w_before = f.ws.w(1);
+  f.ws.RestoreWorker(1, ckpt.workers[1].x, ckpt.workers[1].y,
+                     ckpt.workers[1].z);
+  EXPECT_EQ(f.ws.x(1), ckpt.workers[1].x);
+  EXPECT_EQ(f.ws.y(1), ckpt.workers[1].y);
+  EXPECT_EQ(f.ws.z(1), ckpt.workers[1].z);
+  EXPECT_NE(f.ws.w(1), w_before);  // w recomputed from the restored x/y
+}
+
+TEST(RunCheckpointTest, RejectsMalformedInput) {
+  {
+    std::istringstream is("not a run ckpt\n");
+    EXPECT_THROW(ReadRunCheckpoint(is), InvalidArgument);
+  }
+  {
+    // Truncated: promises 2 workers, delivers 1.
+    std::istringstream is(
+        "psra-run-ckpt v1\niteration 3\nrho 1\nworkers 2\ndim 2\n"
+        "x 0 0\ny 0 0\nz 0 0\n");
+    EXPECT_THROW(ReadRunCheckpoint(is), InvalidArgument);
+  }
+  {
+    RunCheckpoint empty;
+    std::ostringstream os;
+    EXPECT_THROW(WriteRunCheckpoint(empty, os), InvalidArgument);
+  }
+}
+
+TEST(RunCheckpointTest, MissingFileThrowsIoError) {
+  EXPECT_THROW(ReadRunCheckpointFile("/nonexistent/run-ckpt"), IoError);
+}
+
 }  // namespace
 }  // namespace psra::admm

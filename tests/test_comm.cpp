@@ -17,6 +17,7 @@
 #include "comm/collective.hpp"
 #include "comm/group.hpp"
 #include "comm/intranode.hpp"
+#include "simnet/fault.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
 
@@ -565,6 +566,182 @@ TEST(IntraNode, LeaderStartGatesReduce) {
   std::vector<VirtualTime> starts{50.0, 0.0};
   const auto res = ReduceToLeader(g, 0, inputs, starts);
   EXPECT_GE(res.leader_ready, 50.0);
+}
+
+// ------------------------------------------------ fault-tolerant reduce ----
+
+std::vector<DenseVector> RampInputs(std::size_t n, std::size_t dim) {
+  std::vector<DenseVector> inputs(n, DenseVector(dim, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < dim; ++k) {
+      inputs[i][k] = static_cast<double>(i + 1) + 0.25 * static_cast<double>(k);
+    }
+  }
+  return inputs;
+}
+
+TEST(FaultyReduce, NullOrEmptyPlanIsExactlyThePlainPath) {
+  const Fixture f(4);
+  const auto alg = MakeAllreduce(AllreduceKind::kPsr);
+  const auto inputs = RampInputs(4, 6);
+  const auto starts = ZeroStarts(4);
+
+  AllreduceScratch scratch;
+  DenseVector plain_sum;
+  CommStats plain_stats;
+  alg->ReduceDense(f.group, inputs, starts, scratch, plain_sum, plain_stats);
+
+  FaultContext fc;  // null plan
+  DenseVector sum;
+  CommStats stats;
+  alg->ReduceDenseFaulty(f.group, inputs, starts, fc, scratch, sum, stats);
+  EXPECT_EQ(sum, plain_sum);
+  EXPECT_EQ(stats, plain_stats);
+  EXPECT_TRUE(fc.excluded.empty());
+  EXPECT_EQ(fc.dropped_messages, 0u);
+
+  const simnet::FaultPlan empty_plan;  // empty plan behaves the same
+  fc.plan = &empty_plan;
+  alg->ReduceDenseFaulty(f.group, inputs, starts, fc, scratch, sum, stats);
+  EXPECT_EQ(sum, plain_sum);
+  EXPECT_EQ(stats, plain_stats);
+}
+
+TEST(FaultyReduce, ResolvedDropsKeepTheSumAndDelayTheFinish) {
+  const Fixture f(4);
+  const auto alg = MakeAllreduce(AllreduceKind::kPsr);
+  const auto inputs = RampInputs(4, 6);
+  const auto starts = ZeroStarts(4);
+
+  AllreduceScratch scratch;
+  DenseVector plain_sum;
+  CommStats plain_stats;
+  alg->ReduceDense(f.group, inputs, starts, scratch, plain_sum, plain_stats);
+
+  simnet::FaultConfig cfg;
+  cfg.message_drop_probability = 0.4;
+  cfg.max_retries = 32;  // effectively always resolves
+  cfg.retry_timeout_s = 1.0;
+  const simnet::FaultPlan plan(cfg);
+  FaultContext fc;
+  fc.plan = &plan;
+  fc.iteration = 1;
+
+  // Scan iterations until one actually draws a drop on channel 0.
+  DenseVector sum;
+  CommStats stats;
+  bool saw_drop = false;
+  for (std::uint64_t it = 1; it <= 32 && !saw_drop; ++it) {
+    fc.iteration = it;
+    fc.channel = 0;
+    const std::size_t before = fc.dropped_messages;
+    alg->ReduceDenseFaulty(f.group, inputs, starts, fc, scratch, sum, stats);
+    ASSERT_TRUE(fc.excluded.empty());
+    EXPECT_EQ(sum, plain_sum);  // retries leave the arithmetic untouched
+    if (fc.dropped_messages > before) {
+      saw_drop = true;
+      // Every member observed at least one full retry timeout.
+      for (GroupRank g = 0; g < f.group.size(); ++g) {
+        EXPECT_GE(stats.finish_times[g],
+                  plain_stats.finish_times[g] + cfg.retry_timeout_s);
+      }
+      EXPECT_GT(fc.retries, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_drop) << "p=0.4 never dropped in 32 iterations";
+}
+
+TEST(FaultyReduce, ExhaustedRetriesDegradeToSurvivors) {
+  const Fixture f(4);
+  const auto alg = MakeAllreduce(AllreduceKind::kPsr);
+  const auto inputs = RampInputs(4, 6);
+  const auto starts = ZeroStarts(4);
+
+  simnet::FaultConfig cfg;
+  cfg.message_drop_probability = 0.6;
+  cfg.max_retries = 0;  // first drop is final: degrade immediately
+  cfg.retry_timeout_s = 1.0;
+  const simnet::FaultPlan plan(cfg);
+  FaultContext fc;
+  fc.plan = &plan;
+
+  AllreduceScratch scratch;
+  DenseVector sum;
+  CommStats stats;
+  bool saw_exclusion = false;
+  for (std::uint64_t it = 1; it <= 32 && !saw_exclusion; ++it) {
+    fc.iteration = it;
+    fc.channel = 0;
+    alg->ReduceDenseFaulty(f.group, inputs, starts, fc, scratch, sum, stats);
+    if (fc.excluded.empty() || fc.excluded.size() >= f.group.size()) continue;
+    saw_exclusion = true;
+
+    // The sum covers exactly the survivors.
+    DenseVector expect(inputs[0].size(), 0.0);
+    std::size_t next_ex = 0;
+    for (GroupRank g = 0; g < f.group.size(); ++g) {
+      if (next_ex < fc.excluded.size() && fc.excluded[next_ex] == g) {
+        ++next_ex;
+        // Excluded members finish at their timeout-adjusted start, and the
+        // collective still reports a finish time for them.
+        EXPECT_GE(stats.finish_times[g], cfg.retry_timeout_s);
+        continue;
+      }
+      for (std::size_t k = 0; k < expect.size(); ++k) {
+        expect[k] += inputs[g][k];
+      }
+    }
+    ASSERT_EQ(sum.size(), expect.size());
+    for (std::size_t k = 0; k < expect.size(); ++k) {
+      EXPECT_DOUBLE_EQ(sum[k], expect[k]) << "component " << k;
+    }
+    EXPECT_EQ(stats.finish_times.size(), f.group.size());
+  }
+  EXPECT_TRUE(saw_exclusion) << "p=0.6 with no retries never excluded anyone";
+}
+
+TEST(FaultyReduce, SparseAndDenseFaultyPathsAgree) {
+  const Fixture f(4);
+  const auto alg = MakeAllreduce(AllreduceKind::kPsr);
+  const auto dense_inputs = RampInputs(4, 6);
+  std::vector<SparseVector> sparse_inputs(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    sparse_inputs[i].AssignFromDense(dense_inputs[i]);
+  }
+  const auto starts = ZeroStarts(4);
+
+  simnet::FaultConfig cfg;
+  cfg.message_drop_probability = 0.5;
+  cfg.max_retries = 1;
+  const simnet::FaultPlan plan(cfg);
+
+  AllreduceScratch scratch;
+  for (std::uint64_t it = 1; it <= 8; ++it) {
+    FaultContext fd;
+    fd.plan = &plan;
+    fd.iteration = it;
+    DenseVector dsum;
+    CommStats dstats;
+    alg->ReduceDenseFaulty(f.group, dense_inputs, starts, fd, scratch, dsum,
+                           dstats);
+
+    FaultContext fs;
+    fs.plan = &plan;
+    fs.iteration = it;
+    SparseVector ssum;
+    CommStats sstats;
+    alg->ReduceSparseFaulty(f.group, sparse_inputs, starts, fs, scratch, ssum,
+                            sstats);
+
+    // Identical fault draws -> identical exclusions and identical sums.
+    EXPECT_EQ(fd.excluded, fs.excluded) << "iteration " << it;
+    DenseVector ssum_dense;
+    ssum.ToDense(ssum_dense);
+    ASSERT_EQ(ssum_dense.size(), dsum.size());
+    for (std::size_t k = 0; k < dsum.size(); ++k) {
+      EXPECT_DOUBLE_EQ(ssum_dense[k], dsum[k]) << "component " << k;
+    }
+  }
 }
 
 }  // namespace

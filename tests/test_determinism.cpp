@@ -71,6 +71,7 @@ void ExpectIdenticalRuns(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.messages_sent, b.messages_sent);
   EXPECT_EQ(a.iterations_run, b.iterations_run);
   EXPECT_EQ(a.stopped_early, b.stopped_early);
+  EXPECT_EQ(a.faults, b.faults);
 
   // Full trace.
   ASSERT_EQ(a.trace.size(), b.trace.size());
@@ -107,6 +108,45 @@ TEST_P(PoolDeterminism, SerialAndPooledRunsAreBitwiseIdentical) {
 
   // A second run on the same pool must also match: the workspaces the run
   // recycles internally may not leak state between runs.
+  ExpectIdenticalRuns(serial, RunWithPool(problem, cfg, &pool8));
+}
+
+TEST_P(PoolDeterminism, EmptyFaultPlanKnobsArePureNoOps) {
+  // Tuning fault knobs that schedule nothing (seed, retry policy,
+  // checkpoint cadence) must leave runs BITWISE identical: an empty
+  // FaultPlan takes exactly the fault-free code path.
+  const auto problem = BuildProblem(SmallSpec(), 8);
+  const auto cfg = SmallCluster(GetParam());
+  const RunResult base = RunWithPool(problem, cfg, nullptr);
+
+  auto tweaked = cfg;
+  tweaked.cluster.fault.seed = 9999;
+  tweaked.cluster.fault.checkpoint_every = 2;
+  tweaked.cluster.fault.max_retries = 11;
+  tweaked.cluster.fault.retry_timeout_s = 0.5;
+  tweaked.cluster.fault.restart_delay_s = 7.0;
+  ExpectIdenticalRuns(base, RunWithPool(problem, tweaked, nullptr));
+  EXPECT_EQ(base.faults, FaultStats{});
+}
+
+TEST_P(PoolDeterminism, FaultyRunsAreBitwiseIdenticalAcrossPools) {
+  // The determinism contract extends to fault injection: crashes, drops and
+  // recoveries are scheduled in virtual time, so host threading must not
+  // move a single one of them.
+  const auto problem = BuildProblem(SmallSpec(), 8);
+  auto cfg = SmallCluster(GetParam());
+  cfg.cluster.fault.crashes.push_back({/*rank=*/1, /*at_iteration=*/3,
+                                       /*down_iterations=*/2});
+  cfg.cluster.fault.message_drop_probability = 0.1;
+  cfg.cluster.fault.checkpoint_every = 2;
+
+  const RunResult serial = RunWithPool(problem, cfg, nullptr);
+  EXPECT_EQ(serial.faults.worker_crashes, 1u);
+  EXPECT_EQ(serial.faults.recoveries, 1u);
+
+  engine::ThreadPool pool8(8);
+  pool8.ForceParallelDispatchForTesting();
+  ExpectIdenticalRuns(serial, RunWithPool(problem, cfg, &pool8));
   ExpectIdenticalRuns(serial, RunWithPool(problem, cfg, &pool8));
 }
 

@@ -6,6 +6,7 @@
 
 #include "simnet/cost_model.hpp"
 #include "simnet/event_queue.hpp"
+#include "simnet/fault.hpp"
 #include "simnet/straggler.hpp"
 #include "simnet/topology.hpp"
 #include "support/status.hpp"
@@ -227,6 +228,126 @@ TEST(Straggler, RejectsBadConfig) {
   cfg.slow_factor_min = 3.0;
   cfg.slow_factor_max = 2.0;
   EXPECT_THROW(StragglerModel(t, cfg), InvalidArgument);
+}
+
+// ----------------------------------------------------------------- fault ----
+
+TEST(FaultPlan, DefaultConstructedIsEmpty) {
+  EXPECT_TRUE(FaultPlan().Empty());
+  EXPECT_TRUE(FaultPlan(FaultConfig{}).Empty());
+  // Non-scheduling knobs do not make a plan non-empty.
+  FaultConfig cfg;
+  cfg.seed = 777;
+  cfg.max_retries = 9;
+  cfg.checkpoint_every = 2;
+  EXPECT_TRUE(FaultPlan(cfg).Empty());
+  // Delay probability without a delay duration schedules nothing.
+  cfg.message_delay_probability = 0.5;
+  EXPECT_TRUE(FaultPlan(cfg).Empty());
+  cfg.message_delay_s = 1e-3;
+  EXPECT_FALSE(FaultPlan(cfg).Empty());
+}
+
+TEST(FaultPlan, CrashWindowQueries) {
+  FaultConfig cfg;
+  cfg.crashes.push_back({/*rank=*/2, /*at_iteration=*/5,
+                         /*down_iterations=*/3});
+  cfg.crashes.push_back({/*rank=*/4, /*at_iteration=*/2,
+                         /*down_iterations=*/0});  // never recovers
+  const FaultPlan plan(cfg);
+  EXPECT_FALSE(plan.Empty());
+
+  EXPECT_FALSE(plan.IsDown(2, 4));
+  EXPECT_TRUE(plan.IsDown(2, 5));
+  EXPECT_TRUE(plan.IsDown(2, 7));
+  EXPECT_FALSE(plan.IsDown(2, 8));
+  EXPECT_TRUE(plan.CrashesAt(2, 5));
+  EXPECT_FALSE(plan.CrashesAt(2, 6));
+  ASSERT_TRUE(plan.CrashAt(2, 5).has_value());
+  EXPECT_EQ(plan.CrashAt(2, 5)->down_iterations, 3u);
+  EXPECT_FALSE(plan.CrashAt(2, 4).has_value());
+  EXPECT_TRUE(plan.RecoversAt(2, 8));
+  EXPECT_FALSE(plan.RecoversAt(2, 7));
+
+  EXPECT_TRUE(plan.IsDown(4, 2));
+  EXPECT_TRUE(plan.IsDown(4, 1000));  // permanent
+  for (std::uint64_t it = 1; it < 20; ++it) EXPECT_FALSE(plan.RecoversAt(4, it));
+  EXPECT_FALSE(plan.IsDown(0, 5));  // other ranks untouched
+}
+
+TEST(FaultPlan, LeaderDeathLookup) {
+  FaultConfig cfg;
+  cfg.leader_deaths.push_back({/*node=*/1, /*at_iteration=*/7,
+                               /*down_iterations=*/2});
+  const FaultPlan plan(cfg);
+  ASSERT_TRUE(plan.LeaderDeathAt(1, 7).has_value());
+  EXPECT_EQ(plan.LeaderDeathAt(1, 7)->down_iterations, 2u);
+  EXPECT_FALSE(plan.LeaderDeathAt(1, 6).has_value());
+  EXPECT_FALSE(plan.LeaderDeathAt(0, 7).has_value());
+}
+
+TEST(FaultPlan, DropCoinsAreDeterministicAndPerAttempt) {
+  FaultConfig cfg;
+  cfg.message_drop_probability = 0.5;
+  const FaultPlan a(cfg), b(cfg);
+
+  std::size_t drops = 0, attempt_flips = 0;
+  for (std::uint64_t it = 1; it <= 40; ++it) {
+    for (Rank r = 0; r < 4; ++r) {
+      const bool da = a.DropsMessage(it, 0, r, 0);
+      EXPECT_EQ(da, b.DropsMessage(it, 0, r, 0));  // pure function of args
+      if (da) ++drops;
+      if (da != a.DropsMessage(it, 0, r, 1)) ++attempt_flips;
+    }
+  }
+  // p=0.5 over 160 coins: both outcomes occur, and the attempt number
+  // re-randomizes the coin (otherwise retries could never succeed).
+  EXPECT_GT(drops, 40u);
+  EXPECT_LT(drops, 120u);
+  EXPECT_GT(attempt_flips, 0u);
+
+  FaultConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  const FaultPlan c(other);
+  std::size_t diff = 0;
+  for (std::uint64_t it = 1; it <= 40; ++it) {
+    if (a.DropsMessage(it, 0, 0, 0) != c.DropsMessage(it, 0, 0, 0)) ++diff;
+  }
+  EXPECT_GT(diff, 0u);  // the seed matters
+}
+
+TEST(FaultPlan, MessageDelayIsAllOrNothing) {
+  FaultConfig cfg;
+  cfg.message_delay_probability = 0.4;
+  cfg.message_delay_s = 2.5e-3;
+  const FaultPlan plan(cfg);
+  std::size_t delayed = 0, total = 0;
+  for (std::uint64_t it = 1; it <= 50; ++it) {
+    for (Rank s = 0; s < 3; ++s) {
+      const VirtualTime d = plan.MessageDelay(it, 1, s, 0);
+      EXPECT_TRUE(d == 0.0 || d == cfg.message_delay_s);
+      if (d > 0.0) ++delayed;
+      ++total;
+    }
+  }
+  EXPECT_GT(delayed, 0u);
+  EXPECT_LT(delayed, total);
+}
+
+TEST(FaultPlan, RejectsBadConfig) {
+  FaultConfig cfg;
+  cfg.message_drop_probability = 1.0;  // would retry forever
+  EXPECT_THROW(FaultPlan{cfg}, InvalidArgument);
+  cfg.message_drop_probability = 0.2;
+  cfg.retry_timeout_s = 0.0;
+  EXPECT_THROW(FaultPlan{cfg}, InvalidArgument);
+  cfg.retry_timeout_s = 1e-3;
+  cfg.checkpoint_every = 0;
+  EXPECT_THROW(FaultPlan{cfg}, InvalidArgument);
+  cfg.checkpoint_every = 10;
+  cfg.crashes.push_back({/*rank=*/0, /*at_iteration=*/0,
+                         /*down_iterations=*/1});  // iterations are 1-based
+  EXPECT_THROW(FaultPlan{cfg}, InvalidArgument);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // Tests for leader election and the Group Generator (paper Section 4.3).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <set>
 
 #include "support/status.hpp"
@@ -160,6 +162,101 @@ TEST(GroupGenerator, EveryNodeAppearsExactlyOncePerCycle) {
   }
   EXPECT_EQ(seen.size(), 8u);
   for (NodeId n = 0; n < 8; ++n) EXPECT_EQ(seen.count(n), 1u);
+}
+
+// --------------------------------------------------- faults / regrouping ----
+
+TEST(Leader, ReElectionExcludesTheDeadLeader) {
+  const Topology t(2, 4);
+  const auto ranks = t.RanksOnNode(1);  // {4,5,6,7}; original leader 4
+  std::vector<Rank> alive{5, 6, 7};
+  const Rank relected =
+      ReElectLeader(t, alive, LeaderPolicy::kLowestRank, /*seed=*/0,
+                    /*epoch=*/3);
+  EXPECT_EQ(relected, 5u);
+  // Seeded policy: deterministic for a fixed epoch, salted across epochs.
+  const Rank e1 = ReElectLeader(t, alive, LeaderPolicy::kSeededRandom, 9, 1);
+  EXPECT_EQ(e1, ReElectLeader(t, alive, LeaderPolicy::kSeededRandom, 9, 1));
+  EXPECT_NE(std::find(alive.begin(), alive.end(), e1), alive.end());
+  bool rotated = false;
+  for (std::uint64_t epoch = 2; epoch < 12 && !rotated; ++epoch) {
+    rotated = ReElectLeader(t, alive, LeaderPolicy::kSeededRandom, 9,
+                            epoch) != e1;
+  }
+  EXPECT_TRUE(rotated) << "epoch salt never rotated the seeded pick";
+  (void)ranks;
+}
+
+TEST(GroupGenerator, WithdrawRemovesQueuedReporter) {
+  GroupGenerator gg(2, 4);
+  EXPECT_FALSE(gg.Report(0, 1.0).has_value());
+  EXPECT_EQ(gg.QueueDepth(), 1u);
+  EXPECT_TRUE(gg.Withdraw(0));
+  EXPECT_EQ(gg.QueueDepth(), 0u);
+  EXPECT_FALSE(gg.Withdraw(0));  // already gone
+
+  // The withdrawn slot is refilled by later reporters.
+  EXPECT_FALSE(gg.Report(1, 2.0).has_value());
+  const auto formed = gg.Report(2, 3.0);
+  ASSERT_TRUE(formed.has_value());
+  EXPECT_EQ(formed->members, (std::vector<NodeId>{1, 2}));
+  EXPECT_DOUBLE_EQ(formed->formed_at, 3.0);
+}
+
+TEST(GroupGenerator, WithdrawAfterFormationReturnsFalse) {
+  GroupGenerator gg(2, 4);
+  gg.Report(0, 1.0);
+  const auto formed = gg.Report(1, 2.0);
+  ASSERT_TRUE(formed.has_value());
+  EXPECT_FALSE(gg.Withdraw(0));  // its group already formed
+}
+
+TEST(GroupGenerator, FaultyCycleRegroupsAroundLeaderDeath) {
+  // Node 0 reports first and dies immediately after: the GG withdraws it,
+  // so nodes 1+2 pair up and node 3 forms the residual group.
+  GroupGenerator gg(2, 4);
+  std::vector<LeaderReport> reports{
+      {.node = 0, .time = 1.0, .dies_at = 1.0},
+      {.node = 1, .time = 2.0, .dies_at = std::nullopt},
+      {.node = 2, .time = 3.0, .dies_at = std::nullopt},
+      {.node = 3, .time = 4.0, .dies_at = std::nullopt},
+  };
+  const auto formed = RunGroupingCycle(gg, reports);
+  ASSERT_EQ(formed.size(), 2u);
+  EXPECT_EQ(formed[0].members, (std::vector<NodeId>{1, 2}));
+  EXPECT_DOUBLE_EQ(formed[0].formed_at, 3.0);
+  EXPECT_EQ(formed[1].members, (std::vector<NodeId>{3}));
+}
+
+TEST(GroupGenerator, FaultyCycleKeepsGroupsFormedBeforeTheDeath) {
+  // Node 0's group forms at t=2; its death at t=5 cannot unform it — the
+  // caller handles the dead member downstream.
+  GroupGenerator gg(2, 4);
+  std::vector<LeaderReport> reports{
+      {.node = 0, .time = 1.0, .dies_at = 5.0},
+      {.node = 1, .time = 2.0, .dies_at = std::nullopt},
+      {.node = 2, .time = 6.0, .dies_at = std::nullopt},
+      {.node = 3, .time = 7.0, .dies_at = std::nullopt},
+  };
+  const auto formed = RunGroupingCycle(gg, reports);
+  ASSERT_EQ(formed.size(), 2u);
+  EXPECT_EQ(formed[0].members, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(formed[1].members, (std::vector<NodeId>{2, 3}));
+}
+
+TEST(GroupGenerator, FaultyCycleWithSubsetOfLeaders) {
+  // Dead nodes simply do not report; the survivors still group and the
+  // residual flushes at end of cycle.
+  GroupGenerator gg(2, 4);
+  std::vector<LeaderReport> reports{
+      {.node = 2, .time = 1.5, .dies_at = std::nullopt},
+      {.node = 0, .time = 2.5, .dies_at = std::nullopt},
+      {.node = 3, .time = 3.5, .dies_at = std::nullopt},
+  };
+  const auto formed = RunGroupingCycle(gg, reports);
+  ASSERT_EQ(formed.size(), 2u);
+  EXPECT_EQ(formed[0].members, (std::vector<NodeId>{2, 0}));
+  EXPECT_EQ(formed[1].members, (std::vector<NodeId>{3}));
 }
 
 }  // namespace
