@@ -5,7 +5,10 @@
 // communication-cost reduction of PSRA-HGADMM vs ADMMLib.
 #include <iostream>
 
+#include "admm/artifacts.hpp"
+#include "admm/psra_hgadmm.hpp"
 #include "bench_util.hpp"
+#include "obs/obs.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -23,6 +26,8 @@ int main(int argc, char** argv) {
   cli.AddInt("iterations", &iterations, "ADMM iterations (paper: 100)");
   cli.AddString("datasets", &datasets_csv, "datasets to run");
   cli.AddDouble("scale", &scale, "profile scale (0 = per-dataset default)");
+  admm::RunArtifactPaths artifacts;
+  admm::AddArtifactFlags(cli, &artifacts);
   if (!cli.Parse(argc, argv)) return 0;
 
   double total_comm_psra = 0.0, total_comm_admmlib = 0.0;
@@ -95,5 +100,62 @@ int main(int argc, char** argv) {
                "\ncount; ADMMLib's stays roughly flat; AD-ADMM's grows."
                "\nAccuracy decreases with cluster size, least for"
                " PSRA-HGADMM.\n";
+
+  // ---- Observability artifacts (--trace-out/--metrics-out/--csv-out) -----
+  // One dedicated instrumented pair of runs on the smallest configured
+  // cluster / first dataset: hierarchical PSRA-HGADMM over the PSR
+  // collective (traced) and the identical run over Ring (metrics only).
+  // Hierarchical (full leader barrier) rather than dynamic grouping, so the
+  // inter-node collective spans all N leaders — dynamic grouping tends to
+  // pair nodes, and every allreduce degenerates to the same exchange at
+  // group size 2. Both registries merge into one metrics.json, so the
+  // per-collective bytes-on-wire counters (comm.allreduce.psr.bytes vs
+  // comm.allreduce.ring.bytes) expose the paper's eq. 11-16 traffic
+  // ordering directly.
+  if (artifacts.any()) {
+    const auto nodes = static_cast<std::uint32_t>(
+        ParseInt(bench::ParseList(nodes_csv).front()));
+    const std::string dataset = bench::ParseList(datasets_csv).front();
+    admm::ClusterConfig cluster;
+    cluster.num_nodes = nodes;
+    cluster.workers_per_node = static_cast<std::uint32_t>(wpn);
+    const auto problem =
+        bench::MakeProblem(dataset, scale, cluster.world_size());
+    admm::RunOptions opt;
+    opt.max_iterations = static_cast<std::uint64_t>(iterations);
+    opt.tron = bench::BenchTron();
+    opt.eval_every = 1;  // per-iteration CSV
+
+    admm::PsraConfig cfg;
+    cfg.cluster = cluster;
+    cfg.grouping = admm::GroupingMode::kHierarchical;
+
+    obs::ObsContext obs_psr;
+    opt.obs = &obs_psr;
+    cfg.allreduce = comm::AllreduceKind::kPsr;
+    const auto res = admm::PsraHgAdmm(cfg).Run(problem, opt);
+
+    obs::ObsContext obs_ring;
+    obs_ring.tracing = false;  // metrics only; the trace comes from PSR
+    opt.obs = &obs_ring;
+    cfg.allreduce = comm::AllreduceKind::kRing;
+    admm::PsraHgAdmm(cfg).Run(problem, opt);
+    obs_psr.metrics.MergeFrom(obs_ring.metrics);
+
+    admm::WriteRunArtifacts(artifacts, &obs_psr.tracer, &obs_psr.metrics,
+                            &res);
+    std::cout << "\nartifacts (psra-hgadmm psr+ring, " << dataset << ", "
+              << nodes << " nodes):";
+    if (!artifacts.trace_json.empty()) {
+      std::cout << " trace=" << artifacts.trace_json;
+    }
+    if (!artifacts.metrics_json.empty()) {
+      std::cout << " metrics=" << artifacts.metrics_json;
+    }
+    if (!artifacts.trace_csv.empty()) {
+      std::cout << " csv=" << artifacts.trace_csv;
+    }
+    std::cout << "\n";
+  }
   return 0;
 }

@@ -2,11 +2,14 @@
 // on a simulated 4-node x 4-worker cluster and watch it converge.
 //
 //   ./quickstart [--nodes 4] [--workers-per-node 4] [--iterations 30]
+//                [--trace-out trace.json] [--metrics-out metrics.json]
 #include <iostream>
 
+#include "admm/artifacts.hpp"
 #include "admm/problem.hpp"
 #include "admm/psra_hgadmm.hpp"
 #include "admm/reference.hpp"
+#include "obs/obs.hpp"
 #include "support/cli.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -19,6 +22,8 @@ int main(int argc, char** argv) {
   cli.AddInt("nodes", &nodes, "simulated physical nodes");
   cli.AddInt("workers-per-node", &wpn, "workers per node");
   cli.AddInt("iterations", &iterations, "ADMM iterations");
+  admm::RunArtifactPaths artifacts;
+  admm::AddArtifactFlags(cli, &artifacts);
   if (!cli.Parse(argc, argv)) return 0;
 
   // 1. Build a problem: synthetic sparse binary classification data,
@@ -46,6 +51,11 @@ int main(int argc, char** argv) {
 
   admm::RunOptions opt;
   opt.max_iterations = static_cast<std::uint64_t>(iterations);
+  // Observability: with --trace-out/--metrics-out, the run records per-worker
+  // phase spans and a metrics registry (zero overhead when the flags are
+  // absent — opt.obs stays null).
+  obs::ObsContext obs;
+  if (artifacts.wants_obs()) opt.obs = &obs;
 
   // 3. Run, then anchor relative error to a high-accuracy reference.
   auto result = admm::PsraHgAdmm(cfg).Run(problem, opt);
@@ -74,5 +84,15 @@ int main(int argc, char** argv) {
             << FormatDuration(result.total_comm_time) << "), "
             << result.messages_sent << " messages, "
             << result.elements_sent << " elements on the wire\n";
+
+  if (artifacts.any()) {
+    admm::WriteRunArtifacts(artifacts, obs, result);
+    std::cout << "artifacts written";
+    if (!artifacts.trace_json.empty()) {
+      std::cout << "; open " << artifacts.trace_json
+                << " in chrome://tracing or ui.perfetto.dev";
+    }
+    std::cout << "\n";
+  }
   return 0;
 }

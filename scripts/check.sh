@@ -38,6 +38,25 @@ echo "== hot path (quick) =="
 # instead of overwriting a checked-in result.
 (cd "$build" && ./bench/bench_hotpath --quick)
 
+echo "== observability artifacts + metrics schema =="
+# A tiny instrumented Fig.6 run must emit a Chrome trace and a metrics.json
+# whose key set matches the published schema exactly — renaming or adding a
+# metric without updating scripts/metrics_schema.txt fails the gate.
+(cd "$build" && ./bench/bench_fig6_system_time \
+  --nodes 4 --iterations 5 --datasets news20 \
+  --trace-out OBS_trace.json --metrics-out OBS_metrics.json \
+  --csv-out OBS_trace.csv > /dev/null)
+"$build/tools/check_metrics_schema" "$repo/scripts/metrics_schema.txt" \
+  "$build/OBS_metrics.json"
+if command -v python3 > /dev/null; then
+  # Second opinion on the trace from a stock JSON parser (the span-level
+  # schema is pinned by tests/test_obs.cpp).
+  python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+    "$build/OBS_trace.json" \
+    || { echo "FAIL: OBS_trace.json is not valid JSON"; exit 1; }
+  echo "  trace OBS_trace.json parses as JSON"
+fi
+
 if [[ -z "${PSRA_CHECK_SANITIZE:-}" ]]; then
   echo "== alloc gate =="
   # The flat dense hot path is allocation-free in steady state and must stay

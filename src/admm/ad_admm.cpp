@@ -1,5 +1,7 @@
 #include "admm/ad_admm.hpp"
 
+#include "admm/instrument.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <functional>
@@ -7,6 +9,7 @@
 #include "linalg/sparse_vector.hpp"
 #include "simnet/event_queue.hpp"
 #include "solver/metrics.hpp"
+#include "support/log.hpp"
 #include "support/status.hpp"
 
 namespace psra::admm {
@@ -45,6 +48,30 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
 
   RunResult result;
   result.algorithm = Name();
+
+  // ---- Observability (no-op without RunOptions::obs; see DESIGN.md §9) ---
+  EngineObs eo(options.obs, world);
+  obs::TrackId master_track = 0;
+  std::uint64_t* c_report_elements = nullptr;
+  std::uint64_t* c_report_messages = nullptr;
+  std::uint64_t* c_report_bytes = nullptr;
+  std::uint64_t* c_reply_elements = nullptr;
+  std::uint64_t* c_reply_messages = nullptr;
+  std::uint64_t* c_z_updates = nullptr;
+  const std::uint64_t report_elem_bytes =
+      cfg_.classic_exchange
+          ? cfg_.cluster.cost.value_bytes
+          : cfg_.cluster.cost.value_bytes + cfg_.cluster.cost.index_bytes;
+  if (eo.on()) {
+    auto& m = eo.metrics();
+    master_track = eo.AddAuxTrack("master");
+    c_report_elements = &m.Counter("comm.master.report.elements");
+    c_report_messages = &m.Counter("comm.master.report.messages");
+    c_report_bytes = &m.Counter("comm.master.report.bytes");
+    c_reply_elements = &m.Counter("comm.master.reply.elements");
+    c_reply_messages = &m.Counter("comm.master.reply.messages");
+    c_z_updates = &m.Counter("master.z_updates");
+  }
 
   // --- Master state -------------------------------------------------------
   std::vector<linalg::DenseVector> w_latest(world,
@@ -94,6 +121,7 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
 
   auto do_update = [&](simnet::VirtualTime now) {
     ++K;
+    if (c_z_updates != nullptr) ++*c_z_updates;
     linalg::DenseVector W(d, 0.0);
     for (std::size_t j = 0; j < world; ++j) {
       linalg::Axpy(1.0, w_latest[j], W);
@@ -114,15 +142,23 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
     for (std::size_t j : waiting) {
       const simnet::VirtualTime t = transfer(static_cast<simnet::Rank>(j),
                                              z_elems);
+      const simnet::VirtualTime send_begin = master_busy;
       master_busy += t;
       result.elements_sent += z_elems;
       ++result.messages_sent;
       ledger.WaitUntil(j, master_busy);
+      if (eo.on()) {
+        *c_reply_elements += z_elems;
+        ++*c_reply_messages;
+        eo.AuxSpan(master_track, "reply_send", send_begin, master_busy, K);
+        eo.Span("z_wait", ledger, j, K);
+      }
       // Worker adopts the new z and performs its local y-update.
       ws.z(j) = z_global;
       solver::FlopCounter fl;
       solver::YUpdate(problem.rho, ws.x(j), ws.z(j), ws.y(j), &fl);
       ledger.ChargeCompute(j, cost.ComputeTime(fl.flops));
+      eo.Span("y_update", ledger, j, K);
       if (!done) start_compute(j);
     }
     waiting.clear();
@@ -145,11 +181,13 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
   // Worker j computes x/w and schedules its report's arrival at the master.
   start_compute = [&](std::size_t j) {
     ++worker_iter[j];
+    eo.Mark(ledger, j);
     const double flops = ws.XWStep(j);
     const double mult =
         ComputeMultiplier(cfg_.cluster, topo, stragglers,
                           static_cast<simnet::Rank>(j), worker_iter[j]);
     ledger.ChargeCompute(j, cost.ComputeTime(flops) * mult);
+    eo.Span("x_update", ledger, j, worker_iter[j]);
 
     const std::size_t elems = report_elems(j);
     const simnet::VirtualTime send_cost =
@@ -166,14 +204,29 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
         ledger.ChargeComm(j, cfg_.cluster.fault.retry_timeout_s);
         result.elements_sent += elems;
         ++result.messages_sent;
+        if (eo.on()) {
+          *c_report_elements += elems;
+          ++*c_report_messages;
+          *c_report_bytes += elems * report_elem_bytes;
+          eo.Span("fault_retry", ledger, j, worker_iter[j]);
+        }
         ++result.faults.dropped_messages;
         ++result.faults.retries;
         ++attempt;
+        PSRA_SLOG(kDebug, "fault").At(ledger[j].clock)
+            << "worker " << j << " report dropped, retry " << attempt << "/"
+            << cfg_.cluster.fault.max_retries;
       }
     }
     ledger.ChargeComm(j, send_cost);
     result.elements_sent += elems;
     ++result.messages_sent;
+    if (eo.on()) {
+      *c_report_elements += elems;
+      ++*c_report_messages;
+      *c_report_bytes += elems * report_elem_bytes;
+      eo.Span("report_send", ledger, j, worker_iter[j]);
+    }
 
     simnet::VirtualTime arrival = ledger[j].clock;
     if (faulty) {
@@ -189,7 +242,12 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
       // Master receive is serialized (the bottleneck).
       const simnet::VirtualTime recv_cost =
           transfer(static_cast<simnet::Rank>(j), elems);
-      master_busy = std::max(master_busy, queue.Now()) + recv_cost;
+      const simnet::VirtualTime recv_begin = std::max(master_busy, queue.Now());
+      master_busy = recv_begin + recv_cost;
+      if (eo.tracing()) {
+        eo.AuxSpan(master_track, "recv_report", recv_begin, master_busy,
+                   worker_iter[j]);
+      }
       w_latest[j] = ws.w(j);
       contributed_update[j] = K + 1;
       waiting.push_back(j);
@@ -220,6 +278,18 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
   result.total_cal_time = ledger.MeanCalTime();
   result.total_comm_time = ledger.MeanCommTime();
   result.makespan = ledger.MaxClock();
+  if (eo.on()) {
+    auto& m = eo.metrics();
+    m.Counter("engine.iterations") += K;
+    m.Counter("fault.dropped_messages") += result.faults.dropped_messages;
+    m.Counter("fault.retries") += result.faults.retries;
+    m.Counter("fault.delayed_messages") += result.faults.delayed_messages;
+    m.Gauge("run.makespan_s") = result.makespan;
+    m.Gauge("run.cal_time_s") = result.total_cal_time;
+    m.Gauge("run.comm_time_s") = result.total_comm_time;
+    m.Gauge("run.iterations") = static_cast<double>(K);
+    result.metrics = m;
+  }
   return result;
 }
 

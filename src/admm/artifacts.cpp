@@ -1,0 +1,56 @@
+#include "admm/artifacts.hpp"
+
+#include <fstream>
+
+#include "support/cli.hpp"
+#include "support/status.hpp"
+
+namespace psra::admm {
+
+void AddArtifactFlags(CliParser& cli, RunArtifactPaths* paths) {
+  cli.AddString("trace-out", &paths->trace_json,
+                "write a Chrome trace_event JSON of the run here");
+  cli.AddString("metrics-out", &paths->metrics_json,
+                "write the run's metrics registry as JSON here");
+  cli.AddString("csv-out", &paths->trace_csv,
+                "write the per-iteration trace as CSV here");
+}
+
+namespace {
+
+std::ofstream OpenOrDie(const std::string& path) {
+  std::ofstream os(path);
+  PSRA_REQUIRE(os.good(), "cannot open artifact file for writing: " + path);
+  return os;
+}
+
+}  // namespace
+
+void WriteRunArtifacts(const RunArtifactPaths& paths,
+                       const obs::SpanTracer* tracer,
+                       const obs::MetricsRegistry* metrics,
+                       const RunResult* result) {
+  if (!paths.trace_json.empty()) {
+    PSRA_REQUIRE(tracer != nullptr, "--trace-out requested but no tracer");
+    auto os = OpenOrDie(paths.trace_json);
+    tracer->WriteChromeJson(os);
+  }
+  if (!paths.metrics_json.empty()) {
+    PSRA_REQUIRE(metrics != nullptr,
+                 "--metrics-out requested but no metrics registry");
+    auto os = OpenOrDie(paths.metrics_json);
+    metrics->WriteJson(os);
+  }
+  if (!paths.trace_csv.empty()) {
+    PSRA_REQUIRE(result != nullptr, "--csv-out requested but no run result");
+    auto os = OpenOrDie(paths.trace_csv);
+    result->WriteTraceCsv(os);
+  }
+}
+
+void WriteRunArtifacts(const RunArtifactPaths& paths,
+                       const obs::ObsContext& ctx, const RunResult& result) {
+  WriteRunArtifacts(paths, &ctx.tracer, &ctx.metrics, &result);
+}
+
+}  // namespace psra::admm

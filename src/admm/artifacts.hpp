@@ -1,0 +1,58 @@
+// Run-artifact export: every bench/example binary can emit the observability
+// artifacts of a run through one shared code path (DESIGN.md §9):
+//
+//   trace.json   — Chrome trace_event JSON from the run's SpanTracer
+//                  (chrome://tracing / Perfetto loadable);
+//   metrics.json — the MetricsRegistry, deterministically ordered
+//                  (schema-checked in CI by tools/check_metrics_schema);
+//   trace.csv    — the per-iteration IterationRecord series.
+//
+// Binaries call AddArtifactFlags() to grow --trace-out / --metrics-out /
+// --csv-out flags, attach an obs::ObsContext to RunOptions when the user
+// asked for trace or metrics output, and hand everything to
+// WriteRunArtifacts afterwards.
+#pragma once
+
+#include <string>
+
+#include "admm/trace.hpp"
+#include "obs/obs.hpp"
+
+namespace psra {
+class CliParser;
+}
+
+namespace psra::admm {
+
+/// Where to write each artifact; an empty path skips that artifact.
+struct RunArtifactPaths {
+  std::string trace_json;
+  std::string metrics_json;
+  std::string trace_csv;
+
+  bool any() const {
+    return !trace_json.empty() || !metrics_json.empty() || !trace_csv.empty();
+  }
+  /// True when the run must be instrumented (trace/metrics requested).
+  bool wants_obs() const {
+    return !trace_json.empty() || !metrics_json.empty();
+  }
+};
+
+/// Registers --trace-out, --metrics-out and --csv-out on `cli`, writing the
+/// parsed paths into `paths` (which must outlive the parser).
+void AddArtifactFlags(CliParser& cli, RunArtifactPaths* paths);
+
+/// Writes the requested artifacts. `tracer` backs trace.json, `metrics`
+/// backs metrics.json, `result` backs trace.csv; a null source for a
+/// requested artifact is an error (PSRA_REQUIRE), as is an unwritable path.
+void WriteRunArtifacts(const RunArtifactPaths& paths,
+                       const obs::SpanTracer* tracer,
+                       const obs::MetricsRegistry* metrics,
+                       const RunResult* result);
+
+/// Convenience overload: trace and metrics both come from `ctx`.
+void WriteRunArtifacts(const RunArtifactPaths& paths,
+                       const obs::ObsContext& ctx, const RunResult& result);
+
+}  // namespace psra::admm

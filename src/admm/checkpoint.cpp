@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/log.hpp"
 #include "support/status.hpp"
 #include "support/string_util.hpp"
 
@@ -40,6 +41,8 @@ void WriteModelFile(const ModelCheckpoint& model, const std::string& path) {
   if (!out) throw IoError("cannot open model file for writing: " + path);
   WriteModel(model, out);
   PSRA_CHECK(static_cast<bool>(out), "model write failed: " + path);
+  PSRA_SLOG(kInfo, "ckpt") << "wrote model checkpoint (" << model.z.size()
+                           << " dims) to " << path;
 }
 
 ModelCheckpoint ReadModel(std::istream& is) {
@@ -95,7 +98,10 @@ ModelCheckpoint ReadModel(std::istream& is) {
 ModelCheckpoint ReadModelFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw IoError("cannot open model file: " + path);
-  return ReadModel(in);
+  auto model = ReadModel(in);
+  PSRA_SLOG(kInfo, "ckpt") << "restored model checkpoint ("
+                           << model.z.size() << " dims) from " << path;
+  return model;
 }
 
 ModelCheckpoint FromRunResult(const RunResult& result, double lambda,

@@ -18,6 +18,10 @@
 #include "solver/prox.hpp"
 #include "solver/tron.hpp"
 
+namespace psra::obs {
+struct ObsContext;
+}
+
 namespace psra::admm {
 
 /// The simulated cluster an algorithm runs on.
@@ -76,6 +80,11 @@ struct RunOptions {
   bool record_trace = true;
   AdaptiveRhoConfig adaptive_rho;
   StoppingConfig stopping;
+  /// Optional observability sink (spans + metrics). Null — the default —
+  /// compiles every instrumentation site down to a pointer test, keeping the
+  /// hot path allocation-free and the results bitwise-identical to an
+  /// uninstrumented run (pinned by test_obs).
+  obs::ObsContext* obs = nullptr;
 };
 
 /// Deterministic compute-time multiplier combining natural jitter and the

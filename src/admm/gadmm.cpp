@@ -1,11 +1,14 @@
 #include "admm/gadmm.hpp"
 
+#include "admm/instrument.hpp"
+
 #include <algorithm>
 #include <array>
 #include <span>
 #include <cmath>
 
 #include "solver/metrics.hpp"
+#include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
 
@@ -71,6 +74,27 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
   RunResult result;
   result.algorithm = Name();
   Rng rng(cfg_.cluster.seed ^ 0x6ADuLL);
+
+  // ---- Observability (no-op without RunOptions::obs; see DESIGN.md §9) ---
+  EngineObs eo(options.obs, world);
+  std::uint64_t* c_push_elements = nullptr;
+  std::uint64_t* c_push_messages = nullptr;
+  std::uint64_t* c_push_bytes = nullptr;
+  obs::Histogram* h_recovery = nullptr;
+  // Wire width of one chain transfer (quantized payloads carry `bits` per
+  // value plus a 16-byte scale/radius header).
+  const auto push_bytes = static_cast<std::uint64_t>(
+      cfg_.quantization_bits == 0
+          ? static_cast<double>(d) * cfg_.cluster.cost.value_bytes
+          : static_cast<double>(d) * cfg_.quantization_bits / 8.0 + 16.0);
+  if (eo.on()) {
+    auto& m = eo.metrics();
+    c_push_elements = &m.Counter("comm.chain.push.elements");
+    c_push_messages = &m.Counter("comm.chain.push.messages");
+    c_push_bytes = &m.Counter("comm.chain.push.bytes");
+    static constexpr double kTimeBounds[] = {1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
+    h_recovery = &m.Histo("fault.recovery_latency_s", kTimeBounds);
+  }
 
   // Chain state. neighbor_copy[n][side]: worker n's latest copy of
   // x_{n-1} (side 0) / x_{n+1} (side 1). last_sent[n][side]: the model n's
@@ -167,6 +191,11 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
       ledger.ChargeComm(n, transfer_time(n, to));
       result.elements_sent += d;
       ++result.messages_sent;
+      if (c_push_messages != nullptr) {
+        *c_push_elements += d;
+        ++*c_push_messages;
+        *c_push_bytes += push_bytes;
+      }
       return;
     }
     if (cfg_.quantization_bits == 0) {
@@ -182,6 +211,11 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
     ledger.ChargeComm(n, t);
     result.elements_sent += d;
     ++result.messages_sent;
+    if (c_push_messages != nullptr) {
+      *c_push_elements += d;
+      ++*c_push_messages;
+      *c_push_bytes += push_bytes;
+    }
     neighbor_copy[to][side_receiver] = wire;
     // Receiver cannot proceed before the arrival.
     ledger.WaitUntil(to, ledger[n].clock);
@@ -196,6 +230,7 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
 
   for (std::uint64_t iter = 1; iter <= options.max_iterations; ++iter) {
     result.iterations_run = iter;
+    eo.MarkAll(ledger);
 
     // ---- Fault bookkeeping: recoveries first, then fresh crashes ---------
     if (faulty) {
@@ -210,6 +245,12 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
           down_now[n] = 0;
           up_at[n] = kNever;
           ++result.faults.recoveries;
+          PSRA_SLOG(kInfo, "fault").At(ledger[n].clock)
+              << "chain worker " << n << " recovered at iter " << iter;
+          if (eo.on()) {
+            h_recovery->Observe(ledger[n].clock - eo.mark(n));
+            eo.Span("fault_recover", ledger, n, iter);
+          }
         }
         if (const auto crash = faults.CrashAt(static_cast<simnet::Rank>(n),
                                               iter);
@@ -231,18 +272,22 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
     for (std::size_t n = 0; n < world; n += 2) {
       if (!is_down(n)) update_x(n, iter);
     }
+    eo.SpanAll("x_update", ledger, iter);
     for (std::size_t n = 0; n < world; n += 2) {
       if (n > 0) push_model(n, n - 1);
       if (n + 1 < world) push_model(n, n + 1);
     }
+    eo.SpanAll("push_model", ledger, iter);
     // Tail group (odd positions): update with fresh head models, push back.
     for (std::size_t n = 1; n < world; n += 2) {
       if (!is_down(n)) update_x(n, iter);
     }
+    eo.SpanAll("x_update", ledger, iter);
     for (std::size_t n = 1; n < world; n += 2) {
       push_model(n, n - 1);
       if (n + 1 < world) push_model(n, n + 1);
     }
+    eo.SpanAll("push_model", ledger, iter);
 
     // Dual ascent on every link (local at both endpoints; we keep one copy).
     for (std::size_t n = 0; n + 1 < world; ++n) {
@@ -253,6 +298,7 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
       }
       ledger.ChargeCompute(n, cost.ComputeTime(3.0 * static_cast<double>(d)));
     }
+    eo.SpanAll("dual_update", ledger, iter);
 
     // ---- Periodic checkpoint of the live workers' chain state ------------
     if (faulty && iter % cfg_.cluster.fault.checkpoint_every == 0) {
@@ -287,6 +333,19 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
   result.total_cal_time = ledger.MeanCalTime();
   result.total_comm_time = ledger.MeanCommTime();
   result.makespan = ledger.MaxClock();
+  if (eo.on()) {
+    auto& m = eo.metrics();
+    m.Counter("engine.iterations") += result.iterations_run;
+    m.Counter("fault.worker_crashes") += result.faults.worker_crashes;
+    m.Counter("fault.recoveries") += result.faults.recoveries;
+    m.Counter("fault.down_worker_iterations") +=
+        result.faults.down_worker_iterations;
+    m.Gauge("run.makespan_s") = result.makespan;
+    m.Gauge("run.cal_time_s") = result.total_cal_time;
+    m.Gauge("run.comm_time_s") = result.total_comm_time;
+    m.Gauge("run.iterations") = static_cast<double>(result.iterations_run);
+    result.metrics = m;
+  }
   return result;
 }
 

@@ -7,10 +7,12 @@
 #include <utility>
 
 #include "admm/checkpoint.hpp"
+#include "admm/instrument.hpp"
 #include "comm/intranode.hpp"
 #include "linalg/sparse_vector.hpp"
 #include "simnet/fault.hpp"
 #include "solver/metrics.hpp"
+#include "support/log.hpp"
 #include "support/status.hpp"
 #include "wlg/group_generator.hpp"
 #include "wlg/leader.hpp"
@@ -60,6 +62,67 @@ struct InterWorkspace {
   std::size_t result_nnz = 0;
 };
 
+/// Hoisted per-collective metric slots (stable MetricsRegistry references).
+/// Null `invocations` means "not recording"; `fill` is set only for sparse
+/// payloads (it observes result_nnz / dim per invocation).
+struct ArMetrics {
+  std::uint64_t* invocations = nullptr;
+  std::uint64_t* elements = nullptr;
+  std::uint64_t* messages = nullptr;
+  std::uint64_t* bytes = nullptr;
+  std::uint64_t* rounds = nullptr;
+  obs::Histogram* fill = nullptr;
+  double dim = 1.0;
+};
+
+/// Every metric slot the PSRA engine updates, hoisted once per run so the
+/// per-iteration updates are plain integer adds.
+struct PsraMetrics {
+  ArMetrics ar;
+  obs::Histogram* group_size = nullptr;
+  obs::Histogram* gg_wait_s = nullptr;
+  obs::Histogram* recovery_s = nullptr;
+  std::uint64_t* gg_reports = nullptr;
+  std::uint64_t* gg_notifies = nullptr;
+  std::uint64_t* groups_formed = nullptr;
+  std::uint64_t* intra_reduce_elements = nullptr;
+  std::uint64_t* intra_reduce_messages = nullptr;
+  std::uint64_t* intra_reduce_bytes = nullptr;
+  std::uint64_t* intra_bcast_elements = nullptr;
+  std::uint64_t* intra_bcast_messages = nullptr;
+  std::uint64_t* intra_bcast_bytes = nullptr;
+
+  void Hoist(obs::MetricsRegistry& m, const std::string& alg_name, bool sparse,
+             double dim) {
+    const std::string p = "comm.allreduce." + alg_name + ".";
+    ar.invocations = &m.Counter(p + "invocations");
+    ar.elements = &m.Counter(p + "elements");
+    ar.messages = &m.Counter(p + "messages");
+    ar.bytes = &m.Counter(p + "bytes");
+    ar.rounds = &m.Counter(p + "rounds");
+    if (sparse) {
+      static constexpr double kFillBounds[] = {0.01, 0.05, 0.1, 0.25,
+                                               0.5,  0.75, 0.9, 1.0};
+      ar.fill = &m.Histo("comm.allreduce.fill_ratio", kFillBounds);
+      ar.dim = dim;
+    }
+    static constexpr double kSizeBounds[] = {1, 2, 4, 8, 16, 32};
+    static constexpr double kTimeBounds[] = {1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
+    group_size = &m.Histo("wlg.group_size", kSizeBounds);
+    gg_wait_s = &m.Histo("wlg.gg_wait_s", kTimeBounds);
+    recovery_s = &m.Histo("fault.recovery_latency_s", kTimeBounds);
+    gg_reports = &m.Counter("comm.gg.reports");
+    gg_notifies = &m.Counter("comm.gg.notifies");
+    groups_formed = &m.Counter("wlg.groups_formed");
+    intra_reduce_elements = &m.Counter("comm.intra.reduce.elements");
+    intra_reduce_messages = &m.Counter("comm.intra.reduce.messages");
+    intra_reduce_bytes = &m.Counter("comm.intra.reduce.bytes");
+    intra_bcast_elements = &m.Counter("comm.intra.bcast.elements");
+    intra_bcast_messages = &m.Counter("comm.intra.bcast.messages");
+    intra_bcast_bytes = &m.Counter("comm.intra.bcast.bytes");
+  }
+};
+
 /// Runs one inter-node allreduce over `w_inputs` (one dense vector per group
 /// member), leaving the dense sum and per-member finish times in `ws`. With
 /// a FaultContext the fault-tolerant entry points run instead (exactly the
@@ -68,7 +131,8 @@ void RunInterAllreduce(const comm::GroupComm& group,
                        const comm::AllreduceAlgorithm& alg, bool sparse_comm,
                        std::span<const linalg::DenseVector> w_inputs,
                        std::span<const simnet::VirtualTime> starts,
-                       InterWorkspace& ws, comm::FaultContext* fc = nullptr) {
+                       InterWorkspace& ws, comm::FaultContext* fc = nullptr,
+                       ArMetrics* am = nullptr) {
   if (sparse_comm) {
     ws.sparse_inputs.resize(w_inputs.size());
     for (std::size_t i = 0; i < w_inputs.size(); ++i) {
@@ -94,6 +158,16 @@ void RunInterAllreduce(const comm::GroupComm& group,
   }
   ws.elements = ws.stats.elements_sent;
   ws.messages = ws.stats.messages_sent;
+  if (am != nullptr) {
+    ++*am->invocations;
+    *am->elements += ws.stats.elements_sent;
+    *am->messages += ws.stats.messages_sent;
+    *am->bytes += ws.stats.bytes_sent;
+    *am->rounds += ws.stats.rounds;
+    if (am->fill != nullptr) {
+      am->fill->Observe(static_cast<double>(ws.result_nnz) / am->dim);
+    }
+  }
 }
 
 }  // namespace
@@ -121,6 +195,22 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
 
   RunResult result;
   result.algorithm = Name();
+
+  // ---- Observability -----------------------------------------------------
+  // Every instrumentation site below sits behind eo.on() / eo.tracing() (a
+  // single pointer test with no sink installed), and only OBSERVES ledger
+  // clocks and collective stats — an instrumented run is bitwise-identical
+  // to an uninstrumented one (pinned by test_obs).
+  EngineObs eo(options.obs, world);
+  PsraMetrics pm;
+  obs::TrackId gg_track = 0;
+  if (eo.on()) {
+    pm.Hoist(eo.metrics(), alg->Name(), cfg_.sparse_comm,
+             static_cast<double>(problem.dim()));
+    if (cfg_.grouping == GroupingMode::kDynamicGroups) {
+      gg_track = eo.AddAuxTrack("group generator");
+    }
+  }
 
   // Per-node structures: member ranks, leader, intra-node communicator.
   std::vector<std::vector<simnet::Rank>> node_ranks(nodes);
@@ -261,10 +351,14 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
         death.down_iterations == 0 ? kNever : it + 1 + death.down_iterations;
     node_out[n] = 1;
     ++result.faults.leader_deaths;
+    PSRA_SLOG(kWarn, "fault").At(ledger[li].clock)
+        << "leader " << li << " of node " << n << " died mid-round, iter "
+        << it;
   };
 
   for (std::uint64_t iter = 1; iter <= options.max_iterations; ++iter) {
     result.iterations_run = iter;
+    eo.MarkAll(ledger);
 
     // ---- Fault bookkeeping: recoveries, fresh crashes, per-node views ----
     bool any_down = false;
@@ -286,6 +380,13 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           down_now[i] = 0;
           up_at[i] = kNever;
           ++result.faults.recoveries;
+          PSRA_SLOG(kInfo, "fault").At(ledger[i].clock)
+              << "worker " << i << " recovered from checkpoint at iter "
+              << iter;
+          if (eo.on()) {
+            pm.recovery_s->Observe(ledger[i].clock - eo.mark(i));
+            eo.Span("fault_recover", ledger, i, iter);
+          }
         }
         if (const auto crash = faults.CrashAt(r, iter);
             crash && down_now[i] == 0) {
@@ -294,6 +395,11 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
                          ? kNever
                          : iter + crash->down_iterations;
           ++result.faults.worker_crashes;
+          PSRA_SLOG(kWarn, "fault").At(ledger[i].clock)
+              << "worker " << i << " crashed at iter " << iter
+              << (crash->down_iterations == 0
+                      ? " (permanent)"
+                      : " (crash-restart)");
         }
         if (down_now[i] != 0) {
           any_down = true;
@@ -322,6 +428,10 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
         }
         if (lead != cur_leaders[n]) {
           ++result.faults.leader_reelections;
+          PSRA_SLOG(kInfo, "wlg")
+              .At(ledger[static_cast<std::size_t>(lead)].clock)
+              << "node " << n << " re-elected leader " << lead << " (was "
+              << cur_leaders[n] << ") at iter " << iter;
           cur_leaders[n] = lead;
         }
         if (!intra_alive[n].has_value() ||
@@ -348,6 +458,7 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
         ledger.ChargeCompute(i, cost.ComputeTime(flops[i]) * mult);
       }
     }
+    eo.SpanAll("x_update", ledger, iter);
 
     if (cfg_.grouping == GroupingMode::kFlat) {
       // ---- PSRA-ADMM: one global allreduce over all workers --------------
@@ -371,7 +482,7 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           starts[m] = ledger[i].clock;
         }
         RunInterAllreduce(*flat_sub, *alg, cfg_.sparse_comm, inputs, starts,
-                          iw, fc);
+                          iw, fc, eo.on() ? &pm.ar : nullptr);
       } else {
         starts.resize(world);
         if (mutate_inputs) {
@@ -387,7 +498,7 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
                           mutate_inputs ? std::span<const linalg::DenseVector>(
                                               inputs)
                                         : ws.w_all(),
-                          starts, iw, fc);
+                          starts, iw, fc, eo.on() ? &pm.ar : nullptr);
       }
       result.elements_sent += iw.elements;
       result.messages_sent += iw.messages;
@@ -403,6 +514,23 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
       } else {
         for (std::size_t i = 0; i < world; ++i) {
           ledger.WaitUntil(i, iw.stats.finish_times[i]);
+        }
+      }
+      if (eo.tracing()) {
+        // w_allreduce on each participant's track, with the collective's
+        // scatter-reduce / allgather stages nested inside where they fall
+        // within the participant's own [start, finish] window.
+        const simnet::VirtualTime sr = iw.stats.scatter_reduce_done;
+        const std::size_t np = degraded ? alive.size() : world;
+        for (std::size_t m = 0; m < np; ++m) {
+          const auto i = degraded ? static_cast<std::size_t>(alive[m]) : m;
+          const simnet::VirtualTime b = eo.mark(i);
+          const simnet::VirtualTime e = ledger[i].clock;
+          if (sr > b && sr < e) {
+            eo.SpanAt("scatter_reduce", i, b, sr, iter);
+            eo.SpanAt("allgather", i, sr, e, iter);
+          }
+          eo.Span("w_allreduce", ledger, i, iter);
         }
       }
       // Consensus update over this round's participants. Members the
@@ -429,6 +557,11 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
         ledger.ChargeCompute(static_cast<std::size_t>(r),
                              cost.ComputeTime(flops[r]));
       }
+      if (eo.tracing()) {
+        for (const simnet::Rank r : participants) {
+          eo.Span("z_y_update", ledger, static_cast<std::size_t>(r), iter);
+        }
+      }
     } else {
       // ---- Hierarchical: intra-node reduce to the Leader ------------------
       for (simnet::NodeId n = 0; n < nodes; ++n) {
@@ -450,6 +583,18 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           ledger.WaitUntil(members[m], red[n].finish_times[m]);
         }
         ledger.WaitUntil(lead, red[n].leader_ready);
+        if (eo.on()) {
+          *pm.intra_reduce_elements += red[n].elements_sent;
+          *pm.intra_reduce_messages += red[n].messages_sent;
+          *pm.intra_reduce_bytes +=
+              red[n].elements_sent * cfg_.cluster.cost.value_bytes;
+          if (eo.tracing()) {
+            for (std::size_t m = 0; m < members.size(); ++m) {
+              eo.Span("intra_reduce", ledger,
+                      static_cast<std::size_t>(members[m]), iter);
+            }
+          }
+        }
         if (censoring) apply_censoring(n, iter, red[n].value);
         leader_ready[n] = ledger[lead].clock;
       }
@@ -493,11 +638,29 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           ledger.ChargeComm(leaders[n], request_cost);
           ++result.messages_sent;
           report[n] = ledger[leaders[n]].clock;
+          if (eo.on()) {
+            ++*pm.gg_reports;
+            eo.Span("gg_report", ledger,
+                    static_cast<std::size_t>(leaders[n]), iter);
+          }
         }
         for (auto& g : wlg::RunGroupingCycle(gg, report)) {
           // GG notifies the group members (one message back per leader).
           const simnet::VirtualTime start = g.formed_at + request_cost;
           result.messages_sent += g.members.size();
+          if (eo.on()) {
+            *pm.gg_notifies += g.members.size();
+            if (eo.tracing()) {
+              simnet::VirtualTime first = g.formed_at;
+              for (const simnet::NodeId n : g.members) {
+                first = std::min(first, report[n]);
+              }
+              eo.AuxSpan(gg_track, "group_form", first, g.formed_at, iter);
+            }
+          }
+          PSRA_SLOG(kDebug, "wlg").At(g.formed_at)
+              << "group of " << g.members.size() << " nodes formed, iter "
+              << iter;
           groups.emplace_back(std::move(g.members), start);
         }
       } else {
@@ -521,10 +684,28 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
             kill_leader_mid_round(n, *death, iter);
           }
           leader_reports.push_back(lr);
+          if (eo.on()) {
+            ++*pm.gg_reports;
+            eo.Span("gg_report", ledger, static_cast<std::size_t>(lead),
+                    iter);
+          }
         }
         for (auto& g : wlg::RunGroupingCycle(gg, leader_reports)) {
           const simnet::VirtualTime start = g.formed_at + request_cost;
           result.messages_sent += g.members.size();
+          if (eo.on()) {
+            *pm.gg_notifies += g.members.size();
+            if (eo.tracing()) {
+              simnet::VirtualTime first = g.formed_at;
+              for (const simnet::NodeId n : g.members) {
+                first = std::min(first, report[n]);
+              }
+              eo.AuxSpan(gg_track, "group_form", first, g.formed_at, iter);
+            }
+          }
+          PSRA_SLOG(kDebug, "wlg").At(g.formed_at)
+              << "survivors regrouped into " << g.members.size()
+              << " nodes, iter " << iter;
           groups.emplace_back(std::move(g.members), start);
         }
       }
@@ -553,12 +734,26 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           gstarts[j] = std::max(start, ledger[group_leaders[j]].clock);
           contributors += faulty ? node_alive[n].size() : node_ranks[n].size();
         }
+        if (eo.on()) {
+          ++*pm.groups_formed;
+          pm.group_size->Observe(static_cast<double>(gsize));
+          for (std::size_t j = 0; j < gsize; ++j) {
+            const auto li = static_cast<std::size_t>(group_leaders[j]);
+            pm.gg_wait_s->Observe(
+                std::max(0.0, gstarts[j] - ledger[li].clock));
+            if (eo.tracing() && gstarts[j] > eo.mark(li)) {
+              eo.SpanAt("gg_wait", li, eo.mark(li), gstarts[j], iter);
+              eo.SetMark(li, gstarts[j]);
+            }
+          }
+        }
         const comm::GroupComm inter(
             &topo, &cost_inter,
             {group_leaders.begin(), group_leaders.begin() + gsize});
         RunInterAllreduce(inter, *alg, cfg_.sparse_comm,
                           std::span(ginputs.data(), gsize),
-                          std::span(gstarts.data(), gsize), iw, fc);
+                          std::span(gstarts.data(), gsize), iw, fc,
+                          eo.on() ? &pm.ar : nullptr);
         result.elements_sent += iw.elements;
         result.messages_sent += iw.messages;
         if (censoring) {  // fixed membership: fold deltas into the run sum
@@ -578,6 +773,17 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           const simnet::NodeId n = gmembers[gi];
           const simnet::Rank lead = faulty ? cur_leaders[n] : leaders[n];
           ledger.WaitUntil(lead, iw.stats.finish_times[gi]);
+          if (eo.tracing()) {
+            const auto li = static_cast<std::size_t>(lead);
+            const simnet::VirtualTime b = eo.mark(li);
+            const simnet::VirtualTime e = ledger[li].clock;
+            const simnet::VirtualTime sr = iw.stats.scatter_reduce_done;
+            if (sr > b && sr < e) {
+              eo.SpanAt("scatter_reduce", li, b, sr, iter);
+              eo.SpanAt("allgather", li, sr, e, iter);
+            }
+            eo.Span("w_allreduce", ledger, li, iter);
+          }
           if (fc != nullptr && excl < fc->excluded.size() &&
               fc->excluded[excl] == static_cast<comm::GroupRank>(gi)) {
             ++excl;  // timed out: no broadcast, node state frozen this round
@@ -598,10 +804,31 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           for (std::size_t m = 0; m < nmembers.size(); ++m) {
             ledger.WaitUntil(nmembers[m], bc.finish_times[m]);
           }
+          if (eo.on()) {
+            *pm.intra_bcast_elements += bc.elements_sent;
+            *pm.intra_bcast_messages += bc.messages_sent;
+            *pm.intra_bcast_bytes +=
+                bc.elements_sent *
+                (cfg_.sparse_comm ? cfg_.cluster.cost.value_bytes +
+                                        cfg_.cluster.cost.index_bytes
+                                  : cfg_.cluster.cost.value_bytes);
+            if (eo.tracing()) {
+              for (std::size_t m = 0; m < nmembers.size(); ++m) {
+                eo.Span("w_broadcast", ledger,
+                        static_cast<std::size_t>(nmembers[m]), iter);
+              }
+            }
+          }
           ws.ZYStepAll(nmembers, iw.sum, contributors, flops);
           for (std::size_t m = 0; m < nmembers.size(); ++m) {
             const simnet::Rank r = nmembers[m];
             ledger.ChargeCompute(r, cost.ComputeTime(flops[r]));
+          }
+          if (eo.tracing()) {
+            for (std::size_t m = 0; m < nmembers.size(); ++m) {
+              eo.Span("z_y_update", ledger,
+                      static_cast<std::size_t>(nmembers[m]), iter);
+            }
           }
         }
       }
@@ -652,6 +879,25 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
   result.total_cal_time = ledger.MeanCalTime();
   result.total_comm_time = ledger.MeanCommTime();
   result.makespan = ledger.MaxClock();
+  if (eo.on()) {
+    auto& m = eo.metrics();
+    m.Counter("engine.iterations") += result.iterations_run;
+    m.Counter("engine.censored_sends") += result.censored_sends;
+    m.Counter("fault.worker_crashes") += result.faults.worker_crashes;
+    m.Counter("fault.recoveries") += result.faults.recoveries;
+    m.Counter("fault.leader_deaths") += result.faults.leader_deaths;
+    m.Counter("fault.leader_reelections") += result.faults.leader_reelections;
+    m.Counter("fault.dropped_messages") += result.faults.dropped_messages;
+    m.Counter("fault.retries") += result.faults.retries;
+    m.Counter("fault.delayed_messages") += result.faults.delayed_messages;
+    m.Counter("fault.down_worker_iterations") +=
+        result.faults.down_worker_iterations;
+    m.Gauge("run.makespan_s") = result.makespan;
+    m.Gauge("run.cal_time_s") = result.total_cal_time;
+    m.Gauge("run.comm_time_s") = result.total_comm_time;
+    m.Gauge("run.iterations") = static_cast<double>(result.iterations_run);
+    result.metrics = m;
+  }
   return result;
 }
 

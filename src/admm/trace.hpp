@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "linalg/dense_ops.hpp"
+#include "obs/metrics.hpp"
 #include "simnet/cost_model.hpp"
 
 namespace psra::admm {
@@ -70,6 +71,9 @@ struct RunResult {
   std::size_t censored_sends = 0;
   /// Fault-injection accounting (all zeros with an empty FaultPlan).
   FaultStats faults;
+  /// Snapshot of the run's metrics registry (empty when RunOptions::obs is
+  /// null). Deterministically ordered; see DESIGN.md §9 for the name table.
+  obs::MetricsRegistry metrics;
 
   simnet::VirtualTime SystemTime() const {
     return total_cal_time + total_comm_time;

@@ -86,6 +86,9 @@ void RunRhdCore(const GroupComm& group,
   t.assign(starts.begin(), starts.end());
   st.Reset(n);
 
+  const std::size_t elem_bytes =
+      sparse ? cm.config().value_bytes + cm.config().index_bytes
+             : cm.config().value_bytes;
   auto send = [&](GroupRank from, GroupRank to, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(from, to);
     const simnet::VirtualTime cost = sparse
@@ -93,6 +96,7 @@ void RunRhdCore(const GroupComm& group,
                                          : cm.DenseTransferTime(link, elems);
     st.elements_sent += elems;
     ++st.messages_sent;
+    st.bytes_sent += elems * elem_bytes;
     st.total_send_time += cost;
     return cost;
   };
@@ -109,6 +113,7 @@ void RunRhdCore(const GroupComm& group,
   const GroupRank rem = n - m;
   // Ranks [0, 2*rem) pair up: odd sends everything to even, which becomes an
   // active rank; ranks >= 2*rem are active as-is.
+  if (rem > 0) ++st.rounds;
   for (GroupRank p = 0; p < rem; ++p) {
     const GroupRank src = 2 * p + 1, dst = 2 * p;
     const simnet::VirtualTime cost = send(src, dst, Ops::SizeAll(value[src]));
@@ -126,6 +131,7 @@ void RunRhdCore(const GroupComm& group,
   // owns range [lo[a], hi[a]).
   std::vector<std::uint64_t> lo(m, 0), hi(m, dim);
   for (GroupRank bit = 1; bit < m; bit <<= 1) {
+    ++st.rounds;
     // Exchange with the partner differing in this bit.
     std::vector<simnet::VirtualTime> arrive(m);
     std::vector<Value> snapshot(m);
@@ -157,6 +163,7 @@ void RunRhdCore(const GroupComm& group,
 
   // Recursive doubling allgather: exchange owned ranges, growing them.
   for (GroupRank bit = m >> 1; bit >= 1; bit >>= 1) {
+    ++st.rounds;
     std::vector<simnet::VirtualTime> arrive(m);
     std::vector<Value> snapshot(m);
     for (GroupRank a = 0; a < m; ++a) snapshot[a] = value[active_of(a)];
@@ -181,6 +188,7 @@ void RunRhdCore(const GroupComm& group,
   }
 
   // Unfold: each folded rank receives the full result from its partner.
+  if (rem > 0) ++st.rounds;
   for (GroupRank p = 0; p < rem; ++p) {
     const GroupRank src = 2 * p, dst = 2 * p + 1;
     const simnet::VirtualTime cost = send(src, dst, Ops::SizeAll(value[src]));
@@ -207,6 +215,9 @@ void RunTreeCore(const GroupComm& group,
   t.assign(starts.begin(), starts.end());
   st.Reset(n);
 
+  const std::size_t elem_bytes =
+      sparse ? cm.config().value_bytes + cm.config().index_bytes
+             : cm.config().value_bytes;
   auto send = [&](GroupRank from, GroupRank to, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(from, to);
     const simnet::VirtualTime cost = sparse
@@ -214,12 +225,14 @@ void RunTreeCore(const GroupComm& group,
                                          : cm.DenseTransferTime(link, elems);
     st.elements_sent += elems;
     ++st.messages_sent;
+    st.bytes_sent += elems * elem_bytes;
     st.total_send_time += cost;
     return cost;
   };
 
   // Binomial reduce toward group rank 0.
   for (GroupRank bit = 1; bit < n; bit <<= 1) {
+    ++st.rounds;
     for (GroupRank r = 0; r < n; ++r) {
       if ((r & bit) != 0 && (r & (bit - 1)) == 0) {
         const GroupRank dst = r - bit;
@@ -238,6 +251,7 @@ void RunTreeCore(const GroupComm& group,
   GroupRank top = 1;
   while (top < n) top <<= 1;
   for (GroupRank bit = top >> 1; bit >= 1; bit >>= 1) {
+    ++st.rounds;
     for (GroupRank r = 0; r + bit < n; ++r) {
       if (r % (2 * bit) == 0) {
         const GroupRank dst = r + bit;

@@ -18,6 +18,9 @@ void NaiveTiming(const GroupComm& group,
   const auto& cm = group.cost_model();
   const GroupRank n = group.size();
   st.Reset(n);
+  const std::size_t elem_bytes =
+      sparse ? cm.config().value_bytes + cm.config().index_bytes
+             : cm.config().value_bytes;
 
   auto transfer = [&](GroupRank a, GroupRank b, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(a, b);
@@ -40,8 +43,10 @@ void NaiveTiming(const GroupComm& group,
     root_ready = std::max(root_ready, starts[g] + t);
     st.elements_sent += sizes[g];
     ++st.messages_sent;
+    st.bytes_sent += sizes[g] * elem_bytes;
     st.total_send_time += t;
   }
+  ++st.rounds;  // gather phase
   st.scatter_reduce_done = root_ready;
 
   // Broadcast: root serializes sends in ascending rank order.
@@ -52,8 +57,10 @@ void NaiveTiming(const GroupComm& group,
     st.finish_times[g] = std::max(send_clock, starts[g]);
     st.elements_sent += reduced_size;
     ++st.messages_sent;
+    st.bytes_sent += reduced_size * elem_bytes;
     st.total_send_time += t;
   }
+  ++st.rounds;  // broadcast phase
   st.finish_times[0] = send_clock;
   st.all_done = *std::max_element(st.finish_times.begin(), st.finish_times.end());
 }

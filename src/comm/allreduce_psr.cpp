@@ -29,6 +29,9 @@ void PsrTiming(const GroupComm& group,
   const auto& cm = group.cost_model();
   const GroupRank n = group.size();
   st.Reset(n);
+  const std::size_t elem_bytes =
+      sparse ? cm.config().value_bytes + cm.config().index_bytes
+             : cm.config().value_bytes;
 
   auto transfer = [&](GroupRank a, GroupRank b, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(a, b);
@@ -62,10 +65,12 @@ void PsrTiming(const GroupComm& group,
       ready[j] = std::max(ready[j], clock);
       st.elements_sent += elems;
       ++st.messages_sent;
+      st.bytes_sent += elems * elem_bytes;
       st.total_send_time += cost;
     }
     sr_send_done[i] = clock;
   }
+  ++st.rounds;  // scatter-reduce phase
   st.scatter_reduce_done = *std::max_element(ready.begin(), ready.end());
 
   // --- Allgather ----------------------------------------------------------
@@ -88,10 +93,12 @@ void PsrTiming(const GroupComm& group,
       arrival[m] = std::max(arrival[m], clock);
       st.elements_sent += elems;
       ++st.messages_sent;
+      st.bytes_sent += elems * elem_bytes;
       st.total_send_time += cost;
     }
     ag_send_done[j] = clock;
   }
+  ++st.rounds;  // allgather phase
 
   for (GroupRank m = 0; m < n; ++m) {
     st.finish_times[m] = std::max(arrival[m], ag_send_done[m]);

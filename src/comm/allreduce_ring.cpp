@@ -49,9 +49,14 @@ struct RingRunner {
       return static_cast<GroupRank>(((v % n) + n) % n);
     };
 
+    const auto& cfg = group.cost_model().config();
+    const std::size_t elem_bytes =
+        sparse_pricing ? cfg.value_bytes + cfg.index_bytes : cfg.value_bytes;
+
     // One pipelined round: member i sends block send_block(i) to i+1; the
     // receiver either reduces it into, or replaces, its local copy.
     auto round = [&](auto send_block, bool reduce) {
+      ++stats.rounds;
       for (GroupRank i = 0; i < n; ++i) {
         const GroupRank b = send_block(i);
         const std::size_t elems = Ops::Size(blocks[i][b]);
@@ -60,6 +65,7 @@ struct RingRunner {
         in_flight[i] = blocks[i][b];
         stats.elements_sent += elems;
         ++stats.messages_sent;
+        stats.bytes_sent += elems * elem_bytes;
         stats.total_send_time += cost;
       }
       for (GroupRank i = 0; i < n; ++i) {

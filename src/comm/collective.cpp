@@ -22,6 +22,8 @@ void CommStats::Reset(std::size_t n) {
   all_done = 0.0;
   elements_sent = 0;
   messages_sent = 0;
+  bytes_sent = 0;
+  rounds = 0;
   total_send_time = 0.0;
 }
 
@@ -130,6 +132,8 @@ void ExpandStats(const GroupComm& group, const FaultContext& fc,
   stats.scatter_reduce_done = fc.sub_stats.scatter_reduce_done;
   stats.elements_sent = fc.sub_stats.elements_sent;
   stats.messages_sent = fc.sub_stats.messages_sent;
+  stats.bytes_sent = fc.sub_stats.bytes_sent;
+  stats.rounds = fc.sub_stats.rounds;
   stats.total_send_time = fc.sub_stats.total_send_time;
   stats.all_done =
       *std::max_element(stats.finish_times.begin(), stats.finish_times.end());

@@ -48,6 +48,14 @@ struct CommStats {
   std::size_t elements_sent = 0;
   /// Total messages.
   std::size_t messages_sent = 0;
+  /// Total bytes serialized onto links: elements priced at the cost model's
+  /// per-element width (value bytes, plus index bytes for sparse payloads).
+  /// This is the observable behind the paper's eq. 11-16 traffic bounds.
+  std::size_t bytes_sent = 0;
+  /// Serialized communication rounds (hops) the algorithm performed: 2 for
+  /// PSR/naive (scatter-reduce + allgather / gather + bcast), 2(N-1) for the
+  /// ring, O(log N) exchanges for rhd/tree.
+  std::size_t rounds = 0;
   /// Sum over members of busy send time (the paper's "communication cost").
   simnet::VirtualTime total_send_time = 0.0;
 

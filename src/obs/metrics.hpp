@@ -1,0 +1,78 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms with
+// deterministic (sorted) ordering, so two runs of the same configuration
+// produce byte-identical metrics.json artifacts regardless of host pool size.
+//
+// Zero-overhead-when-off contract: nothing in the library updates a registry
+// unless the caller installed an ObsContext (see obs/obs.hpp); all hot-path
+// instrumentation sites are guarded by a null check that compiles to a
+// single predictable branch. When a registry IS installed, callers hoist
+// `Counter()` / `Gauge()` references out of their loops — the returned
+// references are stable for the registry's lifetime — so steady-state
+// updates are plain integer/double stores.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace psra::obs {
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// one implicit overflow bucket catches everything above the last bound.
+struct Histogram {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  void Observe(double value);
+  /// Adds another histogram's observations; bucket bounds must match.
+  void Merge(const Histogram& other);
+
+  bool operator==(const Histogram& other) const = default;
+};
+
+class MetricsRegistry {
+ public:
+  /// Monotonic counter. The reference stays valid for the registry's
+  /// lifetime, so call sites hoist it out of loops.
+  std::uint64_t& Counter(const std::string& name);
+  /// Last-value gauge (same stability guarantee).
+  double& Gauge(const std::string& name);
+  /// Histogram with the given bucket bounds; re-requesting an existing name
+  /// ignores `bounds` and returns the registered instance.
+  Histogram& Histo(const std::string& name, std::span<const double> bounds);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Folds `other` into this registry: counters add, gauges overwrite,
+  /// histograms merge. Lets a harness aggregate several runs into one
+  /// metrics.json (per-run keys stay distinct when they embed the run name).
+  void MergeFrom(const MetricsRegistry& other);
+
+  /// Deterministic JSON: {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// with keys in sorted order and round-trippable number formatting.
+  void WriteJson(std::ostream& os) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  bool operator==(const MetricsRegistry& other) const = default;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace psra::obs

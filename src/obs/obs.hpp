@@ -1,0 +1,27 @@
+// Observability context: the single handle an engine run is (optionally)
+// given. Owning both the span tracer and the metrics registry, it is the
+// "sink" referred to across the codebase: with no ObsContext installed
+// (RunOptions::obs == nullptr, the default) every instrumentation site
+// reduces to one null-pointer test — no allocation, no stores — preserving
+// the 0-allocs/iter hot-path gate and bitwise determinism.
+//
+// The tracer and registry only ever OBSERVE a run (ledger clocks, collective
+// stats); they never feed back into it, so a run with an ObsContext attached
+// is bitwise-identical to the same run without one (pinned by test_obs).
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace psra::obs {
+
+struct ObsContext {
+  SpanTracer tracer;
+  MetricsRegistry metrics;
+  /// Set false to keep the metrics registry but skip span recording (e.g.
+  /// when a harness aggregates metrics over many runs but wants the trace of
+  /// only one representative run).
+  bool tracing = true;
+};
+
+}  // namespace psra::obs

@@ -1,0 +1,108 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/status.hpp"
+#include "support/string_util.hpp"
+
+namespace psra::obs {
+
+TrackId SpanTracer::AddTrack(std::string name) {
+  tracks_.push_back(Track{std::move(name), {}});
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void SpanTracer::Add(TrackId track, const char* name,
+                     simnet::VirtualTime begin, simnet::VirtualTime end,
+                     std::uint64_t iteration, double wall_s) {
+  PSRA_REQUIRE(track < tracks_.size(), "unknown trace track");
+  TraceSpan s;
+  s.name = name;
+  s.begin = begin;
+  s.end = std::max(begin, end);
+  s.iteration = iteration;
+  s.wall_s = wall_s;
+  tracks_[track].spans.push_back(s);
+}
+
+double SpanTracer::Coverage(TrackId track, simnet::VirtualTime horizon) const {
+  PSRA_REQUIRE(track < tracks_.size(), "unknown trace track");
+  if (horizon <= 0.0) return 1.0;
+  // Union of (possibly nested/overlapping) intervals via sorted sweep.
+  std::vector<std::pair<simnet::VirtualTime, simnet::VirtualTime>> iv;
+  iv.reserve(tracks_[track].spans.size());
+  for (const auto& s : tracks_[track].spans) {
+    if (s.end > s.begin) iv.emplace_back(s.begin, std::min(s.end, horizon));
+  }
+  std::sort(iv.begin(), iv.end());
+  simnet::VirtualTime covered = 0.0, cur_lo = 0.0, cur_hi = -1.0;
+  for (const auto& [lo, hi] : iv) {
+    if (hi <= cur_hi) continue;
+    if (lo > cur_hi) {
+      if (cur_hi > cur_lo) covered += cur_hi - cur_lo;
+      cur_lo = lo;
+    }
+    cur_hi = hi;
+  }
+  if (cur_hi > cur_lo) covered += cur_hi - cur_lo;
+  return covered / horizon;
+}
+
+namespace {
+
+void WriteString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+/// Virtual seconds -> trace microseconds.
+void WriteTs(std::ostream& os, simnet::VirtualTime t) {
+  os << FormatDouble(t * 1e6, 15);
+}
+
+}  // namespace
+
+void SpanTracer::WriteChromeJson(std::ostream& os) const {
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? "  " : ",\n  ");
+    first = false;
+  };
+  sep();
+  os << R"({"ph": "M", "name": "process_name", "pid": 0, "tid": 0, )"
+     << R"("args": {"name": "psra virtual time"}})";
+  for (TrackId t = 0; t < tracks_.size(); ++t) {
+    sep();
+    os << R"({"ph": "M", "name": "thread_name", "pid": 0, "tid": )" << t
+       << R"(, "args": {"name": )";
+    WriteString(os, tracks_[t].name);
+    os << "}}";
+    // Explicit sort index keeps the Perfetto track order stable (= creation
+    // order) instead of first-event order.
+    sep();
+    os << R"({"ph": "M", "name": "thread_sort_index", "pid": 0, "tid": )" << t
+       << R"(, "args": {"sort_index": )" << t << "}}";
+  }
+  for (TrackId t = 0; t < tracks_.size(); ++t) {
+    for (const auto& s : tracks_[t].spans) {
+      sep();
+      os << R"({"ph": "X", "name": )";
+      WriteString(os, s.name);
+      os << R"(, "cat": "vt", "pid": 0, "tid": )" << t << R"(, "ts": )";
+      WriteTs(os, s.begin);
+      os << R"(, "dur": )";
+      WriteTs(os, s.end - s.begin);
+      os << R"(, "args": {"iter": )" << s.iteration << R"(, "wall_us": )"
+         << FormatDouble(s.wall_s * 1e6, 9) << "}}";
+    }
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace psra::obs

@@ -1,0 +1,73 @@
+// Per-worker span tracer over VIRTUAL time.
+//
+// Every simulated actor (worker, leader, the Group Generator) owns one
+// track; the engines record named phase spans — x_update, w_allreduce,
+// scatter_reduce, allgather, gg_wait, intra_reduce, fault_retry, ... — whose
+// begin/end timestamps come straight from the TimeLedger, optionally
+// annotated with the wall-clock seconds the host spent on the phase. Tracks
+// are append-only and owned by exactly one logical actor, so recording takes
+// no locks; the engines' main loop is the only writer.
+//
+// Export is Chrome trace_event JSON ("X" complete events, one tid per
+// track), loadable in chrome://tracing and Perfetto. Virtual seconds map to
+// trace microseconds, so a 2.5 s virtual makespan reads as 2.5 s on the UI
+// timeline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simnet/cost_model.hpp"
+
+namespace psra::obs {
+
+using TrackId = std::uint32_t;
+
+struct TraceSpan {
+  /// Phase name; must point at a string literal (spans store the pointer).
+  const char* name = "";
+  simnet::VirtualTime begin = 0.0;
+  simnet::VirtualTime end = 0.0;
+  /// 1-based engine iteration the span belongs to (0 = outside iterations).
+  std::uint64_t iteration = 0;
+  /// Host wall-clock seconds attributed to the phase (0 = not measured).
+  double wall_s = 0.0;
+};
+
+class SpanTracer {
+ public:
+  /// Registers a named track (e.g. "worker 3 (node 0)") and returns its id.
+  TrackId AddTrack(std::string name);
+
+  std::size_t num_tracks() const { return tracks_.size(); }
+  const std::string& track_name(TrackId t) const { return tracks_[t].name; }
+  const std::vector<TraceSpan>& spans(TrackId t) const {
+    return tracks_[t].spans;
+  }
+
+  /// Records one closed span on `track`. Zero-length spans are kept (they
+  /// mark instantaneous events); negative-length spans are clamped.
+  void Add(TrackId track, const char* name, simnet::VirtualTime begin,
+           simnet::VirtualTime end, std::uint64_t iteration,
+           double wall_s = 0.0);
+
+  /// Fraction of [0, horizon] covered by the union of the track's spans.
+  /// The acceptance gate for engine instrumentation: >= 0.95 of each
+  /// worker's virtual makespan must be attributed to a named phase.
+  double Coverage(TrackId track, simnet::VirtualTime horizon) const;
+
+  /// Chrome trace_event JSON (trace-viewer "JSON Object Format"):
+  /// thread-name metadata per track plus one "X" event per span.
+  void WriteChromeJson(std::ostream& os) const;
+
+ private:
+  struct Track {
+    std::string name;
+    std::vector<TraceSpan> spans;
+  };
+  std::vector<Track> tracks_;
+};
+
+}  // namespace psra::obs

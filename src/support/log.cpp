@@ -1,6 +1,7 @@
 #include "support/log.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 
@@ -8,6 +9,7 @@ namespace psra {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::ostream*> g_sink{nullptr};
 std::mutex g_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -24,12 +26,23 @@ const char* LevelName(LogLevel level) {
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogSink(std::ostream* sink) { g_sink.store(sink); }
 
 namespace detail {
-void LogMessage(LogLevel level, const std::string& msg) {
+void LogMessage(LogLevel level, const char* component, bool has_vt, double vt,
+                const std::string& msg) {
   if (level < g_level.load()) return;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[psra " << LevelName(level) << "] " << msg << '\n';
+  std::ostream* sink = g_sink.load();
+  std::ostream& os = sink ? *sink : std::cerr;
+  os << "[psra " << LevelName(level);
+  if (component != nullptr) os << ' ' << component;
+  if (has_vt) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", vt);
+    os << " @" << buf << 's';
+  }
+  os << "] " << msg << '\n';
 }
 }  // namespace detail
 

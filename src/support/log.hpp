@@ -1,9 +1,19 @@
-// Minimal leveled logger.
+// Minimal leveled, structured logger.
 //
-// Thread-safe; writes to stderr. The level is a process-wide setting so the
-// benches/examples can silence the library with one call.
+// Thread-safe; writes to stderr by default (redirectable via SetLogSink for
+// tests). The level is a process-wide setting so the benches/examples can
+// silence the library with one call.
+//
+// Two flavours:
+//   PSRA_LOG_INFO << "plain message";                 // no tags
+//   PSRA_SLOG(kInfo, "wlg").At(vt) << "regrouped";    // component + v-time
+//
+// Structured lines render as `[psra INFO  wlg @0.001234s] regrouped`, so a
+// grep for the component tag pulls one subsystem's activity out of a run,
+// and the stamp is the *virtual* simulation time, not wall time.
 #pragma once
 
+#include <ostream>
 #include <sstream>
 #include <string>
 
@@ -15,15 +25,29 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Redirects log output (default stderr when null). Intended for tests that
+/// assert on the rendered format; not synchronized with concurrent loggers,
+/// so install before spawning threads.
+void SetLogSink(std::ostream* sink);
+
 namespace detail {
-void LogMessage(LogLevel level, const std::string& msg);
+void LogMessage(LogLevel level, const char* component, bool has_vt, double vt,
+                const std::string& msg);
 
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { LogMessage(level_, os_.str()); }
+  explicit LogLine(LogLevel level, const char* component = nullptr)
+      : level_(level), component_(component) {}
+  ~LogLine() { LogMessage(level_, component_, has_vt_, vt_, os_.str()); }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
+
+  /// Stamps the line with a virtual-time instant (seconds).
+  LogLine& At(double virtual_time_s) {
+    vt_ = virtual_time_s;
+    has_vt_ = true;
+    return *this;
+  }
 
   template <typename T>
   LogLine& operator<<(const T& v) {
@@ -33,6 +57,9 @@ class LogLine {
 
  private:
   LogLevel level_;
+  const char* component_;
+  double vt_ = 0.0;
+  bool has_vt_ = false;
   std::ostringstream os_;
 };
 }  // namespace detail
@@ -48,3 +75,9 @@ class LogLine {
 #define PSRA_LOG_INFO PSRA_LOG(kInfo)
 #define PSRA_LOG_WARN PSRA_LOG(kWarn)
 #define PSRA_LOG_ERROR PSRA_LOG(kError)
+
+// Structured variant: component tag plus optional `.At(virtual_time)` stamp.
+#define PSRA_SLOG(level, component)                         \
+  if (::psra::GetLogLevel() > ::psra::LogLevel::level) {    \
+  } else                                                    \
+    ::psra::detail::LogLine(::psra::LogLevel::level, component)

@@ -1,0 +1,364 @@
+// Observability subsystem tests: histogram bucketing, deterministic metrics
+// JSON, span bookkeeping and Chrome-trace export, plus the engine-level
+// contracts — traced runs cover each worker's virtual makespan, metrics are
+// identical for any host pool size, and attaching an ObsContext leaves the
+// run's numerical results bitwise untouched.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "admm/problem.hpp"
+#include "admm/psra_hgadmm.hpp"
+#include "admm/registry.hpp"
+#include "engine/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace psra {
+namespace {
+
+using admm::BuildProblem;
+using admm::ConsensusProblem;
+using admm::GroupingMode;
+using admm::PsraConfig;
+using admm::PsraHgAdmm;
+using admm::RunOptions;
+using admm::RunResult;
+
+// ------------------------------------------------------------ histogram ----
+
+TEST(Histogram, BucketsObservationsWithOverflow) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  obs::Histogram h;
+  h.bounds.assign(std::begin(bounds), std::end(bounds));
+  h.counts.assign(4, 0);
+
+  h.Observe(0.5);    // <= 1
+  h.Observe(1.0);    // <= 1 (inclusive upper bound)
+  h.Observe(5.0);    // <= 10
+  h.Observe(100.0);  // <= 100
+  h.Observe(1e6);    // overflow
+
+  EXPECT_EQ(h.counts, (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_DOUBLE_EQ(h.sum, 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  obs::MetricsRegistry a, b;
+  const double bounds[] = {1.0, 2.0};
+  a.Histo("h", bounds).Observe(0.5);
+  b.Histo("h", bounds).Observe(1.5);
+  b.Histo("h", bounds).Observe(9.0);
+  a.MergeFrom(b);
+  const auto& h = a.histograms().at("h");
+  EXPECT_EQ(h.counts, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(h.count, 3u);
+}
+
+// ------------------------------------------------------------- registry ----
+
+TEST(MetricsRegistry, JsonIsDeterministicAcrossInsertionOrder) {
+  const double bounds[] = {0.1, 1.0};
+  obs::MetricsRegistry a;
+  a.Counter("z.last") = 3;
+  a.Counter("a.first") = 1;
+  a.Gauge("m.mid") = 2.5;
+  a.Histo("h.one", bounds).Observe(0.5);
+
+  obs::MetricsRegistry b;
+  b.Histo("h.one", bounds).Observe(0.5);
+  b.Gauge("m.mid") = 2.5;
+  b.Counter("a.first") = 1;
+  b.Counter("z.last") = 3;
+
+  std::ostringstream ja, jb;
+  a.WriteJson(ja);
+  b.WriteJson(jb);
+  const std::string text = ja.str();
+  EXPECT_EQ(text, jb.str());
+  EXPECT_EQ(a, b);
+
+  obs::json::Scanner scanner(text);
+  ASSERT_TRUE(scanner.Validate()) << scanner.Error();
+}
+
+TEST(MetricsRegistry, MergeSemantics) {
+  obs::MetricsRegistry a, b;
+  a.Counter("c") = 2;
+  b.Counter("c") = 3;
+  b.Counter("only_b") = 7;
+  a.Gauge("g") = 1.0;
+  b.Gauge("g") = 9.0;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counters().at("c"), 5u);        // counters add
+  EXPECT_EQ(a.counters().at("only_b"), 7u);   // missing keys appear
+  EXPECT_DOUBLE_EQ(a.gauges().at("g"), 9.0);  // gauges overwrite
+}
+
+// --------------------------------------------------------------- tracer ----
+
+TEST(SpanTracer, CoverageIsUnionOfSpans) {
+  obs::SpanTracer tr;
+  const auto t = tr.AddTrack("worker 0");
+  tr.Add(t, "a", 0.0, 0.4, 1);
+  tr.Add(t, "b", 0.2, 0.5, 1);  // overlaps a
+  tr.Add(t, "c", 0.9, 1.0, 2);
+  // Union covers [0, 0.5] + [0.9, 1.0] = 0.6 of a 1.0 horizon.
+  EXPECT_NEAR(tr.Coverage(t, 1.0), 0.6, 1e-12);
+
+  // Negative-length spans clamp to zero length rather than corrupting the
+  // union computation.
+  tr.Add(t, "bad", 0.8, 0.7, 3);
+  EXPECT_NEAR(tr.Coverage(t, 1.0), 0.6, 1e-12);
+}
+
+TEST(SpanTracer, SpansKeepInsertionOrderAndIterationTags) {
+  obs::SpanTracer tr;
+  const auto t = tr.AddTrack("worker 0");
+  tr.Add(t, "x_update", 0.0, 0.1, 1);
+  tr.Add(t, "w_allreduce", 0.1, 0.3, 1);
+  tr.Add(t, "x_update", 0.3, 0.4, 2);
+  const auto& spans = tr.spans(t);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "x_update");
+  EXPECT_STREQ(spans[1].name, "w_allreduce");
+  EXPECT_EQ(spans[2].iteration, 2u);
+}
+
+// Chrome's trace viewer renders same-track spans by duration containment:
+// two spans on one track may nest or be disjoint, never partially overlap.
+void ExpectProperNesting(const std::vector<obs::TraceSpan>& spans) {
+  constexpr double kEps = 1e-12;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    for (std::size_t j = i + 1; j < spans.size(); ++j) {
+      const auto& a = spans[i];
+      const auto& b = spans[j];
+      const bool disjoint =
+          a.end <= b.begin + kEps || b.end <= a.begin + kEps;
+      const bool a_contains_b =
+          a.begin <= b.begin + kEps && b.end <= a.end + kEps;
+      const bool b_contains_a =
+          b.begin <= a.begin + kEps && a.end <= b.end + kEps;
+      EXPECT_TRUE(disjoint || a_contains_b || b_contains_a)
+          << a.name << " [" << a.begin << ", " << a.end << ") vs " << b.name
+          << " [" << b.begin << ", " << b.end << ")";
+    }
+  }
+}
+
+TEST(SpanTracer, ChromeJsonIsValidAndCarriesTrackMetadata) {
+  obs::SpanTracer tr;
+  const auto t0 = tr.AddTrack("worker 0");
+  tr.AddTrack("group generator");
+  tr.Add(t0, "x_update", 0.0, 0.25, 1);
+
+  std::ostringstream os;
+  tr.WriteChromeJson(os);
+  const std::string text = os.str();
+
+  obs::json::Scanner scanner(text);
+  ASSERT_TRUE(scanner.Validate()) << scanner.Error();
+  bool has_events = false;
+  for (const auto& k : scanner.Keys()) {
+    if (k == "traceEvents") has_events = true;
+  }
+  EXPECT_TRUE(has_events);
+  EXPECT_NE(text.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(text.find("\"group generator\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+}
+
+// ------------------------------------------------------ engine contracts ----
+
+data::SyntheticSpec ObsSpec() {
+  data::SyntheticSpec spec;
+  spec.name = "obs";
+  spec.num_features = 120;
+  spec.num_train = 240;
+  spec.num_test = 80;
+  spec.mean_row_nnz = 10.0;
+  spec.label_noise = 0.02;
+  spec.seed = 11;
+  return spec;
+}
+
+PsraConfig ObsCluster(GroupingMode grouping) {
+  PsraConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.workers_per_node = 2;
+  cfg.grouping = grouping;
+  return cfg;
+}
+
+RunResult RunWithObs(GroupingMode grouping, obs::ObsContext* obs,
+                     engine::ThreadPool* pool = nullptr) {
+  const auto problem = BuildProblem(ObsSpec(), 8);
+  RunOptions opt;
+  opt.max_iterations = 6;
+  opt.eval_every = 2;
+  opt.obs = obs;
+  opt.pool = pool;
+  return PsraHgAdmm(ObsCluster(grouping)).Run(problem, opt);
+}
+
+class TracedEngine : public ::testing::TestWithParam<GroupingMode> {};
+
+TEST_P(TracedEngine, SpansCoverEachWorkersVirtualMakespan) {
+  obs::ObsContext obs;
+  const auto res = RunWithObs(GetParam(), &obs);
+  ASSERT_GE(obs.tracer.num_tracks(), 8u);
+
+  std::size_t worker_tracks = 0;
+  for (obs::TrackId t = 0; t < obs.tracer.num_tracks(); ++t) {
+    if (obs.tracer.track_name(t).rfind("worker", 0) != 0) continue;
+    ++worker_tracks;
+    const auto& spans = obs.tracer.spans(t);
+    ASSERT_FALSE(spans.empty()) << obs.tracer.track_name(t);
+    simnet::VirtualTime horizon = 0.0;
+    for (const auto& s : spans) {
+      EXPECT_LE(s.end, res.makespan + 1e-12);
+      horizon = std::max(horizon, s.end);
+    }
+    ExpectProperNesting(spans);
+    // The acceptance gate: >= 95% of the worker's own virtual makespan is
+    // attributed to a named phase (the bracketing span discipline should
+    // make this essentially 100%).
+    EXPECT_GE(obs.tracer.Coverage(t, horizon), 0.95)
+        << obs.tracer.track_name(t);
+  }
+  EXPECT_EQ(worker_tracks, 8u);
+}
+
+TEST_P(TracedEngine, ChromeExportOfARealRunValidates) {
+  obs::ObsContext obs;
+  RunWithObs(GetParam(), &obs);
+  std::ostringstream os;
+  obs.tracer.WriteChromeJson(os);
+  const std::string text = os.str();
+  obs::json::Scanner scanner(text);
+  EXPECT_TRUE(scanner.Validate()) << scanner.Error();
+}
+
+TEST_P(TracedEngine, MetricsIdenticalForAnyHostPoolSize) {
+  obs::ObsContext serial, pooled;
+  const auto a = RunWithObs(GetParam(), &serial);
+
+  engine::ThreadPool pool4(4);
+  pool4.ForceParallelDispatchForTesting();
+  const auto b = RunWithObs(GetParam(), &pooled, &pool4);
+
+  EXPECT_EQ(serial.metrics, pooled.metrics);
+  std::ostringstream ja, jb;
+  a.metrics.WriteJson(ja);
+  b.metrics.WriteJson(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST_P(TracedEngine, AttachingObsLeavesRunBitwiseIdentical) {
+  obs::ObsContext obs;
+  const auto with = RunWithObs(GetParam(), &obs);
+  const auto without = RunWithObs(GetParam(), nullptr);
+
+  ASSERT_EQ(with.final_z.size(), without.final_z.size());
+  EXPECT_EQ(std::memcmp(with.final_z.data(), without.final_z.data(),
+                        with.final_z.size() * sizeof(double)),
+            0);
+  const double a[] = {with.final_objective, with.total_cal_time,
+                      with.total_comm_time, with.makespan};
+  const double b[] = {without.final_objective, without.total_cal_time,
+                      without.total_comm_time, without.makespan};
+  EXPECT_EQ(std::memcmp(a, b, sizeof(a)), 0);
+  EXPECT_EQ(with.elements_sent, without.elements_sent);
+  EXPECT_EQ(with.messages_sent, without.messages_sent);
+  // The obs-off run carries an empty registry; the obs-on run filled one.
+  EXPECT_TRUE(without.metrics.empty());
+  EXPECT_FALSE(with.metrics.empty());
+}
+
+TEST_P(TracedEngine, MetricsAgreeWithRunResultTotals) {
+  obs::ObsContext obs;
+  const auto res = RunWithObs(GetParam(), &obs);
+  EXPECT_EQ(res.metrics.counters().at("engine.iterations"),
+            res.iterations_run);
+  EXPECT_DOUBLE_EQ(res.metrics.gauges().at("run.makespan_s"), res.makespan);
+  EXPECT_DOUBLE_EQ(res.metrics.gauges().at("run.cal_time_s"),
+                   res.total_cal_time);
+  EXPECT_DOUBLE_EQ(res.metrics.gauges().at("run.comm_time_s"),
+                   res.total_comm_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroupings, TracedEngine,
+                         ::testing::Values(GroupingMode::kFlat,
+                                           GroupingMode::kHierarchical,
+                                           GroupingMode::kDynamicGroups),
+                         [](const auto& param_info) {
+                           return admm::GroupingModeName(param_info.param);
+                         });
+
+// The other engine families publish their own traffic counters.
+TEST(EngineMetrics, GadmmChainAndAdmmMasterCountersAppear) {
+  const auto problem = BuildProblem(ObsSpec(), 8);
+  admm::ClusterConfig cluster;
+  cluster.num_nodes = 4;
+  cluster.workers_per_node = 2;
+  RunOptions opt;
+  opt.max_iterations = 4;
+  opt.eval_every = 2;
+
+  obs::ObsContext obs_gadmm;
+  opt.obs = &obs_gadmm;
+  const auto g = admm::RunAlgorithm("gadmm", cluster, problem, opt);
+  EXPECT_GT(g.metrics.counters().at("comm.chain.push.messages"), 0u);
+  EXPECT_GT(g.metrics.counters().at("comm.chain.push.bytes"), 0u);
+
+  obs::ObsContext obs_ad;
+  opt.obs = &obs_ad;
+  const auto ad = admm::RunAlgorithm("ad-admm", cluster, problem, opt);
+  EXPECT_GT(ad.metrics.counters().at("comm.master.report.messages"), 0u);
+  EXPECT_GT(ad.metrics.counters().at("master.z_updates"), 0u);
+}
+
+// PSR moves fewer bytes than Ring for the same job (paper eq. 11-16): the
+// per-collective byte counters must reproduce that ordering. Hierarchical
+// grouping (full leader barrier), so the collective spans all 8 nodes —
+// dynamic grouping tends to form pairs, and at group size 2 every allreduce
+// is the same exchange.
+TEST(EngineMetrics, PsrBytesBelowRingBytes) {
+  const auto problem = BuildProblem(ObsSpec(), 16);
+  PsraConfig cfg;
+  cfg.cluster.num_nodes = 8;
+  cfg.cluster.workers_per_node = 2;
+  cfg.grouping = GroupingMode::kHierarchical;
+  RunOptions opt;
+  opt.max_iterations = 4;
+  opt.eval_every = 4;
+
+  obs::ObsContext obs_psr;
+  opt.obs = &obs_psr;
+  cfg.allreduce = comm::AllreduceKind::kPsr;
+  PsraHgAdmm(cfg).Run(problem, opt);
+
+  obs::ObsContext obs_ring;
+  opt.obs = &obs_ring;
+  cfg.allreduce = comm::AllreduceKind::kRing;
+  PsraHgAdmm(cfg).Run(problem, opt);
+
+  const auto& psr = obs_psr.metrics.counters();
+  const auto& ring = obs_ring.metrics.counters();
+  EXPECT_LT(psr.at("comm.allreduce.psr.bytes"),
+            ring.at("comm.allreduce.ring.bytes"));
+  // Both send 2*n*(n-1) point-to-point messages at group size n; the hop
+  // advantage shows in rounds: PSR is 2 phases flat, Ring takes 2*(n-1)
+  // pipeline steps.
+  EXPECT_EQ(psr.at("comm.allreduce.psr.messages"),
+            ring.at("comm.allreduce.ring.messages"));
+  EXPECT_LT(psr.at("comm.allreduce.psr.rounds"),
+            ring.at("comm.allreduce.ring.rounds"));
+}
+
+}  // namespace
+}  // namespace psra

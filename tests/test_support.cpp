@@ -296,6 +296,29 @@ TEST(Log, LevelGateControlsEmission) {
   SetLogLevel(prev);
 }
 
+TEST(Log, StructuredLineCarriesComponentAndVirtualTime) {
+  const LogLevel prev = GetLogLevel();
+  std::ostringstream captured;
+  SetLogSink(&captured);
+  SetLogLevel(LogLevel::kInfo);
+
+  PSRA_SLOG(kInfo, "wlg").At(0.001234) << "regrouped " << 3 << " nodes";
+  PSRA_SLOG(kWarn, "fault") << "no timestamp on this one";
+  PSRA_LOG_INFO << "plain line";
+  PSRA_SLOG(kDebug, "wlg") << "below threshold, suppressed";
+
+  SetLogSink(nullptr);
+  SetLogLevel(prev);
+
+  const std::string out = captured.str();
+  EXPECT_NE(out.find("[psra INFO  wlg @0.001234s] regrouped 3 nodes"),
+            std::string::npos);
+  EXPECT_NE(out.find("[psra WARN  fault] no timestamp on this one"),
+            std::string::npos);
+  EXPECT_NE(out.find("[psra INFO ] plain line"), std::string::npos);
+  EXPECT_EQ(out.find("suppressed"), std::string::npos);
+}
+
 // ------------------------------------------------------------ stopwatch ----
 
 TEST(Stopwatch, MeasuresNonNegativeMonotoneTime) {
