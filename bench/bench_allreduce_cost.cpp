@@ -65,7 +65,10 @@ int main(int argc, char** argv) {
                 "Ring vs PSR Allreduce cost under the paper's sparse layouts");
   cli.AddInt("nnz", &nnz, "nonzeros per worker (the paper's c)");
   cli.AddString("workers", &workers_csv, "comma-separated worker counts");
+  std::string log_level = "warn";
+  AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
+  ApplyLogLevelFlag(log_level);
   const auto c = static_cast<std::size_t>(nnz);
 
   // theta_s = 1: 16-byte sparse elements over a 16 B/s link, zero latency.

@@ -27,7 +27,10 @@ int main(int argc, char** argv) {
   cli.AddInt("iterations", &iterations, "ADMM iterations (paper: 100)");
   cli.AddString("datasets", &datasets_csv, "datasets to run");
   cli.AddDouble("scale", &scale, "profile scale (0 = per-dataset default)");
+  std::string log_level = "warn";
+  AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
+  ApplyLogLevelFlag(log_level);
 
   const std::vector<std::uint64_t> checkpoints{1,  5,  10, 20, 30, 40,
                                                50, 60, 80, 100};

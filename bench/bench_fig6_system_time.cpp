@@ -28,7 +28,10 @@ int main(int argc, char** argv) {
   cli.AddDouble("scale", &scale, "profile scale (0 = per-dataset default)");
   admm::RunArtifactPaths artifacts;
   admm::AddArtifactFlags(cli, &artifacts);
+  std::string log_level = "warn";
+  AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
+  ApplyLogLevelFlag(log_level);
 
   double total_comm_psra = 0.0, total_comm_admmlib = 0.0;
   double total_sys_psra = 0.0, total_sys_admmlib = 0.0;

@@ -31,7 +31,10 @@ int main(int argc, char** argv) {
   cli.AddDouble("slow-max", &slow_max, "max straggler slowdown factor");
   admm::RunArtifactPaths artifacts;
   admm::AddArtifactFlags(cli, &artifacts);
+  std::string log_level = "warn";
+  AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
+  ApplyLogLevelFlag(log_level);
 
   for (const auto& dataset : bench::ParseList(datasets_csv)) {
     std::cout << "\n== Fig.7 | " << dataset << " (straggler prob "

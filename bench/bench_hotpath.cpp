@@ -119,7 +119,10 @@ int main(int argc, char** argv) {
   cli.AddDouble("scale", &scale, "profile scale (0 = per-dataset default)");
   cli.AddInt("threads", &threads, "pool size for the pooled runs");
   cli.AddBool("quick", &quick, "shrink iteration counts for a smoke run");
+  std::string log_level = "warn";
+  AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
+  ApplyLogLevelFlag(log_level);
 
   const std::uint64_t k1 = quick ? 5 : 30;
   const std::uint64_t k2 = quick ? 15 : 100;

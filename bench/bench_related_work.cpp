@@ -22,7 +22,10 @@ int main(int argc, char** argv) {
   cli.AddInt("iterations", &iterations, "iterations");
   cli.AddString("dataset", &dataset, "dataset profile");
   cli.AddDouble("scale", &scale, "profile scale (0 = default)");
+  std::string log_level = "warn";
+  AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
+  ApplyLogLevelFlag(log_level);
 
   admm::ClusterConfig cluster;
   cluster.num_nodes = static_cast<std::uint32_t>(nodes);

@@ -16,7 +16,10 @@ int main(int argc, char** argv) {
   double scale = 0.0;
   CliParser cli("bench_table1_datasets", "regenerates the paper's Table 1");
   cli.AddDouble("scale", &scale, "profile scale (0 = per-dataset default)");
+  std::string log_level = "warn";
+  AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
+  ApplyLogLevelFlag(log_level);
 
   std::cout << "== Paper Table 1 (original datasets) ==\n";
   Table paper({"Datasets", "Dimension", "Training set", "Test set"});

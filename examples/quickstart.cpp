@@ -24,7 +24,10 @@ int main(int argc, char** argv) {
   cli.AddInt("iterations", &iterations, "ADMM iterations");
   admm::RunArtifactPaths artifacts;
   admm::AddArtifactFlags(cli, &artifacts);
+  std::string log_level = "warn";
+  AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
+  ApplyLogLevelFlag(log_level);
 
   // 1. Build a problem: synthetic sparse binary classification data,
   //    partitioned into one shard per worker.

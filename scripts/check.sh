@@ -57,6 +57,36 @@ if command -v python3 > /dev/null; then
   echo "  trace OBS_trace.json parses as JSON"
 fi
 
+echo "== trace analytics (psra_report) =="
+# The analyzer must digest the artifacts it just gated and reproduce the
+# paper's Fig.6 ordering: PSR moves fewer bytes than Ring, and the trace
+# attributes a nonzero share of virtual time to communication.
+"$build/tools/psra_report" --trace "$build/OBS_trace.json" \
+  --metrics "$build/OBS_metrics.json" --assert-fig6 \
+  --out "$build/OBS_report.md" --csv "$build/OBS_report.csv"
+
+echo "== scale sweep + regression gate =="
+# Reduced-scale (nodes x algorithm x sparsity) sweep; every cell's metrics
+# must match the published schema, the eq. 11-16 byte ordering must hold,
+# and the structural counters must match the committed baseline exactly
+# (traffic counters within tolerance). --selftest proves the gate still
+# fails on a perturbed baseline.
+(cd "$build" && ./bench/bench_sweep \
+  --nodes 2,4,8 --iterations 5 --algorithms psr,ring,admmlib \
+  --sparsity sparse,dense --out-dir SWEEP > /dev/null)
+for cell in "$build"/SWEEP/*.metrics.json; do
+  "$build/tools/check_metrics_schema" "$repo/scripts/metrics_schema.txt" \
+    "$cell"
+done
+if command -v python3 > /dev/null; then
+  "$repo/scripts/sweep_report" --dir "$build/SWEEP" \
+    --out "$build/SWEEP_report.md" \
+    --baseline "$repo/bench/baselines/sweep_baseline.json" \
+    --assert-ordering --selftest
+else
+  echo "  python3 not found; skipping sweep baseline gate"
+fi
+
 if [[ -z "${PSRA_CHECK_SANITIZE:-}" ]]; then
   echo "== alloc gate =="
   # The flat dense hot path is allocation-free in steady state and must stay

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "admm/instrument.hpp"
 #include "comm/intranode.hpp"
 #include "linalg/sparse_vector.hpp"
 #include "solver/metrics.hpp"
@@ -16,6 +17,59 @@ AdmmLib::AdmmLib(const AdmmLibConfig& config) : cfg_(config) {
                "min_barrier_fraction must be in (0, 1]");
   PSRA_REQUIRE(config.max_delay >= 1, "max_delay must be at least 1");
 }
+
+namespace {
+
+/// Hoisted metric slots (stable MetricsRegistry references) for the ADMMLib
+/// engine, mirroring psra_hgadmm's PsraMetrics. Null slots mean "not
+/// recording". The ssp.* family is ADMMLib-specific: one round per fired
+/// barrier, stale contributions counted per non-participant.
+struct LibMetrics {
+  std::uint64_t* ar_invocations = nullptr;
+  std::uint64_t* ar_elements = nullptr;
+  std::uint64_t* ar_messages = nullptr;
+  std::uint64_t* ar_bytes = nullptr;
+  std::uint64_t* ar_rounds = nullptr;
+  obs::Histogram* fill = nullptr;
+  std::uint64_t* intra_reduce_elements = nullptr;
+  std::uint64_t* intra_reduce_messages = nullptr;
+  std::uint64_t* intra_reduce_bytes = nullptr;
+  std::uint64_t* intra_bcast_elements = nullptr;
+  std::uint64_t* intra_bcast_messages = nullptr;
+  std::uint64_t* intra_bcast_bytes = nullptr;
+  std::uint64_t* ssp_rounds = nullptr;
+  std::uint64_t* ssp_stale = nullptr;
+  obs::Histogram* participants = nullptr;
+  double dim = 1.0;
+
+  void Hoist(obs::MetricsRegistry& m, const std::string& alg_name, bool sparse,
+             double d) {
+    const std::string p = "comm.allreduce." + alg_name + ".";
+    ar_invocations = &m.Counter(p + "invocations");
+    ar_elements = &m.Counter(p + "elements");
+    ar_messages = &m.Counter(p + "messages");
+    ar_bytes = &m.Counter(p + "bytes");
+    ar_rounds = &m.Counter(p + "rounds");
+    if (sparse) {
+      static constexpr double kFillBounds[] = {0.01, 0.05, 0.1, 0.25,
+                                               0.5,  0.75, 0.9, 1.0};
+      fill = &m.Histo("comm.allreduce.fill_ratio", kFillBounds);
+      dim = d;
+    }
+    intra_reduce_elements = &m.Counter("comm.intra.reduce.elements");
+    intra_reduce_messages = &m.Counter("comm.intra.reduce.messages");
+    intra_reduce_bytes = &m.Counter("comm.intra.reduce.bytes");
+    intra_bcast_elements = &m.Counter("comm.intra.bcast.elements");
+    intra_bcast_messages = &m.Counter("comm.intra.bcast.messages");
+    intra_bcast_bytes = &m.Counter("comm.intra.bcast.bytes");
+    ssp_rounds = &m.Counter("ssp.rounds");
+    ssp_stale = &m.Counter("ssp.stale_contributions");
+    static constexpr double kPartBounds[] = {1, 2, 4, 8, 16, 32};
+    participants = &m.Histo("ssp.participants", kPartBounds);
+  }
+};
+
+}  // namespace
 
 RunResult AdmmLib::Run(const ConsensusProblem& problem,
                        const RunOptions& options) const {
@@ -37,6 +91,17 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
 
   RunResult result;
   result.algorithm = Name();
+
+  // ---- Observability -----------------------------------------------------
+  // Every instrumentation site only OBSERVES ledger clocks and collective
+  // stats behind eo.on()/eo.tracing() — an instrumented run is
+  // bitwise-identical to an uninstrumented one (pinned by test_obs).
+  EngineObs eo(options.obs, world);
+  LibMetrics lm;
+  if (eo.on()) {
+    lm.Hoist(eo.metrics(), ring->Name(), cfg_.sparse_comm,
+             static_cast<double>(problem.dim()));
+  }
 
   // Node-level helpers.
   std::vector<std::vector<simnet::Rank>> node_ranks(nodes);
@@ -61,10 +126,12 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
     std::vector<simnet::VirtualTime> starts(members.size());
     for (std::size_t m = 0; m < members.size(); ++m) {
       const simnet::Rank r = members[m];
+      eo.Mark(ledger, static_cast<std::size_t>(r));
       const double flops = ws.XWStep(r);
       const double mult = ComputeMultiplier(cfg_.cluster, topo, stragglers, r,
                                             local_iter[n]);
       ledger.ChargeCompute(r, cost.ComputeTime(flops) * mult);
+      eo.Span("x_update", ledger, static_cast<std::size_t>(r), local_iter[n]);
       inputs[m] = ws.w(r);
       starts[m] = ledger[r].clock;
     }
@@ -76,6 +143,20 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
       ledger.WaitUntil(members[m], red.finish_times[m]);
     }
     ledger.WaitUntil(leaders[n], red.leader_ready);
+    if (eo.on()) {
+      *lm.intra_reduce_elements += red.elements_sent;
+      *lm.intra_reduce_messages += red.messages_sent;
+      *lm.intra_reduce_bytes +=
+          red.elements_sent * cfg_.cluster.cost.value_bytes;
+      if (eo.tracing()) {
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          const auto i = static_cast<std::size_t>(members[m]);
+          if (ledger[i].clock > eo.mark(i)) {
+            eo.Span("intra_reduce", ledger, i, local_iter[n]);
+          }
+        }
+      }
+    }
     return std::move(red.value);
   };
 
@@ -127,6 +208,7 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
     const comm::GroupComm inter(&topo, &cost, all_leaders);
 
     std::vector<simnet::VirtualTime> finish;
+    comm::CommStats ring_stats;
     std::size_t result_nnz = 0;
     if (cfg_.sparse_comm) {
       std::vector<linalg::SparseVector> sv;
@@ -139,6 +221,7 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
       result.messages_sent += res.stats.messages_sent;
       result_nnz = res.outputs[0].nnz();
       finish = std::move(res.stats.finish_times);
+      ring_stats = std::move(res.stats);
     } else {
       std::vector<linalg::DenseVector> dv(cache_w.begin(), cache_w.end());
       auto res = ring->RunDense(inter, dv, starts);
@@ -146,6 +229,20 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
       result.messages_sent += res.stats.messages_sent;
       result_nnz = d;
       finish = std::move(res.stats.finish_times);
+      ring_stats = std::move(res.stats);
+    }
+    if (eo.on()) {
+      ++*lm.ssp_rounds;
+      *lm.ssp_stale += nodes - participants.size();
+      lm.participants->Observe(static_cast<double>(participants.size()));
+      ++*lm.ar_invocations;
+      *lm.ar_elements += ring_stats.elements_sent;
+      *lm.ar_messages += ring_stats.messages_sent;
+      *lm.ar_bytes += ring_stats.bytes_sent;
+      *lm.ar_rounds += ring_stats.rounds;
+      if (lm.fill != nullptr) {
+        lm.fill->Observe(static_cast<double>(result_nnz) / lm.dim);
+      }
     }
 
     // Global aggregate (the ring's output): fresh + stale terms.
@@ -170,18 +267,42 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
     // finished is simply superseded by the fresher one it will produce
     // against the new z (standard SSP freshest-state semantics).
     for (simnet::NodeId n = 0; n < nodes; ++n) {
+      const auto li = static_cast<std::size_t>(leaders[n]);
+      // A participant leader idles from its ready time until the barrier
+      // fires; split that out of the collective span as ssp_wait.
+      if (eo.tracing() && fire > eo.mark(li)) {
+        eo.SpanAt("ssp_wait", li, eo.mark(li), fire, k);
+        eo.SetMark(li, fire);
+      }
       ledger.WaitUntil(leaders[n], std::max(ready[n], finish[n]));
+      if (eo.tracing() && ledger[li].clock > eo.mark(li)) {
+        eo.Span("w_allreduce", ledger, li, k);
+      }
       const std::size_t elems = cfg_.sparse_comm ? result_nnz : d;
       auto bc = comm::BroadcastFromLeader(intra[n],
                                           intra[n].LocalRank(leaders[n]),
                                           elems, ledger[leaders[n]].clock);
       result.elements_sent += bc.elements_sent;
       result.messages_sent += bc.messages_sent;
+      if (eo.on()) {
+        *lm.intra_bcast_elements += bc.elements_sent;
+        *lm.intra_bcast_messages += bc.messages_sent;
+        *lm.intra_bcast_bytes +=
+            bc.elements_sent *
+            (cfg_.sparse_comm ? cfg_.cluster.cost.value_bytes +
+                                    cfg_.cluster.cost.index_bytes
+                              : cfg_.cluster.cost.value_bytes);
+      }
       for (std::size_t m = 0; m < node_ranks[n].size(); ++m) {
         const simnet::Rank r = node_ranks[n][m];
+        const auto i = static_cast<std::size_t>(r);
         ledger.WaitUntil(r, bc.finish_times[m]);
+        if (eo.tracing() && ledger[i].clock > eo.mark(i)) {
+          eo.Span("w_broadcast", ledger, i, k);
+        }
         const double zf = ws.ZYStep(r, W, topo.world_size());
         ledger.ChargeCompute(r, cost.ComputeTime(zf));
+        eo.Span("z_y_update", ledger, i, k);
       }
       node_w[n] = compute_node(n);
       ready[n] = ledger[leaders[n]].clock;
@@ -200,6 +321,15 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
   result.total_cal_time = ledger.MeanCalTime();
   result.total_comm_time = ledger.MeanCommTime();
   result.makespan = ledger.MaxClock();
+  if (eo.on()) {
+    auto& m = eo.metrics();
+    m.Counter("engine.iterations") += result.iterations_run;
+    m.Gauge("run.makespan_s") = result.makespan;
+    m.Gauge("run.cal_time_s") = result.total_cal_time;
+    m.Gauge("run.comm_time_s") = result.total_comm_time;
+    m.Gauge("run.iterations") = static_cast<double>(result.iterations_run);
+    result.metrics = m;
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/report.hpp"
 #include "support/log.hpp"
 #include "support/status.hpp"
 #include "support/string_util.hpp"
@@ -139,7 +140,8 @@ void ReadVectorLine(std::istream& is, const char* tag, std::size_t dim,
 
 void CaptureRunCheckpoint(const WorkerSet& ws, std::uint64_t iteration,
                           std::span<const simnet::Rank> ranks,
-                          RunCheckpoint& ckpt) {
+                          RunCheckpoint& ckpt,
+                          const obs::MetricsRegistry* metrics) {
   ckpt.workers.resize(static_cast<std::size_t>(ws.size()));
   ckpt.iteration = iteration;
   ckpt.rho = ws.rho();
@@ -150,6 +152,7 @@ void CaptureRunCheckpoint(const WorkerSet& ws, std::uint64_t iteration,
     ckpt.workers[i].y = ws.y(i);
     ckpt.workers[i].z = ws.z(i);
   }
+  if (metrics != nullptr) ckpt.metrics = *metrics;
 }
 
 void WriteRunCheckpoint(const RunCheckpoint& ckpt, std::ostream& os) {
@@ -166,6 +169,15 @@ void WriteRunCheckpoint(const RunCheckpoint& ckpt, std::ostream& os) {
     WriteVectorLine(os, "x", w.x);
     WriteVectorLine(os, "y", w.y);
     WriteVectorLine(os, "z", w.z);
+  }
+  if (!ckpt.metrics.empty()) {
+    // Length-prefixed raw JSON trailer: WriteJson is deterministic and
+    // round-trips exactly through MetricsFromJson, so resuming from the
+    // checkpoint restores the registry byte-for-byte.
+    std::ostringstream json;
+    ckpt.metrics.WriteJson(json);
+    const std::string text = json.str();
+    os << "metrics " << text.size() << '\n' << text;
   }
 }
 
@@ -206,6 +218,21 @@ RunCheckpoint ReadRunCheckpoint(std::istream& is) {
     ReadVectorLine(is, "x", dim, w.x);
     ReadVectorLine(is, "y", dim, w.y);
     ReadVectorLine(is, "z", dim, w.z);
+  }
+  // Optional metrics trailer; absent in pre-trailer files.
+  std::string trailer;
+  while (std::getline(is, trailer)) {
+    const auto tokens = SplitWhitespace(trailer);
+    if (tokens.empty()) continue;
+    PSRA_REQUIRE(tokens.size() == 2 && tokens[0] == "metrics",
+                 "unexpected content after run-checkpoint workers");
+    const auto nbytes = static_cast<std::size_t>(ParseInt(tokens[1]));
+    std::string text(nbytes, '\0');
+    is.read(text.data(), static_cast<std::streamsize>(nbytes));
+    PSRA_REQUIRE(static_cast<std::size_t>(is.gcount()) == nbytes,
+                 "run checkpoint metrics trailer truncated");
+    ckpt.metrics = obs::MetricsFromJson(text);
+    break;
   }
   return ckpt;
 }

@@ -20,6 +20,7 @@
 
 #include "admm/common.hpp"
 #include "admm/trace.hpp"
+#include "obs/metrics.hpp"
 
 namespace psra::admm {
 
@@ -57,6 +58,14 @@ ModelCheckpoint FromRunResult(const RunResult& result, double lambda,
 //   workers <n>
 //   dim <d>
 //   x <d values> / y <d values> / z <d values>   (three lines per worker)
+//   metrics <nbytes>                             (optional trailer)
+//   <nbytes of metrics.json>
+//
+// The metrics trailer snapshots the run's MetricsRegistry at capture time,
+// so a harness that restarts from the checkpoint resumes its counters
+// instead of losing the pre-crash traffic — the resumed run's metrics.json
+// then matches an uninterrupted run's. Files without the trailer (pre-v1.1
+// captures) still load, with an empty registry.
 // ---------------------------------------------------------------------------
 
 struct WorkerCheckpoint {
@@ -67,14 +76,19 @@ struct RunCheckpoint {
   std::uint64_t iteration = 0;
   double rho = 0.0;
   std::vector<WorkerCheckpoint> workers;
+  /// Observability state at capture time (empty when the run had no obs).
+  obs::MetricsRegistry metrics;
 };
 
 /// Snapshots the workers in `ranks` into their slots of `ckpt`, reusing the
 /// slot storage; other slots are left untouched (a crashed worker's slot
 /// keeps its last pre-crash capture). Sizes `ckpt.workers` on first use.
+/// `metrics`, when non-null, is copied into the checkpoint alongside the
+/// worker state.
 void CaptureRunCheckpoint(const WorkerSet& ws, std::uint64_t iteration,
                           std::span<const simnet::Rank> ranks,
-                          RunCheckpoint& ckpt);
+                          RunCheckpoint& ckpt,
+                          const obs::MetricsRegistry* metrics = nullptr);
 
 void WriteRunCheckpoint(const RunCheckpoint& ckpt, std::ostream& os);
 void WriteRunCheckpointFile(const RunCheckpoint& ckpt,

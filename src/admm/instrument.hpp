@@ -17,6 +17,15 @@
 // Counter/gauge references are hoisted by the engines at Run start (they are
 // stable for the registry's lifetime), so per-iteration metric updates are
 // plain integer adds.
+//
+// Wall-clock attribution: when tracing, the adapter also runs a Stopwatch
+// and attributes the host seconds elapsed between a phase's Mark and its
+// Span to the emitted span(s) (split evenly when one SpanAll closes several
+// workers at once — the host did the phase's work for all of them together).
+// Wall time lives ONLY on TraceSpan::wall_s: it never enters the
+// MetricsRegistry (which must stay byte-identical across pool sizes) and
+// never feeds back into the TimeLedger, so virtual-time results remain
+// bitwise deterministic.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +35,7 @@
 
 #include "engine/ledger.hpp"
 #include "obs/obs.hpp"
+#include "support/stopwatch.hpp"
 
 namespace psra::admm {
 
@@ -52,35 +62,52 @@ class EngineObs {
     return ctx_->tracer.AddTrack(std::move(name));
   }
 
-  /// Re-reads worker i's mark from the ledger.
+  /// Re-reads worker i's mark from the ledger and restarts the wall lap
+  /// (host time spent outside bracketed phases — evaluation, bookkeeping —
+  /// is deliberately not attributed to any span).
   void Mark(const engine::TimeLedger& ledger, std::size_t i) {
     if (ctx_ == nullptr) return;
     marks_[i] = ledger[i].clock;
+    last_wall_ = watch_.ElapsedSeconds();
   }
   void MarkAll(const engine::TimeLedger& ledger) {
     if (ctx_ == nullptr) return;
     for (std::size_t i = 0; i < marks_.size(); ++i) {
       marks_[i] = ledger[i].clock;
     }
+    last_wall_ = watch_.ElapsedSeconds();
   }
 
-  /// Emits [mark_i, clock_i] on worker i's track and advances the mark.
+  /// Emits [mark_i, clock_i] on worker i's track and advances the mark. The
+  /// host seconds since the last Mark/Span are attributed to the span, so a
+  /// per-worker Span loop after one shared phase charges the whole lap to
+  /// the first worker and ~0 to the rest (per-phase totals stay right).
   /// `name` must be a string literal (TraceSpan stores the pointer).
   void Span(const char* name, const engine::TimeLedger& ledger, std::size_t i,
             std::uint64_t iter) {
     if (!tracing()) return;
     const simnet::VirtualTime now = ledger[i].clock;
-    ctx_->tracer.Add(tracks_[i], name, marks_[i], now, iter);
+    ctx_->tracer.Add(tracks_[i], name, marks_[i], now, iter, LapWall());
     marks_[i] = now;
   }
   /// SpanAll skips workers whose clock did not move (a phase that left a
   /// worker untouched — e.g. a crashed worker during x-updates — produces no
-  /// empty span).
+  /// empty span). The phase's wall lap is split evenly across the emitted
+  /// spans.
   void SpanAll(const char* name, const engine::TimeLedger& ledger,
                std::uint64_t iter) {
     if (!tracing()) return;
+    std::size_t movers = 0;
     for (std::size_t i = 0; i < marks_.size(); ++i) {
-      if (ledger[i].clock > marks_[i]) Span(name, ledger, i, iter);
+      if (ledger[i].clock > marks_[i]) ++movers;
+    }
+    const double share = movers > 0 ? LapWall() / static_cast<double>(movers)
+                                    : 0.0;
+    for (std::size_t i = 0; i < marks_.size(); ++i) {
+      const simnet::VirtualTime now = ledger[i].clock;
+      if (now <= marks_[i]) continue;
+      ctx_->tracer.Add(tracks_[i], name, marks_[i], now, iter, share);
+      marks_[i] = now;
     }
   }
 
@@ -109,9 +136,19 @@ class EngineObs {
   simnet::VirtualTime mark(std::size_t i) const { return marks_[i]; }
 
  private:
+  /// Host seconds since the previous lap (Mark/MarkAll/Span/SpanAll).
+  double LapWall() {
+    const double now = watch_.ElapsedSeconds();
+    const double lap = now - last_wall_;
+    last_wall_ = now;
+    return lap;
+  }
+
   obs::ObsContext* ctx_ = nullptr;
   std::vector<obs::TrackId> tracks_;
   std::vector<simnet::VirtualTime> marks_;
+  Stopwatch watch_;
+  double last_wall_ = 0.0;
 };
 
 }  // namespace psra::admm

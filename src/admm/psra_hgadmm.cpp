@@ -334,7 +334,8 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
     alive.reserve(world);
     // Iteration-0 checkpoint: a worker crashing before the first periodic
     // capture restarts from the common initial state.
-    CaptureRunCheckpoint(ws, 0, everyone, ckpt);
+    CaptureRunCheckpoint(ws, 0, everyone, ckpt,
+                         eo.on() ? &eo.metrics() : nullptr);
   }
   // A recovering worker refetches its checkpointed vectors (x, y, z) over
   // the network on top of the fixed respawn delay.
@@ -855,7 +856,8 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
     // Captures the live workers' state; a down worker's slot keeps its last
     // pre-crash snapshot, which is what its recovery restores.
     if (faulty && iter % cfg_.cluster.fault.checkpoint_every == 0) {
-      CaptureRunCheckpoint(ws, iter, alive, ckpt);
+      CaptureRunCheckpoint(ws, iter, alive, ckpt,
+                           eo.on() ? &eo.metrics() : nullptr);
     }
 
     if (iter > 1 && WorkerSet::ShouldStop(options.stopping, residuals,

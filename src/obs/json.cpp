@@ -1,0 +1,153 @@
+#include "obs/json.hpp"
+
+#include <cstdlib>
+
+#include "support/status.hpp"
+
+namespace psra::obs::json {
+
+namespace {
+
+/// Trusting recursive-descent builder: runs AFTER Scanner::Validate, so it
+/// only has to materialize, never to diagnose. Shapes (escapes, number
+/// grammar) mirror the Scanner exactly.
+class Builder {
+ public:
+  explicit Builder(std::string_view text) : text_(text) {}
+
+  Value Build() {
+    SkipWs();
+    return ParseValue();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string ParseString() {
+    ++pos_;  // opening quote
+    std::string s;
+    while (text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        c = text_[pos_++];
+        switch (c) {
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            // The writers never emit \u escapes; decode as '?' like the
+            // Scanner does rather than carrying a UTF-8 encoder.
+            pos_ += 4;
+            c = '?';
+            break;
+          default: break;  // '"', '\\', '/'
+        }
+      }
+      s.push_back(c);
+    }
+    ++pos_;  // closing quote
+    return s;
+  }
+
+  Value ParseValue() {
+    Value v;
+    const char c = text_[pos_];
+    if (c == '{') {
+      v.kind = Value::Kind::kObject;
+      ++pos_;
+      SkipWs();
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        SkipWs();
+        std::string key = ParseString();
+        SkipWs();
+        ++pos_;  // ':'
+        SkipWs();
+        v.members.emplace_back(std::move(key), ParseValue());
+        SkipWs();
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        ++pos_;  // '}'
+        return v;
+      }
+    }
+    if (c == '[') {
+      v.kind = Value::Kind::kArray;
+      ++pos_;
+      SkipWs();
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        SkipWs();
+        v.items.push_back(ParseValue());
+        SkipWs();
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        ++pos_;  // ']'
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = Value::Kind::kString;
+      v.str = ParseString();
+      return v;
+    }
+    if (c == 't') {
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      pos_ += 4;
+      return v;
+    }
+    if (c == 'f') {
+      v.kind = Value::Kind::kBool;
+      pos_ += 5;
+      return v;
+    }
+    if (c == 'n') {
+      pos_ += 4;
+      return v;  // kNull
+    }
+    v.kind = Value::Kind::kNumber;
+    // Bound the token before strtod: a string_view is not null-terminated.
+    const std::size_t start = pos_;
+    auto is_num_char = [](char ch) {
+      return (ch >= '0' && ch <= '9') || ch == '-' || ch == '+' ||
+             ch == '.' || ch == 'e' || ch == 'E';
+    };
+    while (pos_ < text_.size() && is_num_char(text_[pos_])) ++pos_;
+    const std::string token(text_.substr(start, pos_ - start));
+    v.number = std::strtod(token.c_str(), nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Parse(std::string_view text) {
+  Scanner scanner(text);
+  if (!scanner.Validate()) {
+    throw InvalidArgument("malformed JSON: " + scanner.Error());
+  }
+  return Builder(text).Build();
+}
+
+}  // namespace psra::obs::json

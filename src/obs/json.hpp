@@ -1,16 +1,20 @@
-// Minimal JSON syntax validator + flat key iterator.
+// Minimal JSON syntax validator + flat key iterator + DOM parser.
 //
 // The observability artifacts (trace.json, metrics.json) are emitted by
 // hand-rolled writers; this recursive-descent scanner is how the tests and
 // the metrics schema checker prove the output is well-formed JSON without
-// pulling in an external parser. It validates syntax only — values are not
-// materialized — and collects the dotted paths of every object key so a
-// schema can be checked against the emitted key set.
+// pulling in an external parser. The Scanner validates syntax only — values
+// are not materialized — and collects the dotted paths of every object key
+// so a schema can be checked against the emitted key set. Parse() (the read
+// side used by tools/psra_report) materializes a Value tree; it routes all
+// malformed input through the Scanner first, so rejection carries the
+// scanner's offset-bearing error message.
 #pragma once
 
 #include <cctype>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace psra::obs::json {
@@ -182,5 +186,39 @@ class Scanner {
   std::vector<std::string> keys_;
   std::string error_;
 };
+
+/// Materialized JSON value. Objects keep insertion order (the writers emit
+/// sorted keys, and golden-file tests depend on stable iteration), arrays
+/// keep element order. Numbers are doubles — every number the observability
+/// writers emit round-trips through FormatDouble, so double is lossless for
+/// this use.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> items;                             // kArray
+  std::vector<std::pair<std::string, Value>> members;   // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Looks up an object member by key; null when absent or not an object.
+  const Value* Find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses `text` as one JSON value. Throws InvalidArgument carrying the
+/// Scanner's error (with byte offset) on malformed input.
+Value Parse(std::string_view text);
 
 }  // namespace psra::obs::json

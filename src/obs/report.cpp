@@ -1,0 +1,409 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "support/status.hpp"
+#include "support/string_util.hpp"
+
+namespace psra::obs {
+
+const char* PhaseClassName(PhaseClass c) {
+  switch (c) {
+    case PhaseClass::kCompute: return "compute";
+    case PhaseClass::kCommunicate: return "communicate";
+    case PhaseClass::kWait: return "wait";
+    case PhaseClass::kOther: return "other";
+  }
+  return "other";
+}
+
+PhaseClass ClassifyPhase(std::string_view name) {
+  // Every span name the engines emit, by class. Unknown names (future
+  // engines, user harnesses) fall through to kOther rather than failing.
+  if (name == "x_update" || name == "z_y_update" || name == "y_update" ||
+      name == "z_update" || name == "dual_update") {
+    return PhaseClass::kCompute;
+  }
+  if (name == "w_allreduce" || name == "scatter_reduce" ||
+      name == "allgather" || name == "intra_reduce" ||
+      name == "w_broadcast" || name == "push_model" ||
+      name == "report_send" || name == "reply_send" ||
+      name == "recv_report" || name == "gg_report" ||
+      name == "group_form" || name == "fault_retry") {
+    return PhaseClass::kCommunicate;
+  }
+  if (name == "gg_wait" || name == "ssp_wait" || name == "z_wait") {
+    return PhaseClass::kWait;
+  }
+  return PhaseClass::kOther;
+}
+
+namespace {
+
+double NumberOr(const json::Value* v, double fallback) {
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+/// Sorts a track's spans by (begin asc, end desc) and flags nested spans:
+/// a span whose extent lies inside the union of previously accepted
+/// top-level spans. Engine spans never partially overlap (marks advance
+/// monotonically; SpanAt children sit inside their parent), so the sweep is
+/// exact for traces the writers emit — up to the microsecond-text round
+/// trip: a child ending exactly at its parent's end reconstructs as
+/// begin+dur with a different rounding path, so nesting is judged with one
+/// virtual nanosecond of tolerance.
+constexpr double kNestEps = 1e-9;
+
+void FlagNested(ReportTrack& track) {
+  std::sort(track.spans.begin(), track.spans.end(),
+            [](const ReportSpan& a, const ReportSpan& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end > b.end;
+            });
+  double cover_end = -1.0;
+  for (auto& s : track.spans) {
+    if (s.end <= cover_end + kNestEps) {
+      s.top_level = false;
+    } else {
+      s.top_level = true;
+      cover_end = s.end;
+    }
+  }
+}
+
+}  // namespace
+
+TraceData LoadChromeTrace(std::string_view text) {
+  const json::Value root = json::Parse(text);
+  const json::Value* events = root.Find("traceEvents");
+  PSRA_REQUIRE(events != nullptr && events->is_array(),
+               "trace JSON has no traceEvents array");
+  TraceData data;
+  auto track_at = [&data](std::size_t tid) -> ReportTrack& {
+    if (tid >= data.tracks.size()) {
+      const std::size_t old = data.tracks.size();
+      data.tracks.resize(tid + 1);
+      for (std::size_t t = old; t <= tid; ++t) {
+        data.tracks[t].name = "track " + std::to_string(t);
+      }
+    }
+    return data.tracks[tid];
+  };
+  for (const auto& ev : events->items) {
+    const json::Value* ph = ev.Find("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    const auto tid = static_cast<std::size_t>(NumberOr(ev.Find("tid"), 0.0));
+    const json::Value* args = ev.Find("args");
+    if (ph->str == "M") {
+      const json::Value* name = ev.Find("name");
+      if (name != nullptr && name->str == "thread_name" && args != nullptr) {
+        const json::Value* tname = args->Find("name");
+        if (tname != nullptr && tname->is_string()) {
+          track_at(tid).name = tname->str;
+        }
+      }
+      continue;
+    }
+    if (ph->str != "X") continue;
+    const json::Value* name = ev.Find("name");
+    PSRA_REQUIRE(name != nullptr && name->is_string(),
+                 "trace event without a name");
+    ReportSpan span;
+    span.name = name->str;
+    // WriteChromeJson maps virtual seconds to trace microseconds.
+    span.begin = NumberOr(ev.Find("ts"), 0.0) / 1e6;
+    span.end = span.begin + NumberOr(ev.Find("dur"), 0.0) / 1e6;
+    if (args != nullptr) {
+      span.iteration =
+          static_cast<std::uint64_t>(NumberOr(args->Find("iter"), 0.0));
+      span.wall_s = NumberOr(args->Find("wall_us"), 0.0) / 1e6;
+    }
+    track_at(tid).spans.push_back(std::move(span));
+  }
+  for (auto& track : data.tracks) FlagNested(track);
+  return data;
+}
+
+MetricsRegistry MetricsFromJson(std::string_view text) {
+  const json::Value root = json::Parse(text);
+  PSRA_REQUIRE(root.is_object(), "metrics JSON is not an object");
+  MetricsRegistry reg;
+  if (const json::Value* counters = root.Find("counters")) {
+    PSRA_REQUIRE(counters->is_object(), "metrics counters is not an object");
+    for (const auto& [name, v] : counters->members) {
+      PSRA_REQUIRE(v.is_number(), "counter value is not a number");
+      reg.Counter(name) = static_cast<std::uint64_t>(v.number);
+    }
+  }
+  if (const json::Value* gauges = root.Find("gauges")) {
+    PSRA_REQUIRE(gauges->is_object(), "metrics gauges is not an object");
+    for (const auto& [name, v] : gauges->members) {
+      PSRA_REQUIRE(v.is_number(), "gauge value is not a number");
+      reg.Gauge(name) = v.number;
+    }
+  }
+  if (const json::Value* histos = root.Find("histograms")) {
+    PSRA_REQUIRE(histos->is_object(), "metrics histograms is not an object");
+    for (const auto& [name, v] : histos->members) {
+      const json::Value* bounds = v.Find("bounds");
+      const json::Value* counts = v.Find("counts");
+      PSRA_REQUIRE(bounds != nullptr && bounds->is_array() &&
+                       counts != nullptr && counts->is_array() &&
+                       counts->items.size() == bounds->items.size() + 1,
+                   "histogram shape mismatch");
+      std::vector<double> b;
+      b.reserve(bounds->items.size());
+      for (const auto& x : bounds->items) b.push_back(x.number);
+      Histogram& h = reg.Histo(name, b);
+      for (std::size_t i = 0; i < counts->items.size(); ++i) {
+        h.counts[i] = static_cast<std::uint64_t>(counts->items[i].number);
+      }
+      h.count = static_cast<std::uint64_t>(NumberOr(v.Find("count"), 0.0));
+      h.sum = NumberOr(v.Find("sum"), 0.0);
+    }
+  }
+  return reg;
+}
+
+TraceReport AnalyzeTrace(const TraceData& trace) {
+  TraceReport r;
+  // name -> (stat, saw a top-level occurrence)
+  std::map<std::string, PhaseStat> phases;
+  std::map<std::string, bool> saw_top;
+  for (const auto& track : trace.tracks) {
+    TrackStat ts;
+    ts.name = track.name;
+    double cover_lo = 0.0, cover_hi = -1.0;
+    for (const auto& s : track.spans) {
+      ++r.num_spans;
+      r.horizon = std::max(r.horizon, s.end);
+      r.iterations = std::max(r.iterations, s.iteration);
+      r.total_wall_s += s.wall_s;
+      ts.finish = std::max(ts.finish, s.end);
+      ts.wall_s += s.wall_s;
+      PhaseStat& p = phases[s.name];
+      if (p.count == 0) {
+        p.name = s.name;
+        p.cls = ClassifyPhase(s.name);
+      }
+      ++p.count;
+      p.wall_s += s.wall_s;
+      if (s.top_level) {
+        p.virtual_s += s.end - s.begin;
+        saw_top[s.name] = true;
+        // Spans are (begin, -end)-sorted, so the busy union is one sweep.
+        if (s.begin > cover_hi) {
+          if (cover_hi > cover_lo) ts.busy_s += cover_hi - cover_lo;
+          cover_lo = s.begin;
+        }
+        cover_hi = std::max(cover_hi, s.end);
+      }
+    }
+    if (cover_hi > cover_lo) ts.busy_s += cover_hi - cover_lo;
+    r.tracks.push_back(std::move(ts));
+  }
+
+  // Per-iteration critical path: the track whose spans for iteration k end
+  // last (ties go to the lower track index) is that iteration's critical
+  // worker; its top-level spans for k form the critical-path breakdown.
+  std::map<std::uint64_t, std::pair<double, std::size_t>> critical;
+  for (std::size_t t = 0; t < trace.tracks.size(); ++t) {
+    for (const auto& s : trace.tracks[t].spans) {
+      if (s.iteration == 0) continue;
+      auto [it, inserted] =
+          critical.try_emplace(s.iteration, s.end, t);
+      if (!inserted && s.end > it->second.first) it->second = {s.end, t};
+    }
+  }
+  std::map<std::string, PhaseStat> crit_phases;
+  for (const auto& [iter, best] : critical) {
+    const std::size_t t = best.second;
+    ++r.tracks[t].critical_iterations;
+    for (const auto& s : trace.tracks[t].spans) {
+      if (s.iteration != iter || !s.top_level) continue;
+      PhaseStat& p = crit_phases[s.name];
+      if (p.count == 0) {
+        p.name = s.name;
+        p.cls = ClassifyPhase(s.name);
+      }
+      ++p.count;
+      p.virtual_s += s.end - s.begin;
+      p.wall_s += s.wall_s;
+    }
+  }
+
+  auto by_time_desc = [](const PhaseStat& a, const PhaseStat& b) {
+    if (a.virtual_s != b.virtual_s) return a.virtual_s > b.virtual_s;
+    return a.name < b.name;
+  };
+  for (auto& [name, p] : phases) {
+    p.nested = !saw_top[name];
+    const auto c = static_cast<std::size_t>(p.cls);
+    r.class_virtual_s[c] += p.virtual_s;
+    r.class_wall_s[c] += p.wall_s;
+    r.phases.push_back(p);
+  }
+  std::sort(r.phases.begin(), r.phases.end(), by_time_desc);
+  for (auto& [name, p] : crit_phases) r.critical_phases.push_back(p);
+  std::sort(r.critical_phases.begin(), r.critical_phases.end(), by_time_desc);
+
+  double worker_sum = 0.0, worker_max = 0.0;
+  std::size_t workers = 0;
+  for (const auto& ts : r.tracks) {
+    if (!StartsWith(ts.name, "worker")) continue;
+    ++workers;
+    worker_sum += ts.finish;
+    if (ts.finish > worker_max) {
+      worker_max = ts.finish;
+      r.slowest_worker = ts.name;
+    }
+  }
+  if (workers > 0 && worker_sum > 0.0) {
+    r.worker_skew = worker_max / (worker_sum / static_cast<double>(workers));
+  }
+  if (r.total_wall_s > 0.0) r.sim_speedup = r.horizon / r.total_wall_s;
+  return r;
+}
+
+namespace {
+
+/// Fixed-point percentage (FormatDouble is %g-style and would render 50 as
+/// 5e+01 at low precision).
+std::string Pct(double part, double whole) {
+  if (whole <= 0.0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * part / whole);
+  return buf;
+}
+
+void PhaseTable(std::ostream& os, const std::vector<PhaseStat>& phases,
+                double attributed) {
+  os << "| phase | class | virtual s | share | wall s | spans |\n"
+     << "|---|---|---:|---:|---:|---:|\n";
+  for (const auto& p : phases) {
+    os << "| " << p.name << (p.nested ? " (nested)" : "") << " | "
+       << PhaseClassName(p.cls) << " | " << FormatDouble(p.virtual_s, 4)
+       << " | " << (p.nested ? "-" : Pct(p.virtual_s, attributed)) << " | "
+       << FormatDouble(p.wall_s, 4) << " | " << p.count << " |\n";
+  }
+}
+
+}  // namespace
+
+void WriteReportMarkdown(const TraceReport& r, const MetricsRegistry* metrics,
+                         std::ostream& os) {
+  double attributed = 0.0;
+  for (const double c : r.class_virtual_s) attributed += c;
+
+  os << "# psra run report\n\n## Run summary\n\n"
+     << "- tracks: " << r.tracks.size() << ", spans: " << r.num_spans
+     << ", iterations: " << r.iterations << "\n"
+     << "- virtual makespan: " << FormatDouble(r.horizon, 4)
+     << " s; phase-attributed virtual time summed over tracks: "
+     << FormatDouble(attributed, 4) << " s\n"
+     << "- host wall time on instrumented phases: "
+     << FormatDouble(r.total_wall_s, 4) << " s";
+  if (r.sim_speedup > 0.0) {
+    os << " (" << FormatDouble(r.sim_speedup, 3)
+       << " virtual s simulated per wall s)";
+  }
+  os << "\n\n## Phase breakdown\n\n";
+  PhaseTable(os, r.phases, attributed);
+
+  os << "\n## Compute / communicate / wait split\n\n"
+     << "| class | virtual s | share | wall s |\n|---|---:|---:|---:|\n";
+  for (std::size_t c = 0; c < kNumPhaseClasses; ++c) {
+    os << "| " << PhaseClassName(static_cast<PhaseClass>(c)) << " | "
+       << FormatDouble(r.class_virtual_s[c], 4) << " | "
+       << Pct(r.class_virtual_s[c], attributed) << " | "
+       << FormatDouble(r.class_wall_s[c], 4) << " |\n";
+  }
+
+  os << "\n## Workers\n\n"
+     << "| track | finish s | busy s | idle | wall s | critical iters |\n"
+     << "|---|---:|---:|---:|---:|---:|\n";
+  for (const auto& t : r.tracks) {
+    os << "| " << t.name << " | " << FormatDouble(t.finish, 4) << " | "
+       << FormatDouble(t.busy_s, 4) << " | "
+       << (t.finish > 0.0 ? Pct(t.finish - t.busy_s, t.finish) : "-") << " | "
+       << FormatDouble(t.wall_s, 4) << " | " << t.critical_iterations
+       << " |\n";
+  }
+  if (r.worker_skew > 0.0) {
+    os << "\nStraggler skew (max finish / mean finish over workers): "
+       << FormatDouble(r.worker_skew, 4) << " (slowest: " << r.slowest_worker
+       << ")\n";
+  }
+
+  os << "\n## Critical path\n\nUnion over iterations of the worker that"
+        " finished each iteration last:\n\n";
+  double crit_total = 0.0;
+  for (const auto& p : r.critical_phases) crit_total += p.virtual_s;
+  PhaseTable(os, r.critical_phases, crit_total);
+
+  if (metrics != nullptr) {
+    os << "\n## Bytes on wire (eq. 11-16)\n\n"
+       << "| algorithm | bytes | elements | messages | rounds |"
+          " invocations |\n|---|---:|---:|---:|---:|---:|\n";
+    const auto& counters = metrics->counters();
+    auto counter = [&counters](const std::string& name) -> std::uint64_t {
+      const auto it = counters.find(name);
+      return it == counters.end() ? 0 : it->second;
+    };
+    for (const auto& [name, bytes] : counters) {
+      constexpr std::string_view kPrefix = "comm.allreduce.";
+      constexpr std::string_view kSuffix = ".bytes";
+      if (!StartsWith(name, kPrefix) || name.size() <= kSuffix.size() ||
+          name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                       kSuffix) != 0) {
+        continue;
+      }
+      const std::string alg = name.substr(
+          kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+      const std::string p = std::string(kPrefix) + alg + ".";
+      os << "| " << alg << " | " << bytes << " | "
+         << counter(p + "elements") << " | " << counter(p + "messages")
+         << " | " << counter(p + "rounds") << " | "
+         << counter(p + "invocations") << " |\n";
+    }
+    const std::uint64_t psr = counter("comm.allreduce.psr.bytes");
+    const std::uint64_t ring = counter("comm.allreduce.ring.bytes");
+    if (psr > 0 && ring > 0) {
+      os << "\nPSR < Ring bytes-on-wire: " << (psr < ring ? "yes" : "NO")
+         << " (psr " << psr << " vs ring " << ring << ")\n";
+    }
+  }
+}
+
+void WriteReportCsv(const TraceReport& r, std::ostream& os) {
+  os << "row,name,class,virtual_s,wall_s,count\n";
+  os << "summary,horizon," << r.iterations << ","
+     << FormatDouble(r.horizon, 9) << "," << FormatDouble(r.total_wall_s, 9)
+     << "," << r.num_spans << "\n";
+  for (const auto& p : r.phases) {
+    os << "phase," << p.name << "," << PhaseClassName(p.cls) << ","
+       << FormatDouble(p.virtual_s, 9) << "," << FormatDouble(p.wall_s, 9)
+       << "," << p.count << "\n";
+  }
+  for (std::size_t c = 0; c < kNumPhaseClasses; ++c) {
+    os << "class," << PhaseClassName(static_cast<PhaseClass>(c)) << ","
+       << PhaseClassName(static_cast<PhaseClass>(c)) << ","
+       << FormatDouble(r.class_virtual_s[c], 9) << ","
+       << FormatDouble(r.class_wall_s[c], 9) << ",\n";
+  }
+  for (const auto& t : r.tracks) {
+    os << "track," << t.name << ",," << FormatDouble(t.busy_s, 9) << ","
+       << FormatDouble(t.wall_s, 9) << "," << t.critical_iterations << "\n";
+  }
+  for (const auto& p : r.critical_phases) {
+    os << "critical," << p.name << "," << PhaseClassName(p.cls) << ","
+       << FormatDouble(p.virtual_s, 9) << "," << FormatDouble(p.wall_s, 9)
+       << "," << p.count << "\n";
+  }
+}
+
+}  // namespace psra::obs

@@ -1,0 +1,127 @@
+// Trace/metrics analytics: the READ side of the observability stack.
+//
+// LoadChromeTrace re-ingests the Chrome trace_event JSON that
+// SpanTracer::WriteChromeJson emits (and MetricsFromJson re-ingests
+// MetricsRegistry::WriteJson), then AnalyzeTrace turns the span soup into
+// the questions the paper cares about:
+//
+//   - per-phase time breakdown, rolled up into compute / communicate / wait
+//     classes (the paper's Cal_time vs Comm_time split, per phase);
+//   - the per-iteration critical path: which worker finished each iteration
+//     last, and which phases its time went to — the straggler's-eye view
+//     that explains the makespan;
+//   - per-worker straggler skew (slowest finish over mean finish);
+//   - wall-vs-virtual ratio: how many simulated seconds each host second
+//     buys, from the Stopwatch wall_s annotations on spans.
+//
+// Nested spans (scatter_reduce/allgather inside w_allreduce) are detected
+// with a cover sweep and excluded from the class totals so time is never
+// double-counted; they still appear in the per-phase table with their own
+// row. All analysis is pure — a committed trace fixture yields a
+// byte-identical report, which is what the golden-file tests pin.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace psra::obs {
+
+/// Phase classes for the compute/communicate/wait rollup.
+enum class PhaseClass : std::uint8_t {
+  kCompute = 0,
+  kCommunicate = 1,
+  kWait = 2,
+  kOther = 3,
+};
+inline constexpr std::size_t kNumPhaseClasses = 4;
+const char* PhaseClassName(PhaseClass c);
+/// Maps a span name to its class (x_update -> compute, w_allreduce ->
+/// communicate, gg_wait/ssp_wait/z_wait -> wait, unknown -> other).
+PhaseClass ClassifyPhase(std::string_view name);
+
+/// One span re-loaded from a trace artifact. Times are virtual seconds.
+struct ReportSpan {
+  std::string name;
+  double begin = 0.0;
+  double end = 0.0;
+  std::uint64_t iteration = 0;
+  double wall_s = 0.0;
+  /// False when the span lies inside the union of earlier spans on its
+  /// track (a nested sub-phase); nested spans are excluded from rollups.
+  bool top_level = true;
+};
+
+struct ReportTrack {
+  std::string name;
+  std::vector<ReportSpan> spans;  // sorted by (begin, -end)
+};
+
+struct TraceData {
+  std::vector<ReportTrack> tracks;
+};
+
+/// Parses a SpanTracer Chrome trace_event artifact. Throws InvalidArgument
+/// on malformed JSON (with the scanner's byte offset) or on structurally
+/// alien input (no traceEvents array).
+TraceData LoadChromeTrace(std::string_view text);
+
+/// Parses a MetricsRegistry::WriteJson artifact back into a registry.
+/// Throws InvalidArgument on malformed or structurally alien input.
+MetricsRegistry MetricsFromJson(std::string_view text);
+
+struct PhaseStat {
+  std::string name;
+  PhaseClass cls = PhaseClass::kOther;
+  double virtual_s = 0.0;     // top-level spans only
+  double wall_s = 0.0;
+  std::uint64_t count = 0;    // all spans, nested included
+  bool nested = false;        // true when every occurrence was nested
+};
+
+struct TrackStat {
+  std::string name;
+  double finish = 0.0;     // last span end
+  double busy_s = 0.0;     // union of the track's spans
+  double wall_s = 0.0;
+  std::uint64_t critical_iterations = 0;  // iterations this track ended last
+};
+
+struct TraceReport {
+  double horizon = 0.0;          // max span end over all tracks
+  std::uint64_t iterations = 0;  // max iteration label seen
+  std::size_t num_spans = 0;
+  double total_wall_s = 0.0;
+  /// Simulated seconds per host second (horizon / total_wall_s; 0 when the
+  /// trace carries no wall annotations).
+  double sim_speedup = 0.0;
+  std::vector<PhaseStat> phases;          // sorted by virtual_s descending
+  double class_virtual_s[kNumPhaseClasses] = {};
+  double class_wall_s[kNumPhaseClasses] = {};
+  std::vector<TrackStat> tracks;
+  /// Straggler skew over tracks named "worker*": max finish / mean finish
+  /// (1.0 = perfectly balanced; 0 when there are no worker tracks).
+  double worker_skew = 0.0;
+  std::string slowest_worker;
+  /// Phase breakdown along the per-iteration critical path (the top-level
+  /// spans of whichever track finished each iteration last).
+  std::vector<PhaseStat> critical_phases;
+};
+
+TraceReport AnalyzeTrace(const TraceData& trace);
+
+/// Markdown report: run summary, phase/class tables, per-worker skew,
+/// critical path, and (when `metrics` is non-null) the eq. 11-16
+/// bytes-on-wire comparison across comm.allreduce.* algorithms.
+void WriteReportMarkdown(const TraceReport& report,
+                         const MetricsRegistry* metrics, std::ostream& os);
+
+/// Machine-readable companion: one `phase` row per phase plus `class`,
+/// `track`, and `critical` rows. Stable ordering for golden-file tests.
+void WriteReportCsv(const TraceReport& report, std::ostream& os);
+
+}  // namespace psra::obs

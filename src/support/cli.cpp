@@ -3,6 +3,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "support/log.hpp"
 #include "support/status.hpp"
 #include "support/string_util.hpp"
 
@@ -97,6 +98,15 @@ std::string CliParser::Usage() const {
   }
   os << "  --help\n      print this message\n";
   return os.str();
+}
+
+void AddLogLevelFlag(CliParser& cli, std::string* storage) {
+  cli.AddString("log-level", storage,
+                "log verbosity: debug, info, warn, error, off");
+}
+
+void ApplyLogLevelFlag(const std::string& level) {
+  SetLogLevel(ParseLogLevel(level));
 }
 
 }  // namespace psra

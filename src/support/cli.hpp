@@ -47,4 +47,10 @@ class CliParser {
   std::vector<Option> options_;
 };
 
+/// Registers the standard `--log-level` flag (debug|info|warn|error|off).
+/// `storage` holds the parsed name and must outlive Parse; pass it to
+/// ApplyLogLevelFlag afterwards to install the level process-wide.
+void AddLogLevelFlag(CliParser& cli, std::string* storage);
+void ApplyLogLevelFlag(const std::string& level);
+
 }  // namespace psra

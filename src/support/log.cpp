@@ -5,6 +5,9 @@
 #include <iostream>
 #include <mutex>
 
+#include "support/status.hpp"
+#include "support/string_util.hpp"
+
 namespace psra {
 
 namespace {
@@ -27,6 +30,17 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 void SetLogSink(std::ostream* sink) { g_sink.store(sink); }
+
+LogLevel ParseLogLevel(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "debug") return LogLevel::kDebug;
+  if (n == "info") return LogLevel::kInfo;
+  if (n == "warn" || n == "warning") return LogLevel::kWarn;
+  if (n == "error") return LogLevel::kError;
+  if (n == "off" || n == "none") return LogLevel::kOff;
+  throw InvalidArgument("unknown log level '" + name +
+                        "' (want debug|info|warn|error|off)");
+}
 
 namespace detail {
 void LogMessage(LogLevel level, const char* component, bool has_vt, double vt,

@@ -25,6 +25,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses a --log-level flag value: debug|info|warn|error|off (case
+/// insensitive). Throws InvalidArgument on anything else.
+LogLevel ParseLogLevel(const std::string& name);
+
 /// Redirects log output (default stderr when null). Intended for tests that
 /// assert on the rendered format; not synchronized with concurrent loggers,
 /// so install before spawning threads.

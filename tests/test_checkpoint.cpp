@@ -212,5 +212,87 @@ TEST(RunCheckpointTest, MissingFileThrowsIoError) {
   EXPECT_THROW(ReadRunCheckpointFile("/nonexistent/run-ckpt"), IoError);
 }
 
+// -------------------------------------------- metrics snapshot round trip --
+
+TEST(RunCheckpointTest, CaptureSnapshotsMetricsRegistry) {
+  RunCkptFixture f;
+  const std::vector<simnet::Rank> everyone{0, 1, 2};
+  obs::MetricsRegistry metrics;
+  metrics.Counter("comm.allreduce.psr.bytes") = 12345;
+  metrics.Gauge("run.makespan_s") = 0.125;
+
+  RunCheckpoint ckpt;
+  CaptureRunCheckpoint(f.ws, 3, everyone, ckpt, &metrics);
+  EXPECT_EQ(ckpt.metrics, metrics);
+
+  // The snapshot is a copy frozen at capture time, not a live reference.
+  metrics.Counter("comm.allreduce.psr.bytes") = 99999;
+  EXPECT_NE(ckpt.metrics, metrics);
+
+  // Null metrics leaves the checkpoint's registry untouched.
+  CaptureRunCheckpoint(f.ws, 4, everyone, ckpt);
+  EXPECT_FALSE(ckpt.metrics.empty());
+  EXPECT_EQ(ckpt.metrics.counters().at("comm.allreduce.psr.bytes"), 12345u);
+}
+
+TEST(RunCheckpointTest, MetricsSurviveWriteReadByteIdentically) {
+  RunCkptFixture f;
+  const std::vector<simnet::Rank> everyone{0, 1, 2};
+  obs::MetricsRegistry metrics;
+  metrics.Counter("engine.iterations") = 41;
+  metrics.Counter("comm.allreduce.ring.bytes") = 987654321;
+  metrics.Gauge("run.cal_time_s") = 1.0 / 3.0;  // not representable exactly
+  const double bounds[] = {0.1, 0.5, 1.0};
+  auto& h = metrics.Histo("comm.allreduce.fill_ratio", bounds);
+  h.Observe(0.05);
+  h.Observe(0.7);
+  h.Observe(2.0);
+
+  RunCheckpoint ckpt;
+  CaptureRunCheckpoint(f.ws, 9, everyone, ckpt, &metrics);
+  std::ostringstream os;
+  WriteRunCheckpoint(ckpt, os);
+  std::istringstream is(os.str());
+  const auto back = ReadRunCheckpoint(is);
+
+  // A resumed harness continues from `back.metrics`; an uninterrupted run
+  // would have continued from `metrics`. For the resumed run's metrics.json
+  // to match, the restored registry must serialize byte-identically.
+  EXPECT_EQ(back.metrics, ckpt.metrics);
+  std::ostringstream before, after;
+  metrics.WriteJson(before);
+  back.metrics.WriteJson(after);
+  EXPECT_EQ(before.str(), after.str());
+  EXPECT_EQ(back.iteration, 9u);
+}
+
+TEST(RunCheckpointTest, FilesWithoutMetricsTrailerStillLoad) {
+  RunCkptFixture f;
+  const std::vector<simnet::Rank> everyone{0, 1, 2};
+  RunCheckpoint ckpt;
+  CaptureRunCheckpoint(f.ws, 2, everyone, ckpt);  // no metrics
+  std::ostringstream os;
+  WriteRunCheckpoint(ckpt, os);
+  EXPECT_EQ(os.str().find("metrics"), std::string::npos);
+  std::istringstream is(os.str());
+  const auto back = ReadRunCheckpoint(is);
+  EXPECT_TRUE(back.metrics.empty());
+  ASSERT_EQ(back.workers.size(), 3u);
+}
+
+TEST(RunCheckpointTest, TruncatedMetricsTrailerThrows) {
+  RunCkptFixture f;
+  const std::vector<simnet::Rank> everyone{0, 1, 2};
+  obs::MetricsRegistry metrics;
+  metrics.Counter("engine.iterations") = 5;
+  RunCheckpoint ckpt;
+  CaptureRunCheckpoint(f.ws, 1, everyone, ckpt, &metrics);
+  std::ostringstream os;
+  WriteRunCheckpoint(ckpt, os);
+  const std::string text = os.str();
+  std::istringstream is(text.substr(0, text.size() - 4));
+  EXPECT_THROW(ReadRunCheckpoint(is), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace psra::admm

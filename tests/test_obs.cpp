@@ -322,6 +322,37 @@ TEST(EngineMetrics, GadmmChainAndAdmmMasterCountersAppear) {
   EXPECT_GT(ad.metrics.counters().at("master.z_updates"), 0u);
 }
 
+// ADMMLib publishes its SSP-barrier layer and ring traffic, and its spans
+// carry host wall time in the Chrome trace args.
+TEST(EngineMetrics, AdmmLibSspCountersAndWallClockAppear) {
+  const auto problem = BuildProblem(ObsSpec(), 8);
+  admm::ClusterConfig cluster;
+  cluster.num_nodes = 4;
+  cluster.workers_per_node = 2;
+  RunOptions opt;
+  opt.max_iterations = 4;
+  opt.eval_every = 2;
+
+  obs::ObsContext obs;
+  opt.obs = &obs;
+  const auto res = admm::RunAlgorithm("admmlib", cluster, problem, opt);
+  const auto& c = res.metrics.counters();
+  EXPECT_GT(c.at("ssp.rounds"), 0u);
+  EXPECT_GT(c.at("comm.allreduce.ring.invocations"), 0u);
+  EXPECT_GT(c.at("comm.allreduce.ring.bytes"), 0u);
+  EXPECT_EQ(c.at("engine.iterations"), res.iterations_run);
+  EXPECT_EQ(res.metrics.histograms().count("ssp.participants"), 1u);
+
+  std::ostringstream os;
+  obs.tracer.WriteChromeJson(os);
+  const std::string text = os.str();
+  for (const char* span : {"x_update", "w_allreduce", "z_y_update"}) {
+    EXPECT_NE(text.find('"' + std::string(span) + '"'), std::string::npos)
+        << span;
+  }
+  EXPECT_NE(text.find("\"wall_us\""), std::string::npos);
+}
+
 // PSR moves fewer bytes than Ring for the same job (paper eq. 11-16): the
 // per-collective byte counters must reproduce that ordering. Hierarchical
 // grouping (full leader barrier), so the collective spans all 8 nodes —

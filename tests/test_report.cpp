@@ -1,0 +1,170 @@
+// Golden-file and contract tests for the trace/metrics analyzer behind
+// tools/psra_report. The fixtures are committed; regenerate the goldens with
+//
+//   build/tools/psra_report --trace tests/fixtures/report_trace.json \
+//     --metrics tests/fixtures/report_metrics.json \
+//     --out tests/fixtures/report_golden.md \
+//     --csv tests/fixtures/report_golden.csv
+//
+// whenever the report layout changes on purpose.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "support/status.hpp"
+
+namespace psra::obs {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(PSRA_TEST_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name));
+  EXPECT_TRUE(static_cast<bool>(in)) << "missing fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ------------------------------------------------------------ json DOM ----
+
+TEST(JsonParse, BuildsDomWithOrderedMembers) {
+  const auto v = json::Parse(R"({"b": [1, 2.5, "x"], "a": {"k": true}})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members.size(), 2u);
+  EXPECT_EQ(v.members[0].first, "b");  // insertion order, not sorted
+  const json::Value* b = v.Find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  ASSERT_EQ(b->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(b->items[1].number, 2.5);
+  EXPECT_EQ(b->items[2].str, "x");
+  const json::Value* a = v.Find("a");
+  ASSERT_TRUE(a != nullptr && a->is_object());
+  ASSERT_TRUE(a->Find("k") != nullptr);
+  EXPECT_TRUE(a->Find("k")->boolean);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(json::Parse("{\"a\": }"), InvalidArgument);
+  EXPECT_THROW(json::Parse("{\"a\": 1,}"), InvalidArgument);
+  EXPECT_THROW(json::Parse("[1, 2"), InvalidArgument);
+  EXPECT_THROW(json::Parse("nul"), InvalidArgument);
+  EXPECT_THROW(json::Parse(""), InvalidArgument);
+}
+
+// ----------------------------------------------------------- trace load ----
+
+TEST(LoadChromeTrace, ReadsTracksSpansAndNesting) {
+  const auto trace = LoadChromeTrace(ReadFixture("report_trace.json"));
+  ASSERT_EQ(trace.tracks.size(), 3u);
+  EXPECT_EQ(trace.tracks[0].name, "worker 0");
+  EXPECT_EQ(trace.tracks[1].name, "worker 1");
+  EXPECT_EQ(trace.tracks[2].name, "group generator");
+
+  // scatter_reduce/allgather sit inside w_allreduce and must be flagged
+  // nested; everything else is top-level.
+  for (const auto& track : trace.tracks) {
+    for (const auto& s : track.spans) {
+      const bool child = s.name == "scatter_reduce" || s.name == "allgather";
+      EXPECT_EQ(s.top_level, !child) << track.name << " " << s.name;
+      EXPECT_GE(s.end, s.begin);
+    }
+  }
+}
+
+TEST(LoadChromeTrace, RejectsJsonWithoutTraceEvents) {
+  EXPECT_THROW(LoadChromeTrace("{}"), Error);
+  EXPECT_THROW(LoadChromeTrace(R"({"traceEvents": 3})"), Error);
+  EXPECT_THROW(LoadChromeTrace("{"), InvalidArgument);
+}
+
+TEST(MetricsFromJson, RoundTripsRegistryByteExactly) {
+  const auto text = ReadFixture("report_metrics.json");
+  const auto reg = MetricsFromJson(text);
+  EXPECT_EQ(reg.counters().at("comm.allreduce.psr.bytes"), 357032u);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("run.makespan_s"), 0.00053);
+  const auto& h = reg.histograms().at("comm.allreduce.fill_ratio");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 1.75);
+
+  std::ostringstream once, twice;
+  reg.WriteJson(once);
+  MetricsFromJson(once.str()).WriteJson(twice);
+  EXPECT_EQ(once.str(), twice.str());
+}
+
+TEST(MetricsFromJson, RejectsMalformedShapes) {
+  EXPECT_THROW(MetricsFromJson("[1]"), Error);
+  EXPECT_THROW(MetricsFromJson(R"({"counters": 5})"), Error);
+  EXPECT_THROW(MetricsFromJson(R"({"counters": {"c": "x"}})"), Error);
+  // counts must be bounds.size() + 1 (overflow bucket).
+  EXPECT_THROW(
+      MetricsFromJson(
+          R"({"histograms": {"h": {"bounds": [1], "counts": [1]}}})"),
+      Error);
+  EXPECT_THROW(MetricsFromJson("{\"counters\": {\"a\" 1}}"), InvalidArgument);
+}
+
+// ------------------------------------------------------------- analysis ----
+
+TEST(AnalyzeTrace, ComputesPhasesSkewAndCriticalPath) {
+  const auto trace = LoadChromeTrace(ReadFixture("report_trace.json"));
+  const auto r = AnalyzeTrace(trace);
+
+  EXPECT_EQ(r.num_spans, 19u);
+  EXPECT_EQ(r.iterations, 2u);
+  EXPECT_NEAR(r.horizon, 530e-6, 1e-12);
+  EXPECT_NEAR(r.total_wall_s, 235e-6, 1e-12);
+
+  // Nested children contribute no attributed virtual time, so the class
+  // totals are a partition of top-level span time.
+  const auto c = [&r](PhaseClass cls) {
+    return r.class_virtual_s[static_cast<std::size_t>(cls)];
+  };
+  EXPECT_NEAR(c(PhaseClass::kCompute), 560e-6, 1e-12);
+  EXPECT_NEAR(c(PhaseClass::kCommunicate), 410e-6, 1e-12);
+  EXPECT_NEAR(c(PhaseClass::kWait), 30e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(c(PhaseClass::kOther), 0.0);
+
+  // worker 1 ends both iterations last → owns the whole critical path.
+  EXPECT_EQ(r.slowest_worker, "worker 1");
+  EXPECT_NEAR(r.worker_skew, 530.0 / 495.0, 1e-9);
+  ASSERT_EQ(r.tracks.size(), 3u);
+  EXPECT_EQ(r.tracks[0].critical_iterations, 0u);
+  EXPECT_EQ(r.tracks[1].critical_iterations, 2u);
+  ASSERT_FALSE(r.critical_phases.empty());
+  EXPECT_EQ(r.critical_phases[0].name, "x_update");
+}
+
+// --------------------------------------------------------- golden files ----
+
+TEST(ReportGolden, MarkdownMatchesCommittedFixture) {
+  const auto trace = LoadChromeTrace(ReadFixture("report_trace.json"));
+  const auto metrics = MetricsFromJson(ReadFixture("report_metrics.json"));
+  const auto r = AnalyzeTrace(trace);
+  std::ostringstream os;
+  WriteReportMarkdown(r, &metrics, os);
+  EXPECT_EQ(os.str(), ReadFixture("report_golden.md"))
+      << "report layout changed; regenerate the golden (see file header)";
+  EXPECT_NE(os.str().find("PSR < Ring bytes-on-wire: yes"),
+            std::string::npos);
+}
+
+TEST(ReportGolden, CsvMatchesCommittedFixture) {
+  const auto trace = LoadChromeTrace(ReadFixture("report_trace.json"));
+  const auto r = AnalyzeTrace(trace);
+  std::ostringstream os;
+  WriteReportCsv(r, os);
+  EXPECT_EQ(os.str(), ReadFixture("report_golden.csv"))
+      << "CSV layout changed; regenerate the golden (see file header)";
+}
+
+}  // namespace
+}  // namespace psra::obs

@@ -1,0 +1,114 @@
+// Run-report analyzer: turns --trace-out / --metrics-out artifacts into the
+// paper's answers.
+//
+//   psra_report --trace OBS_trace.json --metrics OBS_metrics.json
+//               [--out report.md] [--csv report.csv]
+//
+// The markdown report carries the per-phase time breakdown (compute vs.
+// communicate vs. wait), the per-iteration critical path, per-worker
+// straggler skew, wall-vs-virtual ratios, and — when a metrics.json is
+// given — the eq. 11-16 bytes-on-wire table across collectives.
+//
+// --assert-fig6 turns the report into a gate for the bench_fig6 artifact
+// pair: the PSR collective must beat Ring on bytes-on-wire and the trace
+// must attribute a nonzero share to communicate-class phases; either
+// failure exits nonzero so CI catches a comms regression, not a dashboard.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+#include "support/cli.hpp"
+#include "support/status.hpp"
+
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw psra::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteTo(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw psra::IoError("cannot write " + path);
+  out << content;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psra;
+
+  std::string trace_path, metrics_path, out_path, csv_path;
+  bool assert_fig6 = false;
+  CliParser cli("psra_report",
+                "analyze --trace-out/--metrics-out run artifacts");
+  cli.AddString("trace", &trace_path, "trace.json artifact (Chrome format)");
+  cli.AddString("metrics", &metrics_path, "metrics.json artifact");
+  cli.AddString("out", &out_path, "markdown report path (default: stdout)");
+  cli.AddString("csv", &csv_path, "machine-readable CSV report path");
+  cli.AddBool("assert-fig6", &assert_fig6,
+              "fail unless PSR < Ring bytes and communicate share > 0");
+  if (!cli.Parse(argc, argv)) return 0;
+
+  try {
+    if (trace_path.empty() && metrics_path.empty()) {
+      std::cerr << "psra_report: need --trace and/or --metrics\n";
+      return 2;
+    }
+    obs::TraceReport report;
+    if (!trace_path.empty()) {
+      report = obs::AnalyzeTrace(obs::LoadChromeTrace(ReadFile(trace_path)));
+    }
+    obs::MetricsRegistry metrics;
+    const bool have_metrics = !metrics_path.empty();
+    if (have_metrics) metrics = obs::MetricsFromJson(ReadFile(metrics_path));
+
+    std::ostringstream md;
+    obs::WriteReportMarkdown(report, have_metrics ? &metrics : nullptr, md);
+    if (out_path.empty()) {
+      std::cout << md.str();
+    } else {
+      WriteTo(out_path, md.str());
+      std::cout << "report: " << out_path << "\n";
+    }
+    if (!csv_path.empty()) {
+      std::ostringstream csv;
+      obs::WriteReportCsv(report, csv);
+      WriteTo(csv_path, csv.str());
+      std::cout << "csv: " << csv_path << "\n";
+    }
+
+    if (assert_fig6) {
+      int failures = 0;
+      const auto& counters = metrics.counters();
+      const auto psr = counters.find("comm.allreduce.psr.bytes");
+      const auto ring = counters.find("comm.allreduce.ring.bytes");
+      if (!have_metrics || psr == counters.end() || ring == counters.end()) {
+        std::cerr << "assert-fig6: psr/ring bytes counters missing\n";
+        ++failures;
+      } else if (psr->second >= ring->second) {
+        std::cerr << "assert-fig6: PSR bytes (" << psr->second
+                  << ") not below Ring bytes (" << ring->second << ")\n";
+        ++failures;
+      }
+      if (trace_path.empty() ||
+          report.class_virtual_s[static_cast<std::size_t>(
+              obs::PhaseClass::kCommunicate)] <= 0.0) {
+        std::cerr << "assert-fig6: no communicate-class time in trace\n";
+        ++failures;
+      }
+      if (failures != 0) return 1;
+      std::cout << "assert-fig6 OK: PSR < Ring bytes-on-wire, communicate"
+                   " share nonzero\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "psra_report: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
