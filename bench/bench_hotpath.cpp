@@ -162,6 +162,26 @@ int main(int argc, char** argv) {
   std::cout << "  flat/serial speedup vs pre-change baseline ("
             << kBaselineItersPerSec << "): " << speedup << "x\n";
 
+  // Dynamic-grouping gap summaries (rows are flat/serial, flat/pool,
+  // dynamic/serial, dynamic/pool). CI gates on these ratios, so they are
+  // computed once here rather than re-derived from the rows downstream.
+  auto rate = [&rows](const std::string& g, const std::string& h) {
+    for (const auto& row : rows) {
+      if (row.grouping == g && row.host == h) return row.m.iters_per_sec;
+    }
+    return 0.0;
+  };
+  const std::string pool_name = "pool" + std::to_string(threads);
+  const double flat_pool = rate("flat", pool_name);
+  const double dyn_serial = rate("dynamic", "serial");
+  const double dyn_pool = rate("dynamic", pool_name);
+  const double dyn_over_flat = flat_pool > 0 ? dyn_pool / flat_pool : 0.0;
+  const double dyn_pool_over_serial =
+      dyn_serial > 0 ? dyn_pool / dyn_serial : 0.0;
+  std::cout << "  dynamic/" << pool_name << " vs flat/" << pool_name << ": "
+            << dyn_over_flat << "x; vs dynamic/serial: " << dyn_pool_over_serial
+            << "x\n";
+
   std::ofstream json("BENCH_hotpath.json");
   json << "{\n  \"benchmark\": \"hotpath\",\n  \"dataset\": \"" << dataset
        << "\",\n  \"config\": {\"nodes\": 8, \"workers_per_node\": 4, "
@@ -170,6 +190,8 @@ int main(int argc, char** argv) {
        << ", \"quick\": " << (quick ? "true" : "false")
        << "},\n  \"baseline_iters_per_sec\": " << kBaselineItersPerSec
        << ",\n  \"speedup_flat_serial\": " << speedup
+       << ",\n  \"dynamic_pool_over_flat_pool\": " << dyn_over_flat
+       << ",\n  \"dynamic_pool_over_serial\": " << dyn_pool_over_serial
        << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     EmitJson(json, rows[i].grouping, rows[i].host, rows[i].m,

@@ -72,7 +72,7 @@ echo "== scale sweep + regression gate =="
 # (traffic counters within tolerance). --selftest proves the gate still
 # fails on a perturbed baseline.
 (cd "$build" && ./bench/bench_sweep \
-  --nodes 2,4,8 --iterations 5 --algorithms psr,ring,admmlib \
+  --nodes 2,4,8,16,32 --iterations 5 --algorithms psr,ring,admmlib \
   --sparsity sparse,dense --out-dir SWEEP > /dev/null)
 for cell in "$build"/SWEEP/*.metrics.json; do
   "$build/tools/check_metrics_schema" "$repo/scripts/metrics_schema.txt" \
@@ -87,20 +87,54 @@ else
   echo "  python3 not found; skipping sweep baseline gate"
 fi
 
+echo "== trace diff (psra_report --diff) =="
+# Diff the fig6 artifacts against themselves: a self-diff must succeed and
+# report every counter unchanged — exercises the diff path end to end.
+"$build/tools/psra_report" --diff \
+  --trace "$build/OBS_trace.json" --metrics "$build/OBS_metrics.json" \
+  --trace-b "$build/OBS_trace.json" --metrics-b "$build/OBS_metrics.json" \
+  --out "$build/OBS_diff.md"
+grep -q "counters unchanged" "$build/OBS_diff.md" \
+  || { echo "FAIL: self-diff reports counter movement"; exit 1; }
+
 if [[ -z "${PSRA_CHECK_SANITIZE:-}" ]]; then
   echo "== alloc gate =="
-  # The flat dense hot path is allocation-free in steady state and must stay
-  # that way: fail if any flat row reports allocs_per_iter > 0. Skipped under
-  # sanitizers, whose runtimes allocate on their own schedule.
+  # EVERY hot-path row — flat and dynamic grouping, serial and pooled — is
+  # allocation-free in steady state and must stay that way: fail if any row
+  # reports allocs_per_iter > 0. Skipped under sanitizers, whose runtimes
+  # allocate on their own schedule.
   awk -F'"allocs_per_iter": ' '
-    /"grouping": "flat"/ {
+    /"grouping": / {
       v = $2 + 0
-      printf "  flat row: %g allocs/iter\n", v
+      printf "  row: %g allocs/iter\n", v
       if (v > 0) bad = 1
     }
     END {
-      if (bad) { print "FAIL: flat hot path allocates in steady state"; exit 1 }
+      if (bad) { print "FAIL: hot path allocates in steady state"; exit 1 }
     }' "$build/BENCH_hotpath.json"
+
+  echo "== dynamic-grouping gap gate =="
+  # Dynamic grouping must keep pace with flat grouping on the pooled host
+  # path: the pooled-lifecycle work is regressed if dynamic/pool drops more
+  # than 5% below flat/pool. The committed full-run artifact carries the
+  # headline numbers and is held to the 5% bar exactly; the quick run this
+  # script just produced is single-rep and noisy, so it gets a looser 10%
+  # tripwire that still catches a serialized or deoptimized dynamic path.
+  gap_gate() {
+    awk -F'"dynamic_pool_over_flat_pool": ' -v floor="$2" -v label="$1" '
+      NF > 1 {
+        r = $2 + 0
+        printf "  %s dynamic/pool over flat/pool: %g (floor %g)\n", label, r, floor
+        if (r < floor + 0) bad = 1
+        found = 1
+      }
+      END {
+        if (!found) { print "FAIL: dynamic_pool_over_flat_pool missing (" label ")"; exit 1 }
+        if (bad) { print "FAIL: dynamic grouping too far behind flat on the pooled path (" label ")"; exit 1 }
+      }' "$3"
+  }
+  gap_gate "committed" 0.95 "$repo/BENCH_hotpath.json"
+  gap_gate "quick-run" 0.90 "$build/BENCH_hotpath.json"
 fi
 
 echo "== OK =="

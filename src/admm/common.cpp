@@ -99,9 +99,20 @@ double WorkerSet::XWStep(std::size_t i) {
   return flops.flops;
 }
 
-void WorkerSet::XWStepAll(std::vector<double>& flops_out) {
+void WorkerSet::XWStepAll(std::vector<double>& flops_out,
+                          std::vector<double>* wall_out) {
   PSRA_REQUIRE(flops_out.size() == size(), "flops_out size mismatch");
-  auto body = [&](std::size_t i) { flops_out[i] = XWStep(i); };
+  PSRA_REQUIRE(wall_out == nullptr || wall_out->size() == size(),
+               "wall_out size mismatch");
+  auto body = [&](std::size_t i) {
+    if (wall_out != nullptr) {
+      const double t0 = engine::ThreadPool::ThreadSeconds();
+      flops_out[i] = XWStep(i);
+      (*wall_out)[i] = engine::ThreadPool::ThreadSeconds() - t0;
+    } else {
+      flops_out[i] = XWStep(i);
+    }
+  };
   if (options_->pool != nullptr) {
     options_->pool->ParallelFor(static_cast<std::size_t>(size()), body);
   } else {
@@ -110,11 +121,20 @@ void WorkerSet::XWStepAll(std::vector<double>& flops_out) {
 }
 
 void WorkerSet::XWStepAll(std::span<const simnet::Rank> ranks,
-                          std::vector<double>& flops_out) {
+                          std::vector<double>& flops_out,
+                          std::vector<double>* wall_out) {
   PSRA_REQUIRE(flops_out.size() == size(), "flops_out size mismatch");
+  PSRA_REQUIRE(wall_out == nullptr || wall_out->size() == size(),
+               "wall_out size mismatch");
   auto body = [&](std::size_t k) {
     const auto i = static_cast<std::size_t>(ranks[k]);
-    flops_out[i] = XWStep(i);
+    if (wall_out != nullptr) {
+      const double t0 = engine::ThreadPool::ThreadSeconds();
+      flops_out[i] = XWStep(i);
+      (*wall_out)[i] = engine::ThreadPool::ThreadSeconds() - t0;
+    } else {
+      flops_out[i] = XWStep(i);
+    }
   };
   if (options_->pool != nullptr) {
     options_->pool->ParallelFor(ranks.size(), body);
@@ -162,21 +182,24 @@ void WorkerSet::ZYStepAll(std::span<const simnet::Rank> ranks,
   // cluster still does the work on every worker.
   const auto first = static_cast<std::size_t>(ranks.front());
   flops_out[first] = ZYStep(first, W, num_contributors);
-  const auto& z0 = z_[first];
-  const double z_flops = 3.0 * static_cast<double>(z0.size());
   auto body = [&](std::size_t k) {
     const auto i = static_cast<std::size_t>(ranks[k + 1]);
-    solver::FlopCounter flops;
-    flops.Add(z_flops);  // what ZUpdate would have charged
-    z_[i] = z0;
-    solver::YUpdate(rho_, x_[i], z_[i], y_[i], &flops);
-    flops_out[i] = flops.flops;
+    flops_out[i] = ZYStepFrom(i, first);
   };
   if (options_->pool != nullptr) {
     options_->pool->ParallelFor(ranks.size() - 1, body);
   } else {
     engine::SerialFor(ranks.size() - 1, body);
   }
+}
+
+double WorkerSet::ZYStepFrom(std::size_t i, std::size_t src) {
+  PSRA_REQUIRE(i < z_.size() && src < z_.size(), "worker index out of range");
+  solver::FlopCounter flops;
+  flops.Add(3.0 * static_cast<double>(z_[src].size()));  // ZUpdate's charge
+  z_[i] = z_[src];
+  solver::YUpdate(rho_, x_[i], z_[i], y_[i], &flops);
+  return flops.flops;
 }
 
 void WorkerSet::SetRho(double rho) {

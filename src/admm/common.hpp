@@ -119,14 +119,19 @@ class WorkerSet {
   double XWStep(std::size_t i);
 
   /// Runs XWStep for all workers, optionally on the host pool. flops_out
-  /// must have size() entries.
-  void XWStepAll(std::vector<double>& flops_out);
+  /// must have size() entries. When `wall_out` is non-null (also size()
+  /// entries) each worker's slot receives the host seconds its own step took
+  /// on whichever pool thread ran it — per-worker wall attribution for the
+  /// tracer; pass null on untraced runs to avoid the clock reads.
+  void XWStepAll(std::vector<double>& flops_out,
+                 std::vector<double>* wall_out = nullptr);
 
   /// Runs XWStep for the workers in `ranks` only (the fault path: crashed
   /// workers compute nothing). flops_out must have size() entries; entries
-  /// of workers not in `ranks` are left untouched.
+  /// of workers not in `ranks` are left untouched. `wall_out` as above.
   void XWStepAll(std::span<const simnet::Rank> ranks,
-                 std::vector<double>& flops_out);
+                 std::vector<double>& flops_out,
+                 std::vector<double>* wall_out = nullptr);
 
   /// Crash-restart recovery: replaces worker i's state with a checkpointed
   /// snapshot and recomputes its w from the restored x/y (w is derived
@@ -147,6 +152,13 @@ class WorkerSet {
   void ZYStepAll(std::span<const simnet::Rank> ranks, std::span<const double> W,
                  std::uint64_t num_contributors,
                  std::vector<double>& flops_out);
+
+  /// The copy half of the ZYStepAll shortcut, exposed for callers that batch
+  /// the consensus update across groups themselves: worker i adopts worker
+  /// `src`'s freshly computed z (bitwise-identical to recomputing it — z
+  /// depends only on the shared aggregate) and runs its own y-update.
+  /// Returns the virtual flops of the full computation being replaced.
+  double ZYStepFrom(std::size_t i, std::size_t src);
 
   /// Mean of per-worker z (the consensus model used for metrics).
   linalg::DenseVector MeanZ() const;

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,25 @@ class EngineObs {
       const simnet::VirtualTime now = ledger[i].clock;
       if (now <= marks_[i]) continue;
       ctx_->tracer.Add(tracks_[i], name, marks_[i], now, iter, share);
+      marks_[i] = now;
+    }
+  }
+
+  /// SpanAll with measured per-worker wall time: `wall[i]` (host seconds the
+  /// pool thread running worker i's body observed, via
+  /// engine::ThreadPool::ThreadSeconds) is attributed to worker i's span
+  /// instead of an even split of the region's lap. Summed thread time can
+  /// exceed the region's wall lap when pool threads overlap — that is the
+  /// point: the trace then shows what each worker actually cost the host.
+  /// Same skip rule as SpanAll for workers whose clock did not move.
+  void SpanAllWall(const char* name, const engine::TimeLedger& ledger,
+                   std::uint64_t iter, std::span<const double> wall) {
+    if (!tracing()) return;
+    LapWall();  // consume the region's lap so later spans do not inherit it
+    for (std::size_t i = 0; i < marks_.size(); ++i) {
+      const simnet::VirtualTime now = ledger[i].clock;
+      if (now <= marks_[i]) continue;
+      ctx_->tracer.Add(tracks_[i], name, marks_[i], now, iter, wall[i]);
       marks_[i] = now;
     }
   }

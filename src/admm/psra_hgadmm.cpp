@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <span>
 #include <utility>
@@ -123,6 +124,20 @@ struct PsraMetrics {
   }
 };
 
+/// Folds one collective invocation's stats into the hoisted metric slots.
+/// Split out of RunInterAllreduce so the batched path can run collectives in
+/// parallel and replay the registry updates serially, in formation order.
+void AccumulateArMetrics(ArMetrics& am, const InterWorkspace& ws) {
+  ++*am.invocations;
+  *am.elements += ws.stats.elements_sent;
+  *am.messages += ws.stats.messages_sent;
+  *am.bytes += ws.stats.bytes_sent;
+  *am.rounds += ws.stats.rounds;
+  if (am.fill != nullptr) {
+    am.fill->Observe(static_cast<double>(ws.result_nnz) / am.dim);
+  }
+}
+
 /// Runs one inter-node allreduce over `w_inputs` (one dense vector per group
 /// member), leaving the dense sum and per-member finish times in `ws`. With
 /// a FaultContext the fault-tolerant entry points run instead (exactly the
@@ -158,17 +173,65 @@ void RunInterAllreduce(const comm::GroupComm& group,
   }
   ws.elements = ws.stats.elements_sent;
   ws.messages = ws.stats.messages_sent;
-  if (am != nullptr) {
-    ++*am->invocations;
-    *am->elements += ws.stats.elements_sent;
-    *am->messages += ws.stats.messages_sent;
-    *am->bytes += ws.stats.bytes_sent;
-    *am->rounds += ws.stats.rounds;
-    if (am->fill != nullptr) {
-      am->fill->Observe(static_cast<double>(ws.result_nnz) / am->dim);
-    }
-  }
+  if (am != nullptr) AccumulateArMetrics(*am, ws);
 }
+
+/// One formed group's collective context: the member leaders, their input
+/// snapshots and start times, the communicator, and the allreduce workspace.
+/// Slots are recycled across regrouping cycles by GroupSlotArena below, so a
+/// steady-state iteration leases fully warmed buffers.
+struct GroupSlot {
+  InterWorkspace iw;
+  std::vector<simnet::Rank> leaders;        // member leaders, group order
+  std::vector<linalg::DenseVector> inputs;  // leader aggregate snapshots
+  std::vector<simnet::VirtualTime> starts;
+  std::optional<comm::GroupComm> comm;  // rebound in place on reuse
+  std::span<const simnet::NodeId> members;  // view into the cycle's batch
+  simnet::VirtualTime start = 0.0;          // earliest collective start
+  std::uint64_t contributors = 0;           // workers behind the group sum
+};
+
+/// Size-keyed free lists of GroupSlots. Dynamic grouping re-forms groups
+/// every iteration but the multiset of group SIZES is fixed by the threshold
+/// arithmetic, so leasing by size hands every group a slot whose buffers
+/// (scratch, inputs, communicator storage) already have exactly the right
+/// capacity — zero allocations once each size has been seen once.
+class GroupSlotArena {
+ public:
+  explicit GroupSlotArena(std::size_t max_groups) {
+    leased_.reserve(max_groups);
+    leased_sizes_.reserve(max_groups);
+  }
+
+  GroupSlot& Lease(std::size_t group_size) {
+    if (free_.size() <= group_size) free_.resize(group_size + 1);
+    auto& bucket = free_[group_size];
+    if (bucket.empty()) {
+      slots_.push_back(std::make_unique<GroupSlot>());
+      bucket.push_back(slots_.size() - 1);
+    }
+    const std::size_t idx = bucket.back();
+    bucket.pop_back();
+    leased_.push_back(idx);
+    leased_sizes_.push_back(group_size);
+    return *slots_[idx];
+  }
+
+  /// Returns every leased slot to its size bucket (end of iteration).
+  void RecycleAll() {
+    for (std::size_t k = 0; k < leased_.size(); ++k) {
+      free_[leased_sizes_[k]].push_back(leased_[k]);
+    }
+    leased_.clear();
+    leased_sizes_.clear();
+  }
+
+ private:
+  std::vector<std::unique_ptr<GroupSlot>> slots_;
+  std::vector<std::vector<std::size_t>> free_;  // indexed by group size
+  std::vector<std::size_t> leased_;
+  std::vector<std::size_t> leased_sizes_;
+};
 
 }  // namespace
 
@@ -265,6 +328,27 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
   std::vector<simnet::Rank> group_leaders(nodes);
   std::vector<linalg::DenseVector> ginputs(nodes);
   std::vector<simnet::VirtualTime> gstarts(nodes);
+  // Batched non-faulty hierarchical/dynamic path: the pooled group
+  // lifecycle (cycle batch + size-keyed collective slots) and the flattened
+  // cross-group consensus-update work list.
+  const auto wpn = static_cast<std::size_t>(cfg_.cluster.workers_per_node);
+  wlg::GroupWorkspace gws;
+  gws.groups.Reserve(nodes);
+  std::vector<simnet::NodeId> all_nodes(nodes);
+  for (simnet::NodeId n = 0; n < nodes; ++n) all_nodes[n] = n;
+  std::vector<simnet::VirtualTime> all_starts(world);
+  GroupSlotArena garena(nodes);
+  std::vector<GroupSlot*> gslots;
+  gslots.reserve(nodes);
+  std::vector<simnet::Rank> zy_first;  // per group: the worker computing z
+  std::vector<simnet::Rank> zy_copy_w, zy_copy_src;  // flattened copy pairs
+  zy_first.reserve(nodes);
+  zy_copy_w.reserve(world);
+  zy_copy_src.reserve(world);
+  std::vector<double> xw_wall;  // per-worker x-update host seconds (traced)
+  if (options.obs != nullptr && options.obs->tracing) {
+    xw_wall.assign(world, 0.0);
+  }
 
   // Communication censoring (COLA-ADMM style): senders ship deltas against
   // their last transmission and skip negligible ones; every participant
@@ -443,8 +527,12 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
     }
 
     // ---- x / w updates (parallel local computation, paper Alg. 1) --------
+    // On traced runs each worker's host seconds are measured inside the
+    // pooled loop (per-thread stopwatches), so the trace attributes wall
+    // time to the worker that spent it rather than an even split.
+    std::vector<double>* const wall = eo.tracing() ? &xw_wall : nullptr;
     if (faulty && any_down) {
-      ws.XWStepAll(alive, flops);
+      ws.XWStepAll(alive, flops, wall);
       for (const simnet::Rank r : alive) {
         const auto i = static_cast<std::size_t>(r);
         const double mult =
@@ -452,14 +540,18 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
         ledger.ChargeCompute(i, cost.ComputeTime(flops[i]) * mult);
       }
     } else {
-      ws.XWStepAll(flops);
+      ws.XWStepAll(flops, wall);
       for (std::size_t i = 0; i < world; ++i) {
         const double mult = ComputeMultiplier(
             cfg_.cluster, topo, stragglers, static_cast<simnet::Rank>(i), iter);
         ledger.ChargeCompute(i, cost.ComputeTime(flops[i]) * mult);
       }
     }
-    eo.SpanAll("x_update", ledger, iter);
+    if (wall != nullptr) {
+      eo.SpanAllWall("x_update", ledger, iter, xw_wall);
+    } else {
+      eo.SpanAll("x_update", ledger, iter);
+    }
 
     if (cfg_.grouping == GroupingMode::kFlat) {
       // ---- PSRA-ADMM: one global allreduce over all workers --------------
@@ -563,13 +655,281 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           eo.Span("z_y_update", ledger, static_cast<std::size_t>(r), iter);
         }
       }
-    } else {
-      // ---- Hierarchical: intra-node reduce to the Leader ------------------
+    } else if (!faulty) {
+      // ---- Hierarchical/dynamic, batched (the non-faulty hot path) --------
+      // Node reductions are independent, so all of them run as ONE
+      // ParallelFor over nodes. Each node's inputs are its workers' live w
+      // vectors — node n owns the contiguous rank range [n*wpn, (n+1)*wpn),
+      // so a subspan of w_all() replaces the per-member snapshot copies the
+      // serial flow used to make. Ledger charges, metrics and spans replay
+      // serially afterwards in node order, so every observable stream is
+      // identical to the one-node-at-a-time flow.
+      for (std::size_t i = 0; i < world; ++i) all_starts[i] = ledger[i].clock;
+      auto reduce_node = [&](std::size_t n) {
+        const comm::GroupComm& ic = intra[n];
+        const comm::GroupRank leader_g = ic.LocalRank(leaders[n]);
+        comm::ReduceToLeader(
+            ic, leader_g, ws.w_all().subspan(n * wpn, wpn),
+            std::span<const simnet::VirtualTime>(all_starts).subspan(n * wpn,
+                                                                     wpn),
+            red[n]);
+      };
+      if (options.pool != nullptr) {
+        options.pool->ParallelFor(static_cast<std::size_t>(nodes),
+                                  reduce_node);
+      } else {
+        engine::SerialFor(static_cast<std::size_t>(nodes), reduce_node);
+      }
       for (simnet::NodeId n = 0; n < nodes; ++n) {
-        if (faulty && node_active[n] == 0) continue;
-        const auto& members = faulty ? node_alive[n] : node_ranks[n];
-        const comm::GroupComm& ic = faulty ? *intra_alive[n] : intra[n];
-        const simnet::Rank lead = faulty ? cur_leaders[n] : leaders[n];
+        const auto& members = node_ranks[n];
+        const simnet::Rank lead = leaders[n];
+        result.elements_sent += red[n].elements_sent;
+        result.messages_sent += red[n].messages_sent;
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          ledger.WaitUntil(members[m], red[n].finish_times[m]);
+        }
+        ledger.WaitUntil(lead, red[n].leader_ready);
+        if (eo.on()) {
+          *pm.intra_reduce_elements += red[n].elements_sent;
+          *pm.intra_reduce_messages += red[n].messages_sent;
+          *pm.intra_reduce_bytes +=
+              red[n].elements_sent * cfg_.cluster.cost.value_bytes;
+          if (eo.tracing()) {
+            for (std::size_t m = 0; m < members.size(); ++m) {
+              eo.Span("intra_reduce", ledger,
+                      static_cast<std::size_t>(members[m]), iter);
+            }
+          }
+        }
+        if (censoring) apply_censoring(n, iter, red[n].value);
+        leader_ready[n] = ledger[lead].clock;
+      }
+
+      // ---- Group formation into the pooled cycle batch ---------------------
+      if (cfg_.grouping == GroupingMode::kHierarchical) {
+        simnet::VirtualTime all_ready = 0.0;
+        for (simnet::NodeId n = 0; n < nodes; ++n) {
+          all_ready = std::max(all_ready, leader_ready[n]);
+        }
+        gws.groups.Clear();
+        gws.groups.PushGroup(all_nodes, all_ready);
+      } else {
+        // Leaders report to the GG (one small message each, paper Alg. 3).
+        for (simnet::NodeId n = 0; n < nodes; ++n) {
+          ledger.ChargeComm(leaders[n], request_cost);
+          ++result.messages_sent;
+          report[n] = ledger[leaders[n]].clock;
+          if (eo.on()) {
+            ++*pm.gg_reports;
+            eo.Span("gg_report", ledger,
+                    static_cast<std::size_t>(leaders[n]), iter);
+          }
+        }
+        wlg::RunGroupingCycle(gg, report, gws);
+        for (std::size_t gi = 0; gi < gws.groups.size(); ++gi) {
+          const wlg::GroupView& view = gws.groups.group(gi);
+          const auto gmembers = gws.groups.members(view);
+          // GG notifies the group members (one message back per leader).
+          result.messages_sent += gmembers.size();
+          if (eo.on()) {
+            *pm.gg_notifies += gmembers.size();
+            if (eo.tracing()) {
+              simnet::VirtualTime first = view.formed_at;
+              for (const simnet::NodeId n : gmembers) {
+                first = std::min(first, report[n]);
+              }
+              eo.AuxSpan(gg_track, "group_form", first, view.formed_at, iter);
+            }
+          }
+          PSRA_SLOG(kDebug, "wlg").At(view.formed_at)
+              << "group of " << gmembers.size() << " nodes formed, iter "
+              << iter;
+        }
+      }
+
+      // ---- Inter-node allreduce, one ParallelFor across all groups ---------
+      // Every formed group leases a size-keyed slot (warm buffers + a
+      // rebindable communicator) and the collectives — which only read the
+      // ledger and write slot-local state — run concurrently. Registry and
+      // ledger updates replay serially in formation order below; groups are
+      // node-disjoint, so the replayed values match the serial flow exactly.
+      garena.RecycleAll();
+      gslots.clear();
+      const bool dyn = cfg_.grouping == GroupingMode::kDynamicGroups;
+      for (std::size_t gi = 0; gi < gws.groups.size(); ++gi) {
+        const wlg::GroupView& view = gws.groups.group(gi);
+        GroupSlot& slot = garena.Lease(view.size);
+        slot.members = gws.groups.members(view);
+        // Dynamic groups start after the GG's notify message; the fixed
+        // hierarchical group starts as soon as every leader is ready.
+        slot.start = dyn ? view.formed_at + request_cost : view.formed_at;
+        gslots.push_back(&slot);
+      }
+      auto run_group = [&](std::size_t gi) {
+        GroupSlot& slot = *gslots[gi];
+        const std::size_t gsize = slot.members.size();
+        slot.leaders.resize(gsize);
+        slot.inputs.resize(gsize);
+        slot.starts.resize(gsize);
+        slot.contributors = 0;
+        for (std::size_t j = 0; j < gsize; ++j) {
+          const simnet::NodeId n = slot.members[j];
+          slot.leaders[j] = leaders[n];
+          slot.inputs[j] = red[n].value;
+          if (cfg_.mixed_precision) linalg::RoundToFloat(slot.inputs[j]);
+          slot.starts[j] = std::max(slot.start, ledger[slot.leaders[j]].clock);
+          slot.contributors += node_ranks[n].size();
+        }
+        if (slot.comm.has_value()) {
+          slot.comm->Rebind(slot.leaders);
+        } else {
+          slot.comm.emplace(&topo, &cost_inter, slot.leaders);
+        }
+        RunInterAllreduce(*slot.comm, *alg, cfg_.sparse_comm, slot.inputs,
+                          slot.starts, slot.iw);
+      };
+      if (options.pool != nullptr) {
+        options.pool->ParallelFor(gslots.size(), run_group);
+      } else {
+        engine::SerialFor(gslots.size(), run_group);
+      }
+
+      // Serial replay: metrics, leader waits, and the intra-node broadcast,
+      // group by group in formation order (the order the serial flow used).
+      for (std::size_t gi = 0; gi < gslots.size(); ++gi) {
+        GroupSlot& slot = *gslots[gi];
+        const std::size_t gsize = slot.members.size();
+        if (eo.on()) {
+          ++*pm.groups_formed;
+          pm.group_size->Observe(static_cast<double>(gsize));
+          for (std::size_t j = 0; j < gsize; ++j) {
+            const auto li = static_cast<std::size_t>(slot.leaders[j]);
+            pm.gg_wait_s->Observe(
+                std::max(0.0, slot.starts[j] - ledger[li].clock));
+            if (eo.tracing() && slot.starts[j] > eo.mark(li)) {
+              eo.SpanAt("gg_wait", li, eo.mark(li), slot.starts[j], iter);
+              eo.SetMark(li, slot.starts[j]);
+            }
+          }
+          AccumulateArMetrics(pm.ar, slot.iw);
+        }
+        result.elements_sent += slot.iw.elements;
+        result.messages_sent += slot.iw.messages;
+        if (censoring) {  // fixed membership: fold deltas into the run sum
+          linalg::Axpy(1.0, slot.iw.sum, W_running);
+          slot.iw.sum = W_running;
+        }
+        for (std::size_t j = 0; j < gsize; ++j) {
+          const simnet::NodeId n = slot.members[j];
+          const simnet::Rank lead = leaders[n];
+          ledger.WaitUntil(lead, slot.iw.stats.finish_times[j]);
+          if (eo.tracing()) {
+            const auto li = static_cast<std::size_t>(lead);
+            const simnet::VirtualTime b = eo.mark(li);
+            const simnet::VirtualTime e = ledger[li].clock;
+            const simnet::VirtualTime sr = slot.iw.stats.scatter_reduce_done;
+            if (sr > b && sr < e) {
+              eo.SpanAt("scatter_reduce", li, b, sr, iter);
+              eo.SpanAt("allgather", li, sr, e, iter);
+            }
+            eo.Span("w_allreduce", ledger, li, iter);
+          }
+
+          // Leader broadcasts W to its node (paper Alg. 1 step 11).
+          const auto& nmembers = node_ranks[n];
+          const comm::GroupRank leader_g = intra[n].LocalRank(lead);
+          const std::size_t elems =
+              cfg_.sparse_comm ? slot.iw.result_nnz : d_sz;
+          comm::BroadcastFromLeader(intra[n], leader_g, elems,
+                                    ledger[lead].clock, bc);
+          result.elements_sent += bc.elements_sent;
+          result.messages_sent += bc.messages_sent;
+          for (std::size_t m = 0; m < nmembers.size(); ++m) {
+            ledger.WaitUntil(nmembers[m], bc.finish_times[m]);
+          }
+          if (eo.on()) {
+            *pm.intra_bcast_elements += bc.elements_sent;
+            *pm.intra_bcast_messages += bc.messages_sent;
+            *pm.intra_bcast_bytes +=
+                bc.elements_sent *
+                (cfg_.sparse_comm ? cfg_.cluster.cost.value_bytes +
+                                        cfg_.cluster.cost.index_bytes
+                                  : cfg_.cluster.cost.value_bytes);
+            if (eo.tracing()) {
+              for (std::size_t m = 0; m < nmembers.size(); ++m) {
+                eo.Span("w_broadcast", ledger,
+                        static_cast<std::size_t>(nmembers[m]), iter);
+              }
+            }
+          }
+        }
+      }
+
+      // ---- Consensus update, flattened across all groups -------------------
+      // One worker per group computes z in full; every other member worker
+      // adopts it (bitwise-identical, same shortcut as ZYStepAll) in a
+      // single ParallelFor over the flattened (group, worker) list — one
+      // fork-join for the whole cluster instead of one per node. Ledger
+      // charges and spans replay serially per worker afterwards, in the same
+      // per-worker order as the serial flow.
+      zy_first.clear();
+      zy_copy_w.clear();
+      zy_copy_src.clear();
+      for (std::size_t gi = 0; gi < gslots.size(); ++gi) {
+        const GroupSlot& slot = *gslots[gi];
+        const simnet::Rank gfirst = node_ranks[slot.members[0]][0];
+        zy_first.push_back(gfirst);
+        for (const simnet::NodeId n : slot.members) {
+          for (const simnet::Rank r : node_ranks[n]) {
+            if (r != gfirst) {
+              zy_copy_w.push_back(r);
+              zy_copy_src.push_back(gfirst);
+            }
+          }
+        }
+      }
+      auto zy_group = [&](std::size_t gi) {
+        const GroupSlot& slot = *gslots[gi];
+        const auto i = static_cast<std::size_t>(zy_first[gi]);
+        flops[i] = ws.ZYStep(i, slot.iw.sum, slot.contributors);
+      };
+      auto zy_copy = [&](std::size_t k) {
+        const auto i = static_cast<std::size_t>(zy_copy_w[k]);
+        flops[i] = ws.ZYStepFrom(i, static_cast<std::size_t>(zy_copy_src[k]));
+      };
+      if (options.pool != nullptr) {
+        options.pool->ParallelFor(gslots.size(), zy_group);
+        options.pool->ParallelFor(zy_copy_w.size(), zy_copy);
+      } else {
+        engine::SerialFor(gslots.size(), zy_group);
+        engine::SerialFor(zy_copy_w.size(), zy_copy);
+      }
+      for (std::size_t gi = 0; gi < gslots.size(); ++gi) {
+        const GroupSlot& slot = *gslots[gi];
+        for (const simnet::NodeId n : slot.members) {
+          for (const simnet::Rank r : node_ranks[n]) {
+            ledger.ChargeCompute(static_cast<std::size_t>(r),
+                                 cost.ComputeTime(flops[r]));
+          }
+          if (eo.tracing()) {
+            for (const simnet::Rank r : node_ranks[n]) {
+              eo.Span("z_y_update", ledger, static_cast<std::size_t>(r),
+                      iter);
+            }
+          }
+        }
+      }
+    } else {
+      // ---- Hierarchical/dynamic under fault injection ----------------------
+      // The faulty path keeps the serial one-group-at-a-time flow: fault
+      // handling (timeouts, exclusions, regrouping) threads per-group state
+      // through the collective, and faulty iterations are rare and not
+      // performance-critical.
+      for (simnet::NodeId n = 0; n < nodes; ++n) {
+        if (node_active[n] == 0) continue;
+        const auto& members = node_alive[n];
+        const comm::GroupComm& ic = *intra_alive[n];
+        const simnet::Rank lead = cur_leaders[n];
         const comm::GroupRank leader_g = ic.LocalRank(lead);
         inputs.resize(members.size());
         starts.resize(members.size());
@@ -596,74 +956,27 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
             }
           }
         }
-        if (censoring) apply_censoring(n, iter, red[n].value);
         leader_ready[n] = ledger[lead].clock;
       }
 
       // ---- Group formation -------------------------------------------------
       // Each formed group is (members, start time of its allreduce).
       if (cfg_.grouping == GroupingMode::kHierarchical) {
-        if (!faulty) {
-          simnet::VirtualTime all_ready = 0.0;
-          for (simnet::NodeId n = 0; n < nodes; ++n) {
-            all_ready = std::max(all_ready, leader_ready[n]);
-          }
-          if (groups.empty()) {  // fixed membership: build the group once
-            std::vector<simnet::NodeId> all(nodes);
-            for (simnet::NodeId n = 0; n < nodes; ++n) all[n] = n;
-            groups.emplace_back(std::move(all), all_ready);
-          } else {
-            groups.front().second = all_ready;
-          }
-        } else {
-          // Rebuild the single group from the nodes still standing; a leader
-          // dying mid-round drops its node from this round.
-          simnet::VirtualTime all_ready = 0.0;
-          groups.clear();
-          active_nodes.clear();
-          for (simnet::NodeId n = 0; n < nodes; ++n) {
-            if (node_active[n] == 0) continue;
-            if (const auto death = faults.LeaderDeathAt(n, iter)) {
-              kill_leader_mid_round(n, *death, iter);
-              continue;
-            }
-            active_nodes.push_back(n);
-            all_ready = std::max(all_ready, leader_ready[n]);
-          }
-          groups.emplace_back(active_nodes, all_ready);
-        }
-      } else if (!faulty) {
-        // Leaders report to the GG (one small message each, paper Alg. 3).
+        // Rebuild the single group from the nodes still standing; a leader
+        // dying mid-round drops its node from this round.
+        simnet::VirtualTime all_ready = 0.0;
         groups.clear();
+        active_nodes.clear();
         for (simnet::NodeId n = 0; n < nodes; ++n) {
-          ledger.ChargeComm(leaders[n], request_cost);
-          ++result.messages_sent;
-          report[n] = ledger[leaders[n]].clock;
-          if (eo.on()) {
-            ++*pm.gg_reports;
-            eo.Span("gg_report", ledger,
-                    static_cast<std::size_t>(leaders[n]), iter);
+          if (node_active[n] == 0) continue;
+          if (const auto death = faults.LeaderDeathAt(n, iter)) {
+            kill_leader_mid_round(n, *death, iter);
+            continue;
           }
+          active_nodes.push_back(n);
+          all_ready = std::max(all_ready, leader_ready[n]);
         }
-        for (auto& g : wlg::RunGroupingCycle(gg, report)) {
-          // GG notifies the group members (one message back per leader).
-          const simnet::VirtualTime start = g.formed_at + request_cost;
-          result.messages_sent += g.members.size();
-          if (eo.on()) {
-            *pm.gg_notifies += g.members.size();
-            if (eo.tracing()) {
-              simnet::VirtualTime first = g.formed_at;
-              for (const simnet::NodeId n : g.members) {
-                first = std::min(first, report[n]);
-              }
-              eo.AuxSpan(gg_track, "group_form", first, g.formed_at, iter);
-            }
-          }
-          PSRA_SLOG(kDebug, "wlg").At(g.formed_at)
-              << "group of " << g.members.size() << " nodes formed, iter "
-              << iter;
-          groups.emplace_back(std::move(g.members), start);
-        }
+        groups.emplace_back(active_nodes, all_ready);
       } else {
         // Faulty dynamic grouping: only live nodes report; a leader dying
         // right after its report is withdrawn from the GG queue (the

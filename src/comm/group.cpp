@@ -12,10 +12,21 @@ GroupComm::GroupComm(const simnet::Topology* topo,
     : topo_(topo), cost_(cost), members_(std::move(members)) {
   PSRA_REQUIRE(topo_ != nullptr && cost_ != nullptr,
                "group needs topology and cost model");
+  Validate();
+}
+
+void GroupComm::Rebind(std::span<const simnet::Rank> members) {
+  members_.assign(members.begin(), members.end());
+  Validate();
+}
+
+void GroupComm::Validate() const {
   PSRA_REQUIRE(!members_.empty(), "group must have at least one member");
-  auto sorted = members_;
-  std::sort(sorted.begin(), sorted.end());
-  PSRA_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+  validate_scratch_.assign(members_.begin(), members_.end());
+  std::sort(validate_scratch_.begin(), validate_scratch_.end());
+  PSRA_REQUIRE(std::adjacent_find(validate_scratch_.begin(),
+                                  validate_scratch_.end()) ==
+                   validate_scratch_.end(),
                "group members must be distinct");
   for (simnet::Rank r : members_) {
     PSRA_REQUIRE(r < topo_->world_size(), "group member rank out of range");

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "simnet/cost_model.hpp"
@@ -19,6 +20,12 @@ class GroupComm {
   /// `members` are distinct global ranks; order defines group rank.
   GroupComm(const simnet::Topology* topo, const simnet::CostModel* cost,
             std::vector<simnet::Rank> members);
+
+  /// Re-points this communicator at a new member list, reusing the existing
+  /// storage. When the new list has the same size as the old one (the common
+  /// case for the size-keyed group slots the engines recycle), this performs
+  /// no heap allocation.
+  void Rebind(std::span<const simnet::Rank> members);
 
   GroupRank size() const { return static_cast<GroupRank>(members_.size()); }
   simnet::Rank GlobalRank(GroupRank g) const;
@@ -39,9 +46,13 @@ class GroupComm {
                                                      GroupRank g) const;
 
  private:
+  void Validate() const;
+
   const simnet::Topology* topo_;
   const simnet::CostModel* cost_;
   std::vector<simnet::Rank> members_;
+  // Sorted copy used by Validate; a member so Rebind stays allocation-free.
+  mutable std::vector<simnet::Rank> validate_scratch_;
 };
 
 }  // namespace psra::comm

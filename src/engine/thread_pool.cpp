@@ -1,5 +1,7 @@
 #include "engine/thread_pool.hpp"
 
+#include <chrono>
+
 namespace psra::engine {
 
 namespace {
@@ -21,6 +23,13 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+double ThreadPool::ThreadSeconds() {
+  thread_local const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+      .count();
 }
 
 ThreadPool::~ThreadPool() {

@@ -42,6 +42,14 @@ class ThreadPool {
   /// broadcast path runs even on a 1-CPU host.
   void ForceParallelDispatchForTesting() { serial_dispatch_ = false; }
 
+  /// Seconds on the calling thread's private stopwatch (each thread's epoch
+  /// is fixed at first use). A loop body that reads it before and after its
+  /// work measures the host wall time of exactly that body on whichever
+  /// pool thread ran it — the basis for per-worker wall attribution in the
+  /// observability layer (EngineObs::SpanAllWall). Only differences taken on
+  /// the same thread are meaningful.
+  static double ThreadSeconds();
+
   /// Runs body(i) for i in [0, count), distributing across the pool and
   /// blocking until all complete. The calling thread participates in the
   /// work. Exceptions from bodies are rethrown (the first one encountered);

@@ -1,6 +1,7 @@
 #include "obs/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <ostream>
@@ -403,6 +404,156 @@ void WriteReportCsv(const TraceReport& r, std::ostream& os) {
     os << "critical," << p.name << "," << PhaseClassName(p.cls) << ","
        << FormatDouble(p.virtual_s, 9) << "," << FormatDouble(p.wall_s, 9)
        << "," << p.count << "\n";
+  }
+}
+
+namespace {
+
+/// Signed delta with an explicit "+" so a diff row reads as a change, not a
+/// value.
+std::string Signed(double delta, int precision) {
+  std::string s = FormatDouble(delta, precision);
+  if (delta > 0.0) s.insert(s.begin(), '+');
+  return s;
+}
+
+/// Signed integer delta (counters, span/iteration counts): %g would fall
+/// into scientific notation on large counts.
+std::string SignedInt(std::uint64_t a, std::uint64_t b) {
+  const auto delta =
+      static_cast<long long>(b) - static_cast<long long>(a);
+  std::string s = std::to_string(delta);
+  if (delta > 0) s.insert(s.begin(), '+');
+  return s;
+}
+
+/// Relative change B vs A; "-" when A is zero (new phase / division by
+/// zero), unsigned "0.0%" when nothing moved so a no-change diff carries no
+/// spurious signs.
+std::string RelPct(double a, double b) {
+  if (a == 0.0) return "-";
+  if (a == b) return "0.0%";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (b - a) / a * 100.0);
+  return buf;
+}
+
+struct DiffRow {
+  std::string name;
+  PhaseClass cls = PhaseClass::kOther;
+  double virtual_a = 0.0, virtual_b = 0.0;
+  double wall_a = 0.0, wall_b = 0.0;
+  bool in_a = false, in_b = false;
+};
+
+}  // namespace
+
+void WriteReportDiffMarkdown(const TraceReport& a, const TraceReport& b,
+                             const MetricsRegistry* metrics_a,
+                             const MetricsRegistry* metrics_b,
+                             std::ostream& os) {
+  os << "# psra run diff (A = baseline, B = candidate)\n\n## Run summary\n\n"
+     << "| quantity | A | B | delta | rel |\n|---|---:|---:|---:|---:|\n"
+     << "| virtual makespan s | " << FormatDouble(a.horizon, 4) << " | "
+     << FormatDouble(b.horizon, 4) << " | " << Signed(b.horizon - a.horizon, 4)
+     << " | " << RelPct(a.horizon, b.horizon) << " |\n"
+     << "| host wall s | " << FormatDouble(a.total_wall_s, 4) << " | "
+     << FormatDouble(b.total_wall_s, 4) << " | "
+     << Signed(b.total_wall_s - a.total_wall_s, 4) << " | "
+     << RelPct(a.total_wall_s, b.total_wall_s) << " |\n"
+     << "| sim speedup | " << FormatDouble(a.sim_speedup, 3) << " | "
+     << FormatDouble(b.sim_speedup, 3) << " | "
+     << Signed(b.sim_speedup - a.sim_speedup, 3) << " | "
+     << RelPct(a.sim_speedup, b.sim_speedup) << " |\n"
+     << "| iterations | " << a.iterations << " | " << b.iterations << " | "
+     << SignedInt(a.iterations, b.iterations) << " | - |\n"
+     << "| spans | " << a.num_spans << " | " << b.num_spans << " | "
+     << SignedInt(a.num_spans, b.num_spans) << " | - |\n"
+     << "| worker skew | " << FormatDouble(a.worker_skew, 4) << " | "
+     << FormatDouble(b.worker_skew, 4) << " | "
+     << Signed(b.worker_skew - a.worker_skew, 4) << " | - |\n";
+
+  // Union of phase names; map keeps the merge deterministic, the final sort
+  // puts the biggest virtual-time movement first.
+  std::map<std::string, DiffRow> merged;
+  for (const auto& p : a.phases) {
+    DiffRow& row = merged[p.name];
+    row.name = p.name;
+    row.cls = p.cls;
+    row.virtual_a = p.virtual_s;
+    row.wall_a = p.wall_s;
+    row.in_a = true;
+  }
+  for (const auto& p : b.phases) {
+    DiffRow& row = merged[p.name];
+    row.name = p.name;
+    row.cls = p.cls;
+    row.virtual_b = p.virtual_s;
+    row.wall_b = p.wall_s;
+    row.in_b = true;
+  }
+  std::vector<DiffRow> rows;
+  rows.reserve(merged.size());
+  for (auto& [name, row] : merged) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(), [](const DiffRow& x, const DiffRow& y) {
+    const double dx = std::abs(x.virtual_b - x.virtual_a);
+    const double dy = std::abs(y.virtual_b - y.virtual_a);
+    if (dx != dy) return dx > dy;
+    return x.name < y.name;
+  });
+
+  os << "\n## Phase deltas\n\n"
+     << "| phase | class | virtual A s | virtual B s | delta | rel |"
+        " wall A s | wall B s | wall delta |\n"
+     << "|---|---|---:|---:|---:|---:|---:|---:|---:|\n";
+  for (const auto& row : rows) {
+    os << "| " << row.name;
+    if (!row.in_a) os << " (B only)";
+    if (!row.in_b) os << " (A only)";
+    os << " | " << PhaseClassName(row.cls) << " | "
+       << FormatDouble(row.virtual_a, 4) << " | "
+       << FormatDouble(row.virtual_b, 4) << " | "
+       << Signed(row.virtual_b - row.virtual_a, 4) << " | "
+       << RelPct(row.virtual_a, row.virtual_b) << " | "
+       << FormatDouble(row.wall_a, 4) << " | " << FormatDouble(row.wall_b, 4)
+       << " | " << Signed(row.wall_b - row.wall_a, 4) << " |\n";
+  }
+
+  os << "\n## Class deltas\n\n"
+     << "| class | virtual A s | virtual B s | delta | rel | wall A s |"
+        " wall B s | wall delta |\n|---|---:|---:|---:|---:|---:|---:|---:|\n";
+  for (std::size_t c = 0; c < kNumPhaseClasses; ++c) {
+    os << "| " << PhaseClassName(static_cast<PhaseClass>(c)) << " | "
+       << FormatDouble(a.class_virtual_s[c], 4) << " | "
+       << FormatDouble(b.class_virtual_s[c], 4) << " | "
+       << Signed(b.class_virtual_s[c] - a.class_virtual_s[c], 4) << " | "
+       << RelPct(a.class_virtual_s[c], b.class_virtual_s[c]) << " | "
+       << FormatDouble(a.class_wall_s[c], 4) << " | "
+       << FormatDouble(b.class_wall_s[c], 4) << " | "
+       << Signed(b.class_wall_s[c] - a.class_wall_s[c], 4) << " |\n";
+  }
+
+  if (metrics_a != nullptr && metrics_b != nullptr) {
+    // Counters whose values differ, over the union of names. Identical
+    // counters are summarized in one line: the interesting diff output is
+    // what changed, and "N unchanged" pins that the rest really matched.
+    const auto& ca = metrics_a->counters();
+    const auto& cb = metrics_b->counters();
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> all;
+    for (const auto& [name, v] : ca) all[name].first = v;
+    for (const auto& [name, v] : cb) all[name].second = v;
+    std::size_t unchanged = 0;
+    os << "\n## Counter deltas\n\n"
+       << "| counter | A | B | delta |\n|---|---:|---:|---:|\n";
+    for (const auto& [name, v] : all) {
+      if (v.first == v.second) {
+        ++unchanged;
+        continue;
+      }
+      os << "| " << name << " | " << v.first << " | " << v.second << " | "
+         << SignedInt(v.first, v.second) << " |\n";
+    }
+    os << "\n" << unchanged << " counters unchanged.\n";
   }
 }
 

@@ -124,4 +124,15 @@ void WriteReportMarkdown(const TraceReport& report,
 /// `track`, and `critical` rows. Stable ordering for golden-file tests.
 void WriteReportCsv(const TraceReport& report, std::ostream& os);
 
+/// Markdown diff of two analyzed runs, A (baseline) vs B (candidate):
+/// run-summary deltas, per-phase virtual/wall deltas over the union of
+/// phase names (union sorted by |virtual delta| descending so the biggest
+/// movement reads first), the class rollup, and — when both metrics
+/// registries are present — every counter whose value changed. Output is a
+/// pure function of the inputs (golden-file friendly).
+void WriteReportDiffMarkdown(const TraceReport& a, const TraceReport& b,
+                             const MetricsRegistry* metrics_a,
+                             const MetricsRegistry* metrics_b,
+                             std::ostream& os);
+
 }  // namespace psra::obs

@@ -15,10 +15,11 @@ GroupGenerator::GroupGenerator(std::uint32_t threshold,
   PSRA_REQUIRE(threshold <= num_leaders,
                "threshold larger than the number of leaders");
   reported_.assign(num_leaders, false);
+  queue_.reserve(num_leaders);
 }
 
-std::optional<GroupFormation> GroupGenerator::Report(simnet::NodeId node,
-                                                     simnet::VirtualTime t) {
+bool GroupGenerator::ReportInto(simnet::NodeId node, simnet::VirtualTime t,
+                                GroupBatch& out) {
   PSRA_REQUIRE(node < num_leaders_, "node id out of range");
   PSRA_REQUIRE(!reported_[node], "leader reported twice in one cycle");
   PSRA_REQUIRE(t >= last_report_time_,
@@ -28,12 +29,10 @@ std::optional<GroupFormation> GroupGenerator::Report(simnet::NodeId node,
   last_report_time_ = t;
   queue_.push_back(node);
 
-  if (queue_.size() < threshold_) return std::nullopt;
+  if (queue_.size() < threshold_) return false;
 
-  GroupFormation g;
-  g.members = std::move(queue_);
-  g.formed_at = t;
-  queue_.clear();
+  out.PushGroup(queue_, t);
+  queue_.clear();  // keeps capacity: the queue never reallocates in steady state
 
   if (reports_this_cycle_ == num_leaders_) {
     // Cycle complete with an exact fill; start the next cycle.
@@ -41,22 +40,54 @@ std::optional<GroupFormation> GroupGenerator::Report(simnet::NodeId node,
     last_report_time_ = 0.0;
     std::fill(reported_.begin(), reported_.end(), false);
   }
-  return g;
+  return true;
 }
 
-std::optional<GroupFormation> GroupGenerator::EndCycle() {
-  std::optional<GroupFormation> out;
-  if (!queue_.empty()) {
-    GroupFormation g;
-    g.members = std::move(queue_);
-    g.formed_at = last_report_time_;
+bool GroupGenerator::EndCycleInto(GroupBatch& out) {
+  const bool formed = !queue_.empty();
+  if (formed) {
+    out.PushGroup(queue_, last_report_time_);
     queue_.clear();
-    out = g;
   }
   reports_this_cycle_ = 0;
   last_report_time_ = 0.0;
   std::fill(reported_.begin(), reported_.end(), false);
-  return out;
+  return formed;
+}
+
+namespace {
+
+/// Copies a batch's groups into the vector-of-vectors form the convenience
+/// APIs return.
+void AppendFormations(const GroupBatch& batch, std::size_t first,
+                      std::vector<GroupFormation>& out) {
+  for (std::size_t i = first; i < batch.size(); ++i) {
+    const GroupView& v = batch.group(i);
+    const auto members = batch.members(v);
+    GroupFormation g;
+    g.members.assign(members.begin(), members.end());
+    g.formed_at = v.formed_at;
+    out.push_back(std::move(g));
+  }
+}
+
+}  // namespace
+
+std::optional<GroupFormation> GroupGenerator::Report(simnet::NodeId node,
+                                                     simnet::VirtualTime t) {
+  GroupBatch batch;
+  if (!ReportInto(node, t, batch)) return std::nullopt;
+  std::vector<GroupFormation> out;
+  AppendFormations(batch, 0, out);
+  return std::move(out.front());
+}
+
+std::optional<GroupFormation> GroupGenerator::EndCycle() {
+  GroupBatch batch;
+  if (!EndCycleInto(batch)) return std::nullopt;
+  std::vector<GroupFormation> out;
+  AppendFormations(batch, 0, out);
+  return std::move(out.front());
 }
 
 bool GroupGenerator::Withdraw(simnet::NodeId node) {
@@ -67,68 +98,79 @@ bool GroupGenerator::Withdraw(simnet::NodeId node) {
   return true;
 }
 
-std::vector<GroupFormation> RunGroupingCycle(
-    GroupGenerator& gg, std::span<const LeaderReport> reports) {
+void RunGroupingCycle(GroupGenerator& gg, std::span<const LeaderReport> reports,
+                      GroupWorkspace& ws) {
   // Replay reports and mid-round deaths in virtual-time order. Each event is
   // (time, kind, node); reports sort before deaths at equal times so a
   // leader that dies exactly when it reports still gets queued (and then
   // withdrawn), matching the "report, then die" narrative of the model.
-  struct Event {
-    simnet::VirtualTime time;
-    int kind;  // 0 = report, 1 = death
-    simnet::NodeId node;
-    simnet::VirtualTime report_time;
-  };
-  std::vector<Event> events;
-  events.reserve(2 * reports.size());
+  ws.groups.Clear();
+  ws.events.clear();
   for (const auto& r : reports) {
-    events.push_back({r.time, 0, r.node, r.time});
+    ws.events.push_back({r.time, 0, r.node, r.time});
     if (r.dies_at) {
-      events.push_back({std::max(*r.dies_at, r.time), 1, r.node, r.time});
+      ws.events.push_back({std::max(*r.dies_at, r.time), 1, r.node, r.time});
     }
   }
-  std::stable_sort(events.begin(), events.end(),
-                   [](const Event& a, const Event& b) {
-                     if (a.time != b.time) return a.time < b.time;
-                     if (a.kind != b.kind) return a.kind < b.kind;
-                     return a.node < b.node;
-                   });
+  // (time, kind, node) is a total order — node ids are distinct per kind — so
+  // plain sort is deterministic and, unlike stable_sort, allocation-free.
+  std::sort(ws.events.begin(), ws.events.end(),
+            [](const GroupWorkspace::CycleEvent& a,
+               const GroupWorkspace::CycleEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.node < b.node;
+            });
 
-  std::vector<GroupFormation> groups;
-  for (const Event& e : events) {
+  for (const GroupWorkspace::CycleEvent& e : ws.events) {
     if (e.kind == 0) {
-      if (auto g = gg.Report(e.node, e.report_time)) {
-        groups.push_back(std::move(*g));
-      }
+      (void)gg.ReportInto(e.node, e.report_time, ws.groups);
     } else {
       (void)gg.Withdraw(e.node);
     }
   }
-  if (auto g = gg.EndCycle()) groups.push_back(std::move(*g));
+  (void)gg.EndCycleInto(ws.groups);
+}
+
+std::vector<GroupFormation> RunGroupingCycle(
+    GroupGenerator& gg, std::span<const LeaderReport> reports) {
+  GroupWorkspace ws;
+  RunGroupingCycle(gg, reports, ws);
+  std::vector<GroupFormation> groups;
+  AppendFormations(ws.groups, 0, groups);
   return groups;
+}
+
+void RunGroupingCycle(GroupGenerator& gg,
+                      std::span<const simnet::VirtualTime> report_times,
+                      GroupWorkspace& ws) {
+  PSRA_REQUIRE(report_times.size() == gg.num_leaders(),
+               "one report time per leader required");
+  ws.groups.Clear();
+  ws.order.resize(report_times.size());
+  std::iota(ws.order.begin(), ws.order.end(), 0);
+  // (time, node) is a total order over distinct node ids, so plain sort is
+  // deterministic and allocation-free (stable_sort buys nothing here).
+  std::sort(ws.order.begin(), ws.order.end(),
+            [&](simnet::NodeId a, simnet::NodeId b) {
+              if (report_times[a] != report_times[b]) {
+                return report_times[a] < report_times[b];
+              }
+              return a < b;
+            });
+
+  for (simnet::NodeId n : ws.order) {
+    (void)gg.ReportInto(n, report_times[n], ws.groups);
+  }
+  (void)gg.EndCycleInto(ws.groups);
 }
 
 std::vector<GroupFormation> RunGroupingCycle(
     GroupGenerator& gg, const std::vector<simnet::VirtualTime>& report_times) {
-  PSRA_REQUIRE(report_times.size() == gg.num_leaders(),
-               "one report time per leader required");
-  std::vector<simnet::NodeId> order(report_times.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](simnet::NodeId a, simnet::NodeId b) {
-                     if (report_times[a] != report_times[b]) {
-                       return report_times[a] < report_times[b];
-                     }
-                     return a < b;
-                   });
-
+  GroupWorkspace ws;
+  RunGroupingCycle(gg, std::span<const simnet::VirtualTime>(report_times), ws);
   std::vector<GroupFormation> groups;
-  for (simnet::NodeId n : order) {
-    if (auto g = gg.Report(n, report_times[n])) {
-      groups.push_back(std::move(*g));
-    }
-  }
-  if (auto g = gg.EndCycle()) groups.push_back(std::move(*g));
+  AppendFormations(ws.groups, 0, groups);
   return groups;
 }
 

@@ -20,6 +20,7 @@
 
 #include "simnet/cost_model.hpp"
 #include "simnet/topology.hpp"
+#include "wlg/group_workspace.hpp"
 
 namespace psra::wlg {
 
@@ -44,12 +45,21 @@ class GroupGenerator {
   std::optional<GroupFormation> Report(simnet::NodeId node,
                                        simnet::VirtualTime t);
 
+  /// Allocation-free Report: a formed group is appended to `out` instead of
+  /// being returned in a fresh vector, and the buffer queue keeps its
+  /// capacity. Returns true when this report formed a group.
+  bool ReportInto(simnet::NodeId node, simnet::VirtualTime t, GroupBatch& out);
+
   /// Number of reports received in the current cycle.
   std::uint32_t ReportsThisCycle() const { return reports_this_cycle_; }
 
   /// Residual queue contents as a final (smaller) group; empty optional if
   /// the queue is empty. Resets the cycle either way.
   std::optional<GroupFormation> EndCycle();
+
+  /// Allocation-free EndCycle: the residual group (if any) is appended to
+  /// `out`. Returns true when a group was appended.
+  bool EndCycleInto(GroupBatch& out);
 
   /// Leader of `node` died after reporting but before its group formed: the
   /// GG drops it from the buffer queue, so later reporters take its place
@@ -74,6 +84,14 @@ class GroupGenerator {
 std::vector<GroupFormation> RunGroupingCycle(
     GroupGenerator& gg, const std::vector<simnet::VirtualTime>& report_times);
 
+/// Allocation-free cycle used by the engine hot path: the formed groups land
+/// in ws.groups (cleared first) and the sort scratch lives in `ws`, so a
+/// workspace reused across iterations performs no heap allocations in steady
+/// state. Identical formations to the vector-returning overload.
+void RunGroupingCycle(GroupGenerator& gg,
+                      std::span<const simnet::VirtualTime> report_times,
+                      GroupWorkspace& ws);
+
 /// One leader's report in a faulty cycle. `dies_at`, when set, is the
 /// virtual time the leader dies mid-round: if it dies while still queued the
 /// GG withdraws it (regrouping); if its group already formed the formation
@@ -90,5 +108,10 @@ struct LeaderReport {
 /// deterministic.
 std::vector<GroupFormation> RunGroupingCycle(
     GroupGenerator& gg, std::span<const LeaderReport> reports);
+
+/// Workspace variant of the fault-aware cycle (same formations; the event
+/// scratch and formed groups live in `ws`).
+void RunGroupingCycle(GroupGenerator& gg, std::span<const LeaderReport> reports,
+                      GroupWorkspace& ws);
 
 }  // namespace psra::wlg

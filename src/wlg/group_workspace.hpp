@@ -1,0 +1,82 @@
+// Pooled storage for the group lifecycle (paper Section 4.3).
+//
+// The Group Generator forms a handful of small groups every iteration; done
+// naively that is one members-vector allocation per group per iteration plus
+// the GG's own event/order scratch. GroupBatch flattens all groups formed in
+// one cycle into a single resident buffer (the same recycling pattern as
+// TronWorkspace/WorkerSet, see DESIGN.md "Performance"), and GroupWorkspace
+// adds the cycle scratch RunGroupingCycle needs, so the steady-state dynamic
+// grouping path performs no heap allocations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simnet/topology.hpp"
+
+namespace psra::wlg {
+
+/// One formed group inside a GroupBatch: a [offset, offset + size) window of
+/// the batch's flat member array plus the formation time.
+struct GroupView {
+  std::uint32_t offset = 0;
+  std::uint32_t size = 0;
+  /// Virtual time the group was formed (report time of the last member).
+  simnet::VirtualTime formed_at = 0.0;
+};
+
+/// All groups formed in one grouping cycle, stored flat. Clear() keeps the
+/// capacity of both arrays, so a batch reused across iterations stops
+/// allocating once it has seen the largest cycle.
+class GroupBatch {
+ public:
+  void Clear() {
+    members_.clear();
+    groups_.clear();
+  }
+  void Reserve(std::size_t num_leaders) {
+    members_.reserve(num_leaders);
+    groups_.reserve(num_leaders);
+  }
+
+  void PushGroup(std::span<const simnet::NodeId> members,
+                 simnet::VirtualTime formed_at) {
+    GroupView v;
+    v.offset = static_cast<std::uint32_t>(members_.size());
+    v.size = static_cast<std::uint32_t>(members.size());
+    v.formed_at = formed_at;
+    members_.insert(members_.end(), members.begin(), members.end());
+    groups_.push_back(v);
+  }
+
+  bool empty() const { return groups_.empty(); }
+  std::size_t size() const { return groups_.size(); }
+  const GroupView& group(std::size_t i) const { return groups_[i]; }
+  std::span<const simnet::NodeId> members(const GroupView& v) const {
+    return std::span<const simnet::NodeId>(members_).subspan(v.offset, v.size);
+  }
+
+ private:
+  std::vector<simnet::NodeId> members_;  // all groups' members, concatenated
+  std::vector<GroupView> groups_;
+};
+
+/// Everything one grouping cycle needs, recycled across iterations: the
+/// formed groups plus the replay scratch used by RunGroupingCycle.
+struct GroupWorkspace {
+  GroupBatch groups;
+
+  /// Report/death event replayed by the fault-aware cycle (public so the
+  /// cycle runners can fill it; not meaningful between calls).
+  struct CycleEvent {
+    simnet::VirtualTime time = 0.0;
+    int kind = 0;  // 0 = report, 1 = death
+    simnet::NodeId node = 0;
+    simnet::VirtualTime report_time = 0.0;
+  };
+  std::vector<simnet::NodeId> order;
+  std::vector<CycleEvent> events;
+};
+
+}  // namespace psra::wlg

@@ -1,0 +1,106 @@
+// Steady-state allocation regression test: after warm-up, a PSRA-HGADMM
+// iteration must perform ZERO dynamic allocations — for flat AND dynamic
+// grouping, serial and pooled. This is the testable core of the
+// bench_hotpath alloc gate: bench numbers need a quiet machine, but an
+// allocation count is deterministic, so it can fail a plain ctest run the
+// moment a hot-path std::vector sneaks back in.
+//
+// The measurement uses the same delta method as bench_hotpath: run the same
+// configuration at two iteration counts K1 < K2 and require
+//   (allocs(K2) - allocs(K1)) - (allocs(K1) - allocs(K0)) == 0
+// which cancels setup, warm-up and teardown allocations exactly.
+//
+// This binary (and bench_hotpath) are the only ones that link
+// psra_alloc_counter, which replaces global operator new/delete with
+// counting forwarders.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "admm/problem.hpp"
+#include "admm/psra_hgadmm.hpp"
+#include "engine/alloc_counter.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace psra::admm {
+namespace {
+
+data::SyntheticSpec SmallSpec() {
+  data::SyntheticSpec spec;
+  spec.name = "alloc";
+  spec.num_features = 96;
+  spec.num_train = 192;
+  spec.num_test = 64;
+  spec.mean_row_nnz = 8.0;
+  spec.label_noise = 0.02;
+  spec.seed = 11;
+  return spec;
+}
+
+PsraConfig SmallCluster(GroupingMode grouping) {
+  PsraConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.workers_per_node = 2;
+  cfg.grouping = grouping;
+  cfg.sparse_comm = false;
+  return cfg;
+}
+
+std::uint64_t RunOnce(const ConsensusProblem& problem, const PsraConfig& cfg,
+                      engine::ThreadPool* pool, std::uint64_t iterations) {
+  RunOptions opt;
+  opt.max_iterations = iterations;
+  opt.eval_every = iterations;  // evaluation allocates; keep it off-path
+  opt.pool = pool;
+  return PsraHgAdmm(cfg).Run(problem, opt).iterations_run;
+}
+
+/// Allocations per iteration by the delta method (exact, not averaged: the
+/// counts are deterministic, so the division must come out whole).
+std::uint64_t AllocsPerIter(const ConsensusProblem& problem,
+                            const PsraConfig& cfg, engine::ThreadPool* pool) {
+  constexpr std::uint64_t k1 = 4;
+  constexpr std::uint64_t k2 = 12;
+  (void)RunOnce(problem, cfg, pool, k1);  // warm-up: grow every workspace
+
+  const std::uint64_t a0 = engine::AllocCount();
+  (void)RunOnce(problem, cfg, pool, k1);
+  const std::uint64_t a1 = engine::AllocCount();
+  (void)RunOnce(problem, cfg, pool, k2);
+  const std::uint64_t a2 = engine::AllocCount();
+
+  const std::uint64_t delta = (a2 - a1) - (a1 - a0);
+  return delta / (k2 - k1);
+}
+
+class AllocRegression : public ::testing::TestWithParam<GroupingMode> {
+ protected:
+  void SetUp() override {
+#ifdef PSRA_SANITIZE_BUILD
+    GTEST_SKIP() << "allocation counts are not meaningful under sanitizers";
+#endif
+  }
+};
+
+TEST_P(AllocRegression, SerialIterationIsAllocationFree) {
+  const auto problem = BuildProblem(SmallSpec(), 8);
+  EXPECT_EQ(AllocsPerIter(problem, SmallCluster(GetParam()), nullptr), 0u);
+}
+
+TEST_P(AllocRegression, PooledIterationIsAllocationFree) {
+  const auto problem = BuildProblem(SmallSpec(), 8);
+  engine::ThreadPool pool(8);
+  pool.ForceParallelDispatchForTesting();
+  EXPECT_EQ(AllocsPerIter(problem, SmallCluster(GetParam()), &pool), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroupings, AllocRegression,
+                         ::testing::Values(GroupingMode::kFlat,
+                                           GroupingMode::kHierarchical,
+                                           GroupingMode::kDynamicGroups),
+                         [](const auto& info) {
+                           return GroupingModeName(info.param);
+                         });
+
+}  // namespace
+}  // namespace psra::admm

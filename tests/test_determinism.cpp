@@ -102,6 +102,12 @@ TEST_P(PoolDeterminism, SerialAndPooledRunsAreBitwiseIdentical) {
   engine::ThreadPool pool1(1);
   ExpectIdenticalRuns(serial, RunWithPool(problem, cfg, &pool1));
 
+  // Pool of 2: the smallest size where work is genuinely split, and where
+  // the group-batched phases (cross-group ParallelFor) straddle threads.
+  engine::ThreadPool pool2(2);
+  pool2.ForceParallelDispatchForTesting();
+  ExpectIdenticalRuns(serial, RunWithPool(problem, cfg, &pool2));
+
   engine::ThreadPool pool8(8);
   pool8.ForceParallelDispatchForTesting();  // even on a 1-CPU host
   ExpectIdenticalRuns(serial, RunWithPool(problem, cfg, &pool8));

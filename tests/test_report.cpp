@@ -166,5 +166,53 @@ TEST(ReportGolden, CsvMatchesCommittedFixture) {
       << "CSV layout changed; regenerate the golden (see file header)";
 }
 
+// ----------------------------------------------------------------- diff ----
+
+TEST(ReportDiff, SelfDiffIsAllZeroDeltas) {
+  const auto r = AnalyzeTrace(LoadChromeTrace(ReadFixture("report_trace.json")));
+  const auto metrics = MetricsFromJson(ReadFixture("report_metrics.json"));
+  std::ostringstream os;
+  WriteReportDiffMarkdown(r, r, &metrics, &metrics, os);
+  const std::string out = os.str();
+  // Every counter matches itself, so the counter table body is empty and
+  // the unchanged tally equals the registry size.
+  EXPECT_EQ(out.find(" | +"), std::string::npos) << out;
+  EXPECT_EQ(out.find(" | -1"), std::string::npos) << out;
+  EXPECT_NE(out.find(std::to_string(metrics.counters().size()) +
+                     " counters unchanged."),
+            std::string::npos)
+      << out;
+  // Each phase from the report appears exactly once in the union.
+  for (const auto& p : r.phases) {
+    EXPECT_NE(out.find("| " + p.name + " |"), std::string::npos) << p.name;
+  }
+}
+
+TEST(ReportDiff, ReportsPhaseAndCounterMovement) {
+  const auto a =
+      AnalyzeTrace(LoadChromeTrace(ReadFixture("report_trace.json")));
+  TraceReport b = a;
+  ASSERT_FALSE(b.phases.empty());
+  b.phases[0].virtual_s += 1.0;       // existing phase grows
+  PhaseStat added;
+  added.name = "new_phase";
+  added.virtual_s = 0.5;
+  b.phases.push_back(added);          // phase only B has
+  b.horizon += 2.0;
+
+  const auto ma = MetricsFromJson(ReadFixture("report_metrics.json"));
+  MetricsRegistry mb = MetricsFromJson(ReadFixture("report_metrics.json"));
+  mb.Counter("comm.allreduce.psr.bytes") += 100;
+
+  std::ostringstream os;
+  WriteReportDiffMarkdown(a, b, &ma, &mb, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("new_phase (B only)"), std::string::npos) << out;
+  EXPECT_NE(out.find("+1 |"), std::string::npos);           // virtual delta
+  EXPECT_NE(out.find("| +2 | "), std::string::npos);        // makespan delta
+  EXPECT_NE(out.find("comm.allreduce.psr.bytes"), std::string::npos);
+  EXPECT_NE(out.find("| +100 |"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace psra::obs

@@ -259,5 +259,66 @@ TEST(GroupGenerator, FaultyCycleWithSubsetOfLeaders) {
   EXPECT_EQ(formed[1].members, (std::vector<NodeId>{3}));
 }
 
+// ------------------------------------------------------- group workspace ----
+
+TEST(GroupWorkspace, BatchCycleMatchesVectorCycle) {
+  // The pooled RunGroupingCycle overload must form the exact groups (same
+  // membership, same order, same formed_at) as the allocating original.
+  GroupGenerator gg_vec(3, 8);
+  const std::vector<simnet::VirtualTime> times{5, 1, 7, 2, 8, 3, 6, 4};
+  const auto expected = RunGroupingCycle(gg_vec, times);
+
+  GroupGenerator gg_ws(3, 8);
+  GroupWorkspace ws;
+  RunGroupingCycle(gg_ws, times, ws);
+  ASSERT_EQ(ws.groups.size(), expected.size());
+  for (std::size_t g = 0; g < expected.size(); ++g) {
+    const GroupView view = ws.groups.group(g);
+    const auto members = ws.groups.members(view);
+    ASSERT_EQ(members.size(), expected[g].members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      EXPECT_EQ(members[i], expected[g].members[i]);
+    }
+    EXPECT_DOUBLE_EQ(view.formed_at, expected[g].formed_at);
+  }
+}
+
+TEST(GroupWorkspace, ClearKeepsStorageAcrossCycles) {
+  // Steady state: after the first cycle the batch never reallocates —
+  // Clear() keeps capacity and group sizes repeat, so re-running the same
+  // shape of cycle reuses the flat arrays (data() stays put).
+  GroupGenerator gg(2, 6);
+  const std::vector<simnet::VirtualTime> times{1, 2, 3, 4, 5, 6};
+  GroupWorkspace ws;
+  RunGroupingCycle(gg, times, ws);
+  ASSERT_EQ(ws.groups.size(), 3u);
+  const GroupView before = ws.groups.group(0);
+  const simnet::NodeId* data_before = ws.groups.members(before).data();
+
+  RunGroupingCycle(gg, times, ws);
+  ASSERT_EQ(ws.groups.size(), 3u);
+  EXPECT_EQ(ws.groups.members(ws.groups.group(0)).data(), data_before);
+}
+
+TEST(GroupWorkspace, ReportIntoFormsAtThreshold) {
+  GroupGenerator gg(3, 6);
+  GroupBatch batch;
+  batch.Reserve(6);
+  EXPECT_FALSE(gg.ReportInto(0, 1.0, batch));
+  EXPECT_FALSE(gg.ReportInto(1, 2.0, batch));
+  EXPECT_TRUE(gg.ReportInto(2, 3.0, batch));
+  ASSERT_EQ(batch.size(), 1u);
+  const auto members = batch.members(batch.group(0));
+  EXPECT_EQ(std::vector<NodeId>(members.begin(), members.end()),
+            (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(batch.group(0).formed_at, 3.0);
+
+  // Residual flush at end of cycle.
+  EXPECT_FALSE(gg.ReportInto(3, 4.0, batch));
+  EXPECT_TRUE(gg.EndCycleInto(batch));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.members(batch.group(1)).size(), 1u);
+}
+
 }  // namespace
 }  // namespace psra::wlg

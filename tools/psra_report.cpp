@@ -3,6 +3,14 @@
 //
 //   psra_report --trace OBS_trace.json --metrics OBS_metrics.json
 //               [--out report.md] [--csv report.csv]
+//   psra_report --diff --trace A_trace.json --trace-b B_trace.json
+//               [--metrics A_metrics.json --metrics-b B_metrics.json]
+//               [--out diff.md]
+//
+// Diff mode treats the --trace/--metrics pair as run A (baseline) and the
+// --trace-b/--metrics-b pair as run B (candidate), and emits per-phase and
+// per-class virtual/wall deltas plus every metrics counter that changed —
+// the before/after evidence for a performance PR.
 //
 // The markdown report carries the per-phase time breakdown (compute vs.
 // communicate vs. wait), the per-iteration critical path, per-worker
@@ -44,7 +52,8 @@ int main(int argc, char** argv) {
   using namespace psra;
 
   std::string trace_path, metrics_path, out_path, csv_path;
-  bool assert_fig6 = false;
+  std::string trace_b_path, metrics_b_path;
+  bool assert_fig6 = false, diff = false;
   CliParser cli("psra_report",
                 "analyze --trace-out/--metrics-out run artifacts");
   cli.AddString("trace", &trace_path, "trace.json artifact (Chrome format)");
@@ -53,9 +62,46 @@ int main(int argc, char** argv) {
   cli.AddString("csv", &csv_path, "machine-readable CSV report path");
   cli.AddBool("assert-fig6", &assert_fig6,
               "fail unless PSR < Ring bytes and communicate share > 0");
+  cli.AddBool("diff", &diff,
+              "compare two runs: --trace/--metrics (A) vs --trace-b/"
+              "--metrics-b (B)");
+  cli.AddString("trace-b", &trace_b_path, "candidate trace for --diff");
+  cli.AddString("metrics-b", &metrics_b_path, "candidate metrics for --diff");
   if (!cli.Parse(argc, argv)) return 0;
 
   try {
+    if (diff) {
+      if (trace_path.empty() || trace_b_path.empty()) {
+        std::cerr << "psra_report: --diff needs --trace (A) and --trace-b"
+                     " (B)\n";
+        return 2;
+      }
+      if (metrics_path.empty() != metrics_b_path.empty()) {
+        std::cerr << "psra_report: --diff needs --metrics and --metrics-b"
+                     " together (or neither)\n";
+        return 2;
+      }
+      const obs::TraceReport a =
+          obs::AnalyzeTrace(obs::LoadChromeTrace(ReadFile(trace_path)));
+      const obs::TraceReport b =
+          obs::AnalyzeTrace(obs::LoadChromeTrace(ReadFile(trace_b_path)));
+      obs::MetricsRegistry ma, mb;
+      const bool have_metrics = !metrics_path.empty();
+      if (have_metrics) {
+        ma = obs::MetricsFromJson(ReadFile(metrics_path));
+        mb = obs::MetricsFromJson(ReadFile(metrics_b_path));
+      }
+      std::ostringstream md;
+      obs::WriteReportDiffMarkdown(a, b, have_metrics ? &ma : nullptr,
+                                   have_metrics ? &mb : nullptr, md);
+      if (out_path.empty()) {
+        std::cout << md.str();
+      } else {
+        WriteTo(out_path, md.str());
+        std::cout << "diff: " << out_path << "\n";
+      }
+      return 0;
+    }
     if (trace_path.empty() && metrics_path.empty()) {
       std::cerr << "psra_report: need --trace and/or --metrics\n";
       return 2;
