@@ -13,19 +13,33 @@
 //   admmlib — SSP + ring over all leaders; `dense` clears sparse_comm.
 //   ad-admm — asynchronous master/worker; `sparse` sends sparse deltas
 //       (classic_exchange = false), `dense` the classic dense exchange.
+//   gadmm — chain GADMM. The chain always ships dense models, so gadmm
+//       only produces `dense` cells (sparse is skipped, not aliased).
+//
+// --racks R partitions the nodes into R racks: cross-rack links are priced
+// on the slower kInterRack fabric and the hierarchical PSRA cells run their
+// leader collective recursively (per rack, then across rack leaders) — the
+// multi-level sweep of DESIGN.md §10. R must divide every node count.
+//
+// --pool T runs every cell's host-side loops on a T-thread pool (0 = serial,
+// the default). Virtual-time results and every counter in metrics.json are
+// bitwise-identical for any T; the flag only shortens large-N wall time.
 //
 // Cells are run metrics-only (tracing off): the sweep gate diffs counters,
 // and skipping span recording keeps the grid cheap.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "admm/ad_admm.hpp"
 #include "admm/admmlib.hpp"
+#include "admm/gadmm.hpp"
 #include "admm/psra_hgadmm.hpp"
 #include "bench_util.hpp"
+#include "engine/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "support/cli.hpp"
 #include "support/log.hpp"
@@ -59,10 +73,10 @@ std::uint64_t BytesOnWire(const obs::MetricsRegistry& m) {
 
 int main(int argc, char** argv) {
   std::string nodes_csv = "4,8,16";
-  std::int64_t wpn = 4, iterations = 20;
+  std::int64_t wpn = 4, iterations = 20, racks = 1, pool_threads = 0;
   std::string dataset = "news20";
   double scale = 0.0;
-  std::string algorithms_csv = "psr,ring,naive,admmlib,ad-admm";
+  std::string algorithms_csv = "psr,ring,naive,admmlib,ad-admm,gadmm";
   std::string sparsity_csv = "sparse,dense";
   std::string out_dir = "sweep";
   std::string log_level = "warn";
@@ -71,15 +85,24 @@ int main(int argc, char** argv) {
   cli.AddString("nodes", &nodes_csv, "comma-separated node counts");
   cli.AddInt("workers-per-node", &wpn, "workers per node");
   cli.AddInt("iterations", &iterations, "ADMM iterations per cell");
+  cli.AddInt("racks", &racks, "racks per cluster (must divide node counts)");
+  cli.AddInt("pool", &pool_threads,
+             "host pool threads (0 = serial; counters are identical)");
   cli.AddString("dataset", &dataset, "dataset profile");
   cli.AddDouble("scale", &scale, "profile scale (0 = dataset default)");
   cli.AddString("algorithms", &algorithms_csv,
-                "cells: psr|ring|naive|rhd|tree|admmlib|ad-admm");
+                "cells: psr|ring|naive|rhd|tree|admmlib|ad-admm|gadmm");
   cli.AddString("sparsity", &sparsity_csv, "sparse,dense");
   cli.AddString("out-dir", &out_dir, "directory for per-cell metrics.json");
   AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
   ApplyLogLevelFlag(log_level);
+  PSRA_REQUIRE(racks >= 1, "--racks must be at least 1");
+
+  std::optional<engine::ThreadPool> pool;
+  if (pool_threads > 0) {
+    pool.emplace(static_cast<std::size_t>(pool_threads));
+  }
 
   std::filesystem::create_directories(out_dir);
   std::ofstream manifest(out_dir + "/manifest.csv");
@@ -93,9 +116,12 @@ int main(int argc, char** argv) {
                "makespan_s", "iterations"});
   for (const auto& node_tok : bench::ParseList(nodes_csv)) {
     const auto nodes = static_cast<std::uint32_t>(ParseInt(node_tok));
+    PSRA_REQUIRE(nodes % static_cast<std::uint32_t>(racks) == 0,
+                 "--racks must divide every node count");
     admm::ClusterConfig cluster;
     cluster.num_nodes = nodes;
     cluster.workers_per_node = static_cast<std::uint32_t>(wpn);
+    cluster.num_racks = static_cast<std::uint32_t>(racks);
     const auto problem = bench::MakeProblem(dataset, scale,
                                             cluster.world_size());
     for (const auto& alg : bench::ParseList(algorithms_csv)) {
@@ -103,6 +129,8 @@ int main(int argc, char** argv) {
         PSRA_REQUIRE(sparsity == "sparse" || sparsity == "dense",
                      "sparsity must be sparse or dense");
         const bool sparse = sparsity == "sparse";
+        // GADMM's chain ships dense models only; there is no sparse cell.
+        if (alg == "gadmm" && sparse) continue;
 
         obs::ObsContext obs;
         obs.tracing = false;  // metrics only
@@ -111,6 +139,7 @@ int main(int argc, char** argv) {
         opt.tron = bench::BenchTron();
         opt.eval_every = opt.max_iterations;
         opt.obs = &obs;
+        opt.pool = pool.has_value() ? &*pool : nullptr;
 
         admm::RunResult res;
         if (alg == "admmlib") {
@@ -123,6 +152,10 @@ int main(int argc, char** argv) {
           cfg.cluster = cluster;
           cfg.classic_exchange = !sparse;
           res = admm::AdAdmm(cfg).Run(problem, opt);
+        } else if (alg == "gadmm") {
+          admm::GadmmConfig cfg;
+          cfg.cluster = cluster;
+          res = admm::Gadmm(cfg).Run(problem, opt);
         } else {
           admm::PsraConfig cfg;
           cfg.cluster = cluster;

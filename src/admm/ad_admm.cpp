@@ -24,9 +24,15 @@ AdAdmm::AdAdmm(const AdAdmmConfig& config) : cfg_(config) {
 RunResult AdAdmm::Run(const ConsensusProblem& problem,
                       const RunOptions& options) const {
   const simnet::Topology topo(cfg_.cluster.num_nodes,
-                              cfg_.cluster.workers_per_node);
+                              cfg_.cluster.workers_per_node,
+                              cfg_.cluster.num_racks);
   PSRA_REQUIRE(problem.num_workers() == topo.world_size(),
                "problem must be partitioned into one shard per worker");
+  // The async master's in-flight update state is not part of a
+  // RunCheckpoint, so a restored snapshot cannot resume this engine.
+  PSRA_REQUIRE(options.warm_start == nullptr,
+               "AD-ADMM does not support warm starts (async master state is "
+               "not checkpointed)");
   const simnet::CostModel cost(cfg_.cluster.cost);
   const simnet::StragglerModel stragglers(topo, cfg_.cluster.straggler);
   // The asynchronous exchange exercises the message-level fault knobs: a
@@ -178,6 +184,28 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
     }
   };
 
+  // Report arrival at the master. Lives outside the scheduled callback so
+  // the event record only captures (&deliver, j, elems) — small enough for
+  // the EventQueue's inline storage, keeping the event path allocation-free.
+  auto deliver = [&](std::size_t j, std::size_t elems) {
+    // Master receive is serialized (the bottleneck).
+    const simnet::VirtualTime recv_cost =
+        transfer(static_cast<simnet::Rank>(j), elems);
+    const simnet::VirtualTime recv_begin = std::max(master_busy, queue.Now());
+    master_busy = recv_begin + recv_cost;
+    if (eo.tracing()) {
+      eo.AuxSpan(master_track, "recv_report", recv_begin, master_busy,
+                 worker_iter[j]);
+    }
+    w_latest[j] = ws.w(j);
+    contributed_update[j] = K + 1;
+    waiting.push_back(j);
+    ++fresh_count;
+    if (K < options.max_iterations && fire_condition()) {
+      do_update(master_busy);
+    }
+  };
+
   // Worker j computes x/w and schedules its report's arrival at the master.
   start_compute = [&](std::size_t j) {
     ++worker_iter[j];
@@ -238,24 +266,8 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
         ++result.faults.delayed_messages;
       }
     }
-    queue.ScheduleAt(arrival, [&, j, elems] {
-      // Master receive is serialized (the bottleneck).
-      const simnet::VirtualTime recv_cost =
-          transfer(static_cast<simnet::Rank>(j), elems);
-      const simnet::VirtualTime recv_begin = std::max(master_busy, queue.Now());
-      master_busy = recv_begin + recv_cost;
-      if (eo.tracing()) {
-        eo.AuxSpan(master_track, "recv_report", recv_begin, master_busy,
-                   worker_iter[j]);
-      }
-      w_latest[j] = ws.w(j);
-      contributed_update[j] = K + 1;
-      waiting.push_back(j);
-      ++fresh_count;
-      if (K < options.max_iterations && fire_condition()) {
-        do_update(master_busy);
-      }
-    });
+    queue.ScheduleAt(arrival,
+                     [&deliver, j, elems] { deliver(j, elems); });
   };
 
   for (std::size_t j = 0; j < world; ++j) start_compute(j);

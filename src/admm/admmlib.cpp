@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "admm/checkpoint.hpp"
 #include "admm/instrument.hpp"
 #include "comm/intranode.hpp"
 #include "linalg/sparse_vector.hpp"
@@ -74,7 +75,8 @@ struct LibMetrics {
 RunResult AdmmLib::Run(const ConsensusProblem& problem,
                        const RunOptions& options) const {
   const simnet::Topology topo(cfg_.cluster.num_nodes,
-                              cfg_.cluster.workers_per_node);
+                              cfg_.cluster.workers_per_node,
+                              cfg_.cluster.num_racks);
   PSRA_REQUIRE(problem.num_workers() == topo.world_size(),
                "problem must be partitioned into one shard per worker");
   const simnet::CostModel cost(cfg_.cluster.cost);
@@ -85,6 +87,10 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
       1.0, std::ceil(cfg_.min_barrier_fraction * static_cast<double>(nodes))));
 
   WorkerSet ws(&problem, &options);
+  // Warm start: seed (x, y, z, rho) from a restored checkpoint and resume
+  // right after its iteration (the pre-loop node sums below then start from
+  // the warm state).
+  const std::uint64_t first_iter = ApplyWarmStart(ws, options) + 1;
   engine::TimeLedger ledger(world);
   const auto ring = comm::MakeAllreduce(cfg_.allreduce);
   const auto d = static_cast<std::size_t>(problem.dim());
@@ -172,7 +178,7 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
   }
 
   linalg::DenseVector W(d, 0.0);
-  for (std::uint64_t k = 1; k <= options.max_iterations; ++k) {
+  for (std::uint64_t k = first_iter; k <= options.max_iterations; ++k) {
     result.iterations_run = k;
     // Fire time: the barrier-th smallest ready time, pushed later by any
     // node whose contribution would otherwise exceed Max_delay.
@@ -304,6 +310,14 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
         ledger.ChargeCompute(r, cost.ComputeTime(zf));
         eo.Span("z_y_update", ledger, i, k);
       }
+      // Requested checkpoint: snapshot this node's workers now — after
+      // their z/y update, but BEFORE compute_node advances their x into
+      // round k+1. A warm start re-runs that x-update from the restored
+      // state (its pre-loop compute_node), so capturing any later would
+      // make the resumed run apply TRON twice.
+      if (options.checkpoint_out != nullptr && k == options.checkpoint_at) {
+        CaptureRunCheckpoint(ws, k, node_ranks[n], *options.checkpoint_out);
+      }
       node_w[n] = compute_node(n);
       ready[n] = ledger[leaders[n]].clock;
     }
@@ -311,6 +325,13 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
     if (options.record_trace &&
         (k % options.eval_every == 0 || k == options.max_iterations)) {
       result.trace.push_back(ws.Evaluate(k, ledger));
+    }
+
+    // The per-node captures above took the algorithm state; the metrics
+    // snapshot waits until the whole round is booked.
+    if (options.checkpoint_out != nullptr && k == options.checkpoint_at &&
+        eo.on()) {
+      options.checkpoint_out->metrics = eo.metrics();
     }
   }
 

@@ -155,6 +155,22 @@ void CaptureRunCheckpoint(const WorkerSet& ws, std::uint64_t iteration,
   if (metrics != nullptr) ckpt.metrics = *metrics;
 }
 
+std::uint64_t ApplyWarmStart(WorkerSet& ws, const RunOptions& options) {
+  if (options.warm_start == nullptr) return 0;
+  const RunCheckpoint& ckpt = *options.warm_start;
+  PSRA_REQUIRE(ckpt.workers.size() == static_cast<std::size_t>(ws.size()),
+               "warm-start checkpoint holds a different worker count");
+  const auto d = static_cast<std::size_t>(ws.dim());
+  for (std::size_t i = 0; i < ckpt.workers.size(); ++i) {
+    const WorkerCheckpoint& wc = ckpt.workers[i];
+    PSRA_REQUIRE(wc.x.size() == d && wc.y.size() == d && wc.z.size() == d,
+                 "warm-start checkpoint dimension mismatch");
+    ws.RestoreWorker(i, wc.x, wc.y, wc.z);
+  }
+  ws.SetRho(ckpt.rho);
+  return ckpt.iteration;
+}
+
 void WriteRunCheckpoint(const RunCheckpoint& ckpt, std::ostream& os) {
   PSRA_REQUIRE(!ckpt.workers.empty(), "cannot write an empty run checkpoint");
   const std::size_t dim = ckpt.workers.front().x.size();

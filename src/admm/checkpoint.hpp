@@ -90,6 +90,12 @@ void CaptureRunCheckpoint(const WorkerSet& ws, std::uint64_t iteration,
                           RunCheckpoint& ckpt,
                           const obs::MetricsRegistry* metrics = nullptr);
 
+/// Warm start: seeds `ws` from `options.warm_start` — rho plus every
+/// worker's (x, y, z); w is recomputed — and returns the checkpointed
+/// iteration, so the engine resumes at that + 1. Returns 0 and leaves `ws`
+/// untouched when no warm start is set.
+std::uint64_t ApplyWarmStart(WorkerSet& ws, const RunOptions& options);
+
 void WriteRunCheckpoint(const RunCheckpoint& ckpt, std::ostream& os);
 void WriteRunCheckpointFile(const RunCheckpoint& ckpt,
                             const std::string& path);

@@ -172,8 +172,11 @@ double WorkerSet::ZYStep(std::size_t i, std::span<const double> W,
 void WorkerSet::ZYStepAll(std::span<const simnet::Rank> ranks,
                           std::span<const double> W,
                           std::uint64_t num_contributors,
-                          std::vector<double>& flops_out) {
+                          std::vector<double>& flops_out,
+                          std::vector<double>* wall_out) {
   PSRA_REQUIRE(flops_out.size() == size(), "flops_out size mismatch");
+  PSRA_REQUIRE(wall_out == nullptr || wall_out->size() == size(),
+               "wall_out size mismatch");
   if (ranks.empty()) return;
   // Every rank in this call receives the same aggregated W, so they all
   // compute the same z. Host-side shortcut: compute it once, copy it to the
@@ -181,10 +184,22 @@ void WorkerSet::ZYStepAll(std::span<const simnet::Rank> ranks,
   // the virtual flops of the computation they replace — the simulated
   // cluster still does the work on every worker.
   const auto first = static_cast<std::size_t>(ranks.front());
-  flops_out[first] = ZYStep(first, W, num_contributors);
+  if (wall_out != nullptr) {
+    const double t0 = engine::ThreadPool::ThreadSeconds();
+    flops_out[first] = ZYStep(first, W, num_contributors);
+    (*wall_out)[first] = engine::ThreadPool::ThreadSeconds() - t0;
+  } else {
+    flops_out[first] = ZYStep(first, W, num_contributors);
+  }
   auto body = [&](std::size_t k) {
     const auto i = static_cast<std::size_t>(ranks[k + 1]);
-    flops_out[i] = ZYStepFrom(i, first);
+    if (wall_out != nullptr) {
+      const double t0 = engine::ThreadPool::ThreadSeconds();
+      flops_out[i] = ZYStepFrom(i, first);
+      (*wall_out)[i] = engine::ThreadPool::ThreadSeconds() - t0;
+    } else {
+      flops_out[i] = ZYStepFrom(i, first);
+    }
   };
   if (options_->pool != nullptr) {
     options_->pool->ParallelFor(ranks.size() - 1, body);

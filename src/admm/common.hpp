@@ -24,10 +24,19 @@ struct ObsContext;
 
 namespace psra::admm {
 
+struct RunCheckpoint;
+
 /// The simulated cluster an algorithm runs on.
 struct ClusterConfig {
   std::uint32_t num_nodes = 1;
   std::uint32_t workers_per_node = 1;
+  /// Racks partition the nodes contiguously (must divide num_nodes). With
+  /// more than one rack, inter-node links within a rack stay on the rack
+  /// network while cross-rack messages pay the slower kInterRack fabric, and
+  /// the hierarchical PSRA engine runs its leader collective recursively
+  /// (per rack, then across racks). One rack (the default) reproduces the
+  /// original two-level cluster exactly.
+  std::uint32_t num_racks = 1;
   simnet::CostModelConfig cost;
   /// Injected stragglers (paper Section 5.5); probability 0 disables.
   simnet::StragglerConfig straggler;
@@ -85,6 +94,21 @@ struct RunOptions {
   /// hot path allocation-free and the results bitwise-identical to an
   /// uninstrumented run (pinned by test_obs).
   obs::ObsContext* obs = nullptr;
+  /// Optional restored checkpoint: the engine seeds every worker's (x, y, z)
+  /// and rho from it and resumes at iteration warm_start->iteration + 1,
+  /// running through max_iterations as usual. Virtual clocks restart at
+  /// zero — the checkpoint carries algorithm state, not timing — so a
+  /// resumed run reproduces the remaining iterations' algebra exactly
+  /// (bitwise, for fixed-membership grouping with adaptive rho off).
+  /// Engines without per-worker consensus state reject a warm start.
+  const RunCheckpoint* warm_start = nullptr;
+  /// When non-null, the engine snapshots every worker's state (and rho)
+  /// into this checkpoint right after iteration `checkpoint_at` completes.
+  /// Together with `warm_start` this is the split-run facility: run to K,
+  /// capture, and a fresh Run resumes from K + 1 with identical algebra.
+  /// Ignored by engines that do not support warm starts.
+  RunCheckpoint* checkpoint_out = nullptr;
+  std::uint64_t checkpoint_at = 0;
 };
 
 /// Deterministic compute-time multiplier combining natural jitter and the
@@ -148,10 +172,12 @@ class WorkerSet {
   /// Runs ZYStep for every worker in `ranks`, optionally on the host pool
   /// (workers touch disjoint state, so the result is order-independent).
   /// Per-worker flops land in flops_out[rank]; flops_out must have size()
-  /// entries.
+  /// entries. `wall_out` as in XWStepAll: per-worker host seconds for the
+  /// tracer, measured on whichever pool thread ran the step.
   void ZYStepAll(std::span<const simnet::Rank> ranks, std::span<const double> W,
                  std::uint64_t num_contributors,
-                 std::vector<double>& flops_out);
+                 std::vector<double>& flops_out,
+                 std::vector<double>* wall_out = nullptr);
 
   /// The copy half of the ZYStepAll shortcut, exposed for callers that batch
   /// the consensus update across groups themselves: worker i adopts worker

@@ -57,9 +57,15 @@ void QuantizeDelta(std::span<const double> value, std::span<double> out,
 RunResult Gadmm::Run(const ConsensusProblem& problem,
                      const RunOptions& options) const {
   const simnet::Topology topo(cfg_.cluster.num_nodes,
-                              cfg_.cluster.workers_per_node);
+                              cfg_.cluster.workers_per_node,
+                              cfg_.cluster.num_racks);
   PSRA_REQUIRE(problem.num_workers() == topo.world_size(),
                "problem must be partitioned into one shard per worker");
+  // GADMM's chain duals (lambda) are not part of a RunCheckpoint, so a
+  // restored snapshot cannot reconstruct its full state.
+  PSRA_REQUIRE(options.warm_start == nullptr,
+               "GADMM does not support warm starts (chain duals are not "
+               "checkpointed)");
   const simnet::CostModel cost(cfg_.cluster.cost);
   const simnet::StragglerModel stragglers(topo, cfg_.cluster.straggler);
   const simnet::FaultPlan faults(cfg_.cluster.fault);

@@ -131,6 +131,22 @@ class EngineObs {
     }
   }
 
+  /// Span with measured wall seconds: the span's host cost is the
+  /// caller-supplied `wall_s` (ThreadPool::ThreadSeconds deltas taken inside
+  /// a pooled region) instead of the adapter's lap, which is consumed and
+  /// discarded so later spans do not inherit the pooled region's host time.
+  /// Used when a batched phase runs concurrently and its ledger/span updates
+  /// replay serially afterwards: the replay loop itself costs ~nothing, and
+  /// the real host seconds were measured where the work ran.
+  void SpanWall(const char* name, const engine::TimeLedger& ledger,
+                std::size_t i, std::uint64_t iter, double wall_s) {
+    if (!tracing()) return;
+    LapWall();
+    const simnet::VirtualTime now = ledger[i].clock;
+    ctx_->tracer.Add(tracks_[i], name, marks_[i], now, iter, wall_s);
+    marks_[i] = now;
+  }
+
   /// Pins worker i's mark to an explicit time (used to split a bracketed
   /// interval into adjacent sibling spans, e.g. gg_wait | w_allreduce).
   void SetMark(std::size_t i, simnet::VirtualTime t) {

@@ -9,6 +9,7 @@
 
 #include "admm/checkpoint.hpp"
 #include "admm/instrument.hpp"
+#include "comm/hierarchical.hpp"
 #include "comm/intranode.hpp"
 #include "linalg/sparse_vector.hpp"
 #include "simnet/fault.hpp"
@@ -92,6 +93,18 @@ struct PsraMetrics {
   std::uint64_t* intra_bcast_elements = nullptr;
   std::uint64_t* intra_bcast_messages = nullptr;
   std::uint64_t* intra_bcast_bytes = nullptr;
+  std::uint64_t* rack_bcast_elements = nullptr;
+  std::uint64_t* rack_bcast_messages = nullptr;
+  std::uint64_t* rack_bcast_bytes = nullptr;
+
+  /// Multi-rack runs only: the rack leaders' redistribution of the global
+  /// sum (stage 3 of the recursive collective). Hoisted separately so
+  /// single-rack runs keep their metric key set unchanged.
+  void HoistRack(obs::MetricsRegistry& m) {
+    rack_bcast_elements = &m.Counter("comm.rack.bcast.elements");
+    rack_bcast_messages = &m.Counter("comm.rack.bcast.messages");
+    rack_bcast_bytes = &m.Counter("comm.rack.bcast.bytes");
+  }
 
   void Hoist(obs::MetricsRegistry& m, const std::string& alg_name, bool sparse,
              double dim) {
@@ -176,6 +189,33 @@ void RunInterAllreduce(const comm::GroupComm& group,
   if (am != nullptr) AccumulateArMetrics(*am, ws);
 }
 
+/// Multi-rack counterpart of RunInterAllreduce: the recursive node -> rack
+/// -> cluster collective fills the same InterWorkspace contract (global sum,
+/// per-leader finish times, traffic totals), so the batched replay below
+/// consumes either interchangeably.
+void RunMultiLevelAllreduce(comm::MultiLevelAllreduce& ml,
+                            const comm::AllreduceAlgorithm& alg,
+                            bool sparse_comm,
+                            std::span<const linalg::DenseVector> w_inputs,
+                            std::span<const simnet::VirtualTime> starts,
+                            InterWorkspace& ws) {
+  if (sparse_comm) {
+    ws.sparse_inputs.resize(w_inputs.size());
+    for (std::size_t i = 0; i < w_inputs.size(); ++i) {
+      ws.sparse_inputs[i].AssignFromDense(w_inputs[i]);
+    }
+    ml.ReduceSparse(alg, ws.sparse_inputs, starts, ws.scratch, ws.sparse_sum,
+                    ws.stats);
+    ws.sparse_sum.ToDense(ws.sum);
+    ws.result_nnz = ws.sparse_sum.nnz();
+  } else {
+    ml.ReduceDense(alg, w_inputs, starts, ws.scratch, ws.sum, ws.stats);
+    ws.result_nnz = ws.sum.size();
+  }
+  ws.elements = ws.stats.elements_sent;
+  ws.messages = ws.stats.messages_sent;
+}
+
 /// One formed group's collective context: the member leaders, their input
 /// snapshots and start times, the communicator, and the allreduce workspace.
 /// Slots are recycled across regrouping cycles by GroupSlotArena below, so a
@@ -189,6 +229,7 @@ struct GroupSlot {
   std::span<const simnet::NodeId> members;  // view into the cycle's batch
   simnet::VirtualTime start = 0.0;          // earliest collective start
   std::uint64_t contributors = 0;           // workers behind the group sum
+  double wall = 0.0;  // measured host seconds of the collective (traced)
 };
 
 /// Size-keyed free lists of GroupSlots. Dynamic grouping re-forms groups
@@ -238,13 +279,23 @@ class GroupSlotArena {
 RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
                           const RunOptions& options) const {
   const simnet::Topology topo(cfg_.cluster.num_nodes,
-                              cfg_.cluster.workers_per_node);
+                              cfg_.cluster.workers_per_node,
+                              cfg_.cluster.num_racks);
   PSRA_REQUIRE(problem.num_workers() == topo.world_size(),
                "problem must be partitioned into one shard per worker");
   const simnet::CostModel cost(cfg_.cluster.cost);
   const simnet::StragglerModel stragglers(topo, cfg_.cluster.straggler);
   const simnet::FaultPlan faults(cfg_.cluster.fault);
   const bool faulty = !faults.Empty();
+  // With several racks the fixed hierarchical group runs its leader
+  // collective recursively (per rack, then across rack leaders). Flat and
+  // dynamic grouping still work across racks — their collectives simply pay
+  // kInterRack link costs where members straddle racks.
+  const bool multi_rack = topo.num_racks() > 1 &&
+                          cfg_.grouping == GroupingMode::kHierarchical;
+  PSRA_REQUIRE(!(multi_rack && faulty),
+               "the recursive multi-rack collective does not support fault "
+               "injection; use one rack (or flat/dynamic grouping)");
 
   const auto world = static_cast<std::size_t>(topo.world_size());
   const auto nodes = cfg_.cluster.num_nodes;
@@ -253,6 +304,9 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
                                 : std::max<std::uint32_t>(1, nodes / 2);
 
   WorkerSet ws(&problem, &options);
+  // Warm start: seed (x, y, z, rho) from a restored checkpoint and resume
+  // right after its iteration; 1 (a cold start) otherwise.
+  const std::uint64_t first_iter = ApplyWarmStart(ws, options) + 1;
   engine::TimeLedger ledger(world);
   const auto alg = MakeAllreduce(cfg_.allreduce);
 
@@ -270,6 +324,7 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
   if (eo.on()) {
     pm.Hoist(eo.metrics(), alg->Name(), cfg_.sparse_comm,
              static_cast<double>(problem.dim()));
+    if (multi_rack) pm.HoistRack(eo.metrics());
     if (cfg_.grouping == GroupingMode::kDynamicGroups) {
       gg_track = eo.AddAuxTrack("group generator");
     }
@@ -291,6 +346,10 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
   simnet::CostModelConfig inter_cost_cfg = cfg_.cluster.cost;
   if (cfg_.mixed_precision) inter_cost_cfg.value_bytes = 4;
   const simnet::CostModel cost_inter(inter_cost_cfg);
+  // Recursive node -> rack -> cluster collective over the leaders (the
+  // hierarchical group has fixed membership, so this is built once).
+  std::optional<comm::MultiLevelAllreduce> mlar;
+  if (multi_rack) mlar.emplace(&topo, &cost_inter, leaders);
 
   wlg::GroupGenerator gg(threshold, nodes);
   const simnet::VirtualTime request_cost =
@@ -346,8 +405,12 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
   zy_copy_w.reserve(world);
   zy_copy_src.reserve(world);
   std::vector<double> xw_wall;  // per-worker x-update host seconds (traced)
+  std::vector<double> red_wall;  // per-node intra-reduce host seconds
+  std::vector<double> zy_wall;   // per-worker consensus-update host seconds
   if (options.obs != nullptr && options.obs->tracing) {
     xw_wall.assign(world, 0.0);
+    red_wall.assign(nodes, 0.0);
+    zy_wall.assign(world, 0.0);
   }
 
   // Communication censoring (COLA-ADMM style): senders ship deltas against
@@ -441,7 +504,8 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
         << it;
   };
 
-  for (std::uint64_t iter = 1; iter <= options.max_iterations; ++iter) {
+  for (std::uint64_t iter = first_iter; iter <= options.max_iterations;
+       ++iter) {
     result.iterations_run = iter;
     eo.MarkAll(ledger);
 
@@ -645,14 +709,16 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
         participants = zy_ranks;
       }
       ws.ZYStepAll(participants, iw.sum,
-                   static_cast<std::uint64_t>(participants.size()), flops);
+                   static_cast<std::uint64_t>(participants.size()), flops,
+                   wall != nullptr ? &zy_wall : nullptr);
       for (const simnet::Rank r : participants) {
         ledger.ChargeCompute(static_cast<std::size_t>(r),
                              cost.ComputeTime(flops[r]));
       }
       if (eo.tracing()) {
         for (const simnet::Rank r : participants) {
-          eo.Span("z_y_update", ledger, static_cast<std::size_t>(r), iter);
+          const auto i = static_cast<std::size_t>(r);
+          eo.SpanWall("z_y_update", ledger, i, iter, zy_wall[i]);
         }
       }
     } else if (!faulty) {
@@ -665,7 +731,9 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
       // serially afterwards in node order, so every observable stream is
       // identical to the one-node-at-a-time flow.
       for (std::size_t i = 0; i < world; ++i) all_starts[i] = ledger[i].clock;
+      const bool walled = wall != nullptr;  // measured wall attribution on
       auto reduce_node = [&](std::size_t n) {
+        const double t0 = walled ? engine::ThreadPool::ThreadSeconds() : 0.0;
         const comm::GroupComm& ic = intra[n];
         const comm::GroupRank leader_g = ic.LocalRank(leaders[n]);
         comm::ReduceToLeader(
@@ -673,6 +741,7 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
             std::span<const simnet::VirtualTime>(all_starts).subspan(n * wpn,
                                                                      wpn),
             red[n]);
+        if (walled) red_wall[n] = engine::ThreadPool::ThreadSeconds() - t0;
       };
       if (options.pool != nullptr) {
         options.pool->ParallelFor(static_cast<std::size_t>(nodes),
@@ -695,9 +764,13 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           *pm.intra_reduce_bytes +=
               red[n].elements_sent * cfg_.cluster.cost.value_bytes;
           if (eo.tracing()) {
+            // The node's measured reduce wall is shared evenly among its
+            // members (the pool thread did the whole node's reduce at once).
+            const double share =
+                red_wall[n] / static_cast<double>(members.size());
             for (std::size_t m = 0; m < members.size(); ++m) {
-              eo.Span("intra_reduce", ledger,
-                      static_cast<std::size_t>(members[m]), iter);
+              eo.SpanWall("intra_reduce", ledger,
+                          static_cast<std::size_t>(members[m]), iter, share);
             }
           }
         }
@@ -767,6 +840,7 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
       }
       auto run_group = [&](std::size_t gi) {
         GroupSlot& slot = *gslots[gi];
+        const double t0 = walled ? engine::ThreadPool::ThreadSeconds() : 0.0;
         const std::size_t gsize = slot.members.size();
         slot.leaders.resize(gsize);
         slot.inputs.resize(gsize);
@@ -780,13 +854,22 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           slot.starts[j] = std::max(slot.start, ledger[slot.leaders[j]].clock);
           slot.contributors += node_ranks[n].size();
         }
-        if (slot.comm.has_value()) {
-          slot.comm->Rebind(slot.leaders);
+        if (multi_rack) {
+          // One hierarchical group spanning every node: run the collective
+          // recursively (per rack, then across rack leaders). mlar is shared
+          // state, but multi_rack implies exactly one group per cycle.
+          RunMultiLevelAllreduce(*mlar, *alg, cfg_.sparse_comm, slot.inputs,
+                                 slot.starts, slot.iw);
         } else {
-          slot.comm.emplace(&topo, &cost_inter, slot.leaders);
+          if (slot.comm.has_value()) {
+            slot.comm->Rebind(slot.leaders);
+          } else {
+            slot.comm.emplace(&topo, &cost_inter, slot.leaders);
+          }
+          RunInterAllreduce(*slot.comm, *alg, cfg_.sparse_comm, slot.inputs,
+                            slot.starts, slot.iw);
         }
-        RunInterAllreduce(*slot.comm, *alg, cfg_.sparse_comm, slot.inputs,
-                          slot.starts, slot.iw);
+        if (walled) slot.wall = engine::ThreadPool::ThreadSeconds() - t0;
       };
       if (options.pool != nullptr) {
         options.pool->ParallelFor(gslots.size(), run_group);
@@ -815,6 +898,24 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
         }
         result.elements_sent += slot.iw.elements;
         result.messages_sent += slot.iw.messages;
+        if (multi_rack) {
+          // Stage-3 redistribution (rack leader -> its node leaders). It is
+          // identical for every collective algorithm, so it is booked under
+          // comm.rack.bcast.* rather than the algorithm's comm.allreduce.*
+          // traffic — the PSR-vs-Ring comparison stays apples-to-apples.
+          const std::size_t relems = mlar->redistribution_elements();
+          const std::size_t rmsgs = mlar->redistribution_messages();
+          result.elements_sent += relems;
+          result.messages_sent += rmsgs;
+          if (eo.on()) {
+            *pm.rack_bcast_elements += relems;
+            *pm.rack_bcast_messages += rmsgs;
+            *pm.rack_bcast_bytes +=
+                relems * (cfg_.sparse_comm ? inter_cost_cfg.value_bytes +
+                                                 inter_cost_cfg.index_bytes
+                                           : inter_cost_cfg.value_bytes);
+          }
+        }
         if (censoring) {  // fixed membership: fold deltas into the run sum
           linalg::Axpy(1.0, slot.iw.sum, W_running);
           slot.iw.sum = W_running;
@@ -832,7 +933,10 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
               eo.SpanAt("scatter_reduce", li, b, sr, iter);
               eo.SpanAt("allgather", li, sr, e, iter);
             }
-            eo.Span("w_allreduce", ledger, li, iter);
+            // The group's measured collective wall, shared evenly among its
+            // member leaders (one pool thread ran the whole collective).
+            eo.SpanWall("w_allreduce", ledger, li, iter,
+                        slot.wall / static_cast<double>(gsize));
           }
 
           // Leader broadcasts W to its node (paper Alg. 1 step 11).
@@ -891,11 +995,25 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
       auto zy_group = [&](std::size_t gi) {
         const GroupSlot& slot = *gslots[gi];
         const auto i = static_cast<std::size_t>(zy_first[gi]);
-        flops[i] = ws.ZYStep(i, slot.iw.sum, slot.contributors);
+        if (walled) {
+          const double t0 = engine::ThreadPool::ThreadSeconds();
+          flops[i] = ws.ZYStep(i, slot.iw.sum, slot.contributors);
+          zy_wall[i] = engine::ThreadPool::ThreadSeconds() - t0;
+        } else {
+          flops[i] = ws.ZYStep(i, slot.iw.sum, slot.contributors);
+        }
       };
       auto zy_copy = [&](std::size_t k) {
         const auto i = static_cast<std::size_t>(zy_copy_w[k]);
-        flops[i] = ws.ZYStepFrom(i, static_cast<std::size_t>(zy_copy_src[k]));
+        if (walled) {
+          const double t0 = engine::ThreadPool::ThreadSeconds();
+          flops[i] =
+              ws.ZYStepFrom(i, static_cast<std::size_t>(zy_copy_src[k]));
+          zy_wall[i] = engine::ThreadPool::ThreadSeconds() - t0;
+        } else {
+          flops[i] =
+              ws.ZYStepFrom(i, static_cast<std::size_t>(zy_copy_src[k]));
+        }
       };
       if (options.pool != nullptr) {
         options.pool->ParallelFor(gslots.size(), zy_group);
@@ -913,8 +1031,8 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
           }
           if (eo.tracing()) {
             for (const simnet::Rank r : node_ranks[n]) {
-              eo.Span("z_y_update", ledger, static_cast<std::size_t>(r),
-                      iter);
+              const auto i = static_cast<std::size_t>(r);
+              eo.SpanWall("z_y_update", ledger, i, iter, zy_wall[i]);
             }
           }
         }
@@ -1170,6 +1288,12 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
     // pre-crash snapshot, which is what its recovery restores.
     if (faulty && iter % cfg_.cluster.fault.checkpoint_every == 0) {
       CaptureRunCheckpoint(ws, iter, alive, ckpt,
+                           eo.on() ? &eo.metrics() : nullptr);
+    }
+
+    // ---- Requested checkpoint (split-run / warm-restart harnesses) -------
+    if (options.checkpoint_out != nullptr && iter == options.checkpoint_at) {
+      CaptureRunCheckpoint(ws, iter, everyone, *options.checkpoint_out,
                            eo.on() ? &eo.metrics() : nullptr);
     }
 

@@ -181,11 +181,29 @@ SyntheticSpec UrlProfile(double scale, std::uint64_t seed) {
   return s;
 }
 
+// Not a paper dataset: a deliberately tiny feature space with a large row
+// count, sized so O(10k)-worker smoke runs give every worker a shard while
+// the per-iteration algebra stays trivial. Scale only grows the row count.
+SyntheticSpec SmokeProfile(double scale, std::uint64_t seed) {
+  PSRA_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  SyntheticSpec s;
+  s.name = "smoke";
+  s.num_features = 64;
+  s.num_train = Scaled(20480, scale, 2048);
+  s.num_test = Scaled(1024, scale, 256);
+  s.mean_row_nnz = 4.0;
+  s.feature_skew = 1.0;
+  s.label_noise = 0.05;
+  s.seed = seed;
+  return s;
+}
+
 SyntheticSpec ProfileByName(const std::string& name, double scale) {
   const std::string n = ToLower(name);
   if (n == "news20" || n == "news20_like") return News20Profile(scale);
   if (n == "webspam" || n == "webspam_like") return WebspamProfile(scale);
   if (n == "url" || n == "url_like") return UrlProfile(scale);
+  if (n == "smoke") return SmokeProfile(scale);
   throw InvalidArgument("unknown dataset profile: " + name);
 }
 

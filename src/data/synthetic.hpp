@@ -53,8 +53,12 @@ SyntheticSpec News20Profile(double scale = 0.01, std::uint64_t seed = 42);
 SyntheticSpec WebspamProfile(double scale = 0.01, std::uint64_t seed = 43);
 SyntheticSpec UrlProfile(double scale = 0.01, std::uint64_t seed = 44);
 
+/// Not from the paper: a 64-feature, many-row profile for O(10k)-worker
+/// scale smokes — every worker gets a shard while the algebra stays tiny.
+SyntheticSpec SmokeProfile(double scale = 1.0, std::uint64_t seed = 45);
+
 /// Looks up a profile by name: "news20", "webspam", "url" (suffix "_like"
-/// accepted). Throws psra::InvalidArgument for unknown names.
+/// accepted) or "smoke". Throws psra::InvalidArgument for unknown names.
 SyntheticSpec ProfileByName(const std::string& name, double scale = 0.01);
 
 }  // namespace psra::data

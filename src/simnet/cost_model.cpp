@@ -7,8 +7,12 @@ namespace psra::simnet {
 CostModel::CostModel(const CostModelConfig& cfg) : cfg_(cfg) {
   PSRA_REQUIRE(cfg.net_bandwidth_bytes_per_s > 0, "net bandwidth must be positive");
   PSRA_REQUIRE(cfg.bus_bandwidth_bytes_per_s > 0, "bus bandwidth must be positive");
+  PSRA_REQUIRE(cfg.rack_bandwidth_bytes_per_s > 0,
+               "cross-rack bandwidth must be positive");
   PSRA_REQUIRE(cfg.net_latency_s >= 0, "net latency must be non-negative");
   PSRA_REQUIRE(cfg.bus_latency_s >= 0, "bus latency must be non-negative");
+  PSRA_REQUIRE(cfg.rack_latency_s >= 0,
+               "cross-rack latency must be non-negative");
   PSRA_REQUIRE(cfg.value_bytes > 0, "value_bytes must be positive");
   PSRA_REQUIRE(cfg.seconds_per_flop > 0, "seconds_per_flop must be positive");
 }
@@ -18,6 +22,7 @@ double CostModel::BandwidthOf(Link link) const {
     case Link::kLocal: return 0.0;  // unused; transfers are free
     case Link::kIntraNode: return cfg_.bus_bandwidth_bytes_per_s;
     case Link::kInterNode: return cfg_.net_bandwidth_bytes_per_s;
+    case Link::kInterRack: return cfg_.rack_bandwidth_bytes_per_s;
   }
   return cfg_.net_bandwidth_bytes_per_s;
 }
@@ -27,6 +32,7 @@ VirtualTime CostModel::LatencyOf(Link link) const {
     case Link::kLocal: return 0.0;
     case Link::kIntraNode: return cfg_.bus_latency_s;
     case Link::kInterNode: return cfg_.net_latency_s;
+    case Link::kInterRack: return cfg_.rack_latency_s;
   }
   return cfg_.net_latency_s;
 }

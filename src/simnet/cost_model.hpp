@@ -31,8 +31,10 @@ using VirtualTime = double;
 struct CostModelConfig {
   double net_bandwidth_bytes_per_s = 2.8e8;   // inter-node network, per process
   double bus_bandwidth_bytes_per_s = 16.0e9;  // intra-node bus / shared memory
+  double rack_bandwidth_bytes_per_s = 1.0e8;  // cross-rack fabric, per process
   double net_latency_s = 8e-6;                // per message
   double bus_latency_s = 0.5e-6;              // per message
+  double rack_latency_s = 25e-6;              // per message, cross-rack
   std::size_t value_bytes = 8;                // double precision
   std::size_t index_bytes = 8;                // 64-bit indices
   double seconds_per_flop = 5e-10;            // ~2 GFLOP/s per worker core

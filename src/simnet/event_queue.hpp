@@ -3,14 +3,37 @@
 // Used by the asynchronous baseline (AD-ADMM) and the Group Generator to
 // order worker arrivals deterministically: ties on time are broken by
 // insertion sequence, so a given seed reproduces the exact event ordering.
+//
+// The implementation is an indexed timer wheel sized for O(10k) concurrent
+// actors (DESIGN.md §10):
+//
+//   - Virtual time is quantized to ticks. The wheel hashes the next
+//     `buckets` quanta (bucket = quantum % buckets), so inserting a
+//     near-future event is O(1) instead of O(log n).
+//   - Events past the wheel horizon land in a sorted overflow list and
+//     migrate into buckets as the horizon advances; an empty wheel jumps
+//     straight to the earliest overflow quantum, so coarse schedules (e.g.
+//     unit-spaced test events) never scan idle buckets.
+//   - The quantum being drained sits in a small working heap ordered by
+//     (time, seq) — quantization can coarsen bucket placement but never
+//     reorders execution, and the original deterministic tie-break contract
+//     is preserved exactly.
+//   - Event records are fixed-size and slab-allocated; callables are stored
+//     inline (no std::function heap spill) and records recycle through a
+//     free list, so the steady-state path performs zero allocations per
+//     event (gated in tests/test_alloc.cpp).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
 #include <vector>
 
 #include "simnet/cost_model.hpp"
+#include "support/status.hpp"
 
 namespace psra::simnet {
 
@@ -18,13 +41,53 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  EventQueue() = default;
+  /// Callables larger than this must capture a pointer to out-of-band
+  /// context; the record size is what keeps the arena slab-friendly.
+  static constexpr std::size_t kInlineCallbackBytes = 64;
+
+  struct WheelConfig {
+    /// Quantization step. Only a performance knob: execution order is
+    /// decided by exact (time, seq), never by the tick.
+    VirtualTime tick_s = 2e-6;
+    /// Wheel size (power of two). horizon = tick_s * buckets.
+    std::uint32_t buckets = 8192;
+  };
+
+  EventQueue() : EventQueue(WheelConfig{}) {}
+  explicit EventQueue(const WheelConfig& cfg);
+  ~EventQueue();
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedules `cb` at absolute virtual time `t` (must be >= Now()).
-  void ScheduleAt(VirtualTime t, Callback cb);
+  template <typename F>
+  void ScheduleAt(VirtualTime t, F cb) {
+    static_assert(std::is_invocable_v<F&>, "event callback must be callable");
+    static_assert(sizeof(F) <= kInlineCallbackBytes,
+                  "event callback too large for inline record storage; "
+                  "capture a pointer to shared context instead");
+    static_assert(alignof(F) <= alignof(std::max_align_t),
+                  "over-aligned event callback");
+    PSRA_REQUIRE(t >= now_, "cannot schedule an event in the past");
+    if constexpr (std::is_constructible_v<bool, const F&>) {
+      PSRA_REQUIRE(static_cast<bool>(cb), "null event callback");
+    }
+    Record* r = AllocRecord();
+    r->time = t;
+    r->seq = next_seq_++;
+    ::new (static_cast<void*>(r->storage)) F(std::move(cb));
+    r->run = &RunAndDestroy<F>;
+    r->destroy = &DestroyOnly<F>;
+    Insert(r);
+  }
 
   /// Schedules `cb` `delay` seconds after Now().
-  void ScheduleAfter(VirtualTime delay, Callback cb);
+  template <typename F>
+  void ScheduleAfter(VirtualTime delay, F cb) {
+    PSRA_REQUIRE(delay >= 0, "negative delay");
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
 
   /// Runs events in time order until the queue drains (or `max_events`).
   /// Returns the number of events executed.
@@ -34,25 +97,70 @@ class EventQueue {
   bool Step();
 
   VirtualTime Now() const { return now_; }
-  bool Empty() const { return heap_.empty(); }
-  std::size_t Pending() const { return heap_.size(); }
+  bool Empty() const { return pending_ == 0; }
+  std::size_t Pending() const { return pending_; }
 
  private:
-  struct Event {
+  struct Record {
     VirtualTime time;
     std::uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    void (*run)(void*);      // invoke the callable, then destroy it
+    void (*destroy)(void*);  // destroy without invoking (queue teardown)
+    alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  template <typename F>
+  static void RunAndDestroy(void* p) {
+    F* f = std::launder(reinterpret_cast<F*>(p));
+    struct Dtor {
+      F* f;
+      ~Dtor() { f->~F(); }
+    } dtor{f};
+    (*f)();
+  }
+
+  template <typename F>
+  static void DestroyOnly(void* p) {
+    std::launder(reinterpret_cast<F*>(p))->~F();
+  }
+
+  std::uint64_t QuantumOf(VirtualTime t) const;
+  Record* AllocRecord();
+  void AddSlab();
+  void FreeRecord(Record* r) { free_.push_back(r); }
+  void Insert(Record* r);
+  void PlaceInWheel(Record* r, std::uint64_t quantum);
+  /// Moves overflow records whose quantum entered the horizon into the wheel
+  /// (or the working heap when their quantum is the current one).
+  void MigrateOverflow();
+  /// Advances cur_quantum_ to the next non-empty quantum and refills the
+  /// working heap. Precondition: ready_ empty, pending_ > 0.
+  void Advance();
+  std::uint32_t NextOccupiedOffset(std::uint32_t from) const;
+
+  // -- working heap for the quantum being drained (min by time, then seq) --
+  std::vector<Record*> ready_;
+
+  // -- wheel: buckets_[q % buckets] holds quanta in [cur_quantum_, +buckets)
+  std::vector<std::vector<Record*>> buckets_;
+  std::vector<std::uint64_t> occupied_;  // bitmap over bucket indices
+  std::size_t wheel_count_ = 0;
+
+  // -- far-future events, sorted descending by (time, seq); back() is next --
+  std::vector<Record*> overflow_;
+
+  // -- arena ---------------------------------------------------------------
+  std::vector<std::unique_ptr<Record[]>> slabs_;
+  std::vector<Record*> free_;
+  std::size_t total_records_ = 0;
+
   VirtualTime now_ = 0.0;
+  double inv_tick_;
+  std::uint32_t bucket_count_;
+  std::uint32_t bucket_mask_;
+  std::uint64_t cur_quantum_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::size_t pending_ = 0;
 };
 
 }  // namespace psra::simnet

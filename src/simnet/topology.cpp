@@ -4,10 +4,16 @@
 
 namespace psra::simnet {
 
-Topology::Topology(NodeId num_nodes, std::uint32_t workers_per_node)
-    : num_nodes_(num_nodes), workers_per_node_(workers_per_node) {
+Topology::Topology(NodeId num_nodes, std::uint32_t workers_per_node,
+                   std::uint32_t num_racks)
+    : num_nodes_(num_nodes),
+      workers_per_node_(workers_per_node),
+      num_racks_(num_racks) {
   PSRA_REQUIRE(num_nodes >= 1, "topology needs at least one node");
   PSRA_REQUIRE(workers_per_node >= 1, "topology needs at least one worker per node");
+  PSRA_REQUIRE(num_racks >= 1, "topology needs at least one rack");
+  PSRA_REQUIRE(num_nodes % num_racks == 0,
+               "num_racks must divide num_nodes evenly");
 }
 
 NodeId Topology::NodeOf(Rank r) const {
@@ -26,13 +32,25 @@ Rank Topology::RankOf(NodeId node, std::uint32_t local) const {
   return node * workers_per_node_ + local;
 }
 
+RackId Topology::RackOf(NodeId node) const {
+  PSRA_REQUIRE(node < num_nodes_, "node out of range");
+  return node / nodes_per_rack();
+}
+
+RackId Topology::RackOfRank(Rank r) const { return RackOf(NodeOf(r)); }
+
 bool Topology::SameNode(Rank a, Rank b) const {
   return NodeOf(a) == NodeOf(b);
 }
 
+bool Topology::SameRack(Rank a, Rank b) const {
+  return RackOfRank(a) == RackOfRank(b);
+}
+
 Link Topology::LinkBetween(Rank a, Rank b) const {
   if (a == b) return Link::kLocal;
-  return SameNode(a, b) ? Link::kIntraNode : Link::kInterNode;
+  if (SameNode(a, b)) return Link::kIntraNode;
+  return SameRack(a, b) ? Link::kInterNode : Link::kInterRack;
 }
 
 std::vector<Rank> Topology::RanksOnNode(NodeId node) const {
@@ -42,6 +60,15 @@ std::vector<Rank> Topology::RanksOnNode(NodeId node) const {
   for (std::uint32_t l = 0; l < workers_per_node_; ++l) {
     out.push_back(RankOf(node, l));
   }
+  return out;
+}
+
+std::vector<NodeId> Topology::NodesInRack(RackId rack) const {
+  PSRA_REQUIRE(rack < num_racks_, "rack out of range");
+  const NodeId npr = nodes_per_rack();
+  std::vector<NodeId> out;
+  out.reserve(npr);
+  for (NodeId i = 0; i < npr; ++i) out.push_back(rack * npr + i);
   return out;
 }
 

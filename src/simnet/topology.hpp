@@ -1,10 +1,15 @@
-// Two-level cluster topology: physical nodes each hosting several workers.
+// Multi-level cluster topology: racks of physical nodes, each node hosting
+// several workers.
 //
 // Mirrors the paper's experimental platform (Tianhe-2: up to 32 nodes x 16
-// processes). Worker ranks are global and dense: rank = node * wpn + local.
+// processes), extended with an optional rack level for the multi-level
+// hierarchy sweep. Worker ranks are global and dense: rank = node * wpn +
+// local; nodes are assigned to racks contiguously: rack = node / npr.
 // Workers on the same node communicate over the bus; workers on different
-// nodes over the network — the distinction drives the CostModel and the WLG
-// hierarchical grouping.
+// nodes of one rack over the rack network; workers in different racks over
+// the (slower) cross-rack fabric — the distinction drives the CostModel and
+// the WLG hierarchical grouping. The default of one rack reproduces the
+// original two-level topology exactly.
 #pragma once
 
 #include <cstdint>
@@ -14,34 +19,50 @@ namespace psra::simnet {
 
 using Rank = std::uint32_t;
 using NodeId = std::uint32_t;
+using RackId = std::uint32_t;
 
 enum class Link {
   kLocal,      // same worker (no transfer)
   kIntraNode,  // same physical node: bus
-  kInterNode,  // different nodes: network
+  kInterNode,  // different nodes, same rack: network
+  kInterRack,  // different racks: cross-rack fabric
 };
 
 class Topology {
  public:
-  Topology(NodeId num_nodes, std::uint32_t workers_per_node);
+  Topology(NodeId num_nodes, std::uint32_t workers_per_node)
+      : Topology(num_nodes, workers_per_node, 1) {}
+  /// `num_racks` must divide `num_nodes`; rack r hosts nodes
+  /// [r * npr, (r+1) * npr) with npr = num_nodes / num_racks.
+  Topology(NodeId num_nodes, std::uint32_t workers_per_node,
+           std::uint32_t num_racks);
 
   NodeId num_nodes() const { return num_nodes_; }
   std::uint32_t workers_per_node() const { return workers_per_node_; }
+  std::uint32_t num_racks() const { return num_racks_; }
+  NodeId nodes_per_rack() const { return num_nodes_ / num_racks_; }
   Rank world_size() const { return num_nodes_ * workers_per_node_; }
 
   NodeId NodeOf(Rank r) const;
   std::uint32_t LocalIndexOf(Rank r) const;
   Rank RankOf(NodeId node, std::uint32_t local) const;
+  RackId RackOf(NodeId node) const;
+  RackId RackOfRank(Rank r) const;
 
   bool SameNode(Rank a, Rank b) const;
+  bool SameRack(Rank a, Rank b) const;
   Link LinkBetween(Rank a, Rank b) const;
 
   /// All ranks hosted on `node`, ascending.
   std::vector<Rank> RanksOnNode(NodeId node) const;
 
+  /// All nodes in `rack`, ascending.
+  std::vector<NodeId> NodesInRack(RackId rack) const;
+
  private:
   NodeId num_nodes_;
   std::uint32_t workers_per_node_;
+  std::uint32_t num_racks_;
 };
 
 }  // namespace psra::simnet

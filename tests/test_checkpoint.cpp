@@ -3,7 +3,10 @@
 
 #include <sstream>
 
+#include "admm/ad_admm.hpp"
+#include "admm/admmlib.hpp"
 #include "admm/checkpoint.hpp"
+#include "admm/gadmm.hpp"
 #include "admm/problem.hpp"
 #include "admm/psra_hgadmm.hpp"
 #include "solver/metrics.hpp"
@@ -278,6 +281,145 @@ TEST(RunCheckpointTest, FilesWithoutMetricsTrailerStillLoad) {
   const auto back = ReadRunCheckpoint(is);
   EXPECT_TRUE(back.metrics.empty());
   ASSERT_EQ(back.workers.size(), 3u);
+}
+
+// ------------------------------------------------ warm-start application --
+
+TEST(RunCheckpointTest, ApplyWarmStartRestoresStateAndReturnsIteration) {
+  RunCkptFixture f;
+  const std::vector<simnet::Rank> everyone{0, 1, 2};
+  RunCheckpoint ckpt;
+  f.ws.x(2)[1] = -7.5;
+  CaptureRunCheckpoint(f.ws, 4, everyone, ckpt);
+
+  std::vector<double> flops(3, 0.0);
+  f.ws.XWStepAll(flops);  // move every worker away from the snapshot
+  f.ws.SetRho(f.ws.rho() * 3.0);
+
+  RunOptions opt;
+  opt.warm_start = &ckpt;
+  EXPECT_EQ(ApplyWarmStart(f.ws, opt), 4u);
+  EXPECT_DOUBLE_EQ(f.ws.rho(), ckpt.rho);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.ws.x(i), ckpt.workers[i].x) << "worker " << i;
+    EXPECT_EQ(f.ws.y(i), ckpt.workers[i].y) << "worker " << i;
+    EXPECT_EQ(f.ws.z(i), ckpt.workers[i].z) << "worker " << i;
+  }
+}
+
+TEST(RunCheckpointTest, WarmStartRejectsWorkerCountMismatch) {
+  RunCkptFixture f;
+  const std::vector<simnet::Rank> everyone{0, 1, 2};
+  RunCheckpoint ckpt;
+  CaptureRunCheckpoint(f.ws, 1, everyone, ckpt);
+  ckpt.workers.resize(2);  // claims a smaller cluster than ws
+  RunOptions opt;
+  opt.warm_start = &ckpt;
+  EXPECT_THROW(ApplyWarmStart(f.ws, opt), InvalidArgument);
+}
+
+TEST(RunCheckpointTest, WarmStartRejectsDimensionMismatch) {
+  RunCkptFixture f;
+  const std::vector<simnet::Rank> everyone{0, 1, 2};
+  RunCheckpoint ckpt;
+  CaptureRunCheckpoint(f.ws, 1, everyone, ckpt);
+  ckpt.workers[1].y.resize(3);  // problem dim is 40
+  RunOptions opt;
+  opt.warm_start = &ckpt;
+  EXPECT_THROW(ApplyWarmStart(f.ws, opt), InvalidArgument);
+}
+
+// --------------------------------------- split runs resume bit-identically --
+
+ConsensusProblem SplitRunProblem() {
+  data::SyntheticSpec spec;
+  spec.num_features = 48;
+  spec.num_train = 96;
+  spec.num_test = 32;
+  spec.mean_row_nnz = 6.0;
+  spec.seed = 9;
+  return BuildProblem(spec, 8);
+}
+
+/// Runs the engine 10 iterations straight, then as 5 + checkpoint + 5 warm
+/// started, and requires the two final consensus models to match BITWISE.
+/// Virtual clocks restart at zero on resume, so only the algebra (not the
+/// makespan) is comparable — exactly the contract RunOptions documents.
+template <typename Engine>
+void ExpectSplitRunMatchesStraightRun(const Engine& engine,
+                                      const ConsensusProblem& problem) {
+  RunOptions straight;
+  straight.max_iterations = 10;
+  const auto full = engine.Run(problem, straight);
+  ASSERT_EQ(full.iterations_run, 10u);
+
+  RunCheckpoint ckpt;
+  RunOptions first;
+  first.max_iterations = 5;
+  first.checkpoint_out = &ckpt;
+  first.checkpoint_at = 5;
+  (void)engine.Run(problem, first);
+  ASSERT_EQ(ckpt.iteration, 5u);
+  ASSERT_EQ(ckpt.workers.size(), 8u);
+
+  RunOptions resume;
+  resume.max_iterations = 10;
+  resume.warm_start = &ckpt;
+  const auto back = engine.Run(problem, resume);
+  ASSERT_EQ(back.final_z.size(), full.final_z.size());
+  EXPECT_EQ(back.final_z, full.final_z);
+  EXPECT_DOUBLE_EQ(back.final_objective, full.final_objective);
+}
+
+TEST(SplitRunTest, PsraFlatResumesBitwise) {
+  PsraConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.workers_per_node = 2;
+  cfg.grouping = GroupingMode::kFlat;
+  ExpectSplitRunMatchesStraightRun(PsraHgAdmm(cfg), SplitRunProblem());
+}
+
+TEST(SplitRunTest, PsraHierarchicalMultiRackResumesBitwise) {
+  PsraConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.workers_per_node = 2;
+  cfg.cluster.num_racks = 2;  // exercises the recursive leader collective
+  cfg.grouping = GroupingMode::kHierarchical;
+  ExpectSplitRunMatchesStraightRun(PsraHgAdmm(cfg), SplitRunProblem());
+}
+
+TEST(SplitRunTest, AdmmLibFullBarrierResumesBitwise) {
+  AdmmLibConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.workers_per_node = 2;
+  // A full barrier makes every round synchronous; partial-barrier staleness
+  // lives outside the checkpoint, so only this mode resumes exactly.
+  cfg.min_barrier_fraction = 1.0;
+  ExpectSplitRunMatchesStraightRun(AdmmLib(cfg), SplitRunProblem());
+}
+
+TEST(SplitRunTest, GadmmRejectsWarmStarts) {
+  const auto problem = SplitRunProblem();
+  RunCheckpoint ckpt;
+  RunOptions opt;
+  opt.max_iterations = 2;
+  opt.warm_start = &ckpt;
+  GadmmConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.workers_per_node = 2;
+  EXPECT_THROW(Gadmm(cfg).Run(problem, opt), InvalidArgument);
+}
+
+TEST(SplitRunTest, AdAdmmRejectsWarmStarts) {
+  const auto problem = SplitRunProblem();
+  RunCheckpoint ckpt;
+  RunOptions opt;
+  opt.max_iterations = 2;
+  opt.warm_start = &ckpt;
+  AdAdmmConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.workers_per_node = 2;
+  EXPECT_THROW(AdAdmm(cfg).Run(problem, opt), InvalidArgument);
 }
 
 TEST(RunCheckpointTest, TruncatedMetricsTrailerThrows) {

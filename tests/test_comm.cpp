@@ -16,6 +16,7 @@
 #include "comm/allreduce_impl.hpp"
 #include "comm/collective.hpp"
 #include "comm/group.hpp"
+#include "comm/hierarchical.hpp"
 #include "comm/intranode.hpp"
 #include "simnet/fault.hpp"
 #include "support/rng.hpp"
@@ -742,6 +743,135 @@ TEST(FaultyReduce, SparseAndDenseFaultyPathsAgree) {
       EXPECT_DOUBLE_EQ(ssum_dense[k], dsum[k]) << "component " << k;
     }
   }
+}
+
+// ------------------------------------------------ multi-level allreduce ----
+
+/// One worker per node, `racks` racks. Integer-valued inputs make every
+/// summation order produce the identical double, so the recursive sum can
+/// be compared bitwise against a flat collective.
+struct RackFixture {
+  RackFixture(std::uint32_t nodes, std::uint32_t racks)
+      : topo(nodes, 1, racks),
+        cost(Fixture::MakeConfig()),
+        members(MakeMembers(nodes)),
+        ml(&topo, &cost, members) {}
+
+  static std::vector<Rank> MakeMembers(std::uint32_t n) {
+    std::vector<Rank> m(n);
+    for (std::uint32_t i = 0; i < n; ++i) m[i] = i;
+    return m;
+  }
+
+  std::vector<DenseVector> IntegerInputs(std::size_t dim) const {
+    std::vector<DenseVector> inputs(members.size());
+    Rng rng(41);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      inputs[i].resize(dim);
+      for (auto& e : inputs[i]) {
+        e = static_cast<double>(rng.NextBelow(64)) - 31.0;
+      }
+    }
+    return inputs;
+  }
+
+  Topology topo;
+  simnet::CostModel cost;
+  std::vector<Rank> members;
+  MultiLevelAllreduce ml;
+};
+
+TEST(MultiLevel, DenseSumMatchesFlatCollective) {
+  RackFixture f(8, 2);
+  const auto inputs = f.IntegerInputs(24);
+  const auto starts = ZeroStarts(8);
+  const GroupComm flat(&f.topo, &f.cost, f.members);
+
+  for (const auto kind : {AllreduceKind::kPsr, AllreduceKind::kRing}) {
+    const auto alg = MakeAllreduce(kind);
+    AllreduceScratch scratch;
+    DenseVector want, sum;
+    CommStats want_stats, stats;
+    alg->ReduceDense(flat, inputs, starts, scratch, want, want_stats);
+    for (int pass = 0; pass < 2; ++pass) {  // second pass reuses warm buffers
+      f.ml.ReduceDense(*alg, inputs, starts, scratch, sum, stats);
+      EXPECT_EQ(sum, want) << alg->Name();
+      ASSERT_EQ(stats.finish_times.size(), 8u);
+      for (const VirtualTime t : stats.finish_times) {
+        EXPECT_GT(t, 0.0);
+        EXPECT_LE(t, stats.all_done);
+      }
+    }
+  }
+}
+
+TEST(MultiLevel, SparseSumMatchesFlatCollective) {
+  RackFixture f(8, 4);
+  const auto starts = ZeroStarts(8);
+  std::vector<SparseVector> inputs;
+  Rng rng(17);
+  for (int i = 0; i < 8; ++i) {
+    DenseVector d(40, 0.0);
+    for (auto& e : d) {
+      if (rng.NextBool(0.3)) e = static_cast<double>(rng.NextBelow(32)) - 15.0;
+    }
+    inputs.push_back(SparseVector::FromDense(d));
+  }
+  const GroupComm flat(&f.topo, &f.cost, f.members);
+
+  for (const auto kind : {AllreduceKind::kPsr, AllreduceKind::kRing}) {
+    const auto alg = MakeAllreduce(kind);
+    AllreduceScratch scratch;
+    SparseVector want, sum;
+    CommStats want_stats, stats;
+    alg->ReduceSparse(flat, inputs, starts, scratch, want, want_stats);
+    f.ml.ReduceSparse(*alg, inputs, starts, scratch, sum, stats);
+    EXPECT_EQ(sum, want) << alg->Name();
+  }
+}
+
+TEST(MultiLevel, RedistributionAccountsLeaderToPeerTraffic) {
+  // 8 members in 2 racks: each rack leader re-broadcasts the global sum to
+  // its 3 rack peers, so stage 3 ships 2 * 3 * dim elements in 2 * 3
+  // messages — and is reported separately from the collective stats.
+  RackFixture f(8, 2);
+  const auto inputs = f.IntegerInputs(10);
+  const auto starts = ZeroStarts(8);
+  const auto alg = MakeAllreduce(AllreduceKind::kPsr);
+  AllreduceScratch scratch;
+  DenseVector sum;
+  CommStats stats;
+  f.ml.ReduceDense(*alg, inputs, starts, scratch, sum, stats);
+  EXPECT_EQ(f.ml.redistribution_elements(), 2u * 3u * 10u);
+  EXPECT_EQ(f.ml.redistribution_messages(), 2u * 3u);
+  EXPECT_GT(stats.elements_sent, 0u);
+}
+
+TEST(MultiLevel, LateRackDelaysOnlyThatRacksStage) {
+  // Rack 0 members start late; rack 1's stage-1 collective must finish on
+  // its own clock (the recursion composes per-rack start times, it does not
+  // impose a global barrier before stage 1).
+  RackFixture f(4, 2);
+  const auto inputs = f.IntegerInputs(6);
+  std::vector<VirtualTime> starts = {5.0, 5.0, 0.0, 0.0};
+  const auto alg = MakeAllreduce(AllreduceKind::kPsr);
+  AllreduceScratch scratch;
+  DenseVector sum;
+  CommStats stats;
+  f.ml.ReduceDense(*alg, inputs, starts, scratch, sum, stats);
+  EXPECT_GE(stats.all_done, 5.0);  // gated by the late rack
+  // Every member still ends at or after the late rack's sum arrives.
+  for (const VirtualTime t : stats.finish_times) EXPECT_GE(t, 5.0);
+}
+
+TEST(MultiLevel, RejectsBadMembership) {
+  const Topology topo(4, 1, 2);
+  const simnet::CostModel cost;
+  const std::vector<Rank> short_members = {0, 1, 2};
+  EXPECT_THROW(MultiLevelAllreduce(&topo, &cost, short_members),
+               InvalidArgument);
+  const std::vector<Rank> shuffled = {0, 2, 1, 3};  // crosses rack boundary
+  EXPECT_THROW(MultiLevelAllreduce(&topo, &cost, shuffled), InvalidArgument);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // queue, straggler injection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include "simnet/cost_model.hpp"
@@ -9,6 +11,7 @@
 #include "simnet/fault.hpp"
 #include "simnet/straggler.hpp"
 #include "simnet/topology.hpp"
+#include "support/rng.hpp"
 #include "support/status.hpp"
 
 namespace psra::simnet {
@@ -48,6 +51,36 @@ TEST(Topology, RejectsBadArguments) {
   EXPECT_THROW(t.RankOf(2, 0), InvalidArgument);
 }
 
+TEST(Topology, RackPartitioningIsContiguous) {
+  const Topology t(8, 2, 4);  // 2 nodes per rack
+  EXPECT_EQ(t.num_racks(), 4u);
+  EXPECT_EQ(t.nodes_per_rack(), 2u);
+  EXPECT_EQ(t.RackOf(0), 0u);
+  EXPECT_EQ(t.RackOf(1), 0u);
+  EXPECT_EQ(t.RackOf(7), 3u);
+  EXPECT_EQ(t.RackOfRank(15), 3u);  // rank 15 lives on node 7
+  EXPECT_TRUE(t.SameRack(0, 3));    // nodes 0 and 1 share rack 0
+  EXPECT_FALSE(t.SameRack(3, 4));   // node 1 vs node 2
+  EXPECT_EQ(t.NodesInRack(2), (std::vector<NodeId>{4, 5}));
+}
+
+TEST(Topology, LinkClassificationWithRacks) {
+  const Topology t(4, 2, 2);
+  EXPECT_EQ(t.LinkBetween(0, 1), Link::kIntraNode);  // same node
+  EXPECT_EQ(t.LinkBetween(0, 2), Link::kInterNode);  // nodes 0-1, rack 0
+  EXPECT_EQ(t.LinkBetween(0, 4), Link::kInterRack);  // nodes 0-2 cross rack
+  // One rack (the default) never produces cross-rack links.
+  const Topology flat(4, 2);
+  EXPECT_EQ(flat.num_racks(), 1u);
+  EXPECT_EQ(flat.LinkBetween(0, 6), Link::kInterNode);
+}
+
+TEST(Topology, RejectsBadRackCounts) {
+  EXPECT_THROW(Topology(4, 1, 0), InvalidArgument);
+  EXPECT_THROW(Topology(4, 1, 3), InvalidArgument);  // must divide nodes
+  EXPECT_THROW(Topology(4, 1, 8), InvalidArgument);
+}
+
 // ------------------------------------------------------------ cost model ----
 
 TEST(CostModel, SparseElementCostMatchesPaperFormula) {
@@ -66,6 +99,22 @@ TEST(CostModel, BusIsFasterThanNetwork) {
   EXPECT_LT(cm.SparseElementCost(Link::kIntraNode),
             cm.SparseElementCost(Link::kInterNode));
   EXPECT_LT(cm.LatencyOf(Link::kIntraNode), cm.LatencyOf(Link::kInterNode));
+}
+
+TEST(CostModel, CrossRackFabricIsSlowerThanRackNetwork) {
+  const CostModel cm;
+  EXPECT_LT(cm.SparseElementCost(Link::kInterNode),
+            cm.SparseElementCost(Link::kInterRack));
+  EXPECT_LT(cm.LatencyOf(Link::kInterNode), cm.LatencyOf(Link::kInterRack));
+
+  CostModelConfig cfg;
+  cfg.rack_bandwidth_bytes_per_s = 1e8;
+  cfg.rack_latency_s = 3e-5;
+  const CostModel priced(cfg);
+  EXPECT_DOUBLE_EQ(priced.SparseElementCost(Link::kInterRack), 16.0 / 1e8);
+  EXPECT_DOUBLE_EQ(priced.DenseElementCost(Link::kInterRack), 8.0 / 1e8);
+  EXPECT_DOUBLE_EQ(priced.SparseTransferTime(Link::kInterRack, 10),
+                   3e-5 + 10 * 16.0 / 1e8);
 }
 
 TEST(CostModel, LocalTransfersAreFree) {
@@ -148,6 +197,162 @@ TEST(EventQueue, StepAndMaxEvents) {
   EXPECT_EQ(n, 2);
   EXPECT_TRUE(q.Step());
   EXPECT_EQ(q.Pending(), 2u);
+}
+
+// ------------------------------------------------- timer wheel internals ----
+// The wheel is an implementation detail behind the same (time, seq)
+// contract as the old binary heap; these tests pin that contract on the
+// paths the simple tests above never reach — quantization ties, the wheel
+// horizon, the overflow list, and the empty-wheel jump.
+
+/// Records its index into a shared order log (16 bytes: fits any wheel
+/// record; avoids std::function so the tests also run under test_alloc's
+/// assumptions).
+struct LogEvent {
+  std::vector<int>* order;
+  int i;
+  void operator()() const { order->push_back(i); }
+};
+
+/// Execution order must equal a stable sort by time — stable sort *is* the
+/// (time, insertion-seq) tie-break of the replaced binary heap.
+void ExpectReferenceOrder(const std::vector<double>& times,
+                          const std::vector<int>& order) {
+  std::vector<int> expect(times.size());
+  std::iota(expect.begin(), expect.end(), 0);
+  std::stable_sort(expect.begin(), expect.end(),
+                   [&](int a, int b) { return times[a] < times[b]; });
+  EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, RandomizedScheduleMatchesHeapOrder) {
+  // Times on a coarse grid force exact duplicates (seq tie-break) and many
+  // distinct times inside one quantum (the working heap must order them by
+  // exact time, not by bucket).
+  Rng rng(2024);
+  EventQueue q;
+  constexpr int kEvents = 5000;
+  std::vector<double> times(kEvents);
+  std::vector<int> order;
+  order.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    times[i] = 1e-7 * static_cast<double>(rng.NextBelow(4000));
+    q.ScheduleAt(times[i], LogEvent{&order, i});
+  }
+  EXPECT_EQ(q.Run(), static_cast<std::size_t>(kEvents));
+  ExpectReferenceOrder(times, order);
+}
+
+TEST(EventQueue, RandomizedScheduleAcrossTheOverflowBoundary) {
+  // Half the events land inside the default horizon (~16 ms), half far past
+  // it: inserts hit the working heap, the wheel and the overflow list in
+  // one schedule, and migration must not disturb the order.
+  Rng rng(7);
+  EventQueue q;
+  constexpr int kEvents = 4000;
+  std::vector<double> times(kEvents);
+  std::vector<int> order;
+  order.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    times[i] = (i % 2 == 0)
+                   ? 1e-6 * static_cast<double>(rng.NextBelow(10000))
+                   : 1e-3 * static_cast<double>(rng.NextBelow(200));
+    q.ScheduleAt(times[i], LogEvent{&order, i});
+  }
+  EXPECT_EQ(q.Run(), static_cast<std::size_t>(kEvents));
+  ExpectReferenceOrder(times, order);
+}
+
+TEST(EventQueue, SameQuantumOrdersByExactTime) {
+  // Both events share quantum 0 of the default 2 us tick; scheduling the
+  // later one first must not matter.
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1.5e-6, LogEvent{&order, 1});
+  q.ScheduleAt(0.5e-6, LogEvent{&order, 0});
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, TinyWheelWrapsAndMigratesOverflow) {
+  // 64 buckets x 1 ms tick = 64 ms horizon. 300 unit-spaced events wrap the
+  // wheel several times and start mostly in overflow; order must hold.
+  EventQueue q(EventQueue::WheelConfig{1e-3, 64});
+  std::vector<double> times;
+  std::vector<int> order;
+  for (int i = 0; i < 300; ++i) {
+    times.push_back(1e-3 * static_cast<double>((i * 7) % 300));
+    q.ScheduleAt(times.back(), LogEvent{&order, i});
+  }
+  EXPECT_EQ(q.Run(), 300u);
+  ExpectReferenceOrder(times, order);
+}
+
+TEST(EventQueue, EmptyWheelJumpsToFarFutureEvent) {
+  // A single event a billion quanta out: if the idle-wheel jump were
+  // missing, draining this would scan every bucket between (and time out).
+  EventQueue q(EventQueue::WheelConfig{1e-6, 64});
+  bool ran = false;
+  q.ScheduleAt(1000.0, [&ran] { ran = true; });
+  EXPECT_EQ(q.Run(), 1u);
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(q.Now(), 1000.0);
+}
+
+TEST(EventQueue, CallbackReschedulingBeyondTheHorizon) {
+  // Each hop lands past the wheel horizon of the running queue, so every
+  // reschedule exercises overflow insert + idle jump from inside Step().
+  EventQueue q(EventQueue::WheelConfig{1e-6, 64});
+  struct Hop {
+    EventQueue* q;
+    int* hops;
+    void operator()() const {
+      if (--*hops > 0) q->ScheduleAfter(1.0, *this);
+    }
+  };
+  int hops = 10;
+  q.ScheduleAt(0.0, Hop{&q, &hops});
+  EXPECT_EQ(q.Run(), 10u);
+  EXPECT_EQ(hops, 0);
+  EXPECT_DOUBLE_EQ(q.Now(), 9.0);
+}
+
+TEST(EventQueue, RejectsBadWheelConfig) {
+  EXPECT_THROW(EventQueue(EventQueue::WheelConfig{0.0, 64}), InvalidArgument);
+  EXPECT_THROW(EventQueue(EventQueue::WheelConfig{1e-6, 63}), InvalidArgument);
+  EXPECT_THROW(EventQueue(EventQueue::WheelConfig{1e-6, 32}), InvalidArgument);
+}
+
+TEST(EventQueue, TenThousandActorDrainStress) {
+  // O(10k) concurrent self-rescheduling actors — the population the wheel
+  // is sized for. Verifies full drain, the exact event count, and that
+  // virtual time never runs backwards.
+  EventQueue q;
+  constexpr int kActors = 10000;
+  constexpr int kHops = 5;
+  struct Actor {
+    EventQueue* q;
+    double* last_now;
+    std::uint64_t state;
+    int hops;
+    void operator()() {
+      EXPECT_GE(q->Now(), *last_now);
+      *last_now = q->Now();
+      if (--hops == 0) return;
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const double delay = 1e-6 + static_cast<double>(state >> 44) * 1e-9;
+      q->ScheduleAfter(delay, *this);
+    }
+  };
+  double last_now = 0.0;
+  for (int a = 0; a < kActors; ++a) {
+    const double start = 1e-9 * static_cast<double>(a % 97);
+    q.ScheduleAt(start, Actor{&q, &last_now, static_cast<std::uint64_t>(a),
+                              kHops});
+  }
+  EXPECT_EQ(q.Pending(), static_cast<std::size_t>(kActors));
+  EXPECT_EQ(q.Run(), static_cast<std::size_t>(kActors) * kHops);
+  EXPECT_TRUE(q.Empty());
 }
 
 // -------------------------------------------------------------- straggler ----
