@@ -11,9 +11,15 @@
 #   PSRA_CHECK_LARGE_SWEEP=1                also run the large-N gates: the
 #                                           128/1024-node multi-rack sweep
 #                                           (PSR < Ring + baseline diff), a
-#                                           10240-node schema smoke cell, and
-#                                           a shortened bench_scale run with
+#                                           10240-node smoke cell diffed in
+#                                           the same baseline, and a
+#                                           shortened bench_scale run with
 #                                           the cross-pool determinism check
+#   PSRA_CHECK_TRANSPORT=1                  also run the real-socket gates:
+#                                           multi-process TCP conformance at
+#                                           4 and 8 ranks (psra_launch +
+#                                           psra_conformance) and bench_wire
+#                                           with its schema-checked metrics
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -114,26 +120,28 @@ if [[ -n "${PSRA_CHECK_LARGE_SWEEP:-}" ]]; then
     "$build/tools/check_metrics_schema" "$repo/scripts/metrics_schema.txt" \
       "$cell"
   done
-  if command -v python3 > /dev/null; then
-    "$repo/scripts/sweep_report" --dir "$build/SWEEP_LARGE" \
-      --out "$build/SWEEP_LARGE_report.md" \
-      --baseline "$repo/bench/baselines/sweep_large_baseline.json" \
-      --assert-ordering --selftest
-  else
-    echo "  python3 not found; skipping large-sweep baseline gate"
-  fi
 
   echo "== 10240-node smoke cell =="
-  # One O(10k) hierarchical cell, schema-gated only: with 10240 leaders the
-  # cell set is asymmetric to the baselines, so the diff gate is the two
-  # grids above — this run proves the event core and the metrics contract
-  # hold at the target scale.
+  # One O(10k) hierarchical cell proving the event core and the metrics
+  # contract hold at the target scale. Its counters are pinned in the
+  # large-sweep baseline like every other cell (--dir is repeatable, so the
+  # asymmetric grids diff together below).
   (cd "$build" && ./bench/bench_sweep \
     --nodes 10240 --workers-per-node 1 --iterations 2 --dataset smoke \
     --algorithms psr --sparsity dense --racks 8 \
     --out-dir SWEEP_SMOKE > /dev/null)
   "$build/tools/check_metrics_schema" "$repo/scripts/metrics_schema.txt" \
     "$build/SWEEP_SMOKE/psr_dense_n10240.metrics.json"
+
+  if command -v python3 > /dev/null; then
+    "$repo/scripts/sweep_report" \
+      --dir "$build/SWEEP_LARGE" --dir "$build/SWEEP_SMOKE" \
+      --out "$build/SWEEP_LARGE_report.md" \
+      --baseline "$repo/bench/baselines/sweep_large_baseline.json" \
+      --assert-ordering --selftest
+  else
+    echo "  python3 not found; skipping large-sweep baseline gate"
+  fi
 
   echo "== scale bench (shortened) + cross-pool determinism =="
   # 10240 flat-grouping workers through the timer wheel; --verify-pool
@@ -142,6 +150,27 @@ if [[ -n "${PSRA_CHECK_LARGE_SWEEP:-}" ]]; then
   # under ~5 s; the committed headline numbers come from the full run.
   (cd "$build" && ./bench/bench_scale --iterations 100 \
     --verify-pool --pool 4 --verify-iterations 5)
+fi
+
+if [[ -n "${PSRA_CHECK_TRANSPORT:-}" ]]; then
+  echo "== transport conformance (real sockets, multi-process) =="
+  # The wire collectives over loopback TCP — one OS process per rank — must
+  # reproduce the simulator's reduced values BITWISE and its traffic
+  # counters exactly, at 4 and 8 ranks, both self-forked and under the
+  # launcher (which exercises the inherited-listener rendezvous path).
+  (cd "$build" && ./tools/psra_conformance --ranks 4)
+  (cd "$build" && ./tools/psra_conformance --ranks 8)
+  (cd "$build" && ./tools/psra_launch --ranks 4 -- \
+    ./tools/psra_conformance)
+
+  echo "== wire calibration (bench_wire) =="
+  # Wall time per collective over loopback next to the simulator's modeled
+  # time; the metrics artifact must satisfy the published schema (including
+  # the transport.* keys).
+  (cd "$build" && ./bench/bench_wire --ranks 4 --reps 5 \
+    --out CALIB_transport.json --metrics metrics_wire.json)
+  "$build/tools/check_metrics_schema" "$repo/scripts/metrics_schema.txt" \
+    "$build/metrics_wire.json"
 fi
 
 echo "== trace diff (psra_report --diff) =="

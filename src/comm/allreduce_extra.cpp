@@ -86,17 +86,13 @@ void RunRhdCore(const GroupComm& group,
   t.assign(starts.begin(), starts.end());
   st.Reset(n);
 
-  const std::size_t elem_bytes =
-      sparse ? cm.config().value_bytes + cm.config().index_bytes
-             : cm.config().value_bytes;
+  const std::size_t elem_bytes = group.pricing().PerElement(sparse);
   auto send = [&](GroupRank from, GroupRank to, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(from, to);
     const simnet::VirtualTime cost = sparse
                                          ? cm.SparseTransferTime(link, elems)
                                          : cm.DenseTransferTime(link, elems);
-    st.elements_sent += elems;
-    ++st.messages_sent;
-    st.bytes_sent += elems * elem_bytes;
+    st.CountSend(elems, elem_bytes);
     st.total_send_time += cost;
     return cost;
   };
@@ -215,17 +211,13 @@ void RunTreeCore(const GroupComm& group,
   t.assign(starts.begin(), starts.end());
   st.Reset(n);
 
-  const std::size_t elem_bytes =
-      sparse ? cm.config().value_bytes + cm.config().index_bytes
-             : cm.config().value_bytes;
+  const std::size_t elem_bytes = group.pricing().PerElement(sparse);
   auto send = [&](GroupRank from, GroupRank to, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(from, to);
     const simnet::VirtualTime cost = sparse
                                          ? cm.SparseTransferTime(link, elems)
                                          : cm.DenseTransferTime(link, elems);
-    st.elements_sent += elems;
-    ++st.messages_sent;
-    st.bytes_sent += elems * elem_bytes;
+    st.CountSend(elems, elem_bytes);
     st.total_send_time += cost;
     return cost;
   };

@@ -18,9 +18,7 @@ void NaiveTiming(const GroupComm& group,
   const auto& cm = group.cost_model();
   const GroupRank n = group.size();
   st.Reset(n);
-  const std::size_t elem_bytes =
-      sparse ? cm.config().value_bytes + cm.config().index_bytes
-             : cm.config().value_bytes;
+  const std::size_t elem_bytes = group.pricing().PerElement(sparse);
 
   auto transfer = [&](GroupRank a, GroupRank b, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(a, b);
@@ -41,9 +39,7 @@ void NaiveTiming(const GroupComm& group,
     if (sparse && sizes[g] == 0) continue;  // nothing to contribute
     const simnet::VirtualTime t = transfer(g, 0, sizes[g]);
     root_ready = std::max(root_ready, starts[g] + t);
-    st.elements_sent += sizes[g];
-    ++st.messages_sent;
-    st.bytes_sent += sizes[g] * elem_bytes;
+    st.CountSend(sizes[g], elem_bytes);
     st.total_send_time += t;
   }
   ++st.rounds;  // gather phase
@@ -55,9 +51,7 @@ void NaiveTiming(const GroupComm& group,
     const simnet::VirtualTime t = transfer(0, g, reduced_size);
     send_clock += t;
     st.finish_times[g] = std::max(send_clock, starts[g]);
-    st.elements_sent += reduced_size;
-    ++st.messages_sent;
-    st.bytes_sent += reduced_size * elem_bytes;
+    st.CountSend(reduced_size, elem_bytes);
     st.total_send_time += t;
   }
   ++st.rounds;  // broadcast phase

@@ -29,9 +29,7 @@ void PsrTiming(const GroupComm& group,
   const auto& cm = group.cost_model();
   const GroupRank n = group.size();
   st.Reset(n);
-  const std::size_t elem_bytes =
-      sparse ? cm.config().value_bytes + cm.config().index_bytes
-             : cm.config().value_bytes;
+  const std::size_t elem_bytes = group.pricing().PerElement(sparse);
 
   auto transfer = [&](GroupRank a, GroupRank b, std::size_t elems) {
     const simnet::Link link = group.LinkBetween(a, b);
@@ -63,9 +61,7 @@ void PsrTiming(const GroupComm& group,
       const simnet::VirtualTime cost = transfer(i, j, elems);
       clock += cost;
       ready[j] = std::max(ready[j], clock);
-      st.elements_sent += elems;
-      ++st.messages_sent;
-      st.bytes_sent += elems * elem_bytes;
+      st.CountSend(elems, elem_bytes);
       st.total_send_time += cost;
     }
     sr_send_done[i] = clock;
@@ -91,9 +87,7 @@ void PsrTiming(const GroupComm& group,
       const simnet::VirtualTime cost = transfer(j, m, elems);
       clock += cost;
       arrival[m] = std::max(arrival[m], clock);
-      st.elements_sent += elems;
-      ++st.messages_sent;
-      st.bytes_sent += elems * elem_bytes;
+      st.CountSend(elems, elem_bytes);
       st.total_send_time += cost;
     }
     ag_send_done[j] = clock;

@@ -49,9 +49,7 @@ struct RingRunner {
       return static_cast<GroupRank>(((v % n) + n) % n);
     };
 
-    const auto& cfg = group.cost_model().config();
-    const std::size_t elem_bytes =
-        sparse_pricing ? cfg.value_bytes + cfg.index_bytes : cfg.value_bytes;
+    const std::size_t elem_bytes = group.pricing().PerElement(sparse_pricing);
 
     // One pipelined round: member i sends block send_block(i) to i+1; the
     // receiver either reduces it into, or replaces, its local copy.
@@ -63,9 +61,7 @@ struct RingRunner {
         const simnet::VirtualTime cost = Transfer(i, mod(i + 1), elems);
         send_done[i] = t[i] + cost;
         in_flight[i] = blocks[i][b];
-        stats.elements_sent += elems;
-        ++stats.messages_sent;
-        stats.bytes_sent += elems * elem_bytes;
+        stats.CountSend(elems, elem_bytes);
         stats.total_send_time += cost;
       }
       for (GroupRank i = 0; i < n; ++i) {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "comm/group.hpp"
+#include "comm/pricing.hpp"
 #include "linalg/dense_ops.hpp"
 #include "linalg/sparse_vector.hpp"
 
@@ -65,6 +66,15 @@ struct CommStats {
   /// Zeroes every field and sizes finish_times to `n` members, reusing its
   /// storage. Called by the in-place Reduce* entry points.
   void Reset(std::size_t n);
+
+  /// Books one posted message carrying `elems` elements priced at
+  /// `per_elem_bytes` (see ElemPricing). Every simulator timing loop counts
+  /// traffic through this call — the same formula the wire executor uses —
+  /// so counters are comparable across backends.
+  void CountSend(std::size_t elems, std::size_t per_elem_bytes) {
+    detail::CountSend(elems, per_elem_bytes, elements_sent, messages_sent,
+                      bytes_sent);
+  }
 
   bool operator==(const CommStats& other) const = default;
 };

@@ -53,6 +53,11 @@ simnet::Link GroupComm::LinkBetween(GroupRank a, GroupRank b) const {
   return topo_->LinkBetween(GlobalRank(a), GlobalRank(b));
 }
 
+ElemPricing GroupComm::pricing() const {
+  const auto& cfg = cost_->config();
+  return ElemPricing{cfg.value_bytes, cfg.index_bytes};
+}
+
 std::pair<std::uint64_t, std::uint64_t> GroupComm::BlockRange(
     std::uint64_t dim, GroupRank g) const {
   PSRA_REQUIRE(g < size(), "group rank out of range");

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/pricing.hpp"
 #include "simnet/cost_model.hpp"
 #include "simnet/topology.hpp"
 
@@ -38,6 +39,11 @@ class GroupComm {
   simnet::Link LinkBetween(GroupRank a, GroupRank b) const;
   const simnet::CostModel& cost_model() const { return *cost_; }
   const simnet::Topology& topology() const { return *topo_; }
+
+  /// Element widths this group's cost model prices messages at. The wire
+  /// backends take the same struct, so bytes accounting agrees by
+  /// construction.
+  ElemPricing pricing() const;
 
   /// Block ownership used by the block-cyclic collectives: the vector
   /// [0, dim) is split into size() contiguous blocks; block g is owned by

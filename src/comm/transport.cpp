@@ -1,0 +1,15 @@
+#include "comm/transport.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace psra::comm {
+
+void Transport::PublishTo(obs::MetricsRegistry& reg) const {
+  reg.Counter("transport.post.bytes") += stats_.bytes_posted;
+  reg.Counter("transport.post.msgs") += stats_.messages_posted;
+  reg.Counter("transport.recv.bytes") += stats_.bytes_received;
+  reg.Counter("transport.recv.msgs") += stats_.messages_received;
+  reg.Counter("transport.fences") += stats_.fences;
+}
+
+}  // namespace psra::comm

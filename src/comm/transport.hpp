@@ -1,0 +1,117 @@
+// Point-to-point message transport the wire collectives run over.
+//
+// The simulator executes collectives omnisciently (one call sees every
+// member's input and clock); a Transport instead gives each rank the three
+// primitives a real network stack offers — nonblocking Post (MPI Isend),
+// matched blocking Recv, and Fence (Waitall + barrier) — so the same
+// algorithms can run SPMD over OS processes and sockets. Backends:
+//
+//   * InprocMesh  (src/transport/inproc.hpp): every rank is a thread in one
+//     process, delivery through shared mailboxes. Used by unit tests.
+//   * TcpTransport (src/transport/tcp.hpp): every rank is an OS process,
+//     full-mesh nonblocking TCP sockets driven by a poll loop.
+//
+// Each endpoint keeps raw wire accounting (payload bytes only — framing
+// headers are backend-private, so the numbers stay comparable across
+// backends) and can publish it to a MetricsRegistry under transport.* keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace psra::obs {
+class MetricsRegistry;
+}
+
+namespace psra::comm {
+
+/// Thrown on transport failures: receive timeout, peer death mid-collective,
+/// socket errors, rendezvous failure. Distinct from InvalidArgument (caller
+/// bug) — a TransportError is an environmental fault the caller may retry.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error(what) {}
+};
+
+/// Raw wire accounting for one endpoint. Counts user payload only: internal
+/// control traffic (barrier tokens, rendezvous hellos) is excluded so the
+/// numbers are backend-independent.
+struct TransportStats {
+  std::uint64_t bytes_posted = 0;
+  std::uint64_t messages_posted = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t fences = 0;
+
+  bool operator==(const TransportStats& other) const = default;
+};
+
+class Transport {
+ public:
+  using Rank = std::uint32_t;
+  using Tag = std::uint32_t;
+
+  /// Tags at or above this value are reserved for backend-internal control
+  /// traffic (barriers); Post/Recv reject them.
+  static constexpr Tag kMaxUserTag = 0xFFFF0000u;
+
+  virtual ~Transport() = default;
+
+  virtual Rank rank() const = 0;
+  virtual Rank world_size() const = 0;
+  virtual std::string Name() const = 0;
+
+  /// Nonblocking post (MPI Isend): enqueues `payload` for delivery to `dst`.
+  /// The bytes are copied out before return, so the caller may reuse the
+  /// buffer immediately. Zero-length payloads are legal and delivered (the
+  /// sparse collectives use them as "nothing to contribute" markers).
+  /// Self-posts (dst == rank()) loop back locally.
+  virtual void Post(Rank dst, Tag tag, std::span<const std::byte> payload) = 0;
+
+  /// Blocking matched receive: waits for the next not-yet-consumed message
+  /// from `src` carrying `tag` and copies its payload into `out` (resized to
+  /// fit). Messages from one src with one tag are delivered in post order.
+  /// Throws TransportError when the backend's receive deadline expires or
+  /// `src` died before posting.
+  virtual void Recv(Rank src, Tag tag, std::vector<std::byte>& out) = 0;
+
+  /// Completes all outstanding posts (MPI Waitall) and then synchronizes all
+  /// ranks (barrier): no rank returns before every rank has entered.
+  virtual void Fence() = 0;
+
+  const TransportStats& stats() const { return stats_; }
+
+  /// Adds this endpoint's raw counters to `reg`:
+  ///   transport.post.bytes / transport.post.msgs
+  ///   transport.recv.bytes / transport.recv.msgs
+  ///   transport.fences
+  void PublishTo(obs::MetricsRegistry& reg) const;
+
+ protected:
+  void CountPost(std::size_t bytes) {
+    stats_.bytes_posted += bytes;
+    ++stats_.messages_posted;
+  }
+  void CountRecv(std::size_t bytes) {
+    stats_.bytes_received += bytes;
+    ++stats_.messages_received;
+  }
+  void CountFence() { ++stats_.fences; }
+
+  void CheckPeer(Rank peer) const {
+    PSRA_REQUIRE(peer < world_size(), "transport peer rank out of range");
+  }
+  static void CheckUserTag(Tag tag) {
+    PSRA_REQUIRE(tag < kMaxUserTag, "tag collides with reserved range");
+  }
+
+ private:
+  TransportStats stats_;
+};
+
+}  // namespace psra::comm

@@ -1,0 +1,138 @@
+#include "transport/inproc.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace psra::transport {
+
+using comm::Transport;
+using comm::TransportError;
+
+namespace {
+struct Frame {
+  Transport::Rank src;
+  Transport::Tag tag;
+  std::vector<std::byte> payload;
+};
+}  // namespace
+
+struct InprocMesh::Hub {
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Frame> frames;
+  };
+
+  explicit Hub(Transport::Rank n, double timeout_s)
+      : world(n), timeout(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::duration<double>(timeout_s))) {
+    boxes = std::vector<Mailbox>(n);
+  }
+
+  const Transport::Rank world;
+  const std::chrono::milliseconds timeout;
+  std::vector<Mailbox> boxes;
+
+  // Generation-counting barrier.
+  std::mutex barrier_mu;
+  std::condition_variable barrier_cv;
+  Transport::Rank barrier_count = 0;
+  std::uint64_t barrier_generation = 0;
+};
+
+class InprocMesh::Endpoint final : public comm::Transport {
+ public:
+  Endpoint(std::shared_ptr<Hub> hub, Rank rank)
+      : hub_(std::move(hub)), rank_(rank) {}
+
+  Rank rank() const override { return rank_; }
+  Rank world_size() const override { return hub_->world; }
+  std::string Name() const override { return "inproc"; }
+
+  void Post(Rank dst, Tag tag, std::span<const std::byte> payload) override {
+    CheckPeer(dst);
+    CheckUserTag(tag);
+    auto& box = hub_->boxes[dst];
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.frames.push_back(
+          Frame{rank_, tag, {payload.begin(), payload.end()}});
+    }
+    box.cv.notify_all();
+    CountPost(payload.size());
+  }
+
+  void Recv(Rank src, Tag tag, std::vector<std::byte>& out) override {
+    CheckPeer(src);
+    CheckUserTag(tag);
+    auto& box = hub_->boxes[rank_];
+    std::unique_lock<std::mutex> lock(box.mu);
+    auto match = [&]() {
+      return std::find_if(box.frames.begin(), box.frames.end(),
+                          [&](const Frame& f) {
+                            return f.src == src && f.tag == tag;
+                          });
+    };
+    auto it = match();
+    if (it == box.frames.end()) {
+      const bool ok = box.cv.wait_for(lock, hub_->timeout, [&] {
+        return (it = match()) != box.frames.end();
+      });
+      if (!ok) {
+        throw TransportError("inproc recv timeout waiting for rank " +
+                             std::to_string(src) + " tag " +
+                             std::to_string(tag));
+      }
+    }
+    out = std::move(it->payload);
+    box.frames.erase(it);
+    lock.unlock();
+    CountRecv(out.size());
+  }
+
+  void Fence() override {
+    // Posts deliver synchronously, so Waitall is a no-op; only the barrier
+    // remains.
+    std::unique_lock<std::mutex> lock(hub_->barrier_mu);
+    const std::uint64_t gen = hub_->barrier_generation;
+    if (++hub_->barrier_count == hub_->world) {
+      hub_->barrier_count = 0;
+      ++hub_->barrier_generation;
+      hub_->barrier_cv.notify_all();
+    } else {
+      const bool ok = hub_->barrier_cv.wait_for(
+          lock, hub_->timeout,
+          [&] { return hub_->barrier_generation != gen; });
+      if (!ok) {
+        throw TransportError("inproc fence timeout: a rank never arrived");
+      }
+    }
+    lock.unlock();
+    CountFence();
+  }
+
+ private:
+  std::shared_ptr<Hub> hub_;
+  Rank rank_;
+};
+
+InprocMesh::InprocMesh(Transport::Rank world, double recv_timeout_s) {
+  PSRA_REQUIRE(world > 0, "inproc mesh needs at least one rank");
+  hub_ = std::make_shared<Hub>(world, recv_timeout_s);
+  endpoints_.reserve(world);
+  for (Transport::Rank r = 0; r < world; ++r) {
+    endpoints_.push_back(std::make_unique<Endpoint>(hub_, r));
+  }
+}
+
+InprocMesh::~InprocMesh() = default;
+
+Transport::Rank InprocMesh::world_size() const { return hub_->world; }
+
+comm::Transport& InprocMesh::endpoint(Transport::Rank r) {
+  PSRA_REQUIRE(r < endpoints_.size(), "endpoint rank out of range");
+  return *endpoints_[r];
+}
+
+}  // namespace psra::transport

@@ -1,0 +1,43 @@
+// In-process transport backend: every rank is a thread, delivery through
+// shared mailboxes. Semantically identical to the TCP backend (ordered
+// per-(src, tag) delivery, fence = flush + barrier, bounded receive wait)
+// but with zero setup cost — the unit tests run the cross-backend
+// conformance suite on it, and it doubles as the reference implementation
+// of the Transport contract.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace psra::transport {
+
+/// Creates the `world` endpoints of one in-process mesh. The mesh owns the
+/// shared state; endpoints stay valid while the mesh lives. Hand endpoint(r)
+/// to thread r.
+class InprocMesh {
+ public:
+  /// `recv_timeout_s`: how long a Recv waits for a matching message before
+  /// throwing TransportError (a deadlock guard for tests).
+  explicit InprocMesh(comm::Transport::Rank world, double recv_timeout_s = 20);
+  ~InprocMesh();
+
+  InprocMesh(const InprocMesh&) = delete;
+  InprocMesh& operator=(const InprocMesh&) = delete;
+
+  comm::Transport::Rank world_size() const;
+  comm::Transport& endpoint(comm::Transport::Rank r);
+
+ private:
+  struct Hub;
+  class Endpoint;
+  std::shared_ptr<Hub> hub_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace psra::transport

@@ -1,0 +1,91 @@
+#include "transport/launch.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace psra::transport {
+
+using comm::Transport;
+
+LaunchResult ForkRanks(Transport::Rank world,
+                       const std::function<void(const TcpOptions&)>& body,
+                       double timeout_s) {
+  PSRA_REQUIRE(world > 0, "need at least one rank");
+  std::uint16_t port = 0;  // ephemeral: the kernel picks a free port
+  const int listener = BindListener(port, 0);
+
+  std::vector<pid_t> pids(world, -1);
+  for (Transport::Rank r = 0; r < world; ++r) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(listener);
+      for (pid_t p : pids) {
+        if (p > 0) kill(p, SIGKILL);
+      }
+      throw comm::TransportError("fork failed");
+    }
+    if (pid == 0) {
+      TcpOptions opt;
+      opt.rank = r;
+      opt.world = world;
+      opt.port = port;
+      opt.listen_fd = r == 0 ? listener : -1;
+      if (r != 0) close(listener);
+      int status = 0;
+      try {
+        body(opt);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[rank %u] %s\n", r, e.what());
+        status = 255;
+      }
+      std::fflush(nullptr);
+      _exit(status);
+    }
+    pids[r] = pid;
+  }
+  close(listener);
+
+  // Reap with a deadline; kill stragglers so a hung collective cannot hang
+  // the harness.
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  LaunchResult result;
+  result.exit_codes.assign(world, -1);
+  std::size_t live = world;
+  bool killed = false;
+  while (live > 0) {
+    bool reaped = false;
+    for (Transport::Rank r = 0; r < world; ++r) {
+      if (result.exit_codes[r] != -1 || pids[r] <= 0) continue;
+      int status = 0;
+      const pid_t got = waitpid(pids[r], &status, WNOHANG);
+      if (got == pids[r]) {
+        result.exit_codes[r] = WIFEXITED(status) ? WEXITSTATUS(status)
+                               : WIFSIGNALED(status)
+                                   ? 128 + WTERMSIG(status)
+                                   : 254;
+        --live;
+        reaped = true;
+      }
+    }
+    if (live == 0) break;
+    if (!killed && Clock::now() >= deadline) {
+      for (Transport::Rank r = 0; r < world; ++r) {
+        if (result.exit_codes[r] == -1 && pids[r] > 0) kill(pids[r], SIGKILL);
+      }
+      killed = true;
+    }
+    if (!reaped) usleep(5'000);
+  }
+  return result;
+}
+
+}  // namespace psra::transport

@@ -1,0 +1,39 @@
+// Multi-process launch helper for the TCP backend.
+//
+// The parent binds the rendezvous listener BEFORE forking and passes the
+// open fd to the rank-0 child, so there is no window in which another
+// process could take the port — rendezvous is race-free by construction.
+// tools/psra_launch wraps the same scheme around exec'd worker binaries via
+// the PSRA_RANK / PSRA_WORLD / PSRA_PORT / PSRA_LISTEN_FD environment.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "transport/tcp.hpp"
+
+namespace psra::transport {
+
+struct LaunchResult {
+  /// Exit status per rank: 0 on success, the child's exit code otherwise
+  /// (128 + signal for abnormal death, 255 when the body threw).
+  std::vector<int> exit_codes;
+
+  bool AllZero() const {
+    for (int c : exit_codes) {
+      if (c != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Forks `world` child processes; child r invokes `body` with TcpOptions
+/// ready to construct its TcpTransport (rank 0 inherits the pre-bound
+/// listener). The parent blocks until every child exits or `timeout_s`
+/// passes, then kills stragglers (their exit code reports the signal).
+/// An exception escaping `body` exits that child with status 255.
+LaunchResult ForkRanks(comm::Transport::Rank world,
+                       const std::function<void(const TcpOptions&)>& body,
+                       double timeout_s = 120.0);
+
+}  // namespace psra::transport

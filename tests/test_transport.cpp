@@ -1,0 +1,595 @@
+// Transport layer tests: the Transport contract on both backends, the
+// cross-backend conformance suite (wire collectives must reproduce the
+// simulator's reduced values BITWISE and its traffic counters EXACTLY), and
+// the socket edge cases the ISSUE calls out — partial reads/writes on tiny
+// socket buffers, rank death mid-collective failing fast, and rendezvous
+// port-collision retry. TCP tests self-skip when the environment forbids
+// sockets.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include "admm/problem.hpp"
+#include "admm/registry.hpp"
+#include "comm/collective.hpp"
+#include "comm/hierarchical.hpp"
+#include "comm/transport.hpp"
+#include "comm/wire_allreduce.hpp"
+#include "data/synthetic.hpp"
+#include "obs/metrics.hpp"
+#include "support/rng.hpp"
+#include "transport/inproc.hpp"
+#include "transport/launch.hpp"
+#include "transport/tcp.hpp"
+
+namespace psra::transport {
+namespace {
+
+using comm::AllreduceKind;
+using comm::CommStats;
+using comm::ElemPricing;
+using comm::GroupComm;
+using comm::Transport;
+using comm::TransportError;
+using comm::WireCollectives;
+using comm::WireStats;
+using linalg::DenseVector;
+using linalg::SparseVector;
+using simnet::Rank;
+using simnet::Topology;
+using simnet::VirtualTime;
+
+bool SocketsAvailable() {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  close(fd);
+  return true;
+}
+
+#define SKIP_WITHOUT_SOCKETS()                                   \
+  do {                                                           \
+    if (!SocketsAvailable()) {                                   \
+      GTEST_SKIP() << "TCP sockets unavailable in this sandbox"; \
+    }                                                            \
+  } while (false)
+
+// --- deterministic inputs shared by simulator and wire sides --------------
+
+DenseVector MakeDense(std::uint32_t rank, std::uint64_t dim) {
+  psra::Rng rng(1234 + rank);
+  DenseVector v(dim);
+  for (auto& x : v) x = rng.NextDouble(-1.0, 1.0);
+  return v;
+}
+
+/// Irregular sparsity: rank 0 gets an empty vector when `with_empty`, other
+/// ranks roughly 1/3 density on rank-dependent indices (exercises the
+/// PSR/naive empty-contribution skip paths).
+SparseVector MakeSparse(std::uint32_t rank, std::uint64_t dim,
+                        bool with_empty) {
+  if (with_empty && rank == 0) return SparseVector(dim, {}, {});
+  psra::Rng rng(99 + rank);
+  std::vector<SparseVector::Index> idx;
+  std::vector<double> val;
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    if (rng.NextDouble() < 0.34) {
+      idx.push_back(i);
+      val.push_back(rng.NextDouble(-2.0, 2.0));
+    }
+  }
+  return SparseVector(dim, std::move(idx), std::move(val));
+}
+
+bool BitwiseEqual(const DenseVector& a, const DenseVector& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool BitwiseEqual(const SparseVector& a, const SparseVector& b) {
+  return a.dim() == b.dim() && a.nnz() == b.nnz() &&
+         std::equal(a.indices().begin(), a.indices().end(),
+                    b.indices().begin()) &&
+         (a.nnz() == 0 ||
+          std::memcmp(a.values().data(), b.values().data(),
+                      a.nnz() * sizeof(double)) == 0);
+}
+
+/// Simulator reference: flat-network group over n workers.
+struct SimSide {
+  explicit SimSide(std::uint32_t n, std::uint32_t racks = 1)
+      : topo(n, 1, racks), cost(simnet::CostModelConfig{}),
+        group(MakeGroup(n)) {}
+
+  GroupComm MakeGroup(std::uint32_t n) {
+    std::vector<Rank> members(n);
+    for (std::uint32_t i = 0; i < n; ++i) members[i] = i;
+    return GroupComm(&topo, &cost, members);
+  }
+
+  Topology topo;
+  simnet::CostModel cost;
+  GroupComm group;
+};
+
+/// Runs `body(rank, transport)` on `n` inproc endpoints, one thread each,
+/// re-throwing the first failure.
+void RunInproc(std::uint32_t n,
+               const std::function<void(std::uint32_t, Transport&)>& body) {
+  InprocMesh mesh(n);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(n);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(r, mesh.endpoint(r));
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::vector<Transport::Rank> AllRanks(std::uint32_t n) {
+  std::vector<Transport::Rank> m(n);
+  for (std::uint32_t i = 0; i < n; ++i) m[i] = i;
+  return m;
+}
+
+/// Asserts the wire run over `n` inproc ranks reproduces the simulator:
+/// values bitwise, per-rank rounds equal, aggregate traffic equal.
+void CheckFlatConformance(AllreduceKind kind, std::uint32_t n,
+                          std::uint64_t dim, bool sparse, bool with_empty) {
+  SimSide sim(n);
+  const std::vector<VirtualTime> starts(n, 0.0);
+  const auto alg = comm::MakeAllreduce(kind);
+  const auto members = AllRanks(n);
+
+  std::vector<DenseVector> dense_out(n);
+  std::vector<SparseVector> sparse_out(n);
+  std::vector<WireStats> wire(n);
+
+  CommStats sim_stats;
+  DenseVector sim_dense;
+  SparseVector sim_sparse;
+  comm::AllreduceScratch scratch;
+  if (sparse) {
+    std::vector<SparseVector> inputs;
+    for (std::uint32_t r = 0; r < n; ++r) {
+      inputs.push_back(MakeSparse(r, dim, with_empty));
+    }
+    alg->ReduceSparse(sim.group, inputs, starts, scratch, sim_sparse,
+                      sim_stats);
+    RunInproc(n, [&](std::uint32_t r, Transport& t) {
+      WireCollectives wc(t, sim.group.pricing());
+      wc.AllreduceSparse(kind, members, inputs[r], sparse_out[r], wire[r]);
+    });
+    for (std::uint32_t r = 0; r < n; ++r) {
+      ASSERT_TRUE(BitwiseEqual(sparse_out[r], sim_sparse))
+          << "rank " << r << " sparse value mismatch (n=" << n << ")";
+    }
+  } else {
+    std::vector<DenseVector> inputs;
+    for (std::uint32_t r = 0; r < n; ++r) inputs.push_back(MakeDense(r, dim));
+    alg->ReduceDense(sim.group, inputs, starts, scratch, sim_dense, sim_stats);
+    RunInproc(n, [&](std::uint32_t r, Transport& t) {
+      WireCollectives wc(t, sim.group.pricing());
+      wc.AllreduceDense(kind, members, inputs[r], dense_out[r], wire[r]);
+    });
+    for (std::uint32_t r = 0; r < n; ++r) {
+      ASSERT_TRUE(BitwiseEqual(dense_out[r], sim_dense))
+          << "rank " << r << " dense value mismatch (n=" << n << ")";
+    }
+  }
+
+  WireStats agg;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    EXPECT_EQ(wire[r].rounds, sim_stats.rounds)
+        << "rank " << r << " rounds (n=" << n << ")";
+    agg.elements_sent += wire[r].elements_sent;
+    agg.messages_sent += wire[r].messages_sent;
+    agg.bytes_sent += wire[r].bytes_sent;
+  }
+  EXPECT_EQ(agg.elements_sent, sim_stats.elements_sent) << "n=" << n;
+  EXPECT_EQ(agg.messages_sent, sim_stats.messages_sent) << "n=" << n;
+  EXPECT_EQ(agg.bytes_sent, sim_stats.bytes_sent) << "n=" << n;
+}
+
+// --- Transport contract (inproc) ------------------------------------------
+
+TEST(InprocTransport, DeliversMatchedAndOrdered) {
+  RunInproc(2, [](std::uint32_t r, Transport& t) {
+    std::vector<std::byte> buf;
+    if (r == 0) {
+      const char a = 'a', b = 'b', c = 'c';
+      // Same (dst, tag) twice: must arrive in post order; a different tag
+      // posted FIRST must not hijack the earlier Recv.
+      t.Post(1, 7, std::span<const std::byte>(
+                       reinterpret_cast<const std::byte*>(&c), 1));
+      t.Post(1, 3, std::span<const std::byte>(
+                       reinterpret_cast<const std::byte*>(&a), 1));
+      t.Post(1, 3, std::span<const std::byte>(
+                       reinterpret_cast<const std::byte*>(&b), 1));
+    } else {
+      t.Recv(0, 3, buf);
+      ASSERT_EQ(static_cast<char>(buf[0]), 'a');
+      t.Recv(0, 3, buf);
+      ASSERT_EQ(static_cast<char>(buf[0]), 'b');
+      t.Recv(0, 7, buf);
+      ASSERT_EQ(static_cast<char>(buf[0]), 'c');
+    }
+    t.Fence();
+  });
+}
+
+TEST(InprocTransport, ZeroLengthPayloadDelivered) {
+  RunInproc(2, [](std::uint32_t r, Transport& t) {
+    std::vector<std::byte> buf{std::byte{42}};
+    if (r == 0) {
+      t.Post(1, 1, {});
+    } else {
+      t.Recv(0, 1, buf);
+      ASSERT_TRUE(buf.empty());
+    }
+  });
+}
+
+TEST(InprocTransport, RecvTimeoutThrows) {
+  InprocMesh mesh(2, /*recv_timeout_s=*/0.05);
+  std::vector<std::byte> buf;
+  EXPECT_THROW(mesh.endpoint(0).Recv(1, 0, buf), TransportError);
+}
+
+TEST(InprocTransport, ReservedTagRejected) {
+  InprocMesh mesh(2);
+  std::vector<std::byte> buf;
+  EXPECT_THROW(mesh.endpoint(0).Post(1, Transport::kMaxUserTag, buf),
+               psra::InvalidArgument);
+}
+
+TEST(InprocTransport, StatsCountAndPublish) {
+  InprocMesh mesh(2);
+  RunInproc(2, [](std::uint32_t r, Transport& t) {
+    std::vector<std::byte> buf(16);
+    if (r == 0) {
+      t.Post(1, 0, buf);
+    } else {
+      t.Recv(0, 0, buf);
+    }
+    t.Fence();
+  });
+  // Fresh mesh per RunInproc above; count on a dedicated pair instead.
+  auto& a = mesh.endpoint(0);
+  auto& b = mesh.endpoint(1);
+  std::vector<std::byte> buf(8);
+  a.Post(1, 0, buf);
+  b.Recv(0, 0, buf);
+  EXPECT_EQ(a.stats().messages_posted, 1u);
+  EXPECT_EQ(a.stats().bytes_posted, 8u);
+  EXPECT_EQ(b.stats().messages_received, 1u);
+  EXPECT_EQ(b.stats().bytes_received, 8u);
+  obs::MetricsRegistry reg;
+  a.PublishTo(reg);
+  EXPECT_EQ(reg.counters().at("transport.post.bytes"), 8u);
+  EXPECT_EQ(reg.counters().at("transport.post.msgs"), 1u);
+  EXPECT_EQ(reg.counters().count("transport.fences"), 1u);
+}
+
+// --- cross-backend conformance (inproc) -----------------------------------
+
+struct ConformanceCase {
+  AllreduceKind kind;
+  bool sparse;
+  bool with_empty;
+  const char* name;
+};
+
+class WireConformance : public ::testing::TestWithParam<ConformanceCase> {};
+
+TEST_P(WireConformance, MatchesSimulatorAcrossGroupSizes) {
+  const auto& c = GetParam();
+  for (std::uint32_t n : {1u, 2u, 3u, 4u, 5u, 8u}) {
+    CheckFlatConformance(c.kind, n, /*dim=*/96 + 7, c.sparse, c.with_empty);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, WireConformance,
+    ::testing::Values(
+        ConformanceCase{AllreduceKind::kPsr, false, false, "psr_dense"},
+        ConformanceCase{AllreduceKind::kPsr, true, false, "psr_sparse"},
+        ConformanceCase{AllreduceKind::kPsr, true, true, "psr_sparse_empty"},
+        ConformanceCase{AllreduceKind::kRing, false, false, "ring_dense"},
+        ConformanceCase{AllreduceKind::kRing, true, false, "ring_sparse"},
+        ConformanceCase{AllreduceKind::kNaive, false, false, "naive_dense"},
+        ConformanceCase{AllreduceKind::kNaive, true, false, "naive_sparse"},
+        ConformanceCase{AllreduceKind::kNaive, true, true,
+                        "naive_sparse_empty"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(WireConformance, HierarchicalMatchesSimulator) {
+  // 3 racks x 2 node leaders; PSR at both levels (the paper's headline
+  // configuration), then Ring to cover the non-ascending fold.
+  for (AllreduceKind kind : {AllreduceKind::kPsr, AllreduceKind::kRing}) {
+    const std::uint32_t racks = 3, per_rack = 2, n = racks * per_rack;
+    const std::uint64_t dim = 64;
+    SimSide sim(n, racks);
+    std::vector<Rank> members(n);
+    for (std::uint32_t i = 0; i < n; ++i) members[i] = i;
+    comm::MultiLevelAllreduce ml(&sim.topo, &sim.cost, members);
+    const auto alg = comm::MakeAllreduce(kind);
+    const std::vector<VirtualTime> starts(n, 0.0);
+
+    std::vector<DenseVector> inputs;
+    for (std::uint32_t r = 0; r < n; ++r) inputs.push_back(MakeDense(r, dim));
+    comm::AllreduceScratch scratch;
+    DenseVector sim_sum;
+    CommStats sim_stats;
+    ml.ReduceDense(*alg, inputs, starts, scratch, sim_sum, sim_stats);
+
+    std::vector<DenseVector> outs(n);
+    std::vector<WireStats> wire(n);
+    const auto wire_members = AllRanks(n);
+    RunInproc(n, [&](std::uint32_t r, Transport& t) {
+      WireCollectives wc(t, sim.group.pricing());
+      wc.MultiLevelDense(kind, wire_members, per_rack, inputs[r], outs[r],
+                         wire[r]);
+    });
+    for (std::uint32_t r = 0; r < n; ++r) {
+      ASSERT_TRUE(BitwiseEqual(outs[r], sim_sum)) << "rank " << r;
+    }
+    // Aggregate: the simulator books each rack stage once plus the root
+    // stage once; redistribution is reported separately.
+    WireStats agg;
+    std::size_t rounds = 0, redist_elems = 0, redist_msgs = 0;
+    for (std::uint32_t r = 0; r < n; ++r) {
+      agg.elements_sent += wire[r].elements_sent;
+      agg.messages_sent += wire[r].messages_sent;
+      agg.bytes_sent += wire[r].bytes_sent;
+      redist_elems += wire[r].redist_elements;
+      redist_msgs += wire[r].redist_messages;
+      if (r % per_rack == 0) rounds += wire[r].rack_rounds;
+    }
+    rounds += wire[0].root_rounds;
+    EXPECT_EQ(agg.elements_sent, sim_stats.elements_sent);
+    EXPECT_EQ(agg.messages_sent, sim_stats.messages_sent);
+    EXPECT_EQ(agg.bytes_sent, sim_stats.bytes_sent);
+    EXPECT_EQ(rounds, sim_stats.rounds);
+    EXPECT_EQ(redist_elems, ml.redistribution_elements());
+    EXPECT_EQ(redist_msgs, ml.redistribution_messages());
+  }
+}
+
+TEST(WireConformance, SparseHierarchicalMatchesSimulator) {
+  const std::uint32_t racks = 2, per_rack = 3, n = racks * per_rack;
+  const std::uint64_t dim = 60;
+  SimSide sim(n, racks);
+  std::vector<Rank> members(n);
+  for (std::uint32_t i = 0; i < n; ++i) members[i] = i;
+  comm::MultiLevelAllreduce ml(&sim.topo, &sim.cost, members);
+  const auto alg = comm::MakeAllreduce(AllreduceKind::kPsr);
+  const std::vector<VirtualTime> starts(n, 0.0);
+
+  std::vector<SparseVector> inputs;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    inputs.push_back(MakeSparse(r, dim, /*with_empty=*/true));
+  }
+  comm::AllreduceScratch scratch;
+  SparseVector sim_sum;
+  CommStats sim_stats;
+  ml.ReduceSparse(*alg, inputs, starts, scratch, sim_sum, sim_stats);
+
+  std::vector<SparseVector> outs(n);
+  std::vector<WireStats> wire(n);
+  const auto wire_members = AllRanks(n);
+  RunInproc(n, [&](std::uint32_t r, Transport& t) {
+    WireCollectives wc(t, sim.group.pricing());
+    wc.MultiLevelSparse(AllreduceKind::kPsr, wire_members, per_rack,
+                        inputs[r], outs[r], wire[r]);
+  });
+  WireStats agg;
+  std::size_t rounds = 0, redist_elems = 0, redist_msgs = 0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    ASSERT_TRUE(BitwiseEqual(outs[r], sim_sum)) << "rank " << r;
+    agg.elements_sent += wire[r].elements_sent;
+    agg.messages_sent += wire[r].messages_sent;
+    agg.bytes_sent += wire[r].bytes_sent;
+    redist_elems += wire[r].redist_elements;
+    redist_msgs += wire[r].redist_messages;
+    if (r % per_rack == 0) rounds += wire[r].rack_rounds;
+  }
+  rounds += wire[0].root_rounds;
+  EXPECT_EQ(agg.elements_sent, sim_stats.elements_sent);
+  EXPECT_EQ(agg.messages_sent, sim_stats.messages_sent);
+  EXPECT_EQ(agg.bytes_sent, sim_stats.bytes_sent);
+  EXPECT_EQ(rounds, sim_stats.rounds);
+  EXPECT_EQ(redist_elems, ml.redistribution_elements());
+  EXPECT_EQ(redist_msgs, ml.redistribution_messages());
+}
+
+// --- TCP backend ----------------------------------------------------------
+
+TEST(TcpTransport, MultiProcessConformance) {
+  SKIP_WITHOUT_SOCKETS();
+  const std::uint32_t n = 4;
+  const std::uint64_t dim = 64;
+  // Every child derives the SAME deterministic inputs, runs the omniscient
+  // simulator locally as the reference, then its own wire rank, and dies
+  // nonzero on any divergence. Rank 0 additionally aggregates WireStats
+  // shipped over the transport itself and checks the traffic counters.
+  const auto result = ForkRanks(n, [&](const TcpOptions& opt) {
+    TcpTransport t(opt);
+    SimSide sim(n);
+    std::vector<DenseVector> inputs;
+    for (std::uint32_t r = 0; r < n; ++r) inputs.push_back(MakeDense(r, dim));
+    const std::vector<VirtualTime> starts(n, 0.0);
+    const auto alg = comm::MakeAllreduce(AllreduceKind::kPsr);
+    comm::AllreduceScratch scratch;
+    DenseVector expected;
+    CommStats sim_stats;
+    alg->ReduceDense(sim.group, inputs, starts, scratch, expected, sim_stats);
+
+    WireCollectives wc(t, sim.group.pricing());
+    DenseVector out;
+    WireStats st;
+    wc.AllreduceDense(AllreduceKind::kPsr, AllRanks(n), inputs[opt.rank], out,
+                      st);
+    if (!BitwiseEqual(out, expected)) throw TransportError("value mismatch");
+    if (st.rounds != sim_stats.rounds) throw TransportError("rounds mismatch");
+
+    // Ship per-rank stats to rank 0 for the aggregate check.
+    const Transport::Tag stats_tag = 40'000;
+    if (opt.rank == 0) {
+      std::size_t elems = st.elements_sent, msgs = st.messages_sent,
+                  bytes = st.bytes_sent;
+      std::vector<std::byte> buf;
+      for (std::uint32_t r = 1; r < n; ++r) {
+        t.Recv(r, stats_tag, buf);
+        std::size_t triple[3];
+        std::memcpy(triple, buf.data(), sizeof(triple));
+        elems += triple[0];
+        msgs += triple[1];
+        bytes += triple[2];
+      }
+      if (elems != sim_stats.elements_sent ||
+          msgs != sim_stats.messages_sent ||
+          bytes != sim_stats.bytes_sent) {
+        throw TransportError("aggregate traffic mismatch");
+      }
+    } else {
+      const std::size_t triple[3] = {st.elements_sent, st.messages_sent,
+                                     st.bytes_sent};
+      t.Post(0, stats_tag,
+             std::as_bytes(std::span<const std::size_t>(triple)));
+    }
+    t.Fence();
+  });
+  EXPECT_TRUE(result.AllZero()) << "exit codes: "
+                                << ::testing::PrintToString(result.exit_codes);
+}
+
+TEST(TcpTransport, PartialReadsAndWritesOnTinyBuffers) {
+  SKIP_WITHOUT_SOCKETS();
+  // 128 KiB payloads over 4 KiB socket buffers: every frame crosses the
+  // kernel boundary in dozens of partial reads/writes. (Kept modest: a
+  // receive window below the loopback MSS stalls on the delayed-ACK timer,
+  // so bytes here cost wall-clock.)
+  const std::size_t big = 128 << 10;
+  const auto result = ForkRanks(2, [&](const TcpOptions& opt_in) {
+    TcpOptions opt = opt_in;
+    opt.sock_buf_bytes = 4096;
+    TcpTransport t(opt);
+    std::vector<std::byte> payload(big);
+    for (std::size_t i = 0; i < big; ++i) {
+      payload[i] = static_cast<std::byte>((i * 31 + opt.rank) & 0xFF);
+    }
+    std::vector<std::byte> got;
+    if (opt.rank == 0) {
+      t.Post(1, 5, payload);
+      t.Recv(1, 6, got);
+    } else {
+      t.Post(0, 6, payload);
+      t.Recv(0, 5, got);
+    }
+    std::vector<std::byte> expect(big);
+    for (std::size_t i = 0; i < big; ++i) {
+      expect[i] = static_cast<std::byte>((i * 31 + (1 - opt.rank)) & 0xFF);
+    }
+    if (got != expect) throw TransportError("payload corrupted in flight");
+    t.Fence();
+  });
+  EXPECT_TRUE(result.AllZero()) << "exit codes: "
+                                << ::testing::PrintToString(result.exit_codes);
+}
+
+TEST(TcpTransport, RankDeathFailsFastInsteadOfHanging) {
+  SKIP_WITHOUT_SOCKETS();
+  // Rank 2 completes rendezvous then dies. The survivors must get a clean
+  // TransportError from Recv (peer closed / timeout), not a hang.
+  const auto result = ForkRanks(3, [](const TcpOptions& opt_in) {
+    TcpOptions opt = opt_in;
+    opt.recv_timeout_s = 5.0;
+    TcpTransport t(opt);
+    if (opt.rank == 2) return;  // dies without sending
+    std::vector<std::byte> buf;
+    try {
+      t.Recv(2, 9, buf);
+    } catch (const TransportError&) {
+      return;  // expected: fail-fast
+    }
+    throw TransportError("recv from dead rank did not fail");
+  });
+  EXPECT_TRUE(result.AllZero()) << "exit codes: "
+                                << ::testing::PrintToString(result.exit_codes);
+}
+
+TEST(TcpTransport, PortCollisionRetriesUpward) {
+  SKIP_WITHOUT_SOCKETS();
+  // Occupy an ephemeral port, then ask for exactly that port with a retry
+  // budget: the bind must land on a nearby higher port instead of failing.
+  std::uint16_t occupied = 0;
+  const int blocker = BindListener(occupied, 0);
+  ASSERT_GE(blocker, 0);
+  std::uint16_t requested = occupied;
+  const int fd = BindListener(requested, /*retries=*/8);
+  EXPECT_GE(fd, 0);
+  EXPECT_NE(requested, occupied);
+  EXPECT_GT(requested, occupied);
+  close(fd);
+  // With no retry budget the collision is a hard error.
+  std::uint16_t again = occupied;
+  EXPECT_THROW(BindListener(again, 0), TransportError);
+  close(blocker);
+}
+
+// --- RunOptions::transport ------------------------------------------------
+
+TEST(RunOptionsTransport, EnginesRejectNonSimTransport) {
+  // In-process engines are simulator-only; real-socket runs are one process
+  // per rank via tools/psra_launch. Anything but "sim" must be rejected up
+  // front instead of silently simulating.
+  data::SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.num_features = 40;
+  spec.num_train = 80;
+  spec.num_test = 20;
+  spec.mean_row_nnz = 6.0;
+  spec.seed = 7;
+  const auto problem = admm::BuildProblem(spec, 4);
+  admm::ClusterConfig cluster;
+  cluster.num_nodes = 4;
+  admm::RunOptions opt;
+  opt.max_iterations = 1;
+  EXPECT_EQ(opt.transport, "sim");
+  opt.transport = "tcp";
+  EXPECT_THROW(admm::RunAlgorithm("psra-hgadmm", cluster, problem, opt),
+               psra::InvalidArgument);
+  opt.transport = "sim";
+  EXPECT_NO_THROW(admm::RunAlgorithm("psra-hgadmm", cluster, problem, opt));
+}
+
+TEST(TcpTransport, FromEnvRoundTrip) {
+  setenv("PSRA_RANK", "2", 1);
+  setenv("PSRA_WORLD", "4", 1);
+  setenv("PSRA_PORT", "12345", 1);
+  unsetenv("PSRA_LISTEN_FD");
+  const TcpOptions o = TcpOptions::FromEnv();
+  EXPECT_EQ(o.rank, 2u);
+  EXPECT_EQ(o.world, 4u);
+  EXPECT_EQ(o.port, 12345);
+  EXPECT_EQ(o.listen_fd, -1);
+  unsetenv("PSRA_RANK");
+  unsetenv("PSRA_WORLD");
+  unsetenv("PSRA_PORT");
+}
+
+}  // namespace
+}  // namespace psra::transport

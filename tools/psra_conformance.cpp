@@ -1,0 +1,360 @@
+// psra_conformance: cross-backend conformance checker over real TCP
+// sockets, one OS process per rank. Every rank derives the same
+// deterministic inputs, runs the omniscient simulator locally as the
+// reference, then runs the wire collectives over the transport and dies
+// nonzero on any divergence: reduced values must match BITWISE, per-rank
+// rounds must equal the simulator's, and rank 0 aggregates every rank's
+// WireStats (shipped over the transport itself) to check the traffic
+// counters (elements/messages/bytes) exactly.
+//
+// Two modes:
+//   psra_conformance --ranks 8 [--dim 103]   self-forks via ForkRanks
+//   PSRA_RANK=... psra_conformance           env-mode worker, for use
+//                                            under tools/psra_launch:
+//   psra_launch --ranks 4 -- ./psra_conformance --dim 103
+//
+// Covers psr/ring/naive x dense/sparse (plus empty-contribution sparse
+// variants) and — when the world size is a multiple of 2 and >= 4 — the
+// hierarchical rack/root/redistribute decomposition.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/collective.hpp"
+#include "comm/hierarchical.hpp"
+#include "comm/transport.hpp"
+#include "comm/wire_allreduce.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "transport/launch.hpp"
+#include "transport/tcp.hpp"
+
+namespace {
+
+using psra::comm::AllreduceKind;
+using psra::comm::CommStats;
+using psra::comm::GroupComm;
+using psra::comm::Transport;
+using psra::comm::TransportError;
+using psra::comm::WireCollectives;
+using psra::comm::WireStats;
+using psra::linalg::DenseVector;
+using psra::linalg::SparseVector;
+using psra::simnet::Rank;
+using psra::simnet::VirtualTime;
+using psra::transport::TcpOptions;
+using psra::transport::TcpTransport;
+
+// Stats frames ride tags far above the wire collectives' epoch-derived
+// range but still below Transport::kMaxUserTag.
+constexpr Transport::Tag kStatsBase = 0xFFFE0000u;
+
+DenseVector MakeDense(std::uint32_t rank, std::uint64_t dim) {
+  psra::Rng rng(1234 + rank);
+  DenseVector v(dim);
+  for (auto& x : v) x = rng.NextDouble(-1.0, 1.0);
+  return v;
+}
+
+SparseVector MakeSparse(std::uint32_t rank, std::uint64_t dim,
+                        bool with_empty) {
+  if (with_empty && rank == 0) return SparseVector(dim, {}, {});
+  psra::Rng rng(99 + rank);
+  std::vector<SparseVector::Index> idx;
+  std::vector<double> val;
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    if (rng.NextDouble() < 0.34) {
+      idx.push_back(i);
+      val.push_back(rng.NextDouble(-2.0, 2.0));
+    }
+  }
+  return SparseVector(dim, std::move(idx), std::move(val));
+}
+
+bool BitwiseEqual(const DenseVector& a, const DenseVector& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool BitwiseEqual(const SparseVector& a, const SparseVector& b) {
+  return a.dim() == b.dim() && a.nnz() == b.nnz() &&
+         std::equal(a.indices().begin(), a.indices().end(),
+                    b.indices().begin()) &&
+         (a.nnz() == 0 ||
+          std::memcmp(a.values().data(), b.values().data(),
+                      a.nnz() * sizeof(double)) == 0);
+}
+
+struct SimSide {
+  explicit SimSide(std::uint32_t n, std::uint32_t racks = 1)
+      : topo(n, 1, racks), cost(psra::simnet::CostModelConfig{}),
+        group(MakeGroup(n)) {}
+
+  GroupComm MakeGroup(std::uint32_t n) {
+    std::vector<Rank> members(n);
+    for (std::uint32_t i = 0; i < n; ++i) members[i] = i;
+    return GroupComm(&topo, &cost, members);
+  }
+
+  psra::simnet::Topology topo;
+  psra::simnet::CostModel cost;
+  GroupComm group;
+};
+
+std::vector<Transport::Rank> AllRanks(std::uint32_t n) {
+  std::vector<Transport::Rank> m(n);
+  for (std::uint32_t i = 0; i < n; ++i) m[i] = i;
+  return m;
+}
+
+struct Case {
+  AllreduceKind kind;
+  bool sparse;
+  bool with_empty;
+  const char* name;
+};
+
+constexpr Case kFlatCases[] = {
+    {AllreduceKind::kPsr, false, false, "psr_dense"},
+    {AllreduceKind::kPsr, true, false, "psr_sparse"},
+    {AllreduceKind::kPsr, true, true, "psr_sparse_empty"},
+    {AllreduceKind::kRing, false, false, "ring_dense"},
+    {AllreduceKind::kRing, true, false, "ring_sparse"},
+    {AllreduceKind::kNaive, false, false, "naive_dense"},
+    {AllreduceKind::kNaive, true, false, "naive_sparse"},
+    {AllreduceKind::kNaive, true, true, "naive_sparse_empty"},
+};
+
+void Fail(const char* case_name, const char* what) {
+  throw TransportError(std::string("conformance [") + case_name + "]: " +
+                       what);
+}
+
+/// Ships {elements, messages, bytes} to rank 0 and checks the aggregate
+/// against the simulator's totals there.
+void CheckAggregateTraffic(Transport& t, std::uint32_t world,
+                           Transport::Tag tag, const WireStats& mine,
+                           const CommStats& sim_stats,
+                           const char* case_name) {
+  if (t.rank() == 0) {
+    std::size_t elems = mine.elements_sent, msgs = mine.messages_sent,
+                bytes = mine.bytes_sent;
+    std::vector<std::byte> buf;
+    for (std::uint32_t r = 1; r < world; ++r) {
+      t.Recv(r, tag, buf);
+      std::size_t triple[3];
+      std::memcpy(triple, buf.data(), sizeof(triple));
+      elems += triple[0];
+      msgs += triple[1];
+      bytes += triple[2];
+    }
+    if (elems != sim_stats.elements_sent) Fail(case_name, "aggregate elements");
+    if (msgs != sim_stats.messages_sent) Fail(case_name, "aggregate messages");
+    if (bytes != sim_stats.bytes_sent) Fail(case_name, "aggregate bytes");
+  } else {
+    const std::size_t triple[3] = {mine.elements_sent, mine.messages_sent,
+                                   mine.bytes_sent};
+    t.Post(0, tag, std::as_bytes(std::span<const std::size_t>(triple)));
+  }
+}
+
+void RunFlatCase(Transport& t, WireCollectives& wc, const Case& c,
+                 std::uint32_t world, std::uint64_t dim,
+                 Transport::Tag stats_tag) {
+  SimSide sim(world);
+  const std::vector<VirtualTime> starts(world, 0.0);
+  const auto alg = psra::comm::MakeAllreduce(c.kind);
+  const auto members = AllRanks(world);
+  psra::comm::AllreduceScratch scratch;
+  CommStats sim_stats;
+  WireStats st;
+
+  if (c.sparse) {
+    std::vector<SparseVector> inputs;
+    for (std::uint32_t r = 0; r < world; ++r) {
+      inputs.push_back(MakeSparse(r, dim, c.with_empty));
+    }
+    SparseVector expected;
+    alg->ReduceSparse(sim.group, inputs, starts, scratch, expected, sim_stats);
+    SparseVector out;
+    wc.AllreduceSparse(c.kind, members, inputs[t.rank()], out, st);
+    if (!BitwiseEqual(out, expected)) Fail(c.name, "sparse value mismatch");
+  } else {
+    std::vector<DenseVector> inputs;
+    for (std::uint32_t r = 0; r < world; ++r) {
+      inputs.push_back(MakeDense(r, dim));
+    }
+    DenseVector expected;
+    alg->ReduceDense(sim.group, inputs, starts, scratch, expected, sim_stats);
+    DenseVector out;
+    wc.AllreduceDense(c.kind, members, inputs[t.rank()], out, st);
+    if (!BitwiseEqual(out, expected)) Fail(c.name, "dense value mismatch");
+  }
+  if (st.rounds != sim_stats.rounds) Fail(c.name, "rounds mismatch");
+  CheckAggregateTraffic(t, world, stats_tag, st, sim_stats, c.name);
+}
+
+/// Hierarchical conformance: racks of 2 over the whole world, PSR at both
+/// levels (the paper's headline configuration), dense and sparse. Rank 0
+/// aggregates the full per-stage stats 7-tuple.
+void RunHierarchicalCase(Transport& t, WireCollectives& wc, bool sparse,
+                         std::uint32_t world, std::uint64_t dim,
+                         Transport::Tag stats_tag, const char* case_name) {
+  const std::uint32_t per_rack = 2, racks = world / per_rack;
+  SimSide sim(world, racks);
+  std::vector<Rank> members(world);
+  for (std::uint32_t i = 0; i < world; ++i) members[i] = i;
+  psra::comm::MultiLevelAllreduce ml(&sim.topo, &sim.cost, members);
+  const auto alg = psra::comm::MakeAllreduce(AllreduceKind::kPsr);
+  const std::vector<VirtualTime> starts(world, 0.0);
+  psra::comm::AllreduceScratch scratch;
+  CommStats sim_stats;
+  WireStats st;
+  const auto wire_members = AllRanks(world);
+
+  if (sparse) {
+    std::vector<SparseVector> inputs;
+    for (std::uint32_t r = 0; r < world; ++r) {
+      inputs.push_back(MakeSparse(r, dim, /*with_empty=*/true));
+    }
+    SparseVector expected;
+    ml.ReduceSparse(*alg, inputs, starts, scratch, expected, sim_stats);
+    SparseVector out;
+    wc.MultiLevelSparse(AllreduceKind::kPsr, wire_members, per_rack,
+                        inputs[t.rank()], out, st);
+    if (!BitwiseEqual(out, expected)) Fail(case_name, "value mismatch");
+  } else {
+    std::vector<DenseVector> inputs;
+    for (std::uint32_t r = 0; r < world; ++r) {
+      inputs.push_back(MakeDense(r, dim));
+    }
+    DenseVector expected;
+    ml.ReduceDense(*alg, inputs, starts, scratch, expected, sim_stats);
+    DenseVector out;
+    wc.MultiLevelDense(AllreduceKind::kPsr, wire_members, per_rack,
+                       inputs[t.rank()], out, st);
+    if (!BitwiseEqual(out, expected)) Fail(case_name, "value mismatch");
+  }
+
+  if (t.rank() == 0) {
+    // tuple = {elements, messages, bytes, rack_rounds, root_rounds,
+    //          redist_elements, redist_messages}
+    std::size_t elems = st.elements_sent, msgs = st.messages_sent,
+                bytes = st.bytes_sent, rounds = 0,
+                redist_e = st.redist_elements, redist_m = st.redist_messages;
+    rounds += st.rack_rounds + st.root_rounds;  // rank 0 is a rack leader
+    std::vector<std::byte> buf;
+    for (std::uint32_t r = 1; r < world; ++r) {
+      t.Recv(r, stats_tag, buf);
+      std::size_t tup[7];
+      std::memcpy(tup, buf.data(), sizeof(tup));
+      elems += tup[0];
+      msgs += tup[1];
+      bytes += tup[2];
+      if (r % per_rack == 0) rounds += tup[3];  // rack leaders only
+      redist_e += tup[5];
+      redist_m += tup[6];
+    }
+    if (elems != sim_stats.elements_sent) Fail(case_name, "aggregate elements");
+    if (msgs != sim_stats.messages_sent) Fail(case_name, "aggregate messages");
+    if (bytes != sim_stats.bytes_sent) Fail(case_name, "aggregate bytes");
+    if (rounds != sim_stats.rounds) Fail(case_name, "aggregate rounds");
+    if (redist_e != ml.redistribution_elements()) {
+      Fail(case_name, "redistribution elements");
+    }
+    if (redist_m != ml.redistribution_messages()) {
+      Fail(case_name, "redistribution messages");
+    }
+  } else {
+    const std::size_t tup[7] = {st.elements_sent,   st.messages_sent,
+                                st.bytes_sent,      st.rack_rounds,
+                                st.root_rounds,     st.redist_elements,
+                                st.redist_messages};
+    t.Post(0, stats_tag, std::as_bytes(std::span<const std::size_t>(tup)));
+  }
+}
+
+int RunWorker(const TcpOptions& opt, std::uint64_t dim) {
+  TcpTransport t(opt);
+  SimSide pricing_side(opt.world);
+  WireCollectives wc(t, pricing_side.group.pricing());
+  std::uint32_t cases = 0;
+  for (const Case& c : kFlatCases) {
+    RunFlatCase(t, wc, c, opt.world, dim, kStatsBase + cases);
+    if (opt.rank == 0) {
+      std::fprintf(stderr, "psra_conformance: %-18s ok\n", c.name);
+    }
+    ++cases;
+  }
+  if (opt.world >= 4 && opt.world % 2 == 0) {
+    RunHierarchicalCase(t, wc, /*sparse=*/false, opt.world, dim,
+                        kStatsBase + cases, "hier_psr_dense");
+    if (opt.rank == 0) {
+      std::fprintf(stderr, "psra_conformance: %-18s ok\n", "hier_psr_dense");
+    }
+    ++cases;
+    RunHierarchicalCase(t, wc, /*sparse=*/true, opt.world, dim,
+                        kStatsBase + cases, "hier_psr_sparse");
+    if (opt.rank == 0) {
+      std::fprintf(stderr, "psra_conformance: %-18s ok\n", "hier_psr_sparse");
+    }
+    ++cases;
+  }
+  t.Fence();
+  if (opt.rank == 0) {
+    std::printf("psra_conformance: OK (%u ranks, %u cases, dim %llu)\n",
+                opt.world, cases,
+                static_cast<unsigned long long>(dim));
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  psra::CliParser cli("psra_conformance",
+                      "Multi-process TCP conformance vs the simulator");
+  std::int64_t ranks = 4;
+  std::int64_t dim = 103;
+  cli.AddInt("ranks", &ranks, "world size when self-forking (ignored in "
+                              "env-worker mode)");
+  cli.AddInt("dim", &dim, "vector dimension for every collective");
+  if (!cli.Parse(argc, argv)) return 0;
+  if (dim < 1) {
+    std::fprintf(stderr, "psra_conformance: --dim must be >= 1\n");
+    return 2;
+  }
+
+  if (std::getenv("PSRA_RANK") != nullptr) {
+    // Worker under tools/psra_launch.
+    return RunWorker(TcpOptions::FromEnv(), static_cast<std::uint64_t>(dim));
+  }
+  if (ranks < 1 || ranks > 64) {
+    std::fprintf(stderr, "psra_conformance: --ranks must be in [1, 64]\n");
+    return 2;
+  }
+  const auto result = psra::transport::ForkRanks(
+      static_cast<std::uint32_t>(ranks), [&](const TcpOptions& opt) {
+        RunWorker(opt, static_cast<std::uint64_t>(dim));
+      });
+  if (!result.AllZero()) {
+    std::fprintf(stderr, "psra_conformance: FAILED exit codes:");
+    for (int c : result.exit_codes) std::fprintf(stderr, " %d", c);
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psra_conformance: %s\n", e.what());
+    return 1;
+  }
+}

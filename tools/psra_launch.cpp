@@ -1,0 +1,140 @@
+// psra_launch: run a worker binary as N ranks over the TCP transport.
+//
+//   psra_launch --ranks 4 [--timeout 120] -- ./worker --flag ...
+//
+// The launcher binds the rendezvous listener on an ephemeral port BEFORE
+// forking (no port race), then forks N children. Each child execs the
+// worker with the transport environment set:
+//
+//   PSRA_RANK       this rank (0 .. N-1)
+//   PSRA_WORLD      N
+//   PSRA_PORT       rank 0's rendezvous port
+//   PSRA_LISTEN_FD  (rank 0 only) the inherited pre-bound listener fd
+//
+// Workers construct their transport with TcpOptions::FromEnv(). The
+// launcher exits 0 iff every rank exited 0; stragglers past --timeout are
+// killed and reported.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "transport/tcp.hpp"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  // Split "launcher flags -- worker command".
+  int split = argc;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--") == 0) {
+      split = i;
+      break;
+    }
+  }
+  psra::CliParser cli("psra_launch",
+                      "Runs a worker binary as N ranks over TCP sockets");
+  std::int64_t ranks = 4;
+  double timeout_s = 120.0;
+  cli.AddInt("ranks", &ranks, "number of worker processes");
+  cli.AddDouble("timeout", &timeout_s, "seconds before stragglers are killed");
+  if (!cli.Parse(split, argv)) return 0;
+  if (split >= argc - 1) {
+    std::fprintf(stderr, "usage: psra_launch --ranks N -- <worker> [args]\n");
+    return 2;
+  }
+  if (ranks < 1 || ranks > 1024) {
+    std::fprintf(stderr, "psra_launch: --ranks must be in [1, 1024]\n");
+    return 2;
+  }
+  char** worker_argv = argv + split + 1;
+
+  std::uint16_t port = 0;
+  const int listener = psra::transport::BindListener(port, 0);
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(ranks), -1);
+  for (std::int64_t r = 0; r < ranks; ++r) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      for (pid_t p : pids) {
+        if (p > 0) kill(p, SIGKILL);
+      }
+      return 1;
+    }
+    if (pid == 0) {
+      setenv("PSRA_RANK", std::to_string(r).c_str(), 1);
+      setenv("PSRA_WORLD", std::to_string(ranks).c_str(), 1);
+      setenv("PSRA_PORT", std::to_string(port).c_str(), 1);
+      if (r == 0) {
+        setenv("PSRA_LISTEN_FD", std::to_string(listener).c_str(), 1);
+      } else {
+        unsetenv("PSRA_LISTEN_FD");
+        close(listener);
+      }
+      execvp(worker_argv[0], worker_argv);
+      std::perror(worker_argv[0]);
+      _exit(127);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+  close(listener);
+
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  std::vector<int> codes(static_cast<std::size_t>(ranks), -1);
+  std::size_t live = static_cast<std::size_t>(ranks);
+  bool killed = false;
+  while (live > 0) {
+    bool reaped = false;
+    for (std::size_t r = 0; r < pids.size(); ++r) {
+      if (codes[r] != -1) continue;
+      int status = 0;
+      if (waitpid(pids[r], &status, WNOHANG) == pids[r]) {
+        codes[r] = WIFEXITED(status)
+                       ? WEXITSTATUS(status)
+                       : WIFSIGNALED(status) ? 128 + WTERMSIG(status) : 254;
+        --live;
+        reaped = true;
+      }
+    }
+    if (live == 0) break;
+    if (!killed && Clock::now() >= deadline) {
+      std::fprintf(stderr, "psra_launch: timeout, killing stragglers\n");
+      for (std::size_t r = 0; r < pids.size(); ++r) {
+        if (codes[r] == -1) kill(pids[r], SIGKILL);
+      }
+      killed = true;
+    }
+    if (!reaped) usleep(5'000);
+  }
+
+  int rc = 0;
+  for (std::size_t r = 0; r < codes.size(); ++r) {
+    if (codes[r] != 0) {
+      std::fprintf(stderr, "psra_launch: rank %zu exited %d\n", r, codes[r]);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psra_launch: %s\n", e.what());
+    return 1;
+  }
+}
