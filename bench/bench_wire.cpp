@@ -29,7 +29,9 @@
 #include "comm/collective.hpp"
 #include "comm/transport.hpp"
 #include "comm/wire_allreduce.hpp"
+#include "comm/wire_obs.hpp"
 #include "obs/metrics.hpp"
+#include "obs/wire.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
@@ -51,7 +53,9 @@ using psra::simnet::VirtualTime;
 using psra::transport::TcpOptions;
 using psra::transport::TcpTransport;
 
-constexpr Transport::Tag kStatsBase = 0xFFFE0000u;
+// Below Transport::kMaxCollectiveTag: [kMaxCollectiveTag, kMaxUserTag) is
+// the obs collection plane's reserved range.
+constexpr Transport::Tag kStatsBase = 0xFFFC0000u;
 
 struct Case {
   AllreduceKind kind;
@@ -59,6 +63,30 @@ struct Case {
   const char* name;   // case label in CALIB_transport.json
   const char* metric; // comm.allreduce.<metric> key segment
 };
+
+/// Stage names the wire collectives record for this algorithm, in schedule
+/// order (wire.phase.<name>.wall_s histograms).
+std::span<const char* const> PhaseNames(AllreduceKind kind) {
+  static constexpr const char* kTwoStage[] = {"scatter_reduce", "allgather"};
+  static constexpr const char* kRooted[] = {"gather", "broadcast"};
+  return kind == AllreduceKind::kNaive ? std::span<const char* const>(kRooted)
+                                       : std::span<const char* const>(
+                                             kTwoStage);
+}
+
+/// (sum, count) snapshot of one histogram; subtraction isolates the timed
+/// window of a case from its warmup and from earlier cases.
+struct HistoSnap {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+HistoSnap Snap(const psra::obs::MetricsRegistry& reg,
+               const std::string& name) {
+  const auto it = reg.histograms().find(name);
+  if (it == reg.histograms().end()) return {};
+  return {it->second.sum, it->second.count};
+}
 
 constexpr Case kCases[] = {
     {AllreduceKind::kPsr, false, "psr_dense", "psr"},
@@ -89,12 +117,19 @@ SparseVector MakeSparse(std::uint32_t rank, std::uint64_t dim) {
   return SparseVector(dim, std::move(idx), std::move(val));
 }
 
+struct PhaseResult {
+  std::string name;
+  double modeled_s = 0.0;   // simulator stage completion delta
+  double measured_s = 0.0;  // mean wall seconds per timed collective
+};
+
 struct CaseResult {
   std::string name;
   double modeled_s = 0.0;
   double measured_s = 0.0;
   std::size_t invocations = 0;
   WireStats traffic;  // aggregated across all ranks, all invocations
+  std::vector<PhaseResult> phases;
 };
 
 double Seconds(std::chrono::steady_clock::duration d) {
@@ -113,7 +148,9 @@ void RunWorker(const TcpOptions& opt, std::uint64_t dim, std::uint32_t reps,
   std::vector<Rank> sim_members(n);
   for (std::uint32_t i = 0; i < n; ++i) sim_members[i] = i;
   GroupComm group(&topo, &cost, sim_members);
-  WireCollectives wc(t, group.pricing());
+  psra::obs::WireObs obs(opt.rank);
+  t.AttachObs(&obs);
+  WireCollectives wc(t, group.pricing(), &obs);
 
   std::vector<Transport::Rank> members(n);
   for (std::uint32_t i = 0; i < n; ++i) members[i] = i;
@@ -156,6 +193,13 @@ void RunWorker(const TcpOptions& opt, std::uint64_t dim, std::uint32_t reps,
     };
     for (std::uint32_t i = 0; i < kWarmup; ++i) once();
     t.Fence();
+    // Per-phase window: the wire.phase.* histograms accumulate across the
+    // whole run, so the timed reps are isolated by snapshot subtraction.
+    std::vector<HistoSnap> before;
+    for (const char* phase : PhaseNames(c.kind)) {
+      before.push_back(Snap(
+          obs.metrics(), std::string("wire.phase.") + phase + ".wall_s"));
+    }
     const auto start = std::chrono::steady_clock::now();
     for (std::uint32_t i = 0; i < reps; ++i) once();
     t.Fence();
@@ -168,6 +212,22 @@ void RunWorker(const TcpOptions& opt, std::uint64_t dim, std::uint32_t reps,
     res.measured_s = wall / reps;
     res.invocations = kWarmup + reps;
     res.traffic = st;
+    {
+      const auto names = PhaseNames(c.kind);
+      const double modeled_split[2] = {
+          sim_stats.scatter_reduce_done,
+          sim_stats.all_done - sim_stats.scatter_reduce_done};
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        const HistoSnap after = Snap(
+            obs.metrics(), std::string("wire.phase.") + names[i] + ".wall_s");
+        PhaseResult pr;
+        pr.name = names[i];
+        pr.modeled_s = modeled_split[i];
+        const std::uint64_t n = after.count - before[i].count;
+        pr.measured_s = n > 0 ? (after.sum - before[i].sum) / n : 0.0;
+        res.phases.push_back(std::move(pr));
+      }
+    }
     if (opt.rank == 0) {
       std::vector<std::byte> buf;
       for (std::uint32_t r = 1; r < n; ++r) {
@@ -186,9 +246,40 @@ void RunWorker(const TcpOptions& opt, std::uint64_t dim, std::uint32_t reps,
       t.Post(0, stats_tag, std::as_bytes(std::span<const std::size_t>(quad)));
     }
     ++stats_tag;
+
+    // Per-rank measured traffic; rank 0's MergeFrom during collection sums
+    // these back into the same aggregates the quad shipping computed.
+    {
+      auto& m = obs.metrics();
+      const std::string base = std::string("comm.allreduce.") + c.metric;
+      if (opt.rank == 0) m.Counter(base + ".invocations") += kWarmup + reps;
+      m.Counter(base + ".elements") += st.elements_sent;
+      m.Counter(base + ".messages") += st.messages_sent;
+      m.Counter(base + ".bytes") += st.bytes_sent;
+      m.Counter(base + ".rounds") += st.rounds;
+    }
   }
-  t.Fence();
-  if (opt.rank != 0) return;
+  if (opt.rank == 0) {
+    std::uint64_t total_invocations = 0;
+    double total_wall = 0.0;
+    for (const auto& r : results) {
+      total_invocations += r.invocations;
+      total_wall += r.measured_s * (r.invocations - kWarmup);
+    }
+    auto& m = obs.metrics();
+    m.Counter("engine.iterations") += total_invocations;
+    m.Gauge("run.makespan_s") = total_wall;
+    m.Gauge("run.cal_time_s") = 0.0;
+    m.Gauge("run.comm_time_s") = total_wall;
+    m.Gauge("run.iterations") = static_cast<double>(total_invocations);
+  }
+
+  // Collection plane: every rank's registry (and trace) lands on rank 0;
+  // the merged registry is what metrics_wire.json carries, transport.*
+  // counters now summed over the whole world.
+  psra::comm::WireObsBundle bundle;
+  const bool root = psra::comm::CollectWireObs(t, obs, &bundle);
+  if (!root) return;
 
   // ---- CALIB_transport.json ----
   {
@@ -208,38 +299,29 @@ void RunWorker(const TcpOptions& opt, std::uint64_t dim, std::uint32_t reps,
                     r.modeled_s > 0 ? r.measured_s / r.modeled_s : 0.0);
       os << ", \"measured_over_modeled\": " << num;
       os << ", \"bytes_per_collective\": "
-         << r.traffic.bytes_sent / r.invocations << "}"
-         << (i + 1 < results.size() ? "," : "") << "\n";
+         << r.traffic.bytes_sent / r.invocations;
+      os << ", \"phases\": [";
+      for (std::size_t j = 0; j < r.phases.size(); ++j) {
+        const auto& p = r.phases[j];
+        os << (j > 0 ? ", " : "") << "{\"name\": \"" << p.name << "\"";
+        std::snprintf(num, sizeof(num), "%.9g", p.modeled_s);
+        os << ", \"modeled_s\": " << num;
+        std::snprintf(num, sizeof(num), "%.9g", p.measured_s);
+        os << ", \"measured_s\": " << num;
+        std::snprintf(num, sizeof(num), "%.9g",
+                      p.modeled_s > 0 ? p.measured_s / p.modeled_s : 0.0);
+        os << ", \"measured_over_modeled\": " << num << "}";
+      }
+      os << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
   }
 
-  // ---- metrics_wire.json (schema-gated) ----
+  // ---- metrics_wire.json (schema-gated, merged across all ranks) ----
   {
-    psra::obs::MetricsRegistry reg;
-    std::uint64_t total_invocations = 0;
-    double total_wall = 0.0;
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      const std::string base =
-          std::string("comm.allreduce.") + kCases[i].metric;
-      reg.Counter(base + ".invocations") += r.invocations;
-      reg.Counter(base + ".elements") += r.traffic.elements_sent;
-      reg.Counter(base + ".messages") += r.traffic.messages_sent;
-      reg.Counter(base + ".bytes") += r.traffic.bytes_sent;
-      reg.Counter(base + ".rounds") += r.traffic.rounds;
-      total_invocations += r.invocations;
-      total_wall += r.measured_s * (r.invocations - kWarmup);
-    }
-    reg.Counter("engine.iterations") += total_invocations;
-    reg.Gauge("run.makespan_s") = total_wall;
-    reg.Gauge("run.cal_time_s") = 0.0;
-    reg.Gauge("run.comm_time_s") = total_wall;
-    reg.Gauge("run.iterations") = static_cast<double>(total_invocations);
-    t.PublishTo(reg);
     std::ofstream os(metrics_path);
     if (!os) throw psra::IoError("cannot write " + metrics_path);
-    reg.WriteJson(os);
+    bundle.metrics.WriteJson(os);
   }
 
   std::printf("bench_wire: %u ranks dim %llu reps %u\n", n,

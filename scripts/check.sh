@@ -163,6 +163,22 @@ if [[ -n "${PSRA_CHECK_TRANSPORT:-}" ]]; then
   (cd "$build" && ./tools/psra_launch --ranks 4 -- \
     ./tools/psra_conformance)
 
+  echo "== wire observability (traced 4-rank run + assert-wire) =="
+  # Same conformance run with the collection plane on: rank 0 merges every
+  # rank's trace + metrics into one artifact pair, which must pass the
+  # schema gate and the --assert-wire report gate (sim.* counters equal
+  # measured, PSR < Ring bytes/invocation, all send->recv edges matched).
+  mkdir -p "$build/obs"
+  (cd "$build" && ./tools/psra_launch --ranks 4 --trace-dir obs -- \
+    ./tools/psra_conformance \
+    --trace-out OBS_wire_trace.json --metrics-out OBS_wire_metrics.json)
+  "$build/tools/check_metrics_schema" "$repo/scripts/metrics_schema.txt" \
+    "$build/obs/OBS_wire_metrics.json"
+  "$build/tools/psra_report" --wire --assert-wire \
+    --trace "$build/obs/OBS_wire_trace.json" \
+    --metrics "$build/obs/OBS_wire_metrics.json" \
+    --out "$build/obs/OBS_wire_report.md"
+
   echo "== wire calibration (bench_wire) =="
   # Wall time per collective over loopback next to the simulator's modeled
   # time; the metrics artifact must satisfy the published schema (including

@@ -26,6 +26,7 @@
 
 namespace psra::obs {
 class MetricsRegistry;
+class WireObs;
 }
 
 namespace psra::comm {
@@ -60,6 +61,12 @@ class Transport {
   /// traffic (barriers); Post/Recv reject them.
   static constexpr Tag kMaxUserTag = 0xFFFF0000u;
 
+  /// Tags in [kMaxCollectiveTag, kMaxUserTag) are reserved for the obs
+  /// collection plane (see comm/wire_obs.hpp). WireCollectives derives its
+  /// per-epoch tags below this bound, and harness side channels (stats
+  /// shipping in psra_conformance / bench_wire) must stay below it too.
+  static constexpr Tag kMaxCollectiveTag = 0xFFFD0000u;
+
   virtual ~Transport() = default;
 
   virtual Rank rank() const = 0;
@@ -92,6 +99,20 @@ class Transport {
   ///   transport.fences
   void PublishTo(obs::MetricsRegistry& reg) const;
 
+  /// Attaches (nullptr detaches) a per-rank wire observability handle.
+  /// While attached, backends record wire_post/wire_recv/wire_fence spans
+  /// and wire.* metrics into it; detached costs one branch per call.
+  virtual void AttachObs(obs::WireObs* obs) { obs_ = obs; }
+  obs::WireObs* attached_obs() const { return obs_; }
+
+  /// Publishes backend-internal queue/pump statistics (per-peer sendq
+  /// high-water, poll-wait time, partial writes) into the attached handle's
+  /// registry. Counter-style stats flush incrementally (window added, then
+  /// reset) so repeated flushes never double-count; gauge-style stats carry
+  /// endpoint-lifetime values. No-op without an attached handle or for
+  /// backends without queues.
+  virtual void FlushWireMetrics() {}
+
  protected:
   void CountPost(std::size_t bytes) {
     stats_.bytes_posted += bytes;
@@ -112,6 +133,7 @@ class Transport {
 
  private:
   TransportStats stats_;
+  obs::WireObs* obs_ = nullptr;
 };
 
 }  // namespace psra::comm

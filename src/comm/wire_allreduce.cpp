@@ -1,7 +1,9 @@
 #include "comm/wire_allreduce.hpp"
 
 #include <cstring>
+#include <string>
 
+#include "obs/wire.hpp"
 #include "support/status.hpp"
 
 namespace psra::comm {
@@ -10,6 +12,40 @@ namespace {
 
 using Rank = Transport::Rank;
 using Tag = Transport::Tag;
+
+const char* AlgName(AllreduceKind kind) {
+  switch (kind) {
+    case AllreduceKind::kPsr: return "psr";
+    case AllreduceKind::kRing: return "ring";
+    case AllreduceKind::kNaive: return "naive";
+    default: return "other";
+  }
+}
+
+/// RAII per-stage instrumentation: one span named after the stage plus one
+/// observation in the wire.phase.<stage>.wall_s histogram. `name` must be a
+/// string literal (spans store the pointer). Null obs costs one branch.
+struct StageSpan {
+  obs::WireObs* obs;
+  const char* name;
+  double begin = 0.0;
+
+  StageSpan(obs::WireObs* o, const char* n) : obs(o), name(n) {
+    if (obs != nullptr) begin = obs->Now();
+  }
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+  ~StageSpan() {
+    if (obs == nullptr) return;
+    const double end = obs->Now();
+    obs->tracer().Add(obs->track(), name, begin, end, obs->iteration,
+                      end - begin);
+    obs->metrics()
+        .Histo(std::string("wire.phase.") + name + ".wall_s",
+               obs::WireLatencyBounds())
+        .Observe(end - begin);
+  }
+};
 
 /// Same ownership split as GroupComm::BlockRange.
 std::pair<std::uint64_t, std::uint64_t> BlockRange(std::uint64_t dim,
@@ -24,9 +60,11 @@ struct Wire {
   Transport& t;
   std::span<const Rank> members;
   GroupRank me = 0;
+  obs::WireObs* obs = nullptr;
 
-  Wire(Transport& transport, std::span<const Rank> m)
-      : t(transport), members(m) {
+  Wire(Transport& transport, std::span<const Rank> m,
+       obs::WireObs* o = nullptr)
+      : t(transport), members(m), obs(o) {
     PSRA_REQUIRE(!m.empty(), "wire collective needs at least one member");
     bool found = false;
     for (std::size_t i = 0; i < m.size(); ++i) {
@@ -120,49 +158,56 @@ void PsrDense(Wire& w, Tag base, ElemPricing pr,
     return;
   }
 
-  // Scatter-reduce: post my slice of every foreign block to its owner.
-  for (GroupRank j = 0; j < n; ++j) {
-    if (j == w.me) continue;
-    const auto [lo, hi] = BlockRange(dim, j, n);
-    w.PostDense(j, base, std::span<const double>(input).subspan(lo, hi - lo));
-    st.CountSend(static_cast<std::size_t>(hi - lo), eb);
-  }
-  ++st.rounds;
-
-  // Reduce my block in ascending contributor order into zeros.
   const auto [mlo, mhi] = BlockRange(dim, w.me, n);
   const std::size_t mlen = static_cast<std::size_t>(mhi - mlo);
   auto& acc = sc.dense_a;
-  acc.assign(mlen, 0.0);
-  for (GroupRank g = 0; g < n; ++g) {
-    if (g == w.me) {
-      linalg::Axpy(1.0, std::span<const double>(input).subspan(mlo, mlen),
-                   acc);
-    } else {
-      auto& recv = sc.dense_b;
-      recv.resize(mlen);
-      w.RecvDense(g, base, recv, sc.bytes);
-      linalg::Axpy(1.0, recv, acc);
+  {
+    StageSpan stage(w.obs, "scatter_reduce");
+    // Scatter-reduce: post my slice of every foreign block to its owner.
+    for (GroupRank j = 0; j < n; ++j) {
+      if (j == w.me) continue;
+      const auto [lo, hi] = BlockRange(dim, j, n);
+      w.PostDense(j, base,
+                  std::span<const double>(input).subspan(lo, hi - lo));
+      st.CountSend(static_cast<std::size_t>(hi - lo), eb);
+    }
+    ++st.rounds;
+
+    // Reduce my block in ascending contributor order into zeros.
+    acc.assign(mlen, 0.0);
+    for (GroupRank g = 0; g < n; ++g) {
+      if (g == w.me) {
+        linalg::Axpy(1.0, std::span<const double>(input).subspan(mlo, mlen),
+                     acc);
+      } else {
+        auto& recv = sc.dense_b;
+        recv.resize(mlen);
+        w.RecvDense(g, base, recv, sc.bytes);
+        linalg::Axpy(1.0, recv, acc);
+      }
     }
   }
 
-  // Allgather: broadcast my reduced block, collect the others.
-  for (GroupRank m = 0; m < n; ++m) {
-    if (m == w.me) continue;
-    w.PostDense(m, base + 1, acc);
-    st.CountSend(mlen, eb);
+  {
+    StageSpan stage(w.obs, "allgather");
+    // Allgather: broadcast my reduced block, collect the others.
+    for (GroupRank m = 0; m < n; ++m) {
+      if (m == w.me) continue;
+      w.PostDense(m, base + 1, acc);
+      st.CountSend(mlen, eb);
+    }
+    std::copy(acc.begin(), acc.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(mlo));
+    for (GroupRank b = 0; b < n; ++b) {
+      if (b == w.me) continue;
+      const auto [lo, hi] = BlockRange(dim, b, n);
+      w.RecvDense(b, base + 1,
+                  std::span<double>(out.data() + lo,
+                                    static_cast<std::size_t>(hi - lo)),
+                  sc.bytes);
+    }
+    ++st.rounds;
   }
-  std::copy(acc.begin(), acc.end(),
-            out.begin() + static_cast<std::ptrdiff_t>(mlo));
-  for (GroupRank b = 0; b < n; ++b) {
-    if (b == w.me) continue;
-    const auto [lo, hi] = BlockRange(dim, b, n);
-    w.RecvDense(b, base + 1,
-                std::span<double>(out.data() + lo,
-                                  static_cast<std::size_t>(hi - lo)),
-                sc.bytes);
-  }
-  ++st.rounds;
 }
 
 void PsrSparse(Wire& w, Tag base, ElemPricing pr,
@@ -176,50 +221,58 @@ void PsrSparse(Wire& w, Tag base, ElemPricing pr,
     return;
   }
 
-  // Scatter-reduce: ship my slice of every foreign block to its owner.
-  // Empty slices still travel (the owner expects one frame per contributor)
-  // but are NOT counted — exactly where the simulator skips them.
-  for (GroupRank j = 0; j < n; ++j) {
-    if (j == w.me) continue;
-    const auto [lo, hi] = BlockRange(dim, j, n);
-    input.SliceInto(lo, hi, sc.sp_a);
-    w.PostSparse(j, base, sc.sp_a, sc.bytes);
-    if (sc.sp_a.nnz() > 0) st.CountSend(sc.sp_a.nnz(), eb);
-  }
-  ++st.rounds;
-
-  // Reduce my block: start from rank 0's slice, SumInto ascending.
   const auto [mlo, mhi] = BlockRange(dim, w.me, n);
   auto& acc = sc.sp_b;
-  for (GroupRank g = 0; g < n; ++g) {
-    linalg::SparseVector* contrib = &sc.sp_a;
-    if (g == w.me) {
-      input.SliceInto(mlo, mhi, sc.sp_a);
-    } else {
-      w.RecvSparse(g, base, dim, sc.sp_a, sc.bytes, sc.idx, sc.val);
+  {
+    StageSpan stage(w.obs, "scatter_reduce");
+    // Scatter-reduce: ship my slice of every foreign block to its owner.
+    // Empty slices still travel (the owner expects one frame per
+    // contributor) but are NOT counted — exactly where the simulator skips
+    // them.
+    for (GroupRank j = 0; j < n; ++j) {
+      if (j == w.me) continue;
+      const auto [lo, hi] = BlockRange(dim, j, n);
+      input.SliceInto(lo, hi, sc.sp_a);
+      w.PostSparse(j, base, sc.sp_a, sc.bytes);
+      if (sc.sp_a.nnz() > 0) st.CountSend(sc.sp_a.nnz(), eb);
     }
-    if (g == 0) {
-      acc = *contrib;
-    } else {
-      linalg::SparseVector::SumInto(acc, *contrib, sc.sp_c);
-      std::swap(acc, sc.sp_c);
+    ++st.rounds;
+
+    // Reduce my block: start from rank 0's slice, SumInto ascending.
+    for (GroupRank g = 0; g < n; ++g) {
+      linalg::SparseVector* contrib = &sc.sp_a;
+      if (g == w.me) {
+        input.SliceInto(mlo, mhi, sc.sp_a);
+      } else {
+        w.RecvSparse(g, base, dim, sc.sp_a, sc.bytes, sc.idx, sc.val);
+      }
+      if (g == 0) {
+        acc = *contrib;
+      } else {
+        linalg::SparseVector::SumInto(acc, *contrib, sc.sp_c);
+        std::swap(acc, sc.sp_c);
+      }
     }
   }
 
-  // Allgather the reduced blocks; empty reduced blocks ship but don't count.
-  for (GroupRank m = 0; m < n; ++m) {
-    if (m == w.me) continue;
-    w.PostSparse(m, base + 1, acc, sc.bytes);
-    if (acc.nnz() > 0) st.CountSend(acc.nnz(), eb);
-  }
   auto& blocks = sc.sp_blocks;
-  blocks.resize(n);
-  blocks[w.me] = acc;
-  for (GroupRank b = 0; b < n; ++b) {
-    if (b == w.me) continue;
-    w.RecvSparse(b, base + 1, dim, blocks[b], sc.bytes, sc.idx, sc.val);
+  {
+    StageSpan stage(w.obs, "allgather");
+    // Allgather the reduced blocks; empty reduced blocks ship but don't
+    // count.
+    for (GroupRank m = 0; m < n; ++m) {
+      if (m == w.me) continue;
+      w.PostSparse(m, base + 1, acc, sc.bytes);
+      if (acc.nnz() > 0) st.CountSend(acc.nnz(), eb);
+    }
+    blocks.resize(n);
+    blocks[w.me] = acc;
+    for (GroupRank b = 0; b < n; ++b) {
+      if (b == w.me) continue;
+      w.RecvSparse(b, base + 1, dim, blocks[b], sc.bytes, sc.idx, sc.val);
+    }
+    ++st.rounds;
   }
-  ++st.rounds;
   linalg::SparseVector::ConcatDisjointInto(blocks, out);
 }
 
@@ -243,25 +296,32 @@ void RingSchedule(Wire& w, Tag base, ElemPricing pr, bool sparse,
   const std::size_t eb = pr.PerElement(sparse);
 
   Block incoming{};
-  // Scatter-reduce: after round r I own a deeper partial of block (me-r-1).
-  for (GroupRank r = 0; r + 1 < n; ++r) {
-    const GroupRank s = mod(me - r);
-    post(succ, base, blocks[s]);
-    st.CountSend(size(blocks[s]), eb);
-    ++st.rounds;
-    const GroupRank b = mod(static_cast<std::int64_t>(pred) - r);
-    recv(pred, base, incoming);
-    reduce(blocks[b], incoming);
+  {
+    StageSpan stage(w.obs, "scatter_reduce");
+    // Scatter-reduce: after round r I own a deeper partial of block
+    // (me-r-1).
+    for (GroupRank r = 0; r + 1 < n; ++r) {
+      const GroupRank s = mod(me - r);
+      post(succ, base, blocks[s]);
+      st.CountSend(size(blocks[s]), eb);
+      ++st.rounds;
+      const GroupRank b = mod(static_cast<std::int64_t>(pred) - r);
+      recv(pred, base, incoming);
+      reduce(blocks[b], incoming);
+    }
   }
-  // Allgather: circulate the completed blocks, replacing local copies.
-  for (GroupRank r = 0; r + 1 < n; ++r) {
-    const GroupRank s = mod(me + 1 - r);
-    post(succ, base + 1, blocks[s]);
-    st.CountSend(size(blocks[s]), eb);
-    ++st.rounds;
-    const GroupRank b = mod(static_cast<std::int64_t>(pred) + 1 - r);
-    recv(pred, base + 1, incoming);
-    blocks[b] = incoming;
+  {
+    StageSpan stage(w.obs, "allgather");
+    // Allgather: circulate the completed blocks, replacing local copies.
+    for (GroupRank r = 0; r + 1 < n; ++r) {
+      const GroupRank s = mod(me + 1 - r);
+      post(succ, base + 1, blocks[s]);
+      st.CountSend(size(blocks[s]), eb);
+      ++st.rounds;
+      const GroupRank b = mod(static_cast<std::int64_t>(pred) + 1 - r);
+      recv(pred, base + 1, incoming);
+      blocks[b] = incoming;
+    }
   }
 }
 
@@ -346,27 +406,35 @@ void NaiveDense(Wire& w, Tag base, ElemPricing pr,
     return;
   }
   if (w.me == 0) {
-    out.assign(dim, 0.0);
-    auto& recv = sc.dense_a;
-    recv.resize(dim);
-    for (GroupRank g = 0; g < n; ++g) {
-      if (g == 0) {
-        linalg::Axpy(1.0, input, out);
-      } else {
-        w.RecvDense(g, base, recv, sc.bytes);
-        linalg::Axpy(1.0, recv, out);
+    {
+      StageSpan stage(w.obs, "gather");
+      out.assign(dim, 0.0);
+      auto& recv = sc.dense_a;
+      recv.resize(dim);
+      for (GroupRank g = 0; g < n; ++g) {
+        if (g == 0) {
+          linalg::Axpy(1.0, input, out);
+        } else {
+          w.RecvDense(g, base, recv, sc.bytes);
+          linalg::Axpy(1.0, recv, out);
+        }
       }
+      ++st.rounds;  // gather phase
     }
-    ++st.rounds;  // gather phase
+    StageSpan stage(w.obs, "broadcast");
     for (GroupRank g = 1; g < n; ++g) {
       w.PostDense(g, base + 1, out);
       st.CountSend(dim, eb);
     }
     ++st.rounds;  // broadcast phase
   } else {
-    w.PostDense(0, base, input);
-    st.CountSend(dim, eb);
-    ++st.rounds;
+    {
+      StageSpan stage(w.obs, "gather");
+      w.PostDense(0, base, input);
+      st.CountSend(dim, eb);
+      ++st.rounds;
+    }
+    StageSpan stage(w.obs, "broadcast");
     out.resize(dim);
     w.RecvDense(0, base + 1, out, sc.bytes);
     ++st.rounds;
@@ -384,13 +452,17 @@ void NaiveSparse(Wire& w, Tag base, ElemPricing pr,
     return;
   }
   if (w.me == 0) {
-    out = input;  // inputs[0], then SumInto ascending
-    for (GroupRank g = 1; g < n; ++g) {
-      w.RecvSparse(g, base, dim, sc.sp_a, sc.bytes, sc.idx, sc.val);
-      linalg::SparseVector::SumInto(out, sc.sp_a, sc.sp_b);
-      std::swap(out, sc.sp_b);
+    {
+      StageSpan stage(w.obs, "gather");
+      out = input;  // inputs[0], then SumInto ascending
+      for (GroupRank g = 1; g < n; ++g) {
+        w.RecvSparse(g, base, dim, sc.sp_a, sc.bytes, sc.idx, sc.val);
+        linalg::SparseVector::SumInto(out, sc.sp_a, sc.sp_b);
+        std::swap(out, sc.sp_b);
+      }
+      ++st.rounds;
     }
-    ++st.rounds;
+    StageSpan stage(w.obs, "broadcast");
     // Broadcast: the simulator books every message, even a zero-nnz sum.
     for (GroupRank g = 1; g < n; ++g) {
       w.PostSparse(g, base + 1, out, sc.bytes);
@@ -398,10 +470,14 @@ void NaiveSparse(Wire& w, Tag base, ElemPricing pr,
     }
     ++st.rounds;
   } else {
-    // Empty contributions ship but don't count (simulator skips them).
-    w.PostSparse(0, base, input, sc.bytes);
-    if (input.nnz() > 0) st.CountSend(input.nnz(), eb);
-    ++st.rounds;
+    {
+      StageSpan stage(w.obs, "gather");
+      // Empty contributions ship but don't count (simulator skips them).
+      w.PostSparse(0, base, input, sc.bytes);
+      if (input.nnz() > 0) st.CountSend(input.nnz(), eb);
+      ++st.rounds;
+    }
+    StageSpan stage(w.obs, "broadcast");
     w.RecvSparse(0, base + 1, dim, out, sc.bytes, sc.idx, sc.val);
     ++st.rounds;
   }
@@ -445,11 +521,26 @@ void RunSparse(AllreduceKind kind, Wire& w, Tag base, ElemPricing pr,
 
 constexpr Tag kTagsPerEpoch = 4;
 
+/// Records the enclosing collective span + wire.collective.<alg>.wall_s
+/// observation and leaves the transport's iteration label. Call only with a
+/// non-null obs.
+void FinishCollective(obs::WireObs* obs, const char* span_name,
+                      const std::string& alg, double begin) {
+  const double end = obs->Now();
+  obs->tracer().Add(obs->track(), span_name, begin, end, obs->iteration,
+                    end - begin);
+  obs->metrics()
+      .Histo(std::string("wire.collective.") + alg + ".wall_s",
+             obs::WireLatencyBounds())
+      .Observe(end - begin);
+  obs->iteration = 0;
+}
+
 }  // namespace
 
 Transport::Tag WireCollectives::NextBaseTag() {
   const Tag base = epoch_ * kTagsPerEpoch;
-  PSRA_CHECK(base + kTagsPerEpoch <= Transport::kMaxUserTag,
+  PSRA_CHECK(base + kTagsPerEpoch <= Transport::kMaxCollectiveTag,
              "wire collective tag space exhausted");
   ++epoch_;
   return base;
@@ -460,9 +551,17 @@ void WireCollectives::AllreduceDense(AllreduceKind kind,
                                      const linalg::DenseVector& input,
                                      linalg::DenseVector& out, WireStats& st) {
   st.Reset();
-  Wire w(transport_, members);
+  Wire w(transport_, members, obs_);
   Scratch sc;
-  RunDense(kind, w, NextBaseTag(), pricing_, input, out, sc, st);
+  const Tag base = NextBaseTag();
+  if (obs_ == nullptr) {
+    RunDense(kind, w, base, pricing_, input, out, sc, st);
+    return;
+  }
+  obs_->iteration = epoch_;  // 1-based collective epoch, lockstep everywhere
+  const double begin = obs_->Now();
+  RunDense(kind, w, base, pricing_, input, out, sc, st);
+  FinishCollective(obs_, "wire_allreduce", AlgName(kind), begin);
 }
 
 void WireCollectives::AllreduceSparse(AllreduceKind kind,
@@ -471,9 +570,17 @@ void WireCollectives::AllreduceSparse(AllreduceKind kind,
                                       linalg::SparseVector& out,
                                       WireStats& st) {
   st.Reset();
-  Wire w(transport_, members);
+  Wire w(transport_, members, obs_);
   Scratch sc;
-  RunSparse(kind, w, NextBaseTag(), pricing_, input, out, sc, st);
+  const Tag base = NextBaseTag();
+  if (obs_ == nullptr) {
+    RunSparse(kind, w, base, pricing_, input, out, sc, st);
+    return;
+  }
+  obs_->iteration = epoch_;
+  const double begin = obs_->Now();
+  RunSparse(kind, w, base, pricing_, input, out, sc, st);
+  FinishCollective(obs_, "wire_allreduce", AlgName(kind), begin);
 }
 
 namespace {
@@ -530,12 +637,14 @@ void WireCollectives::MultiLevelDense(AllreduceKind kind,
   const Tag rack_tag = NextBaseTag();
   const Tag root_tag = NextBaseTag();
   const Tag redist_tag = NextBaseTag();
+  const double obs_begin = obs_ != nullptr ? obs_->Now() : 0.0;
+  if (obs_ != nullptr) obs_->iteration = epoch_;
 
   Scratch sc;
   WireStats stage;
   linalg::DenseVector rack_sum;
   {
-    Wire w(transport_, h.rack);
+    Wire w(transport_, h.rack, obs_);
     RunDense(kind, w, rack_tag, pricing_, input, rack_sum, sc, stage);
   }
   FoldStageTraffic(st, stage);
@@ -543,12 +652,13 @@ void WireCollectives::MultiLevelDense(AllreduceKind kind,
 
   if (h.is_leader) {
     stage.Reset();
-    Wire w(transport_, h.leaders);
+    Wire w(transport_, h.leaders, obs_);
     RunDense(kind, w, root_tag, pricing_, rack_sum, out, sc, stage);
     FoldStageTraffic(st, stage);
     st.root_rounds = stage.rounds;
     // Redistribute: serialize the global sum to my rack peers (ascending),
     // accounted separately like the simulator's stage 3.
+    StageSpan redist(obs_, "redistribute");
     for (std::size_t m = 1; m < h.rack.size(); ++m) {
       transport_.Post(h.rack[m], redist_tag,
                       std::as_bytes(std::span<const double>(out)));
@@ -556,12 +666,17 @@ void WireCollectives::MultiLevelDense(AllreduceKind kind,
       ++st.redist_messages;
     }
   } else {
+    StageSpan redist(obs_, "redistribute");
     std::vector<std::byte> buf;
     transport_.Recv(h.my_leader, redist_tag, buf);
     out.resize(buf.size() / sizeof(double));
     std::memcpy(out.data(), buf.data(), buf.size());
   }
   st.rounds = st.rack_rounds + st.root_rounds;
+  if (obs_ != nullptr) {
+    FinishCollective(obs_, "wire_multilevel",
+                     std::string(AlgName(kind)) + "_ml", obs_begin);
+  }
 }
 
 void WireCollectives::MultiLevelSparse(
@@ -573,12 +688,14 @@ void WireCollectives::MultiLevelSparse(
   const Tag rack_tag = NextBaseTag();
   const Tag root_tag = NextBaseTag();
   const Tag redist_tag = NextBaseTag();
+  const double obs_begin = obs_ != nullptr ? obs_->Now() : 0.0;
+  if (obs_ != nullptr) obs_->iteration = epoch_;
 
   Scratch sc;
   WireStats stage;
   linalg::SparseVector rack_sum;
   {
-    Wire w(transport_, h.rack);
+    Wire w(transport_, h.rack, obs_);
     RunSparse(kind, w, rack_tag, pricing_, input, rack_sum, sc, stage);
   }
   FoldStageTraffic(st, stage);
@@ -586,10 +703,11 @@ void WireCollectives::MultiLevelSparse(
 
   if (h.is_leader) {
     stage.Reset();
-    Wire w(transport_, h.leaders);
+    Wire w(transport_, h.leaders, obs_);
     RunSparse(kind, w, root_tag, pricing_, rack_sum, out, sc, stage);
     FoldStageTraffic(st, stage);
     st.root_rounds = stage.rounds;
+    StageSpan redist(obs_, "redistribute");
     Wire rack_wire(transport_, h.rack);
     for (std::size_t m = 1; m < h.rack.size(); ++m) {
       rack_wire.PostSparse(static_cast<GroupRank>(m), redist_tag, out,
@@ -598,11 +716,16 @@ void WireCollectives::MultiLevelSparse(
       ++st.redist_messages;
     }
   } else {
+    StageSpan redist(obs_, "redistribute");
     Wire rack_wire(transport_, h.rack);
     rack_wire.RecvSparse(0, redist_tag, input.dim(), out, sc.bytes, sc.idx,
                          sc.val);
   }
   st.rounds = st.rack_rounds + st.root_rounds;
+  if (obs_ != nullptr) {
+    FinishCollective(obs_, "wire_multilevel",
+                     std::string(AlgName(kind)) + "_ml", obs_begin);
+  }
 }
 
 }  // namespace psra::comm

@@ -78,8 +78,13 @@ class WireCollectives {
  public:
   /// `pricing` must equal the simulator cost model's widths (see
   /// GroupComm::pricing()) for byte counters to be comparable.
-  WireCollectives(Transport& transport, ElemPricing pricing)
-      : transport_(transport), pricing_(pricing) {}
+  /// When `obs` is non-null every collective records a wall-clock span
+  /// (wire_allreduce / wire_multilevel with nested per-stage spans) and
+  /// wire.collective.* / wire.phase.* wall histograms into it; null costs
+  /// one branch per collective.
+  WireCollectives(Transport& transport, ElemPricing pricing,
+                  obs::WireObs* obs = nullptr)
+      : transport_(transport), pricing_(pricing), obs_(obs) {}
 
   Transport& transport() { return transport_; }
 
@@ -118,6 +123,7 @@ class WireCollectives {
 
   Transport& transport_;
   ElemPricing pricing_;
+  obs::WireObs* obs_ = nullptr;
   std::uint32_t epoch_ = 0;
 };
 

@@ -1,0 +1,92 @@
+#include "comm/wire_obs.hpp"
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "support/status.hpp"
+
+namespace psra::comm {
+
+namespace {
+
+using Rank = Transport::Rank;
+
+template <typename T>
+std::span<const std::byte> AsBytes(const T& v) {
+  return std::as_bytes(std::span<const T>(&v, 1));
+}
+
+template <typename T>
+T FromBytes(const std::vector<std::byte>& buf) {
+  PSRA_REQUIRE(buf.size() == sizeof(T), "clock-sync payload size mismatch");
+  T v;
+  std::memcpy(&v, buf.data(), sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+bool CollectWireObs(Transport& t, obs::WireObs& obs, WireObsBundle* out) {
+  // Quiesce the run: every collective completed everywhere before the plane
+  // reuses the wire, and the backend's queue stats land in the registry.
+  t.Fence();
+  t.FlushWireMetrics();
+  // The plane's own frames must not record spans into the state being
+  // shipped (the trace would grow while serializing it).
+  t.AttachObs(nullptr);
+  t.PublishTo(obs.metrics());
+
+  const Rank world = t.world_size();
+  std::vector<std::byte> buf;
+  if (t.rank() == 0) {
+    obs.clock_offset_s = 0.0;
+    obs.metrics().Gauge(obs.RankKey("clock_offset_s")) = 0.0;
+    for (Rank r = 1; r < world; ++r) {
+      const double t0 = obs.Now();
+      t.Post(r, kObsClockTag, AsBytes(t0));
+      t.Recv(r, kObsClockTag, buf);
+      const double t3 = obs.Now();
+      const auto stamps = FromBytes<std::array<double, 2>>(buf);
+      const double offset = ((stamps[0] - t0) + (stamps[1] - t3)) * 0.5;
+      t.Post(r, kObsOffsetTag, AsBytes(offset));
+    }
+    PSRA_REQUIRE(out != nullptr, "rank 0 needs a bundle to collect into");
+    out->ranks.clear();
+    out->ranks.resize(world);
+    // Rank 0's own state goes through the same serialize/parse path as every
+    // peer's, so the merged artifact is uniform by construction.
+    out->ranks[0] = obs::ParseWireObsPayload(obs::SerializeWireObs(obs));
+    out->metrics = out->ranks[0].metrics;
+    for (Rank r = 1; r < world; ++r) {
+      t.Recv(r, kObsPayloadTag, buf);
+      const std::string_view text(reinterpret_cast<const char*>(buf.data()),
+                                  buf.size());
+      obs::RankObsPayload payload = obs::ParseWireObsPayload(text);
+      PSRA_REQUIRE(payload.rank == r,
+                   "wire obs payload carries the wrong rank");
+      out->metrics.MergeFrom(payload.metrics);
+      out->ranks[r] = std::move(payload);
+    }
+    t.Fence();
+    return true;
+  }
+
+  t.Recv(0, kObsClockTag, buf);
+  const double t1 = obs.Now();
+  (void)FromBytes<double>(buf);  // t0 stays on rank 0; validate the frame
+  const std::array<double, 2> stamps = {t1, obs.Now()};
+  t.Post(0, kObsClockTag, AsBytes(stamps));
+  t.Recv(0, kObsOffsetTag, buf);
+  obs.clock_offset_s = FromBytes<double>(buf);
+  obs.metrics().Gauge(obs.RankKey("clock_offset_s")) = obs.clock_offset_s;
+
+  const std::string text = obs::SerializeWireObs(obs);
+  t.Post(0, kObsPayloadTag,
+         std::as_bytes(std::span<const char>(text.data(), text.size())));
+  t.Fence();
+  return false;
+}
+
+}  // namespace psra::comm

@@ -1,0 +1,56 @@
+// Observability collection plane: rides the transport itself.
+//
+// At the end of a wire run every rank calls CollectWireObs with its WireObs
+// handle. The plane fences, flushes backend queue metrics, detaches the
+// handle (its own traffic must not self-instrument), then:
+//
+//   1. Clock sync: rank 0 runs one NTP-style exchange with each peer r —
+//      rank 0 stamps t0 and posts a ping; r stamps t1 on receipt and t2 on
+//      reply; rank 0 stamps t3 on receipt and estimates r's clock offset
+//      offset_r = ((t1 - t0) + (t2 - t3)) / 2, then posts it back so r can
+//      record it. WireObs clocks are per-process steady-clock epochs, so the
+//      offset is dominated by process start skew; half the round-trip time
+//      bounds the estimate's error.
+//   2. Payload shipping: every rank r > 0 serializes its handle
+//      (SerializeWireObs) and posts it to rank 0; rank 0 parses each payload
+//      — rejecting malformed or truncated ones with InvalidArgument — and
+//      aggregates all registries via MetricsRegistry::MergeFrom.
+//
+// Tags live in [Transport::kMaxCollectiveTag, Transport::kMaxUserTag), a
+// range reserved for this plane: collectives derive their tags below it and
+// harness side channels must stay below it too.
+#pragma once
+
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "obs/wire.hpp"
+
+namespace psra::comm {
+
+/// Collection-plane tags (reserved range; see header comment).
+inline constexpr Transport::Tag kObsClockTag = Transport::kMaxCollectiveTag;
+inline constexpr Transport::Tag kObsOffsetTag =
+    Transport::kMaxCollectiveTag + 1;
+inline constexpr Transport::Tag kObsPayloadTag =
+    Transport::kMaxCollectiveTag + 2;
+
+/// Rank 0's merged view of one wire run.
+struct WireObsBundle {
+  /// Every rank's registry folded together: counters sum, histograms merge,
+  /// per-rank gauges coexist via their rank-qualified keys.
+  obs::MetricsRegistry metrics;
+  /// Per-rank payloads in rank order (rank 0's own state included), ready
+  /// for obs::WriteMergedWireTrace.
+  std::vector<obs::RankObsPayload> ranks;
+};
+
+/// Collective: every rank of `t` must call with its own handle. Publishes
+/// the endpoint's transport.* counters into `obs` on every rank, estimates
+/// and records clock offsets (obs.clock_offset_s + the
+/// wire.rank<r>.clock_offset_s gauge), and ships all state to rank 0.
+/// Detaches `obs` from the transport as a side effect. Returns true on rank
+/// 0 with `out` filled (out may be null elsewhere); false on other ranks.
+bool CollectWireObs(Transport& t, obs::WireObs& obs, WireObsBundle* out);
+
+}  // namespace psra::comm

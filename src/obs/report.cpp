@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <map>
+#include <optional>
 #include <ostream>
+#include <set>
+#include <tuple>
 
 #include "obs/json.hpp"
 #include "support/status.hpp"
@@ -34,10 +38,15 @@ PhaseClass ClassifyPhase(std::string_view name) {
       name == "w_broadcast" || name == "push_model" ||
       name == "report_send" || name == "reply_send" ||
       name == "recv_report" || name == "gg_report" ||
-      name == "group_form" || name == "fault_retry") {
+      name == "group_form" || name == "fault_retry" ||
+      // wire-side (real transport) span names
+      name == "wire_allreduce" || name == "wire_multilevel" ||
+      name == "wire_post" || name == "gather" || name == "broadcast" ||
+      name == "redistribute") {
     return PhaseClass::kCommunicate;
   }
-  if (name == "gg_wait" || name == "ssp_wait" || name == "z_wait") {
+  if (name == "gg_wait" || name == "ssp_wait" || name == "z_wait" ||
+      name == "wire_recv" || name == "wire_fence") {
     return PhaseClass::kWait;
   }
   return PhaseClass::kOther;
@@ -59,6 +68,33 @@ double NumberOr(const json::Value* v, double fallback) {
 /// virtual nanosecond of tolerance.
 constexpr double kNestEps = 1e-9;
 
+/// Location of a span inside a TraceData.
+struct SpanRef {
+  std::size_t track = 0;
+  std::size_t span = 0;
+  bool operator==(const SpanRef& o) const {
+    return track == o.track && span == o.span;
+  }
+  bool operator<(const SpanRef& o) const {
+    return track != o.track ? track < o.track : span < o.span;
+  }
+};
+
+/// Parses the rank out of a wire lane name ("rank 3"); -1 when the track is
+/// not a rank lane. Edge matching needs the lane -> transport-rank mapping.
+std::int64_t TrackRank(std::string_view name) {
+  if (!StartsWith(name, "rank")) return -1;
+  std::string_view rest = name.substr(4);
+  if (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (rest.empty()) return -1;
+  std::int64_t rank = 0;
+  for (const char c : rest) {
+    if (c < '0' || c > '9') return -1;
+    rank = rank * 10 + (c - '0');
+  }
+  return rank;
+}
+
 void FlagNested(ReportTrack& track) {
   std::sort(track.spans.begin(), track.spans.end(),
             [](const ReportSpan& a, const ReportSpan& b) {
@@ -79,7 +115,10 @@ void FlagNested(ReportTrack& track) {
 }  // namespace
 
 TraceData LoadChromeTrace(std::string_view text) {
-  const json::Value root = json::Parse(text);
+  return LoadChromeTrace(json::Parse(text));
+}
+
+TraceData LoadChromeTrace(const json::Value& root) {
   const json::Value* events = root.Find("traceEvents");
   PSRA_REQUIRE(events != nullptr && events->is_array(),
                "trace JSON has no traceEvents array");
@@ -122,6 +161,8 @@ TraceData LoadChromeTrace(std::string_view text) {
       span.iteration =
           static_cast<std::uint64_t>(NumberOr(args->Find("iter"), 0.0));
       span.wall_s = NumberOr(args->Find("wall_us"), 0.0) / 1e6;
+      span.peer = static_cast<std::int64_t>(NumberOr(args->Find("peer"), -1.0));
+      span.tag = static_cast<std::uint64_t>(NumberOr(args->Find("tag"), 0.0));
     }
     track_at(tid).spans.push_back(std::move(span));
   }
@@ -130,7 +171,10 @@ TraceData LoadChromeTrace(std::string_view text) {
 }
 
 MetricsRegistry MetricsFromJson(std::string_view text) {
-  const json::Value root = json::Parse(text);
+  return MetricsFromJson(json::Parse(text));
+}
+
+MetricsRegistry MetricsFromJson(const json::Value& root) {
   PSRA_REQUIRE(root.is_object(), "metrics JSON is not an object");
   MetricsRegistry reg;
   if (const json::Value* counters = root.Find("counters")) {
@@ -208,33 +252,169 @@ TraceReport AnalyzeTrace(const TraceData& trace) {
     r.tracks.push_back(std::move(ts));
   }
 
-  // Per-iteration critical path: the track whose spans for iteration k end
-  // last (ties go to the lower track index) is that iteration's critical
-  // worker; its top-level spans for k form the critical-path breakdown.
-  std::map<std::uint64_t, std::pair<double, std::size_t>> critical;
-  for (std::size_t t = 0; t < trace.tracks.size(); ++t) {
-    for (const auto& s : trace.tracks[t].spans) {
-      if (s.iteration == 0) continue;
-      auto [it, inserted] =
-          critical.try_emplace(s.iteration, s.end, t);
-      if (!inserted && s.end > it->second.first) it->second = {s.end, t};
+  // ---- longest blocking chain (critical path) ---------------------------
+  // Nodes are top-level spans. Walk backwards from the span that ends the
+  // run; at each step jump to whatever the current span plausibly waited on:
+  //   - the preceding top-level span on the same track (program order);
+  //   - the posting span of any message this span (or a span nested inside
+  //     it) received, matched k-th-post-to-k-th-recv per (src, dst, tag)
+  //     from the wire_post/wire_recv peer annotations (frame order is FIFO
+  //     per peer on every backend);
+  //   - for barrier-style collectives — a communicate-class (name, iter)
+  //     present on >= 2 tracks — the last participant to arrive: the chain
+  //     continues from that track's preceding span.
+  // Among the candidates the latest-ending unvisited one wins (message
+  // exchanges are bidirectional inside an allreduce, so a visited set
+  // guards cycles). Sim traces carry no peer annotations; there the chain
+  // degenerates to program order plus barrier jumps.
+  const std::size_t num_tracks = trace.tracks.size();
+  std::vector<std::vector<std::size_t>> top(num_tracks);
+  std::vector<std::vector<SpanRef>> encl(num_tracks);
+  for (std::size_t t = 0; t < num_tracks; ++t) {
+    const auto& spans = trace.tracks[t].spans;
+    encl[t].resize(spans.size());
+    SpanRef cur{t, 0};
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      if (spans[i].top_level) {
+        cur = SpanRef{t, i};
+        top[t].push_back(i);
+      }
+      encl[t][i] = cur;  // spans are (begin, -end)-sorted, so the last
+                         // top-level span seen encloses what follows
     }
   }
-  std::map<std::string, PhaseStat> crit_phases;
-  for (const auto& [iter, best] : critical) {
-    const std::size_t t = best.second;
-    ++r.tracks[t].critical_iterations;
-    for (const auto& s : trace.tracks[t].spans) {
-      if (s.iteration != iter || !s.top_level) continue;
-      PhaseStat& p = crit_phases[s.name];
-      if (p.count == 0) {
-        p.name = s.name;
-        p.cls = ClassifyPhase(s.name);
+  auto span_at = [&trace](SpanRef ref) -> const ReportSpan& {
+    return trace.tracks[ref.track].spans[ref.span];
+  };
+
+  // Send->recv edge matching across rank lanes.
+  std::map<std::int64_t, std::size_t> rank_track;
+  for (std::size_t t = 0; t < num_tracks; ++t) {
+    const std::int64_t rank = TrackRank(trace.tracks[t].name);
+    if (rank >= 0) rank_track.emplace(rank, t);
+  }
+  std::map<std::tuple<std::int64_t, std::int64_t, std::uint64_t>,
+           std::deque<SpanRef>>
+      posts;
+  for (const auto& [rank, t] : rank_track) {
+    const auto& spans = trace.tracks[t].spans;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const auto& s = spans[i];
+      if (s.peer >= 0 && s.name == "wire_post") {
+        posts[{rank, s.peer, s.tag}].push_back(SpanRef{t, i});
       }
-      ++p.count;
-      p.virtual_s += s.end - s.begin;
-      p.wall_s += s.wall_s;
     }
+  }
+  std::map<SpanRef, SpanRef> msg_pred;  // dst top-level -> latest src top-level
+  for (const auto& [rank, t] : rank_track) {
+    const auto& spans = trace.tracks[t].spans;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const auto& s = spans[i];
+      if (s.peer < 0 || s.name != "wire_recv") continue;
+      const auto it = posts.find({s.peer, rank, s.tag});
+      if (it == posts.end() || it->second.empty()) {
+        ++r.edges.unmatched_recvs;
+        continue;
+      }
+      const SpanRef post = it->second.front();
+      it->second.pop_front();
+      ++r.edges.matched;
+      const double latency = std::max(0.0, s.end - span_at(post).begin);
+      r.edges.total_latency_s += latency;
+      r.edges.max_latency_s = std::max(r.edges.max_latency_s, latency);
+      const SpanRef dst_top = encl[t][i];
+      const SpanRef src_top = encl[post.track][post.span];
+      if (src_top == dst_top) continue;
+      auto [mit, inserted] = msg_pred.try_emplace(dst_top, src_top);
+      if (!inserted && span_at(src_top).end > span_at(mit->second).end) {
+        mit->second = src_top;
+      }
+    }
+  }
+  for (const auto& [key, queue] : posts) {
+    r.edges.unmatched_posts += queue.size();
+  }
+
+  // Barrier groups: member -> last arrival (max begin, ties lower track).
+  std::map<std::pair<std::string, std::uint64_t>, std::vector<SpanRef>> groups;
+  for (std::size_t t = 0; t < num_tracks; ++t) {
+    for (const std::size_t i : top[t]) {
+      const auto& s = trace.tracks[t].spans[i];
+      if (s.iteration > 0 && ClassifyPhase(s.name) == PhaseClass::kCommunicate)
+        groups[{s.name, s.iteration}].push_back(SpanRef{t, i});
+    }
+  }
+  std::map<SpanRef, SpanRef> barrier_last;
+  for (const auto& [key, members] : groups) {
+    bool multi_track = false;
+    SpanRef last = members.front();
+    for (const SpanRef m : members) {
+      if (m.track != members.front().track) multi_track = true;
+      if (span_at(m).begin > span_at(last).begin) last = m;
+    }
+    if (!multi_track) continue;
+    for (const SpanRef m : members) barrier_last.emplace(m, last);
+  }
+
+  auto prev_top = [&top](SpanRef ref) -> std::optional<SpanRef> {
+    const auto& v = top[ref.track];
+    const auto it = std::lower_bound(v.begin(), v.end(), ref.span);
+    if (it == v.end() || *it != ref.span || it == v.begin()) return {};
+    return SpanRef{ref.track, *(it - 1)};
+  };
+  std::optional<SpanRef> cur;
+  for (std::size_t t = 0; t < num_tracks; ++t) {
+    for (const std::size_t i : top[t]) {
+      if (!cur || trace.tracks[t].spans[i].end > span_at(*cur).end) {
+        cur = SpanRef{t, i};
+      }
+    }
+  }
+  std::set<SpanRef> visited;
+  std::map<std::string, PhaseStat> crit_phases;
+  while (cur) {
+    visited.insert(*cur);
+    const ReportSpan& s = span_at(*cur);
+    ++r.tracks[cur->track].critical_spans;
+    PhaseStat& p = crit_phases[s.name];
+    if (p.count == 0) {
+      p.name = s.name;
+      p.cls = ClassifyPhase(s.name);
+    }
+    ++p.count;
+    p.virtual_s += s.end - s.begin;
+    p.wall_s += s.wall_s;
+
+    std::optional<SpanRef> best;
+    auto consider = [&](std::optional<SpanRef> c) {
+      if (!c || visited.contains(*c)) return;
+      if (!best) {
+        best = c;
+        return;
+      }
+      const ReportSpan& cs = span_at(*c);
+      const ReportSpan& bs = span_at(*best);
+      if (cs.end > bs.end || (cs.end == bs.end && *c < *best)) best = c;
+    };
+    consider(prev_top(*cur));
+    if (const auto mp = msg_pred.find(*cur); mp != msg_pred.end()) {
+      const SpanRef cand = mp->second;
+      const ReportSpan& cand_s = span_at(cand);
+      if (cand.track != cur->track && cand_s.name == s.name &&
+          cand_s.iteration == s.iteration) {
+        // The sender is inside the same collective on a peer lane; continue
+        // from what that lane was doing before (counting the collective once
+        // is enough).
+        consider(prev_top(cand));
+      } else {
+        consider(cand);
+      }
+    }
+    if (const auto bl = barrier_last.find(*cur);
+        bl != barrier_last.end() && !(bl->second == *cur)) {
+      consider(prev_top(bl->second));
+    }
+    cur = best;
   }
 
   auto by_time_desc = [](const PhaseStat& a, const PhaseStat& b) {
@@ -255,7 +435,9 @@ TraceReport AnalyzeTrace(const TraceData& trace) {
   double worker_sum = 0.0, worker_max = 0.0;
   std::size_t workers = 0;
   for (const auto& ts : r.tracks) {
-    if (!StartsWith(ts.name, "worker")) continue;
+    if (!StartsWith(ts.name, "worker") && !StartsWith(ts.name, "rank")) {
+      continue;
+    }
     ++workers;
     worker_sum += ts.finish;
     if (ts.finish > worker_max) {
@@ -325,13 +507,13 @@ void WriteReportMarkdown(const TraceReport& r, const MetricsRegistry* metrics,
   }
 
   os << "\n## Workers\n\n"
-     << "| track | finish s | busy s | idle | wall s | critical iters |\n"
+     << "| track | finish s | busy s | idle | wall s | critical spans |\n"
      << "|---|---:|---:|---:|---:|---:|\n";
   for (const auto& t : r.tracks) {
     os << "| " << t.name << " | " << FormatDouble(t.finish, 4) << " | "
        << FormatDouble(t.busy_s, 4) << " | "
        << (t.finish > 0.0 ? Pct(t.finish - t.busy_s, t.finish) : "-") << " | "
-       << FormatDouble(t.wall_s, 4) << " | " << t.critical_iterations
+       << FormatDouble(t.wall_s, 4) << " | " << t.critical_spans
        << " |\n";
   }
   if (r.worker_skew > 0.0) {
@@ -340,8 +522,9 @@ void WriteReportMarkdown(const TraceReport& r, const MetricsRegistry* metrics,
        << ")\n";
   }
 
-  os << "\n## Critical path\n\nUnion over iterations of the worker that"
-        " finished each iteration last:\n\n";
+  os << "\n## Critical path\n\nLongest blocking chain ending at the last"
+        " span to finish (program order, matched send->recv edges, and"
+        " collective barriers):\n\n";
   double crit_total = 0.0;
   for (const auto& p : r.critical_phases) crit_total += p.virtual_s;
   PhaseTable(os, r.critical_phases, crit_total);
@@ -398,12 +581,137 @@ void WriteReportCsv(const TraceReport& r, std::ostream& os) {
   }
   for (const auto& t : r.tracks) {
     os << "track," << t.name << ",," << FormatDouble(t.busy_s, 9) << ","
-       << FormatDouble(t.wall_s, 9) << "," << t.critical_iterations << "\n";
+       << FormatDouble(t.wall_s, 9) << "," << t.critical_spans << "\n";
   }
   for (const auto& p : r.critical_phases) {
     os << "critical," << p.name << "," << PhaseClassName(p.cls) << ","
        << FormatDouble(p.virtual_s, 9) << "," << FormatDouble(p.wall_s, 9)
        << "," << p.count << "\n";
+  }
+}
+
+void WriteWireReportMarkdown(const TraceData& trace, const TraceReport& r,
+                             const MetricsRegistry* metrics,
+                             std::ostream& os) {
+  os << "# psra wire run report\n\n## Run summary\n\n";
+  std::size_t rank_lanes = 0;
+  for (const auto& track : trace.tracks) {
+    if (TrackRank(track.name) >= 0) ++rank_lanes;
+  }
+  os << "- rank lanes: " << rank_lanes << " (tracks: " << r.tracks.size()
+     << "), spans: " << r.num_spans << ", collectives: " << r.iterations
+     << "\n- wall makespan: " << FormatDouble(r.horizon, 6) << " s\n";
+
+  // Per-rank class breakdown over top-level spans: where each rank's wall
+  // clock went. Wire spans are recorded in wall seconds, so virtual == wall.
+  os << "\n## Per-rank breakdown\n\n"
+     << "| lane | compute s | communicate s | wait s | other s | finish s |"
+        " idle | critical spans |\n|---|---:|---:|---:|---:|---:|---:|---:|\n";
+  for (std::size_t t = 0; t < trace.tracks.size(); ++t) {
+    double cls[kNumPhaseClasses] = {};
+    for (const auto& s : trace.tracks[t].spans) {
+      if (!s.top_level) continue;
+      cls[static_cast<std::size_t>(ClassifyPhase(s.name))] += s.end - s.begin;
+    }
+    const TrackStat& ts = r.tracks[t];
+    os << "| " << ts.name;
+    for (std::size_t c = 0; c < kNumPhaseClasses; ++c) {
+      os << " | " << FormatDouble(cls[c], 4);
+    }
+    os << " | " << FormatDouble(ts.finish, 4) << " | "
+       << (ts.finish > 0.0 ? Pct(ts.finish - ts.busy_s, ts.finish) : "-")
+       << " | " << ts.critical_spans << " |\n";
+  }
+  if (r.worker_skew > 0.0) {
+    os << "\nRank skew (max finish / mean finish): "
+       << FormatDouble(r.worker_skew, 4) << " (straggler: " << r.slowest_worker
+       << ")\n";
+  }
+
+  os << "\n## Send->recv edges\n\n"
+     << "- matched: " << r.edges.matched
+     << ", unmatched posts: " << r.edges.unmatched_posts
+     << ", unmatched recvs: " << r.edges.unmatched_recvs << "\n";
+  if (r.edges.matched > 0) {
+    os << "- post->recv latency: mean "
+       << FormatDouble(r.edges.total_latency_s /
+                           static_cast<double>(r.edges.matched),
+                       4)
+       << " s, max " << FormatDouble(r.edges.max_latency_s, 4) << " s\n";
+  }
+
+  os << "\n## Phase breakdown\n\n";
+  double attributed = 0.0;
+  for (const double c : r.class_virtual_s) attributed += c;
+  PhaseTable(os, r.phases, attributed);
+
+  os << "\n## Critical path\n\nLongest blocking chain ending at the last"
+        " span to finish (program order, matched send->recv edges, and"
+        " collective barriers):\n\n";
+  double crit_total = 0.0;
+  for (const auto& p : r.critical_phases) crit_total += p.virtual_s;
+  PhaseTable(os, r.critical_phases, crit_total);
+
+  if (metrics == nullptr) return;
+  const auto& counters = metrics->counters();
+  auto counter = [&counters](const std::string& name) -> std::uint64_t {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  };
+
+  os << "\n## Wire transport metrics\n\n"
+     << "- partial writes: " << counter("wire.partial_writes")
+     << ", poll calls: " << counter("wire.poll.calls") << "\n";
+  for (const auto& [name, v] : metrics->gauges()) {
+    if (StartsWith(name, "wire.")) {
+      os << "- " << name << ": " << FormatDouble(v, 6) << "\n";
+    }
+  }
+  bool histo_header = false;
+  for (const auto& [name, h] : metrics->histograms()) {
+    if (!StartsWith(name, "wire.")) continue;
+    if (!histo_header) {
+      os << "\n| histogram | count | mean s |\n|---|---:|---:|\n";
+      histo_header = true;
+    }
+    os << "| " << name << " | " << h.count << " | "
+       << FormatDouble(h.count > 0 ? h.sum / static_cast<double>(h.count)
+                                   : 0.0,
+                       4)
+       << " |\n";
+  }
+
+  // Measured-vs-simulator agreement: every sim.<name> counter is a
+  // reference value recorded next to the measured counter <name>.
+  bool agreement_header = false;
+  for (const auto& [name, sim_value] : counters) {
+    constexpr std::string_view kSimPrefix = "sim.";
+    if (!StartsWith(name, kSimPrefix)) continue;
+    if (!agreement_header) {
+      os << "\n## Measured vs simulator counters\n\n"
+         << "| counter | wire | sim | equal |\n|---|---:|---:|---:|\n";
+      agreement_header = true;
+    }
+    const std::string measured = name.substr(kSimPrefix.size());
+    const std::uint64_t wire_value = counter(measured);
+    os << "| " << measured << " | " << wire_value << " | " << sim_value
+       << " | " << (wire_value == sim_value ? "yes" : "NO") << " |\n";
+  }
+
+  // Per-invocation normalization: the harness may run the algorithms over
+  // unequal case counts (e.g. PSR's extra empty-contribution variant), so
+  // raw byte totals are not comparable.
+  const std::uint64_t psr = counter("comm.allreduce.psr.bytes");
+  const std::uint64_t ring = counter("comm.allreduce.ring.bytes");
+  const std::uint64_t psr_inv = counter("comm.allreduce.psr.invocations");
+  const std::uint64_t ring_inv = counter("comm.allreduce.ring.invocations");
+  if (psr > 0 && ring > 0 && psr_inv > 0 && ring_inv > 0) {
+    const double psr_per = static_cast<double>(psr) / psr_inv;
+    const double ring_per = static_cast<double>(ring) / ring_inv;
+    os << "\nPSR < Ring measured bytes-on-wire per invocation: "
+       << (psr_per < ring_per ? "yes" : "NO") << " (psr "
+       << FormatDouble(psr_per, 6) << " vs ring " << FormatDouble(ring_per, 6)
+       << ")\n";
   }
 }
 

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
 namespace psra::obs {
@@ -51,6 +52,11 @@ struct ReportSpan {
   double end = 0.0;
   std::uint64_t iteration = 0;
   double wall_s = 0.0;
+  /// Remote rank for transport-level spans (wire_post / wire_recv); -1 when
+  /// the span carries no peer annotation.
+  std::int64_t peer = -1;
+  /// Transport tag (meaningful only when peer >= 0).
+  std::uint64_t tag = 0;
   /// False when the span lies inside the union of earlier spans on its
   /// track (a nested sub-phase); nested spans are excluded from rollups.
   bool top_level = true;
@@ -70,9 +76,16 @@ struct TraceData {
 /// alien input (no traceEvents array).
 TraceData LoadChromeTrace(std::string_view text);
 
+/// Same, from an already-parsed JSON value (the collection plane embeds the
+/// trace as a sub-object of a per-rank payload).
+TraceData LoadChromeTrace(const json::Value& root);
+
 /// Parses a MetricsRegistry::WriteJson artifact back into a registry.
 /// Throws InvalidArgument on malformed or structurally alien input.
 MetricsRegistry MetricsFromJson(std::string_view text);
+
+/// Same, from an already-parsed JSON value.
+MetricsRegistry MetricsFromJson(const json::Value& root);
 
 struct PhaseStat {
   std::string name;
@@ -88,7 +101,21 @@ struct TrackStat {
   double finish = 0.0;     // last span end
   double busy_s = 0.0;     // union of the track's spans
   double wall_s = 0.0;
-  std::uint64_t critical_iterations = 0;  // iterations this track ended last
+  /// Spans of this track on the longest blocking chain (see AnalyzeTrace).
+  std::uint64_t critical_spans = 0;
+};
+
+/// Cross-rank send->recv matching over wire_post/wire_recv peer annotations
+/// (k-th post to (src, dst, tag) pairs with the k-th recv — per-peer frame
+/// order is FIFO on every backend). All zero for simulator traces.
+struct WireEdgeStats {
+  std::uint64_t matched = 0;
+  std::uint64_t unmatched_posts = 0;
+  std::uint64_t unmatched_recvs = 0;
+  /// Summed / max post-begin -> recv-end latency over matched edges,
+  /// clamped at zero (clock alignment is an estimate).
+  double total_latency_s = 0.0;
+  double max_latency_s = 0.0;
 };
 
 struct TraceReport {
@@ -103,13 +130,17 @@ struct TraceReport {
   double class_virtual_s[kNumPhaseClasses] = {};
   double class_wall_s[kNumPhaseClasses] = {};
   std::vector<TrackStat> tracks;
-  /// Straggler skew over tracks named "worker*": max finish / mean finish
-  /// (1.0 = perfectly balanced; 0 when there are no worker tracks).
+  /// Straggler skew over tracks named "worker*" or "rank*": max finish /
+  /// mean finish (1.0 = perfectly balanced; 0 when there are no such
+  /// tracks).
   double worker_skew = 0.0;
   std::string slowest_worker;
-  /// Phase breakdown along the per-iteration critical path (the top-level
-  /// spans of whichever track finished each iteration last).
+  /// Phase breakdown along the longest blocking chain: walking backwards
+  /// from the last span to finish through same-track ordering, matched
+  /// send->recv edges, and collective barriers.
   std::vector<PhaseStat> critical_phases;
+  /// Send->recv edge matching stats (wire traces only).
+  WireEdgeStats edges;
 };
 
 TraceReport AnalyzeTrace(const TraceData& trace);
@@ -123,6 +154,14 @@ void WriteReportMarkdown(const TraceReport& report,
 /// Machine-readable companion: one `phase` row per phase plus `class`,
 /// `track`, and `critical` rows. Stable ordering for golden-file tests.
 void WriteReportCsv(const TraceReport& report, std::ostream& os);
+
+/// Markdown report for a merged wire trace (psra_report --wire): per-rank
+/// phase-class breakdown, rank skew/straggler table, send->recv edge
+/// matching, the blocking chain, and — when `metrics` is non-null — the
+/// wire.* taxonomy plus the measured-vs-simulator counter agreement table
+/// (sim.* reference counters recorded by the conformance harness).
+void WriteWireReportMarkdown(const TraceData& trace, const TraceReport& report,
+                             const MetricsRegistry* metrics, std::ostream& os);
 
 /// Markdown diff of two analyzed runs, A (baseline) vs B (candidate):
 /// run-summary deltas, per-phase virtual/wall deltas over the union of

@@ -16,6 +16,13 @@ TrackId SpanTracer::AddTrack(std::string name) {
 void SpanTracer::Add(TrackId track, const char* name,
                      simnet::VirtualTime begin, simnet::VirtualTime end,
                      std::uint64_t iteration, double wall_s) {
+  Add(track, name, begin, end, iteration, wall_s, -1, 0);
+}
+
+void SpanTracer::Add(TrackId track, const char* name,
+                     simnet::VirtualTime begin, simnet::VirtualTime end,
+                     std::uint64_t iteration, double wall_s, std::int64_t peer,
+                     std::uint64_t tag) {
   PSRA_REQUIRE(track < tracks_.size(), "unknown trace track");
   TraceSpan s;
   s.name = name;
@@ -23,6 +30,8 @@ void SpanTracer::Add(TrackId track, const char* name,
   s.end = std::max(begin, end);
   s.iteration = iteration;
   s.wall_s = wall_s;
+  s.peer = peer;
+  s.tag = tag;
   tracks_[track].spans.push_back(s);
 }
 
@@ -99,7 +108,11 @@ void SpanTracer::WriteChromeJson(std::ostream& os) const {
       os << R"(, "dur": )";
       WriteTs(os, s.end - s.begin);
       os << R"(, "args": {"iter": )" << s.iteration << R"(, "wall_us": )"
-         << FormatDouble(s.wall_s * 1e6, 9) << "}}";
+         << FormatDouble(s.wall_s * 1e6, 9);
+      if (s.peer >= 0) {
+        os << R"(, "peer": )" << s.peer << R"(, "tag": )" << s.tag;
+      }
+      os << "}}";
     }
   }
   os << "\n], \"displayTimeUnit\": \"ms\"}\n";

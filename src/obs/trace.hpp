@@ -34,6 +34,11 @@ struct TraceSpan {
   std::uint64_t iteration = 0;
   /// Host wall-clock seconds attributed to the phase (0 = not measured).
   double wall_s = 0.0;
+  /// Remote rank for transport-level spans (wire_post / wire_recv); -1 means
+  /// the span has no peer and the exporter omits the peer/tag args.
+  std::int64_t peer = -1;
+  /// Transport tag for transport-level spans (meaningful only when peer >= 0).
+  std::uint64_t tag = 0;
 };
 
 class SpanTracer {
@@ -52,6 +57,12 @@ class SpanTracer {
   void Add(TrackId track, const char* name, simnet::VirtualTime begin,
            simnet::VirtualTime end, std::uint64_t iteration,
            double wall_s = 0.0);
+
+  /// As above, but tags the span with a transport peer rank + message tag so
+  /// the report side can match send->recv edges across rank lanes.
+  void Add(TrackId track, const char* name, simnet::VirtualTime begin,
+           simnet::VirtualTime end, std::uint64_t iteration, double wall_s,
+           std::int64_t peer, std::uint64_t tag);
 
   /// Fraction of [0, horizon] covered by the union of the track's spans.
   /// The acceptance gate for engine instrumentation: >= 0.95 of each

@@ -1,0 +1,100 @@
+// Wire-side observability: the per-rank handle transports and collectives
+// record into, plus the serialize/merge path the collection plane uses to
+// turn N rank-local views into one artifact pair.
+//
+// Each rank of a real (socket) run owns one WireObs: a SpanTracer with a
+// single "rank N" lane stamped from the local steady clock, and a
+// MetricsRegistry holding the wire.* taxonomy (frame-latency histograms,
+// per-peer sendq high-water, poll-wait time, partial writes). At collection
+// time every non-zero rank serializes its handle to JSON and ships it to
+// rank 0 (see comm/wire_obs.hpp); rank 0 parses the payloads, aligns each
+// lane by the estimated clock offset, and emits one merged Chrome trace with
+// per-rank *process* lanes plus one MergeFrom-aggregated metrics.json.
+//
+// Everything here is transport-agnostic and pure given its inputs; the
+// merged-trace writer is pinned by a golden-file test.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace psra::obs {
+
+/// Bucket bounds (seconds) shared by every wire.* latency/wall histogram —
+/// decades from 1 us to 1 s. One fixed set so MergeFrom across ranks (which
+/// requires identical bounds) always succeeds.
+std::span<const double> WireLatencyBounds();
+
+class WireObs {
+ public:
+  explicit WireObs(std::uint32_t rank);
+
+  std::uint32_t rank() const { return rank_; }
+  /// The single "rank N" lane this handle records into.
+  TrackId track() const { return track_; }
+  SpanTracer& tracer() { return tracer_; }
+  const SpanTracer& tracer() const { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Seconds on the local steady clock since this handle was created. Span
+  /// begin/end and every wire.* histogram observation use this time base.
+  double Now() const;
+
+  /// "wire.rank<r>.<suffix>" — gauges overwrite on MergeFrom, so per-rank
+  /// gauges embed the rank in the key to survive the rank-0 aggregation.
+  std::string RankKey(std::string_view suffix) const;
+
+  /// Estimated offset of this rank's clock relative to rank 0's (seconds;
+  /// subtract from local stamps to align). Written by the collection plane's
+  /// NTP-style exchange; 0 until then (and always 0 on rank 0).
+  double clock_offset_s = 0.0;
+
+  /// Collective epoch the transport is currently inside. WireCollectives
+  /// sets it around each collective so transport-level post/recv spans carry
+  /// the same iteration label on every rank; 0 = outside any collective.
+  std::uint64_t iteration = 0;
+
+ private:
+  std::uint32_t rank_;
+  std::chrono::steady_clock::time_point epoch_;
+  SpanTracer tracer_;
+  MetricsRegistry metrics_;
+  TrackId track_;
+};
+
+/// One rank's observability state as shipped over the collection plane.
+struct RankObsPayload {
+  std::uint32_t rank = 0;
+  double clock_offset_s = 0.0;
+  TraceData trace;
+  MetricsRegistry metrics;
+};
+
+/// {"rank": N, "clock_offset_s": X, "metrics": {...}, "trace": {...}} — the
+/// embedded objects are the registry's WriteJson and the tracer's Chrome
+/// JSON verbatim.
+std::string SerializeWireObs(const WireObs& obs);
+
+/// Inverse of SerializeWireObs. Throws InvalidArgument on malformed,
+/// truncated, or structurally alien input (the collection plane rejects a
+/// corrupt rank payload instead of emitting a half-merged artifact).
+RankObsPayload ParseWireObsPayload(std::string_view text);
+
+/// Merged Chrome trace: one *process* lane per rank (pid = rank, stable
+/// rank-ascending order), globally unique tids, every timestamp shifted by
+/// that rank's clock offset (clamped at zero) so lanes share rank 0's time
+/// base. Span order within a lane stays begin-sorted, so aligned timestamps
+/// are monotonic per lane.
+void WriteMergedWireTrace(std::span<const RankObsPayload> ranks,
+                          std::ostream& os);
+
+}  // namespace psra::obs

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <string>
 
+#include "obs/wire.hpp"
+
 namespace psra::transport {
 
 using comm::Transport;
@@ -53,6 +55,13 @@ class InprocMesh::Endpoint final : public comm::Transport {
   void Post(Rank dst, Tag tag, std::span<const std::byte> payload) override {
     CheckPeer(dst);
     CheckUserTag(tag);
+    // Test-only path: per-call histogram lookups are acceptable, so there is
+    // no hoisted-pointer machinery like the TCP backend's.
+    if (obs::WireObs* o = attached_obs(); o != nullptr) {
+      const double now = o->Now();
+      o->tracer().Add(o->track(), "wire_post", now, now, o->iteration, 0.0,
+                      static_cast<std::int64_t>(dst), tag);
+    }
     auto& box = hub_->boxes[dst];
     {
       std::lock_guard<std::mutex> lock(box.mu);
@@ -66,6 +75,8 @@ class InprocMesh::Endpoint final : public comm::Transport {
   void Recv(Rank src, Tag tag, std::vector<std::byte>& out) override {
     CheckPeer(src);
     CheckUserTag(tag);
+    obs::WireObs* o = attached_obs();
+    const double begin = o != nullptr ? o->Now() : 0.0;
     auto& box = hub_->boxes[rank_];
     std::unique_lock<std::mutex> lock(box.mu);
     auto match = [&]() {
@@ -88,10 +99,20 @@ class InprocMesh::Endpoint final : public comm::Transport {
     out = std::move(it->payload);
     box.frames.erase(it);
     lock.unlock();
+    if (o != nullptr) {
+      const double end = o->Now();
+      o->tracer().Add(o->track(), "wire_recv", begin, end, o->iteration,
+                      end - begin, static_cast<std::int64_t>(src), tag);
+      o->metrics()
+          .Histo("wire.frame.wait_s", obs::WireLatencyBounds())
+          .Observe(end - begin);
+    }
     CountRecv(out.size());
   }
 
   void Fence() override {
+    obs::WireObs* o = attached_obs();
+    const double begin = o != nullptr ? o->Now() : 0.0;
     // Posts deliver synchronously, so Waitall is a no-op; only the barrier
     // remains.
     std::unique_lock<std::mutex> lock(hub_->barrier_mu);
@@ -109,6 +130,14 @@ class InprocMesh::Endpoint final : public comm::Transport {
       }
     }
     lock.unlock();
+    if (o != nullptr) {
+      const double end = o->Now();
+      o->tracer().Add(o->track(), "wire_fence", begin, end, o->iteration,
+                      end - begin);
+      o->metrics()
+          .Histo("wire.fence.wait_s", obs::WireLatencyBounds())
+          .Observe(end - begin);
+    }
     CountFence();
   }
 

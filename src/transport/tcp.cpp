@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/wire.hpp"
+
 namespace psra::transport {
 
 using comm::Transport;
@@ -219,6 +221,16 @@ struct TcpTransport::Impl {
   std::uint16_t listen_port = 0;
   std::vector<Peer> peers;
 
+  // --- wire observability (all dormant while obs == nullptr) --------------
+  obs::WireObs* obs = nullptr;
+  // Hoisted at attach time so the pump/Recv paths skip the map lookups.
+  obs::Histogram* frame_wait = nullptr;  // wire.frame.wait_s
+  obs::Histogram* fence_wait = nullptr;  // wire.fence.wait_s
+  std::uint64_t poll_calls = 0;
+  double poll_wait_s = 0.0;
+  std::uint64_t partial_writes = 0;
+  std::vector<std::size_t> sendq_hwm;  // pending bytes high-water, per peer
+
   // --- mesh construction --------------------------------------------------
 
   void Rendezvous(const TcpOptions& opt) {
@@ -356,7 +368,13 @@ struct TcpTransport::Impl {
       who.push_back(r);
     }
     if (pfds.empty()) return;
+    const auto poll_begin = obs != nullptr ? Clock::now() : Clock::time_point{};
     const int rc = poll(pfds.data(), pfds.size(), timeout_ms);
+    if (obs != nullptr) {
+      ++poll_calls;
+      poll_wait_s +=
+          std::chrono::duration<double>(Clock::now() - poll_begin).count();
+    }
     if (rc < 0) {
       if (errno == EINTR) return;
       ThrowErrno("poll");
@@ -424,7 +442,12 @@ struct TcpTransport::Impl {
         p.send_off += static_cast<std::size_t>(put);
         continue;
       }
-      if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Kernel buffer full with frames still queued: the write completes
+        // across multiple pump cycles.
+        if (obs != nullptr) ++partial_writes;
+        return;
+      }
       if (put < 0 && errno == EINTR) continue;
       if (put < 0 && (errno == EPIPE || errno == ECONNRESET)) {
         close(p.fd);
@@ -459,6 +482,10 @@ struct TcpTransport::Impl {
     EncodeHeader(header, rank, tag, payload.size());
     p.sendq.insert(p.sendq.end(), header, header + kHeaderSize);
     p.sendq.insert(p.sendq.end(), payload.begin(), payload.end());
+    if (obs != nullptr) {
+      const std::size_t pending = p.sendq.size() - p.send_off;
+      if (pending > sendq_hwm[dst]) sendq_hwm[dst] = pending;
+    }
     WritePeer(p);  // opportunistic flush
   }
 
@@ -526,6 +553,14 @@ void TcpTransport::Post(Rank dst, Tag tag,
                         std::span<const std::byte> payload) {
   CheckPeer(dst);
   CheckUserTag(tag);
+  if (obs::WireObs* o = impl_->obs; o != nullptr) {
+    // Post is nonblocking, so the span is an instant marking when the frame
+    // entered the send queue; the matching wire_recv on the peer closes the
+    // edge.
+    const double now = o->Now();
+    o->tracer().Add(o->track(), "wire_post", now, now, o->iteration, 0.0,
+                    static_cast<std::int64_t>(dst), tag);
+  }
   impl_->Enqueue(dst, tag, payload);
   CountPost(payload.size());
 }
@@ -533,11 +568,21 @@ void TcpTransport::Post(Rank dst, Tag tag,
 void TcpTransport::Recv(Rank src, Tag tag, std::vector<std::byte>& out) {
   CheckPeer(src);
   CheckUserTag(tag);
+  obs::WireObs* o = impl_->obs;
+  const double begin = o != nullptr ? o->Now() : 0.0;
   out = impl_->Dequeue(src, tag);
+  if (o != nullptr) {
+    const double end = o->Now();
+    o->tracer().Add(o->track(), "wire_recv", begin, end, o->iteration,
+                    end - begin, static_cast<std::int64_t>(src), tag);
+    impl_->frame_wait->Observe(end - begin);
+  }
   CountRecv(out.size());
 }
 
 void TcpTransport::Fence() {
+  obs::WireObs* o = impl_->obs;
+  const double begin = o != nullptr ? o->Now() : 0.0;
   impl_->FlushAll();  // Waitall
   // Centralized barrier through rank 0 with an internal (uncounted) token.
   const std::byte token{0};
@@ -556,7 +601,45 @@ void TcpTransport::Fence() {
       (void)impl_->Dequeue(0, kBarrierTag);
     }
   }
+  if (o != nullptr) {
+    const double end = o->Now();
+    o->tracer().Add(o->track(), "wire_fence", begin, end, o->iteration,
+                    end - begin);
+    impl_->fence_wait->Observe(end - begin);
+  }
   CountFence();
+}
+
+void TcpTransport::AttachObs(obs::WireObs* obs) {
+  Transport::AttachObs(obs);
+  impl_->obs = obs;
+  if (obs != nullptr) {
+    impl_->frame_wait =
+        &obs->metrics().Histo("wire.frame.wait_s", obs::WireLatencyBounds());
+    impl_->fence_wait =
+        &obs->metrics().Histo("wire.fence.wait_s", obs::WireLatencyBounds());
+    impl_->sendq_hwm.assign(impl_->world, 0);
+  } else {
+    impl_->frame_wait = nullptr;
+    impl_->fence_wait = nullptr;
+  }
+}
+
+void TcpTransport::FlushWireMetrics() {
+  obs::WireObs* o = impl_->obs;
+  if (o == nullptr) return;
+  // Counters flush incrementally (add the window, then reset) so repeated
+  // flushes never double-count; gauges carry lifetime totals.
+  o->metrics().Counter("wire.partial_writes") += impl_->partial_writes;
+  o->metrics().Counter("wire.poll.calls") += impl_->poll_calls;
+  impl_->partial_writes = 0;
+  impl_->poll_calls = 0;
+  o->metrics().Gauge(o->RankKey("poll_wait_s")) = impl_->poll_wait_s;
+  for (Rank r = 0; r < impl_->world; ++r) {
+    if (r == impl_->rank) continue;
+    o->metrics().Gauge(o->RankKey("sendq_hwm.peer" + std::to_string(r))) =
+        static_cast<double>(impl_->sendq_hwm[r]);
+  }
 }
 
 }  // namespace psra::transport

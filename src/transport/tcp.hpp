@@ -67,6 +67,14 @@ class TcpTransport final : public comm::Transport {
   void Recv(Rank src, Tag tag, std::vector<std::byte>& out) override;
   void Fence() override;
 
+  /// While attached: Post/Recv/Fence record wire_post/wire_recv/wire_fence
+  /// spans (peer + tag annotated) and frame/fence wait histograms, the pump
+  /// times its poll() waits and counts partial writes, and Enqueue tracks
+  /// per-peer send-queue high-water marks. Detached costs one branch per
+  /// call on each of those paths.
+  void AttachObs(obs::WireObs* obs) override;
+  void FlushWireMetrics() override;
+
   /// The port this rank's listener actually bound (after any collision
   /// retries). Rank 0's value is the rendezvous port.
   std::uint16_t listen_port() const;

@@ -16,6 +16,8 @@
 #include "engine/thread_pool.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "support/status.hpp"
 
 namespace psra {
 namespace {
@@ -57,6 +59,33 @@ TEST(Histogram, MergeAddsBucketwise) {
   const auto& h = a.histograms().at("h");
   EXPECT_EQ(h.counts, (std::vector<std::uint64_t>{1, 1, 1}));
   EXPECT_EQ(h.count, 3u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBounds) {
+  const double coarse[] = {1.0, 2.0};
+  const double fine[] = {0.5, 1.0, 2.0};
+  obs::MetricsRegistry a, b;
+  a.Histo("h", coarse).Observe(0.5);
+  b.Histo("h", fine).Observe(0.5);
+  // Both the direct histogram merge and the registry-level MergeFrom must
+  // refuse: bucket-wise addition across different bounds is meaningless,
+  // which is why every wire.* histogram shares WireLatencyBounds().
+  EXPECT_THROW(a.Histo("h", coarse).Merge(b.histograms().at("h")),
+               InvalidArgument);
+  EXPECT_THROW(a.MergeFrom(b), InvalidArgument);
+}
+
+TEST(Histogram, MergeAccumulatesSumAndOverflow) {
+  const double bounds[] = {1.0};
+  obs::MetricsRegistry a, b;
+  a.Histo("h", bounds).Observe(0.25);
+  b.Histo("h", bounds).Observe(4.0);  // overflow bucket
+  b.Histo("h", bounds).Observe(0.75);
+  a.MergeFrom(b);
+  const auto& h = a.histograms().at("h");
+  EXPECT_EQ(h.counts, (std::vector<std::uint64_t>{2, 1}));
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 5.0);
 }
 
 // ------------------------------------------------------------- registry ----
@@ -170,6 +199,26 @@ TEST(SpanTracer, ChromeJsonIsValidAndCarriesTrackMetadata) {
   EXPECT_NE(text.find("\"worker 0\""), std::string::npos);
   EXPECT_NE(text.find("\"group generator\""), std::string::npos);
   EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(SpanTracer, PeerAndTagRoundTripThroughChromeJson) {
+  obs::SpanTracer tr;
+  const auto t = tr.AddTrack("rank 0");
+  tr.Add(t, "wire_post", 0.0, 0.0, 1, 0.0, /*peer=*/2, /*tag=*/0x30005u);
+  tr.Add(t, "compute", 0.1, 0.2, 1);  // no peer: exporter omits the args
+
+  std::ostringstream os;
+  tr.WriteChromeJson(os);
+  const obs::TraceData back = obs::LoadChromeTrace(os.str());
+  ASSERT_EQ(back.tracks.size(), 1u);
+  ASSERT_EQ(back.tracks[0].spans.size(), 2u);
+  const auto& post = back.tracks[0].spans[0];
+  EXPECT_EQ(post.name, "wire_post");
+  EXPECT_EQ(post.peer, 2);
+  EXPECT_EQ(post.tag, 0x30005u);
+  const auto& compute = back.tracks[0].spans[1];
+  EXPECT_EQ(compute.peer, -1);
+  EXPECT_EQ(compute.tag, 0u);
 }
 
 // ------------------------------------------------------ engine contracts ----

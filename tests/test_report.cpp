@@ -7,14 +7,17 @@
 //     --csv tests/fixtures/report_golden.csv
 //
 // whenever the report layout changes on purpose.
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "obs/wire.hpp"
 #include "support/status.hpp"
 
 namespace psra::obs {
@@ -137,8 +140,11 @@ TEST(AnalyzeTrace, ComputesPhasesSkewAndCriticalPath) {
   EXPECT_EQ(r.slowest_worker, "worker 1");
   EXPECT_NEAR(r.worker_skew, 530.0 / 495.0, 1e-9);
   ASSERT_EQ(r.tracks.size(), 3u);
-  EXPECT_EQ(r.tracks[0].critical_iterations, 0u);
-  EXPECT_EQ(r.tracks[1].critical_iterations, 2u);
+  EXPECT_EQ(r.tracks[0].critical_spans, 0u);
+  // The longest blocking chain walks every top-level span on worker 1's
+  // lane: worker 1 finishes each phase last, so program order alone links
+  // them back to t=0.
+  EXPECT_EQ(r.tracks[1].critical_spans, 6u);
   ASSERT_FALSE(r.critical_phases.empty());
   EXPECT_EQ(r.critical_phases[0].name, "x_update");
 }
@@ -164,6 +170,110 @@ TEST(ReportGolden, CsvMatchesCommittedFixture) {
   WriteReportCsv(r, os);
   EXPECT_EQ(os.str(), ReadFixture("report_golden.csv"))
       << "CSV layout changed; regenerate the golden (see file header)";
+}
+
+// --------------------------------------------------- merged wire traces ----
+
+ReportSpan MakeSpan(const char* name, double begin, double end,
+                    std::uint64_t iter, std::int64_t peer = -1,
+                    std::uint64_t tag = 0) {
+  ReportSpan s;
+  s.name = name;
+  s.begin = begin;
+  s.end = end;
+  s.iteration = iter;
+  s.peer = peer;
+  s.tag = tag;
+  return s;
+}
+
+/// Deterministic per-rank payload: a ring step (fence, post to the next
+/// rank, local compute, recv from the previous rank) on rank-local time.
+RankObsPayload MakeRankPayload(std::uint32_t rank, std::uint32_t world,
+                               double clock_offset_s) {
+  RankObsPayload p;
+  p.rank = rank;
+  p.clock_offset_s = clock_offset_s;
+  ReportTrack lane;
+  lane.name = "rank " + std::to_string(rank);
+  const auto next = static_cast<std::int64_t>((rank + 1) % world);
+  const auto prev = static_cast<std::int64_t>((rank + world - 1) % world);
+  lane.spans.push_back(MakeSpan("wire_fence", 0.001, 0.002, 0));
+  lane.spans.push_back(MakeSpan("wire_post", 0.003, 0.003, 1, next, 0x11));
+  lane.spans.push_back(MakeSpan("compute", 0.003, 0.004, 1));
+  lane.spans.push_back(MakeSpan("wire_recv", 0.004, 0.005, 1, prev, 0x11));
+  p.trace.tracks.push_back(std::move(lane));
+  return p;
+}
+
+// Regenerate the committed golden after an intentional layout change with
+//   PSRA_REGEN_GOLDEN=1 build/tests/test_report \
+//     --gtest_filter='WireMergedTrace.*'
+TEST(WireMergedTrace, GoldenLanesAreRankOrderedAndClockAligned) {
+  // Arrival order deliberately differs from rank order; rank 2's offset
+  // exceeds its first span begin so the zero-clamp is on the golden path.
+  const double offsets[] = {0.0, 0.0005, 0.0015, -0.0005};
+  std::vector<RankObsPayload> payloads;
+  for (const std::uint32_t r : {2u, 0u, 3u, 1u}) {
+    payloads.push_back(MakeRankPayload(r, 4, offsets[r]));
+  }
+  std::ostringstream os;
+  WriteMergedWireTrace(payloads, os);
+  const std::string text = os.str();
+  if (std::getenv("PSRA_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(FixturePath("wire_merged_golden.json"));
+    out << text;
+  }
+  EXPECT_EQ(text, ReadFixture("wire_merged_golden.json"))
+      << "merged-trace layout changed; regenerate the golden (see comment)";
+
+  const TraceData merged = LoadChromeTrace(text);
+  ASSERT_EQ(merged.tracks.size(), 4u);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    const auto& lane = merged.tracks[r];
+    EXPECT_EQ(lane.name, "rank " + std::to_string(r));
+    ASSERT_EQ(lane.spans.size(), 4u);
+    for (std::size_t i = 0; i < lane.spans.size(); ++i) {
+      EXPECT_GE(lane.spans[i].begin, 0.0) << "rank " << r << " span " << i;
+      if (i > 0) {
+        EXPECT_LE(lane.spans[i - 1].begin, lane.spans[i].begin)
+            << "rank " << r << " span " << i;
+      }
+    }
+  }
+  // Rank 2's first span starts before its estimated offset: clamped at 0.
+  EXPECT_DOUBLE_EQ(merged.tracks[2].spans[0].begin, 0.0);
+  // Rank 3 runs "early" (negative offset): everything shifts later.
+  EXPECT_NEAR(merged.tracks[3].spans[0].begin, 0.0015, 1e-12);
+
+  const TraceReport rep = AnalyzeTrace(merged);
+  EXPECT_EQ(rep.edges.matched, 4u);
+  EXPECT_EQ(rep.edges.unmatched_posts, 0u);
+  EXPECT_EQ(rep.edges.unmatched_recvs, 0u);
+}
+
+TEST(AnalyzeTrace, MatchesWireEdgesFifoPerPeerAndTag) {
+  TraceData trace;
+  ReportTrack a;
+  a.name = "rank 0";
+  a.spans.push_back(MakeSpan("wire_post", 0.000, 0.000, 1, 1, 5));
+  a.spans.push_back(MakeSpan("wire_post", 0.010, 0.010, 1, 1, 5));
+  a.spans.push_back(MakeSpan("wire_post", 0.020, 0.020, 1, 1, 9));  // lost
+  ReportTrack b;
+  b.name = "rank 1";
+  b.spans.push_back(MakeSpan("wire_recv", 0.001, 0.004, 1, 0, 5));
+  b.spans.push_back(MakeSpan("wire_recv", 0.011, 0.012, 1, 0, 5));
+  b.spans.push_back(MakeSpan("wire_recv", 0.030, 0.031, 1, 0, 7));  // alien
+  trace.tracks.push_back(a);
+  trace.tracks.push_back(b);
+
+  const TraceReport r = AnalyzeTrace(trace);
+  EXPECT_EQ(r.edges.matched, 2u);
+  EXPECT_EQ(r.edges.unmatched_posts, 1u);
+  EXPECT_EQ(r.edges.unmatched_recvs, 1u);
+  // k-th post pairs with the k-th recv: latencies 0.004 and 0.002.
+  EXPECT_NEAR(r.edges.total_latency_s, 0.006, 1e-12);
+  EXPECT_NEAR(r.edges.max_latency_s, 0.004, 1e-12);
 }
 
 // ----------------------------------------------------------------- diff ----

@@ -19,8 +19,10 @@
 #include "comm/hierarchical.hpp"
 #include "comm/transport.hpp"
 #include "comm/wire_allreduce.hpp"
+#include "comm/wire_obs.hpp"
 #include "data/synthetic.hpp"
 #include "obs/metrics.hpp"
+#include "obs/wire.hpp"
 #include "support/rng.hpp"
 #include "transport/inproc.hpp"
 #include "transport/launch.hpp"
@@ -413,6 +415,109 @@ TEST(WireConformance, SparseHierarchicalMatchesSimulator) {
   EXPECT_EQ(rounds, sim_stats.rounds);
   EXPECT_EQ(redist_elems, ml.redistribution_elements());
   EXPECT_EQ(redist_msgs, ml.redistribution_messages());
+}
+
+// --- observability collection plane ---------------------------------------
+
+TEST(WireObsCollection, FourRankPlaneMergesMetricsAndLanes) {
+  const std::uint32_t n = 4;
+  const std::uint64_t dim = 96;
+  SimSide sim(n);
+  const auto members = AllRanks(n);
+
+  comm::WireObsBundle bundle;  // written by rank 0's thread, read after join
+  RunInproc(n, [&](std::uint32_t r, Transport& t) {
+    obs::WireObs obs(r);
+    t.AttachObs(&obs);
+    WireCollectives wc(t, sim.group.pricing(), &obs);
+    DenseVector out;
+    WireStats st;
+    wc.AllreduceDense(AllreduceKind::kPsr, members, MakeDense(r, dim), out,
+                      st);
+    wc.AllreduceDense(AllreduceKind::kRing, members, MakeDense(r, dim), out,
+                      st);
+    const bool root =
+        comm::CollectWireObs(t, obs, r == 0 ? &bundle : nullptr);
+    EXPECT_EQ(root, r == 0) << "rank " << r;
+    EXPECT_EQ(t.attached_obs(), nullptr)
+        << "rank " << r << " still attached after collection";
+  });
+
+  // One payload per rank, in rank order, each carrying its own "rank N"
+  // lane with post/recv/fence spans from the instrumented transport.
+  ASSERT_EQ(bundle.ranks.size(), n);
+  std::uint64_t post_msgs = 0, recv_msgs = 0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const obs::RankObsPayload& p = bundle.ranks[r];
+    EXPECT_EQ(p.rank, r);
+    ASSERT_EQ(p.trace.tracks.size(), 1u) << "rank " << r;
+    EXPECT_EQ(p.trace.tracks[0].name, "rank " + std::to_string(r));
+    bool saw_post = false, saw_recv = false, saw_fence = false;
+    for (const auto& s : p.trace.tracks[0].spans) {
+      if (s.name == "wire_post") saw_post = true;
+      if (s.name == "wire_recv") saw_recv = true;
+      if (s.name == "wire_fence") saw_fence = true;
+    }
+    EXPECT_TRUE(saw_post && saw_recv && saw_fence)
+        << "rank " << r << " lane is missing transport spans";
+    post_msgs += p.metrics.counters().at("transport.post.msgs");
+    recv_msgs += p.metrics.counters().at("transport.recv.msgs");
+  }
+
+  // Merged registry: counters sum across ranks, per-rank gauges survive via
+  // their rank-qualified keys, the shared-bounds histograms fold together.
+  EXPECT_EQ(bundle.metrics.counters().at("transport.post.msgs"), post_msgs);
+  EXPECT_EQ(bundle.metrics.counters().at("transport.recv.msgs"), recv_msgs);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    EXPECT_TRUE(bundle.metrics.gauges().contains(
+        "wire.rank" + std::to_string(r) + ".clock_offset_s"))
+        << "rank " << r;
+  }
+  const auto& frame_wait = bundle.metrics.histograms().at("wire.frame.wait_s");
+  EXPECT_GT(frame_wait.count, 0u);
+
+  // Merged trace round-trip: stable rank-ascending lanes, monotonic aligned
+  // timestamps within each lane.
+  std::ostringstream os;
+  obs::WriteMergedWireTrace(bundle.ranks, os);
+  const obs::TraceData merged = obs::LoadChromeTrace(os.str());
+  ASSERT_EQ(merged.tracks.size(), n);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const auto& lane = merged.tracks[r];
+    EXPECT_EQ(lane.name, "rank " + std::to_string(r));
+    for (std::size_t i = 1; i < lane.spans.size(); ++i) {
+      EXPECT_LE(lane.spans[i - 1].begin, lane.spans[i].begin)
+          << "rank " << r << " span " << i;
+    }
+  }
+}
+
+TEST(WireObsCollection, RejectsMalformedAndTruncatedPayloads) {
+  obs::WireObs obs(3);
+  obs.metrics().Counter("transport.post.msgs") += 5;
+  obs.tracer().Add(obs.track(), "wire_post", 0.0, 0.0, 1, 0.0);
+  const std::string good = SerializeWireObs(obs);
+  EXPECT_EQ(obs::ParseWireObsPayload(good).rank, 3u);
+
+  EXPECT_THROW(obs::ParseWireObsPayload(""), InvalidArgument);
+  EXPECT_THROW(obs::ParseWireObsPayload("not json"), InvalidArgument);
+  EXPECT_THROW(obs::ParseWireObsPayload("[1, 2]"), InvalidArgument);
+  EXPECT_THROW(obs::ParseWireObsPayload("{}"), InvalidArgument);
+  EXPECT_THROW(obs::ParseWireObsPayload(R"({"rank": 1, "metrics": {}})"),
+               InvalidArgument);
+  EXPECT_THROW(obs::ParseWireObsPayload(R"({"rank": 1, "trace": {}})"),
+               InvalidArgument);
+  EXPECT_THROW(obs::ParseWireObsPayload(R"({"rank": -1, "metrics": {},)"
+                                        R"( "trace": {}})"),
+               InvalidArgument);
+  // Truncation anywhere in the body must be detected, not half-parsed.
+  for (const std::size_t cut :
+       {good.size() / 4, good.size() / 2, good.size() - 2}) {
+    EXPECT_THROW(
+        obs::ParseWireObsPayload(std::string_view(good).substr(0, cut)),
+        InvalidArgument)
+        << "cut at " << cut;
+  }
 }
 
 // --- TCP backend ----------------------------------------------------------

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <span>
 #include <string>
 #include <vector>
@@ -27,6 +28,8 @@
 #include "comm/hierarchical.hpp"
 #include "comm/transport.hpp"
 #include "comm/wire_allreduce.hpp"
+#include "comm/wire_obs.hpp"
+#include "obs/wire.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
 #include "transport/launch.hpp"
@@ -49,8 +52,30 @@ using psra::transport::TcpOptions;
 using psra::transport::TcpTransport;
 
 // Stats frames ride tags far above the wire collectives' epoch-derived
-// range but still below Transport::kMaxUserTag.
-constexpr Transport::Tag kStatsBase = 0xFFFE0000u;
+// range but still below Transport::kMaxCollectiveTag (the obs collection
+// plane owns [kMaxCollectiveTag, kMaxUserTag)).
+constexpr Transport::Tag kStatsBase = 0xFFFC0000u;
+
+const char* AlgKey(AllreduceKind kind) {
+  switch (kind) {
+    case AllreduceKind::kPsr: return "psr";
+    case AllreduceKind::kRing: return "ring";
+    case AllreduceKind::kNaive: return "naive";
+    default: return "other";
+  }
+}
+
+/// Relative artifact paths land under $PSRA_TRACE_DIR when the launcher
+/// exported one (tools/psra_launch --trace-dir), so every rank of a wire run
+/// agrees on where artifacts go without per-rank flag plumbing.
+std::string ResolveArtifactPath(const std::string& path) {
+  if (path.empty() || path.front() == '/') return path;
+  if (const char* dir = std::getenv("PSRA_TRACE_DIR");
+      dir != nullptr && *dir != '\0') {
+    return std::string(dir) + "/" + path;
+  }
+  return path;
+}
 
 DenseVector MakeDense(std::uint32_t rank, std::uint64_t dim) {
   psra::Rng rng(1234 + rank);
@@ -164,7 +189,7 @@ void CheckAggregateTraffic(Transport& t, std::uint32_t world,
 
 void RunFlatCase(Transport& t, WireCollectives& wc, const Case& c,
                  std::uint32_t world, std::uint64_t dim,
-                 Transport::Tag stats_tag) {
+                 Transport::Tag stats_tag, psra::obs::WireObs* obs) {
   SimSide sim(world);
   const std::vector<VirtualTime> starts(world, 0.0);
   const auto alg = psra::comm::MakeAllreduce(c.kind);
@@ -196,6 +221,28 @@ void RunFlatCase(Transport& t, WireCollectives& wc, const Case& c,
   }
   if (st.rounds != sim_stats.rounds) Fail(c.name, "rounds mismatch");
   CheckAggregateTraffic(t, world, stats_tag, st, sim_stats, c.name);
+
+  if (obs != nullptr) {
+    // Measured traffic per rank: MergeFrom on rank 0 sums these across the
+    // world, so the aggregate must equal the simulator's totals exactly —
+    // the sim.* reference counters (global, published once on rank 0) are
+    // what psra_report --assert-wire compares against.
+    auto& m = obs->metrics();
+    const std::string base = std::string("comm.allreduce.") + AlgKey(c.kind);
+    m.Counter(base + ".invocations") += 1;
+    m.Counter(base + ".elements") += st.elements_sent;
+    m.Counter(base + ".messages") += st.messages_sent;
+    m.Counter(base + ".bytes") += st.bytes_sent;
+    if (t.rank() == 0) {
+      // Per-rank rounds equal the simulator's phase count for flat
+      // collectives, so rank 0's value IS the global figure.
+      m.Counter(base + ".rounds") += st.rounds;
+      m.Counter("sim." + base + ".elements") += sim_stats.elements_sent;
+      m.Counter("sim." + base + ".messages") += sim_stats.messages_sent;
+      m.Counter("sim." + base + ".bytes") += sim_stats.bytes_sent;
+      m.Counter("sim." + base + ".rounds") += sim_stats.rounds;
+    }
+  }
 }
 
 /// Hierarchical conformance: racks of 2 over the whole world, PSR at both
@@ -203,7 +250,8 @@ void RunFlatCase(Transport& t, WireCollectives& wc, const Case& c,
 /// aggregates the full per-stage stats 7-tuple.
 void RunHierarchicalCase(Transport& t, WireCollectives& wc, bool sparse,
                          std::uint32_t world, std::uint64_t dim,
-                         Transport::Tag stats_tag, const char* case_name) {
+                         Transport::Tag stats_tag, const char* case_name,
+                         psra::obs::WireObs* obs) {
   const std::uint32_t per_rack = 2, racks = world / per_rack;
   SimSide sim(world, racks);
   std::vector<Rank> members(world);
@@ -269,6 +317,20 @@ void RunHierarchicalCase(Transport& t, WireCollectives& wc, bool sparse,
     if (redist_m != ml.redistribution_messages()) {
       Fail(case_name, "redistribution messages");
     }
+    if (obs != nullptr) {
+      auto& m = obs->metrics();
+      m.Counter("comm.allreduce.psr_ml.rounds") += rounds;
+      m.Counter("sim.comm.allreduce.psr_ml.elements") +=
+          sim_stats.elements_sent;
+      m.Counter("sim.comm.allreduce.psr_ml.messages") +=
+          sim_stats.messages_sent;
+      m.Counter("sim.comm.allreduce.psr_ml.bytes") += sim_stats.bytes_sent;
+      m.Counter("sim.comm.allreduce.psr_ml.rounds") += sim_stats.rounds;
+      m.Counter("sim.comm.rack.bcast.elements") +=
+          ml.redistribution_elements();
+      m.Counter("sim.comm.rack.bcast.messages") +=
+          ml.redistribution_messages();
+    }
   } else {
     const std::size_t tup[7] = {st.elements_sent,   st.messages_sent,
                                 st.bytes_sent,      st.rack_rounds,
@@ -276,15 +338,30 @@ void RunHierarchicalCase(Transport& t, WireCollectives& wc, bool sparse,
                                 st.redist_messages};
     t.Post(0, stats_tag, std::as_bytes(std::span<const std::size_t>(tup)));
   }
+  if (obs != nullptr) {
+    auto& m = obs->metrics();
+    m.Counter("comm.allreduce.psr_ml.invocations") += 1;
+    m.Counter("comm.allreduce.psr_ml.elements") += st.elements_sent;
+    m.Counter("comm.allreduce.psr_ml.messages") += st.messages_sent;
+    m.Counter("comm.allreduce.psr_ml.bytes") += st.bytes_sent;
+    m.Counter("comm.rack.bcast.elements") += st.redist_elements;
+    m.Counter("comm.rack.bcast.messages") += st.redist_messages;
+  }
 }
 
-int RunWorker(const TcpOptions& opt, std::uint64_t dim) {
+int RunWorker(const TcpOptions& opt, std::uint64_t dim,
+              const std::string& trace_out, const std::string& metrics_out) {
   TcpTransport t(opt);
   SimSide pricing_side(opt.world);
-  WireCollectives wc(t, pricing_side.group.pricing());
+  // Tracing is always on here: the conformance run doubles as the
+  // acceptance fixture for the wire observability plane, and the overhead
+  // is irrelevant at this scale.
+  psra::obs::WireObs obs(opt.rank);
+  t.AttachObs(&obs);
+  WireCollectives wc(t, pricing_side.group.pricing(), &obs);
   std::uint32_t cases = 0;
   for (const Case& c : kFlatCases) {
-    RunFlatCase(t, wc, c, opt.world, dim, kStatsBase + cases);
+    RunFlatCase(t, wc, c, opt.world, dim, kStatsBase + cases, &obs);
     if (opt.rank == 0) {
       std::fprintf(stderr, "psra_conformance: %-18s ok\n", c.name);
     }
@@ -292,19 +369,45 @@ int RunWorker(const TcpOptions& opt, std::uint64_t dim) {
   }
   if (opt.world >= 4 && opt.world % 2 == 0) {
     RunHierarchicalCase(t, wc, /*sparse=*/false, opt.world, dim,
-                        kStatsBase + cases, "hier_psr_dense");
+                        kStatsBase + cases, "hier_psr_dense", &obs);
     if (opt.rank == 0) {
       std::fprintf(stderr, "psra_conformance: %-18s ok\n", "hier_psr_dense");
     }
     ++cases;
     RunHierarchicalCase(t, wc, /*sparse=*/true, opt.world, dim,
-                        kStatsBase + cases, "hier_psr_sparse");
+                        kStatsBase + cases, "hier_psr_sparse", &obs);
     if (opt.rank == 0) {
       std::fprintf(stderr, "psra_conformance: %-18s ok\n", "hier_psr_sparse");
     }
     ++cases;
   }
-  t.Fence();
+  if (opt.rank == 0) {
+    // Run summary (required by the metrics schema) on rank 0 only so the
+    // MergeFrom aggregation keeps single-valued semantics.
+    const double makespan = obs.Now();
+    obs.metrics().Counter("engine.iterations") += cases;
+    obs.metrics().Gauge("run.makespan_s") = makespan;
+    obs.metrics().Gauge("run.cal_time_s") = 0.0;
+    obs.metrics().Gauge("run.comm_time_s") = makespan;
+    obs.metrics().Gauge("run.iterations") = static_cast<double>(cases);
+  }
+
+  // Collection plane: fences, estimates clock offsets, ships every rank's
+  // trace + registry to rank 0.
+  psra::comm::WireObsBundle bundle;
+  const bool root = psra::comm::CollectWireObs(t, obs, &bundle);
+  if (root && !trace_out.empty()) {
+    const std::string path = ResolveArtifactPath(trace_out);
+    std::ofstream os(path);
+    if (!os) throw psra::IoError("cannot write " + path);
+    psra::obs::WriteMergedWireTrace(bundle.ranks, os);
+  }
+  if (root && !metrics_out.empty()) {
+    const std::string path = ResolveArtifactPath(metrics_out);
+    std::ofstream os(path);
+    if (!os) throw psra::IoError("cannot write " + path);
+    bundle.metrics.WriteJson(os);
+  }
   if (opt.rank == 0) {
     std::printf("psra_conformance: OK (%u ranks, %u cases, dim %llu)\n",
                 opt.world, cases,
@@ -318,9 +421,17 @@ int Run(int argc, char** argv) {
                       "Multi-process TCP conformance vs the simulator");
   std::int64_t ranks = 4;
   std::int64_t dim = 103;
+  std::string trace_out;
+  std::string metrics_out;
   cli.AddInt("ranks", &ranks, "world size when self-forking (ignored in "
                               "env-worker mode)");
   cli.AddInt("dim", &dim, "vector dimension for every collective");
+  cli.AddString("trace-out", &trace_out,
+                "merged Chrome trace path written by rank 0 (relative paths "
+                "land under $PSRA_TRACE_DIR; empty = no artifact)");
+  cli.AddString("metrics-out", &metrics_out,
+                "aggregated metrics JSON path written by rank 0 (same path "
+                "rules; empty = no artifact)");
   if (!cli.Parse(argc, argv)) return 0;
   if (dim < 1) {
     std::fprintf(stderr, "psra_conformance: --dim must be >= 1\n");
@@ -329,7 +440,8 @@ int Run(int argc, char** argv) {
 
   if (std::getenv("PSRA_RANK") != nullptr) {
     // Worker under tools/psra_launch.
-    return RunWorker(TcpOptions::FromEnv(), static_cast<std::uint64_t>(dim));
+    return RunWorker(TcpOptions::FromEnv(), static_cast<std::uint64_t>(dim),
+                     trace_out, metrics_out);
   }
   if (ranks < 1 || ranks > 64) {
     std::fprintf(stderr, "psra_conformance: --ranks must be in [1, 64]\n");
@@ -337,7 +449,8 @@ int Run(int argc, char** argv) {
   }
   const auto result = psra::transport::ForkRanks(
       static_cast<std::uint32_t>(ranks), [&](const TcpOptions& opt) {
-        RunWorker(opt, static_cast<std::uint64_t>(dim));
+        RunWorker(opt, static_cast<std::uint64_t>(dim), trace_out,
+                  metrics_out);
       });
   if (!result.AllZero()) {
     std::fprintf(stderr, "psra_conformance: FAILED exit codes:");

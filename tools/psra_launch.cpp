@@ -1,6 +1,7 @@
 // psra_launch: run a worker binary as N ranks over the TCP transport.
 //
-//   psra_launch --ranks 4 [--timeout 120] -- ./worker --flag ...
+//   psra_launch --ranks 4 [--timeout 120] [--trace-dir DIR]
+//               -- ./worker --flag ...
 //
 // The launcher binds the rendezvous listener on an ephemeral port BEFORE
 // forking (no port race), then forks N children. Each child execs the
@@ -10,6 +11,14 @@
 //   PSRA_WORLD      N
 //   PSRA_PORT       rank 0's rendezvous port
 //   PSRA_LISTEN_FD  (rank 0 only) the inherited pre-bound listener fd
+//   PSRA_TRACE_DIR  (with --trace-dir) where workers put run artifacts —
+//                   relative --trace-out/--metrics-out paths land there
+//
+// Every "%r" in the pass-through worker args is replaced with the child's
+// rank ("%%" escapes a literal '%'), so per-rank output files need no
+// wrapper script:
+//
+//   psra_launch --ranks 4 -- ./worker --log worker_%r.log
 //
 // Workers construct their transport with TcpOptions::FromEnv(). The
 // launcher exits 0 iff every rank exited 0; stragglers past --timeout are
@@ -30,6 +39,24 @@
 
 namespace {
 
+/// Expands "%r" to the rank and "%%" to a literal '%'; any other '%' passes
+/// through unchanged (so printf-style worker flags keep working).
+std::string ExpandRank(const char* arg, std::int64_t rank) {
+  std::string out;
+  for (const char* p = arg; *p != '\0'; ++p) {
+    if (*p == '%' && p[1] == 'r') {
+      out += std::to_string(rank);
+      ++p;
+    } else if (*p == '%' && p[1] == '%') {
+      out += '%';
+      ++p;
+    } else {
+      out += *p;
+    }
+  }
+  return out;
+}
+
 int Run(int argc, char** argv) {
   // Split "launcher flags -- worker command".
   int split = argc;
@@ -43,8 +70,11 @@ int Run(int argc, char** argv) {
                       "Runs a worker binary as N ranks over TCP sockets");
   std::int64_t ranks = 4;
   double timeout_s = 120.0;
+  std::string trace_dir;
   cli.AddInt("ranks", &ranks, "number of worker processes");
   cli.AddDouble("timeout", &timeout_s, "seconds before stragglers are killed");
+  cli.AddString("trace-dir", &trace_dir,
+                "exported to workers as PSRA_TRACE_DIR (artifact directory)");
   if (!cli.Parse(split, argv)) return 0;
   if (split >= argc - 1) {
     std::fprintf(stderr, "usage: psra_launch --ranks N -- <worker> [args]\n");
@@ -73,14 +103,25 @@ int Run(int argc, char** argv) {
       setenv("PSRA_RANK", std::to_string(r).c_str(), 1);
       setenv("PSRA_WORLD", std::to_string(ranks).c_str(), 1);
       setenv("PSRA_PORT", std::to_string(port).c_str(), 1);
+      if (!trace_dir.empty()) setenv("PSRA_TRACE_DIR", trace_dir.c_str(), 1);
       if (r == 0) {
         setenv("PSRA_LISTEN_FD", std::to_string(listener).c_str(), 1);
       } else {
         unsetenv("PSRA_LISTEN_FD");
         close(listener);
       }
-      execvp(worker_argv[0], worker_argv);
-      std::perror(worker_argv[0]);
+      // Per-rank arg expansion (%r -> rank). The strings must outlive
+      // execvp's argv, but exec never returns on success, so locals are
+      // fine.
+      std::vector<std::string> expanded;
+      std::vector<char*> child_argv;
+      for (char** a = worker_argv; *a != nullptr; ++a) {
+        expanded.push_back(ExpandRank(*a, r));
+      }
+      for (std::string& s : expanded) child_argv.push_back(s.data());
+      child_argv.push_back(nullptr);
+      execvp(child_argv[0], child_argv.data());
+      std::perror(child_argv[0]);
       _exit(127);
     }
     pids[static_cast<std::size_t>(r)] = pid;

@@ -3,9 +3,19 @@
 //
 //   psra_report --trace OBS_trace.json --metrics OBS_metrics.json
 //               [--out report.md] [--csv report.csv]
+//   psra_report --wire --trace OBS_wire_trace.json
+//               --metrics OBS_wire_metrics.json [--assert-wire]
 //   psra_report --diff --trace A_trace.json --trace-b B_trace.json
 //               [--metrics A_metrics.json --metrics-b B_metrics.json]
 //               [--out diff.md]
+//
+// --wire reads a MERGED wire-run artifact pair (rank 0's output from the
+// observability collection plane): per-rank phase breakdown, rank
+// skew/straggler table, send->recv edge matching across rank lanes, and the
+// wire.* transport metrics. --assert-wire gates it: every sim.* reference
+// counter must equal its measured counterpart exactly, measured PSR must
+// beat Ring on bytes-per-invocation, the trace must carry >= 2 rank lanes,
+// and every recorded wire_post must have found its matching wire_recv.
 //
 // Diff mode treats the --trace/--metrics pair as run A (baseline) and the
 // --trace-b/--metrics-b pair as run B (candidate), and emits per-phase and
@@ -53,7 +63,7 @@ int main(int argc, char** argv) {
 
   std::string trace_path, metrics_path, out_path, csv_path;
   std::string trace_b_path, metrics_b_path;
-  bool assert_fig6 = false, diff = false;
+  bool assert_fig6 = false, diff = false, wire = false, assert_wire = false;
   CliParser cli("psra_report",
                 "analyze --trace-out/--metrics-out run artifacts");
   cli.AddString("trace", &trace_path, "trace.json artifact (Chrome format)");
@@ -62,6 +72,12 @@ int main(int argc, char** argv) {
   cli.AddString("csv", &csv_path, "machine-readable CSV report path");
   cli.AddBool("assert-fig6", &assert_fig6,
               "fail unless PSR < Ring bytes and communicate share > 0");
+  cli.AddBool("wire", &wire,
+              "treat the artifacts as a merged wire run (per-rank lanes, "
+              "edge matching, wire.* metrics)");
+  cli.AddBool("assert-wire", &assert_wire,
+              "with --wire: fail unless sim.* counters match measured, PSR "
+              "beats Ring per invocation, >= 2 rank lanes, edges all match");
   cli.AddBool("diff", &diff,
               "compare two runs: --trace/--metrics (A) vs --trace-b/"
               "--metrics-b (B)");
@@ -99,6 +115,107 @@ int main(int argc, char** argv) {
       } else {
         WriteTo(out_path, md.str());
         std::cout << "diff: " << out_path << "\n";
+      }
+      return 0;
+    }
+    if (wire) {
+      if (trace_path.empty()) {
+        std::cerr << "psra_report: --wire needs --trace\n";
+        return 2;
+      }
+      const obs::TraceData trace =
+          obs::LoadChromeTrace(ReadFile(trace_path));
+      const obs::TraceReport report = obs::AnalyzeTrace(trace);
+      obs::MetricsRegistry metrics;
+      const bool have_metrics = !metrics_path.empty();
+      if (have_metrics) metrics = obs::MetricsFromJson(ReadFile(metrics_path));
+
+      std::ostringstream md;
+      obs::WriteWireReportMarkdown(trace, report,
+                                   have_metrics ? &metrics : nullptr, md);
+      if (out_path.empty()) {
+        std::cout << md.str();
+      } else {
+        WriteTo(out_path, md.str());
+        std::cout << "report: " << out_path << "\n";
+      }
+      if (!csv_path.empty()) {
+        std::ostringstream csv;
+        obs::WriteReportCsv(report, csv);
+        WriteTo(csv_path, csv.str());
+        std::cout << "csv: " << csv_path << "\n";
+      }
+
+      if (assert_wire) {
+        int failures = 0;
+        std::size_t lanes = 0;
+        for (const auto& t : trace.tracks) {
+          if (t.name.rfind("rank ", 0) == 0) ++lanes;
+        }
+        if (lanes < 2) {
+          std::cerr << "assert-wire: merged trace has " << lanes
+                    << " rank lane(s), need >= 2\n";
+          ++failures;
+        }
+        if (report.edges.matched == 0) {
+          std::cerr << "assert-wire: no send->recv edges matched\n";
+          ++failures;
+        }
+        if (report.edges.unmatched_posts != 0 ||
+            report.edges.unmatched_recvs != 0) {
+          std::cerr << "assert-wire: " << report.edges.unmatched_posts
+                    << " unmatched post(s), " << report.edges.unmatched_recvs
+                    << " unmatched recv(s)\n";
+          ++failures;
+        }
+        if (!have_metrics) {
+          std::cerr << "assert-wire: needs --metrics\n";
+          ++failures;
+        } else {
+          const auto& counters = metrics.counters();
+          auto counter = [&counters](const std::string& n) -> std::uint64_t {
+            const auto it = counters.find(n);
+            return it == counters.end() ? 0 : it->second;
+          };
+          std::size_t sim_refs = 0;
+          for (const auto& [name, sim_value] : counters) {
+            if (name.rfind("sim.", 0) != 0) continue;
+            ++sim_refs;
+            const std::string measured = name.substr(4);
+            if (counter(measured) != sim_value) {
+              std::cerr << "assert-wire: " << measured << " = "
+                        << counter(measured) << " but " << name << " = "
+                        << sim_value << "\n";
+              ++failures;
+            }
+          }
+          if (sim_refs == 0) {
+            std::cerr << "assert-wire: no sim.* reference counters\n";
+            ++failures;
+          }
+          const std::uint64_t psr = counter("comm.allreduce.psr.bytes");
+          const std::uint64_t ring = counter("comm.allreduce.ring.bytes");
+          const std::uint64_t psr_inv =
+              counter("comm.allreduce.psr.invocations");
+          const std::uint64_t ring_inv =
+              counter("comm.allreduce.ring.invocations");
+          if (psr == 0 || ring == 0 || psr_inv == 0 || ring_inv == 0) {
+            std::cerr << "assert-wire: psr/ring byte counters missing\n";
+            ++failures;
+          } else if (static_cast<double>(psr) / psr_inv >=
+                     static_cast<double>(ring) / ring_inv) {
+            std::cerr << "assert-wire: PSR bytes/invocation ("
+                      << static_cast<double>(psr) / psr_inv
+                      << ") not below Ring ("
+                      << static_cast<double>(ring) / ring_inv << ")\n";
+            ++failures;
+          }
+        }
+        if (failures != 0) return 1;
+        std::cout << "assert-wire OK: " << lanes << " rank lanes, "
+                  << report.edges.matched
+                  << " matched edges, sim counters agree, PSR < Ring "
+                     "bytes/invocation\n";
       }
       return 0;
     }
