@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "admm/artifacts.hpp"
+#include "admm/progress.hpp"
 #include "admm/psra_hgadmm.hpp"
 #include "bench_util.hpp"
 #include "obs/obs.hpp"
@@ -28,10 +29,13 @@ int main(int argc, char** argv) {
   cli.AddDouble("scale", &scale, "profile scale (0 = per-dataset default)");
   admm::RunArtifactPaths artifacts;
   admm::AddArtifactFlags(cli, &artifacts);
+  bool progress = false;
+  admm::AddProgressFlag(cli, &progress);
   std::string log_level = "warn";
   AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
   ApplyLogLevelFlag(log_level);
+  admm::ProgressPrinter progress_printer;
 
   double total_comm_psra = 0.0, total_comm_admmlib = 0.0;
   double total_sys_psra = 0.0, total_sys_admmlib = 0.0;
@@ -57,8 +61,10 @@ int main(int argc, char** argv) {
         opt.max_iterations = static_cast<std::uint64_t>(iterations);
         opt.tron = bench::BenchTron();
         opt.eval_every = opt.max_iterations;  // only final metrics needed
+        if (progress) opt.progress = &progress_printer;
 
         const auto res = admm::RunAlgorithm(name, cluster, problem, opt);
+        progress_printer.Finish();
         table.AddRow({res.algorithm, std::to_string(nodes),
                       std::to_string(cluster.world_size()),
                       FormatDuration(res.total_cal_time),
@@ -135,18 +141,24 @@ int main(int argc, char** argv) {
 
     obs::ObsContext obs_psr;
     opt.obs = &obs_psr;
+    if (progress) opt.progress = &progress_printer;
     cfg.allreduce = comm::AllreduceKind::kPsr;
     const auto res = admm::PsraHgAdmm(cfg).Run(problem, opt);
+    progress_printer.Finish();
 
     obs::ObsContext obs_ring;
     obs_ring.tracing = false;  // metrics only; the trace comes from PSR
     opt.obs = &obs_ring;
     cfg.allreduce = comm::AllreduceKind::kRing;
     admm::PsraHgAdmm(cfg).Run(problem, opt);
+    progress_printer.Finish();
     obs_psr.metrics.MergeFrom(obs_ring.metrics);
 
+    // The timeline comes from the PSR run alone (the Ring run merges its
+    // registry only), so the JSONL rows are a single ascending-iteration
+    // run — what psra_report --assert-timeline pins.
     admm::WriteRunArtifacts(artifacts, &obs_psr.tracer, &obs_psr.metrics,
-                            &res);
+                            &res, &obs_psr.timeline);
     std::cout << "\nartifacts (psra-hgadmm psr+ring, " << dataset << ", "
               << nodes << " nodes):";
     if (!artifacts.trace_json.empty()) {

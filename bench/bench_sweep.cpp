@@ -37,6 +37,7 @@
 #include "admm/ad_admm.hpp"
 #include "admm/admmlib.hpp"
 #include "admm/gadmm.hpp"
+#include "admm/progress.hpp"
 #include "admm/psra_hgadmm.hpp"
 #include "bench_util.hpp"
 #include "engine/thread_pool.hpp"
@@ -94,10 +95,13 @@ int main(int argc, char** argv) {
                 "cells: psr|ring|naive|rhd|tree|admmlib|ad-admm|gadmm");
   cli.AddString("sparsity", &sparsity_csv, "sparse,dense");
   cli.AddString("out-dir", &out_dir, "directory for per-cell metrics.json");
+  bool progress = false;
+  admm::AddProgressFlag(cli, &progress);
   AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
   ApplyLogLevelFlag(log_level);
   PSRA_REQUIRE(racks >= 1, "--racks must be at least 1");
+  admm::ProgressPrinter progress_printer;
 
   std::optional<engine::ThreadPool> pool;
   if (pool_threads > 0) {
@@ -140,6 +144,7 @@ int main(int argc, char** argv) {
         opt.eval_every = opt.max_iterations;
         opt.obs = &obs;
         opt.pool = pool.has_value() ? &*pool : nullptr;
+        if (progress) opt.progress = &progress_printer;
 
         admm::RunResult res;
         if (alg == "admmlib") {
@@ -163,6 +168,25 @@ int main(int argc, char** argv) {
           cfg.allreduce = ParseKind(alg);
           cfg.sparse_comm = sparse;
           res = admm::PsraHgAdmm(cfg).Run(problem, opt);
+        }
+
+        progress_printer.Finish();
+
+        // Convergence gate feed: the first iteration at which each residual
+        // series halved from its first recorded value (0 = never). Computed
+        // post-run from the recorded timeline — early stopping stays OFF, so
+        // engine.iterations baselines are untouched. Deterministic integers
+        // (virtual-time state only); scripts/sweep_report diffs them exactly
+        // against the committed baseline like any traffic counter.
+        for (const auto& [series, counter] :
+             {std::pair{"ts.primal_residual",
+                        "convergence.primal.iters_to_half"},
+              std::pair{"ts.dual_residual",
+                        "convergence.dual.iters_to_half"}}) {
+          const obs::TimeSeries* s = obs.timeline.Find(series);
+          if (s == nullptr || s->empty()) continue;
+          obs.metrics.Counter(counter) +=
+              obs.timeline.FirstIterationAtOrBelow(series, 0.5 * s->front());
         }
 
         const std::string cell =

@@ -3,10 +3,12 @@
 //
 //   ./quickstart [--nodes 4] [--workers-per-node 4] [--iterations 30]
 //                [--trace-out trace.json] [--metrics-out metrics.json]
+//                [--timeline-out timeline.jsonl] [--progress]
 #include <iostream>
 
 #include "admm/artifacts.hpp"
 #include "admm/problem.hpp"
+#include "admm/progress.hpp"
 #include "admm/psra_hgadmm.hpp"
 #include "admm/reference.hpp"
 #include "obs/obs.hpp"
@@ -24,6 +26,8 @@ int main(int argc, char** argv) {
   cli.AddInt("iterations", &iterations, "ADMM iterations");
   admm::RunArtifactPaths artifacts;
   admm::AddArtifactFlags(cli, &artifacts);
+  bool progress = false;
+  admm::AddProgressFlag(cli, &progress);
   std::string log_level = "warn";
   AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
@@ -59,9 +63,12 @@ int main(int argc, char** argv) {
   // absent — opt.obs stays null).
   obs::ObsContext obs;
   if (artifacts.wants_obs()) opt.obs = &obs;
+  admm::ProgressPrinter progress_printer;
+  if (progress) opt.progress = &progress_printer;
 
   // 3. Run, then anchor relative error to a high-accuracy reference.
   auto result = admm::PsraHgAdmm(cfg).Run(problem, opt);
+  progress_printer.Finish();
   const double f_min = admm::ReferenceMinimum(
       problem.train, problem.lambda, {.iterations = 200, .rho = problem.rho, .tron = {}});
   result.ApplyReference(f_min);

@@ -57,7 +57,7 @@ echo "== observability artifacts + metrics schema =="
 (cd "$build" && ./bench/bench_fig6_system_time \
   --nodes 4 --iterations 5 --datasets news20 \
   --trace-out OBS_trace.json --metrics-out OBS_metrics.json \
-  --csv-out OBS_trace.csv > /dev/null)
+  --csv-out OBS_trace.csv --timeline-out OBS_timeline.jsonl > /dev/null)
 "$build/tools/check_metrics_schema" "$repo/scripts/metrics_schema.txt" \
   "$build/OBS_metrics.json"
 if command -v python3 > /dev/null; then
@@ -76,6 +76,20 @@ echo "== trace analytics (psra_report) =="
 "$build/tools/psra_report" --trace "$build/OBS_trace.json" \
   --metrics "$build/OBS_metrics.json" --assert-fig6 \
   --out "$build/OBS_report.md" --csv "$build/OBS_report.csv"
+
+echo "== convergence timeline (psra_report --timeline) =="
+# The timeline artifact the same fig6 run just wrote must analyze cleanly:
+# contiguous rows, monotone iterations-to-tolerance, no divergence, and a
+# last row that agrees with the run.iterations gauge in metrics.json. The
+# self-diff exercises the --timeline-b path end to end.
+"$build/tools/psra_report" --timeline "$build/OBS_timeline.jsonl" \
+  --metrics "$build/OBS_metrics.json" --assert-timeline \
+  --out "$build/OBS_timeline_report.md"
+"$build/tools/psra_report" --timeline "$build/OBS_timeline.jsonl" \
+  --timeline-b "$build/OBS_timeline.jsonl" \
+  --out "$build/OBS_timeline_diff.md"
+grep -q "| rows | 5 | 5 | 0 |" "$build/OBS_timeline_diff.md" \
+  || { echo "FAIL: timeline self-diff reports row movement"; exit 1; }
 
 echo "== scale sweep + regression gate =="
 # Reduced-scale (nodes x algorithm x sparsity) sweep; every cell's metrics

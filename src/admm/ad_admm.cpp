@@ -64,6 +64,11 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
   std::uint64_t* c_reply_elements = nullptr;
   std::uint64_t* c_reply_messages = nullptr;
   std::uint64_t* c_z_updates = nullptr;
+  obs::TimeSeries* ts_objective = nullptr;
+  obs::TimeSeries* ts_rho = nullptr;
+  obs::TimeSeries* ts_bytes = nullptr;
+  obs::TimeSeries* ts_participants = nullptr;
+  std::uint64_t prev_report_bytes = 0;
   const std::uint64_t report_elem_bytes =
       cfg_.classic_exchange
           ? cfg_.cluster.cost.value_bytes
@@ -77,6 +82,13 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
     c_reply_elements = &m.Counter("comm.master.reply.elements");
     c_reply_messages = &m.Counter("comm.master.reply.messages");
     c_z_updates = &m.Counter("master.z_updates");
+    // Convergence timeline: the async master has no synchronous residual
+    // pair, so the timeline carries the consensus objective plus the
+    // barrier shape (how many reports each z-update consumed).
+    ts_objective = eo.Series("ts.objective");
+    ts_rho = eo.Series("ts.rho");
+    ts_bytes = eo.Series("ts.bytes");
+    ts_participants = eo.Series("ts.participants");
   }
 
   // --- Master state -------------------------------------------------------
@@ -138,6 +150,24 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
     zcfg.rho = problem.rho;
     zcfg.num_workers = world;
     solver::ZUpdate(zcfg, W, z_global);
+
+    // Timeline row for z-update K, sampled before the reply loop below
+    // re-enters start_compute (whose next-round report traffic must land in
+    // the NEXT row's bytes delta, not this one's).
+    if (eo.on()) {
+      eo.BeginTimelineRow(K);
+      ts_objective->Append(
+          solver::GlobalObjective(problem.train, z_global, problem.lambda));
+      ts_rho->Append(problem.rho);
+      ts_bytes->Append(
+          static_cast<double>(*c_report_bytes - prev_report_bytes));
+      prev_report_bytes = *c_report_bytes;
+      ts_participants->Append(static_cast<double>(waiting.size()));
+    }
+    if (options.progress != nullptr) {
+      options.progress->Report(
+          {K, options.max_iterations, 0.0, 0.0, problem.rho});
+    }
 
     // Reply serialized to every waiting worker (ascending rank for
     // determinism). A reply carries z (sparse after soft-thresholding).
@@ -300,6 +330,7 @@ RunResult AdAdmm::Run(const ConsensusProblem& problem,
     m.Gauge("run.cal_time_s") = result.total_cal_time;
     m.Gauge("run.comm_time_s") = result.total_comm_time;
     m.Gauge("run.iterations") = static_cast<double>(K);
+    eo.PublishTimelineSummary();
     result.metrics = m;
   }
   return result;

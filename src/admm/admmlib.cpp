@@ -70,6 +70,34 @@ struct LibMetrics {
   }
 };
 
+/// Hoisted convergence-timeline series (DESIGN.md §13) plus the cumulative
+/// counter values at the previous row (per-iteration byte/round deltas).
+struct LibSeries {
+  obs::TimeSeries* primal = nullptr;
+  obs::TimeSeries* dual = nullptr;
+  obs::TimeSeries* objective = nullptr;
+  obs::TimeSeries* rho = nullptr;
+  obs::TimeSeries* staleness = nullptr;
+  obs::TimeSeries* bytes = nullptr;
+  obs::TimeSeries* rounds = nullptr;
+  std::uint64_t prev_bytes = 0;
+  std::uint64_t prev_rounds = 0;
+
+  void Hoist(EngineObs& eo) {
+    primal = eo.Series("ts.primal_residual");
+    dual = eo.Series("ts.dual_residual");
+    objective = eo.Series("ts.objective");
+    rho = eo.Series("ts.rho");
+    staleness = eo.Series("ts.ssp_staleness");
+    bytes = eo.Series("ts.bytes");
+    rounds = eo.Series("ts.rounds");
+  }
+
+  std::uint64_t BytesNow(const LibMetrics& lm) const {
+    return *lm.ar_bytes + *lm.intra_reduce_bytes + *lm.intra_bcast_bytes;
+  }
+};
+
 }  // namespace
 
 RunResult AdmmLib::Run(const ConsensusProblem& problem,
@@ -104,9 +132,21 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
   // bitwise-identical to an uninstrumented one (pinned by test_obs).
   EngineObs eo(options.obs, world);
   LibMetrics lm;
+  LibSeries conv;
   if (eo.on()) {
     lm.Hoist(eo.metrics(), ring->Name(), cfg_.sparse_comm,
              static_cast<double>(problem.dim()));
+    conv.Hoist(eo);
+  }
+  // Residual/objective telemetry state (observe-only: ComputeResiduals and
+  // MeanZInto recycle scratch and never touch algorithm state). On a warm
+  // start the dual-residual reference is the restored consensus mean — what
+  // the uninterrupted run would hold — so a split run's timeline rows match
+  // the full run's exactly.
+  linalg::DenseVector z_prev_mean;
+  if (eo.on() || options.progress != nullptr) {
+    z_prev_mean.assign(d, 0.0);
+    if (first_iter > 1) ws.MeanZInto(z_prev_mean);
   }
 
   // Node-level helpers.
@@ -175,6 +215,15 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
   for (simnet::NodeId n = 0; n < nodes; ++n) {
     node_w[n] = compute_node(n);
     ready[n] = ledger[leaders[n]].clock;
+  }
+
+  // Baseline the delta series on the pre-loop node pass's traffic, so every
+  // ts.* delta is pure per-round — a warm-started run (whose pre-loop pass
+  // re-runs the restored round's x-updates) then produces the same rows as
+  // the uninterrupted run.
+  if (eo.on()) {
+    conv.prev_bytes = conv.BytesNow(lm);
+    conv.prev_rounds = *lm.ar_rounds;
   }
 
   linalg::DenseVector W(d, 0.0);
@@ -322,6 +371,35 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
       ready[n] = ledger[leaders[n]].clock;
     }
 
+    // ---- Convergence timeline (one row per SSP round) --------------------
+    // Sampled after the round's consensus + local updates, from virtual-time
+    // state and hoisted counters only (bitwise-identical across pool sizes).
+    if (eo.on() || options.progress != nullptr) {
+      const WorkerSet::Residuals res = ws.ComputeResiduals(z_prev_mean);
+      ws.MeanZInto(z_prev_mean);
+      if (eo.on()) {
+        eo.BeginTimelineRow(k);
+        conv.primal->Append(res.primal);
+        conv.dual->Append(res.dual);
+        // z_prev_mean was just refreshed to this round's consensus mean.
+        conv.objective->Append(solver::GlobalObjective(
+            problem.train, z_prev_mean, problem.lambda));
+        conv.rho->Append(ws.rho());
+        conv.staleness->Append(
+            static_cast<double>(nodes - participants.size()));
+        const std::uint64_t byt = conv.BytesNow(lm);
+        const std::uint64_t rnd = *lm.ar_rounds;
+        conv.bytes->Append(static_cast<double>(byt - conv.prev_bytes));
+        conv.rounds->Append(static_cast<double>(rnd - conv.prev_rounds));
+        conv.prev_bytes = byt;
+        conv.prev_rounds = rnd;
+      }
+      if (options.progress != nullptr) {
+        options.progress->Report(
+            {k, options.max_iterations, res.primal, res.dual, ws.rho()});
+      }
+    }
+
     if (options.record_trace &&
         (k % options.eval_every == 0 || k == options.max_iterations)) {
       result.trace.push_back(ws.Evaluate(k, ledger));
@@ -349,6 +427,7 @@ RunResult AdmmLib::Run(const ConsensusProblem& problem,
     m.Gauge("run.cal_time_s") = result.total_cal_time;
     m.Gauge("run.comm_time_s") = result.total_comm_time;
     m.Gauge("run.iterations") = static_cast<double>(result.iterations_run);
+    eo.PublishTimelineSummary();
     result.metrics = m;
   }
   return result;

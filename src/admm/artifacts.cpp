@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "support/artifact_path.hpp"
 #include "support/cli.hpp"
 #include "support/status.hpp"
 
@@ -14,12 +15,14 @@ void AddArtifactFlags(CliParser& cli, RunArtifactPaths* paths) {
                 "write the run's metrics registry as JSON here");
   cli.AddString("csv-out", &paths->trace_csv,
                 "write the per-iteration trace as CSV here");
+  cli.AddString("timeline-out", &paths->timeline_jsonl,
+                "write the per-iteration convergence timeline as JSONL here");
 }
 
 namespace {
 
 std::ofstream OpenOrDie(const std::string& path) {
-  std::ofstream os(path);
+  std::ofstream os(ResolveArtifactPath(path));
   PSRA_REQUIRE(os.good(), "cannot open artifact file for writing: " + path);
   return os;
 }
@@ -29,7 +32,8 @@ std::ofstream OpenOrDie(const std::string& path) {
 void WriteRunArtifacts(const RunArtifactPaths& paths,
                        const obs::SpanTracer* tracer,
                        const obs::MetricsRegistry* metrics,
-                       const RunResult* result) {
+                       const RunResult* result,
+                       const obs::TimeSeriesRecorder* timeline) {
   if (!paths.trace_json.empty()) {
     PSRA_REQUIRE(tracer != nullptr, "--trace-out requested but no tracer");
     auto os = OpenOrDie(paths.trace_json);
@@ -46,11 +50,17 @@ void WriteRunArtifacts(const RunArtifactPaths& paths,
     auto os = OpenOrDie(paths.trace_csv);
     result->WriteTraceCsv(os);
   }
+  if (!paths.timeline_jsonl.empty()) {
+    PSRA_REQUIRE(timeline != nullptr,
+                 "--timeline-out requested but no timeline recorder");
+    auto os = OpenOrDie(paths.timeline_jsonl);
+    timeline->WriteJsonl(os);
+  }
 }
 
 void WriteRunArtifacts(const RunArtifactPaths& paths,
                        const obs::ObsContext& ctx, const RunResult& result) {
-  WriteRunArtifacts(paths, &ctx.tracer, &ctx.metrics, &result);
+  WriteRunArtifacts(paths, &ctx.tracer, &ctx.metrics, &result, &ctx.timeline);
 }
 
 }  // namespace psra::admm

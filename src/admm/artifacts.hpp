@@ -1,16 +1,19 @@
 // Run-artifact export: every bench/example binary can emit the observability
 // artifacts of a run through one shared code path (DESIGN.md §9):
 //
-//   trace.json   — Chrome trace_event JSON from the run's SpanTracer
-//                  (chrome://tracing / Perfetto loadable);
-//   metrics.json — the MetricsRegistry, deterministically ordered
-//                  (schema-checked in CI by tools/check_metrics_schema);
-//   trace.csv    — the per-iteration IterationRecord series.
+//   trace.json     — Chrome trace_event JSON from the run's SpanTracer
+//                    (chrome://tracing / Perfetto loadable);
+//   metrics.json   — the MetricsRegistry, deterministically ordered
+//                    (schema-checked in CI by tools/check_metrics_schema);
+//   trace.csv      — the per-iteration IterationRecord series;
+//   timeline.jsonl — the per-iteration convergence time-series from the
+//                    run's TimeSeriesRecorder (psra_report --timeline).
 //
 // Binaries call AddArtifactFlags() to grow --trace-out / --metrics-out /
-// --csv-out flags, attach an obs::ObsContext to RunOptions when the user
-// asked for trace or metrics output, and hand everything to
-// WriteRunArtifacts afterwards.
+// --csv-out / --timeline-out flags, attach an obs::ObsContext to RunOptions
+// when the user asked for trace/metrics/timeline output, and hand
+// everything to WriteRunArtifacts afterwards. Relative paths are resolved
+// against $PSRA_TRACE_DIR (support/artifact_path.hpp) at write time.
 #pragma once
 
 #include <string>
@@ -29,27 +32,34 @@ struct RunArtifactPaths {
   std::string trace_json;
   std::string metrics_json;
   std::string trace_csv;
+  std::string timeline_jsonl;
 
   bool any() const {
-    return !trace_json.empty() || !metrics_json.empty() || !trace_csv.empty();
+    return !trace_json.empty() || !metrics_json.empty() ||
+           !trace_csv.empty() || !timeline_jsonl.empty();
   }
-  /// True when the run must be instrumented (trace/metrics requested).
+  /// True when the run must be instrumented (trace/metrics/timeline
+  /// requested).
   bool wants_obs() const {
-    return !trace_json.empty() || !metrics_json.empty();
+    return !trace_json.empty() || !metrics_json.empty() ||
+           !timeline_jsonl.empty();
   }
 };
 
-/// Registers --trace-out, --metrics-out and --csv-out on `cli`, writing the
-/// parsed paths into `paths` (which must outlive the parser).
+/// Registers --trace-out, --metrics-out, --csv-out and --timeline-out on
+/// `cli`, writing the parsed paths into `paths` (which must outlive the
+/// parser).
 void AddArtifactFlags(CliParser& cli, RunArtifactPaths* paths);
 
 /// Writes the requested artifacts. `tracer` backs trace.json, `metrics`
-/// backs metrics.json, `result` backs trace.csv; a null source for a
-/// requested artifact is an error (PSRA_REQUIRE), as is an unwritable path.
+/// backs metrics.json, `result` backs trace.csv, `timeline` backs
+/// timeline.jsonl; a null source for a requested artifact is an error
+/// (PSRA_REQUIRE), as is an unwritable path.
 void WriteRunArtifacts(const RunArtifactPaths& paths,
                        const obs::SpanTracer* tracer,
                        const obs::MetricsRegistry* metrics,
-                       const RunResult* result);
+                       const RunResult* result,
+                       const obs::TimeSeriesRecorder* timeline = nullptr);
 
 /// Convenience overload: trace and metrics both come from `ctx`.
 void WriteRunArtifacts(const RunArtifactPaths& paths,

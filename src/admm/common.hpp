@@ -79,6 +79,26 @@ struct StoppingConfig {
   double eps_rel = 1e-3;
 };
 
+/// One engine iteration's headline state, pushed to a ProgressSink when the
+/// caller asked for live progress. Fields an engine does not track (e.g.
+/// residual norms outside PSRA) stay zero.
+struct ProgressUpdate {
+  std::uint64_t iteration = 0;
+  std::uint64_t max_iterations = 0;
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  double rho = 0.0;
+};
+
+/// Receiver for per-iteration progress (see admm/progress.hpp for the
+/// rate-limited stderr printer). Engines call Report once per iteration
+/// behind a null check, so an unset sink costs one predictable branch.
+class ProgressSink {
+ public:
+  virtual ~ProgressSink() = default;
+  virtual void Report(const ProgressUpdate& update) = 0;
+};
+
 struct RunOptions {
   std::uint64_t max_iterations = 100;
   solver::TronOptions tron;
@@ -95,6 +115,10 @@ struct RunOptions {
   /// hot path allocation-free and the results bitwise-identical to an
   /// uninstrumented run (pinned by test_obs).
   obs::ObsContext* obs = nullptr;
+  /// Optional live-progress receiver (iteration, residuals, rho), reported
+  /// once per iteration. Null — the default — costs one branch per
+  /// iteration; progress never feeds back into the run.
+  ProgressSink* progress = nullptr;
   /// Optional restored checkpoint: the engine seeds every worker's (x, y, z)
   /// and rho from it and resumes at iteration warm_start->iteration + 1,
   /// running through max_iterations as usual. Virtual clocks restart at

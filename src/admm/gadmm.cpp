@@ -101,6 +101,25 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
     static constexpr double kTimeBounds[] = {1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
     h_recovery = &m.Histo("fault.recovery_latency_s", kTimeBounds);
   }
+  // Hoisted convergence-timeline series (DESIGN.md §13). GADMM has no
+  // consensus z, so its "primal residual" is the chain-link disagreement
+  // sqrt(sum_n ||x_n - x_{n+1}||^2), which goes to zero at consensus.
+  obs::TimeSeries* ts_primal = nullptr;
+  obs::TimeSeries* ts_objective = nullptr;
+  obs::TimeSeries* ts_rho = nullptr;
+  obs::TimeSeries* ts_bytes = nullptr;
+  obs::TimeSeries* ts_messages = nullptr;
+  std::uint64_t prev_push_bytes = 0;
+  std::uint64_t prev_push_messages = 0;
+  linalg::DenseVector tl_mean;  // reusable mean-model buffer (telemetry only)
+  if (eo.on()) {
+    ts_primal = eo.Series("ts.primal_residual");
+    ts_objective = eo.Series("ts.objective");
+    ts_rho = eo.Series("ts.rho");
+    ts_bytes = eo.Series("ts.bytes");
+    ts_messages = eo.Series("ts.messages");
+    tl_mean.assign(d, 0.0);
+  }
 
   // Chain state. neighbor_copy[n][side]: worker n's latest copy of
   // x_{n-1} (side 0) / x_{n+1} (side 1). last_sent[n][side]: the model n's
@@ -233,6 +252,16 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
     linalg::Scale(1.0 / static_cast<double>(world), m);
     return m;
   };
+  auto chain_disagreement = [&] {
+    double acc = 0.0;
+    for (std::size_t n = 0; n + 1 < world; ++n) {
+      for (std::size_t i = 0; i < d; ++i) {
+        const double diff = x[n][i] - x[n + 1][i];
+        acc += diff * diff;
+      }
+    }
+    return std::sqrt(acc);
+  };
 
   for (std::uint64_t iter = 1; iter <= options.max_iterations; ++iter) {
     result.iterations_run = iter;
@@ -316,6 +345,31 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
       }
     }
 
+    // ---- Convergence timeline (one row per iteration) --------------------
+    if (eo.on() || options.progress != nullptr) {
+      const double disagreement = chain_disagreement();
+      if (eo.on()) {
+        eo.BeginTimelineRow(iter);
+        ts_primal->Append(disagreement);
+        linalg::SetZero(tl_mean);
+        for (const auto& xi : x) linalg::Axpy(1.0, xi, tl_mean);
+        linalg::Scale(1.0 / static_cast<double>(world), tl_mean);
+        ts_objective->Append(
+            solver::GlobalObjective(problem.train, tl_mean, problem.lambda));
+        ts_rho->Append(rho);
+        const std::uint64_t byt = *c_push_bytes;
+        const std::uint64_t msg = *c_push_messages;
+        ts_bytes->Append(static_cast<double>(byt - prev_push_bytes));
+        ts_messages->Append(static_cast<double>(msg - prev_push_messages));
+        prev_push_bytes = byt;
+        prev_push_messages = msg;
+      }
+      if (options.progress != nullptr) {
+        options.progress->Report(
+            {iter, options.max_iterations, disagreement, 0.0, rho});
+      }
+    }
+
     if (options.record_trace &&
         (iter % options.eval_every == 0 || iter == options.max_iterations)) {
       IterationRecord rec;
@@ -350,6 +404,7 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
     m.Gauge("run.cal_time_s") = result.total_cal_time;
     m.Gauge("run.comm_time_s") = result.total_comm_time;
     m.Gauge("run.iterations") = static_cast<double>(result.iterations_run);
+    eo.PublishTimelineSummary();
     result.metrics = m;
   }
   return result;

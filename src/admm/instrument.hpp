@@ -63,6 +63,26 @@ class EngineObs {
     return ctx_->tracer.AddTrack(std::move(name));
   }
 
+  /// Hoists a timeline series handle (stable for the context's lifetime) or
+  /// null without a context — engines grab these at Run start and append
+  /// behind a null check, exactly like hoisted Counter()/Gauge() slots.
+  obs::TimeSeries* Series(const char* name) {
+    return ctx_ != nullptr ? &ctx_->timeline.Series(name) : nullptr;
+  }
+
+  /// Starts a timeline row for `iteration`; every hoisted series must then
+  /// receive exactly one sample before the next row begins.
+  void BeginTimelineRow(std::uint64_t iteration) {
+    if (ctx_ != nullptr) ctx_->timeline.BeginIteration(iteration);
+  }
+
+  /// Publishes the per-series summary gauges (ts.*.samples/first/last/...)
+  /// into the registry; engines call this once from their final metrics
+  /// block so the timeline's footprint rides every metrics.json.
+  void PublishTimelineSummary() {
+    if (ctx_ != nullptr) ctx_->timeline.PublishSummary(ctx_->metrics);
+  }
+
   /// Re-reads worker i's mark from the ledger and restarts the wall lap
   /// (host time spent outside bracketed phases — evaluation, bookkeeping —
   /// is deliberately not attributed to any span).

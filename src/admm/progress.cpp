@@ -1,0 +1,45 @@
+#include "admm/progress.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/cli.hpp"
+
+namespace psra::admm {
+
+void ProgressPrinter::Report(const ProgressUpdate& update) {
+  ++reports_;
+  const double now = watch_.ElapsedSeconds();
+  const bool final_iteration = update.max_iterations != 0 &&
+                               update.iteration >= update.max_iterations;
+  if (!final_iteration && last_emit_s_ >= 0.0 &&
+      now - last_emit_s_ < min_interval_s_) {
+    return;
+  }
+  last_emit_s_ = now;
+  printed_ = true;
+  const double rate =
+      now > 0.0 ? static_cast<double>(reports_) / now : 0.0;
+  std::fprintf(stderr,
+               "\r[psra] iter %" PRIu64 "/%" PRIu64
+               "  primal %.3e  dual %.3e  rho %g  %.1f it/s",
+               update.iteration, update.max_iterations,
+               update.primal_residual, update.dual_residual, update.rho,
+               rate);
+  std::fflush(stderr);
+}
+
+void ProgressPrinter::Finish() {
+  if (!printed_) return;
+  printed_ = false;
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+void AddProgressFlag(CliParser& cli, bool* enabled) {
+  cli.AddBool("progress", enabled,
+              "live rate-limited progress line on stderr (iteration, "
+              "residuals, iterations/sec)");
+}
+
+}  // namespace psra::admm

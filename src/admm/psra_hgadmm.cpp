@@ -137,6 +137,45 @@ struct PsraMetrics {
   }
 };
 
+/// Hoisted convergence-timeline series (DESIGN.md §13) plus the cumulative
+/// counter values at the previous row, which turn the registry's running
+/// totals into per-iteration deltas. Series handles are stable for the
+/// ObsContext's lifetime, so appends are plain stores.
+struct PsraSeries {
+  obs::TimeSeries* primal = nullptr;
+  obs::TimeSeries* dual = nullptr;
+  obs::TimeSeries* objective = nullptr;
+  obs::TimeSeries* rho = nullptr;
+  obs::TimeSeries* active_groups = nullptr;
+  obs::TimeSeries* regroups = nullptr;
+  obs::TimeSeries* bytes = nullptr;
+  obs::TimeSeries* rounds = nullptr;
+  std::uint64_t prev_invocations = 0;
+  std::uint64_t prev_groups = 0;
+  std::uint64_t prev_bytes = 0;
+  std::uint64_t prev_rounds = 0;
+
+  void Hoist(EngineObs& eo) {
+    primal = eo.Series("ts.primal_residual");
+    dual = eo.Series("ts.dual_residual");
+    objective = eo.Series("ts.objective");
+    rho = eo.Series("ts.rho");
+    active_groups = eo.Series("ts.active_groups");
+    regroups = eo.Series("ts.regroup_events");
+    bytes = eo.Series("ts.bytes");
+    rounds = eo.Series("ts.rounds");
+  }
+
+  /// Cumulative collective payload bytes across the engine's channels
+  /// (inter-group allreduce + intra-node reduce/bcast + rack bcast).
+  std::uint64_t BytesNow(const PsraMetrics& pm) const {
+    std::uint64_t b = *pm.ar.bytes + *pm.intra_reduce_bytes +
+                      *pm.intra_bcast_bytes;
+    if (pm.rack_bcast_bytes != nullptr) b += *pm.rack_bcast_bytes;
+    return b;
+  }
+};
+
 /// Folds one collective invocation's stats into the hoisted metric slots.
 /// Split out of RunInterAllreduce so the batched path can run collectives in
 /// parallel and replay the registry updates serially, in formation order.
@@ -320,11 +359,13 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
   // to an uninstrumented one (pinned by test_obs).
   EngineObs eo(options.obs, world);
   PsraMetrics pm;
+  PsraSeries conv;
   obs::TrackId gg_track = 0;
   if (eo.on()) {
     pm.Hoist(eo.metrics(), alg->Name(), cfg_.sparse_comm,
              static_cast<double>(problem.dim()));
     if (multi_rack) pm.HoistRack(eo.metrics());
+    conv.Hoist(eo);
     if (cfg_.grouping == GroupingMode::kDynamicGroups) {
       gg_track = eo.AddAuxTrack("group generator");
     }
@@ -361,6 +402,10 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
   std::vector<double> flops(world, 0.0);
   linalg::DenseVector z_prev_mean(static_cast<std::size_t>(problem.dim()),
                                   0.0);
+  // Warm start: the dual-residual reference is the restored consensus mean —
+  // exactly what the uninterrupted run holds entering this iteration — so a
+  // split run's residuals (and timeline rows) match the full run's.
+  if (first_iter > 1) ws.MeanZInto(z_prev_mean);
 
   // ---- Hoisted per-run workspaces --------------------------------------
   // Everything a steady-state iteration needs is sized here (or on first
@@ -503,6 +548,16 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
         << "leader " << li << " of node " << n << " died mid-round, iter "
         << it;
   };
+
+  // Baseline the delta-series counters on whatever setup traffic is already
+  // booked, so every ts.* delta is pure per-iteration traffic — which is
+  // what makes a warm-started run's rows match the uninterrupted run's.
+  if (eo.on()) {
+    conv.prev_invocations = *pm.ar.invocations;
+    conv.prev_groups = *pm.groups_formed;
+    conv.prev_bytes = conv.BytesNow(pm);
+    conv.prev_rounds = *pm.ar.rounds;
+  }
 
   for (std::uint64_t iter = first_iter; iter <= options.max_iterations;
        ++iter) {
@@ -1273,6 +1328,37 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
     ws.MeanZInto(z_prev_mean);
     const double rho_now = ws.MaybeAdaptRho(options.adaptive_rho, residuals);
 
+    // ---- Convergence timeline (one row per iteration) --------------------
+    // Samples come from virtual-time state and hoisted counters only, so the
+    // timeline is bitwise-identical across pool sizes; appends are plain
+    // stores into pooled chunks (0 allocs/iter, pinned by test_alloc).
+    if (eo.on()) {
+      eo.BeginTimelineRow(iter);
+      conv.primal->Append(residuals.primal);
+      conv.dual->Append(residuals.dual);
+      // z_prev_mean was just refreshed: it holds THIS iteration's consensus
+      // mean, so the objective is evaluated allocation-free on it.
+      conv.objective->Append(
+          solver::GlobalObjective(problem.train, z_prev_mean, problem.lambda));
+      conv.rho->Append(rho_now);
+      const std::uint64_t inv = *pm.ar.invocations;
+      const std::uint64_t grp = *pm.groups_formed;
+      const std::uint64_t byt = conv.BytesNow(pm);
+      const std::uint64_t rnd = *pm.ar.rounds;
+      conv.active_groups->Append(static_cast<double>(inv - conv.prev_invocations));
+      conv.regroups->Append(static_cast<double>(grp - conv.prev_groups));
+      conv.bytes->Append(static_cast<double>(byt - conv.prev_bytes));
+      conv.rounds->Append(static_cast<double>(rnd - conv.prev_rounds));
+      conv.prev_invocations = inv;
+      conv.prev_groups = grp;
+      conv.prev_bytes = byt;
+      conv.prev_rounds = rnd;
+    }
+    if (options.progress != nullptr) {
+      options.progress->Report({iter, options.max_iterations, residuals.primal,
+                                residuals.dual, rho_now});
+    }
+
     // ---- Metrics ----------------------------------------------------------
     if (options.record_trace &&
         (iter % options.eval_every == 0 || iter == options.max_iterations)) {
@@ -1335,6 +1421,13 @@ RunResult PsraHgAdmm::Run(const ConsensusProblem& problem,
     m.Gauge("run.cal_time_s") = result.total_cal_time;
     m.Gauge("run.comm_time_s") = result.total_comm_time;
     m.Gauge("run.iterations") = static_cast<double>(result.iterations_run);
+    // Early-stop outcome (Boyd §3.3): lets any metrics.json distinguish a
+    // converged run from a max-iteration exit, and records how many
+    // iterations the tolerance took when it was reached.
+    m.Gauge("stopping.converged") = result.stopped_early ? 1.0 : 0.0;
+    m.Gauge("stopping.iterations_to_tolerance") =
+        result.stopped_early ? static_cast<double>(result.iterations_run) : 0.0;
+    eo.PublishTimelineSummary();
     result.metrics = m;
   }
   return result;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace psra::obs {
@@ -18,6 +19,9 @@ namespace psra::obs {
 struct ObsContext {
   SpanTracer tracer;
   MetricsRegistry metrics;
+  /// Per-iteration convergence telemetry (residuals, objective, rho, ...);
+  /// engines record one row per iteration whenever a context is attached.
+  TimeSeriesRecorder timeline;
   /// Set false to keep the metrics registry but skip span recording (e.g.
   /// when a harness aggregates metrics over many runs but wants the trace of
   /// only one representative run).

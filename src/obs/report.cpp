@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <limits>
 #include <map>
 #include <optional>
 #include <ostream>
@@ -862,6 +863,327 @@ void WriteReportDiffMarkdown(const TraceReport& a, const TraceReport& b,
          << SignedInt(v.first, v.second) << " |\n";
     }
     os << "\n" << unchanged << " counters unchanged.\n";
+  }
+}
+
+// ---- Convergence timeline ------------------------------------------------
+
+const std::vector<double>* TimelineData::Column(std::string_view name) const {
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i] == name) return &columns[i];
+  }
+  return nullptr;
+}
+
+TimelineData LoadTimelineJsonl(std::string_view text) {
+  TimelineData data;
+  bool have_header = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view raw =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    ++line_no;
+    const std::string_view line = Trim(raw);
+    if (line.empty()) continue;
+    auto fail = [line_no](const std::string& what) {
+      throw InvalidArgument("timeline line " + std::to_string(line_no) + ": " +
+                            what);
+    };
+    json::Value v;
+    try {
+      v = json::Parse(line);
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+    if (!v.is_object()) fail("expected a JSON object");
+    if (!have_header) {
+      const json::Value* ver = v.Find("psra_timeline");
+      if (ver == nullptr || !ver->is_number() || ver->number != 1.0) {
+        fail("expected header {\"psra_timeline\": 1, \"series\": [...]}");
+      }
+      const json::Value* names = v.Find("series");
+      if (names == nullptr || !names->is_array()) {
+        fail("header missing \"series\" array");
+      }
+      for (const auto& n : names->items) {
+        if (!n.is_string()) fail("series names must be strings");
+        data.series.push_back(n.str);
+      }
+      data.columns.assign(data.series.size(), {});
+      have_header = true;
+      continue;
+    }
+    const json::Value* it = v.Find("it");
+    const json::Value* vals = v.Find("v");
+    if (it == nullptr || !it->is_number() || it->number < 0.0) {
+      fail("row missing numeric \"it\"");
+    }
+    if (vals == nullptr || !vals->is_array()) fail("row missing \"v\" array");
+    if (vals->items.size() != data.series.size()) {
+      fail("row carries " + std::to_string(vals->items.size()) +
+           " values, header declares " + std::to_string(data.series.size()) +
+           " series");
+    }
+    data.iterations.push_back(static_cast<std::uint64_t>(it->number));
+    for (std::size_t i = 0; i < vals->items.size(); ++i) {
+      const json::Value& s = vals->items[i];
+      if (s.kind == json::Value::Kind::kNull) {
+        data.columns[i].push_back(std::numeric_limits<double>::quiet_NaN());
+      } else if (s.is_number()) {
+        data.columns[i].push_back(s.number);
+      } else {
+        fail("samples must be numbers or null");
+      }
+    }
+  }
+  if (!have_header) {
+    throw InvalidArgument("timeline: no header line (empty input?)");
+  }
+  return data;
+}
+
+namespace {
+
+/// The residual series iterations-to-tolerance and health apply to, in
+/// report order. ts.objective is NOT here: the L1 objective converges to a
+/// nonzero optimum, so tolerance thresholds are meaningless for it.
+constexpr const char* kResidualSeries[] = {"ts.primal_residual",
+                                           "ts.dual_residual"};
+
+}  // namespace
+
+TimelineReport AnalyzeTimeline(const TimelineData& data,
+                               const std::vector<double>& tolerances) {
+  TimelineReport r;
+  r.rows = data.rows();
+  if (r.rows > 0) {
+    r.first_iteration = data.iterations.front();
+    r.last_iteration = data.iterations.back();
+  }
+  for (std::size_t i = 1; i < data.iterations.size(); ++i) {
+    if (data.iterations[i] != data.iterations[i - 1] + 1) {
+      r.contiguous = false;
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < data.series.size(); ++i) {
+    const std::vector<double>& col = data.columns[i];
+    TimelineSeriesStat st;
+    st.name = data.series[i];
+    if (!col.empty()) {
+      st.first = col.front();
+      st.last = col.back();
+    }
+    for (const double v : col) {
+      if (!std::isfinite(v)) {
+        st.has_non_finite = true;
+        continue;
+      }
+      if (st.finite == 0) {
+        st.min = st.max = v;
+      } else {
+        st.min = std::min(st.min, v);
+        st.max = std::max(st.max, v);
+      }
+      ++st.finite;
+    }
+    r.series.push_back(std::move(st));
+  }
+
+  for (const char* name : kResidualSeries) {
+    const std::vector<double>* col = data.Column(name);
+    if (col == nullptr || col->empty()) continue;
+    for (const double tol : tolerances) {
+      TimelineCrossing c;
+      c.series = name;
+      c.tol = tol;
+      for (std::size_t row = 0; row < col->size(); ++row) {
+        if ((*col)[row] <= tol) {  // NaN compares false: never crosses
+          c.iteration = data.iterations[row];
+          break;
+        }
+      }
+      r.crossings.push_back(std::move(c));
+    }
+    TimelineHealth h;
+    h.series = name;
+    h.window = std::max<std::size_t>(5, col->size() / 4);
+    h.diverged = col->back() > col->front();
+    for (const double v : *col) {
+      if (!std::isfinite(v)) h.diverged = true;
+    }
+    if (col->size() > h.window) {
+      const double start = (*col)[col->size() - 1 - h.window];
+      const double end = col->back();
+      h.window_improvement =
+          (start - end) / std::max(std::abs(start),
+                                   std::numeric_limits<double>::min());
+      h.stalled = h.window_improvement < 0.01;
+    }
+    r.health.push_back(std::move(h));
+  }
+
+  if (const std::vector<double>* rho = data.Column("ts.rho");
+      rho != nullptr && !rho->empty()) {
+    r.has_rho = true;
+    r.rho_first = rho->front();
+    r.rho_last = rho->back();
+    for (std::size_t i = 1; i < rho->size(); ++i) {
+      if ((*rho)[i] != (*rho)[i - 1]) ++r.rho_changes;
+    }
+  }
+
+  if (const std::vector<double>* bytes = data.Column("ts.bytes");
+      bytes != nullptr && !bytes->empty()) {
+    const std::vector<double>* resid = nullptr;
+    for (const char* cand :
+         {"ts.primal_residual", "ts.dual_residual", "ts.objective"}) {
+      resid = data.Column(cand);
+      if (resid != nullptr) {
+        r.efficiency_series = cand;
+        break;
+      }
+    }
+    std::vector<double> cumulative(bytes->size(), 0.0);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < bytes->size(); ++i) {
+      if (std::isfinite((*bytes)[i])) acc += (*bytes)[i];
+      cumulative[i] = acc;
+    }
+    r.total_bytes = acc;
+    if (resid != nullptr) {
+      // Up to 8 evenly spaced rows, always including the first and last.
+      const std::size_t n = bytes->size();
+      const std::size_t points = std::min<std::size_t>(8, n);
+      std::size_t prev_row = n;  // sentinel: no row emitted yet
+      for (std::size_t k = 0; k < points; ++k) {
+        const std::size_t row =
+            points == 1 ? 0 : k * (n - 1) / (points - 1);
+        if (row == prev_row) continue;
+        prev_row = row;
+        TimelineEfficiencyRow e;
+        e.iteration = data.iterations[row];
+        e.cumulative_bytes = cumulative[row];
+        e.residual = (*resid)[row];
+        r.efficiency.push_back(e);
+      }
+    }
+  }
+  return r;
+}
+
+namespace {
+
+/// Crossing iteration for the table: "never" reads better than 0.
+std::string CrossingCell(std::uint64_t iteration) {
+  return iteration == 0 ? "never" : std::to_string(iteration);
+}
+
+}  // namespace
+
+void WriteTimelineMarkdown(const TimelineReport& report, std::ostream& os) {
+  os << "# Convergence timeline\n\n"
+     << "- rows: " << report.rows << " (iterations " << report.first_iteration
+     << ".." << report.last_iteration
+     << (report.contiguous ? ", contiguous" : ", NOT contiguous") << ")\n"
+     << "- series: " << report.series.size() << "\n";
+  if (report.total_bytes > 0.0) {
+    os << "- bytes on wire: " << FormatBytes(report.total_bytes) << "\n";
+  }
+
+  os << "\n## Series\n\n"
+     << "| series | first | last | min | max |\n|---|---:|---:|---:|---:|\n";
+  for (const auto& st : report.series) {
+    os << "| " << st.name << " | " << FormatDouble(st.first, 6) << " | "
+       << FormatDouble(st.last, 6) << " | " << FormatDouble(st.min, 6)
+       << " | " << FormatDouble(st.max, 6)
+       << (st.has_non_finite ? " (non-finite samples!)" : "") << " |\n";
+  }
+
+  if (!report.crossings.empty()) {
+    os << "\n## Iterations to tolerance\n\n| series | tolerance | iteration "
+          "|\n|---|---:|---:|\n";
+    for (const auto& c : report.crossings) {
+      os << "| " << c.series << " | " << FormatDouble(c.tol, 6) << " | "
+         << CrossingCell(c.iteration) << " |\n";
+    }
+  }
+
+  if (!report.health.empty()) {
+    os << "\n## Health\n\n| series | trend | window rows | window improvement "
+          "|\n|---|---|---:|---:|\n";
+    for (const auto& h : report.health) {
+      const char* trend =
+          h.diverged ? "DIVERGED" : (h.stalled ? "stalled" : "converging");
+      os << "| " << h.series << " | " << trend << " | " << h.window << " | "
+         << RelPct(1.0, 1.0 + h.window_improvement) << " |\n";
+    }
+  }
+
+  if (report.has_rho) {
+    os << "\n## Rho trajectory\n\nrho " << FormatDouble(report.rho_first, 6)
+       << " -> " << FormatDouble(report.rho_last, 6) << ", "
+       << report.rho_changes << " adaptation step(s) over " << report.rows
+       << " rows.\n";
+  }
+
+  if (!report.efficiency.empty()) {
+    os << "\n## Bytes vs residual\n\n| iteration | cumulative bytes | "
+       << report.efficiency_series << " |\n|---:|---:|---:|\n";
+    for (const auto& e : report.efficiency) {
+      os << "| " << e.iteration << " | "
+         << FormatDouble(e.cumulative_bytes, 17) << " | "
+         << FormatDouble(e.residual, 6) << " |\n";
+    }
+  }
+}
+
+void WriteTimelineDiffMarkdown(const TimelineReport& a, const TimelineReport& b,
+                               std::ostream& os) {
+  os << "# Convergence timeline diff (A = baseline, B = candidate)\n\n"
+     << "## Run shape\n\n| quantity | A | B | delta |\n|---|---:|---:|---:|\n"
+     << "| rows | " << a.rows << " | " << b.rows << " | "
+     << SignedInt(a.rows, b.rows) << " |\n"
+     << "| last iteration | " << a.last_iteration << " | " << b.last_iteration
+     << " | " << SignedInt(a.last_iteration, b.last_iteration) << " |\n"
+     << "| bytes on wire | " << FormatDouble(a.total_bytes, 17) << " | "
+     << FormatDouble(b.total_bytes, 17) << " | "
+     << Signed(b.total_bytes - a.total_bytes, 17) << " |\n";
+
+  // Final values over the union of series names (map: sorted, dedup'd).
+  std::map<std::string, std::pair<const TimelineSeriesStat*,
+                                  const TimelineSeriesStat*>> all;
+  for (const auto& st : a.series) all[st.name].first = &st;
+  for (const auto& st : b.series) all[st.name].second = &st;
+  os << "\n## Final values\n\n| series | A last | B last | delta | rel "
+        "|\n|---|---:|---:|---:|---:|\n";
+  for (const auto& [name, pair] : all) {
+    const double va = pair.first != nullptr ? pair.first->last : 0.0;
+    const double vb = pair.second != nullptr ? pair.second->last : 0.0;
+    os << "| " << name << " | "
+       << (pair.first != nullptr ? FormatDouble(va, 6) : "-") << " | "
+       << (pair.second != nullptr ? FormatDouble(vb, 6) : "-") << " | "
+       << Signed(vb - va, 6) << " | " << RelPct(va, vb) << " |\n";
+  }
+
+  if (!a.crossings.empty() || !b.crossings.empty()) {
+    std::map<std::pair<std::string, double>,
+             std::pair<std::uint64_t, std::uint64_t>> cross;
+    for (const auto& c : a.crossings) cross[{c.series, c.tol}].first =
+        c.iteration;
+    for (const auto& c : b.crossings) cross[{c.series, c.tol}].second =
+        c.iteration;
+    os << "\n## Iterations to tolerance\n\n| series | tolerance | A | B "
+          "|\n|---|---:|---:|---:|\n";
+    for (const auto& [key, v] : cross) {
+      os << "| " << key.first << " | " << FormatDouble(key.second, 6) << " | "
+         << CrossingCell(v.first) << " | " << CrossingCell(v.second) << " |\n";
+    }
   }
 }
 

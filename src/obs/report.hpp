@@ -174,4 +174,99 @@ void WriteReportDiffMarkdown(const TraceReport& a, const TraceReport& b,
                              const MetricsRegistry* metrics_b,
                              std::ostream& os);
 
+// ---- Convergence timeline (the --timeline-out JSONL; DESIGN.md §13) ------
+
+/// A re-loaded timeline artifact: the header's series names plus one column
+/// of samples per series. Null samples (non-finite at write time) come back
+/// as NaN.
+struct TimelineData {
+  std::vector<std::string> series;           // header order (sorted)
+  std::vector<std::uint64_t> iterations;     // one per row
+  std::vector<std::vector<double>> columns;  // [series index][row]
+
+  std::size_t rows() const { return iterations.size(); }
+  /// Column for a series name; null when absent.
+  const std::vector<double>* Column(std::string_view name) const;
+};
+
+/// Parses a TimeSeriesRecorder::WriteJsonl artifact. Throws InvalidArgument
+/// naming the 1-based line number on malformed input: non-JSON lines, a
+/// missing or alien header, rows whose value count disagrees with the
+/// header, or samples that are neither numbers nor null.
+TimelineData LoadTimelineJsonl(std::string_view text);
+
+struct TimelineSeriesStat {
+  std::string name;
+  double first = 0.0;  // first sample (NaN if the row was null)
+  double last = 0.0;
+  double min = 0.0;    // over finite samples
+  double max = 0.0;
+  std::size_t finite = 0;  // finite sample count
+  bool has_non_finite = false;
+};
+
+/// First iteration at which a residual series reached `tol`; 0 = never.
+struct TimelineCrossing {
+  std::string series;
+  double tol = 0.0;
+  std::uint64_t iteration = 0;
+};
+
+/// Stall/divergence health of one residual-like series, judged over a
+/// trailing window of max(5, rows/4) rows.
+struct TimelineHealth {
+  std::string series;
+  std::size_t window = 0;
+  /// Relative improvement over the window: (v[-1-w] - v[-1]) / |v[-1-w]|.
+  double window_improvement = 0.0;
+  bool stalled = false;   // window improvement below 1 %
+  bool diverged = false;  // last sample above the first, or non-finite
+};
+
+/// One row of the bytes-vs-residual efficiency table (cumulative ts.bytes
+/// against the residual trajectory, sampled at up to 8 recorded rows).
+struct TimelineEfficiencyRow {
+  std::uint64_t iteration = 0;
+  double cumulative_bytes = 0.0;
+  double residual = 0.0;
+};
+
+struct TimelineReport {
+  std::size_t rows = 0;
+  std::uint64_t first_iteration = 0;
+  std::uint64_t last_iteration = 0;
+  /// True when recorded iterations ascend by exactly 1 row to row — what a
+  /// single uninterrupted run (or a correctly merged split run) produces.
+  bool contiguous = true;
+  std::vector<TimelineSeriesStat> series;    // header order
+  std::vector<TimelineCrossing> crossings;   // residual series x tolerances
+  std::vector<TimelineHealth> health;        // residual series
+  bool has_rho = false;
+  double rho_first = 0.0;
+  double rho_last = 0.0;
+  std::uint64_t rho_changes = 0;  // row-to-row value changes
+  /// Present when the timeline carries ts.bytes; `efficiency_series` names
+  /// the residual column used (primal, else dual, else objective).
+  std::string efficiency_series;
+  std::vector<TimelineEfficiencyRow> efficiency;
+  double total_bytes = 0.0;
+};
+
+/// Pure analysis of a loaded timeline. `tolerances` is the
+/// iterations-to-tolerance threshold list (psra_report --tol), applied to
+/// ts.primal_residual and ts.dual_residual where present.
+TimelineReport AnalyzeTimeline(const TimelineData& data,
+                               const std::vector<double>& tolerances);
+
+/// Markdown: run shape, per-series first/last/min/max, iterations to
+/// tolerance, stall/divergence health, rho trajectory, bytes-vs-residual
+/// efficiency. Pure function of the report (golden-file friendly).
+void WriteTimelineMarkdown(const TimelineReport& report, std::ostream& os);
+
+/// Markdown diff of two analyzed timelines, A (baseline) vs B (candidate):
+/// run-shape deltas, final values over the union of series names, and
+/// side-by-side iterations-to-tolerance.
+void WriteTimelineDiffMarkdown(const TimelineReport& a, const TimelineReport& b,
+                               std::ostream& os);
+
 }  // namespace psra::obs

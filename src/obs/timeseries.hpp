@@ -1,0 +1,138 @@
+// Per-iteration time-series recorder: the convergence telemetry plane
+// (DESIGN.md §13). Where the MetricsRegistry keeps cumulative counters, the
+// TimeSeriesRecorder keeps the per-iteration trajectory — residual norms,
+// objective, rho, group churn, staleness, bytes/rounds deltas — one float64
+// sample per series per recorded iteration.
+//
+// Contracts (pinned by test_obs / test_alloc / test_checkpoint):
+//   - Deterministic: samples come from virtual-time state only, so the
+//     serialized timeline is byte-identical across host pool sizes.
+//   - Chunk-pooled: samples land in fixed-size chunks leased from an
+//     internal free pool. Steady-state appends are plain stores — the
+//     0-allocs/iter hot-path gate holds with a recorder attached. Clear()
+//     returns chunks to the pool, so reuse allocates nothing.
+//   - Stable handles: Series() references stay valid for the recorder's
+//     lifetime; engines hoist them at Run start like Counter()/Gauge().
+//   - Merge = concatenation: MergeFrom appends the other recorder's rows
+//     after this one's, which is exactly the split-run contract — a run
+//     resumed from a checkpoint at iteration K records rows K+1.., and
+//     merging them after the first run's rows 1..K reproduces the
+//     uninterrupted run's timeline byte-for-byte.
+//
+// Serialization is JSONL (one object per line, parseable line-at-a-time):
+//   {"psra_timeline": 1, "series": ["ts.dual_residual", ...]}
+//   {"it": 1, "v": [0.3517, ...]}
+// The header lists series names in sorted order; every row carries the
+// recorded iteration number plus one value per series in header order.
+// Non-finite samples serialize as null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psra::obs {
+
+class MetricsRegistry;
+class TimeSeriesRecorder;
+
+/// One named series: an append-only sequence of float64 samples stored in
+/// chunks leased from the owning recorder. Handles are stable for the
+/// recorder's lifetime — hoist them out of the iteration loop.
+class TimeSeries {
+ public:
+  /// Appends one sample. A plain store except every kChunkSamples-th call,
+  /// which leases the next chunk (pool hit: no allocation).
+  void Append(double v);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  double operator[](std::size_t i) const;
+  double front() const { return (*this)[0]; }
+  double back() const { return (*this)[size_ - 1]; }
+  const std::string& name() const { return name_; }
+
+  /// Default-constructed handles are detached; only a TimeSeriesRecorder
+  /// wires one up (via Series()).
+  TimeSeries() = default;
+
+ private:
+  friend class TimeSeriesRecorder;
+
+  TimeSeriesRecorder* owner_ = nullptr;
+  std::string name_;
+  std::vector<double*> chunks_;
+  std::size_t size_ = 0;
+};
+
+class TimeSeriesRecorder {
+ public:
+  static constexpr std::size_t kChunkSamples = 1024;
+
+  TimeSeriesRecorder() = default;
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  /// Returns the series registered under `name` (created empty on first
+  /// use). Names must carry the "ts." prefix — the timeline namespace that
+  /// keeps series keys disjoint from counter/gauge taxonomies.
+  TimeSeries& Series(const std::string& name);
+  /// Lookup without creating; null when the series does not exist.
+  const TimeSeries* Find(const std::string& name) const;
+
+  /// Starts a row: records the engine iteration number the samples appended
+  /// next belong to. Engines call this once per iteration, then append
+  /// exactly one sample to every hoisted series.
+  void BeginIteration(std::uint64_t iteration);
+
+  /// Number of recorded rows (BeginIteration calls).
+  std::size_t rows() const { return iterations_.size(); }
+  /// Iteration number of row `r`.
+  std::uint64_t IterationAt(std::size_t r) const;
+
+  bool empty() const { return series_.empty() && iterations_.empty(); }
+  const std::map<std::string, TimeSeries>& series() const { return series_; }
+
+  /// Drops all series and rows; chunks return to the pool for reuse.
+  void Clear();
+
+  /// Appends `other`'s rows after this recorder's (concatenation — the
+  /// split-run merge contract; see the header comment). Series present in
+  /// only one recorder keep their samples; WriteJsonl requires the result
+  /// to be rectangular again.
+  void MergeFrom(const TimeSeriesRecorder& other);
+
+  /// Deterministic JSONL (header line + one line per row; see above).
+  /// Requires every series to hold exactly rows() samples.
+  void WriteJsonl(std::ostream& os) const;
+
+  /// Publishes per-series summary gauges into `m`:
+  ///   ts.<series>.samples / .first / .last / .min / .max
+  /// Gauges (not counters) so a re-publish or a registry merge overwrites
+  /// instead of double-counting.
+  void PublishSummary(MetricsRegistry& m) const;
+
+  /// Iteration number of the first row where `name` <= `value`; 0 when the
+  /// series is absent, empty, or never crosses. Deterministic, so harnesses
+  /// (bench_sweep) gate it exactly like a traffic counter.
+  std::uint64_t FirstIterationAtOrBelow(const std::string& name,
+                                        double value) const;
+
+ private:
+  friend class TimeSeries;
+  struct Chunk {
+    double v[kChunkSamples];
+  };
+  /// Pops a pooled chunk or allocates a fresh one.
+  double* Lease();
+
+  std::vector<std::unique_ptr<Chunk>> owned_;
+  std::vector<double*> free_;
+  std::map<std::string, TimeSeries> series_;
+  TimeSeries iterations_;  // row -> iteration number (exact below 2^53)
+};
+
+}  // namespace psra::obs

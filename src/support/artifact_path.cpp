@@ -1,0 +1,16 @@
+#include "support/artifact_path.hpp"
+
+#include <cstdlib>
+
+namespace psra {
+
+std::string ResolveArtifactPath(const std::string& path) {
+  if (path.empty() || path.front() == '/') return path;
+  if (const char* dir = std::getenv("PSRA_TRACE_DIR");
+      dir != nullptr && *dir != '\0') {
+    return std::string(dir) + "/" + path;
+  }
+  return path;
+}
+
+}  // namespace psra

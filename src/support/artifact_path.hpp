@@ -1,0 +1,16 @@
+// Artifact path resolution shared by every binary that writes run
+// artifacts (trace/metrics/csv/timeline outputs, conformance payloads).
+#pragma once
+
+#include <string>
+
+namespace psra {
+
+/// Relative artifact paths land under $PSRA_TRACE_DIR when the launcher
+/// exported one (tools/psra_launch --trace-dir), so every rank of a wire
+/// run agrees on where artifacts go without per-rank flag plumbing.
+/// Absolute and empty paths pass through untouched; so do relative paths
+/// when the variable is unset or empty.
+std::string ResolveArtifactPath(const std::string& path);
+
+}  // namespace psra

@@ -21,6 +21,7 @@
 #include "admm/psra_hgadmm.hpp"
 #include "engine/alloc_counter.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "simnet/event_queue.hpp"
 
 namespace psra::admm {
@@ -48,26 +49,35 @@ PsraConfig SmallCluster(GroupingMode grouping) {
 }
 
 std::uint64_t RunOnce(const ConsensusProblem& problem, const PsraConfig& cfg,
-                      engine::ThreadPool* pool, std::uint64_t iterations) {
+                      engine::ThreadPool* pool, std::uint64_t iterations,
+                      bool with_obs = false) {
   RunOptions opt;
   opt.max_iterations = iterations;
   opt.eval_every = iterations;  // evaluation allocates; keep it off-path
   opt.pool = pool;
+  // One fresh context per run, like every harness: its setup cost (tracks,
+  // hoisted counter slots, the first chunk lease per series) is then the
+  // same for every run, so the delta method cancels it exactly. Metrics and
+  // timeline only — span recording allocates by design.
+  obs::ObsContext obs;
+  obs.tracing = false;
+  opt.obs = with_obs ? &obs : nullptr;
   return PsraHgAdmm(cfg).Run(problem, opt).iterations_run;
 }
 
 /// Allocations per iteration by the delta method (exact, not averaged: the
 /// counts are deterministic, so the division must come out whole).
 std::uint64_t AllocsPerIter(const ConsensusProblem& problem,
-                            const PsraConfig& cfg, engine::ThreadPool* pool) {
+                            const PsraConfig& cfg, engine::ThreadPool* pool,
+                            bool with_obs = false) {
   constexpr std::uint64_t k1 = 4;
   constexpr std::uint64_t k2 = 12;
-  (void)RunOnce(problem, cfg, pool, k1);  // warm-up: grow every workspace
+  (void)RunOnce(problem, cfg, pool, k1, with_obs);  // warm-up: workspaces
 
   const std::uint64_t a0 = engine::AllocCount();
-  (void)RunOnce(problem, cfg, pool, k1);
+  (void)RunOnce(problem, cfg, pool, k1, with_obs);
   const std::uint64_t a1 = engine::AllocCount();
-  (void)RunOnce(problem, cfg, pool, k2);
+  (void)RunOnce(problem, cfg, pool, k2, with_obs);
   const std::uint64_t a2 = engine::AllocCount();
 
   const std::uint64_t delta = (a2 - a1) - (a1 - a0);
@@ -93,6 +103,19 @@ TEST_P(AllocRegression, PooledIterationIsAllocationFree) {
   engine::ThreadPool pool(8);
   pool.ForceParallelDispatchForTesting();
   EXPECT_EQ(AllocsPerIter(problem, SmallCluster(GetParam()), &pool), 0u);
+}
+
+// The convergence timeline must ride for free: with a metrics-only
+// ObsContext attached (tracing off — span recording allocates by design),
+// per-iteration counter adds are plain stores into hoisted slots and
+// TimeSeries appends land in chunks pooled by the recorder, so the
+// steady-state iteration stays allocation-free. This is the recorder's
+// 0-allocs/iter contract from DESIGN.md §13.
+TEST_P(AllocRegression, IterationWithTimelineRecorderIsAllocationFree) {
+  const auto problem = BuildProblem(SmallSpec(), 8);
+  EXPECT_EQ(AllocsPerIter(problem, SmallCluster(GetParam()), nullptr,
+                          /*with_obs=*/true),
+            0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllGroupings, AllocRegression,

@@ -9,6 +9,7 @@
 #include "admm/gadmm.hpp"
 #include "admm/problem.hpp"
 #include "admm/psra_hgadmm.hpp"
+#include "obs/obs.hpp"
 #include "solver/metrics.hpp"
 #include "support/status.hpp"
 
@@ -396,6 +397,65 @@ TEST(SplitRunTest, AdmmLibFullBarrierResumesBitwise) {
   // lives outside the checkpoint, so only this mode resumes exactly.
   cfg.min_barrier_fraction = 1.0;
   ExpectSplitRunMatchesStraightRun(AdmmLib(cfg), SplitRunProblem());
+}
+
+/// The timeline analogue of the bitwise split-run contract: a run checkpointed
+/// at 5 and resumed to 10 records rows 6..10, and concatenating them after the
+/// first leg's rows 1..5 (TimeSeriesRecorder::MergeFrom) must reproduce the
+/// uninterrupted run's JSONL byte-for-byte — per-iteration deltas (ts.bytes,
+/// ts.rounds) are baselined after setup traffic, so resumed rows carry no
+/// warm-start skew.
+template <typename Engine>
+void ExpectSplitTimelineMatchesStraightTimeline(
+    const Engine& engine, const ConsensusProblem& problem) {
+  obs::ObsContext straight_obs;
+  RunOptions straight;
+  straight.max_iterations = 10;
+  straight.obs = &straight_obs;
+  (void)engine.Run(problem, straight);
+  ASSERT_EQ(straight_obs.timeline.rows(), 10u);
+
+  RunCheckpoint ckpt;
+  obs::ObsContext head_obs;
+  RunOptions first;
+  first.max_iterations = 5;
+  first.checkpoint_out = &ckpt;
+  first.checkpoint_at = 5;
+  first.obs = &head_obs;
+  (void)engine.Run(problem, first);
+  ASSERT_EQ(head_obs.timeline.rows(), 5u);
+
+  obs::ObsContext tail_obs;
+  RunOptions resume;
+  resume.max_iterations = 10;
+  resume.warm_start = &ckpt;
+  resume.obs = &tail_obs;
+  (void)engine.Run(problem, resume);
+  ASSERT_EQ(tail_obs.timeline.rows(), 5u);
+  ASSERT_EQ(tail_obs.timeline.IterationAt(0), 6u);
+
+  head_obs.timeline.MergeFrom(tail_obs.timeline);
+  std::ostringstream merged, uninterrupted;
+  head_obs.timeline.WriteJsonl(merged);
+  straight_obs.timeline.WriteJsonl(uninterrupted);
+  EXPECT_EQ(merged.str(), uninterrupted.str());
+}
+
+TEST(SplitRunTest, PsraTimelineMergesBitwise) {
+  PsraConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.workers_per_node = 2;
+  cfg.grouping = GroupingMode::kFlat;
+  ExpectSplitTimelineMatchesStraightTimeline(PsraHgAdmm(cfg),
+                                             SplitRunProblem());
+}
+
+TEST(SplitRunTest, AdmmLibTimelineMergesBitwise) {
+  AdmmLibConfig cfg;
+  cfg.cluster.num_nodes = 4;
+  cfg.cluster.workers_per_node = 2;
+  cfg.min_barrier_fraction = 1.0;  // see AdmmLibFullBarrierResumesBitwise
+  ExpectSplitTimelineMatchesStraightTimeline(AdmmLib(cfg), SplitRunProblem());
 }
 
 TEST(SplitRunTest, GadmmRejectsWarmStarts) {

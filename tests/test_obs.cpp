@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <iterator>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -438,6 +440,244 @@ TEST(EngineMetrics, PsrBytesBelowRingBytes) {
             ring.at("comm.allreduce.ring.messages"));
   EXPECT_LT(psr.at("comm.allreduce.psr.rounds"),
             ring.at("comm.allreduce.ring.rounds"));
+}
+
+// ----------------------------------------------------- timeline recorder ----
+
+TEST(TimeSeriesRecorder, AppendsAcrossChunkBoundariesAndReadsBack) {
+  constexpr std::size_t kChunk = obs::TimeSeriesRecorder::kChunkSamples;
+  obs::TimeSeriesRecorder rec;
+  obs::TimeSeries& s = rec.Series("ts.x");
+  const std::size_t n = 2 * kChunk + 7;  // spans three chunks
+  for (std::size_t i = 0; i < n; ++i) {
+    rec.BeginIteration(i + 1);
+    s.Append(0.5 * static_cast<double>(i));
+  }
+  ASSERT_EQ(s.size(), n);
+  ASSERT_EQ(rec.rows(), n);
+  EXPECT_DOUBLE_EQ(s.front(), 0.0);
+  EXPECT_DOUBLE_EQ(s.back(), 0.5 * static_cast<double>(n - 1));
+  // The first sample of each fresh chunk, where a stale lease would show.
+  EXPECT_DOUBLE_EQ(s[kChunk], 0.5 * static_cast<double>(kChunk));
+  EXPECT_DOUBLE_EQ(s[2 * kChunk], 0.5 * static_cast<double>(2 * kChunk));
+  EXPECT_EQ(rec.IterationAt(0), 1u);
+  EXPECT_EQ(rec.IterationAt(n - 1), n);
+}
+
+TEST(TimeSeriesRecorder, SeriesNamesLiveUnderTheTsNamespace) {
+  obs::TimeSeriesRecorder rec;
+  EXPECT_THROW(rec.Series("primal_residual"), InvalidArgument);
+  EXPECT_THROW(rec.Series("ts."), InvalidArgument);
+  EXPECT_NO_THROW(rec.Series("ts.primal_residual"));
+}
+
+TEST(TimeSeriesRecorder, HandlesAreStableAcrossLaterRegistrations) {
+  obs::TimeSeriesRecorder rec;
+  obs::TimeSeries& first = rec.Series("ts.m");
+  first.Append(1.0);
+  // Registering more series (map rebalancing) must not move the handle.
+  for (const char* name : {"ts.a", "ts.z", "ts.b", "ts.y"}) rec.Series(name);
+  EXPECT_EQ(&rec.Series("ts.m"), &first);
+  EXPECT_DOUBLE_EQ(first.back(), 1.0);
+}
+
+TEST(TimeSeriesRecorder, FirstIterationAtOrBelowFindsTheEarliestCrossing) {
+  obs::TimeSeriesRecorder rec;
+  obs::TimeSeries& s = rec.Series("ts.r");
+  const double samples[] = {8.0, 4.0, 2.0, 1.0, 0.5};
+  for (std::size_t i = 0; i < std::size(samples); ++i) {
+    rec.BeginIteration(i + 1);
+    s.Append(samples[i]);
+  }
+  EXPECT_EQ(rec.FirstIterationAtOrBelow("ts.r", 4.0), 2u);   // halved
+  EXPECT_EQ(rec.FirstIterationAtOrBelow("ts.r", 0.5), 5u);
+  EXPECT_EQ(rec.FirstIterationAtOrBelow("ts.r", 0.1), 0u);   // never
+  EXPECT_EQ(rec.FirstIterationAtOrBelow("ts.absent", 1.0), 0u);
+}
+
+TEST(TimeSeriesRecorder, MergeFromConcatenatesLikeAnUninterruptedRun) {
+  obs::TimeSeriesRecorder full, head, tail;
+  for (std::uint64_t it = 1; it <= 6; ++it) {
+    obs::TimeSeriesRecorder& part = it <= 3 ? head : tail;
+    for (obs::TimeSeriesRecorder* r : {&full, &part}) {
+      r->BeginIteration(it);
+      r->Series("ts.a").Append(1.0 / static_cast<double>(it));
+      r->Series("ts.b").Append(static_cast<double>(10 * it));
+    }
+  }
+  head.MergeFrom(tail);
+  std::ostringstream merged, straight;
+  head.WriteJsonl(merged);
+  full.WriteJsonl(straight);
+  EXPECT_EQ(merged.str(), straight.str());
+}
+
+TEST(TimeSeriesRecorder, JsonlHeaderIsSortedAndNonFiniteBecomesNull) {
+  obs::TimeSeriesRecorder rec;
+  obs::TimeSeries& b = rec.Series("ts.b");  // registered before ts.a
+  obs::TimeSeries& a = rec.Series("ts.a");
+  rec.BeginIteration(1);
+  b.Append(std::numeric_limits<double>::quiet_NaN());
+  a.Append(2.0);
+  std::ostringstream os;
+  rec.WriteJsonl(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("{\"psra_timeline\": 1, \"series\": "
+                      "[\"ts.a\", \"ts.b\"]}\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("{\"it\": 1, \"v\": [2, null]}\n"), std::string::npos)
+      << text;
+  // Every line is itself valid JSON.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    obs::json::Scanner scanner(line);
+    EXPECT_TRUE(scanner.Validate()) << line << ": " << scanner.Error();
+  }
+}
+
+TEST(TimeSeriesRecorder, JsonlRejectsRaggedSeries) {
+  obs::TimeSeriesRecorder rec;
+  obs::TimeSeries& a = rec.Series("ts.a");
+  obs::TimeSeries& b = rec.Series("ts.b");
+  rec.BeginIteration(1);
+  a.Append(1.0);
+  b.Append(1.0);
+  rec.BeginIteration(2);
+  a.Append(2.0);  // ts.b misses its row 2 sample
+  std::ostringstream os;
+  EXPECT_THROW(rec.WriteJsonl(os), InvalidArgument);
+}
+
+TEST(TimeSeriesRecorder, ClearReturnsChunksToThePoolForReuse) {
+  constexpr std::size_t kChunk = obs::TimeSeriesRecorder::kChunkSamples;
+  obs::TimeSeriesRecorder rec;
+  obs::TimeSeries& s = rec.Series("ts.x");
+  for (std::size_t i = 0; i < kChunk + 1; ++i) {
+    rec.BeginIteration(i + 1);
+    s.Append(static_cast<double>(i));
+  }
+  rec.Clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.rows(), 0u);
+  EXPECT_EQ(rec.Find("ts.x"), nullptr);
+  // Refill: leases come from the pool and the old samples are gone.
+  obs::TimeSeries& again = rec.Series("ts.x");
+  rec.BeginIteration(1);
+  again.Append(-3.5);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_DOUBLE_EQ(again[0], -3.5);
+  EXPECT_EQ(rec.IterationAt(0), 1u);
+}
+
+TEST(TimeSeriesRecorder, PublishSummaryEmitsOverwriteSafeGauges) {
+  obs::TimeSeriesRecorder rec;
+  obs::TimeSeries& s = rec.Series("ts.r");
+  for (const double v : {4.0, 1.0, 9.0}) {
+    rec.BeginIteration(s.size() + 1);
+    s.Append(v);
+  }
+  obs::MetricsRegistry m;
+  rec.PublishSummary(m);
+  rec.PublishSummary(m);  // idempotent: gauges overwrite, never accumulate
+  EXPECT_DOUBLE_EQ(m.gauges().at("ts.r.samples"), 3.0);
+  EXPECT_DOUBLE_EQ(m.gauges().at("ts.r.first"), 4.0);
+  EXPECT_DOUBLE_EQ(m.gauges().at("ts.r.last"), 9.0);
+  EXPECT_DOUBLE_EQ(m.gauges().at("ts.r.min"), 1.0);
+  EXPECT_DOUBLE_EQ(m.gauges().at("ts.r.max"), 9.0);
+}
+
+// ------------------------------------------------------ engine timelines ----
+
+TEST_P(TracedEngine, TimelineRecordsOneRowPerIteration) {
+  obs::ObsContext obs;
+  const auto res = RunWithObs(GetParam(), &obs);
+  ASSERT_EQ(obs.timeline.rows(), res.iterations_run);
+  for (std::size_t r = 0; r < obs.timeline.rows(); ++r) {
+    EXPECT_EQ(obs.timeline.IterationAt(r), r + 1);
+  }
+  for (const char* name :
+       {"ts.primal_residual", "ts.dual_residual", "ts.objective", "ts.rho",
+        "ts.active_groups", "ts.regroup_events", "ts.bytes", "ts.rounds"}) {
+    const obs::TimeSeries* s = obs.timeline.Find(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_EQ(s->size(), res.iterations_run) << name;
+  }
+  // The per-iteration bytes deltas add back up to the registry's totals: the
+  // delta baselining (setup traffic excluded) must not leak rows.
+  const obs::TimeSeries& bytes = *obs.timeline.Find("ts.bytes");
+  double timeline_bytes = 0.0;
+  for (std::size_t r = 0; r < bytes.size(); ++r) timeline_bytes += bytes[r];
+  EXPECT_GT(timeline_bytes, 0.0);
+  // Summary gauges ride the registry (and therefore every metrics.json).
+  EXPECT_DOUBLE_EQ(res.metrics.gauges().at("ts.primal_residual.samples"),
+                   static_cast<double>(res.iterations_run));
+  EXPECT_DOUBLE_EQ(res.metrics.gauges().at("ts.rho.first"),
+                   obs.timeline.Find("ts.rho")->front());
+  // Max-iteration exit: the stopping gauges must say "did not converge".
+  EXPECT_DOUBLE_EQ(res.metrics.gauges().at("stopping.converged"), 0.0);
+  EXPECT_DOUBLE_EQ(
+      res.metrics.gauges().at("stopping.iterations_to_tolerance"), 0.0);
+}
+
+TEST_P(TracedEngine, TimelineIdenticalForAnyHostPoolSize) {
+  obs::ObsContext serial, pooled;
+  RunWithObs(GetParam(), &serial);
+
+  engine::ThreadPool pool4(4);
+  pool4.ForceParallelDispatchForTesting();
+  RunWithObs(GetParam(), &pooled, &pool4);
+
+  std::ostringstream ja, jb;
+  serial.timeline.WriteJsonl(ja);
+  pooled.timeline.WriteJsonl(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+// Every engine family records a convergence timeline with its own series
+// taxonomy; rows always ascend one per update round.
+TEST(EngineTimeline, EveryEngineRecordsItsSeriesTaxonomy) {
+  const auto problem = BuildProblem(ObsSpec(), 8);
+  admm::ClusterConfig cluster;
+  cluster.num_nodes = 4;
+  cluster.workers_per_node = 2;
+  RunOptions opt;
+  opt.max_iterations = 4;
+  opt.eval_every = 2;
+
+  const struct {
+    const char* algorithm;
+    std::vector<const char*> series;
+  } cases[] = {
+      {"admmlib",
+       {"ts.primal_residual", "ts.dual_residual", "ts.objective", "ts.rho",
+        "ts.ssp_staleness", "ts.bytes", "ts.rounds"}},
+      {"gadmm",
+       {"ts.primal_residual", "ts.objective", "ts.rho", "ts.bytes",
+        "ts.messages"}},
+      {"ad-admm", {"ts.objective", "ts.rho", "ts.bytes", "ts.participants"}},
+  };
+  for (const auto& c : cases) {
+    obs::ObsContext obs;
+    opt.obs = &obs;
+    const auto res = admm::RunAlgorithm(c.algorithm, cluster, problem, opt);
+    // One row per completed update round — engine.iterations is the
+    // cross-family iteration count (the async master leaves
+    // RunResult::iterations_run at 0 by design).
+    EXPECT_EQ(obs.timeline.rows(),
+              res.metrics.counters().at("engine.iterations"))
+        << c.algorithm;
+    for (const char* name : c.series) {
+      const obs::TimeSeries* s = obs.timeline.Find(name);
+      ASSERT_NE(s, nullptr) << c.algorithm << " " << name;
+      EXPECT_EQ(s->size(), obs.timeline.rows()) << c.algorithm << " " << name;
+    }
+    // The taxonomy is exact, not a subset: series() holds nothing else.
+    EXPECT_EQ(obs.timeline.series().size(), c.series.size()) << c.algorithm;
+    std::ostringstream os;
+    EXPECT_NO_THROW(obs.timeline.WriteJsonl(os)) << c.algorithm;
+  }
 }
 
 }  // namespace

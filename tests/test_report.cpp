@@ -7,8 +7,10 @@
 //     --csv tests/fixtures/report_golden.csv
 //
 // whenever the report layout changes on purpose.
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -17,6 +19,7 @@
 
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/wire.hpp"
 #include "support/status.hpp"
 
@@ -322,6 +325,232 @@ TEST(ReportDiff, ReportsPhaseAndCounterMovement) {
   EXPECT_NE(out.find("| +2 | "), std::string::npos);        // makespan delta
   EXPECT_NE(out.find("comm.allreduce.psr.bytes"), std::string::npos);
   EXPECT_NE(out.find("| +100 |"), std::string::npos);
+}
+
+// ---------------------------------------------------- convergence timeline --
+
+TEST(TimelineJsonl, RoundTripsRecorderOutput) {
+  TimeSeriesRecorder rec;
+  TimeSeries& primal = rec.Series("ts.primal_residual");
+  TimeSeries& objective = rec.Series("ts.objective");
+  const double p[] = {8.0, 4.0, 1.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    rec.BeginIteration(i + 1);
+    primal.Append(p[i]);
+    objective.Append(i == 1 ? std::numeric_limits<double>::infinity()
+                            : 100.0 + static_cast<double>(i));
+  }
+  std::ostringstream os;
+  rec.WriteJsonl(os);
+  const TimelineData data = LoadTimelineJsonl(os.str());
+
+  ASSERT_EQ(data.series,
+            (std::vector<std::string>{"ts.objective", "ts.primal_residual"}));
+  ASSERT_EQ(data.iterations, (std::vector<std::uint64_t>{1, 2, 3}));
+  const std::vector<double>* col = data.Column("ts.primal_residual");
+  ASSERT_NE(col, nullptr);
+  EXPECT_EQ(*col, (std::vector<double>{8.0, 4.0, 1.0}));
+  // The infinity went out as null and comes back as NaN.
+  const std::vector<double>& obj = *data.Column("ts.objective");
+  EXPECT_DOUBLE_EQ(obj[0], 100.0);
+  EXPECT_TRUE(std::isnan(obj[1]));
+  EXPECT_DOUBLE_EQ(obj[2], 102.0);
+  EXPECT_EQ(data.Column("ts.absent"), nullptr);
+}
+
+/// Loads `text` expecting a parse failure; returns the error message.
+std::string TimelineFailure(const std::string& text) {
+  try {
+    LoadTimelineJsonl(text);
+  } catch (const InvalidArgument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected InvalidArgument for: " << text;
+  return "";
+}
+
+TEST(TimelineJsonl, RejectsMalformedInputNamingTheLine) {
+  constexpr const char* kHeader =
+      "{\"psra_timeline\": 1, \"series\": [\"ts.a\", \"ts.b\"]}\n";
+
+  EXPECT_NE(TimelineFailure("").find("no header"), std::string::npos);
+  // A row before any header.
+  EXPECT_NE(TimelineFailure("{\"it\": 1, \"v\": [1, 2]}\n")
+                .find("timeline line 1"),
+            std::string::npos);
+  // Alien version.
+  EXPECT_NE(TimelineFailure("{\"psra_timeline\": 2, \"series\": []}\n")
+                .find("expected header"),
+            std::string::npos);
+  // Not JSON at all, with the 1-based line number.
+  const std::string garbage = TimelineFailure(std::string(kHeader) + "}{\n");
+  EXPECT_NE(garbage.find("timeline line 2"), std::string::npos) << garbage;
+  // Row arity disagrees with the header.
+  const std::string ragged =
+      TimelineFailure(std::string(kHeader) + "{\"it\": 1, \"v\": [1]}\n");
+  EXPECT_NE(ragged.find("1 values"), std::string::npos) << ragged;
+  EXPECT_NE(ragged.find("2 series"), std::string::npos) << ragged;
+  // Samples must be numbers or null.
+  EXPECT_NE(TimelineFailure(std::string(kHeader) +
+                            "{\"it\": 1, \"v\": [1, \"x\"]}\n")
+                .find("numbers or null"),
+            std::string::npos);
+  // Negative / missing iteration number.
+  EXPECT_NE(TimelineFailure(std::string(kHeader) +
+                            "{\"it\": -1, \"v\": [1, 2]}\n")
+                .find("numeric \"it\""),
+            std::string::npos);
+}
+
+/// Hand-built timeline: a cleanly halving primal residual, constant bytes,
+/// one rho adaptation.
+TimelineData HalvingTimeline() {
+  TimeSeriesRecorder rec;
+  TimeSeries& primal = rec.Series("ts.primal_residual");
+  TimeSeries& bytes = rec.Series("ts.bytes");
+  TimeSeries& rho = rec.Series("ts.rho");
+  double v = 8.0;
+  for (std::uint64_t it = 1; it <= 8; ++it, v *= 0.5) {
+    rec.BeginIteration(it);
+    primal.Append(v);
+    bytes.Append(100.0);
+    rho.Append(it <= 4 ? 1.0 : 2.0);
+  }
+  std::ostringstream os;
+  rec.WriteJsonl(os);
+  return LoadTimelineJsonl(os.str());
+}
+
+TEST(AnalyzeTimelineSeries, ComputesCrossingsRhoAndEfficiency) {
+  const TimelineReport r = AnalyzeTimeline(HalvingTimeline(), {4.0, 1.0, 1e-6});
+  EXPECT_EQ(r.rows, 8u);
+  EXPECT_EQ(r.first_iteration, 1u);
+  EXPECT_EQ(r.last_iteration, 8u);
+  EXPECT_TRUE(r.contiguous);
+
+  ASSERT_EQ(r.crossings.size(), 3u);  // primal only: no dual series
+  EXPECT_EQ(r.crossings[0].iteration, 2u);   // first sample <= 4.0
+  EXPECT_EQ(r.crossings[1].iteration, 4u);   // first sample <= 1.0
+  EXPECT_EQ(r.crossings[2].iteration, 0u);   // 1e-6: never reached
+
+  ASSERT_EQ(r.health.size(), 1u);
+  EXPECT_FALSE(r.health[0].diverged);
+  EXPECT_FALSE(r.health[0].stalled);  // halving every row is > 1 % progress
+
+  EXPECT_TRUE(r.has_rho);
+  EXPECT_DOUBLE_EQ(r.rho_first, 1.0);
+  EXPECT_DOUBLE_EQ(r.rho_last, 2.0);
+  EXPECT_EQ(r.rho_changes, 1u);
+
+  EXPECT_EQ(r.efficiency_series, "ts.primal_residual");
+  EXPECT_DOUBLE_EQ(r.total_bytes, 800.0);
+  ASSERT_FALSE(r.efficiency.empty());
+  EXPECT_EQ(r.efficiency.front().iteration, 1u);
+  EXPECT_DOUBLE_EQ(r.efficiency.front().cumulative_bytes, 100.0);
+  EXPECT_EQ(r.efficiency.back().iteration, 8u);
+  EXPECT_DOUBLE_EQ(r.efficiency.back().cumulative_bytes, 800.0);
+  EXPECT_DOUBLE_EQ(r.efficiency.back().residual, 8.0 * std::pow(0.5, 7));
+}
+
+TEST(AnalyzeTimelineSeries, FlagsDivergenceStallAndGaps) {
+  TimeSeriesRecorder rec;
+  TimeSeries& primal = rec.Series("ts.primal_residual");
+  TimeSeries& dual = rec.Series("ts.dual_residual");
+  // 12 rows with a gap at the end; primal grows (diverges), dual freezes
+  // after the first row (stalls). Row 12 jumps to iteration 13.
+  for (std::uint64_t it = 1; it <= 12; ++it) {
+    rec.BeginIteration(it == 12 ? 13 : it);
+    primal.Append(static_cast<double>(it));
+    dual.Append(it == 1 ? 2.0 : 1.0);
+  }
+  std::ostringstream os;
+  rec.WriteJsonl(os);
+  const TimelineReport r = AnalyzeTimeline(LoadTimelineJsonl(os.str()), {});
+
+  EXPECT_FALSE(r.contiguous);
+  ASSERT_EQ(r.health.size(), 2u);
+  EXPECT_EQ(r.health[0].series, "ts.primal_residual");
+  EXPECT_TRUE(r.health[0].diverged);
+  EXPECT_EQ(r.health[1].series, "ts.dual_residual");
+  EXPECT_FALSE(r.health[1].diverged);
+  EXPECT_TRUE(r.health[1].stalled);
+
+  // A non-finite sample marks the series diverged even if it ends lower.
+  TimeSeriesRecorder nan_rec;
+  TimeSeries& p = nan_rec.Series("ts.primal_residual");
+  const double vals[] = {4.0, std::numeric_limits<double>::quiet_NaN(), 1.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    nan_rec.BeginIteration(i + 1);
+    p.Append(vals[i]);
+  }
+  std::ostringstream nan_os;
+  nan_rec.WriteJsonl(nan_os);
+  const TimelineReport nr = AnalyzeTimeline(LoadTimelineJsonl(nan_os.str()), {});
+  ASSERT_EQ(nr.health.size(), 1u);
+  EXPECT_TRUE(nr.health[0].diverged);
+  ASSERT_EQ(nr.series.size(), 1u);
+  EXPECT_TRUE(nr.series[0].has_non_finite);
+  EXPECT_EQ(nr.series[0].finite, 2u);
+}
+
+// Regenerate both goldens after an intentional change with
+//   PSRA_REGEN_GOLDEN=1 build/tests/test_report \
+//     --gtest_filter='TimelineGolden.*'
+// (timeline_golden.jsonl itself comes from a real run; see its header
+// comment in EXPERIMENTS.md — the md is derived here.)
+TEST(TimelineGolden, MarkdownMatchesCommittedFixture) {
+  const TimelineData data =
+      LoadTimelineJsonl(ReadFixture("timeline_golden.jsonl"));
+  const TimelineReport r =
+      AnalyzeTimeline(data, {1e-1, 1e-2, 1e-3, 1e-4});  // psra_report default
+  std::ostringstream os;
+  WriteTimelineMarkdown(r, os);
+  const std::string text = os.str();
+  if (std::getenv("PSRA_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(FixturePath("timeline_golden.md"));
+    out << text;
+  }
+  EXPECT_EQ(text, ReadFixture("timeline_golden.md"))
+      << "timeline report layout changed; regenerate the golden (see comment)";
+  // The fixture is a real converging run: pin the headline facts.
+  EXPECT_NE(text.find(", contiguous)"), std::string::npos);
+  EXPECT_NE(text.find("| ts.primal_residual | converging |"),
+            std::string::npos);
+}
+
+TEST(TimelineDiff, SelfDiffShowsNoMovement) {
+  const TimelineReport r = AnalyzeTimeline(HalvingTimeline(), {1.0});
+  std::ostringstream os;
+  WriteTimelineDiffMarkdown(r, r, os);
+  const std::string out = os.str();
+  // Run-shape deltas are unsigned zeros; every series rel column is 0.0%.
+  EXPECT_NE(out.find("| 8 | 8 | 0 |"), std::string::npos) << out;
+  EXPECT_EQ(out.find("| +"), std::string::npos) << out;
+  for (const char* name : {"ts.primal_residual", "ts.bytes", "ts.rho"}) {
+    EXPECT_NE(out.find("| " + std::string(name) + " |"), std::string::npos)
+        << name;
+  }
+  EXPECT_NE(out.find("0.0%"), std::string::npos);
+}
+
+TEST(TimelineDiff, ReportsShapeAndCrossingMovement) {
+  const TimelineData data = HalvingTimeline();
+  TimelineData shorter = data;
+  shorter.iterations.resize(6);
+  for (auto& col : shorter.columns) col.resize(6);
+  const TimelineReport a = AnalyzeTimeline(shorter, {1.0});
+  const TimelineReport b = AnalyzeTimeline(data, {1.0, 0.1});
+  std::ostringstream os;
+  WriteTimelineDiffMarkdown(a, b, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| rows | 6 | 8 | +2 |"), std::string::npos) << out;
+  // Both reached 1.0 at the same row; only B ran long enough for 0.1 (its
+  // row 8 sample, 8 * 0.5^7) — A's side reads "never".
+  EXPECT_NE(out.find("| ts.primal_residual | 1 | 4 | 4 |"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("| ts.primal_residual | 0.1 | never | 8 |"),
+            std::string::npos)
+      << out;
 }
 
 }  // namespace

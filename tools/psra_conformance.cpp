@@ -30,6 +30,7 @@
 #include "comm/wire_allreduce.hpp"
 #include "comm/wire_obs.hpp"
 #include "obs/wire.hpp"
+#include "support/artifact_path.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
 #include "transport/launch.hpp"
@@ -63,18 +64,6 @@ const char* AlgKey(AllreduceKind kind) {
     case AllreduceKind::kNaive: return "naive";
     default: return "other";
   }
-}
-
-/// Relative artifact paths land under $PSRA_TRACE_DIR when the launcher
-/// exported one (tools/psra_launch --trace-dir), so every rank of a wire run
-/// agrees on where artifacts go without per-rank flag plumbing.
-std::string ResolveArtifactPath(const std::string& path) {
-  if (path.empty() || path.front() == '/') return path;
-  if (const char* dir = std::getenv("PSRA_TRACE_DIR");
-      dir != nullptr && *dir != '\0') {
-    return std::string(dir) + "/" + path;
-  }
-  return path;
 }
 
 DenseVector MakeDense(std::uint32_t rank, std::uint64_t dim) {
@@ -397,13 +386,13 @@ int RunWorker(const TcpOptions& opt, std::uint64_t dim,
   psra::comm::WireObsBundle bundle;
   const bool root = psra::comm::CollectWireObs(t, obs, &bundle);
   if (root && !trace_out.empty()) {
-    const std::string path = ResolveArtifactPath(trace_out);
+    const std::string path = psra::ResolveArtifactPath(trace_out);
     std::ofstream os(path);
     if (!os) throw psra::IoError("cannot write " + path);
     psra::obs::WriteMergedWireTrace(bundle.ranks, os);
   }
   if (root && !metrics_out.empty()) {
-    const std::string path = ResolveArtifactPath(metrics_out);
+    const std::string path = psra::ResolveArtifactPath(metrics_out);
     std::ofstream os(path);
     if (!os) throw psra::IoError("cannot write " + path);
     bundle.metrics.WriteJson(os);

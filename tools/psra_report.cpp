@@ -8,6 +8,21 @@
 //   psra_report --diff --trace A_trace.json --trace-b B_trace.json
 //               [--metrics A_metrics.json --metrics-b B_metrics.json]
 //               [--out diff.md]
+//   psra_report --timeline OBS_timeline.jsonl [--tol 1e-1,1e-2,...]
+//               [--metrics OBS_metrics.json] [--assert-timeline]
+//               [--timeline-b candidate.jsonl] [--out timeline.md]
+//
+// --timeline reads a --timeline-out JSONL artifact (the convergence
+// telemetry plane, DESIGN.md §13) and reports the convergence curve:
+// per-series first/last/min/max, iterations-to-tolerance at the --tol
+// thresholds, stall/divergence health, the rho trajectory, and the
+// bytes-vs-residual efficiency table. With --timeline-b it diffs two
+// timelines instead. --assert-timeline gates the artifact: rows must exist,
+// recorded iterations must ascend by exactly 1, tolerance crossings must be
+// monotone (a tighter tolerance can never cross earlier), no residual
+// series may have diverged, and — when --metrics is given — the recorder's
+// last iteration must equal the run.iterations gauge exactly, which pins
+// the recorded timeline to what the simulator says actually ran.
 //
 // --wire reads a MERGED wire-run artifact pair (rank 0's output from the
 // observability collection plane): per-rank phase breakdown, rank
@@ -39,6 +54,7 @@
 #include "obs/report.hpp"
 #include "support/cli.hpp"
 #include "support/status.hpp"
+#include "support/string_util.hpp"
 
 namespace {
 
@@ -63,7 +79,10 @@ int main(int argc, char** argv) {
 
   std::string trace_path, metrics_path, out_path, csv_path;
   std::string trace_b_path, metrics_b_path;
+  std::string timeline_path, timeline_b_path;
+  std::string tol_spec = "1e-1,1e-2,1e-3,1e-4";
   bool assert_fig6 = false, diff = false, wire = false, assert_wire = false;
+  bool assert_timeline = false;
   CliParser cli("psra_report",
                 "analyze --trace-out/--metrics-out run artifacts");
   cli.AddString("trace", &trace_path, "trace.json artifact (Chrome format)");
@@ -83,9 +102,119 @@ int main(int argc, char** argv) {
               "--metrics-b (B)");
   cli.AddString("trace-b", &trace_b_path, "candidate trace for --diff");
   cli.AddString("metrics-b", &metrics_b_path, "candidate metrics for --diff");
+  cli.AddString("timeline", &timeline_path,
+                "timeline.jsonl artifact (--timeline-out): convergence "
+                "curve report");
+  cli.AddString("timeline-b", &timeline_b_path,
+                "candidate timeline: diff two convergence timelines");
+  cli.AddString("tol", &tol_spec,
+                "comma-separated iterations-to-tolerance thresholds");
+  cli.AddBool("assert-timeline", &assert_timeline,
+              "with --timeline: fail unless rows exist, iterations ascend "
+              "by 1, crossings are monotone, nothing diverged, and (with "
+              "--metrics) the last row matches run.iterations");
   if (!cli.Parse(argc, argv)) return 0;
 
   try {
+    if (!timeline_path.empty() || !timeline_b_path.empty() ||
+        assert_timeline) {
+      if (timeline_path.empty()) {
+        std::cerr << "psra_report: timeline mode needs --timeline\n";
+        return 2;
+      }
+      std::vector<double> tolerances;
+      for (const std::string& tok : Split(tol_spec, ',')) {
+        if (!Trim(tok).empty()) tolerances.push_back(ParseDouble(Trim(tok)));
+      }
+      const obs::TimelineData data =
+          obs::LoadTimelineJsonl(ReadFile(timeline_path));
+      const obs::TimelineReport report =
+          obs::AnalyzeTimeline(data, tolerances);
+
+      std::ostringstream md;
+      if (!timeline_b_path.empty()) {
+        const obs::TimelineReport b = obs::AnalyzeTimeline(
+            obs::LoadTimelineJsonl(ReadFile(timeline_b_path)), tolerances);
+        obs::WriteTimelineDiffMarkdown(report, b, md);
+      } else {
+        obs::WriteTimelineMarkdown(report, md);
+      }
+      if (out_path.empty()) {
+        std::cout << md.str();
+      } else {
+        WriteTo(out_path, md.str());
+        std::cout << "timeline: " << out_path << "\n";
+      }
+
+      if (assert_timeline) {
+        int failures = 0;
+        if (report.rows == 0) {
+          std::cerr << "assert-timeline: timeline has no rows\n";
+          ++failures;
+        }
+        if (!report.contiguous) {
+          std::cerr << "assert-timeline: recorded iterations do not ascend "
+                       "by exactly 1 (split-run merge gap or corrupt "
+                       "artifact)\n";
+          ++failures;
+        }
+        // Monotone crossings: among one series' crossings (tolerances in
+        // --tol order, loosest first), a crossed threshold can never come
+        // later than a tighter one crossed earlier, and once a threshold is
+        // never reached no tighter one may be reached.
+        for (std::size_t i = 1; i < report.crossings.size(); ++i) {
+          const auto& prev = report.crossings[i - 1];
+          const auto& cur = report.crossings[i];
+          if (prev.series != cur.series || cur.tol >= prev.tol) continue;
+          const bool bad =
+              (prev.iteration == 0 && cur.iteration != 0) ||
+              (prev.iteration != 0 && cur.iteration != 0 &&
+               cur.iteration < prev.iteration);
+          if (bad) {
+            std::cerr << "assert-timeline: " << cur.series
+                      << " crossings not monotone: tol "
+                      << FormatDouble(prev.tol, 6) << " at iteration "
+                      << prev.iteration << " but tol "
+                      << FormatDouble(cur.tol, 6) << " at " << cur.iteration
+                      << "\n";
+            ++failures;
+          }
+        }
+        for (const auto& h : report.health) {
+          if (h.diverged) {
+            std::cerr << "assert-timeline: " << h.series
+                      << " diverged (last sample above the first, or "
+                         "non-finite)\n";
+            ++failures;
+          }
+        }
+        if (!metrics_path.empty()) {
+          const obs::MetricsRegistry metrics =
+              obs::MetricsFromJson(ReadFile(metrics_path));
+          const auto& gauges = metrics.gauges();
+          const auto it = gauges.find("run.iterations");
+          if (it == gauges.end()) {
+            std::cerr << "assert-timeline: metrics carry no run.iterations "
+                         "gauge\n";
+            ++failures;
+          } else if (it->second !=
+                     static_cast<double>(report.last_iteration)) {
+            std::cerr << "assert-timeline: last recorded iteration "
+                      << report.last_iteration << " != run.iterations gauge "
+                      << FormatDouble(it->second, 17) << "\n";
+            ++failures;
+          }
+        }
+        if (failures != 0) return 1;
+        std::cout << "assert-timeline OK: " << report.rows
+                  << " contiguous rows, crossings monotone, no divergence"
+                  << (metrics_path.empty()
+                          ? ""
+                          : ", last row matches run.iterations")
+                  << "\n";
+      }
+      return 0;
+    }
     if (diff) {
       if (trace_path.empty() || trace_b_path.empty()) {
         std::cerr << "psra_report: --diff needs --trace (A) and --trace-b"
