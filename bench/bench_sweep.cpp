@@ -51,6 +51,13 @@ namespace {
 
 using namespace psra;
 
+admm::LocalSolverOptions::Mode ParseSolverMode(const std::string& name) {
+  if (name == "cg") return admm::LocalSolverOptions::Mode::kCg;
+  if (name == "auto") return admm::LocalSolverOptions::Mode::kAuto;
+  if (name == "gram") return admm::LocalSolverOptions::Mode::kGram;
+  throw InvalidArgument("unknown solver mode '" + name + "'");
+}
+
 comm::AllreduceKind ParseKind(const std::string& name) {
   if (name == "naive") return comm::AllreduceKind::kNaive;
   if (name == "ring") return comm::AllreduceKind::kRing;
@@ -80,6 +87,8 @@ int main(int argc, char** argv) {
   std::string algorithms_csv = "psr,ring,naive,admmlib,ad-admm,gadmm";
   std::string sparsity_csv = "sparse,dense";
   std::string out_dir = "sweep";
+  std::string solver = "cg";
+  std::string cell_prefix;
   std::string log_level = "warn";
   CliParser cli("bench_sweep",
                 "metrics sweep over (nodes x algorithm x sparsity)");
@@ -95,11 +104,16 @@ int main(int argc, char** argv) {
                 "cells: psr|ring|naive|rhd|tree|admmlib|ad-admm|gadmm");
   cli.AddString("sparsity", &sparsity_csv, "sparse,dense");
   cli.AddString("out-dir", &out_dir, "directory for per-cell metrics.json");
+  cli.AddString("solver", &solver,
+                "local x-update solver: cg (baseline) | auto | gram");
+  cli.AddString("cell-prefix", &cell_prefix,
+                "prefix for cell names (separates baseline namespaces)");
   bool progress = false;
   admm::AddProgressFlag(cli, &progress);
   AddLogLevelFlag(cli, &log_level);
   if (!cli.Parse(argc, argv)) return 0;
   ApplyLogLevelFlag(log_level);
+  const auto solver_mode = ParseSolverMode(solver);
   PSRA_REQUIRE(racks >= 1, "--racks must be at least 1");
   admm::ProgressPrinter progress_printer;
 
@@ -143,6 +157,7 @@ int main(int argc, char** argv) {
         opt.tron = bench::BenchTron();
         opt.eval_every = opt.max_iterations;
         opt.obs = &obs;
+        opt.local_solver.mode = solver_mode;
         opt.pool = pool.has_value() ? &*pool : nullptr;
         if (progress) opt.progress = &progress_printer;
 
@@ -190,7 +205,7 @@ int main(int argc, char** argv) {
         }
 
         const std::string cell =
-            alg + "_" + sparsity + "_n" + std::to_string(nodes);
+            cell_prefix + alg + "_" + sparsity + "_n" + std::to_string(nodes);
         const std::string file = out_dir + "/" + cell + ".metrics.json";
         std::ofstream out(file);
         obs.metrics.WriteJson(out);

@@ -22,6 +22,7 @@ inline double DefaultScale(const std::string& dataset) {
   if (dataset == "news20") return 0.01;
   if (dataset == "webspam") return 0.001;
   if (dataset == "url") return 0.003;
+  if (dataset == "url_tall") return 0.01;
   if (dataset == "smoke") return 1.0;
   throw InvalidArgument("unknown dataset: " + dataset);
 }

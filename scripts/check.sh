@@ -111,8 +111,24 @@ for cell in "$build"/SWEEP/*.metrics.json; do
   "$build/tools/check_metrics_schema" "$repo/scripts/metrics_schema.txt" \
     "$cell"
 done
+echo "== url_tall solver sweep (transpose-reduction path) =="
+# Tall-shard url profile through the kAuto solver heuristic: every worker
+# shard is tall (rows >> cols), so the engines take the Gram/direct x-update
+# (DESIGN.md §14). The 193-feature model is fully dense, so these are dense
+# cells (the sparse psr-vs-ring ordering claim does not apply here). Cells
+# carry the url_ prefix and are schema-checked and baseline-diffed together
+# with the main grid below.
+(cd "$build" && ./bench/bench_sweep \
+  --nodes 4 --iterations 5 --dataset url_tall \
+  --algorithms psr,ring --sparsity dense \
+  --solver auto --cell-prefix url_ --out-dir SWEEP_URL > /dev/null)
+for cell in "$build"/SWEEP_URL/*.metrics.json; do
+  "$build/tools/check_metrics_schema" "$repo/scripts/metrics_schema.txt" \
+    "$cell"
+done
+
 if command -v python3 > /dev/null; then
-  "$repo/scripts/sweep_report" --dir "$build/SWEEP" \
+  "$repo/scripts/sweep_report" --dir "$build/SWEEP" --dir "$build/SWEEP_URL" \
     --out "$build/SWEEP_report.md" \
     --baseline "$repo/bench/baselines/sweep_baseline.json" \
     --assert-ordering --selftest
@@ -251,6 +267,42 @@ if [[ -z "${PSRA_CHECK_SANITIZE:-}" ]]; then
   }
   gap_gate "committed" 0.95 "$repo/BENCH_hotpath.json"
   gap_gate "quick-run" 0.90 "$build/BENCH_hotpath.json"
+
+  echo "== solver kernel microbench gate =="
+  # The blocked kernels of DESIGN.md §14 must not fall behind their scalar
+  # references, and the cached-Gram direct x-update must keep its lead over
+  # the matrix-free CG path on the tall shard. The committed full-run
+  # artifact carries the headline numbers and is held to the strict bars
+  # (blocked/scalar >= 0.95, gram_over_cg >= 3); the quick single-shot run
+  # this script produces is noisy, so it gets looser tripwires that still
+  # catch a deoptimized kernel or a broken Gram cache.
+  (cd "$build" && ./bench/bench_micro_kernels \
+    --kernels-out BENCH_kernels.json --quick)
+  kernel_gate() {
+    awk -v floor_ratio="$2" -v floor_gram="$3" -v label="$1" '
+      /"blocked_over_scalar":/ {
+        split($0, n, /"name": "/); split(n[2], nn, /"/)
+        split($0, a, /"blocked_over_scalar": /); r = a[2] + 0
+        printf "  %s %s blocked/scalar: %g (floor %g)\n", \
+               label, nn[1], r, floor_ratio
+        if (r < floor_ratio + 0) bad = 1
+        found_k = 1
+      }
+      /^[ ]*"gram_over_cg":/ {
+        split($0, g, /"gram_over_cg": /); r = g[2] + 0
+        printf "  %s gram_over_cg: %g (floor %g)\n", label, r, floor_gram
+        if (r < floor_gram + 0) bad = 1
+        found_g = 1
+      }
+      END {
+        if (!found_k || !found_g) {
+          print "FAIL: kernel ratios missing (" label ")"; exit 1
+        }
+        if (bad) { print "FAIL: solver kernel regression (" label ")"; exit 1 }
+      }' "$4"
+  }
+  kernel_gate "committed" 0.95 3.0 "$repo/BENCH_kernels.json"
+  kernel_gate "quick-run" 0.85 2.0 "$build/BENCH_kernels.json"
 fi
 
 echo "== OK =="

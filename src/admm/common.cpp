@@ -70,6 +70,21 @@ double ComputeMultiplier(const ClusterConfig& cluster,
   return mult;
 }
 
+bool UseGramSolver(const LocalSolverOptions& solver, std::uint64_t rows,
+                   std::uint64_t cols) {
+  switch (solver.mode) {
+    case LocalSolverOptions::Mode::kCg:
+      return false;
+    case LocalSolverOptions::Mode::kGram:
+      return true;
+    case LocalSolverOptions::Mode::kAuto:
+      return cols > 0 && cols <= solver.max_gram_dim &&
+             static_cast<double>(rows) >=
+                 solver.tall_ratio * static_cast<double>(cols);
+  }
+  return false;
+}
+
 WorkerSet::WorkerSet(const ConsensusProblem* problem,
                      const RunOptions* options)
     : problem_(problem), options_(options), rho_(problem->rho) {
@@ -81,6 +96,11 @@ WorkerSet::WorkerSet(const ConsensusProblem* problem,
   local_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     local_.emplace_back(&problem_->shards[i], problem_->rho);
+    // Tall-vs-wide selection is per worker: shard shapes differ, and the
+    // Gram buffer is preallocated here so XWStep stays allocation-free.
+    local_.back().SetUseGramHessian(
+        UseGramSolver(options_->local_solver, problem_->shards[i].num_samples(),
+                      problem_->shards[i].num_features()));
   }
   x_.assign(n, linalg::DenseVector(d, 0.0));
   y_.assign(n, linalg::DenseVector(d, 0.0));

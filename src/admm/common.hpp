@@ -99,9 +99,38 @@ class ProgressSink {
   virtual void Report(const ProgressUpdate& update) = 0;
 };
 
+/// Local x-subproblem solver selection (DESIGN.md §14). The CG mode is the
+/// matrix-free TRON/CG path every engine has always used; the Gram mode
+/// enables the transpose-reduction Hessian (A^T D A accumulated once per
+/// outer Newton iteration, Hessian-vector products as dense d x d matvecs
+/// that never re-stream the shard — arXiv:1504.02147). Auto picks per
+/// worker from the shard shape. Changing the mode changes the summation
+/// order of the x-update, so the default stays kCg: existing runs remain
+/// bitwise-identical to every committed baseline.
+struct LocalSolverOptions {
+  enum class Mode {
+    kCg,    ///< matrix-free TRON/CG (default; baseline-exact)
+    kAuto,  ///< Gram on tall shards (rows >= tall_ratio * cols), CG otherwise
+    kGram,  ///< Gram Hessian on every worker
+  };
+  Mode mode = Mode::kCg;
+  /// kAuto threshold: a shard is "tall" when rows >= tall_ratio * cols.
+  double tall_ratio = 4.0;
+  /// kAuto refuses the Gram path above this feature dimension (the packed
+  /// Gram is d(d+1)/2 doubles per worker; 2048 caps it at 16 MiB).
+  std::uint64_t max_gram_dim = 2048;
+};
+
+/// Per-worker selection: true when `solver` says this shard shape should run
+/// the Gram-accelerated Hessian path.
+bool UseGramSolver(const LocalSolverOptions& solver, std::uint64_t rows,
+                   std::uint64_t cols);
+
 struct RunOptions {
   std::uint64_t max_iterations = 100;
   solver::TronOptions tron;
+  /// Local solver selection for the x-update (see LocalSolverOptions).
+  LocalSolverOptions local_solver;
   /// Optional host thread pool for the per-worker x-updates (wall-clock
   /// speed only; virtual time is unaffected).
   engine::ThreadPool* pool = nullptr;

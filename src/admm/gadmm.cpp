@@ -128,6 +128,10 @@ RunResult Gadmm::Run(const ConsensusProblem& problem,
   local.reserve(world);
   for (std::size_t n = 0; n < world; ++n) {
     local.emplace_back(&problem.shards[n], rho);
+    // Same tall-vs-wide transpose-reduction selection as WorkerSet.
+    local.back().SetUseGramHessian(
+        UseGramSolver(options.local_solver, problem.shards[n].num_samples(),
+                      problem.shards[n].num_features()));
   }
   std::vector<linalg::DenseVector> x(world, linalg::DenseVector(d, 0.0));
   std::vector<linalg::DenseVector> lambda(world > 1 ? world - 1 : 0,

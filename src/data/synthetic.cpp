@@ -181,6 +181,26 @@ SyntheticSpec UrlProfile(double scale, std::uint64_t seed) {
   return s;
 }
 
+// The transpose-reduction scenario (DESIGN.md §14): url-style rows (strong
+// popularity skew, ~11 nnz/row) over a deliberately small feature dimension
+// with the paper's full url row count scaled directly, so every worker's
+// shard is tall (rows >> cols) and the Gram/direct x-update path pays off.
+// At the default bench scale (0.01) this is 20,000 x 193 — sixteen workers
+// still see a 6.5:1 aspect ratio, comfortably past the kAuto threshold.
+SyntheticSpec UrlTallProfile(double scale, std::uint64_t seed) {
+  PSRA_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  SyntheticSpec s;
+  s.name = "url_tall";
+  s.num_features = Scaled(3231961, scale * 0.006, 128);
+  s.num_train = Scaled(2000000, scale, 8192);
+  s.num_test = Scaled(396130, scale * 0.1, 512);
+  s.mean_row_nnz = std::max(10.0, 115.0 * std::sqrt(scale));
+  s.feature_skew = 1.2;
+  s.label_noise = 0.04;
+  s.seed = seed;
+  return s;
+}
+
 // Not a paper dataset: a deliberately tiny feature space with a large row
 // count, sized so O(10k)-worker smoke runs give every worker a shard while
 // the per-iteration algebra stays trivial. Scale only grows the row count.
@@ -203,6 +223,7 @@ SyntheticSpec ProfileByName(const std::string& name, double scale) {
   if (n == "news20" || n == "news20_like") return News20Profile(scale);
   if (n == "webspam" || n == "webspam_like") return WebspamProfile(scale);
   if (n == "url" || n == "url_like") return UrlProfile(scale);
+  if (n == "url_tall") return UrlTallProfile(scale);
   if (n == "smoke") return SmokeProfile(scale);
   throw InvalidArgument("unknown dataset profile: " + name);
 }

@@ -53,6 +53,11 @@ SyntheticSpec News20Profile(double scale = 0.01, std::uint64_t seed = 42);
 SyntheticSpec WebspamProfile(double scale = 0.01, std::uint64_t seed = 43);
 SyntheticSpec UrlProfile(double scale = 0.01, std::uint64_t seed = 44);
 
+/// Tall-shard url variant for the transpose-reduction solver path
+/// (DESIGN.md §14): url-style rows over a small feature dimension so worker
+/// shards are tall (rows >> cols) and the Gram/direct x-update pays off.
+SyntheticSpec UrlTallProfile(double scale = 0.01, std::uint64_t seed = 46);
+
 /// Not from the paper: a 64-feature, many-row profile for O(10k)-worker
 /// scale smokes — every worker gets a shard while the algebra stays tiny.
 SyntheticSpec SmokeProfile(double scale = 1.0, std::uint64_t seed = 45);

@@ -13,6 +13,8 @@
 
 namespace psra::linalg {
 
+class SymmetricGram;
+
 class CsrMatrix {
  public:
   using Index = std::uint64_t;
@@ -69,12 +71,25 @@ class CsrMatrix {
   /// Per-column count of nonzero entries (feature frequency).
   std::vector<std::size_t> ColumnNnz() const;
 
-  /// Largest column index + 1 that actually occurs (<= cols()).
-  Index MaxOccupiedColumn() const;
+  /// Largest column index + 1 that actually occurs (<= cols()). Cached at
+  /// construction — the column array is immutable, so this is O(1).
+  Index MaxOccupiedColumn() const { return max_occupied_col_; }
+
+  /// out += A^T A accumulated row by row (transpose reduction,
+  /// arXiv:1504.02147): each sparse row contributes its outer product to the
+  /// packed lower triangle. `out` must be Reset(cols()) by the caller. Cost
+  /// is sum_r nnz(r)^2 — paid once, after which products with A^T A never
+  /// touch A again.
+  void GramProduct(SymmetricGram& out) const;
+
+  /// out += A^T diag(w) A — the weighted Gram the logistic TRON Hessian
+  /// needs (H = A^T D A + rho I). w has rows() entries.
+  void GramProduct(std::span<const double> w, SymmetricGram& out) const;
 
  private:
   Index rows_ = 0;
   Index cols_ = 0;
+  Index max_occupied_col_ = 0;
   std::vector<std::size_t> row_ptr_{0};
   std::vector<Index> col_idx_;
   std::vector<double> values_;

@@ -16,6 +16,38 @@ using DenseVector = std::vector<double>;
 /// y += alpha * x
 void Axpy(double alpha, std::span<const double> x, std::span<double> y);
 
+// Fused BLAS-1 kernels (DESIGN.md §14). Each combines an update with the
+// reduction the solver needs next, so the vector is streamed once instead of
+// twice. All reductions use the same four-lane accumulator order as Dot, so
+// results are deterministic and identical to the unfused
+// update-then-reduce pair the TRON inner loop used to hand-roll.
+
+/// y += alpha * x, returning ||y||^2 (four-lane order).
+double AxpyNormSq(double alpha, std::span<const double> x,
+                  std::span<double> y);
+
+/// y = x + beta * y, returning ||y||^2 (four-lane order). This is the CG
+/// direction update p = r + beta p.
+double XpayNormSq(double beta, std::span<const double> x, std::span<double> y);
+
+/// dst = src, fused with ||v||^2 over a third vector (four-lane order).
+/// TRON's accept-copy: x = x_new while re-measuring the new gradient norm.
+double CopyNormSq(std::span<const double> src, std::span<double> dst,
+                  std::span<const double> v);
+
+// Register-blocked dense matrix kernels over row-major storage. Four rows
+// travel together so the FP adds of independent rows overlap; within each
+// row the accumulation order is the canonical four-lane order, making both
+// kernels deterministic.
+
+/// y = A x for row-major A (rows x cols).
+void Gemv(std::span<const double> a, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::span<double> y);
+
+/// y = A^T x for row-major A (rows x cols); y has cols entries.
+void GemvT(std::span<const double> a, std::size_t rows, std::size_t cols,
+           std::span<const double> x, std::span<double> y);
+
 /// x *= alpha
 void Scale(double alpha, std::span<double> x);
 

@@ -1,0 +1,135 @@
+#include "linalg/gram.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/status.hpp"
+
+namespace psra::linalg {
+
+void SymmetricGram::Reset(std::size_t dim) {
+  dim_ = dim;
+  const std::size_t packed = dim * (dim + 1) / 2;
+  if (packed_.size() < packed) {
+    packed_.resize(packed);
+  }
+  std::memset(packed_.data(), 0, packed * sizeof(double));
+}
+
+double SymmetricGram::At(std::size_t i, std::size_t j) const {
+  if (j > i) std::swap(i, j);
+  PSRA_REQUIRE(i < dim_, "SymmetricGram::At out of range");
+  return packed_[i * (i + 1) / 2 + j];
+}
+
+void SymmetricGram::AddScaledOuter(std::span<const std::uint64_t> cols,
+                                   std::span<const double> vals, double w) {
+  PSRA_REQUIRE(cols.size() == vals.size(),
+             "SymmetricGram::AddScaledOuter cols/vals size mismatch");
+  const std::size_t nnz = cols.size();
+  double* packed = packed_.data();
+  for (std::size_t a = 0; a < nnz; ++a) {
+    const std::size_t ca = static_cast<std::size_t>(cols[a]);
+    const double wa = w * vals[a];
+    double* row = packed + ca * (ca + 1) / 2;
+    // cols are strictly increasing, so every cols[b] with b <= a lands in
+    // row ca of the lower triangle.
+    for (std::size_t b = 0; b <= a; ++b) {
+      row[cols[b]] += wa * vals[b];
+    }
+  }
+}
+
+void SymmetricGram::AddDiagonal(double v) {
+  double* packed = packed_.data();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    packed[i * (i + 1) / 2 + i] += v;
+  }
+}
+
+void SymmetricGram::Multiply(std::span<const double> x,
+                             std::span<double> out) const {
+  PSRA_REQUIRE(x.size() == dim_ && out.size() == dim_,
+             "SymmetricGram::Multiply size mismatch");
+  const double* packed = packed_.data();
+  // Row i both gathers its dot product into out[i] and scatters the mirrored
+  // upper-triangle contribution x[i] * G[i][j] into out[j < i]. out[j] is
+  // assigned at row j before any row i > j scatters into it, so no pre-zero
+  // pass is needed and each stored element is read exactly once.
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double* row = packed + i * (i + 1) / 2;
+    const double xi = x[i];
+    double acc = 0.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      acc += row[j] * x[j];
+      out[j] += row[j] * xi;
+    }
+    out[i] = acc + row[i] * xi;
+  }
+}
+
+bool PackedCholesky::Factor(const SymmetricGram& g, double shift) {
+  dim_ = g.dim();
+  ok_ = false;
+  const std::size_t packed = dim_ * (dim_ + 1) / 2;
+  if (factor_.size() < packed) {
+    factor_.resize(packed);
+  }
+  std::memcpy(factor_.data(), g.packed().data(), packed * sizeof(double));
+  double* f = factor_.data();
+
+  for (std::size_t j = 0; j < dim_; ++j) {
+    double* row_j = f + j * (j + 1) / 2;
+    double diag = row_j[j] + shift;
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= row_j[k] * row_j[k];
+    }
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return false;
+    }
+    const double ljj = std::sqrt(diag);
+    row_j[j] = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < dim_; ++i) {
+      double* row_i = f + i * (i + 1) / 2;
+      double sum = row_i[j];
+      // Both rows are contiguous in the packed layout, so this dot product
+      // streams two dense prefixes.
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= row_i[k] * row_j[k];
+      }
+      row_i[j] = sum * inv;
+    }
+  }
+  ok_ = true;
+  return true;
+}
+
+void PackedCholesky::Solve(std::span<const double> b,
+                           std::span<double> x) const {
+  PSRA_REQUIRE(ok_, "PackedCholesky::Solve without a successful Factor");
+  PSRA_REQUIRE(b.size() == dim_ && x.size() == dim_,
+             "PackedCholesky::Solve size mismatch");
+  const double* f = factor_.data();
+  // Forward substitution L y = b (y lives in x).
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double* row = f + i * (i + 1) / 2;
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      acc -= row[k] * x[k];
+    }
+    x[i] = acc / row[i];
+  }
+  // Backward substitution L^T x = y, expressed as a column sweep so every
+  // memory access stays on the contiguous packed rows.
+  for (std::size_t jj = dim_; jj-- > 0;) {
+    const double* row = f + jj * (jj + 1) / 2;
+    const double xj = x[jj] / row[jj];
+    x[jj] = xj;
+    for (std::size_t i = 0; i < jj; ++i) {
+      x[i] -= row[i] * xj;
+    }
+  }
+}
+
+}  // namespace psra::linalg

@@ -1,0 +1,80 @@
+// Packed symmetric Gram container + Cholesky factorization.
+//
+// SymmetricGram stores a d x d symmetric matrix as its lower triangle in
+// packed row-major order (row i holds i+1 entries at offset i(i+1)/2), the
+// shape produced by transpose-reduction local solvers: A^T A (or A^T D A)
+// accumulated once from a CSR shard, then reused by every Hessian-vector
+// product or factored by PackedCholesky for direct x-updates
+// (DESIGN.md §14). Storage is recycled across Reset calls, so a warm
+// container performs no allocations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_ops.hpp"
+
+namespace psra::linalg {
+
+class SymmetricGram {
+ public:
+  SymmetricGram() = default;
+
+  /// Sizes the container for a `dim` x `dim` matrix and zeroes it. The
+  /// packed buffer only grows; a warm Reset is a memset, not an allocation.
+  void Reset(std::size_t dim);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t packed_size() const { return dim_ * (dim_ + 1) / 2; }
+
+  /// Element access (i >= j enforced by the packed layout; the symmetric
+  /// mirror is implied).
+  double At(std::size_t i, std::size_t j) const;
+
+  /// G += w * a a^T for a sparse vector a given as sorted (cols, vals).
+  /// Only the lower triangle is touched; cols must be strictly increasing.
+  void AddScaledOuter(std::span<const std::uint64_t> cols,
+                      std::span<const double> vals, double w);
+
+  /// G[i][i] += v for every i.
+  void AddDiagonal(double v);
+
+  /// out = G x (full symmetric product; out is overwritten). One pass over
+  /// the packed triangle: each row contributes its dot to out[i] and its
+  /// scaled mirror to out[j<i], so every stored element is read once.
+  void Multiply(std::span<const double> x, std::span<double> out) const;
+
+  std::span<const double> packed() const { return packed_; }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<double> packed_;
+};
+
+/// Cholesky factor of a shifted SymmetricGram: L L^T = G + shift * I.
+/// Factor and Solve recycle internal storage (no allocations when warm), so
+/// a per-worker instance keeps the ADMM x-update allocation-free.
+class PackedCholesky {
+ public:
+  PackedCholesky() = default;
+
+  /// Factors G + shift * I. Returns false (leaving the factor unusable) if
+  /// the shifted matrix is not numerically positive definite; with any
+  /// shift > 0 this only happens on pathological input.
+  bool Factor(const SymmetricGram& g, double shift);
+
+  std::size_t dim() const { return dim_; }
+  bool ok() const { return ok_; }
+
+  /// x = (L L^T)^{-1} b. Requires a successful Factor.
+  void Solve(std::span<const double> b, std::span<double> x) const;
+
+ private:
+  std::size_t dim_ = 0;
+  bool ok_ = false;
+  std::vector<double> factor_;  // packed lower triangle of L
+};
+
+}  // namespace psra::linalg

@@ -1,0 +1,64 @@
+#include "solver/direct.hpp"
+
+#include "support/status.hpp"
+
+namespace psra::solver {
+
+CachedGramLeastSquares::CachedGramLeastSquares(const linalg::CsrMatrix* a,
+                                               std::span<const double> b,
+                                               double rho)
+    : a_(a), rho_(rho) {
+  PSRA_REQUIRE(a_ != nullptr, "null matrix");
+  PSRA_REQUIRE(rho_ > 0.0, "rho must be positive for the shifted factor");
+  PSRA_REQUIRE(b.size() == a_->rows(), "rhs dimension mismatch");
+  const auto d = static_cast<std::size_t>(a_->cols());
+  gram_.Reset(d);
+  a_->GramProduct(gram_);
+  ++gram_builds_;
+  atb_.assign(d, 0.0);
+  a_->TransposeMultiplyAdd(b, atb_);
+  rhs_.resize(d);
+}
+
+void CachedGramLeastSquares::SetRho(double rho) {
+  PSRA_REQUIRE(rho > 0.0, "rho must be positive for the shifted factor");
+  if (rho == rho_) return;
+  rho_ = rho;
+  factored_ = false;  // diagonal re-shift + refactor on next Solve
+}
+
+void CachedGramLeastSquares::EnsureFactored(FlopCounter* flops) {
+  if (factored_) return;
+  PSRA_CHECK(chol_.Factor(gram_, rho_),
+             "shifted Gram not positive definite (rho too small?)");
+  factored_ = true;
+  ++factor_count_;
+  if (flops != nullptr) {
+    const auto d = static_cast<double>(dim());
+    flops->Add(d * d * d / 3.0);
+  }
+}
+
+void CachedGramLeastSquares::Solve(std::span<const double> v,
+                                   std::span<const double> z,
+                                   std::span<double> x, FlopCounter* flops) {
+  const auto d = static_cast<std::size_t>(dim());
+  PSRA_REQUIRE(x.size() == d, "solution dimension mismatch");
+  PSRA_REQUIRE(v.empty() || v.size() == d, "linear term dimension mismatch");
+  PSRA_REQUIRE(z.empty() || z.size() == d,
+               "proximal center dimension mismatch");
+  EnsureFactored(flops);
+  for (std::size_t i = 0; i < d; ++i) {
+    double r = atb_[i];
+    if (!v.empty()) r -= v[i];
+    if (!z.empty()) r += rho_ * z[i];
+    rhs_[i] = r;
+  }
+  chol_.Solve(rhs_, x);
+  if (flops != nullptr) {
+    const auto dd = static_cast<double>(d);
+    flops->Add(2.0 * dd * dd + 3.0 * dd);
+  }
+}
+
+}  // namespace psra::solver

@@ -1,0 +1,66 @@
+// Transpose-reduction direct solver for the least-squares ADMM x-update
+// ("Unwrapping ADMM", Goldstein/Taylor, arXiv:1504.02147; DESIGN.md §14).
+//
+// Minimizes the proximal least-squares subproblem
+//
+//   x* = argmin 0.5 ||A x - b||^2 + v^T x + (rho/2) ||x - z||^2
+//
+// whose normal equations are (A^T A + rho I) x = A^T b - v + rho z. The
+// Gram matrix A^T A and the moment vector A^T b are accumulated from the
+// CSR shard exactly once; after that every solve is a pair of packed
+// triangular substitutions and never touches A again. A rho change
+// (adaptive-penalty ADMM) re-shifts the cached Gram's diagonal and
+// refactors — O(d^3/6) dense work, but no re-stream of the data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/csr_matrix.hpp"
+#include "linalg/dense_ops.hpp"
+#include "linalg/gram.hpp"
+#include "solver/flops.hpp"
+
+namespace psra::solver {
+
+class CachedGramLeastSquares {
+ public:
+  /// `a` must outlive this object; b has a->rows() entries and is copied
+  /// into A^T b immediately. rho > 0 (the shift is what guarantees the
+  /// factorization exists for any shard, including rank-deficient ones).
+  CachedGramLeastSquares(const linalg::CsrMatrix* a, std::span<const double> b,
+                         double rho);
+
+  std::uint64_t dim() const { return a_->cols(); }
+  double rho() const { return rho_; }
+
+  /// Adaptive-penalty hook: marks the factor stale. The next Solve
+  /// re-shifts the cached Gram and refactors without re-streaming A.
+  void SetRho(double rho);
+
+  /// x = argmin of the subproblem above. v and z have dim() entries; either
+  /// may be empty (treated as zero). Allocation-free once warm.
+  void Solve(std::span<const double> v, std::span<const double> z,
+             std::span<double> x, FlopCounter* flops = nullptr);
+
+  /// Number of Cholesky factorizations performed (1 after the first Solve,
+  /// +1 per rho change — the refresh contract tests pin this down).
+  int factor_count() const { return factor_count_; }
+  /// Number of A^T A accumulations (stays 1 for the object's lifetime).
+  int gram_builds() const { return gram_builds_; }
+
+ private:
+  void EnsureFactored(FlopCounter* flops);
+
+  const linalg::CsrMatrix* a_;
+  double rho_;
+  bool factored_ = false;
+  int factor_count_ = 0;
+  int gram_builds_ = 0;
+  linalg::SymmetricGram gram_;     // A^T A (unshifted; shift applied at Factor)
+  linalg::PackedCholesky chol_;    // L L^T = A^T A + rho I
+  linalg::DenseVector atb_;        // A^T b
+  linalg::DenseVector rhs_;        // per-solve right-hand side
+};
+
+}  // namespace psra::solver

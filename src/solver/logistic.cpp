@@ -48,6 +48,30 @@ void ProximalLogistic::SetRho(double rho) {
   rho_ = rho;
 }
 
+void ProximalLogistic::SetUseGramHessian(bool on) {
+  use_gram_ = on;
+  if (!on) return;
+  const auto d = static_cast<std::size_t>(dim());
+  gram_.Reset(d);
+  const auto& m = shard_->features();
+  // One A^T D A accumulation touches every within-row pair once:
+  // sum_r k_r (k_r + 1) / 2 multiply-adds.
+  double pairs = 0.0;
+  for (std::uint64_t r = 0; r < m.rows(); ++r) {
+    const auto k = static_cast<double>(m.RowIndices(r).size());
+    pairs += 0.5 * k * (k + 1.0);
+  }
+  gram_flops_ = 2.0 * pairs;
+}
+
+void ProximalLogistic::BuildGramFromWeights(FlopCounter* flops) const {
+  const auto& m = shard_->features();
+  gram_.Reset(static_cast<std::size_t>(dim()));
+  m.GramProduct(hess_weights_, gram_);
+  gram_.AddDiagonal(rho_);
+  if (flops != nullptr) flops->Add(gram_flops_);
+}
+
 void ProximalLogistic::SetIterationTerms(std::span<const double> v,
                                          std::span<const double> z) {
   PSRA_REQUIRE(v.size() == dim(), "linear term dimension mismatch");
@@ -150,6 +174,7 @@ void ProximalLogistic::PrepareHessian(std::span<const double> x,
     flops->Add(2.0 * static_cast<double>(m.nnz()) +
                6.0 * static_cast<double>(n));
   }
+  if (use_gram_) BuildGramFromWeights(flops);
 }
 
 void ProximalLogistic::PrepareHessianFromLastGradient(
@@ -164,6 +189,7 @@ void ProximalLogistic::PrepareHessianFromLastGradient(
     hess_weights_[s] = sig * (1.0 - sig);
   }
   if (flops != nullptr) flops->Add(2.0 * static_cast<double>(n));
+  if (use_gram_) BuildGramFromWeights(flops);
 }
 
 double ProximalLogistic::HessianVecQuad(std::span<const double> d, double dd,
@@ -172,6 +198,17 @@ double ProximalLogistic::HessianVecQuad(std::span<const double> d, double dd,
   PSRA_REQUIRE(d.size() == dim() && out.size() == dim(), "dimension mismatch");
   PSRA_CHECK(hess_weights_.size() == num_samples(),
              "PrepareHessian must be called before HessianVecQuad");
+  if (use_gram_) {
+    // Dense symmetric matvec against the cached Gram (rho already on the
+    // diagonal); the quadratic falls out as <d, H d>.
+    gram_.Multiply(d, out);
+    const double quad = linalg::Dot(d, out);
+    if (flops != nullptr) {
+      const auto dd_cost = static_cast<double>(d.size());
+      flops->Add(2.0 * dd_cost * dd_cost + 2.0 * dd_cost);
+    }
+    return quad;
+  }
   const auto& m = shard_->features();
   const auto n = static_cast<std::size_t>(num_samples());
 
@@ -202,6 +239,14 @@ void ProximalLogistic::HessianVec(std::span<const double> d,
   PSRA_REQUIRE(d.size() == dim() && out.size() == dim(), "dimension mismatch");
   PSRA_CHECK(hess_weights_.size() == num_samples(),
              "PrepareHessian must be called before HessianVec");
+  if (use_gram_) {
+    gram_.Multiply(d, out);
+    if (flops != nullptr) {
+      const auto dd_cost = static_cast<double>(d.size());
+      flops->Add(2.0 * dd_cost * dd_cost);
+    }
+    return;
+  }
   const auto& m = shard_->features();
   const auto n = static_cast<std::size_t>(num_samples());
 

@@ -11,6 +11,7 @@
 
 #include "data/dataset.hpp"
 #include "linalg/dense_ops.hpp"
+#include "linalg/gram.hpp"
 #include "solver/flops.hpp"
 
 namespace psra::solver {
@@ -34,6 +35,16 @@ class ProximalLogistic {
   /// iterations).
   void SetRho(double rho);
   double rho() const { return rho_; }
+
+  /// Enables the Gram-accelerated Hessian path (transpose reduction,
+  /// DESIGN.md §14): PrepareHessian* additionally accumulates the packed
+  /// weighted Gram G = A^T D A + rho I once per outer TRON iteration, after
+  /// which every Hessian-vector product is a dense d x d symmetric matvec
+  /// that never re-streams the shard. Pays off on tall shards
+  /// (num_samples >> dim). The Gram buffer is preallocated here so the
+  /// iteration hot path stays allocation-free.
+  void SetUseGramHessian(bool on);
+  bool use_gram_hessian() const { return use_gram_; }
 
   std::uint64_t dim() const;
   std::uint64_t num_samples() const;
@@ -83,6 +94,13 @@ class ProximalLogistic {
   mutable linalg::DenseVector coeff_;
   mutable linalg::DenseVector sigmas_;
   mutable linalg::DenseVector hessvec_tmp_;
+  // Transpose-reduction state: packed weighted Gram (rho baked into the
+  // diagonal at build time) rebuilt by PrepareHessian* while enabled.
+  bool use_gram_ = false;
+  double gram_flops_ = 0.0;  // cost of one A^T D A accumulation
+  mutable linalg::SymmetricGram gram_;
+
+  void BuildGramFromWeights(FlopCounter* flops) const;
 };
 
 }  // namespace psra::solver

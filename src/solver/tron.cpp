@@ -72,78 +72,17 @@ CgOutcome TruncatedCg(const ProximalLogistic& f, std::span<const double> grad,
     // Optimistic s += alpha p fused with ||s||^2; stepped back below in the
     // (rare) boundary case instead of paying a read-only probe pass on the
     // common interior path (LIBLINEAR does the same).
-    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-    std::size_t i = 0;
-    for (; i + 4 <= d; i += 4) {
-      const double t0 = s[i] + alpha * p[i];
-      const double t1 = s[i + 1] + alpha * p[i + 1];
-      const double t2 = s[i + 2] + alpha * p[i + 2];
-      const double t3 = s[i + 3] + alpha * p[i + 3];
-      s[i] = t0;
-      s[i + 1] = t1;
-      s[i + 2] = t2;
-      s[i + 3] = t3;
-      s0 += t0 * t0;
-      s1 += t1 * t1;
-      s2 += t2 * t2;
-      s3 += t3 * t3;
-    }
-    for (; i < d; ++i) {
-      const double ti = s[i] + alpha * p[i];
-      s[i] = ti;
-      s0 += ti * ti;
-    }
-    if ((s0 + s1) + (s2 + s3) >= delta * delta) {
+    if (linalg::AxpyNormSq(alpha, p, s) >= delta * delta) {
       linalg::Axpy(-alpha, p, s);
       to_boundary();
       break;
     }
 
-    // Fused residual update + <r, r>: same four-lane order as linalg::Dot.
-    double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
-    for (i = 0; i + 4 <= d; i += 4) {
-      const double r0 = r[i] - alpha * hp[i];
-      const double r1 = r[i + 1] - alpha * hp[i + 1];
-      const double r2 = r[i + 2] - alpha * hp[i + 2];
-      const double r3 = r[i + 3] - alpha * hp[i + 3];
-      r[i] = r0;
-      r[i + 1] = r1;
-      r[i + 2] = r2;
-      r[i + 3] = r3;
-      b0 += r0 * r0;
-      b1 += r1 * r1;
-      b2 += r2 * r2;
-      b3 += r3 * r3;
-    }
-    for (; i < d; ++i) {
-      const double ri = r[i] - alpha * hp[i];
-      r[i] = ri;
-      b0 += ri * ri;
-    }
-    const double rr_new = (b0 + b1) + (b2 + b3);
+    // Fused residual update + <r, r>, then p = r + beta p fused with <p, p>
+    // for the next quadratic/boundary use.
+    const double rr_new = linalg::AxpyNormSq(-alpha, hp, r);
     const double beta = rr_new / rr;
-    // p = r + beta p fused with <p, p> for the next quadratic/boundary use.
-    double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
-    for (i = 0; i + 4 <= d; i += 4) {
-      const double p0 = r[i] + beta * p[i];
-      const double p1 = r[i + 1] + beta * p[i + 1];
-      const double p2 = r[i + 2] + beta * p[i + 2];
-      const double p3 = r[i + 3] + beta * p[i + 3];
-      p[i] = p0;
-      p[i + 1] = p1;
-      p[i + 2] = p2;
-      p[i + 3] = p3;
-      c0 += p0 * p0;
-      c1 += p1 * p1;
-      c2 += p2 * p2;
-      c3 += p3 * p3;
-    }
-    for (; i < d; ++i) {
-      const double pi = r[i] + beta * p[i];
-      p[i] = pi;
-      c0 += pi * pi;
-    }
-    pp = (c0 + c1) + (c2 + c3);
+    pp = linalg::XpayNormSq(beta, r, p);
     rr = rr_new;
   }
   return out;
@@ -255,23 +194,7 @@ TronResult TronMinimize(const ProximalLogistic& f, std::span<double> x,
       grad_eval_at_x = true;  // x becomes x_new below
       std::swap(ws.grad, ws.grad_new);
       // Accept-copy fused with <g, g>; four-lane order matches linalg::Dot.
-      double g0 = 0.0, g1 = 0.0, g2 = 0.0, g3 = 0.0;
-      std::size_t i = 0;
-      for (; i + 4 <= d; i += 4) {
-        x[i] = ws.x_new[i];
-        x[i + 1] = ws.x_new[i + 1];
-        x[i + 2] = ws.x_new[i + 2];
-        x[i + 3] = ws.x_new[i + 3];
-        g0 += ws.grad[i] * ws.grad[i];
-        g1 += ws.grad[i + 1] * ws.grad[i + 1];
-        g2 += ws.grad[i + 2] * ws.grad[i + 2];
-        g3 += ws.grad[i + 3] * ws.grad[i + 3];
-      }
-      for (; i < d; ++i) {
-        x[i] = ws.x_new[i];
-        g0 += ws.grad[i] * ws.grad[i];
-      }
-      gg = (g0 + g1) + (g2 + g3);
+      gg = linalg::CopyNormSq(ws.x_new, x, ws.grad);
       gnorm = std::sqrt(gg);
       if (is_converged(gnorm)) {
         res.converged = true;

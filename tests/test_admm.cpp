@@ -198,6 +198,46 @@ TEST(PsraHgAdmm, GroupThresholdDefaultsToHalfNodes) {
   EXPECT_DOUBLE_EQ(explicit_half.final_objective, defaulted.final_objective);
 }
 
+TEST(LocalSolver, AutoHeuristicPicksGramOnTallShards) {
+  LocalSolverOptions opt;
+  opt.mode = LocalSolverOptions::Mode::kAuto;
+  opt.tall_ratio = 4.0;
+  opt.max_gram_dim = 2048;
+  EXPECT_TRUE(UseGramSolver(opt, /*rows=*/4000, /*cols=*/100));
+  EXPECT_FALSE(UseGramSolver(opt, /*rows=*/300, /*cols=*/100));  // not tall
+  EXPECT_FALSE(UseGramSolver(opt, /*rows=*/100000, /*cols=*/4096));  // wide
+  EXPECT_FALSE(UseGramSolver(opt, /*rows=*/10, /*cols=*/0));
+
+  opt.mode = LocalSolverOptions::Mode::kCg;
+  EXPECT_FALSE(UseGramSolver(opt, 4000, 100));
+  opt.mode = LocalSolverOptions::Mode::kGram;
+  EXPECT_TRUE(UseGramSolver(opt, 10, 100));  // forced, shape-independent
+}
+
+TEST(PsraHgAdmm, GramSolverModeAgreesWithCgOnModel) {
+  // The Gram Hessian changes the floating-point route to the same Newton
+  // step, not the subproblem: both solver modes must land on (numerically)
+  // the same consensus model, and the default mode must remain kCg so the
+  // committed baselines stay pinned.
+  RunOptions defaults;
+  EXPECT_TRUE(defaults.local_solver.mode == LocalSolverOptions::Mode::kCg);
+
+  const auto cluster = TinyCluster(4, 1);
+  const auto p = BuildProblem(TinySpec(), cluster.world_size());
+  PsraConfig cfg;
+  cfg.cluster = cluster;
+  cfg.grouping = GroupingMode::kHierarchical;
+
+  auto cg_opt = ShortRun(15);
+  auto gram_opt = ShortRun(15);
+  gram_opt.local_solver.mode = LocalSolverOptions::Mode::kGram;
+  const auto a = PsraHgAdmm(cfg).Run(p, cg_opt);
+  const auto b = PsraHgAdmm(cfg).Run(p, gram_opt);
+  EXPECT_NEAR(a.final_objective, b.final_objective,
+              1e-6 * std::fabs(a.final_objective));
+  EXPECT_LT(linalg::DistanceL2(a.final_z, b.final_z), 1e-4);
+}
+
 TEST(PsraHgAdmm, RejectsMismatchedProblem) {
   const auto p = BuildProblem(TinySpec(), 4);
   PsraConfig cfg;

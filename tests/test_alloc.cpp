@@ -126,6 +126,37 @@ INSTANTIATE_TEST_SUITE_P(AllGroupings, AllocRegression,
                            return GroupingModeName(info.param);
                          });
 
+// Transpose-reduction solver path (DESIGN.md §14): with the Gram Hessian
+// forced on for every worker, the packed Gram rebuild inside PrepareHessian*
+// and the dense Hessian-vector products must run entirely in the buffers
+// preallocated by SetUseGramHessian — the steady-state iteration stays
+// allocation-free like the CG path.
+TEST(AllocRegressionGram, GramSolverIterationIsAllocationFree) {
+#ifdef PSRA_SANITIZE_BUILD
+  GTEST_SKIP() << "allocation counts are not meaningful under sanitizers";
+#endif
+  const auto problem = BuildProblem(SmallSpec(), 8);
+  const auto cfg = SmallCluster(GroupingMode::kHierarchical);
+
+  constexpr std::uint64_t k1 = 4;
+  constexpr std::uint64_t k2 = 12;
+  const auto run = [&](std::uint64_t iterations) {
+    RunOptions opt;
+    opt.max_iterations = iterations;
+    opt.eval_every = iterations;
+    opt.local_solver.mode = LocalSolverOptions::Mode::kGram;
+    (void)PsraHgAdmm(cfg).Run(problem, opt).iterations_run;
+  };
+  run(k1);  // warm-up: workspaces + Gram buffers
+
+  const std::uint64_t a0 = engine::AllocCount();
+  run(k1);
+  const std::uint64_t a1 = engine::AllocCount();
+  run(k2);
+  const std::uint64_t a2 = engine::AllocCount();
+  EXPECT_EQ(((a2 - a1) - (a1 - a0)) / (k2 - k1), 0u);
+}
+
 // The timer-wheel event core itself: once the arena, the wheel buckets and
 // the overflow list are warm, schedule + drain performs ZERO allocations
 // per event — on the near path (wheel buckets), and on the far path

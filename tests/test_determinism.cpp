@@ -164,5 +164,31 @@ INSTANTIATE_TEST_SUITE_P(AllGroupings, PoolDeterminism,
                            return GroupingModeName(info.param);
                          });
 
+// The transpose-reduction solver path (DESIGN.md §14) is covered by the
+// same contract: with the Gram Hessian forced on for every worker, serial
+// and pooled runs must stay bitwise identical — the packed Gram accumulation
+// and the dense Hessian products are per-worker state, untouched by host
+// threading.
+TEST(GramSolverDeterminism, SerialAndPooledRunsAreBitwiseIdentical) {
+  const auto problem = BuildProblem(SmallSpec(), 8);
+  const auto cfg = SmallCluster(GroupingMode::kHierarchical);
+
+  const auto run = [&](engine::ThreadPool* pool) {
+    RunOptions opt;
+    opt.max_iterations = 8;
+    opt.eval_every = 2;
+    opt.adaptive_rho.enabled = true;  // rho changes rebuild the shifted Gram
+    opt.local_solver.mode = LocalSolverOptions::Mode::kGram;
+    opt.pool = pool;
+    return PsraHgAdmm(cfg).Run(problem, opt);
+  };
+
+  const RunResult serial = run(nullptr);
+  engine::ThreadPool pool8(8);
+  pool8.ForceParallelDispatchForTesting();
+  ExpectIdenticalRuns(serial, run(&pool8));
+  ExpectIdenticalRuns(serial, run(&pool8));
+}
+
 }  // namespace
 }  // namespace psra::admm

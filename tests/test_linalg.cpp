@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
+#include <vector>
 
 #include "linalg/csr_matrix.hpp"
 #include "linalg/dense_ops.hpp"
+#include "linalg/gram.hpp"
 #include "linalg/sparse_vector.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
@@ -327,6 +330,324 @@ TEST_P(CsrAdjointProperty, AdjointIdentityHolds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CsrAdjointProperty, ::testing::Range(0, 10));
+
+// ------------------------------------------------- fused dense kernels ----
+
+// AxpyNormSq/XpayNormSq/CopyNormSq use the same four-lane accumulation as
+// Dot (lane = index % 4, combined (a0+a1)+(a2+a3)), so the returned norm
+// must be BITWISE equal to a follow-up Dot on the updated vector — that is
+// what lets TRON swap its fused loops for these kernels without moving the
+// committed convergence baselines.
+TEST(DenseOps, AxpyNormSqUpdatesAndMatchesDotBitwise) {
+  Rng rng(21);
+  DenseVector x(37), y(37);
+  for (auto& e : x) e = rng.NextGaussian();
+  for (auto& e : y) e = rng.NextGaussian();
+  auto expected = y;
+  for (std::size_t i = 0; i < y.size(); ++i) expected[i] += 0.37 * x[i];
+  const double nrm = AxpyNormSq(0.37, x, y);
+  EXPECT_EQ(y, expected);
+  EXPECT_EQ(nrm, Dot(y, y));
+}
+
+TEST(DenseOps, XpayNormSqUpdatesAndMatchesDotBitwise) {
+  Rng rng(22);
+  DenseVector x(41), y(41);
+  for (auto& e : x) e = rng.NextGaussian();
+  for (auto& e : y) e = rng.NextGaussian();
+  auto expected = y;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    expected[i] = x[i] + -0.8 * expected[i];
+  }
+  const double nrm = XpayNormSq(-0.8, x, y);
+  EXPECT_EQ(y, expected);
+  EXPECT_EQ(nrm, Dot(y, y));
+}
+
+TEST(DenseOps, CopyNormSqCopiesAndMatchesDotBitwise) {
+  Rng rng(23);
+  DenseVector src(29), dst(29, 0.0), v(29);
+  for (auto& e : src) e = rng.NextGaussian();
+  for (auto& e : v) e = rng.NextGaussian();
+  const double nrm = CopyNormSq(src, dst, v);
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(nrm, Dot(v, v));
+}
+
+TEST(DenseOps, FusedKernelDimensionChecks) {
+  DenseVector a(3), b(4);
+  EXPECT_THROW(AxpyNormSq(1.0, a, b), InvalidArgument);
+  EXPECT_THROW(XpayNormSq(1.0, a, b), InvalidArgument);
+  EXPECT_THROW(CopyNormSq(a, b, a), InvalidArgument);
+}
+
+// The blocked Gemv/GemvT use a different (fixed, deterministic) summation
+// order than a naive loop, so they are compared against row dots within a
+// tight tolerance rather than bitwise.
+TEST(DenseOps, GemvMatchesRowDots) {
+  Rng rng(24);
+  const std::size_t rows = 11, cols = 7;  // exercises both tail loops
+  DenseVector a(rows * cols), x(cols), y(rows);
+  for (auto& e : a) e = rng.NextGaussian();
+  for (auto& e : x) e = rng.NextGaussian();
+  Gemv(a, rows, cols, x, y);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double ref = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) ref += a[r * cols + j] * x[j];
+    EXPECT_NEAR(y[r], ref, 1e-12) << "row " << r;
+  }
+}
+
+TEST(DenseOps, GemvTIsAdjointOfGemv) {
+  Rng rng(25);
+  const std::size_t rows = 13, cols = 6;
+  DenseVector a(rows * cols), x(cols), u(rows), ax(rows), atu(cols);
+  for (auto& e : a) e = rng.NextGaussian();
+  for (auto& e : x) e = rng.NextGaussian();
+  for (auto& e : u) e = rng.NextGaussian();
+  Gemv(a, rows, cols, x, ax);
+  GemvT(a, rows, cols, u, atu);
+  EXPECT_NEAR(Dot(ax, u), Dot(x, atu), 1e-10);
+}
+
+TEST(DenseOps, GemvDimensionChecks) {
+  DenseVector a(6), x(3), y(2), bad(4);
+  EXPECT_THROW(Gemv(a, 2, 3, bad, y), InvalidArgument);
+  EXPECT_THROW(Gemv(a, 3, 3, x, y), InvalidArgument);
+  EXPECT_THROW(GemvT(a, 2, 3, x, y), InvalidArgument);
+}
+
+// ------------------------------------------------------ symmetric gram ----
+
+namespace {
+
+/// Dense reference: G = sum_r w_r a_r a_r^T over the rows of m (w empty =
+/// all ones), returned as a full dense matrix.
+std::vector<double> DenseGram(const CsrMatrix& m,
+                              std::span<const double> w) {
+  const auto d = static_cast<std::size_t>(m.cols());
+  std::vector<double> g(d * d, 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto cols = m.RowIndices(r);
+    const auto vals = m.RowValues(r);
+    const double wr = w.empty() ? 1.0 : w[r];
+    for (std::size_t a = 0; a < cols.size(); ++a) {
+      for (std::size_t b = 0; b < cols.size(); ++b) {
+        g[static_cast<std::size_t>(cols[a]) * d +
+          static_cast<std::size_t>(cols[b])] += wr * vals[a] * vals[b];
+      }
+    }
+  }
+  return g;
+}
+
+CsrMatrix RandomTall(std::uint64_t seed, std::size_t rows, std::size_t cols,
+                     double density = 0.4, bool with_empty_rows = false) {
+  Rng rng(seed);
+  CsrMatrix::Builder b(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<CsrMatrix::Index> idx;
+    std::vector<double> val;
+    if (!(with_empty_rows && r % 5 == 0)) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (rng.NextBool(density)) {
+          idx.push_back(c);
+          val.push_back(rng.NextGaussian());
+        }
+      }
+    }
+    b.AddRow(idx, val);
+  }
+  return b.Build();
+}
+
+}  // namespace
+
+TEST(SymmetricGram, AccumulatesOuterProductsLikeDenseReference) {
+  const auto m = RandomTall(31, 12, 5);
+  SymmetricGram g;
+  g.Reset(static_cast<std::size_t>(m.cols()));
+  m.GramProduct(g);
+  const auto ref = DenseGram(m, {});
+  for (std::size_t i = 0; i < g.dim(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(g.At(i, j), ref[i * g.dim() + j], 1e-12)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SymmetricGram, WeightedGramMatchesDenseReference) {
+  const auto m = RandomTall(32, 15, 4);
+  DenseVector w(15);
+  Rng rng(33);
+  for (auto& e : w) e = 0.1 + std::fabs(rng.NextGaussian());
+  SymmetricGram g;
+  g.Reset(static_cast<std::size_t>(m.cols()));
+  m.GramProduct(w, g);
+  const auto ref = DenseGram(m, w);
+  for (std::size_t i = 0; i < g.dim(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(g.At(i, j), ref[i * g.dim() + j], 1e-12);
+    }
+  }
+}
+
+TEST(SymmetricGram, GramProductHandlesEmptyRowsAndSingleColumn) {
+  // Empty rows contribute nothing; a single-column shard packs to one entry.
+  const auto m = RandomTall(34, 20, 1, 0.9, /*with_empty_rows=*/true);
+  SymmetricGram g;
+  g.Reset(1);
+  m.GramProduct(g);
+  double ref = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (const double v : m.RowValues(r)) ref += v * v;
+  }
+  EXPECT_EQ(g.packed_size(), 1u);
+  EXPECT_NEAR(g.At(0, 0), ref, 1e-12);
+}
+
+TEST(SymmetricGram, AddDiagonalAndMultiplyMatchDense) {
+  const auto m = RandomTall(35, 10, 6);
+  SymmetricGram g;
+  g.Reset(6);
+  m.GramProduct(g);
+  g.AddDiagonal(0.9);
+  auto ref = DenseGram(m, {});
+  for (std::size_t i = 0; i < 6; ++i) ref[i * 6 + i] += 0.9;
+
+  Rng rng(36);
+  DenseVector x(6), out(6, -1.0);
+  for (auto& e : x) e = rng.NextGaussian();
+  g.Multiply(x, out);
+  for (std::size_t i = 0; i < 6; ++i) {
+    double want = 0.0;
+    for (std::size_t j = 0; j < 6; ++j) want += ref[i * 6 + j] * x[j];
+    EXPECT_NEAR(out[i], want, 1e-12) << "row " << i;
+  }
+}
+
+TEST(PackedCholesky, SolvesShiftedSpdSystem) {
+  const auto m = RandomTall(37, 30, 8);
+  SymmetricGram g;
+  g.Reset(8);
+  m.GramProduct(g);
+  PackedCholesky chol;
+  ASSERT_TRUE(chol.Factor(g, 1.3));
+  EXPECT_TRUE(chol.ok());
+
+  Rng rng(38);
+  DenseVector b(8), x(8), gx(8);
+  for (auto& e : b) e = rng.NextGaussian();
+  chol.Solve(b, x);
+  // (G + 1.3 I) x must reproduce b.
+  g.Multiply(x, gx);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(gx[i] + 1.3 * x[i], b[i], 1e-9) << "row " << i;
+  }
+}
+
+TEST(PackedCholesky, RejectsIndefiniteMatrix) {
+  // An all-zero Gram with no shift has a zero pivot; Factor must refuse.
+  SymmetricGram g;
+  g.Reset(3);
+  PackedCholesky chol;
+  EXPECT_FALSE(chol.Factor(g, 0.0));
+  EXPECT_FALSE(chol.ok());
+  EXPECT_TRUE(chol.Factor(g, 1e-3));  // any positive shift fixes it
+}
+
+// ----------------------------------------- blocked CSR kernel contracts ----
+
+namespace {
+
+/// Scalar reference loops with the natural sequential accumulation order —
+/// the order the blocked kernels are required to preserve bitwise (the
+/// committed sweep baselines pin convergence integers that depend on it).
+void ScalarMultiply(const CsrMatrix& m, std::span<const double> x,
+                    std::span<double> out) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto cols = m.RowIndices(r);
+    const auto vals = m.RowValues(r);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
+    }
+    out[r] = acc;
+  }
+}
+
+void ScalarTransposeMultiplyAdd(const CsrMatrix& m, std::span<const double> v,
+                                std::span<double> out) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    const auto cols = m.RowIndices(r);
+    const auto vals = m.RowValues(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out[static_cast<std::size_t>(cols[k])] += vr * vals[k];
+    }
+  }
+}
+
+}  // namespace
+
+TEST(CsrMatrix, BlockedMultiplyIsBitwiseEqualToScalar) {
+  for (const std::uint64_t seed : {41, 42, 43}) {
+    // Odd row counts exercise the tail; empty rows exercise the lockstep
+    // loop's early exit; single-column matrices the degenerate shape.
+    const std::vector<std::tuple<std::size_t, std::size_t, bool>> shapes = {
+        {23, 9, true}, {16, 1, false}, {3, 7, true}};
+    for (const auto& [rows, cols, empty] : shapes) {
+      const auto m = RandomTall(seed, rows, cols, 0.5, empty);
+      Rng rng(seed + 7);
+      DenseVector x(cols), got(rows, -1.0), want(rows, -2.0);
+      for (auto& e : x) e = rng.NextGaussian();
+      m.Multiply(x, got);
+      ScalarMultiply(m, x, want);
+      EXPECT_EQ(got, want) << "seed " << seed << " rows " << rows;
+    }
+  }
+}
+
+TEST(CsrMatrix, BlockedTransposeMultiplyAddIsBitwiseEqualToScalar) {
+  for (const std::uint64_t seed : {44, 45}) {
+    const auto m = RandomTall(seed, 21, 8, 0.5, /*with_empty_rows=*/true);
+    Rng rng(seed + 7);
+    DenseVector v(21), got(8), want(8);
+    for (auto& e : v) e = rng.NextGaussian();
+    v[3] = 0.0;  // exercise the vr == 0 skip
+    for (std::size_t i = 0; i < 8; ++i) got[i] = want[i] = 0.25 * i;
+    m.TransposeMultiplyAdd(v, got);
+    ScalarTransposeMultiplyAdd(m, v, want);
+    EXPECT_EQ(got, want) << "seed " << seed;
+  }
+}
+
+TEST(CsrMatrix, MaxOccupiedColumnIsCachedForAllShapes) {
+  // All-empty matrix: no occupied column.
+  CsrMatrix::Builder b0(4);
+  b0.AddRow({}, {});
+  b0.AddRow({}, {});
+  EXPECT_EQ(b0.Build().MaxOccupiedColumn(), 0u);
+
+  // Mixed empty/nonempty rows: the cache must track the global maximum,
+  // not the last row's.
+  CsrMatrix::Builder b1(10);
+  const CsrMatrix::Index c0[] = {7};
+  const double v0[] = {1.0};
+  b1.AddRow(c0, v0);
+  b1.AddRow({}, {});
+  const CsrMatrix::Index c2[] = {2};
+  b1.AddRow(c2, v0);
+  EXPECT_EQ(b1.Build().MaxOccupiedColumn(), 8u);
+
+  // Single-column shard.
+  CsrMatrix::Builder b2(1);
+  const CsrMatrix::Index c3[] = {0};
+  b2.AddRow(c3, v0);
+  EXPECT_EQ(b2.Build().MaxOccupiedColumn(), 1u);
+}
 
 }  // namespace
 }  // namespace psra::linalg
